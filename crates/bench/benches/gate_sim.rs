@@ -1,0 +1,108 @@
+//! Criterion benchmarks of the gate-level hardware models (Figs. 4-6):
+//! decode/encode/MAC functional throughput for both circuit generations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use posit::PositFormat;
+use posit_hw::decoder::{DecoderOptimized, DecoderOriginal, PositDecoder};
+use posit_hw::encoder::{EncoderOptimized, PositEncoder};
+use posit_hw::mac::{Generation, PositMac};
+use std::hint::black_box;
+
+fn codes(fmt: &PositFormat, n: usize) -> Vec<u64> {
+    let mut state = 0xFEED_FACE_CAFE_BEEFu64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state & fmt.mask()
+        })
+        .collect()
+}
+
+fn bench_decoders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hw_decoder");
+    for (n, es) in [(8u32, 0u32), (16, 1), (32, 3)] {
+        let fmt = PositFormat::of(n, es);
+        let input = codes(&fmt, 1024);
+        g.throughput(Throughput::Elements(input.len() as u64));
+        let orig = DecoderOriginal::new(fmt);
+        let opt = DecoderOptimized::new(fmt);
+        g.bench_with_input(BenchmarkId::new("original", fmt), &input, |b, input| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &code in input {
+                    acc ^= orig.decode(black_box(code)).scale as i64;
+                }
+                acc
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("optimized", fmt), &input, |b, input| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &code in input {
+                    acc ^= opt.decode(black_box(code)).scale as i64;
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_encoder_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hw_encoder");
+    for (n, es) in [(8u32, 0u32), (16, 1), (32, 3)] {
+        let fmt = PositFormat::of(n, es);
+        let dec = DecoderOptimized::new(fmt);
+        let enc = EncoderOptimized::new(fmt);
+        let fields: Vec<_> = codes(&fmt, 1024).iter().map(|&c| dec.decode(c)).collect();
+        g.throughput(Throughput::Elements(fields.len() as u64));
+        g.bench_with_input(BenchmarkId::new("encode", fmt), &fields, |b, fields| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &f in fields {
+                    acc ^= enc.encode(black_box(f));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mac(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hw_mac");
+    for (n, es) in [(8u32, 1u32), (16, 1), (16, 2)] {
+        let fmt = PositFormat::of(n, es);
+        let input = codes(&fmt, 512);
+        g.throughput(Throughput::Elements(input.len() as u64));
+        for (label, generation) in [
+            ("original", Generation::Original),
+            ("optimized", Generation::Optimized),
+        ] {
+            let mac = PositMac::with_generation(fmt, generation);
+            g.bench_with_input(BenchmarkId::new(label, fmt), &input, |b, input| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for pair in input.chunks(2) {
+                        let (a, bb) = (pair[0], pair[pair.len() - 1]);
+                        acc = mac.mac(black_box(a), black_box(bb), acc);
+                    }
+                    acc
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_decoders, bench_encoder_roundtrip, bench_mac
+}
+criterion_main!(benches);

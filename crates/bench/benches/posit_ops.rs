@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks of the posit arithmetic core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use posit::{quire, PositFormat, Rounding};
+use std::hint::black_box;
+
+fn op_inputs(fmt: &PositFormat, n: usize) -> Vec<(u64, u64)> {
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = state & fmt.mask();
+            let b = (state >> 24) & fmt.mask();
+            let fix = |x: u64| if x == fmt.nar_bits() { fmt.one_bits() } else { x };
+            (fix(a), fix(b))
+        })
+        .collect()
+}
+
+fn bench_arith(c: &mut Criterion) {
+    let mut g = c.benchmark_group("posit_arith");
+    for (n, es) in [(8u32, 1u32), (16, 1), (16, 2), (32, 2)] {
+        let fmt = PositFormat::of(n, es);
+        let pairs = op_inputs(&fmt, 1024);
+        g.throughput(Throughput::Elements(pairs.len() as u64));
+        g.bench_with_input(BenchmarkId::new("add", fmt), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &(x, y) in pairs {
+                    acc ^= fmt.add(black_box(x), black_box(y));
+                }
+                acc
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mul", fmt), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &(x, y) in pairs {
+                    acc ^= fmt.mul(black_box(x), black_box(y));
+                }
+                acc
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("div", fmt), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &(x, y) in pairs {
+                    acc ^= fmt.div(black_box(x), black_box(y));
+                }
+                acc
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("fma", fmt), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut acc = fmt.one_bits();
+                for &(x, y) in pairs {
+                    acc = fmt.fused_mul_add_with(
+                        black_box(x),
+                        black_box(y),
+                        acc,
+                        Rounding::ToZero,
+                        0,
+                    );
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_conversion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("posit_convert");
+    let values: Vec<f64> = (0..1024).map(|i| (i as f64 - 512.0) * 0.37).collect();
+    for (n, es) in [(8u32, 1u32), (16, 1), (32, 2)] {
+        let fmt = PositFormat::of(n, es);
+        g.throughput(Throughput::Elements(values.len() as u64));
+        g.bench_with_input(BenchmarkId::new("from_f64_rne", fmt), &values, |b, vs| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &v in vs {
+                    acc ^= fmt.from_f64(black_box(v), Rounding::NearestEven);
+                }
+                acc
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("from_f64_rtz", fmt), &values, |b, vs| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &v in vs {
+                    acc ^= fmt.from_f64(black_box(v), Rounding::ToZero);
+                }
+                acc
+            })
+        });
+        let codes: Vec<u64> = values
+            .iter()
+            .map(|&v| fmt.from_f64(v, Rounding::NearestEven))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("to_f64", fmt), &codes, |b, cs| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &c in cs {
+                    acc += fmt.to_f64(black_box(c));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_quire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quire");
+    for (n, es) in [(8u32, 1u32), (16, 1)] {
+        let fmt = PositFormat::of(n, es);
+        let pairs = op_inputs(&fmt, 256);
+        let (xs, ys): (Vec<u64>, Vec<u64>) = pairs.into_iter().unzip();
+        g.throughput(Throughput::Elements(xs.len() as u64));
+        g.bench_function(BenchmarkId::new("fused_dot", fmt), |b| {
+            b.iter(|| quire::fused_dot(fmt, black_box(&xs), black_box(&ys)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_arith, bench_conversion, bench_quire
+}
+criterion_main!(benches);

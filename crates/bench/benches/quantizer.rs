@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the paper's `P(n,es)` tensor quantizer
+//! (Algorithm 1) — the operator inserted at every Fig. 3 edge, so its
+//! throughput bounds the posit-training simulation speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use posit::{PositFormat, PositQuantizer, Rounding};
+use posit_train::scale;
+use std::hint::black_box;
+
+fn tensor(n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i as f32) * 0.731).sin() * 0.1).collect()
+}
+
+fn bench_quantize_slice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantize_slice");
+    let xs = tensor(16 * 1024);
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    for (n, es) in [(8u32, 1u32), (8, 2), (16, 1), (16, 2)] {
+        let fmt = PositFormat::of(n, es);
+        for mode in [Rounding::ToZero, Rounding::NearestEven] {
+            g.bench_function(
+                BenchmarkId::new(format!("{fmt}"), mode.short_name()),
+                |b| {
+                    let mut q = PositQuantizer::new(fmt, mode);
+                    b.iter(|| {
+                        let mut ys = xs.clone();
+                        q.quantize_slice(black_box(&mut ys));
+                        ys
+                    })
+                },
+            );
+        }
+        g.bench_function(BenchmarkId::new(format!("{fmt}"), "sr"), |b| {
+            let mut q = PositQuantizer::with_seed(fmt, Rounding::Stochastic, 1);
+            b.iter(|| {
+                let mut ys = xs.clone();
+                q.quantize_slice(black_box(&mut ys));
+                ys
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_shifted_quantize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eq3_shifted_quantize");
+    let xs = tensor(16 * 1024);
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    let fmt = PositFormat::of(8, 1);
+    let se = scale::scale_exp(&xs, 2).unwrap_or(0);
+    g.bench_function("posit(8,1)_rtz_scaled", |b| {
+        b.iter(|| {
+            let mut ys = xs.clone();
+            let mut state = 1u64;
+            scale::shifted_quantize_slice(
+                black_box(&mut ys),
+                &fmt,
+                se,
+                Rounding::ToZero,
+                &mut state,
+            );
+            ys
+        })
+    });
+    g.bench_function("eq2_center_measure", |b| {
+        b.iter(|| scale::log2_center(black_box(&xs)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_quantize_slice, bench_shifted_quantize
+}
+criterion_main!(benches);

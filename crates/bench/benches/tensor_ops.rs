@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the tensor substrate (GEMM, conv, batchnorm).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use posit_nn::{BatchNorm2d, Layer};
+use posit_tensor::rng::Prng;
+use posit_tensor::{conv, gemm, Tensor};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    let mut rng = Prng::seed(1);
+    for size in [32usize, 64, 128] {
+        let a: Vec<f32> = (0..size * size).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..size * size).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        g.throughput(Throughput::Elements((size * size * size) as u64));
+        g.bench_function(BenchmarkId::new("square", size), |bch| {
+            bch.iter(|| {
+                let mut c = vec![0.0f32; size * size];
+                gemm::gemm(size, size, size, black_box(&a), black_box(&b), &mut c);
+                c
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conv2d");
+    let mut rng = Prng::seed(2);
+    for (n, ci, hw, co) in [(8usize, 8usize, 16usize, 16usize), (8, 16, 8, 32)] {
+        let input = Tensor::rand_normal(&[n, ci, hw, hw], 0.0, 1.0, &mut rng);
+        let weight = Tensor::rand_normal(&[co, ci, 3, 3], 0.0, 0.1, &mut rng);
+        let macs = n * co * ci * 9 * hw * hw;
+        g.throughput(Throughput::Elements(macs as u64));
+        g.bench_function(
+            BenchmarkId::new("fwd", format!("{n}x{ci}x{hw}x{hw}->{co}")),
+            |bch| bch.iter(|| conv::conv2d(black_box(&input), black_box(&weight), None, 1, 1)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_batchnorm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batchnorm");
+    let mut rng = Prng::seed(3);
+    let x = Tensor::rand_normal(&[16, 32, 8, 8], 0.0, 1.0, &mut rng);
+    g.throughput(Throughput::Elements(x.len() as u64));
+    g.bench_function("fwd_train_16x32x8x8", |bch| {
+        let mut bn = BatchNorm2d::new("bn", 32);
+        bch.iter(|| bn.forward(black_box(&x), true))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_gemm, bench_conv, bench_batchnorm
+}
+criterion_main!(benches);

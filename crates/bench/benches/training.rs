@@ -1,0 +1,86 @@
+//! Criterion benchmarks of full training steps: FP32 vs posit-quantized
+//! (the simulation overhead of the paper's method), plus posit inference.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use posit_data::SyntheticCifar;
+use posit_nn::{Layer, Sgd, SoftmaxCrossEntropy};
+use posit_tensor::rng::Prng;
+use posit_train::{Phase, QuantBuilder, QuantSpec, Trainer, TrainConfig};
+use std::hint::black_box;
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train_step");
+    g.sample_size(10);
+    let gen = SyntheticCifar::new(16, 1);
+    let data = gen.train(32, 2);
+    let x = data.features().clone();
+    let t: Vec<usize> = data.labels().to_vec();
+    g.throughput(Throughput::Elements(32));
+
+    // FP32 baseline step.
+    {
+        let mut rng = Prng::seed(1);
+        let mut b = posit_models::PlainBuilder;
+        let mut net = posit_models::resnet_scaled(&mut b, 8, 10, &mut rng);
+        let loss = SoftmaxCrossEntropy::new();
+        let mut opt = Sgd::new(0.05).momentum(0.9);
+        g.bench_function("fp32", |bch| {
+            bch.iter(|| {
+                let y = net.forward(black_box(&x), true);
+                let (l, grad) = loss.forward(&y, &t);
+                opt.zero_grad(&mut net.params_mut());
+                net.backward(&grad);
+                opt.step(&mut net.params_mut());
+                l
+            })
+        });
+    }
+
+    // Posit-quantized step (paper CIFAR recipe).
+    {
+        let mut rng = Prng::seed(1);
+        let mut qb = QuantBuilder::new(QuantSpec::cifar_paper());
+        let control = qb.control();
+        let mut net = posit_models::resnet_scaled(&mut qb, 8, 10, &mut rng);
+        control.set_phase(Phase::Posit);
+        let loss = SoftmaxCrossEntropy::new();
+        let mut opt = Sgd::new(0.05).momentum(0.9);
+        g.bench_function("posit_cifar_recipe", |bch| {
+            bch.iter(|| {
+                let y = net.forward(black_box(&x), true);
+                let (l, grad) = loss.forward(&y, &t);
+                opt.zero_grad(&mut net.params_mut());
+                net.backward(&grad);
+                opt.step(&mut net.params_mut());
+                l
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inference");
+    g.sample_size(10);
+    let gen = SyntheticCifar::new(16, 1);
+    let train = gen.train(64, 2);
+    let test = gen.test(64, 2);
+    let config = TrainConfig::cifar_scaled(8, 1).with_seed(1);
+    let mut trainer = Trainer::resnet(&config);
+    let _ = trainer.run(&train, &test, &config);
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("fp32_eval_64", |bch| {
+        bch.iter(|| trainer.evaluate(black_box(&test), &config))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .sample_size(10);
+    targets = bench_training_step, bench_inference
+}
+criterion_main!(benches);

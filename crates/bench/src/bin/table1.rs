@@ -1,0 +1,40 @@
+//! Regenerates **Table I** of the paper: the detail structure of the
+//! positive values of a (5,1) posit, plus the Fig. 1 field layouts.
+//!
+//! ```text
+//! cargo run -p posit-bench --bin table1 [-- n es]
+//! ```
+
+use posit::{tables, PositFormat};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (n, es) = if args.len() >= 2 {
+        (
+            args[0].parse().expect("n must be an integer"),
+            args[1].parse().expect("es must be an integer"),
+        )
+    } else {
+        (5u32, 1u32)
+    };
+    let fmt = PositFormat::new(n, es).expect("valid posit format");
+    println!("{}", tables::format_table(&fmt));
+    println!(
+        "useed = 2^(2^es) = {}, maxpos = useed^(n-2) = {}, minpos = useed^(2-n) = {}",
+        fmt.useed(),
+        fmt.maxpos(),
+        fmt.minpos()
+    );
+    println!();
+    println!("Fig. 1 field layouts by effective exponent (scale):");
+    println!("{:>7} {:>3} {:>12} {:>13} {:>13}", "scale", "k", "regime bits", "exponent bits", "fraction bits");
+    let mut scale = fmt.min_scale();
+    while scale <= fmt.max_scale() {
+        let l = fmt.field_layout(scale);
+        println!(
+            "{:>7} {:>3} {:>12} {:>13} {:>13}",
+            scale, l.k, l.regime_bits, l.exponent_bits, l.fraction_bits
+        );
+        scale += fmt.useed_log2();
+    }
+}

@@ -1,0 +1,70 @@
+//! Regenerates **Table III** of the paper: validation accuracy of FP32
+//! baseline vs posit training on the CIFAR-10 and ImageNet stand-ins
+//! (DESIGN.md §2 documents the dataset/model substitutions; absolute
+//! accuracies differ from the paper, the *gap* between FP32 and posit is
+//! the reproduced quantity).
+//!
+//! ```text
+//! cargo run --release -p posit-bench --bin table3 -- [cifar|imagenet|all] [--quick]
+//! ```
+
+use posit_bench::{
+    paper, print_table3_row, run_logged, CifarExperiment, ImageNetExperiment, Scale,
+};
+use posit_train::QuantSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    println!("TABLE III: TRAINING CONFIGURATIONS AND VALIDATE ACCURACIES RESULTS");
+    println!("(scaled reproduction; paper reference: CIFAR {:.2} -> {:.2}, ImageNet {:.2} -> {:.2})",
+        paper::CIFAR_FP32, paper::CIFAR_POSIT, paper::IMAGENET_FP32, paper::IMAGENET_POSIT);
+    println!();
+
+    if which == "cifar" || which == "all" {
+        let exp = CifarExperiment::new(scale);
+        let fp32 = run_logged("CIFAR stand-in, FP32 baseline", &exp.train, &exp.test, &exp.config);
+        let posit_cfg = exp.config.clone().with_quant(QuantSpec::cifar_paper());
+        let posit = run_logged(
+            "CIFAR stand-in, posit (8,1)/(8,2) CONV + (16,1)/(16,2) BN, warm-up 1",
+            &exp.train,
+            &exp.test,
+            &posit_cfg,
+        );
+        println!("--- CIFAR-10 stand-in ---");
+        print_table3_row("synthetic-CIFAR-10", "ResNet-18 (scaled)", &fp32, &posit);
+        println!(
+            "batch size         {}\nepochs             {}\noptimizer          SGD with Moment 0.9\nwarm-up            1 epoch\n",
+            posit_cfg.batch_size, posit_cfg.epochs
+        );
+    }
+
+    if which == "imagenet" || which == "all" {
+        let exp = ImageNetExperiment::new(scale);
+        let fp32 = run_logged(
+            "ImageNet stand-in, FP32 baseline",
+            &exp.train,
+            &exp.test,
+            &exp.config,
+        );
+        let posit_cfg = exp.config.clone().with_quant(QuantSpec::imagenet_paper());
+        let posit = run_logged(
+            "ImageNet stand-in, posit (16,1) fwd/update + (16,2) bwd, warm-up 5",
+            &exp.train,
+            &exp.test,
+            &posit_cfg,
+        );
+        println!("--- ImageNet stand-in ---");
+        print_table3_row("synthetic-ImageNet", "ResNet-18 (scaled)", &fp32, &posit);
+        println!(
+            "batch size         {}\nepochs             {}\noptimizer          SGD with Moment 0.9\nwarm-up            {} epochs\n",
+            posit_cfg.batch_size, posit_cfg.epochs, posit_cfg.warmup_epochs
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Table IV** of the paper: delay of the original \[6\] vs the
+//! optimized encoder/decoder for posit(8,0), (16,1), (32,3), plus the
+//! power/area of the optimized circuits — all under the 28 nm-class unit-
+//! gate cost model (DESIGN.md §2).
+//!
+//! ```text
+//! cargo run -p posit-bench --bin table4
+//! ```
+
+use posit_hw::cost::{format_table4, full_inventory, CostModel};
+
+fn main() {
+    let model = CostModel::tsmc28();
+    println!("{}", format_table4(&model));
+    println!("paper reference (measured, TSMC 28nm Design Compiler):");
+    println!("                          posit(8,0) posit(16,1) posit(32,3)");
+    println!("[6] delay(ns) encoder           0.20        0.29        0.35");
+    println!("[6] delay(ns) decoder           0.20        0.28        0.34");
+    println!("Ours delay(ns) encoder          0.13        0.18        0.23");
+    println!("Ours delay(ns) decoder          0.14        0.21        0.29");
+    println!("Ours power(mW) encoder          0.21        0.44        0.59");
+    println!("Ours power(mW) decoder          0.27        0.45        0.66");
+    println!("Ours area(um2) encoder           137         295         540");
+    println!("Ours area(um2) decoder           201         504         960");
+    println!();
+    println!("full circuit inventory:");
+    for r in full_inventory(&model) {
+        println!("  {r}");
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates **Table V** of the paper: power and area of the posit MAC
+//! (Fig. 4, with the optimized encoder/decoder) against an FP32 MAC at the
+//! 750 MHz timing constraint, under the unit-gate cost model.
+//!
+//! ```text
+//! cargo run -p posit-bench --bin table5
+//! ```
+
+use posit::{PositFormat, Rounding};
+use posit_hw::cost::{format_table5, CostModel};
+use posit_hw::mac::{Generation, PositMac};
+
+fn main() {
+    let model = CostModel::tsmc28();
+    println!("{}", format_table5(&model));
+    println!("paper reference (measured):");
+    println!("              Power(mW)   Area(um2)");
+    println!("FP32               2.52        4322");
+    println!("posit(8,1)         0.45        1208");
+    println!("posit(8,2)         0.35        1032");
+    println!("posit(16,1)        1.77        4079");
+    println!("posit(16,2)        1.60        3897");
+    println!();
+
+    // Functional spot check in the same binary: the modelled MAC is the
+    // real circuit, so exercise it.
+    let fmt = PositFormat::of(16, 1);
+    let mac = PositMac::with_generation(fmt, Generation::Optimized);
+    let a = fmt.from_f64(1.25, Rounding::NearestEven);
+    let b = fmt.from_f64(-3.0, Rounding::NearestEven);
+    let c = fmt.from_f64(10.0, Rounding::NearestEven);
+    println!(
+        "functional check: posit(16,1) MAC(1.25, -3.0, +10.0) = {}",
+        fmt.to_f64(mac.mac(a, b, c))
+    );
+    println!(
+        "matches software fused-RTZ: {}",
+        mac.mac(a, b, c) == fmt.fused_mul_add_with(a, b, c, Rounding::ToZero, 0)
+    );
+}

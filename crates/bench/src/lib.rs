@@ -1,0 +1,148 @@
+//! Shared harness code for the table/figure regeneration binaries.
+//!
+//! Every table and figure of the paper maps to one binary in `src/bin/`
+//! (see DESIGN.md §4 and EXPERIMENTS.md):
+//!
+//! | artifact | binary |
+//! |---|---|
+//! | Table I (posit structure) | `table1` |
+//! | Fig. 2 (weight histograms) | `fig2` |
+//! | Fig. 3 (dataflow) | asserted by `tests/fig3_dataflow.rs` at the root |
+//! | Table III (training accuracy) | `table3` |
+//! | Table IV (encoder/decoder) | `table4` |
+//! | Fig. 4–6 (MAC circuits) | `table4`/`table5` + `mac_hardware` example |
+//! | Table V (MAC power/area) | `table5` |
+//! | A1–A4 ablations | `ablations` |
+
+use posit_data::{Dataset, SyntheticCifar, SyntheticImageNet};
+use posit_train::{QuantSpec, TrainConfig, TrainReport, Trainer};
+
+/// Size preset for the training experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale smoke run (CI-friendly).
+    Quick,
+    /// The default minutes-scale run reported in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Parse from a CLI flag (`--quick`).
+    pub fn from_args(args: &[String]) -> Scale {
+        if args.iter().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+}
+
+/// The CIFAR-10 stand-in experiment fixture (Table III, left column).
+pub struct CifarExperiment {
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out split.
+    pub test: Dataset,
+    /// Baseline config (FP32); attach quant specs for the posit runs.
+    pub config: TrainConfig,
+}
+
+impl CifarExperiment {
+    /// Build the fixture at a scale. The Full noise level (2.2) is chosen
+    /// so the FP32 baseline lands in the 80-95% band like the paper's
+    /// CIFAR-10 runs, rather than saturating at 100%.
+    pub fn new(scale: Scale) -> CifarExperiment {
+        let (side, n_train, n_test, base, epochs, noise) = match scale {
+            Scale::Quick => (8, 320, 80, 4, 6, 0.7),
+            Scale::Full => (16, 2560, 640, 8, 18, 2.2),
+        };
+        let gen = SyntheticCifar::with_noise(side, 42, noise);
+        CifarExperiment {
+            train: gen.train(n_train, 1),
+            test: gen.test(n_test, 1),
+            config: TrainConfig::cifar_scaled(base, epochs).with_seed(7),
+        }
+    }
+}
+
+/// The ImageNet stand-in experiment fixture (Table III, right column).
+pub struct ImageNetExperiment {
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out split.
+    pub test: Dataset,
+    /// Baseline config (FP32).
+    pub config: TrainConfig,
+}
+
+impl ImageNetExperiment {
+    /// Build the fixture at a scale (Full noise tuned like
+    /// [`CifarExperiment::new`], targeting the paper's ~71% ImageNet band).
+    pub fn new(scale: Scale) -> ImageNetExperiment {
+        let (side, classes, n_train, n_test, base, epochs, noise) = match scale {
+            Scale::Quick => (8, 10, 400, 100, 4, 6, 0.9),
+            Scale::Full => (16, 20, 3200, 800, 8, 18, 2.4),
+        };
+        let gen = SyntheticImageNet::with_noise(side, classes, 43, noise);
+        ImageNetExperiment {
+            train: gen.train(n_train, 1),
+            test: gen.test(n_test, 1),
+            config: TrainConfig::imagenet_scaled(base, classes, epochs).with_seed(7),
+        }
+    }
+}
+
+/// Run one configuration and return its report, logging per-epoch lines to
+/// stderr.
+pub fn run_logged(
+    label: &str,
+    train: &Dataset,
+    test: &Dataset,
+    config: &TrainConfig,
+) -> TrainReport {
+    eprintln!("== {label} ==");
+    let mut trainer = Trainer::resnet(config);
+    trainer.run_with(train, test, config, |e| {
+        eprintln!(
+            "  epoch {:>3} [{:>9}] lr {:<7.4} loss {:<7.4} train {:>5.1}% test {:>5.1}%",
+            e.epoch,
+            e.phase,
+            e.lr,
+            e.train_loss,
+            100.0 * e.train_acc,
+            100.0 * e.test_acc
+        );
+    })
+}
+
+/// Print one dataset column in the paper's Table III layout.
+pub fn print_table3_row(dataset: &str, model: &str, fp32: &TrainReport, posit: &TrainReport) {
+    println!("Dataset            {dataset}");
+    println!("model              {model}");
+    println!("FP32 baseline      {:.2}", 100.0 * fp32.best_test_acc);
+    println!("posit              {:.2}", 100.0 * posit.best_test_acc);
+    println!(
+        "gap                {:+.2} points (paper: CIFAR -0.53, ImageNet +0.07)",
+        100.0 * (posit.best_test_acc - fp32.best_test_acc)
+    );
+}
+
+/// The paper's Table III numbers, for reference printing.
+pub mod paper {
+    /// CIFAR-10 FP32 baseline top-1 (%).
+    pub const CIFAR_FP32: f64 = 93.40;
+    /// CIFAR-10 posit top-1 (%).
+    pub const CIFAR_POSIT: f64 = 92.87;
+    /// ImageNet FP32 baseline top-1 (%).
+    pub const IMAGENET_FP32: f64 = 71.02;
+    /// ImageNet posit top-1 (%).
+    pub const IMAGENET_POSIT: f64 = 71.09;
+}
+
+/// Named spec variants for the ablation binary.
+pub fn ablation_specs() -> Vec<(&'static str, QuantSpec)> {
+    vec![
+        ("paper (scaling on)", QuantSpec::cifar_paper()),
+        ("no scaling (A2)", QuantSpec::cifar_paper().without_scaling()),
+    ]
+}

@@ -1,0 +1,129 @@
+//! Dynamic-range adjustment: the `es` selection criterion of §III-B.
+//!
+//! "During the DNN training process, different layers have different
+//! distribution ranges which are measured approximately by the difference
+//! between the maximum and minimum value in log domain. […] In this case,
+//! the posit number should have a larger dynamic range, which means a
+//! bigger es value."
+//!
+//! After the Eq. 2–3 shift centres a tensor, a posit `(n, es)` covers
+//! `±(n-2)·2^es` binades around the centre. The criterion picks the
+//! smallest `es` whose span covers the observed log-domain range (smallest,
+//! because every extra `es` bit costs a fraction bit of precision).
+
+use posit::PositFormat;
+
+/// Observed log-domain statistics of a tensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogRange {
+    /// `min(log2 |x|)` over non-zero elements.
+    pub min: f32,
+    /// `max(log2 |x|)` over non-zero elements.
+    pub max: f32,
+}
+
+impl LogRange {
+    /// Measure a slice; `None` if it has no non-zero elements.
+    pub fn measure(xs: &[f32]) -> Option<LogRange> {
+        let mut min = f32::MAX;
+        let mut max = f32::MIN;
+        let mut any = false;
+        for &x in xs {
+            if x != 0.0 && x.is_finite() {
+                let l = x.abs().log2();
+                min = min.min(l);
+                max = max.max(l);
+                any = true;
+            }
+        }
+        if any {
+            Some(LogRange { min, max })
+        } else {
+            None
+        }
+    }
+
+    /// The paper's range measure: `max - min` in the log domain (binades).
+    pub fn span(&self) -> f32 {
+        self.max - self.min
+    }
+}
+
+/// Smallest `es <= 4` such that posit `(n, es)` covers `span` binades when
+/// centred (span ≤ `2·(n-2)·2^es`).
+pub fn select_es(n: u32, span: f32) -> u32 {
+    for es in 0..=4u32 {
+        let covered = 2.0 * (n as f32 - 2.0) * (1u32 << es) as f32;
+        if span <= covered {
+            return es;
+        }
+    }
+    4
+}
+
+/// Convenience: measure a tensor and return the recommended format.
+pub fn recommend_format(n: u32, xs: &[f32]) -> PositFormat {
+    let span = LogRange::measure(xs).map_or(0.0, |r| r.span());
+    PositFormat::of(n, select_es(n, span))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posit_tensor::rng::Prng;
+
+    #[test]
+    fn range_measure() {
+        let r = LogRange::measure(&[0.25, 4.0, 0.0, -1.0]).unwrap();
+        assert_eq!(r.min, -2.0);
+        assert_eq!(r.max, 2.0);
+        assert_eq!(r.span(), 4.0);
+        assert_eq!(LogRange::measure(&[0.0]), None);
+    }
+
+    #[test]
+    fn narrow_ranges_get_small_es() {
+        // A weight-like tensor (few binades) fits es = 0/1 formats.
+        assert_eq!(select_es(8, 10.0), 0);
+        assert_eq!(select_es(8, 20.0), 1);
+        // An error-like tensor (tens of binades) needs es = 2 at n = 8.
+        assert_eq!(select_es(8, 30.0), 2);
+        assert_eq!(select_es(8, 48.0), 2);
+        assert_eq!(select_es(8, 60.0), 3);
+        // Absurd spans clamp at 4.
+        assert_eq!(select_es(8, 10_000.0), 4);
+    }
+
+    #[test]
+    fn paper_choice_reproduced_on_synthetic_tensors() {
+        // Weights/activations: near-normal around one magnitude → es 1 at
+        // n=8; gradients: heavy-tailed over many binades → es 2 at n=8,
+        // matching §III-B's "es = 1 for weights and activations, 2 for
+        // gradients and errors".
+        let mut rng = Prng::seed(3);
+        let weights: Vec<f32> = (0..4000).map(|_| rng.normal(0.0, 0.05)).collect();
+        let w_span = LogRange::measure(&weights).unwrap().span();
+        // Gradients: product of several normals spreads the log magnitude.
+        let grads: Vec<f32> = (0..4000)
+            .map(|_| {
+                rng.normal(0.0, 1.0) * rng.normal(0.0, 1.0) * rng.normal(0.0, 1.0)
+                    * 2f32.powi(-8)
+                    * rng.normal(0.0, 1.0).abs().powi(3)
+            })
+            .collect();
+        let g_span = LogRange::measure(&grads).unwrap().span();
+        assert!(g_span > w_span, "gradients must span more binades");
+        let w_es = select_es(8, w_span);
+        let g_es = select_es(8, g_span);
+        assert!(w_es <= 1, "weights es {w_es}");
+        assert!(g_es >= 2, "gradients es {g_es}");
+    }
+
+    #[test]
+    fn recommend_format_is_usable() {
+        let xs = vec![0.5f32, 2.0, -0.25];
+        let fmt = recommend_format(16, &xs);
+        assert_eq!(fmt.n(), 16);
+        assert_eq!(fmt.es(), 0); // 3-binade span fits es=0 at n=16
+    }
+}

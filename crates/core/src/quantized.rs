@@ -1,0 +1,549 @@
+//! The `P(·)` insertion wrapper — Fig. 3 of the paper as a layer adapter.
+//!
+//! [`Quantized`] wraps any [`Layer`] and quantizes the four Fig. 3 edges:
+//!
+//! * **forward** (Fig. 3a): weights are re-quantized in place before the
+//!   inner forward (idempotent, so this is equivalent to quantizing once
+//!   after each update — Fig. 3c), and the output activation `A^l` is
+//!   quantized after;
+//! * **backward** (Fig. 3b): the returned error `E^{l-1}` and the
+//!   accumulated weight gradient `ΔW` are quantized after the inner
+//!   backward.
+//!
+//! The wrapper has three [`Phase`]s driven by a shared [`QuantControl`]:
+//! FP32 (warm-up), Calibrate (FP32 + Eq. 2 scale-factor collection) and
+//! Posit (quantize with frozen scales). Scales missing at the first Posit
+//! batch (e.g. warm-up disabled in the A1 ablation) are computed lazily
+//! from the first tensor observed.
+
+use crate::config::{MasterWeights, QuantSpec, TensorClass};
+use crate::scale;
+use posit::PositFormat;
+use posit_models::LayerBuilder;
+use posit_nn::{BatchNorm2d, Conv2d, Layer, LayerKind, Linear, Param};
+use posit_tensor::Tensor;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// The three phases of the paper's training strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Warm-up: pure FP32 (§III-B "Warm-up Training").
+    Fp32,
+    /// Last warm-up epoch: FP32 compute + Eq. 2 center collection
+    /// ("Based on the warm-up trained model, the scaling factor of each
+    /// layer can be calculated").
+    Calibrate,
+    /// Posit training: every Fig. 3 edge quantized.
+    Posit,
+}
+
+/// Shared phase switch distributed to every [`Quantized`] wrapper.
+#[derive(Debug, Clone, Default)]
+pub struct QuantControl(Arc<AtomicU8>);
+
+impl QuantControl {
+    /// A control starting in [`Phase::Fp32`].
+    pub fn new() -> QuantControl {
+        QuantControl::default()
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        match self.0.load(Ordering::Relaxed) {
+            0 => Phase::Fp32,
+            1 => Phase::Calibrate,
+            _ => Phase::Posit,
+        }
+    }
+
+    /// Switch phase (affects all wrappers sharing this control).
+    pub fn set_phase(&self, phase: Phase) {
+        let v = match phase {
+            Phase::Fp32 => 0,
+            Phase::Calibrate => 1,
+            Phase::Posit => 2,
+        };
+        self.0.store(v, Ordering::Relaxed);
+    }
+}
+
+/// Per-tensor-class scale calibration state.
+#[derive(Debug, Clone, Default)]
+struct ClassScale {
+    /// Frozen Eq. 2 exponent (`log2 Sf`), if calibrated.
+    exp: Option<i32>,
+    /// Running sum/count of per-batch centers during calibration.
+    acc: f64,
+    count: usize,
+}
+
+impl ClassScale {
+    fn observe(&mut self, xs: &[f32]) {
+        if let Some(c) = scale::log2_center(xs) {
+            self.acc += c as f64;
+            self.count += 1;
+        }
+    }
+
+    fn freeze(&mut self, sigma: i32) {
+        if self.exp.is_none() && self.count > 0 {
+            self.exp = Some((self.acc / self.count as f64).round() as i32 + sigma);
+        }
+    }
+
+    /// The scale exponent to use now; lazily calibrates from `xs` if the
+    /// warm-up never ran (A1 ablation path).
+    fn exp_or_lazy(&mut self, xs: &[f32], sigma: i32, scaling: bool) -> i32 {
+        if !scaling {
+            return 0;
+        }
+        if let Some(e) = self.exp {
+            return e;
+        }
+        self.observe(xs);
+        self.freeze(sigma);
+        self.exp.unwrap_or(0)
+    }
+}
+
+/// A layer wrapped with the paper's `P(n,es)` transformation at every
+/// Fig. 3 edge.
+pub struct Quantized {
+    inner: Box<dyn Layer>,
+    control: QuantControl,
+    kind: LayerKind,
+    w_fmt: PositFormat,
+    a_fmt: PositFormat,
+    e_fmt: PositFormat,
+    g_fmt: PositFormat,
+    rounding: posit::Rounding,
+    sigma: i32,
+    scaling: bool,
+    master_mode: MasterWeights,
+    /// FP32 master copies stashed while the quantized view is installed.
+    master: Option<Vec<Tensor>>,
+    w_scale: ClassScale,
+    a_scale: ClassScale,
+    e_scale: ClassScale,
+    g_scale: ClassScale,
+    sr_state: u64,
+}
+
+impl Quantized {
+    /// Wrap a layer under a spec and control.
+    pub fn new(inner: Box<dyn Layer>, spec: &QuantSpec, control: QuantControl) -> Quantized {
+        let kind = inner.kind();
+        let fmts = spec.formats_for(kind);
+        // Derive a per-layer stochastic-rounding stream from the name so
+        // runs are reproducible layer-by-layer.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in inner.name().bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        Quantized {
+            inner,
+            control,
+            kind,
+            w_fmt: fmts.weight,
+            a_fmt: fmts.activation,
+            e_fmt: fmts.error,
+            g_fmt: fmts.weight_grad,
+            rounding: spec.rounding,
+            sigma: spec.sigma,
+            scaling: spec.scaling,
+            master_mode: spec.master,
+            master: None,
+            w_scale: ClassScale::default(),
+            a_scale: ClassScale::default(),
+            e_scale: ClassScale::default(),
+            g_scale: ClassScale::default(),
+            sr_state: h ^ spec.sr_seed,
+        }
+    }
+
+    /// The frozen scale exponent for a class, if calibrated.
+    pub fn scale_exp(&self, class: TensorClass) -> Option<i32> {
+        match class {
+            TensorClass::Weight => self.w_scale.exp,
+            TensorClass::Activation => self.a_scale.exp,
+            TensorClass::Error => self.e_scale.exp,
+            TensorClass::WeightGrad => self.g_scale.exp,
+        }
+    }
+
+    /// The posit format assigned to a class.
+    pub fn format(&self, class: TensorClass) -> PositFormat {
+        match class {
+            TensorClass::Weight => self.w_fmt,
+            TensorClass::Activation => self.a_fmt,
+            TensorClass::Error => self.e_fmt,
+            TensorClass::WeightGrad => self.g_fmt,
+        }
+    }
+
+    /// Install the posit view of the weights: with an FP32 master, stash
+    /// the exact values first so [`Quantized::restore_master`] can put them
+    /// back before the optimizer step (Fig. 3c with a persistent `W`).
+    fn quantize_weights_in_place(&mut self) {
+        let sigma = self.sigma;
+        let scaling = self.scaling;
+        let rounding = self.rounding;
+        let fmt = self.w_fmt;
+        let scale = &mut self.w_scale;
+        let sr = &mut self.sr_state;
+        let keep_master = self.master_mode == MasterWeights::Fp32;
+        let mut stash = Vec::new();
+        for p in self.inner.params_mut() {
+            if keep_master {
+                stash.push(p.value.clone());
+            }
+            let e = scale.exp_or_lazy(p.value.data(), sigma, scaling);
+            scale::shifted_quantize_slice(p.value.data_mut(), &fmt, e, rounding, sr);
+        }
+        if keep_master {
+            self.master = Some(stash);
+        }
+    }
+
+    /// Put the FP32 master values back (no-op under the posit-master
+    /// ablation or when no view is installed).
+    fn restore_master(&mut self) {
+        if let Some(stash) = self.master.take() {
+            for (p, m) in self.inner.params_mut().into_iter().zip(stash) {
+                p.value = m;
+            }
+        }
+    }
+}
+
+impl Layer for Quantized {
+    fn kind(&self) -> LayerKind {
+        self.kind
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        match self.control.phase() {
+            Phase::Fp32 => self.inner.forward(input, train),
+            Phase::Calibrate => {
+                for p in self.inner.params() {
+                    self.w_scale.observe(p.value.data());
+                }
+                let y = self.inner.forward(input, train);
+                self.a_scale.observe(y.data());
+                y
+            }
+            Phase::Posit => {
+                // Fig. 3c tail: W_p = P(W). With an FP32 master, the posit
+                // view stays installed only through the backward pass (it
+                // must: E^{l-1} = W_pᵀ·E per Fig. 3b).
+                self.restore_master(); // defensive: view left from a
+                                       // forward without matching backward
+                self.quantize_weights_in_place();
+                let mut y = self.inner.forward(input, train);
+                if !train {
+                    // Inference has no backward; release the view now.
+                    self.restore_master();
+                }
+                // Fig. 3a: A^l → P(·) → A^l_p.
+                let e = self
+                    .a_scale
+                    .exp_or_lazy(y.data(), self.sigma, self.scaling);
+                scale::shifted_quantize_slice(
+                    y.data_mut(),
+                    &self.a_fmt,
+                    e,
+                    self.rounding,
+                    &mut self.sr_state,
+                );
+                y
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match self.control.phase() {
+            Phase::Fp32 => self.inner.backward(grad_out),
+            Phase::Calibrate => {
+                let g = self.inner.backward(grad_out);
+                self.e_scale.observe(g.data());
+                for p in self.inner.params() {
+                    self.g_scale.observe(p.grad.data());
+                }
+                g
+            }
+            Phase::Posit => {
+                let mut g = self.inner.backward(grad_out);
+                // The posit weight view has served forward + backward;
+                // restore the FP32 master before the optimizer step.
+                self.restore_master();
+                // Fig. 3b: ΔW → P(·) → ΔW_p (one accumulation per step).
+                let sigma = self.sigma;
+                let scaling = self.scaling;
+                let rounding = self.rounding;
+                let fmt = self.g_fmt;
+                let gscale = &mut self.g_scale;
+                let sr = &mut self.sr_state;
+                for p in self.inner.params_mut() {
+                    let e = gscale.exp_or_lazy(p.grad.data(), sigma, scaling);
+                    scale::shifted_quantize_slice(p.grad.data_mut(), &fmt, e, rounding, sr);
+                }
+                // Fig. 3b: E^{l-1} → P(·) → E^{l-1}_p.
+                let e = self.e_scale.exp_or_lazy(g.data(), sigma, scaling);
+                scale::shifted_quantize_slice(
+                    g.data_mut(),
+                    &self.e_fmt,
+                    e,
+                    rounding,
+                    &mut self.sr_state,
+                );
+                g
+            }
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.inner.params_mut()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.inner.params()
+    }
+}
+
+/// A [`LayerBuilder`] producing [`Quantized`]-wrapped CONV/BN/FC layers —
+/// the way the paper's `P(·)` reaches every layer of a nested model.
+pub struct QuantBuilder {
+    spec: QuantSpec,
+    control: QuantControl,
+}
+
+impl QuantBuilder {
+    /// Builder for a spec; all produced layers share the returned control.
+    pub fn new(spec: QuantSpec) -> QuantBuilder {
+        QuantBuilder {
+            spec,
+            control: QuantControl::new(),
+        }
+    }
+
+    /// The shared phase control.
+    pub fn control(&self) -> QuantControl {
+        self.control.clone()
+    }
+}
+
+impl LayerBuilder for QuantBuilder {
+    fn conv(
+        &mut self,
+        name: &str,
+        weight: Tensor,
+        bias: Option<Tensor>,
+        stride: usize,
+        pad: usize,
+    ) -> Box<dyn Layer> {
+        Box::new(Quantized::new(
+            Box::new(Conv2d::new(name, weight, bias, stride, pad)),
+            &self.spec,
+            self.control.clone(),
+        ))
+    }
+
+    fn bn(&mut self, name: &str, channels: usize) -> Box<dyn Layer> {
+        Box::new(Quantized::new(
+            Box::new(BatchNorm2d::new(name, channels)),
+            &self.spec,
+            self.control.clone(),
+        ))
+    }
+
+    fn linear(&mut self, name: &str, weight: Tensor, bias: Option<Tensor>) -> Box<dyn Layer> {
+        Box::new(Quantized::new(
+            Box::new(Linear::new(name, weight, bias)),
+            &self.spec,
+            self.control.clone(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QuantSpec;
+    use posit::Rounding;
+    use posit_tensor::rng::Prng;
+
+    fn small_conv() -> Box<dyn Layer> {
+        let mut rng = Prng::seed(1);
+        Box::new(Conv2d::new(
+            "conv1",
+            Tensor::rand_normal(&[2, 1, 3, 3], 0.0, 0.1, &mut rng),
+            None,
+            1,
+            1,
+        ))
+    }
+
+    #[test]
+    fn fp32_phase_is_transparent() {
+        let mut rng = Prng::seed(2);
+        let control = QuantControl::new();
+        let mut q = Quantized::new(small_conv(), &QuantSpec::cifar_paper(), control.clone());
+        let mut plain = small_conv();
+        let x = Tensor::rand_normal(&[1, 1, 5, 5], 0.0, 1.0, &mut rng);
+        assert_eq!(control.phase(), Phase::Fp32);
+        let a = q.forward(&x, true);
+        let b = plain.forward(&x, true);
+        assert_eq!(a.data(), b.data(), "warm-up must be exact FP32");
+        let ga = q.backward(&a);
+        let gb = plain.backward(&b);
+        assert_eq!(ga.data(), gb.data());
+    }
+
+    #[test]
+    fn posit_phase_quantizes_all_edges() {
+        let mut rng = Prng::seed(3);
+        let control = QuantControl::new();
+        let mut q = Quantized::new(small_conv(), &QuantSpec::cifar_paper(), control.clone());
+        control.set_phase(Phase::Posit);
+        let x = Tensor::rand_normal(&[1, 1, 5, 5], 0.0, 1.0, &mut rng);
+        let master_before: Vec<f32> = q.params()[0].value.data().to_vec();
+        let y = q.forward(&x, true);
+        // Every output activation must be representable as
+        // P(a / Sf)·Sf for the (8,1) format with the layer's frozen scale.
+        let se = q.scale_exp(TensorClass::Activation).unwrap();
+        let fmt = q.format(TensorClass::Activation);
+        for &v in y.data() {
+            let mut copy = [v];
+            let mut st = 0u64;
+            scale::shifted_quantize_slice(&mut copy, &fmt, se, Rounding::ToZero, &mut st);
+            assert_eq!(copy[0], v, "activation {v} not on the quantization grid");
+        }
+        // The weight *compute view* (installed between forward and
+        // backward) is quantized in place.
+        let wse = q.scale_exp(TensorClass::Weight).unwrap();
+        let wfmt = q.format(TensorClass::Weight);
+        for p in q.params() {
+            for &w in p.value.data() {
+                let mut copy = [w];
+                let mut st = 0u64;
+                scale::shifted_quantize_slice(&mut copy, &wfmt, wse, Rounding::ToZero, &mut st);
+                assert_eq!(copy[0], w, "weight {w} not on grid");
+            }
+        }
+        // Backward: errors and ΔW quantized too.
+        let g = q.backward(&y);
+        // After backward the FP32 master is restored for the optimizer.
+        assert_eq!(
+            q.params()[0].value.data(),
+            &master_before[..],
+            "FP32 master must be restored after backward"
+        );
+        let ese = q.scale_exp(TensorClass::Error).unwrap();
+        let efmt = q.format(TensorClass::Error);
+        for &v in g.data() {
+            let mut copy = [v];
+            let mut st = 0u64;
+            scale::shifted_quantize_slice(&mut copy, &efmt, ese, Rounding::ToZero, &mut st);
+            assert_eq!(copy[0], v, "error {v} not on grid");
+        }
+        assert!(q.scale_exp(TensorClass::WeightGrad).is_some());
+    }
+
+    #[test]
+    fn calibration_freezes_scales_for_posit_phase() {
+        let mut rng = Prng::seed(4);
+        let control = QuantControl::new();
+        let mut q = Quantized::new(small_conv(), &QuantSpec::cifar_paper(), control.clone());
+        control.set_phase(Phase::Calibrate);
+        // Feed activations with a known magnitude: center should track it.
+        let x = Tensor::rand_normal(&[1, 1, 5, 5], 0.0, 8.0, &mut rng);
+        let y = q.forward(&x, true);
+        q.backward(&y);
+        control.set_phase(Phase::Posit);
+        let _ = q.forward(&x, true);
+        let se = q.scale_exp(TensorClass::Activation).unwrap();
+        // Frozen from calibration (not lazily recomputed): the wrapper must
+        // have an exponent already set before the posit forward ran.
+        assert!(se != 0 || !q.scaling, "calibrated scale should be non-trivial");
+    }
+
+    #[test]
+    fn no_scaling_ablation_uses_unit_scale() {
+        let mut rng = Prng::seed(5);
+        let control = QuantControl::new();
+        let spec = QuantSpec::cifar_paper().without_scaling();
+        let mut q = Quantized::new(small_conv(), &spec, control.clone());
+        control.set_phase(Phase::Posit);
+        let x = Tensor::rand_normal(&[1, 1, 5, 5], 0.0, 1.0, &mut rng);
+        let y = q.forward(&x, true);
+        // With scaling off, outputs are plain P(x) values of (8,1).
+        let fmt = PositFormat::of(8, 1);
+        for &v in y.data() {
+            let q = posit::quant::quantize_f32(&fmt, v, Rounding::ToZero);
+            assert_eq!(q, v);
+        }
+    }
+
+    #[test]
+    fn posit_master_ablation_keeps_weights_on_grid() {
+        use crate::config::MasterWeights;
+        let mut rng = Prng::seed(7);
+        let control = QuantControl::new();
+        let spec = QuantSpec::cifar_paper().with_master(MasterWeights::Posit);
+        let mut q = Quantized::new(small_conv(), &spec, control.clone());
+        control.set_phase(Phase::Posit);
+        let x = Tensor::rand_normal(&[1, 1, 5, 5], 0.0, 1.0, &mut rng);
+        let y = q.forward(&x, true);
+        let _ = q.backward(&y);
+        // No restore under the posit-master policy: weights stay quantized.
+        let wse = q.scale_exp(TensorClass::Weight).unwrap();
+        let wfmt = q.format(TensorClass::Weight);
+        for p in q.params() {
+            for &w in p.value.data() {
+                let mut copy = [w];
+                let mut st = 0u64;
+                scale::shifted_quantize_slice(&mut copy, &wfmt, wse, Rounding::ToZero, &mut st);
+                assert_eq!(copy[0], w, "weight {w} left the grid");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_forward_releases_the_weight_view() {
+        let mut rng = Prng::seed(8);
+        let control = QuantControl::new();
+        let mut q = Quantized::new(small_conv(), &QuantSpec::cifar_paper(), control.clone());
+        control.set_phase(Phase::Posit);
+        let x = Tensor::rand_normal(&[1, 1, 5, 5], 0.0, 1.0, &mut rng);
+        let before: Vec<f32> = q.params()[0].value.data().to_vec();
+        let _ = q.forward(&x, false); // eval mode
+        assert_eq!(
+            q.params()[0].value.data(),
+            &before[..],
+            "eval must not leave the quantized view installed"
+        );
+    }
+
+    #[test]
+    fn quant_builder_wraps_models() {
+        use posit_models::resnet_scaled;
+        let mut rng = Prng::seed(6);
+        let mut qb = QuantBuilder::new(QuantSpec::cifar_paper());
+        let control = qb.control();
+        let mut net = resnet_scaled(&mut qb, 4, 10, &mut rng);
+        let x = Tensor::rand_normal(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        // FP32 phase: finite outputs.
+        let y = net.forward(&x, true);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        // Posit phase: still finite, and quantized logits differ from FP32.
+        control.set_phase(Phase::Posit);
+        let y2 = net.forward(&x, true);
+        assert!(y2.data().iter().all(|v| v.is_finite()));
+        assert_ne!(y.data(), y2.data());
+    }
+}

@@ -1,0 +1,164 @@
+//! Distribution-based shifting — Eq. 2 and Eq. 3 of the paper.
+//!
+//! ```text
+//! center = round(mean(log2 |x|)),   Sf = 2^(center + σ)        (Eq. 2)
+//! px = P(x / Sf) · Sf                                          (Eq. 3)
+//! ```
+//!
+//! `σ` (paper: 2) biases the shifted distribution toward magnitudes just
+//! *below* 1, because "the large values have more importance than small
+//! values" \[15\] — shifting down keeps the large tail inside the
+//! high-precision band of the posit code space.
+
+use posit::{PositFormat, Rounding};
+
+/// `center = round(mean(log2 |x|))` over the non-zero elements;
+/// `None` if the tensor has no non-zero elements.
+pub fn log2_center(xs: &[f32]) -> Option<i32> {
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for &x in xs {
+        if x != 0.0 && x.is_finite() {
+            sum += (x.abs() as f64).log2();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some((sum / count as f64).round() as i32)
+    }
+}
+
+/// The scale-factor exponent of Eq. 2: `log2(Sf) = center + σ`.
+pub fn scale_exp(xs: &[f32], sigma: i32) -> Option<i32> {
+    log2_center(xs).map(|c| c + sigma)
+}
+
+/// Apply Eq. 3 in place: `x ← P(x / Sf) · Sf` with `Sf = 2^scale_exp`.
+///
+/// `rand_state` drives stochastic rounding (ignored by deterministic
+/// modes); it is advanced once per element so streams are reproducible.
+pub fn shifted_quantize_slice(
+    xs: &mut [f32],
+    fmt: &PositFormat,
+    scale_exp: i32,
+    rounding: Rounding,
+    rand_state: &mut u64,
+) {
+    let sf = (scale_exp as f32).exp2();
+    let inv = (-scale_exp as f32).exp2();
+    match rounding {
+        Rounding::Stochastic => {
+            for x in xs.iter_mut() {
+                *rand_state = rand_state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let z = {
+                    let mut z = *rand_state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z ^ (z >> 31)
+                };
+                let bits = fmt.from_f64_stochastic((*x * inv) as f64, z);
+                *x = fmt.to_f32(bits) * sf;
+            }
+        }
+        mode => {
+            for x in xs.iter_mut() {
+                let bits = fmt.from_f64((*x * inv) as f64, mode);
+                *x = fmt.to_f32(bits) * sf;
+            }
+        }
+    }
+}
+
+/// Mean absolute quantization error of Eq. 3 over a slice (diagnostics and
+/// the A2 ablation).
+pub fn quantization_error(
+    xs: &[f32],
+    fmt: &PositFormat,
+    scale_exp: Option<i32>,
+    rounding: Rounding,
+) -> f64 {
+    let mut ys = xs.to_vec();
+    let mut state = 1u64;
+    shifted_quantize_slice(&mut ys, fmt, scale_exp.unwrap_or(0), rounding, &mut state);
+    xs.iter()
+        .zip(&ys)
+        .map(|(&a, &b)| (a as f64 - b as f64).abs())
+        .sum::<f64>()
+        / xs.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_of_power_of_two_cluster() {
+        // All values at magnitude 2^-6 → center = -6.
+        let xs = vec![0.015625f32, -0.015625, 0.015625];
+        assert_eq!(log2_center(&xs), Some(-6));
+        assert_eq!(scale_exp(&xs, 2), Some(-4));
+    }
+
+    #[test]
+    fn center_ignores_zeros() {
+        let xs = vec![0.0f32, 4.0, 0.0, 4.0];
+        assert_eq!(log2_center(&xs), Some(2));
+        assert_eq!(log2_center(&[0.0, 0.0]), None);
+        assert_eq!(log2_center(&[]), None);
+    }
+
+    #[test]
+    fn eq3_reduces_error_for_small_magnitudes() {
+        // A cluster around 2^-9 is far from (8,1)'s precision peak at 1.0;
+        // Eq. 2-3 shifting must reduce quantization error.
+        let fmt = PositFormat::of(8, 1);
+        let xs: Vec<f32> = (0..200)
+            .map(|i| (1.0 + (i as f32 * 0.002)) * 2f32.powi(-9) * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let se = scale_exp(&xs, 2).unwrap();
+        let err_shifted = quantization_error(&xs, &fmt, Some(se), Rounding::ToZero);
+        let err_plain = quantization_error(&xs, &fmt, Some(0), Rounding::ToZero);
+        assert!(
+            err_shifted < err_plain,
+            "shifted {err_shifted} !< plain {err_plain}"
+        );
+    }
+
+    #[test]
+    fn sigma_shifts_toward_small_magnitudes() {
+        // With σ = 2, the shifted distribution centres at 2^-2: values sit
+        // below 1.0 where large-magnitude entries retain precision.
+        let xs = vec![0.25f32; 64];
+        let se = scale_exp(&xs, 2).unwrap();
+        assert_eq!(se, 0); // center -2 + 2
+        let se0 = scale_exp(&xs, 0).unwrap();
+        assert_eq!(se0, -2);
+    }
+
+    #[test]
+    fn shifted_quantize_is_idempotent() {
+        let fmt = PositFormat::of(8, 1);
+        let mut xs: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 0.013).collect();
+        let mut state = 1;
+        shifted_quantize_slice(&mut xs, &fmt, -3, Rounding::ToZero, &mut state);
+        let once = xs.clone();
+        shifted_quantize_slice(&mut xs, &fmt, -3, Rounding::ToZero, &mut state);
+        assert_eq!(xs, once);
+    }
+
+    #[test]
+    fn stochastic_stream_is_reproducible() {
+        let fmt = PositFormat::of(8, 2);
+        let base: Vec<f32> = (0..64).map(|i| i as f32 * 0.037 - 1.0).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let mut s1 = 99u64;
+        let mut s2 = 99u64;
+        shifted_quantize_slice(&mut a, &fmt, 0, Rounding::Stochastic, &mut s1);
+        shifted_quantize_slice(&mut b, &fmt, 0, Rounding::Stochastic, &mut s2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,206 @@
+//! Histogram capture for the paper's Fig. 2 (weight distributions of CONV
+//! vs BN layers across training).
+
+use posit_nn::{Layer, Sequential};
+
+/// A fixed-bin histogram with summary statistics.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Left edge of the first bin.
+    pub lo: f32,
+    /// Right edge of the last bin.
+    pub hi: f32,
+    /// Bin counts.
+    pub counts: Vec<usize>,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Histogram {
+    /// Histogram of a slice over `[lo, hi]` with `bins` equal bins.
+    /// Out-of-range values clamp into the edge bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn build(xs: &[f32], lo: f32, hi: f32, bins: usize) -> Histogram {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo < hi, "invalid range [{lo}, {hi}]");
+        let mut counts = vec![0usize; bins];
+        let width = (hi - lo) / bins as f32;
+        let mut sum = 0.0f64;
+        let mut sq = 0.0f64;
+        for &x in xs {
+            let idx = (((x - lo) / width) as isize).clamp(0, bins as isize - 1) as usize;
+            counts[idx] += 1;
+            sum += x as f64;
+            sq += (x as f64) * (x as f64);
+        }
+        let n = xs.len();
+        let mean = if n == 0 { 0.0 } else { sum / n as f64 };
+        let var = if n == 0 { 0.0 } else { (sq / n as f64 - mean * mean).max(0.0) };
+        Histogram {
+            lo,
+            hi,
+            counts,
+            mean,
+            std: var.sqrt(),
+            n,
+        }
+    }
+
+    /// Symmetric histogram spanning `±max(|x|)`.
+    pub fn symmetric(xs: &[f32], bins: usize) -> Histogram {
+        let m = xs.iter().fold(0.0f32, |a, &b| a.max(b.abs())).max(1e-12);
+        Histogram::build(xs, -m, m, bins)
+    }
+
+    /// Histogram of `log2 |x|` over the non-zero entries — the "distribution"
+    /// panels (b)/(d) of Fig. 2, i.e. where the mass sits in the posit
+    /// code space.
+    pub fn log2_magnitude(xs: &[f32], bins: usize) -> Histogram {
+        let logs: Vec<f32> = xs
+            .iter()
+            .filter(|x| **x != 0.0 && x.is_finite())
+            .map(|x| x.abs().log2())
+            .collect();
+        if logs.is_empty() {
+            return Histogram::build(&[0.0], -1.0, 1.0, bins);
+        }
+        let lo = logs.iter().cloned().fold(f32::MAX, f32::min).floor();
+        let hi = (logs.iter().cloned().fold(f32::MIN, f32::max) + 1.0).ceil();
+        Histogram::build(&logs, lo, hi, bins)
+    }
+
+    /// Render as a fixed-width ASCII bar chart (for the fig2 binary).
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let bins = self.counts.len();
+        let step = (self.hi - self.lo) / bins as f32;
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat((c * width).div_ceil(max).min(width));
+            out.push_str(&format!(
+                "{:>8.3} | {:<w$} {}\n",
+                self.lo + step * (i as f32 + 0.5),
+                bar,
+                c,
+                w = width
+            ));
+        }
+        out
+    }
+}
+
+/// One captured snapshot: a named parameter at an epoch.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Parameter name (`"conv1.weight"` etc.).
+    pub param: String,
+    /// Epoch (0-based) at capture time.
+    pub epoch: usize,
+    /// Value histogram (Fig. 2 a/c).
+    pub values: Histogram,
+    /// log2-magnitude histogram (Fig. 2 b/d).
+    pub log_magnitudes: Histogram,
+}
+
+/// Collects snapshots of selected parameters across epochs.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramRecorder {
+    params: Vec<String>,
+    bins: usize,
+    snapshots: Vec<Snapshot>,
+}
+
+impl HistogramRecorder {
+    /// Track the given parameter names with `bins` bins per histogram.
+    pub fn new(params: Vec<String>, bins: usize) -> HistogramRecorder {
+        HistogramRecorder {
+            params,
+            bins: bins.max(1),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Capture all tracked parameters from a network.
+    pub fn capture(&mut self, net: &Sequential, epoch: usize) {
+        for p in net.params() {
+            if self.params.contains(&p.name) {
+                self.snapshots.push(Snapshot {
+                    param: p.name.clone(),
+                    epoch,
+                    values: Histogram::symmetric(p.value.data(), self.bins),
+                    log_magnitudes: Histogram::log2_magnitude(p.value.data(), self.bins),
+                });
+            }
+        }
+    }
+
+    /// All snapshots captured so far.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// Snapshots of one parameter, in capture order.
+    pub fn for_param(&self, name: &str) -> Vec<&Snapshot> {
+        self.snapshots.iter().filter(|s| s.param == name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts() {
+        let h = Histogram::build(&[0.1, 0.2, 0.9, -0.5, 2.0], -1.0, 1.0, 4);
+        assert_eq!(h.counts.iter().sum::<usize>(), 5);
+        assert_eq!(h.counts[3], 2, "0.9 and the clamped 2.0");
+        assert_eq!(h.n, 5);
+    }
+
+    #[test]
+    fn symmetric_is_centred() {
+        let h = Histogram::symmetric(&[-3.0, 1.0, 2.0], 6);
+        assert_eq!(h.lo, -3.0);
+        assert_eq!(h.hi, 3.0);
+    }
+
+    #[test]
+    fn log2_histogram_skips_zeros() {
+        let h = Histogram::log2_magnitude(&[0.0, 1.0, 4.0, 0.25], 8);
+        assert_eq!(h.counts.iter().sum::<usize>(), 3);
+        assert!(h.lo <= -2.0 && h.hi >= 2.0);
+    }
+
+    #[test]
+    fn render_is_nonempty_and_bounded() {
+        let h = Histogram::symmetric(&[0.5, -0.5, 0.1], 4);
+        let s = h.render(20);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn recorder_filters_by_name() {
+        use posit_models::{resnet_scaled, PlainBuilder};
+        use posit_tensor::rng::Prng;
+        let mut rng = Prng::seed(1);
+        let mut b = PlainBuilder;
+        let net = resnet_scaled(&mut b, 4, 10, &mut rng);
+        let mut rec = HistogramRecorder::new(
+            vec!["conv1.weight".into(), "layer4.0.bn1.weight".into()],
+            16,
+        );
+        rec.capture(&net, 0);
+        rec.capture(&net, 1);
+        assert_eq!(rec.snapshots().len(), 4);
+        assert_eq!(rec.for_param("conv1.weight").len(), 2);
+        assert_eq!(rec.for_param("nonexistent").len(), 0);
+    }
+}

@@ -1,0 +1,338 @@
+//! The training harness: warm-up → calibration → posit phases, per
+//! §III-B/III-C of the paper.
+
+use crate::config::TrainConfig;
+use crate::quantized::{Phase, QuantBuilder, QuantControl};
+use crate::scale;
+use crate::stats::HistogramRecorder;
+use posit_data::{DataLoader, Dataset};
+use posit_models::{resnet_scaled, PlainBuilder};
+use posit_nn::{metrics, Layer, Sequential, Sgd, SoftmaxCrossEntropy};
+use posit_tensor::rng::Prng;
+use posit_tensor::Tensor;
+
+/// Per-epoch record.
+#[derive(Debug, Clone)]
+pub struct EpochStats {
+    /// 0-based epoch.
+    pub epoch: usize,
+    /// Phase the epoch ran in.
+    pub phase: &'static str,
+    /// Learning rate used.
+    pub lr: f32,
+    /// Mean training loss.
+    pub train_loss: f64,
+    /// Training top-1 accuracy.
+    pub train_acc: f64,
+    /// Held-out top-1 accuracy.
+    pub test_acc: f64,
+}
+
+/// The outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Per-epoch records.
+    pub epochs: Vec<EpochStats>,
+    /// Accuracy after the final epoch.
+    pub final_test_acc: f64,
+    /// Best held-out accuracy over the run (the paper reports validate
+    /// top-1).
+    pub best_test_acc: f64,
+    /// Fig. 2 histogram snapshots (if requested).
+    pub histograms: HistogramRecorder,
+}
+
+/// Orchestrates one training run of a (possibly quantized) network.
+pub struct Trainer {
+    net: Sequential,
+    control: Option<QuantControl>,
+    input_scale_exp: Option<i32>,
+}
+
+impl Trainer {
+    /// Build the config's scaled ResNet, wrapped with the quantization
+    /// policy if one is configured.
+    pub fn resnet(config: &TrainConfig) -> Trainer {
+        let mut rng = Prng::seed(config.seed);
+        match &config.quant {
+            None => {
+                let mut b = PlainBuilder;
+                Trainer {
+                    net: resnet_scaled(&mut b, config.base_width, config.num_classes, &mut rng),
+                    control: None,
+                    input_scale_exp: None,
+                }
+            }
+            Some(spec) => {
+                let mut qb = QuantBuilder::new(spec.clone());
+                let control = qb.control();
+                Trainer {
+                    net: resnet_scaled(&mut qb, config.base_width, config.num_classes, &mut rng),
+                    control: Some(control),
+                    input_scale_exp: None,
+                }
+            }
+        }
+    }
+
+    /// Wrap an externally built network (the control must be the one its
+    /// quantized layers share, or `None` for FP32).
+    pub fn from_net(net: Sequential, control: Option<QuantControl>) -> Trainer {
+        Trainer {
+            net,
+            control,
+            input_scale_exp: None,
+        }
+    }
+
+    /// The network (e.g. for inspection after training).
+    pub fn net(&self) -> &Sequential {
+        &self.net
+    }
+
+    /// Mutable access to the network (diagnostics, custom eval loops).
+    pub fn net_mut(&mut self) -> &mut Sequential {
+        &mut self.net
+    }
+
+    /// Phase for a 0-based epoch under the config's warm-up policy: FP32
+    /// for epochs before the last warm-up epoch, Calibrate on the last
+    /// warm-up epoch, Posit afterwards.
+    pub fn phase_for_epoch(config: &TrainConfig, epoch: usize) -> Phase {
+        if config.quant.is_none() {
+            return Phase::Fp32;
+        }
+        let w = config.warmup_epochs;
+        if w == 0 || epoch >= w {
+            Phase::Posit
+        } else if epoch + 1 == w {
+            Phase::Calibrate
+        } else {
+            Phase::Fp32
+        }
+    }
+
+    fn phase_name(p: Phase) -> &'static str {
+        match p {
+            Phase::Fp32 => "fp32",
+            Phase::Calibrate => "calibrate",
+            Phase::Posit => "posit",
+        }
+    }
+
+    /// Quantize the input batch (the `A^0` edge of Fig. 3) when in the
+    /// posit phase, using the CONV activation format.
+    fn quantize_input(&mut self, x: &mut Tensor, config: &TrainConfig) {
+        let Some(spec) = &config.quant else { return };
+        let Some(control) = &self.control else { return };
+        if control.phase() != Phase::Posit {
+            return;
+        }
+        let exp = match self.input_scale_exp {
+            Some(e) => e,
+            None => {
+                let e = if spec.scaling {
+                    scale::scale_exp(x.data(), spec.sigma).unwrap_or(0)
+                } else {
+                    0
+                };
+                self.input_scale_exp = Some(e);
+                e
+            }
+        };
+        let mut state = spec.sr_seed ^ 0xA0;
+        scale::shifted_quantize_slice(
+            x.data_mut(),
+            &spec.conv.activation,
+            exp,
+            spec.rounding,
+            &mut state,
+        );
+    }
+
+    /// Evaluate top-1 accuracy on a dataset (eval mode; in the posit phase
+    /// this is posit inference).
+    pub fn evaluate(&mut self, data: &Dataset, config: &TrainConfig) -> f64 {
+        let mut loader = DataLoader::new(data, config.batch_size, false, 0);
+        let mut meter = metrics::Meter::new();
+        for (mut x, t) in loader.epoch() {
+            self.quantize_input(&mut x, config);
+            let y = self.net.forward(&x, false);
+            meter.update(metrics::top1_accuracy(&y, &t), t.len() as f64);
+        }
+        meter.mean()
+    }
+
+    /// Run the full schedule and return the report.
+    pub fn run(&mut self, train: &Dataset, test: &Dataset, config: &TrainConfig) -> TrainReport {
+        self.run_with(train, test, config, |_| {})
+    }
+
+    /// Like [`Trainer::run`], invoking `on_epoch` after each epoch (live
+    /// progress reporting for the experiment binaries).
+    pub fn run_with(
+        &mut self,
+        train: &Dataset,
+        test: &Dataset,
+        config: &TrainConfig,
+        mut on_epoch: impl FnMut(&EpochStats),
+    ) -> TrainReport {
+        let loss_fn = SoftmaxCrossEntropy::new();
+        let mut opt = Sgd::new(config.schedule.lr_at(0))
+            .momentum(config.momentum)
+            .weight_decay(config.weight_decay);
+        let mut loader = DataLoader::new(train, config.batch_size, true, config.seed ^ 0xDA7A);
+        let mut recorder = HistogramRecorder::new(config.hist_params.clone(), 32);
+        let mut report = TrainReport {
+            epochs: Vec::new(),
+            final_test_acc: 0.0,
+            best_test_acc: 0.0,
+            histograms: HistogramRecorder::default(),
+        };
+        for epoch in 0..config.epochs {
+            let phase = Self::phase_for_epoch(config, epoch);
+            if let Some(c) = &self.control {
+                c.set_phase(phase);
+            }
+            let lr = config.schedule.lr_at(epoch);
+            opt.set_lr(lr);
+            let mut loss_meter = metrics::Meter::new();
+            let mut acc_meter = metrics::Meter::new();
+            for (mut x, t) in loader.epoch() {
+                self.quantize_input(&mut x, config);
+                let y = self.net.forward(&x, true);
+                let (l, mut g) = loss_fn.forward(&y, &t);
+                if config.loss_scale != 1.0 {
+                    g.scale(config.loss_scale);
+                }
+                opt.zero_grad(&mut self.net.params_mut());
+                self.net.backward(&g);
+                if config.loss_scale != 1.0 {
+                    let inv = 1.0 / config.loss_scale;
+                    for p in self.net.params_mut() {
+                        p.grad.scale(inv);
+                    }
+                }
+                opt.step(&mut self.net.params_mut());
+                loss_meter.update(l, t.len() as f64);
+                acc_meter.update(metrics::top1_accuracy(&y, &t), t.len() as f64);
+            }
+            let test_acc = self.evaluate(test, config);
+            if config.hist_epochs.contains(&epoch) {
+                recorder.capture(&self.net, epoch);
+            }
+            let stats = EpochStats {
+                epoch,
+                phase: Self::phase_name(phase),
+                lr,
+                train_loss: loss_meter.mean(),
+                train_acc: acc_meter.mean(),
+                test_acc,
+            };
+            on_epoch(&stats);
+            report.epochs.push(stats);
+            report.best_test_acc = report.best_test_acc.max(test_acc);
+            report.final_test_acc = test_acc;
+        }
+        report.histograms = recorder;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QuantSpec;
+    use posit_data::SyntheticCifar;
+
+    fn tiny_data() -> (Dataset, Dataset) {
+        let gen = SyntheticCifar::new(8, 11);
+        (gen.train(320, 1), gen.test(80, 1))
+    }
+
+    #[test]
+    fn phase_schedule() {
+        let cfg = TrainConfig::cifar_scaled(4, 10).with_quant(QuantSpec::cifar_paper());
+        assert_eq!(Trainer::phase_for_epoch(&cfg, 0), Phase::Calibrate); // warmup=1
+        assert_eq!(Trainer::phase_for_epoch(&cfg, 1), Phase::Posit);
+        let cfg5 = cfg.clone().with_warmup(3);
+        assert_eq!(Trainer::phase_for_epoch(&cfg5, 0), Phase::Fp32);
+        assert_eq!(Trainer::phase_for_epoch(&cfg5, 1), Phase::Fp32);
+        assert_eq!(Trainer::phase_for_epoch(&cfg5, 2), Phase::Calibrate);
+        assert_eq!(Trainer::phase_for_epoch(&cfg5, 3), Phase::Posit);
+        let cfg0 = cfg.clone().with_warmup(0);
+        assert_eq!(Trainer::phase_for_epoch(&cfg0, 0), Phase::Posit);
+        let fp32 = TrainConfig::cifar_scaled(4, 10);
+        assert_eq!(Trainer::phase_for_epoch(&fp32, 5), Phase::Fp32);
+    }
+
+    #[test]
+    fn fp32_baseline_learns_tiny_task() {
+        let (train, test) = tiny_data();
+        let config = TrainConfig::cifar_scaled(4, 8).with_seed(3);
+        let mut t = Trainer::resnet(&config);
+        let report = t.run(&train, &test, &config);
+        assert_eq!(report.epochs.len(), 8);
+        assert!(
+            report.final_test_acc > 0.4,
+            "fp32 baseline too weak (chance is 0.1): {:?}",
+            report.epochs.last()
+        );
+        // Loss must come down.
+        assert!(report.epochs.last().unwrap().train_loss < report.epochs[0].train_loss);
+    }
+
+    #[test]
+    fn posit_training_tracks_fp32_on_tiny_task() {
+        let (train, test) = tiny_data();
+        let base_cfg = TrainConfig::cifar_scaled(4, 6).with_seed(3);
+        let mut fp32 = Trainer::resnet(&base_cfg);
+        let fp32_report = fp32.run(&train, &test, &base_cfg);
+
+        let posit_cfg = base_cfg.clone().with_quant(QuantSpec::cifar_paper());
+        let mut posit = Trainer::resnet(&posit_cfg);
+        let posit_report = posit.run(&train, &test, &posit_cfg);
+
+        // The paper's headline: no (material) accuracy loss.
+        assert!(
+            posit_report.final_test_acc >= fp32_report.final_test_acc - 0.15,
+            "posit {:.3} vs fp32 {:.3}",
+            posit_report.final_test_acc,
+            fp32_report.final_test_acc,
+        );
+        // Phases recorded as expected.
+        assert_eq!(posit_report.epochs[0].phase, "calibrate");
+        assert_eq!(posit_report.epochs[1].phase, "posit");
+    }
+
+    #[test]
+    fn loss_scaling_is_neutral_in_fp32() {
+        // With FP32 compute, multiplying the loss gradient by S and the
+        // weight gradients by 1/S is an exact no-op up to f32 rounding:
+        // final accuracy must match the unscaled run closely.
+        let (train, test) = tiny_data();
+        let base = TrainConfig::cifar_scaled(4, 3).with_seed(9);
+        let scaled = base.clone().with_loss_scale(1024.0);
+        let r1 = Trainer::resnet(&base).run(&train, &test, &base);
+        let r2 = Trainer::resnet(&scaled).run(&train, &test, &scaled);
+        assert!(
+            (r1.final_test_acc - r2.final_test_acc).abs() < 0.08,
+            "{} vs {}",
+            r1.final_test_acc,
+            r2.final_test_acc
+        );
+    }
+
+    #[test]
+    fn histograms_captured_at_requested_epochs() {
+        let (train, test) = tiny_data();
+        let config = TrainConfig::cifar_scaled(4, 2)
+            .with_seed(5)
+            .with_histograms(vec![0, 1]);
+        let mut t = Trainer::resnet(&config);
+        let report = t.run(&train, &test, &config);
+        // two params tracked × two epochs
+        assert_eq!(report.histograms.snapshots().len(), 4);
+        assert_eq!(report.histograms.for_param("conv1.weight").len(), 2);
+    }
+}

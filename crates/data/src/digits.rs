@@ -1,0 +1,95 @@
+//! Procedurally rasterised digit images (an MNIST-like stand-in built from
+//! a 5×7 bitmap font with jitter and noise).
+
+use crate::loader::Dataset;
+use posit_tensor::rng::Prng;
+use posit_tensor::Tensor;
+
+/// The classic 5×7 seven-segment-style font, row-major bit masks.
+const FONT: [[u8; 7]; 10] = [
+    [0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110], // 0
+    [0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110], // 1
+    [0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111], // 2
+    [0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110], // 3
+    [0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010], // 4
+    [0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110], // 5
+    [0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110], // 6
+    [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000], // 7
+    [0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110], // 8
+    [0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100], // 9
+];
+
+/// Generate `n` single-channel `side × side` digit images with random
+/// placement, per-stroke intensity jitter and Gaussian noise.
+///
+/// # Panics
+///
+/// Panics if `side < 9` (the glyph plus a margin must fit).
+pub fn generate(n: usize, side: usize, noise: f32, seed: u64) -> Dataset {
+    assert!(side >= 9, "side must be at least 9, got {side}");
+    let mut rng = Prng::seed(seed);
+    let mut data = vec![0.0f32; n * side * side];
+    let mut labels = Vec::with_capacity(n);
+    let max_dx = side - 5;
+    let max_dy = side - 7;
+    for i in 0..n {
+        let digit = i % 10;
+        labels.push(digit);
+        let ox = rng.below(max_dx);
+        let oy = rng.below(max_dy);
+        let gain = rng.uniform(0.7, 1.3);
+        let img = &mut data[i * side * side..(i + 1) * side * side];
+        for (row, mask) in FONT[digit].iter().enumerate() {
+            for col in 0..5 {
+                if (mask >> (4 - col)) & 1 == 1 {
+                    img[(oy + row) * side + ox + col] = gain;
+                }
+            }
+        }
+        for v in img.iter_mut() {
+            *v += noise * rng.standard_normal();
+        }
+    }
+    Dataset::new(Tensor::from_vec(data, &[n, 1, side, side]), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_labels() {
+        let d = generate(50, 12, 0.1, 1);
+        assert_eq!(d.features().shape(), &[50, 1, 12, 12]);
+        assert_eq!(d.num_classes(), 10);
+        assert_eq!(d.labels()[13], 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate(10, 12, 0.1, 5).features(),
+            generate(10, 12, 0.1, 5).features()
+        );
+        assert_ne!(
+            generate(10, 12, 0.1, 5).features(),
+            generate(10, 12, 0.1, 6).features()
+        );
+    }
+
+    #[test]
+    fn digits_have_ink() {
+        let d = generate(10, 12, 0.0, 2);
+        for i in 0..10 {
+            let img = &d.features().data()[i * 144..(i + 1) * 144];
+            let ink: f32 = img.iter().sum();
+            assert!(ink > 5.0, "digit {i} has too little ink: {ink}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "side must be at least 9")]
+    fn rejects_tiny_canvas() {
+        let _ = generate(1, 8, 0.0, 0);
+    }
+}

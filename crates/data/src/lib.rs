@@ -1,0 +1,27 @@
+//! Synthetic dataset generators and batching loaders.
+//!
+//! The paper trains on CIFAR-10 and ImageNet; neither is available (nor
+//! tractable) in this CPU reproduction, so this crate provides seeded
+//! class-conditional generators that exercise the same code paths
+//! (multi-class image classification through conv/BN/residual networks)
+//! with controllable difficulty — see DESIGN.md §2 for the substitution
+//! rationale:
+//!
+//! * [`SyntheticCifar`] — 10-class, 3-channel images built from smooth
+//!   class prototypes + augmentation-style jitter + noise;
+//! * [`SyntheticImageNet`] — the harder variant: more classes, multiple
+//!   prototypes per class (intra-class variance), stronger jitter;
+//! * [`digits`] — procedurally rasterised 5×7-font digits;
+//! * [`toy`] — two-spirals and Gaussian blobs for MLP examples;
+//! * [`Dataset`] / [`DataLoader`] — deterministic shuffling/batching.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digits;
+mod loader;
+mod synthetic;
+pub mod toy;
+
+pub use loader::{DataLoader, Dataset};
+pub use synthetic::{SyntheticCifar, SyntheticImageNet};

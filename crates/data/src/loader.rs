@@ -1,0 +1,211 @@
+//! In-memory datasets and the batching loader.
+
+use posit_tensor::rng::Prng;
+use posit_tensor::Tensor;
+
+/// An in-memory labelled dataset: features `[N, …]` plus integer labels.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    features: Tensor,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Bundle features and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leading dimension disagrees with `labels.len()`.
+    pub fn new(features: Tensor, labels: Vec<usize>) -> Dataset {
+        assert_eq!(
+            features.shape()[0],
+            labels.len(),
+            "feature/label count mismatch"
+        );
+        Dataset { features, labels }
+    }
+
+    /// Sample count.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The feature tensor.
+    pub fn features(&self) -> &Tensor {
+        &self.features
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of distinct classes (max label + 1).
+    pub fn num_classes(&self) -> usize {
+        self.labels.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Per-sample feature element count.
+    pub fn sample_len(&self) -> usize {
+        if self.is_empty() {
+            0
+        } else {
+            self.features.len() / self.len()
+        }
+    }
+
+    /// Copy out a batch by sample indices, keeping the per-sample shape.
+    pub fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let stride = self.sample_len();
+        let mut shape = self.features.shape().to_vec();
+        shape[0] = indices.len();
+        let mut data = Vec::with_capacity(indices.len() * stride);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(&self.features.data()[i * stride..(i + 1) * stride]);
+            labels.push(self.labels[i]);
+        }
+        (Tensor::from_vec(data, &shape), labels)
+    }
+
+    /// Split into `(first k, rest)` without shuffling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > len`.
+    pub fn split_at(&self, k: usize) -> (Dataset, Dataset) {
+        assert!(k <= self.len(), "split beyond dataset");
+        let idx_a: Vec<usize> = (0..k).collect();
+        let idx_b: Vec<usize> = (k..self.len()).collect();
+        let (fa, la) = self.gather(&idx_a);
+        let (fb, lb) = self.gather(&idx_b);
+        (Dataset::new(fa, la), Dataset::new(fb, lb))
+    }
+}
+
+/// Deterministic shuffling batch iterator over a [`Dataset`].
+#[derive(Debug)]
+pub struct DataLoader<'a> {
+    dataset: &'a Dataset,
+    batch_size: usize,
+    shuffle: bool,
+    rng: Prng,
+    drop_last: bool,
+}
+
+impl<'a> DataLoader<'a> {
+    /// A loader over `dataset`; shuffling is seeded and reproducible.
+    pub fn new(dataset: &'a Dataset, batch_size: usize, shuffle: bool, seed: u64) -> DataLoader<'a> {
+        assert!(batch_size > 0, "batch_size must be positive");
+        DataLoader {
+            dataset,
+            batch_size,
+            shuffle,
+            rng: Prng::seed(seed),
+            drop_last: false,
+        }
+    }
+
+    /// Drop the final short batch (builder style).
+    pub fn drop_last(mut self) -> DataLoader<'a> {
+        self.drop_last = true;
+        self
+    }
+
+    /// Number of batches per epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        if self.drop_last {
+            self.dataset.len() / self.batch_size
+        } else {
+            self.dataset.len().div_ceil(self.batch_size)
+        }
+    }
+
+    /// Produce one epoch of `(features, labels)` batches.
+    pub fn epoch(&mut self) -> Vec<(Tensor, Vec<usize>)> {
+        let mut order: Vec<usize> = (0..self.dataset.len()).collect();
+        if self.shuffle {
+            self.rng.shuffle(&mut order);
+        }
+        let mut out = Vec::new();
+        for chunk in order.chunks(self.batch_size) {
+            if self.drop_last && chunk.len() < self.batch_size {
+                break;
+            }
+            out.push(self.dataset.gather(chunk));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset(n: usize) -> Dataset {
+        let feats = Tensor::from_vec((0..n * 2).map(|i| i as f32).collect(), &[n, 2]);
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(feats, labels)
+    }
+
+    #[test]
+    fn dataset_basics() {
+        let d = toy_dataset(7);
+        assert_eq!(d.len(), 7);
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.sample_len(), 2);
+        let (f, l) = d.gather(&[2, 0]);
+        assert_eq!(f.shape(), &[2, 2]);
+        assert_eq!(f.data(), &[4.0, 5.0, 0.0, 1.0]);
+        assert_eq!(l, vec![2, 0]);
+    }
+
+    #[test]
+    fn split() {
+        let d = toy_dataset(10);
+        let (a, b) = d.split_at(6);
+        assert_eq!(a.len(), 6);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.features().data()[0], 12.0);
+    }
+
+    #[test]
+    fn loader_covers_all_samples() {
+        let d = toy_dataset(10);
+        let mut loader = DataLoader::new(&d, 3, true, 1);
+        assert_eq!(loader.batches_per_epoch(), 4);
+        let batches = loader.epoch();
+        let mut seen: Vec<f32> = batches
+            .iter()
+            .flat_map(|(f, _)| f.data().iter().copied().step_by(2))
+            .collect();
+        seen.sort_by(f32::total_cmp);
+        assert_eq!(seen, (0..10).map(|i| (2 * i) as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn loader_is_seeded() {
+        let d = toy_dataset(16);
+        let b1 = DataLoader::new(&d, 4, true, 9).epoch();
+        let b2 = DataLoader::new(&d, 4, true, 9).epoch();
+        let b3 = DataLoader::new(&d, 4, true, 10).epoch();
+        assert_eq!(b1[0].1, b2[0].1);
+        assert_ne!(
+            b1.iter().map(|(_, l)| l.clone()).collect::<Vec<_>>(),
+            b3.iter().map(|(_, l)| l.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn drop_last() {
+        let d = toy_dataset(10);
+        let mut loader = DataLoader::new(&d, 4, false, 0).drop_last();
+        assert_eq!(loader.batches_per_epoch(), 2);
+        assert_eq!(loader.epoch().len(), 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Low-dimensional toy datasets for MLP examples and fast tests.
+
+use crate::loader::Dataset;
+use posit_tensor::rng::Prng;
+use posit_tensor::Tensor;
+
+/// The classic two-spirals problem: `n` points, two classes, features
+/// `[N, 2]`. Not linearly separable — a good smoke test for nonlinear
+/// training.
+pub fn two_spirals(n: usize, noise: f32, seed: u64) -> Dataset {
+    let mut rng = Prng::seed(seed);
+    let mut data = Vec::with_capacity(n * 2);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % 2;
+        let t = (i / 2) as f32 / (n / 2).max(1) as f32;
+        let r = 0.2 + 0.8 * t;
+        let angle = 3.0 * std::f32::consts::TAU * t / 2.0 + class as f32 * std::f32::consts::PI;
+        data.push(r * angle.cos() + noise * rng.standard_normal());
+        data.push(r * angle.sin() + noise * rng.standard_normal());
+        labels.push(class);
+    }
+    Dataset::new(Tensor::from_vec(data, &[n, 2]), labels)
+}
+
+/// Isotropic Gaussian blobs: `classes` clusters in `dim` dimensions with
+/// centres on a seeded random sphere of radius `separation`.
+pub fn gaussian_blobs(
+    n: usize,
+    classes: usize,
+    dim: usize,
+    separation: f32,
+    seed: u64,
+) -> Dataset {
+    let mut rng = Prng::seed(seed);
+    let centres: Vec<Vec<f32>> = (0..classes)
+        .map(|_| {
+            let v: Vec<f32> = (0..dim).map(|_| rng.standard_normal()).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+            v.into_iter().map(|x| x / norm * separation).collect()
+        })
+        .collect();
+    let mut data = Vec::with_capacity(n * dim);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        for d in 0..dim {
+            data.push(centres[class][d] + rng.standard_normal());
+        }
+        labels.push(class);
+    }
+    Dataset::new(Tensor::from_vec(data, &[n, dim]), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spirals_shape() {
+        let d = two_spirals(100, 0.05, 1);
+        assert_eq!(d.features().shape(), &[100, 2]);
+        assert_eq!(d.num_classes(), 2);
+        // points stay in a bounded disc
+        assert!(d.features().max_abs() < 2.0);
+    }
+
+    #[test]
+    fn blobs_are_separated() {
+        let d = gaussian_blobs(300, 3, 4, 8.0, 2);
+        assert_eq!(d.num_classes(), 3);
+        // nearest-centre classification should be nearly perfect at sep=8
+        let mut centres = vec![vec![0.0f64; 4]; 3];
+        let mut counts = [0usize; 3];
+        for i in 0..d.len() {
+            let c = d.labels()[i];
+            counts[c] += 1;
+            for j in 0..4 {
+                centres[c][j] += d.features().data()[i * 4 + j] as f64;
+            }
+        }
+        for (c, centre) in centres.iter_mut().enumerate() {
+            for v in centre.iter_mut() {
+                *v /= counts[c] as f64;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..d.len() {
+            let x: Vec<f64> = d.features().data()[i * 4..(i + 1) * 4]
+                .iter()
+                .map(|&v| v as f64)
+                .collect();
+            let best = (0..3)
+                .min_by(|&a, &b| {
+                    let da: f64 = x.iter().zip(&centres[a]).map(|(p, q)| (p - q).powi(2)).sum();
+                    let db: f64 = x.iter().zip(&centres[b]).map(|(p, q)| (p - q).powi(2)).sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if best == d.labels()[i] {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / d.len() as f64 > 0.95);
+    }
+}

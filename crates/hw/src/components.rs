@@ -1,0 +1,244 @@
+//! Primitive hardware blocks: functional models plus structural cost
+//! formulas (gate counts and logic levels).
+//!
+//! Every block exposes the pure function it computes and a
+//! [`BlockCost`] describing its synthesized footprint in unit gates and
+//! FO4-equivalent logic levels. The formulas are standard textbook
+//! estimates (documented per block) — the point is that *relative* costs
+//! between architectures follow from structure.
+
+/// Structural cost of a combinational block: logic depth (FO4-equivalent
+/// levels on the critical path) and total gate count (NAND2 equivalents).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BlockCost {
+    /// Critical-path depth in FO4-equivalent levels.
+    pub levels: f64,
+    /// Size in NAND2-equivalent gates.
+    pub gates: f64,
+}
+
+impl BlockCost {
+    /// A zero-cost wire.
+    pub const WIRE: BlockCost = BlockCost {
+        levels: 0.0,
+        gates: 0.0,
+    };
+
+    /// Two blocks in series: depths add, gates add.
+    pub fn then(self, next: BlockCost) -> BlockCost {
+        BlockCost {
+            levels: self.levels + next.levels,
+            gates: self.gates + next.gates,
+        }
+    }
+
+    /// Two blocks in parallel: depth is the max, gates add.
+    pub fn alongside(self, other: BlockCost) -> BlockCost {
+        BlockCost {
+            levels: self.levels.max(other.levels),
+            gates: self.gates + other.gates,
+        }
+    }
+}
+
+fn log2_ceil(w: u32) -> f64 {
+    (w.max(2) as f64).log2().ceil()
+}
+
+/// Leading-one detector over `w` bits: priority tree, depth `⌈log2 w⌉`,
+/// about `2w` gates.
+///
+/// Functionally: the number of leading zeros before the first 1 (i.e. the
+/// count the decoder needs when the regime run is zeros).
+pub fn lod(bits: u64, width: u32) -> u32 {
+    debug_assert!(width <= 64);
+    let aligned = bits << (64 - width);
+    aligned.leading_zeros().min(width)
+}
+
+/// [`BlockCost`] of a `w`-bit LOD.
+pub fn lod_cost(w: u32) -> BlockCost {
+    BlockCost {
+        levels: log2_ceil(w),
+        gates: 2.0 * w as f64,
+    }
+}
+
+/// Leading-zero detector over `w` bits: the count of leading ones before
+/// the first 0 (the decoder's positive-regime run length). Same structure
+/// and cost as the LOD, on inverted inputs.
+pub fn lzd(bits: u64, width: u32) -> u32 {
+    debug_assert!(width <= 64);
+    let aligned = bits << (64 - width);
+    aligned.leading_ones().min(width)
+}
+
+/// [`BlockCost`] of a `w`-bit LZD.
+pub fn lzd_cost(w: u32) -> BlockCost {
+    lod_cost(w)
+}
+
+/// Logarithmic barrel shifter, left: `⌈log2 smax⌉` mux stages, each `w`
+/// 2:1 muxes (≈2.5 gates per mux).
+pub fn shl(bits: u64, width: u32, amount: u32) -> u64 {
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    if amount >= width {
+        0
+    } else {
+        (bits << amount) & mask
+    }
+}
+
+/// Logarithmic barrel shifter, right.
+pub fn shr(bits: u64, width: u32, amount: u32) -> u64 {
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    if amount >= width {
+        0
+    } else {
+        (bits & mask) >> amount
+    }
+}
+
+/// [`BlockCost`] of a `w`-bit barrel shifter with maximum shift `smax`.
+pub fn shifter_cost(w: u32, smax: u32) -> BlockCost {
+    let stages = log2_ceil(smax.max(2));
+    BlockCost {
+        levels: stages,
+        gates: 2.5 * w as f64 * stages,
+    }
+}
+
+/// Carry-lookahead adder: depth `⌈log2 w⌉ + 2`, about `6w` gates.
+pub fn cla_cost(w: u32) -> BlockCost {
+    BlockCost {
+        levels: log2_ceil(w) + 2.0,
+        gates: 6.0 * w as f64,
+    }
+}
+
+/// Incrementer (the "+1" adder the optimized circuits remove): ripple of
+/// half-adders with lookahead, depth `⌈log2 w⌉ + 1`, about `3w` gates.
+pub fn incrementer_cost(w: u32) -> BlockCost {
+    BlockCost {
+        levels: log2_ceil(w) + 1.0,
+        gates: 3.0 * w as f64,
+    }
+}
+
+/// 2:1 mux over `w` bits: one level, ≈2.5 gates/bit.
+pub fn mux_cost(w: u32) -> BlockCost {
+    BlockCost {
+        levels: 1.0,
+        gates: 2.5 * w as f64,
+    }
+}
+
+/// Two's-complement absolute value (XOR row + incrementer + mux).
+pub fn absval(x: i64, width: u32) -> u64 {
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    (x.unsigned_abs()) & mask
+}
+
+/// [`BlockCost`] of a `w`-bit absolute-value block.
+pub fn absval_cost(w: u32) -> BlockCost {
+    BlockCost {
+        levels: 1.0,
+        gates: w as f64,
+    }
+    .then(incrementer_cost(w))
+    .then(mux_cost(w))
+}
+
+/// Two's-complement negation over `n` bits (inverter row + incrementer).
+pub fn negate(bits: u64, width: u32) -> u64 {
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    bits.wrapping_neg() & mask
+}
+
+/// [`BlockCost`] of an `n`-bit two's-complement negator with bypass mux
+/// (the sign-handling stage of decoder/encoder).
+pub fn negate_cost(w: u32) -> BlockCost {
+    BlockCost {
+        levels: 1.0,
+        gates: w as f64,
+    }
+    .then(incrementer_cost(w))
+    .then(mux_cost(w))
+}
+
+/// Wallace-tree multiplier on `w`-bit significands: depth
+/// `2⌈log2 w⌉ + 4` (tree + final CLA), about `4.5 w²` gates.
+pub fn multiplier_cost(w: u32) -> BlockCost {
+    BlockCost {
+        levels: 2.0 * log2_ceil(w) + 4.0,
+        gates: 4.5 * (w as f64) * (w as f64),
+    }
+}
+
+/// D flip-flop row: no combinational depth, ≈4 gate-equivalents per bit.
+pub fn register_cost(w: u32) -> BlockCost {
+    BlockCost {
+        levels: 0.0,
+        gates: 4.0 * w as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lod_lzd_basics() {
+        assert_eq!(lod(0b0001_0000, 8), 3);
+        assert_eq!(lod(0b1000_0000, 8), 0);
+        assert_eq!(lod(0, 8), 8);
+        assert_eq!(lzd(0b1110_0000, 8), 3);
+        assert_eq!(lzd(0b0111_1111, 8), 0);
+        assert_eq!(lzd(0xFF, 8), 8);
+    }
+
+    #[test]
+    fn shifters() {
+        assert_eq!(shl(0b0011, 4, 1), 0b0110);
+        assert_eq!(shl(0b1001, 4, 1), 0b0010); // drops the top bit
+        assert_eq!(shl(0b1001, 4, 7), 0);
+        assert_eq!(shr(0b1000, 4, 3), 0b0001);
+        assert_eq!(shr(0b1000, 4, 9), 0);
+    }
+
+    #[test]
+    fn absval_and_negate() {
+        assert_eq!(absval(-5, 8), 5);
+        assert_eq!(absval(5, 8), 5);
+        assert_eq!(negate(0b0000_0101, 8), 0b1111_1011);
+        assert_eq!(negate(negate(42, 8), 8), 42);
+    }
+
+    #[test]
+    fn cost_composition() {
+        let a = BlockCost { levels: 3.0, gates: 10.0 };
+        let b = BlockCost { levels: 2.0, gates: 20.0 };
+        let s = a.then(b);
+        assert_eq!(s.levels, 5.0);
+        assert_eq!(s.gates, 30.0);
+        let p = a.alongside(b);
+        assert_eq!(p.levels, 3.0);
+        assert_eq!(p.gates, 30.0);
+    }
+
+    #[test]
+    fn cost_monotone_in_width() {
+        for w in 4..32 {
+            assert!(lod_cost(w + 1).gates >= lod_cost(w).gates);
+            assert!(shifter_cost(w + 1, w + 1).gates >= shifter_cost(w, w).gates);
+            assert!(multiplier_cost(w + 1).gates > multiplier_cost(w).gates);
+        }
+    }
+
+    #[test]
+    fn incrementer_shallower_than_cla() {
+        for w in 4..48 {
+            assert!(incrementer_cost(w).levels <= cla_cost(w).levels);
+        }
+    }
+}

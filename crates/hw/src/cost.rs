@@ -1,0 +1,475 @@
+//! The synthesis cost model and the Table IV / Table V generators.
+//!
+//! The paper synthesised Verilog with Design Compiler on TSMC 28 nm at a
+//! 750 MHz timing constraint. We substitute an auditable unit-gate model
+//! (see DESIGN.md §2): every circuit reports FO4-equivalent logic levels
+//! and NAND2-equivalent gate counts from its structure
+//! ([`crate::components::BlockCost`]), and [`CostModel`] converts those to
+//! ns / mW / µm² with three documented constants. The constants are
+//! calibrated once against the paper's FP32 MAC row (2.52 mW, 4322 µm²);
+//! every *comparison* (original vs optimized, posit vs FP32) then follows
+//! from circuit structure alone.
+
+use crate::components::BlockCost;
+use crate::decoder::{DecoderOptimized, DecoderOriginal, PositDecoder};
+use crate::encoder::{EncoderOptimized, EncoderOriginal, PositEncoder};
+use crate::fpmac::Fp32Mac;
+use crate::mac::{Generation, PositMac};
+use posit::PositFormat;
+use std::fmt;
+
+/// Synthesized cost of a block: critical-path delay, dynamic power at the
+/// 750 MHz constraint, and cell area.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cost {
+    /// Critical-path delay in nanoseconds.
+    pub delay_ns: f64,
+    /// Power in milliwatts at 750 MHz.
+    pub power_mw: f64,
+    /// Area in µm².
+    pub area_um2: f64,
+}
+
+impl Cost {
+    /// Maximum single-cycle clock frequency this combinational block
+    /// supports (MHz).
+    pub fn max_frequency_mhz(&self) -> f64 {
+        if self.delay_ns <= 0.0 {
+            f64::INFINITY
+        } else {
+            1000.0 / self.delay_ns
+        }
+    }
+
+    /// Whether the block closes timing at the paper's 750 MHz constraint
+    /// (Table V's synthesis condition) in a single cycle.
+    pub fn meets_750mhz(&self) -> bool {
+        self.max_frequency_mhz() >= 750.0
+    }
+}
+
+/// Unit-gate technology constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Delay per FO4-equivalent logic level (ns).
+    pub ns_per_level: f64,
+    /// Dynamic power per NAND2-equivalent gate at 750 MHz (mW).
+    pub mw_per_gate: f64,
+    /// Area per NAND2-equivalent gate including routing overhead (µm²).
+    pub um2_per_gate: f64,
+}
+
+impl CostModel {
+    /// 28 nm-class constants, calibrated so the FP32 MAC reference lands at
+    /// the paper's 2.52 mW / 4322 µm² (Table V, first row):
+    ///
+    /// * FO4+wire delay at a tight constraint ≈ 22 ps;
+    /// * NAND2 power at 750 MHz, typical activity ≈ 0.47 µW;
+    /// * NAND2 area with routing ≈ 0.81 µm².
+    pub fn tsmc28() -> CostModel {
+        CostModel {
+            ns_per_level: 0.022,
+            mw_per_gate: 4.7e-4,
+            um2_per_gate: 0.81,
+        }
+    }
+
+    /// Convert a structural block cost into physical units.
+    pub fn cost(&self, block: BlockCost) -> Cost {
+        Cost {
+            delay_ns: block.levels * self.ns_per_level,
+            power_mw: block.gates * self.mw_per_gate,
+            area_um2: block.gates * self.um2_per_gate,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::tsmc28()
+    }
+}
+
+/// Full synthesis record for one named circuit.
+#[derive(Debug, Clone)]
+pub struct SynthesisReport {
+    /// Circuit name (e.g. `"decoder-optimized posit(16,1)"`).
+    pub name: String,
+    /// Structural cost (levels, gates).
+    pub block: BlockCost,
+    /// Physical cost under the model.
+    pub cost: Cost,
+}
+
+impl SynthesisReport {
+    /// Build a report from a named block under a model.
+    pub fn new(name: impl Into<String>, block: BlockCost, model: &CostModel) -> SynthesisReport {
+        SynthesisReport {
+            name: name.into(),
+            block,
+            cost: model.cost(block),
+        }
+    }
+}
+
+impl fmt::Display for SynthesisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<36} {:>6.1} levels {:>8.0} gates {:>7.3} ns {:>7.3} mW {:>8.0} um^2",
+            self.name, self.block.levels, self.block.gates, self.cost.delay_ns,
+            self.cost.power_mw, self.cost.area_um2
+        )
+    }
+}
+
+/// One format column of Table IV: encoder/decoder delay for the baseline
+/// \[6\] circuits and the optimized ones, plus power/area of the optimized
+/// circuits (the rows the paper reports for "Ours").
+#[derive(Debug, Clone)]
+pub struct Table4Column {
+    /// The posit format of this column.
+    pub format: PositFormat,
+    /// Baseline (\[6\], Figs. 5a/6a) encoder delay (ns).
+    pub encoder_delay_orig: f64,
+    /// Baseline decoder delay (ns).
+    pub decoder_delay_orig: f64,
+    /// Optimized (Figs. 5b/6b) encoder delay (ns).
+    pub encoder_delay_opt: f64,
+    /// Optimized decoder delay (ns).
+    pub decoder_delay_opt: f64,
+    /// Optimized encoder power (mW).
+    pub encoder_power_opt: f64,
+    /// Optimized decoder power (mW).
+    pub decoder_power_opt: f64,
+    /// Optimized encoder area (µm²).
+    pub encoder_area_opt: f64,
+    /// Optimized decoder area (µm²).
+    pub decoder_area_opt: f64,
+}
+
+impl Table4Column {
+    /// Encoder speedup `1 - opt/orig` (the paper reports 25–35 %).
+    pub fn encoder_speedup(&self) -> f64 {
+        1.0 - self.encoder_delay_opt / self.encoder_delay_orig
+    }
+
+    /// Decoder speedup `1 - opt/orig` (the paper reports 15–30 %).
+    pub fn decoder_speedup(&self) -> f64 {
+        1.0 - self.decoder_delay_opt / self.decoder_delay_orig
+    }
+}
+
+/// The paper's Table IV formats: posit(8,0), posit(16,1), posit(32,3).
+pub const TABLE4_FORMATS: [(u32, u32); 3] = [(8, 0), (16, 1), (32, 3)];
+
+/// Generate Table IV under a cost model.
+pub fn table4(model: &CostModel) -> Vec<Table4Column> {
+    TABLE4_FORMATS
+        .iter()
+        .map(|&(n, es)| {
+            let fmt = PositFormat::of(n, es);
+            // Standalone synthesis of the codec blocks carries I/O
+            // registers (the paper evaluates them as separate units).
+            let regs = crate::components::register_cost(2 * n);
+            let dec_o = model.cost(DecoderOriginal::new(fmt).block_cost().then(regs));
+            let dec_p = model.cost(DecoderOptimized::new(fmt).block_cost().then(regs));
+            let enc_o = model.cost(EncoderOriginal::new(fmt).block_cost().then(regs));
+            let enc_p = model.cost(EncoderOptimized::new(fmt).block_cost().then(regs));
+            Table4Column {
+                format: fmt,
+                encoder_delay_orig: enc_o.delay_ns,
+                decoder_delay_orig: dec_o.delay_ns,
+                encoder_delay_opt: enc_p.delay_ns,
+                decoder_delay_opt: dec_p.delay_ns,
+                encoder_power_opt: enc_p.power_mw,
+                decoder_power_opt: dec_p.power_mw,
+                encoder_area_opt: enc_p.area_um2,
+                decoder_area_opt: dec_p.area_um2,
+            }
+        })
+        .collect()
+}
+
+/// Render Table IV in the paper's layout.
+pub fn format_table4(model: &CostModel) -> String {
+    let cols = table4(model);
+    let mut s = String::new();
+    s.push_str("TABLE IV: DELAY COMPARISON OF ENCODER AND DECODER WITH [6]\n");
+    s.push_str(&format!(
+        "{:<24}{:>12}{:>12}{:>12}\n",
+        "", "posit(8,0)", "posit(16,1)", "posit(32,3)"
+    ));
+    let row = |label: &str, vals: [f64; 3], digits: usize| {
+        format!(
+            "{:<24}{:>12.d$}{:>12.d$}{:>12.d$}\n",
+            label,
+            vals[0],
+            vals[1],
+            vals[2],
+            d = digits
+        )
+    };
+    s.push_str(&row(
+        "[6] delay(ns) encoder",
+        [cols[0].encoder_delay_orig, cols[1].encoder_delay_orig, cols[2].encoder_delay_orig],
+        2,
+    ));
+    s.push_str(&row(
+        "[6] delay(ns) decoder",
+        [cols[0].decoder_delay_orig, cols[1].decoder_delay_orig, cols[2].decoder_delay_orig],
+        2,
+    ));
+    s.push_str(&row(
+        "Ours delay(ns) encoder",
+        [cols[0].encoder_delay_opt, cols[1].encoder_delay_opt, cols[2].encoder_delay_opt],
+        2,
+    ));
+    s.push_str(&row(
+        "Ours delay(ns) decoder",
+        [cols[0].decoder_delay_opt, cols[1].decoder_delay_opt, cols[2].decoder_delay_opt],
+        2,
+    ));
+    s.push_str(&row(
+        "Ours power(mW) encoder",
+        [cols[0].encoder_power_opt, cols[1].encoder_power_opt, cols[2].encoder_power_opt],
+        2,
+    ));
+    s.push_str(&row(
+        "Ours power(mW) decoder",
+        [cols[0].decoder_power_opt, cols[1].decoder_power_opt, cols[2].decoder_power_opt],
+        2,
+    ));
+    s.push_str(&row(
+        "Ours area(um2) encoder",
+        [cols[0].encoder_area_opt, cols[1].encoder_area_opt, cols[2].encoder_area_opt],
+        0,
+    ));
+    s.push_str(&row(
+        "Ours area(um2) decoder",
+        [cols[0].decoder_area_opt, cols[1].decoder_area_opt, cols[2].decoder_area_opt],
+        0,
+    ));
+    s.push_str(&format!(
+        "speedup: encoder {:.0}%-{:.0}%, decoder {:.0}%-{:.0}% (paper: 25%-35% / 15%-30%)\n",
+        cols.iter().map(|c| c.encoder_speedup()).fold(f64::MAX, f64::min) * 100.0,
+        cols.iter().map(|c| c.encoder_speedup()).fold(f64::MIN, f64::max) * 100.0,
+        cols.iter().map(|c| c.decoder_speedup()).fold(f64::MAX, f64::min) * 100.0,
+        cols.iter().map(|c| c.decoder_speedup()).fold(f64::MIN, f64::max) * 100.0,
+    ));
+    s
+}
+
+/// One row of Table V: a MAC and its power/area at the 750 MHz constraint.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// `"FP32"` or `"posit(n,es)"`.
+    pub name: String,
+    /// Power (mW).
+    pub power_mw: f64,
+    /// Area (µm²).
+    pub area_um2: f64,
+}
+
+/// The paper's Table V formats.
+pub const TABLE5_FORMATS: [(u32, u32); 4] = [(8, 1), (8, 2), (16, 1), (16, 2)];
+
+/// Generate Table V (FP32 baseline + the four posit MACs) under a model.
+pub fn table5(model: &CostModel) -> Vec<Table5Row> {
+    let fp32 = model.cost(Fp32Mac::new().block_cost());
+    let mut rows = vec![Table5Row {
+        name: "FP32".to_string(),
+        power_mw: fp32.power_mw,
+        area_um2: fp32.area_um2,
+    }];
+    for &(n, es) in &TABLE5_FORMATS {
+        let fmt = PositFormat::of(n, es);
+        let c = model.cost(PositMac::with_generation(fmt, Generation::Optimized).block_cost());
+        rows.push(Table5Row {
+            name: format!("posit({n},{es})"),
+            power_mw: c.power_mw,
+            area_um2: c.area_um2,
+        });
+    }
+    rows
+}
+
+/// Render Table V in the paper's layout, with the reduction percentages the
+/// paper quotes in the text (power −22…−83 %, area −6…−76 %).
+pub fn format_table5(model: &CostModel) -> String {
+    let rows = table5(model);
+    let base = &rows[0];
+    let mut s = String::new();
+    s.push_str("TABLE V: COMPARISON OF POSIT MAC WITH FP32\n");
+    s.push_str(&format!(
+        "{:<14}{:>12}{:>12}{:>10}{:>10}\n",
+        "", "Power(mW)", "Area(um2)", "dPower", "dArea"
+    ));
+    for r in &rows {
+        let dp = 100.0 * (1.0 - r.power_mw / base.power_mw);
+        let da = 100.0 * (1.0 - r.area_um2 / base.area_um2);
+        s.push_str(&format!(
+            "{:<14}{:>12.2}{:>12.0}{:>9.0}%{:>9.0}%\n",
+            r.name, r.power_mw, r.area_um2, dp, da
+        ));
+    }
+    s
+}
+
+/// Every individual circuit report (for the `mac_hardware` example and the
+/// bench binaries).
+pub fn full_inventory(model: &CostModel) -> Vec<SynthesisReport> {
+    let mut out = Vec::new();
+    for &(n, es) in TABLE4_FORMATS.iter().chain(TABLE5_FORMATS.iter()) {
+        let fmt = PositFormat::of(n, es);
+        out.push(SynthesisReport::new(
+            format!("decoder-original  {fmt}"),
+            DecoderOriginal::new(fmt).block_cost(),
+            model,
+        ));
+        out.push(SynthesisReport::new(
+            format!("decoder-optimized {fmt}"),
+            DecoderOptimized::new(fmt).block_cost(),
+            model,
+        ));
+        out.push(SynthesisReport::new(
+            format!("encoder-original  {fmt}"),
+            EncoderOriginal::new(fmt).block_cost(),
+            model,
+        ));
+        out.push(SynthesisReport::new(
+            format!("encoder-optimized {fmt}"),
+            EncoderOptimized::new(fmt).block_cost(),
+            model,
+        ));
+        out.push(SynthesisReport::new(
+            format!("posit-mac         {fmt}"),
+            PositMac::new(fmt).block_cost(),
+            model,
+        ));
+    }
+    out.push(SynthesisReport::new(
+        "fp32-mac",
+        Fp32Mac::new().block_cost(),
+        model,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_shape_matches_paper() {
+        let cols = table4(&CostModel::tsmc28());
+        assert_eq!(cols.len(), 3);
+        for c in &cols {
+            // Optimized circuits must be faster; the paper's claimed bands
+            // are 25-35% (encoder) and 15-30% (decoder) — accept a slightly
+            // wider modelling band.
+            assert!(
+                (0.10..=0.60).contains(&c.encoder_speedup()),
+                "{}: encoder speedup {:.2}",
+                c.format,
+                c.encoder_speedup()
+            );
+            assert!(
+                (0.10..=0.60).contains(&c.decoder_speedup()),
+                "{}: decoder speedup {:.2}",
+                c.format,
+                c.decoder_speedup()
+            );
+        }
+        // Delay grows with word width, as in the paper's columns.
+        assert!(cols[0].decoder_delay_opt < cols[1].decoder_delay_opt);
+        assert!(cols[1].decoder_delay_opt < cols[2].decoder_delay_opt);
+        assert!(cols[0].encoder_delay_orig < cols[1].encoder_delay_orig);
+        assert!(cols[1].encoder_delay_orig < cols[2].encoder_delay_orig);
+    }
+
+    #[test]
+    fn table4_absolute_delays_near_paper() {
+        // The paper's measured values, (8,0) (16,1) (32,3):
+        let paper_enc_orig = [0.20, 0.29, 0.35];
+        let paper_dec_orig = [0.20, 0.28, 0.34];
+        let paper_enc_opt = [0.13, 0.18, 0.23];
+        let paper_dec_opt = [0.14, 0.21, 0.29];
+        let cols = table4(&CostModel::tsmc28());
+        for (i, c) in cols.iter().enumerate() {
+            // Modelled absolute numbers should land within ~50% of measured
+            // silicon — they are estimates, the *ordering* is structural.
+            let close = |got: f64, want: f64| (got / want - 1.0).abs() < 0.5;
+            assert!(close(c.encoder_delay_orig, paper_enc_orig[i]), "{}: enc orig {} vs {}", c.format, c.encoder_delay_orig, paper_enc_orig[i]);
+            assert!(close(c.decoder_delay_orig, paper_dec_orig[i]), "{}: dec orig {} vs {}", c.format, c.decoder_delay_orig, paper_dec_orig[i]);
+            assert!(close(c.encoder_delay_opt, paper_enc_opt[i]), "{}: enc opt {} vs {}", c.format, c.encoder_delay_opt, paper_enc_opt[i]);
+            assert!(close(c.decoder_delay_opt, paper_dec_opt[i]), "{}: dec opt {} vs {}", c.format, c.decoder_delay_opt, paper_dec_opt[i]);
+        }
+    }
+
+    #[test]
+    fn table5_shape_matches_paper() {
+        let rows = table5(&CostModel::tsmc28());
+        assert_eq!(rows.len(), 5);
+        let fp32 = &rows[0];
+        // Every posit MAC is cheaper than FP32 (paper: power -22..-83%,
+        // area -6..-76%).
+        for r in &rows[1..] {
+            assert!(r.power_mw < fp32.power_mw, "{}", r.name);
+            assert!(r.area_um2 < fp32.area_um2, "{}", r.name);
+        }
+        // Ordering within the posit family: es=2 cheaper than es=1 at the
+        // same width; 8-bit far cheaper than 16-bit.
+        let by_name = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        assert!(by_name("posit(8,2)").power_mw < by_name("posit(8,1)").power_mw);
+        assert!(by_name("posit(16,2)").power_mw < by_name("posit(16,1)").power_mw);
+        assert!(by_name("posit(8,1)").power_mw < by_name("posit(16,2)").power_mw);
+        // The 8-bit MACs cut power by more than half (paper: -83%).
+        assert!(by_name("posit(8,1)").power_mw < 0.5 * fp32.power_mw);
+        // 16-bit area saving is modest (paper: -6% / -10%).
+        assert!(by_name("posit(16,1)").area_um2 > 0.5 * fp32.area_um2);
+    }
+
+    #[test]
+    fn macs_close_timing_at_750mhz() {
+        // Table V is synthesized at a 750 MHz constraint; every modelled
+        // MAC must meet it (single combinational cycle, 1.33 ns budget).
+        let model = CostModel::tsmc28();
+        for &(n, es) in &TABLE5_FORMATS {
+            let fmt = PositFormat::of(n, es);
+            let c = model.cost(PositMac::new(fmt).block_cost());
+            assert!(
+                c.meets_750mhz(),
+                "posit({n},{es}) MAC: {:.0} MHz",
+                c.max_frequency_mhz()
+            );
+        }
+        let fp32 = model.cost(Fp32Mac::new().block_cost());
+        assert!(fp32.meets_750mhz(), "{:.0} MHz", fp32.max_frequency_mhz());
+    }
+
+    #[test]
+    fn fp32_calibration_anchor() {
+        // The model is calibrated against the paper's FP32 MAC row.
+        let model = CostModel::tsmc28();
+        let fp32 = model.cost(Fp32Mac::new().block_cost());
+        assert!((fp32.power_mw / 2.52 - 1.0).abs() < 0.25, "power {}", fp32.power_mw);
+        assert!((fp32.area_um2 / 4322.0 - 1.0).abs() < 0.25, "area {}", fp32.area_um2);
+    }
+
+    #[test]
+    fn reports_render() {
+        let model = CostModel::tsmc28();
+        let t4 = format_table4(&model);
+        assert!(t4.contains("posit(16,1)"));
+        assert!(t4.contains("speedup"));
+        let t5 = format_table5(&model);
+        assert!(t5.contains("FP32"));
+        assert!(t5.contains("posit(8,2)"));
+        let inv = full_inventory(&model);
+        assert!(inv.len() > 20);
+        for r in &inv {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

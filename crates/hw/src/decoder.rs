@@ -1,0 +1,312 @@
+//! The posit→FP decoders of Fig. 5: original (a) and optimized (b).
+//!
+//! Both extract `(sign, effective exponent, mantissa)` from a posit code
+//! word. The *original* computes the regime width with a `+1` incrementer
+//! between the LOD/LZD and a single left shifter — the incrementer sits on
+//! the critical path. The *optimized* removes it by duplicating the left
+//! shifter (one per regime polarity) and absorbing the `+1` into a fixed
+//! one-bit wire shift, then selecting with a mux.
+
+use crate::components as comp;
+use crate::components::BlockCost;
+use posit::PositFormat;
+
+/// The unpacked output of a posit decoder: the `(s, exp, f)` bundle fed to
+/// the FP MAC in Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedFields {
+    /// Zero-detect wire.
+    pub is_zero: bool,
+    /// NaR-detect wire.
+    pub is_nar: bool,
+    /// Sign bit.
+    pub negative: bool,
+    /// Effective exponent (`regime * 2^es + exponent field`, the paper's
+    /// `effective_exp`).
+    pub scale: i32,
+    /// Mantissa field, left-aligned at bit 63 (implicit leading one NOT
+    /// included).
+    pub frac: u64,
+}
+
+impl DecodedFields {
+    /// Render the decoded bundle as an `f64` (for tests and diagnostics).
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero {
+            return 0.0;
+        }
+        if self.is_nar {
+            return f64::NAN;
+        }
+        let m = 1.0 + (self.frac as f64) / 18_446_744_073_709_551_616.0;
+        let v = m * (self.scale as f64).exp2();
+        if self.negative {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+/// Common interface of the two decoder architectures.
+pub trait PositDecoder {
+    /// The posit format this instance is generated for.
+    fn format(&self) -> PositFormat;
+
+    /// Decode one code word.
+    fn decode(&self, bits: u64) -> DecodedFields;
+
+    /// Structural cost of the combinational logic.
+    fn block_cost(&self) -> BlockCost;
+}
+
+/// Shared front end: special-case detects, sign extraction, two's-complement
+/// magnitude, and the (n-1)-bit body left-aligned in a u64.
+fn front_end(fmt: &PositFormat, bits: u64) -> (bool, bool, bool, u64) {
+    let n = fmt.n();
+    let bits = bits & fmt.mask();
+    let is_zero = bits == 0;
+    let is_nar = bits == fmt.nar_bits();
+    let negative = fmt.is_negative(bits) && !is_nar;
+    let mag = if negative { fmt.negate(bits) } else { bits };
+    let body = (mag & (fmt.mask() >> 1)) << (65 - n);
+    (is_zero, is_nar, negative, body)
+}
+
+/// Back end shared by both architectures: split the post-shift stream into
+/// exponent and mantissa and package the effective exponent.
+fn back_end(fmt: &PositFormat, k: i32, shifted: u64) -> (i32, u64) {
+    let es = fmt.es();
+    let e = if es == 0 {
+        0
+    } else {
+        (shifted >> (64 - es)) as i32
+    };
+    let frac = if es >= 64 { 0 } else { shifted << es };
+    // "the regime value and posit exponent value are packaged into effective
+    // exponent value" — a concatenation {k, e}, no adder.
+    ((k << es) | e, frac)
+}
+
+/// Fig. 5(a): LOD/LZD → mux → `+1` incrementer → single left shifter.
+#[derive(Debug, Clone, Copy)]
+pub struct DecoderOriginal {
+    fmt: PositFormat,
+}
+
+impl DecoderOriginal {
+    /// Generate the decoder for a format.
+    pub fn new(fmt: PositFormat) -> DecoderOriginal {
+        DecoderOriginal { fmt }
+    }
+}
+
+impl PositDecoder for DecoderOriginal {
+    fn format(&self) -> PositFormat {
+        self.fmt
+    }
+
+    fn decode(&self, bits: u64) -> DecodedFields {
+        let (is_zero, is_nar, negative, body) = front_end(&self.fmt, bits);
+        let w = self.fmt.n() - 1;
+        let first = body >> 63 == 1;
+        // LOD and LZD race in parallel; the first regime bit selects.
+        let run_lod = comp::lod(body >> (64 - w), w);
+        let run_lzd = comp::lzd(body >> (64 - w), w);
+        let run = if first { run_lzd } else { run_lod };
+        let k = if first {
+            run as i32 - 1
+        } else {
+            -(run as i32)
+        };
+        // The critical +1: regime width = run + 1 through an incrementer.
+        let shift = run + 1;
+        let shifted = comp::shl(body >> (64 - w), w, shift.min(w)) << (64 - w);
+        let (scale, frac) = back_end(&self.fmt, k, shifted);
+        DecodedFields {
+            is_zero,
+            is_nar,
+            negative,
+            scale,
+            frac,
+        }
+    }
+
+    fn block_cost(&self) -> BlockCost {
+        let n = self.fmt.n();
+        let w = n - 1;
+        let cw = 32 - (w.leading_zeros()); // count width in bits
+        // sign-invert row (carry folded downstream)
+        BlockCost {
+            levels: 1.0,
+            gates: n as f64,
+        }
+        // LOD ∥ LZD
+        .then(comp::lod_cost(w).alongside(comp::lzd_cost(w)))
+        // count mux
+        .then(comp::mux_cost(cw))
+        // the +1 incrementer (the bottleneck this paper removes)
+        .then(comp::incrementer_cost(cw))
+        // single left shifter
+        .then(comp::shifter_cost(w, w))
+    }
+}
+
+/// Fig. 5(b): LOD→Left Shifter1 ∥ LZD→Left Shifter2→`<<1` → mux.
+///
+/// The fixed `<<1` is wiring (zero levels); the `+1` adder is gone. Costs
+/// one extra shifter and a (wider, data-path) mux — the classic
+/// area-for-delay trade.
+#[derive(Debug, Clone, Copy)]
+pub struct DecoderOptimized {
+    fmt: PositFormat,
+}
+
+impl DecoderOptimized {
+    /// Generate the decoder for a format.
+    pub fn new(fmt: PositFormat) -> DecoderOptimized {
+        DecoderOptimized { fmt }
+    }
+}
+
+impl PositDecoder for DecoderOptimized {
+    fn format(&self) -> PositFormat {
+        self.fmt
+    }
+
+    fn decode(&self, bits: u64) -> DecodedFields {
+        let (is_zero, is_nar, negative, body) = front_end(&self.fmt, bits);
+        let w = self.fmt.n() - 1;
+        let raw = body >> (64 - w);
+        let first = raw >> (w - 1) == 1;
+        // The fixed "<<1" is a wire shift on the shifter input; each path
+        // shifts only by its detector's raw count — no adder anywhere.
+        let pre = comp::shl(raw, w, 1);
+        let run_lod = comp::lod(raw, w);
+        let run_lzd = comp::lzd(raw, w);
+        let path_neg = comp::shl(pre, w, run_lod.min(w)); // Left Shifter1
+        let path_pos = comp::shl(pre, w, run_lzd.min(w)); // Left Shifter2 (+wire <<1)
+        let (k, shifted_raw) = if first {
+            (run_lzd as i32 - 1, path_pos)
+        } else {
+            (-(run_lod as i32), path_neg)
+        };
+        let shifted = shifted_raw << (64 - w);
+        let (scale, frac) = back_end(&self.fmt, k, shifted);
+        DecodedFields {
+            is_zero,
+            is_nar,
+            negative,
+            scale,
+            frac,
+        }
+    }
+
+    fn block_cost(&self) -> BlockCost {
+        let n = self.fmt.n();
+        let w = n - 1;
+        // sign-invert row
+        BlockCost {
+            levels: 1.0,
+            gates: n as f64,
+        }
+        // two detector→shifter chains race in parallel
+        .then(
+            comp::lod_cost(w)
+                .then(comp::shifter_cost(w, w))
+                .alongside(comp::lzd_cost(w).then(comp::shifter_cost(w, w))),
+        )
+        // data-path mux (w bits wide, vs the count mux of the original)
+        .then(comp::mux_cost(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posit::PositValue;
+
+    fn check_against_software(fmt: PositFormat, code: u64, d: &DecodedFields) {
+        match fmt.decode(code) {
+            PositValue::Zero => assert!(d.is_zero, "{code:#x} zero flag"),
+            PositValue::NaR => assert!(d.is_nar, "{code:#x} NaR flag"),
+            PositValue::Finite(sw) => {
+                assert!(!d.is_zero && !d.is_nar, "{code:#x} flags");
+                assert_eq!(d.negative, sw.sign.is_negative(), "{code:#x} sign");
+                assert_eq!(d.scale, sw.scale, "{code:#x} scale");
+                assert_eq!(d.frac, sw.frac, "{code:#x} frac");
+            }
+        }
+    }
+
+    #[test]
+    fn original_matches_software_exhaustive_8bit() {
+        for es in 0..=2 {
+            let fmt = PositFormat::of(8, es);
+            let dec = DecoderOriginal::new(fmt);
+            for code in 0..fmt.code_count() {
+                check_against_software(fmt, code, &dec.decode(code));
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_matches_software_exhaustive_8bit() {
+        for es in 0..=2 {
+            let fmt = PositFormat::of(8, es);
+            let dec = DecoderOptimized::new(fmt);
+            for code in 0..fmt.code_count() {
+                check_against_software(fmt, code, &dec.decode(code));
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_equals_original_16_and_32_sampled() {
+        for (n, es) in [(16u32, 1u32), (16, 2), (32, 3)] {
+            let fmt = PositFormat::of(n, es);
+            let orig = DecoderOriginal::new(fmt);
+            let opt = DecoderOptimized::new(fmt);
+            let mut code = 0u64;
+            for i in 0..200_000u64 {
+                code = code
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407 + i);
+                let c = code & fmt.mask();
+                assert_eq!(orig.decode(c), opt.decode(c), "(n={n},es={es}) {c:#x}");
+            }
+            // And the structured corners.
+            for c in [0, fmt.nar_bits(), fmt.one_bits(), fmt.maxpos_bits(), fmt.minpos_bits(), fmt.negate(fmt.one_bits())] {
+                assert_eq!(orig.decode(c), opt.decode(c));
+                check_against_software(fmt, c, &opt.decode(c));
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_is_faster_and_bigger() {
+        for (n, es) in [(8u32, 0u32), (16, 1), (32, 3)] {
+            let fmt = PositFormat::of(n, es);
+            let orig = DecoderOriginal::new(fmt).block_cost();
+            let opt = DecoderOptimized::new(fmt).block_cost();
+            assert!(
+                opt.levels < orig.levels,
+                "(n={n}) opt {} !< orig {}",
+                opt.levels,
+                orig.levels
+            );
+            assert!(opt.gates > orig.gates, "area trade-off expected");
+        }
+    }
+
+    #[test]
+    fn decoded_fields_to_f64() {
+        let fmt = PositFormat::of(16, 1);
+        let dec = DecoderOptimized::new(fmt);
+        for v in [1.0, -2.5, 0.0, 1024.0, -1.0 / 64.0] {
+            let code = fmt.from_f64(v, posit::Rounding::NearestEven);
+            assert_eq!(dec.decode(code).to_f64(), v);
+        }
+        assert!(dec.decode(fmt.nar_bits()).to_f64().is_nan());
+    }
+}

@@ -1,0 +1,176 @@
+//! Extension (the paper's §V future work): an *exact* posit MAC that
+//! accumulates into a quire register instead of re-encoding every cycle.
+//!
+//! The paper notes that the decode→FP-MAC→encode organisation of Fig. 4
+//! "may be not the optimal method". The EMAC (exact multiply-and-
+//! accumulate, as in Deep Positron \[12\]) decodes `a` and `b`, forms the
+//! exact product, and adds it into a wide fixed-point register; the
+//! encoder runs once per *dot product* rather than once per cycle. The
+//! trade: no per-cycle rounding (bit-exact sums) and a shorter per-cycle
+//! critical path, against a wide accumulator register.
+
+use crate::components as comp;
+use crate::components::BlockCost;
+use crate::encoder::exp_width;
+use crate::fpmac::FpMac;
+use posit::{PositFormat, Quire, Rounding};
+
+/// A quire-backed exact MAC unit for one posit format.
+#[derive(Debug, Clone)]
+pub struct ExactMac {
+    fmt: PositFormat,
+    quire: Quire,
+}
+
+impl ExactMac {
+    /// A unit with a cleared quire register.
+    pub fn new(fmt: PositFormat) -> ExactMac {
+        ExactMac {
+            fmt,
+            quire: Quire::new(fmt),
+        }
+    }
+
+    /// The posit format.
+    pub fn format(&self) -> PositFormat {
+        self.fmt
+    }
+
+    /// Width of the quire register in bits.
+    pub fn quire_bits(&self) -> usize {
+        self.quire.width_bits()
+    }
+
+    /// Clear the accumulator.
+    pub fn clear(&mut self) {
+        self.quire.clear();
+    }
+
+    /// One MAC cycle: `quire += a * b` (exact, no rounding).
+    pub fn step(&mut self, a: u64, b: u64) {
+        self.quire.add_product(a, b);
+    }
+
+    /// Read out the accumulated value as a posit (the single rounding).
+    pub fn read(&self, rounding: Rounding) -> u64 {
+        self.quire.to_posit(rounding, 0)
+    }
+
+    /// A whole dot product with one final rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn dot(&mut self, xs: &[u64], ys: &[u64], rounding: Rounding) -> u64 {
+        assert_eq!(xs.len(), ys.len(), "dot length mismatch");
+        self.clear();
+        for (&a, &b) in xs.iter().zip(ys) {
+            self.step(a, b);
+        }
+        self.read(rounding)
+    }
+
+    /// Per-cycle structural cost: two decoders, the significand multiplier,
+    /// the product-placement shifter and the wide quire adder + register.
+    /// (The final normalization/encode is amortized over the dot length and
+    /// excluded, as in EMAC literature.)
+    pub fn cycle_cost(&self) -> BlockCost {
+        let wm = FpMac::new(self.fmt).sig_width();
+        let wq = self.quire_bits() as u32;
+        let dec = crate::decoder::DecoderOptimized::new(self.fmt);
+        use crate::decoder::PositDecoder;
+        let dec_cost = dec.block_cost();
+        dec_cost
+            .alongside(dec_cost)
+            .then(comp::multiplier_cost(wm))
+            // position the 2wm-bit product within the quire
+            .then(comp::shifter_cost(2 * wm + 2, 2 * exp_width(&self.fmt)))
+            // carry-save accumulate across the quire width
+            .then(BlockCost {
+                levels: 2.0, // CSA is O(1) depth per cycle
+                gates: 5.0 * wq as f64,
+            })
+            .then(comp::register_cost(wq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::PositMacUnit;
+    use posit::quire;
+
+    fn p(fmt: &PositFormat, x: f64) -> u64 {
+        fmt.from_f64(x, Rounding::NearestEven)
+    }
+
+    #[test]
+    fn matches_software_quire() {
+        let fmt = PositFormat::of(16, 1);
+        let xs: Vec<u64> = [1.5, -2.25, 8.0, 0.125].iter().map(|&v| p(&fmt, v)).collect();
+        let ys: Vec<u64> = [2.0, 4.0, -0.5, 64.0].iter().map(|&v| p(&fmt, v)).collect();
+        let mut emac = ExactMac::new(fmt);
+        let got = emac.dot(&xs, &ys, Rounding::NearestEven);
+        assert_eq!(got, quire::fused_dot(fmt, &xs, &ys));
+    }
+
+    #[test]
+    fn exactness_beats_per_cycle_rounding() {
+        // Long cancellation-heavy dot: the Fig. 4 MAC rounds every cycle
+        // and drifts; the EMAC stays exact.
+        let fmt = PositFormat::of(8, 1);
+        let n = 400;
+        let xs: Vec<u64> = (0..n)
+            .map(|i| p(&fmt, if i % 2 == 0 { 3.0 } else { -3.0 }))
+            .collect();
+        let ys: Vec<u64> = (0..n).map(|i| p(&fmt, 1.0 + (i % 5) as f64 * 0.25)).collect();
+        let exact: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(&a, &b)| fmt.to_f64(a) * fmt.to_f64(b))
+            .sum();
+        let mut emac = ExactMac::new(fmt);
+        let e = fmt.to_f64(emac.dot(&xs, &ys, Rounding::NearestEven));
+        let mut unit = PositMacUnit::new(fmt);
+        let m = fmt.to_f64(unit.dot(&xs, &ys));
+        assert!(
+            (e - exact).abs() <= (m - exact).abs(),
+            "emac {e} vs mac {m} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn cycle_path_is_shorter_than_full_mac() {
+        // No encoder in the loop: the EMAC cycle must be shallower than the
+        // combinational decode→FP-MAC→encode path.
+        for (n, es) in [(8u32, 1u32), (16, 1)] {
+            let fmt = PositFormat::of(n, es);
+            let emac = ExactMac::new(fmt).cycle_cost();
+            let mac = crate::mac::PositMac::new(fmt).block_cost();
+            assert!(
+                emac.levels < mac.levels,
+                "({n},{es}): emac {} !< mac {}",
+                emac.levels,
+                mac.levels
+            );
+        }
+    }
+
+    #[test]
+    fn area_grows_with_quire_width() {
+        let small = ExactMac::new(PositFormat::of(8, 1));
+        let big = ExactMac::new(PositFormat::of(16, 2));
+        assert!(big.quire_bits() > small.quire_bits());
+        assert!(big.cycle_cost().gates > small.cycle_cost().gates);
+    }
+
+    #[test]
+    fn clear_and_reuse() {
+        let fmt = PositFormat::of(16, 1);
+        let mut emac = ExactMac::new(fmt);
+        emac.step(p(&fmt, 2.0), p(&fmt, 3.0));
+        assert_eq!(fmt.to_f64(emac.read(Rounding::NearestEven)), 6.0);
+        emac.clear();
+        assert_eq!(emac.read(Rounding::NearestEven), 0);
+    }
+}

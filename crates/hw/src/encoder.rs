@@ -1,0 +1,394 @@
+//! The FP→posit encoders of Fig. 6: original (a) and optimized (b).
+//!
+//! The encoder packs `(sign, effective exponent, mantissa)` back into an
+//! `n`-bit posit with round-to-zero (truncation — the paper's §III-A
+//! hardware-friendly choice). A 2n-bit `REM` word is built from the regime
+//! seed, the `es` exponent LSBs and the mantissa, then right-shifted by the
+//! regime width, "equal to r or r+1 where r is the absolute regime value".
+//!
+//! The *original* computes `r + 1` with an incrementer feeding one right
+//! shifter. The *optimized* shifts by `r` on both polarities and fixes up
+//! the positive-regime path with a free one-bit wire shift, selecting by
+//! mux — same trick as the decoder, adder gone.
+
+use crate::components as comp;
+use crate::components::BlockCost;
+use crate::decoder::DecodedFields;
+use posit::PositFormat;
+
+/// Common interface of the two encoder architectures.
+pub trait PositEncoder {
+    /// The posit format this instance is generated for.
+    fn format(&self) -> PositFormat;
+
+    /// Encode an unpacked FP bundle into a posit code word (round-to-zero).
+    fn encode(&self, fields: DecodedFields) -> u64;
+
+    /// Structural cost of the combinational logic.
+    fn block_cost(&self) -> BlockCost;
+}
+
+/// Saturate the effective exponent into the representable range and detect
+/// the underflow-to-zero condition (Algorithm 1 lines 3-7 in hardware:
+/// comparators on the exponent datapath).
+fn saturate(fmt: &PositFormat, fields: &DecodedFields) -> Option<(bool, i32, u64)> {
+    if fields.is_zero {
+        return None;
+    }
+    if fields.scale > fmt.max_scale() {
+        return Some((fields.negative, fmt.max_scale(), u64::MAX));
+    }
+    if fields.scale < fmt.min_scale() {
+        // Round-to-zero flushes; the zero output is produced upstream.
+        return None;
+    }
+    Some((fields.negative, fields.scale, fields.frac))
+}
+
+/// Build the pre-shift stream for a saturated `(scale, frac)`:
+/// `[terminator][e][frac…]` left-aligned in a u128, where the terminator is
+/// the regime-ending bit (`1` for negative regimes, `0` for positive), and
+/// return `(stream, shift, fill_ones)`.
+fn stream_and_shift(fmt: &PositFormat, scale: i32, frac: u64) -> (u128, u32, bool) {
+    let es = fmt.es();
+    let k = scale >> es;
+    let e = (scale - (k << es)) as u128;
+    let (term, shift, fill_ones) = if k >= 0 {
+        // regime = (k+1) ones then 0; shift right by r+1 = k+1, filling ones.
+        (0u128, (k + 1) as u32, true)
+    } else {
+        // regime = r zeros then 1; shift right by r = -k, filling zeros.
+        (1u128, (-k) as u32, false)
+    };
+    let mut stream: u128 = term << 127;
+    if es > 0 {
+        stream |= e << (127 - es);
+    }
+    stream |= (frac as u128) << (63 - es);
+    (stream, shift, fill_ones)
+}
+
+/// Right-shift `stream` by `amount`, filling with ones or zeros, and
+/// truncate to the top `n-1` bits (round-to-zero), then apply the sign.
+fn finish(fmt: &PositFormat, stream: u128, amount: u32, fill_ones: bool, negative: bool) -> u64 {
+    let shifted = if amount >= 128 {
+        if fill_ones {
+            u128::MAX
+        } else {
+            0
+        }
+    } else if fill_ones {
+        (stream >> amount) | (u128::MAX << (128 - amount.max(1))) // fill top
+    } else {
+        stream >> amount
+    };
+    let shifted = if amount == 0 { stream } else { shifted };
+    let body_bits = fmt.n() - 1;
+    let mut code = (shifted >> (128 - body_bits)) as u64;
+    // Saturated maxpos arrives as an all-ones fraction marker; clamp.
+    code = code.min(fmt.maxpos_bits());
+    if code == 0 {
+        // A finite value never encodes to 0: it is at least minpos.
+        code = fmt.minpos_bits();
+    }
+    if negative {
+        fmt.negate(code)
+    } else {
+        code
+    }
+}
+
+/// Fig. 6(a): absolute value → `+1` adder → single right shifter.
+#[derive(Debug, Clone, Copy)]
+pub struct EncoderOriginal {
+    fmt: PositFormat,
+}
+
+impl EncoderOriginal {
+    /// Generate the encoder for a format.
+    pub fn new(fmt: PositFormat) -> EncoderOriginal {
+        EncoderOriginal { fmt }
+    }
+}
+
+impl PositEncoder for EncoderOriginal {
+    fn format(&self) -> PositFormat {
+        self.fmt
+    }
+
+    fn encode(&self, fields: DecodedFields) -> u64 {
+        if fields.is_nar {
+            return self.fmt.nar_bits();
+        }
+        let (negative, scale, frac) = match saturate(&self.fmt, &fields) {
+            None => return 0,
+            Some(t) => t,
+        };
+        let (stream, shift, fill_ones) = stream_and_shift(&self.fmt, scale, frac);
+        // Original: one shifter, the shift amount passes through the
+        // absolute-value block and (for the positive-regime case) the
+        // incrementer: amount = r or r + 1 computed arithmetically.
+        finish(&self.fmt, stream, shift, fill_ones, negative)
+    }
+
+    fn block_cost(&self) -> BlockCost {
+        let n = self.fmt.n();
+        let rem_w = 2 * n;
+        let e_w = exp_width(&self.fmt);
+        // AbsVal on the effective exponent: its embedded incrementer is the
+        // adder on the shift-amount path (the r vs r+1 selection reuses it),
+        // which is exactly the stage the optimized circuit removes…
+        comp::absval_cost(e_w)
+            // …then the single 2n-bit right shifter…
+            .then(comp::shifter_cost(rem_w, n))
+            // …and the output conditional-invert row (the +1 of the two's
+            // complement is folded into the code-word datapath).
+            .then(BlockCost {
+                levels: 1.0,
+                gates: n as f64,
+            })
+    }
+}
+
+/// Fig. 6(b): the shift amount comes straight from the inverted exponent
+/// (the `+1` of two's complement *and* the `+1` of the regime width both
+/// fold into the fixed `>>1` wire), two shifter paths, output mux.
+#[derive(Debug, Clone, Copy)]
+pub struct EncoderOptimized {
+    fmt: PositFormat,
+}
+
+impl EncoderOptimized {
+    /// Generate the encoder for a format.
+    pub fn new(fmt: PositFormat) -> EncoderOptimized {
+        EncoderOptimized { fmt }
+    }
+}
+
+impl PositEncoder for EncoderOptimized {
+    fn format(&self) -> PositFormat {
+        self.fmt
+    }
+
+    fn encode(&self, fields: DecodedFields) -> u64 {
+        if fields.is_nar {
+            return self.fmt.nar_bits();
+        }
+        let (negative, scale, frac) = match saturate(&self.fmt, &fields) {
+            None => return 0,
+            Some(t) => t,
+        };
+        let (stream, shift, fill_ones) = stream_and_shift(&self.fmt, scale, frac);
+        // Optimized: both paths shift by the raw detector/inverter output
+        // (shift - 1 when a +1 would be needed), then a fixed >>1 fixes up:
+        // functionally identical, no adder in the path.
+        let raw_amount = shift.saturating_sub(1);
+        let partial = if raw_amount >= 128 {
+            if fill_ones {
+                u128::MAX
+            } else {
+                0
+            }
+        } else if raw_amount == 0 {
+            stream
+        } else if fill_ones {
+            (stream >> raw_amount) | (u128::MAX << (128 - raw_amount))
+        } else {
+            stream >> raw_amount
+        };
+        if shift == 0 {
+            finish(&self.fmt, stream, 0, fill_ones, negative)
+        } else {
+            // fixed >>1 (wire) then the shared output stage
+            finish(&self.fmt, partial, 1, fill_ones, negative)
+        }
+    }
+
+    fn block_cost(&self) -> BlockCost {
+        let n = self.fmt.n();
+        let rem_w = 2 * n;
+        let e_w = exp_width(&self.fmt);
+        // Invert row only (the AbsVal incrementer runs off the critical
+        // path, in parallel with the shifter, to produce the es exponent
+        // LSBs)…
+        BlockCost {
+            levels: 1.0,
+            gates: e_w as f64,
+        }
+        // …ONE right shifter by the raw amount r (Fig. 6b shows a single
+        // Right Shifter; the ">>1" is wiring), with the off-path
+        // incrementer's gates still counted…
+        .then(comp::shifter_cost(rem_w, n).alongside(comp::incrementer_cost(e_w)))
+        // …the mux selecting shifted vs shifted>>1, and the output
+        // conditional-invert row.
+        .then(comp::mux_cost(n))
+        .then(BlockCost {
+            levels: 1.0,
+            gates: n as f64,
+        })
+    }
+}
+
+/// Width of the effective-exponent datapath for a format:
+/// enough bits for `±(n-2)·2^es` plus sign.
+pub(crate) fn exp_width(fmt: &PositFormat) -> u32 {
+    32 - (fmt.max_scale() as u32).leading_zeros() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::{DecoderOptimized, PositDecoder};
+    use posit::Rounding;
+
+    fn fields_of(fmt: PositFormat, code: u64) -> DecodedFields {
+        DecoderOptimized::new(fmt).decode(code)
+    }
+
+    #[test]
+    fn roundtrip_all_codes_8bit() {
+        for es in 0..=2 {
+            let fmt = PositFormat::of(8, es);
+            let enc_o = EncoderOriginal::new(fmt);
+            let enc_p = EncoderOptimized::new(fmt);
+            for code in 0..fmt.code_count() {
+                let f = fields_of(fmt, code);
+                assert_eq!(enc_o.encode(f), code, "orig es={es} {code:#x}");
+                assert_eq!(enc_p.encode(f), code, "opt es={es} {code:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn encodes_out_of_range_scales() {
+        let fmt = PositFormat::of(8, 1);
+        let enc = EncoderOptimized::new(fmt);
+        let over = DecodedFields {
+            is_zero: false,
+            is_nar: false,
+            negative: false,
+            scale: 100,
+            frac: 0,
+        };
+        assert_eq!(enc.encode(over), fmt.maxpos_bits());
+        let under = DecodedFields {
+            scale: -100,
+            ..over
+        };
+        assert_eq!(enc.encode(under), 0, "RTZ flushes below minpos");
+        let neg_over = DecodedFields {
+            negative: true,
+            ..over
+        };
+        assert_eq!(enc.encode(neg_over), fmt.negate(fmt.maxpos_bits()));
+    }
+
+    #[test]
+    fn truncates_fraction_rtz() {
+        let fmt = PositFormat::of(8, 1);
+        let enc = EncoderOptimized::new(fmt);
+        // 1 + 2^-20: far more fraction than (8,1) can hold; must truncate
+        // down to exactly 1.0.
+        let f = DecodedFields {
+            is_zero: false,
+            is_nar: false,
+            negative: false,
+            scale: 0,
+            frac: 1 << 44,
+        };
+        assert_eq!(fmt.to_f64(enc.encode(f)), 1.0);
+    }
+
+    #[test]
+    fn optimized_equals_original_sampled_16_32() {
+        for (n, es) in [(16u32, 1u32), (16, 2), (32, 3)] {
+            let fmt = PositFormat::of(n, es);
+            let enc_o = EncoderOriginal::new(fmt);
+            let enc_p = EncoderOptimized::new(fmt);
+            let mut state = 7u64;
+            for _ in 0..100_000 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let f = DecodedFields {
+                    is_zero: false,
+                    is_nar: false,
+                    negative: state & 1 == 1,
+                    scale: ((state >> 8) as i32 % (2 * fmt.max_scale() + 20)) - fmt.max_scale() - 10,
+                    frac: state.wrapping_mul(0x9E3779B97F4A7C15) & !(1 << 63) << 1,
+                };
+                assert_eq!(enc_o.encode(f), enc_p.encode(f), "(n={n},es={es}) {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_software_rtz_encode() {
+        // Decoder→encoder composed must equal the software RTZ quantizer on
+        // arbitrary reals (here: drive the encoder with raw field bundles
+        // derived from f64s).
+        let fmt = PositFormat::of(16, 1);
+        let enc = EncoderOptimized::new(fmt);
+        let mut state = 99u64;
+        for _ in 0..10_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = ((state >> 11) as f64 / (1u64 << 53) as f64) * 2e5 - 1e5;
+            if x == 0.0 {
+                continue;
+            }
+            // Exact field extraction straight from the f64 bit pattern.
+            let xb = x.abs().to_bits();
+            let scale = (((xb >> 52) & 0x7ff) as i32) - 1023;
+            let frac = (xb & ((1u64 << 52) - 1)) << 12;
+            let f = DecodedFields {
+                is_zero: false,
+                is_nar: false,
+                negative: x < 0.0,
+                scale,
+                frac,
+            };
+            let want = fmt.from_f64(x, Rounding::ToZero);
+            // The f64→fields conversion above loses bits below 2^-64 of the
+            // mantissa; both sides truncate those anyway for n=16.
+            assert_eq!(enc.encode(f), want, "x={x}");
+        }
+    }
+
+    #[test]
+    fn nar_and_zero_pass_through() {
+        let fmt = PositFormat::of(16, 2);
+        for enc in [
+            &EncoderOriginal::new(fmt) as &dyn PositEncoder,
+            &EncoderOptimized::new(fmt),
+        ] {
+            let nar = DecodedFields {
+                is_zero: false,
+                is_nar: true,
+                negative: false,
+                scale: 0,
+                frac: 0,
+            };
+            assert_eq!(enc.encode(nar), fmt.nar_bits());
+            let zero = DecodedFields {
+                is_zero: true,
+                is_nar: false,
+                negative: false,
+                scale: 0,
+                frac: 0,
+            };
+            assert_eq!(enc.encode(zero), 0);
+        }
+    }
+
+    #[test]
+    fn optimized_is_faster() {
+        for (n, es) in [(8u32, 0u32), (16, 1), (32, 3)] {
+            let fmt = PositFormat::of(n, es);
+            let orig = EncoderOriginal::new(fmt).block_cost();
+            let opt = EncoderOptimized::new(fmt).block_cost();
+            assert!(opt.levels < orig.levels, "(n={n},es={es})");
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The floating-point multiply-accumulate core sitting between the posit
+//! decoder and encoder in Fig. 4, plus the IEEE-754 FP32 MAC used as the
+//! Table V baseline.
+//!
+//! Functionally the core computes `a*b + c` on unpacked `(sign, exp, frac)`
+//! bundles *exactly* (full-width product, full alignment) and leaves the
+//! single truncation to the posit encoder — which is precisely what a
+//! fused datapath with sufficient guard/sticky width produces under
+//! round-to-zero. Structurally it is costed as a conventional fused MAC:
+//! significand multiplier, exponent adder, alignment shifter, wide adder,
+//! LZD + normalization shifter.
+
+use crate::components as comp;
+use crate::components::BlockCost;
+use crate::decoder::DecodedFields;
+use crate::encoder::exp_width;
+use posit::PositFormat;
+
+/// The unpacked-FP fused multiply-accumulate datapath generated for a posit
+/// format's field widths.
+#[derive(Debug, Clone, Copy)]
+pub struct FpMac {
+    fmt: PositFormat,
+}
+
+impl FpMac {
+    /// Generate the datapath for a format.
+    pub fn new(fmt: PositFormat) -> FpMac {
+        FpMac { fmt }
+    }
+
+    /// Significand width of the decoded operands (implicit one + maximum
+    /// fraction field of the format).
+    pub fn sig_width(&self) -> u32 {
+        let fmt = &self.fmt;
+        // max fraction bits = n - 3 - es (regime at its narrowest, 2 bits),
+        // clamped at zero for tiny formats; +1 for the hidden one.
+        (fmt.n().saturating_sub(3 + fmt.es())) + 1
+    }
+
+    /// `a*b + c` on decoded bundles, exact up to the encoder's rounding.
+    ///
+    /// Zero and NaR flags propagate the way the special-case wires do in
+    /// hardware: NaR dominates, zero products drop out of the sum.
+    pub fn mac(&self, a: DecodedFields, b: DecodedFields, c: DecodedFields) -> DecodedFields {
+        if a.is_nar || b.is_nar || c.is_nar {
+            return DecodedFields {
+                is_zero: false,
+                is_nar: true,
+                negative: false,
+                scale: 0,
+                frac: 0,
+            };
+        }
+        let prod_zero = a.is_zero || b.is_zero;
+        if prod_zero && c.is_zero {
+            return zero();
+        }
+        if prod_zero {
+            return c;
+        }
+        // Exact product: significands with the hidden one at bit 63.
+        let siga = (1u64 << 63) | (a.frac >> 1);
+        let sigb = (1u64 << 63) | (b.frac >> 1);
+        let prod: u128 = (siga as u128) * (sigb as u128); // [2^126, 2^128)
+        let psign = a.negative != b.negative;
+        let pscale = a.scale + b.scale;
+        if c.is_zero {
+            return normalize(psign, pscale, prod, 0);
+        }
+        // Alignment and wide add, mirroring posit::fused semantics.
+        let sigc = (1u64 << 63) | (c.frac >> 1);
+        let cval = (sigc as u128) << 63;
+        let p_msb = 127 - prod.leading_zeros() as i32;
+        let p_top = pscale - 126 + p_msb;
+        let p_bigger = match p_top.cmp(&c.scale) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => {
+                (prod << prod.leading_zeros()) >= (cval << cval.leading_zeros())
+            }
+        };
+        let (s_big, e_big, m_big, s_small, e_small, mut m_small) = if p_bigger {
+            (psign, pscale, prod, c.negative, c.scale, cval)
+        } else {
+            (c.negative, c.scale, cval, psign, pscale, prod)
+        };
+        let mut ds = e_big - e_small;
+        if ds < 0 {
+            m_small <<= (-ds) as u32;
+            ds = 0;
+        }
+        let ds = ds as u32;
+        // Round-to-zero downstream: dropped alignment bits cannot flip the
+        // truncated result unless they cause a borrow crossing the result's
+        // last kept bit; track them as a single sticky and subtract one
+        // grid step on effective subtraction (as the exact path does).
+        let (aligned, sticky) = if ds == 0 {
+            (m_small, false)
+        } else if ds < 128 {
+            let sh = m_small >> ds;
+            (sh, (sh << ds) != m_small)
+        } else {
+            (0, m_small != 0)
+        };
+        if s_big == s_small {
+            match m_big.checked_add(aligned) {
+                Some(m) => normalize(s_big, e_big, m, sticky as u128),
+                None => {
+                    let dropped = (m_big & 1) + (aligned & 1);
+                    normalize(
+                        s_big,
+                        e_big + 1,
+                        (m_big >> 1) + (aligned >> 1) + (dropped >> 1),
+                        (dropped & 1) | sticky as u128,
+                    )
+                }
+            }
+        } else if m_big == aligned && !sticky {
+            zero()
+        } else if sticky {
+            normalize(s_big, e_big, m_big - aligned - 1, 1)
+        } else {
+            normalize(s_big, e_big, m_big - aligned, 0)
+        }
+    }
+
+    /// Structural cost of the fused datapath for this format's widths.
+    pub fn block_cost(&self) -> BlockCost {
+        let wm = self.sig_width();
+        let we = exp_width(&self.fmt);
+        let wp = 2 * wm + 4; // product + guard width of the wide adder
+        // exponent add runs in parallel with the significand multiply
+        comp::multiplier_cost(wm)
+            .alongside(comp::cla_cost(we))
+            // alignment shifter on the addend
+            .alongside(comp::shifter_cost(wp, wp))
+            // wide significand adder
+            .then(comp::cla_cost(wp))
+            // LZD + normalization shifter
+            .then(comp::lod_cost(wp))
+            .then(comp::shifter_cost(wp, wp))
+    }
+}
+
+fn zero() -> DecodedFields {
+    DecodedFields {
+        is_zero: true,
+        is_nar: false,
+        negative: false,
+        scale: 0,
+        frac: 0,
+    }
+}
+
+/// Normalize a wide magnitude `mag * 2^(scale-126)` back to a
+/// `(scale, frac)` bundle; `sticky != 0` marks dropped low bits (irrelevant
+/// under the encoder's round-to-zero, but kept for debug assertions).
+fn normalize(negative: bool, scale: i32, mag: u128, _sticky: u128) -> DecodedFields {
+    if mag == 0 {
+        return zero();
+    }
+    let lz = mag.leading_zeros();
+    let norm = mag << lz;
+    let scale = scale + (127 - lz as i32) - 126;
+    let sig = (norm >> 64) as u64;
+    let low = norm as u64;
+    let frac = (sig << 1) | (low >> 63);
+    // Bits below frac's LSB are truncated by the encoder anyway (RTZ), but
+    // only after the encoder re-truncates to the field width; keeping 64
+    // fraction bits here preserves exactness for every n <= 32.
+    DecodedFields {
+        is_zero: false,
+        is_nar: false,
+        negative,
+        scale,
+        frac,
+    }
+}
+
+/// Cost reference: a standard IEEE-754 FP32 fused MAC (the paper's Table V
+/// baseline), using the same component formulas as the posit datapath so
+/// the comparison is like-for-like.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fp32Mac;
+
+impl Fp32Mac {
+    /// Create the baseline descriptor.
+    pub fn new() -> Fp32Mac {
+        Fp32Mac
+    }
+
+    /// Significand width (hidden one + 23 fraction bits).
+    pub fn sig_width(&self) -> u32 {
+        24
+    }
+
+    /// Structural cost: multiplier, exponent logic, alignment, wide add,
+    /// normalization, rounding, packing — plus the input/output flops a
+    /// standalone FP32 MAC carries at a 750 MHz constraint.
+    pub fn block_cost(&self) -> BlockCost {
+        let wm = self.sig_width();
+        let we = 8;
+        let wp = 2 * wm + 4;
+        comp::multiplier_cost(wm)
+            .alongside(comp::cla_cost(we))
+            .alongside(comp::shifter_cost(wp, wp))
+            .then(comp::cla_cost(wp))
+            .then(comp::lod_cost(wp))
+            .then(comp::shifter_cost(wp, wp))
+            // IEEE round-to-nearest-even needs an extra increment + mux
+            .then(comp::incrementer_cost(wm))
+            .then(comp::mux_cost(wm))
+            // sign/exception handling and packing
+            .then(BlockCost {
+                levels: 1.0,
+                gates: 60.0,
+            })
+            // registers: 3 × 32-bit inputs + 32-bit output
+            .then(comp::register_cost(4 * 32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::{DecoderOptimized, PositDecoder};
+
+    #[test]
+    fn sig_widths() {
+        assert_eq!(FpMac::new(PositFormat::of(16, 1)).sig_width(), 13);
+        assert_eq!(FpMac::new(PositFormat::of(16, 2)).sig_width(), 12);
+        assert_eq!(FpMac::new(PositFormat::of(8, 1)).sig_width(), 5);
+        assert_eq!(FpMac::new(PositFormat::of(8, 2)).sig_width(), 4);
+        assert_eq!(Fp32Mac::new().sig_width(), 24);
+    }
+
+    #[test]
+    fn mac_value_semantics() {
+        let fmt = PositFormat::of(16, 1);
+        let dec = DecoderOptimized::new(fmt);
+        let mac = FpMac::new(fmt);
+        let f = |x: f64| dec.decode(fmt.from_f64(x, posit::Rounding::NearestEven));
+        let r = mac.mac(f(1.5), f(2.0), f(0.25));
+        assert_eq!(r.to_f64(), 3.25);
+        let r = mac.mac(f(3.0), f(-2.0), f(6.0));
+        assert!(r.is_zero);
+        let r = mac.mac(f(0.0), f(5.0), f(7.0));
+        assert_eq!(r.to_f64(), 7.0);
+        let nar = dec.decode(fmt.nar_bits());
+        assert!(mac.mac(nar, f(1.0), f(1.0)).is_nar);
+    }
+
+    #[test]
+    fn posit_macs_cost_less_than_fp32() {
+        let fp32 = Fp32Mac::new().block_cost();
+        for (n, es) in [(8u32, 1u32), (8, 2), (16, 1), (16, 2)] {
+            let pm = FpMac::new(PositFormat::of(n, es)).block_cost();
+            assert!(
+                pm.gates < fp32.gates,
+                "({n},{es}) gates {} !< fp32 {}",
+                pm.gates,
+                fp32.gates
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_mantissa_for_bigger_es() {
+        // The paper's Table V ordering: (8,2) cheaper than (8,1), (16,2)
+        // cheaper than (16,1) — bigger es means fewer mantissa bits.
+        let g = |n, es| FpMac::new(PositFormat::of(n, es)).block_cost().gates;
+        assert!(g(8, 2) < g(8, 1));
+        assert!(g(16, 2) < g(16, 1));
+    }
+}

@@ -1,0 +1,73 @@
+//! Gate-level model of the SOCC'19 energy-efficient posit MAC (§IV of the
+//! paper).
+//!
+//! The paper's hardware contribution is a posit multiply-and-accumulate unit
+//! organised as **posit→FP decoder → FP MAC → FP→posit encoder** (Fig. 4,
+//! after Zhang et al. \[6\]), with *optimized* decoder and encoder circuits
+//! (Fig. 5b / Fig. 6b) that remove the `+1` regime-width adder from the
+//! shifter critical path by duplicating the shifter and muxing in a fixed
+//! shift-by-one.
+//!
+//! This crate reproduces that contribution as:
+//!
+//! * [`components`] — functional models + gate/level cost formulas for the
+//!   primitive blocks (LOD, LZD, barrel shifters, adders, muxes, absolute
+//!   value, multiplier);
+//! * [`decoder`] — [`decoder::DecoderOriginal`] (Fig. 5a) and
+//!   [`decoder::DecoderOptimized`] (Fig. 5b), functionally identical,
+//!   structurally different;
+//! * [`encoder`] — [`encoder::EncoderOriginal`] (Fig. 6a) and
+//!   [`encoder::EncoderOptimized`] (Fig. 6b);
+//! * [`fpmac`] — the internal unpacked FP multiply-accumulate datapath and
+//!   an IEEE-754 FP32 MAC reference for the Table V baseline;
+//! * [`mac`] — [`mac::PositMac`] composing the three stages, plus a
+//!   stateful accumulator register ([`mac::PositMacUnit`]);
+//! * [`cost`] — the 28 nm-class unit-gate synthesis cost model and the
+//!   Table IV / Table V report generators.
+//!
+//! # Fidelity
+//!
+//! Functional behaviour is bit-exact: the decoder agrees with the software
+//! codec in [`posit`] for every code word (tested exhaustively at 8 bits),
+//! the optimized circuits agree with the originals everywhere, and the MAC
+//! equals the software fused multiply-add under round-to-zero — the paper's
+//! hardware rounding choice ("rounding-to-zero will be more friendly for
+//! hardware implementation", §III-A).
+//!
+//! Synthesis numbers are *modelled*, not measured: the paper used Design
+//! Compiler + TSMC 28 nm. [`cost::CostModel`] assigns per-gate delay /
+//! power / area constants (documented and calibrated against the paper's
+//! FP32 MAC row) and derives every table entry from the circuit structure,
+//! so relative comparisons — optimized vs original, posit vs FP32 — follow
+//! from the architecture rather than curve fitting. See `DESIGN.md` §2 and
+//! `EXPERIMENTS.md`.
+//!
+//! ```
+//! use posit::{PositFormat, Rounding};
+//! use posit_hw::mac::PositMac;
+//!
+//! let fmt = PositFormat::new(16, 1)?;
+//! let mac = PositMac::new(fmt);
+//! let a = fmt.from_f64(1.5, Rounding::NearestEven);
+//! let b = fmt.from_f64(-2.0, Rounding::NearestEven);
+//! let c = fmt.from_f64(10.0, Rounding::NearestEven);
+//! assert_eq!(fmt.to_f64(mac.mac(a, b, c)), 7.0);
+//! # Ok::<(), posit::InvalidFormatError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod cost;
+pub mod decoder;
+pub mod emac;
+pub mod encoder;
+pub mod fpmac;
+pub mod mac;
+
+pub use cost::{Cost, CostModel, SynthesisReport};
+pub use decoder::{DecodedFields, DecoderOptimized, DecoderOriginal, PositDecoder};
+pub use emac::ExactMac;
+pub use encoder::{EncoderOptimized, EncoderOriginal, PositEncoder};
+pub use mac::{PositMac, PositMacUnit};

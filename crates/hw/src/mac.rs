@@ -1,0 +1,210 @@
+//! The composed posit MAC of Fig. 4: three decoders, the FP MAC core, and
+//! the encoder, plus a stateful accumulate register.
+
+use crate::components::BlockCost;
+use crate::decoder::{DecoderOptimized, DecoderOriginal, PositDecoder};
+use crate::encoder::{EncoderOptimized, EncoderOriginal, PositEncoder};
+use crate::fpmac::FpMac;
+use posit::PositFormat;
+
+/// Which encoder/decoder generation to instantiate: the baseline circuits
+/// of Zhang et al. \[6\] (Figs. 5a/6a) or this paper's optimized ones
+/// (Figs. 5b/6b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Generation {
+    /// Fig. 5(a) / Fig. 6(a) — the `+1`-adder-in-path baseline of \[6\].
+    Original,
+    /// Fig. 5(b) / Fig. 6(b) — the duplicated-shifter circuits of the paper.
+    #[default]
+    Optimized,
+}
+
+/// A combinational posit multiply-accumulate unit: `z = a*b + c` with a
+/// single round-to-zero at the output encoder.
+///
+/// The output is bit-identical to the software
+/// [`PositFormat::fused_mul_add_with`] under [`posit::Rounding::ToZero`] —
+/// verified exhaustively for 8-bit formats in the crate tests.
+#[derive(Debug, Clone, Copy)]
+pub struct PositMac {
+    fmt: PositFormat,
+    generation: Generation,
+}
+
+impl PositMac {
+    /// A MAC with the paper's optimized encoder/decoder.
+    pub fn new(fmt: PositFormat) -> PositMac {
+        PositMac {
+            fmt,
+            generation: Generation::Optimized,
+        }
+    }
+
+    /// A MAC with an explicit circuit generation.
+    pub fn with_generation(fmt: PositFormat, generation: Generation) -> PositMac {
+        PositMac { fmt, generation }
+    }
+
+    /// The posit format.
+    pub fn format(&self) -> PositFormat {
+        self.fmt
+    }
+
+    /// The circuit generation.
+    pub fn generation(&self) -> Generation {
+        self.generation
+    }
+
+    /// `z = a*b + c` on raw code words.
+    pub fn mac(&self, a: u64, b: u64, c: u64) -> u64 {
+        let core = FpMac::new(self.fmt);
+        match self.generation {
+            Generation::Original => {
+                let dec = DecoderOriginal::new(self.fmt);
+                let enc = EncoderOriginal::new(self.fmt);
+                enc.encode(core.mac(dec.decode(a), dec.decode(b), dec.decode(c)))
+            }
+            Generation::Optimized => {
+                let dec = DecoderOptimized::new(self.fmt);
+                let enc = EncoderOptimized::new(self.fmt);
+                enc.encode(core.mac(dec.decode(a), dec.decode(b), dec.decode(c)))
+            }
+        }
+    }
+
+    /// Structural cost of the full combinational MAC: three decoders in
+    /// parallel, the FP core, the encoder, and the pipeline registers a
+    /// 750 MHz synthesis run keeps at the boundary.
+    pub fn block_cost(&self) -> BlockCost {
+        let n = self.fmt.n();
+        let (dec, enc) = match self.generation {
+            Generation::Original => (
+                DecoderOriginal::new(self.fmt).block_cost(),
+                EncoderOriginal::new(self.fmt).block_cost(),
+            ),
+            Generation::Optimized => (
+                DecoderOptimized::new(self.fmt).block_cost(),
+                EncoderOptimized::new(self.fmt).block_cost(),
+            ),
+        };
+        // Three decoders operate in parallel on a, b, c.
+        dec.alongside(dec)
+            .alongside(dec)
+            .then(FpMac::new(self.fmt).block_cost())
+            .then(enc)
+            .then(crate::components::register_cost(4 * n))
+    }
+}
+
+/// A sequential MAC: the accumulator register of a dot-product engine,
+/// `acc <- a*b + acc` per cycle.
+#[derive(Debug, Clone)]
+pub struct PositMacUnit {
+    mac: PositMac,
+    acc: u64,
+}
+
+impl PositMacUnit {
+    /// A unit with the accumulator cleared.
+    pub fn new(fmt: PositFormat) -> PositMacUnit {
+        PositMacUnit {
+            mac: PositMac::new(fmt),
+            acc: 0,
+        }
+    }
+
+    /// The current accumulator code word.
+    pub fn acc(&self) -> u64 {
+        self.acc
+    }
+
+    /// Clear the accumulator.
+    pub fn clear(&mut self) {
+        self.acc = 0;
+    }
+
+    /// One MAC cycle: `acc <- a*b + acc`; returns the new accumulator.
+    pub fn step(&mut self, a: u64, b: u64) -> u64 {
+        self.acc = self.mac.mac(a, b, self.acc);
+        self.acc
+    }
+
+    /// Run a whole dot product through the unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn dot(&mut self, xs: &[u64], ys: &[u64]) -> u64 {
+        assert_eq!(xs.len(), ys.len(), "dot length mismatch");
+        for (&a, &b) in xs.iter().zip(ys) {
+            self.step(a, b);
+        }
+        self.acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posit::Rounding;
+
+    #[test]
+    fn mac_matches_software_fused_rtz_exhaustive_p8e1_sampled_triples() {
+        let fmt = PositFormat::of(8, 1);
+        let mac_o = PositMac::with_generation(fmt, Generation::Original);
+        let mac_p = PositMac::new(fmt);
+        for a in 0..fmt.code_count() {
+            for b in (0..fmt.code_count()).step_by(5) {
+                for c in (0..fmt.code_count()).step_by(17) {
+                    let want = fmt.fused_mul_add_with(a, b, c, Rounding::ToZero, 0);
+                    assert_eq!(mac_p.mac(a, b, c), want, "opt {a:#x} {b:#x} {c:#x}");
+                    assert_eq!(mac_o.mac(a, b, c), want, "orig {a:#x} {b:#x} {c:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mac_matches_software_sampled_p16() {
+        for (n, es) in [(16u32, 1u32), (16, 2)] {
+            let fmt = PositFormat::of(n, es);
+            let mac = PositMac::new(fmt);
+            let mut state = 3u64;
+            for _ in 0..30_000 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let a = state & fmt.mask();
+                let b = (state >> 16) & fmt.mask();
+                let c = (state >> 32) & fmt.mask();
+                let want = fmt.fused_mul_add_with(a, b, c, Rounding::ToZero, 0);
+                assert_eq!(mac.mac(a, b, c), want, "({n},{es}) {a:#x} {b:#x} {c:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_runs_dot_products() {
+        let fmt = PositFormat::of(16, 1);
+        let p = |x: f64| fmt.from_f64(x, Rounding::NearestEven);
+        let mut unit = PositMacUnit::new(fmt);
+        let xs = [p(1.0), p(2.0), p(3.0)];
+        let ys = [p(4.0), p(5.0), p(6.0)];
+        let out = unit.dot(&xs, &ys);
+        assert_eq!(fmt.to_f64(out), 32.0);
+        unit.clear();
+        assert_eq!(unit.acc(), 0);
+        unit.step(p(-2.0), p(8.0));
+        assert_eq!(fmt.to_f64(unit.acc()), -16.0);
+    }
+
+    #[test]
+    fn optimized_mac_is_faster_than_original() {
+        for (n, es) in [(8u32, 1u32), (16, 1), (16, 2)] {
+            let fmt = PositFormat::of(n, es);
+            let o = PositMac::with_generation(fmt, Generation::Original).block_cost();
+            let p = PositMac::new(fmt).block_cost();
+            assert!(p.levels < o.levels, "({n},{es})");
+        }
+    }
+}

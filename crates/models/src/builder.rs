@@ -1,0 +1,51 @@
+//! The layer-construction seam between model topology and numeric policy.
+
+use posit_nn::{BatchNorm2d, Conv2d, Layer, Linear};
+use posit_tensor::Tensor;
+
+/// Constructs the parameterized layers of a model. Implemented by
+/// [`PlainBuilder`] (ordinary FP32 layers) and by `posit-train`'s
+/// quantizing builder (which wraps each layer with the paper's `P(·)`
+/// insertion points).
+pub trait LayerBuilder {
+    /// A convolution layer.
+    fn conv(
+        &mut self,
+        name: &str,
+        weight: Tensor,
+        bias: Option<Tensor>,
+        stride: usize,
+        pad: usize,
+    ) -> Box<dyn Layer>;
+
+    /// A batch-normalization layer.
+    fn bn(&mut self, name: &str, channels: usize) -> Box<dyn Layer>;
+
+    /// A fully-connected layer.
+    fn linear(&mut self, name: &str, weight: Tensor, bias: Option<Tensor>) -> Box<dyn Layer>;
+}
+
+/// The identity policy: plain FP32 layers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlainBuilder;
+
+impl LayerBuilder for PlainBuilder {
+    fn conv(
+        &mut self,
+        name: &str,
+        weight: Tensor,
+        bias: Option<Tensor>,
+        stride: usize,
+        pad: usize,
+    ) -> Box<dyn Layer> {
+        Box::new(Conv2d::new(name, weight, bias, stride, pad))
+    }
+
+    fn bn(&mut self, name: &str, channels: usize) -> Box<dyn Layer> {
+        Box::new(BatchNorm2d::new(name, channels))
+    }
+
+    fn linear(&mut self, name: &str, weight: Tensor, bias: Option<Tensor>) -> Box<dyn Layer> {
+        Box::new(Linear::new(name, weight, bias))
+    }
+}

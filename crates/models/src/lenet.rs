@@ -1,0 +1,86 @@
+//! LeNet-style small CNN (for the digits dataset and fast tests).
+
+use crate::builder::LayerBuilder;
+use posit_nn::{init, Flatten, MaxPool2d, ReLU, Sequential};
+use posit_tensor::rng::Prng;
+
+/// A LeNet-style network for `in_channels × side × side` inputs.
+///
+/// conv5x5(6)-ReLU-maxpool2 → conv5x5(16)-ReLU-maxpool2 → fc(120) → fc(n).
+/// `side` must be a multiple of 4 after the two 5×5 valid convolutions
+/// shrink it (e.g. 28 or 12 both work: the fc sizes adapt).
+pub fn lenet(
+    builder: &mut dyn LayerBuilder,
+    in_channels: usize,
+    side: usize,
+    num_classes: usize,
+    rng: &mut Prng,
+) -> Sequential {
+    let s1 = side - 4; // after conv1 (5x5 valid)
+    let s2 = s1 / 2; // after pool1
+    let s3 = s2 - 4; // after conv2
+    let s4 = s3 / 2; // after pool2
+    assert!(s4 >= 1, "input side {side} too small for LeNet");
+    let flat = 16 * s4 * s4;
+    let mut net = Sequential::new("lenet");
+    net.push_boxed(builder.conv(
+        "conv1",
+        init::kaiming_conv(6, in_channels, 5, 5, rng),
+        Some(init::zero_bias(6)),
+        1,
+        0,
+    ));
+    net.push_boxed(Box::new(ReLU::new("relu1")));
+    net.push_boxed(Box::new(MaxPool2d::new("pool1", 2, 2)));
+    net.push_boxed(builder.conv(
+        "conv2",
+        init::kaiming_conv(16, 6, 5, 5, rng),
+        Some(init::zero_bias(16)),
+        1,
+        0,
+    ));
+    net.push_boxed(Box::new(ReLU::new("relu2")));
+    net.push_boxed(Box::new(MaxPool2d::new("pool2", 2, 2)));
+    net.push_boxed(Box::new(Flatten::new("flatten")));
+    net.push_boxed(builder.linear(
+        "fc1",
+        init::kaiming_linear(120, flat, rng),
+        Some(init::zero_bias(120)),
+    ));
+    net.push_boxed(Box::new(ReLU::new("relu3")));
+    net.push_boxed(builder.linear(
+        "fc2",
+        init::kaiming_linear(num_classes, 120, rng),
+        Some(init::zero_bias(num_classes)),
+    ));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlainBuilder;
+    use posit_nn::Layer;
+    use posit_tensor::Tensor;
+
+    #[test]
+    fn forward_backward_28() {
+        let mut rng = Prng::seed(1);
+        let mut b = PlainBuilder;
+        let mut net = lenet(&mut b, 1, 28, 10, &mut rng);
+        let x = Tensor::rand_normal(&[2, 1, 28, 28], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 10]);
+        let g = net.backward(&Tensor::ones(&[2, 10]));
+        assert_eq!(g.shape(), &[2, 1, 28, 28]);
+    }
+
+    #[test]
+    fn forward_small_canvas() {
+        let mut rng = Prng::seed(2);
+        let mut b = PlainBuilder;
+        let mut net = lenet(&mut b, 1, 16, 10, &mut rng);
+        let x = Tensor::rand_normal(&[1, 1, 16, 16], 0.0, 1.0, &mut rng);
+        assert_eq!(net.forward(&x, true).shape(), &[1, 10]);
+    }
+}

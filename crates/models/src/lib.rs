@@ -1,0 +1,25 @@
+//! The model zoo: ResNet-18 (CIFAR and ImageNet stems), width-scaled
+//! variants for the CPU budget, LeNet and MLPs.
+//!
+//! Models are assembled through a [`LayerBuilder`], so the `posit-train`
+//! crate can substitute quantized layer wrappers for every CONV/BN/FC
+//! layer — the mechanism by which the paper's `P(·)` operator reaches
+//! every layer of a nested residual network. [`PlainBuilder`] produces the
+//! ordinary FP32 layers.
+//!
+//! Layer names follow the paper's Fig. 2 convention (`conv1`,
+//! `layer4.0.bn1`, `fc`) so experiment reports can reference the same
+//! tensors the paper plots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod lenet;
+mod mlp;
+mod resnet;
+
+pub use builder::{LayerBuilder, PlainBuilder};
+pub use lenet::lenet;
+pub use mlp::mlp;
+pub use resnet::{resnet18_cifar, resnet18_imagenet, resnet_scaled, ResNetConfig};

@@ -1,0 +1,67 @@
+//! Plain multilayer perceptrons (for the toy datasets).
+
+use crate::builder::LayerBuilder;
+use posit_nn::{init, ReLU, Sequential};
+use posit_tensor::rng::Prng;
+
+/// A ReLU MLP with the given layer sizes, e.g. `&[2, 64, 64, 2]`.
+///
+/// # Panics
+///
+/// Panics if fewer than two sizes are given.
+pub fn mlp(builder: &mut dyn LayerBuilder, sizes: &[usize], rng: &mut Prng) -> Sequential {
+    assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+    let mut net = Sequential::new("mlp");
+    for (i, pair) in sizes.windows(2).enumerate() {
+        let (inp, out) = (pair[0], pair[1]);
+        net.push_boxed(builder.linear(
+            &format!("fc{}", i + 1),
+            init::kaiming_linear(out, inp, rng),
+            Some(init::zero_bias(out)),
+        ));
+        if i + 2 < sizes.len() {
+            net.push_boxed(Box::new(ReLU::new(format!("relu{}", i + 1))));
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlainBuilder;
+    use posit_nn::{Layer, Sgd, SoftmaxCrossEntropy};
+    use posit_tensor::Tensor;
+
+    #[test]
+    fn shapes() {
+        let mut rng = Prng::seed(1);
+        let mut b = PlainBuilder;
+        let mut net = mlp(&mut b, &[4, 16, 3], &mut rng);
+        let x = Tensor::rand_normal(&[5, 4], 0.0, 1.0, &mut rng);
+        assert_eq!(net.forward(&x, true).shape(), &[5, 3]);
+    }
+
+    #[test]
+    fn overfits_a_tiny_batch() {
+        // The classic sanity check: an MLP must drive loss to ~0 on a
+        // handful of fixed points.
+        let mut rng = Prng::seed(2);
+        let mut b = PlainBuilder;
+        let mut net = mlp(&mut b, &[2, 32, 2], &mut rng);
+        let x = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 0.0], &[4, 2]);
+        let t = [0usize, 0, 1, 1]; // XOR
+        let loss = SoftmaxCrossEntropy::new();
+        let mut opt = Sgd::new(0.5).momentum(0.9);
+        let mut last = f64::MAX;
+        for _ in 0..300 {
+            let y = net.forward(&x, true);
+            let (l, g) = loss.forward(&y, &t);
+            opt.zero_grad(&mut net.params_mut());
+            net.backward(&g);
+            opt.step(&mut net.params_mut());
+            last = l;
+        }
+        assert!(last < 0.01, "failed to overfit XOR: loss {last}");
+    }
+}

@@ -1,0 +1,272 @@
+//! The ResNet-18 family (He et al. \[1\] in the paper), assembled through a
+//! [`LayerBuilder`].
+
+use crate::builder::LayerBuilder;
+use posit_nn::{init, Flatten, GlobalAvgPool, MaxPool2d, ReLU, Residual, Sequential};
+use posit_tensor::rng::Prng;
+
+/// Stem flavour: CIFAR nets use a 3×3 stride-1 stem without max-pooling;
+/// ImageNet nets use the 7×7 stride-2 stem plus a 3×3/2 max-pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stem {
+    /// 3×3 stride-1 convolution stem (CIFAR-ResNet).
+    Cifar,
+    /// 7×7 stride-2 convolution + 3×3/2 max-pool (ImageNet ResNet).
+    ImageNet,
+}
+
+/// Topology of a basic-block ResNet.
+#[derive(Debug, Clone)]
+pub struct ResNetConfig {
+    /// Channels of the four stages (ResNet-18: `[64, 128, 256, 512]`).
+    pub widths: [usize; 4],
+    /// Basic blocks per stage (ResNet-18: `[2, 2, 2, 2]`).
+    pub blocks: [usize; 4],
+    /// Output classes.
+    pub num_classes: usize,
+    /// Input channels (3 for RGB).
+    pub in_channels: usize,
+    /// Stem flavour.
+    pub stem: Stem,
+}
+
+impl ResNetConfig {
+    /// Faithful CIFAR-ResNet-18 (the paper's CIFAR model).
+    pub fn cifar18(num_classes: usize) -> ResNetConfig {
+        ResNetConfig {
+            widths: [64, 128, 256, 512],
+            blocks: [2, 2, 2, 2],
+            num_classes,
+            in_channels: 3,
+            stem: Stem::Cifar,
+        }
+    }
+
+    /// Faithful ImageNet ResNet-18 (the paper's ImageNet model).
+    pub fn imagenet18(num_classes: usize) -> ResNetConfig {
+        ResNetConfig {
+            stem: Stem::ImageNet,
+            ..ResNetConfig::cifar18(num_classes)
+        }
+    }
+
+    /// Width/depth-scaled variant for CPU-budget experiment runs: stage
+    /// widths `base·{1,2,4,8}` with one block per stage.
+    pub fn scaled(base: usize, num_classes: usize) -> ResNetConfig {
+        ResNetConfig {
+            widths: [base, 2 * base, 4 * base, 8 * base],
+            blocks: [1, 1, 1, 1],
+            num_classes,
+            in_channels: 3,
+            stem: Stem::Cifar,
+        }
+    }
+
+    /// Total parameter count of the network this config builds.
+    pub fn param_count(&self) -> usize {
+        let mut rng = Prng::seed(0);
+        let mut b = crate::builder::PlainBuilder;
+        let net = build_resnet(&mut b, self, &mut rng);
+        use posit_nn::Layer;
+        net.params().iter().map(|p| p.value.len()).sum()
+    }
+}
+
+/// One basic block: conv3x3-BN-ReLU-conv3x3-BN (+ 1×1 conv-BN shortcut on
+/// shape change), final ReLU after the residual add.
+fn basic_block(
+    builder: &mut dyn LayerBuilder,
+    name: &str,
+    in_c: usize,
+    out_c: usize,
+    stride: usize,
+    rng: &mut Prng,
+) -> Residual {
+    let mut main = Sequential::new(format!("{name}.main"));
+    main.push_boxed(builder.conv(
+        &format!("{name}.conv1"),
+        init::kaiming_conv(out_c, in_c, 3, 3, rng),
+        None,
+        stride,
+        1,
+    ));
+    main.push_boxed(builder.bn(&format!("{name}.bn1"), out_c));
+    main.push_boxed(Box::new(ReLU::new(format!("{name}.relu1"))));
+    main.push_boxed(builder.conv(
+        &format!("{name}.conv2"),
+        init::kaiming_conv(out_c, out_c, 3, 3, rng),
+        None,
+        1,
+        1,
+    ));
+    main.push_boxed(builder.bn(&format!("{name}.bn2"), out_c));
+
+    let mut shortcut = Sequential::new(format!("{name}.downsample"));
+    if stride != 1 || in_c != out_c {
+        shortcut.push_boxed(builder.conv(
+            &format!("{name}.downsample.conv"),
+            init::kaiming_conv(out_c, in_c, 1, 1, rng),
+            None,
+            stride,
+            0,
+        ));
+        shortcut.push_boxed(builder.bn(&format!("{name}.downsample.bn"), out_c));
+    }
+    Residual::new(name.to_string(), main, shortcut, true)
+}
+
+/// Assemble a basic-block ResNet per `config`.
+pub fn build_resnet(
+    builder: &mut dyn LayerBuilder,
+    config: &ResNetConfig,
+    rng: &mut Prng,
+) -> Sequential {
+    let mut net = Sequential::new("resnet");
+    let stem_c = config.widths[0];
+    match config.stem {
+        Stem::Cifar => {
+            net.push_boxed(builder.conv(
+                "conv1",
+                init::kaiming_conv(stem_c, config.in_channels, 3, 3, rng),
+                None,
+                1,
+                1,
+            ));
+            net.push_boxed(builder.bn("bn1", stem_c));
+            net.push_boxed(Box::new(ReLU::new("relu1")));
+        }
+        Stem::ImageNet => {
+            net.push_boxed(builder.conv(
+                "conv1",
+                init::kaiming_conv(stem_c, config.in_channels, 7, 7, rng),
+                None,
+                2,
+                3,
+            ));
+            net.push_boxed(builder.bn("bn1", stem_c));
+            net.push_boxed(Box::new(ReLU::new("relu1")));
+            net.push_boxed(Box::new(MaxPool2d::new("maxpool", 3, 2)));
+        }
+    }
+    let mut in_c = stem_c;
+    for (stage, (&width, &blocks)) in config.widths.iter().zip(&config.blocks).enumerate() {
+        for b in 0..blocks {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            let name = format!("layer{}.{}", stage + 1, b);
+            net.push_boxed(Box::new(basic_block(builder, &name, in_c, width, stride, rng)));
+            in_c = width;
+        }
+    }
+    net.push_boxed(Box::new(GlobalAvgPool::new("avgpool")));
+    net.push_boxed(Box::new(Flatten::new("flatten")));
+    net.push_boxed(builder.linear(
+        "fc",
+        init::kaiming_linear(config.num_classes, in_c, rng),
+        Some(init::zero_bias(config.num_classes)),
+    ));
+    net
+}
+
+/// The paper's Cifar-ResNet-18.
+pub fn resnet18_cifar(
+    builder: &mut dyn LayerBuilder,
+    num_classes: usize,
+    rng: &mut Prng,
+) -> Sequential {
+    build_resnet(builder, &ResNetConfig::cifar18(num_classes), rng)
+}
+
+/// The paper's ImageNet ResNet-18.
+pub fn resnet18_imagenet(
+    builder: &mut dyn LayerBuilder,
+    num_classes: usize,
+    rng: &mut Prng,
+) -> Sequential {
+    build_resnet(builder, &ResNetConfig::imagenet18(num_classes), rng)
+}
+
+/// Width/depth-scaled ResNet for CPU-budget experiments.
+pub fn resnet_scaled(
+    builder: &mut dyn LayerBuilder,
+    base: usize,
+    num_classes: usize,
+    rng: &mut Prng,
+) -> Sequential {
+    build_resnet(builder, &ResNetConfig::scaled(base, num_classes), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlainBuilder;
+    use posit_nn::Layer;
+    use posit_tensor::Tensor;
+
+    #[test]
+    fn resnet18_cifar_parameter_count_is_canonical() {
+        // Torchvision's CIFAR-adapted ResNet-18 with a 3x3 stem and 10
+        // classes has ~11.17M parameters.
+        let n = ResNetConfig::cifar18(10).param_count();
+        assert!((11_000_000..11_400_000).contains(&n), "{n}");
+    }
+
+    #[test]
+    fn scaled_resnet_forward_backward_shapes() {
+        let mut rng = Prng::seed(1);
+        let mut b = PlainBuilder;
+        let mut net = resnet_scaled(&mut b, 4, 10, &mut rng);
+        let x = Tensor::rand_normal(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 10]);
+        let g = net.backward(&Tensor::ones(&[2, 10]));
+        assert_eq!(g.shape(), &[2, 3, 16, 16]);
+    }
+
+    #[test]
+    fn imagenet_stem_downsamples() {
+        let mut rng = Prng::seed(2);
+        let mut b = PlainBuilder;
+        let mut cfg = ResNetConfig::imagenet18(7);
+        cfg.widths = [8, 16, 32, 64];
+        cfg.blocks = [1, 1, 1, 1];
+        let mut net = build_resnet(&mut b, &cfg, &mut rng);
+        let x = Tensor::rand_normal(&[1, 3, 64, 64], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 7]);
+    }
+
+    #[test]
+    fn layer_names_follow_paper_convention() {
+        let mut rng = Prng::seed(3);
+        let mut b = PlainBuilder;
+        let net = resnet_scaled(&mut b, 4, 10, &mut rng);
+        let names: Vec<&str> = net.layers().iter().map(|l| l.name()).collect();
+        assert!(names.contains(&"conv1"));
+        assert!(names.contains(&"bn1"));
+        assert!(names.contains(&"layer1.0"));
+        assert!(names.contains(&"layer4.0"));
+        assert!(names.contains(&"fc"));
+    }
+
+    #[test]
+    fn gradients_flow_to_all_params() {
+        let mut rng = Prng::seed(4);
+        let mut b = PlainBuilder;
+        let mut net = resnet_scaled(&mut b, 4, 5, &mut rng);
+        let x = Tensor::rand_normal(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, true);
+        net.backward(&Tensor::ones(y.shape()));
+        let zero_grads = net
+            .params()
+            .iter()
+            .filter(|p| p.grad.max_abs() == 0.0)
+            .count();
+        // A few dead params are possible (ReLU-killed), but the bulk must
+        // receive gradient.
+        let total = net.params().len();
+        assert!(
+            zero_grads * 10 < total,
+            "{zero_grads}/{total} params with zero grad"
+        );
+    }
+}

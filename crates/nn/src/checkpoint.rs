@@ -1,0 +1,238 @@
+//! Parameter checkpointing: save/restore all named parameters of a network
+//! in a simple, dependency-free binary format.
+//!
+//! Format (little-endian):
+//! `magic "PDNN" | u32 version | u32 count | count × entry`, each entry
+//! `u32 name_len | name bytes | u32 ndim | ndim × u64 dims | f32 data…`.
+
+use crate::layer::Layer;
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"PDNN";
+const VERSION: u32 = 1;
+
+/// Error restoring a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// Not a checkpoint or corrupted framing.
+    Malformed(String),
+    /// A parameter present in the network is missing from the checkpoint.
+    MissingParam(String),
+    /// Shapes disagree for a parameter.
+    ShapeMismatch(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+            LoadError::MissingParam(p) => write!(f, "checkpoint lacks parameter {p}"),
+            LoadError::ShapeMismatch(p) => write!(f, "shape mismatch for parameter {p}"),
+        }
+    }
+}
+
+impl Error for LoadError {}
+
+/// Serialize every named parameter of a network.
+pub fn save(net: &dyn Layer) -> Vec<u8> {
+    let params = net.params();
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    for p in params {
+        let name = p.name.as_bytes();
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name);
+        let shape = p.value.shape();
+        out.extend_from_slice(&(shape.len() as u32).to_le_bytes());
+        for &d in shape {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        for &v in p.value.data() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Restore parameters by name into a network.
+///
+/// Every parameter of `net` must be present in the checkpoint with a
+/// matching shape; extra checkpoint entries are ignored (forward-compatible
+/// with partial nets).
+///
+/// # Errors
+///
+/// Returns [`LoadError`] on malformed input, missing parameters or shape
+/// mismatches; the network is unmodified on error.
+pub fn load(net: &mut dyn Layer, bytes: &[u8]) -> Result<(), LoadError> {
+    struct Cursor<'a>(&'a [u8]);
+    impl<'a> Cursor<'a> {
+        fn take(&mut self, n: usize) -> Result<&'a [u8], LoadError> {
+            if self.0.len() < n {
+                return Err(LoadError::Malformed("truncated".into()));
+            }
+            let (head, rest) = self.0.split_at(n);
+            self.0 = rest;
+            Ok(head)
+        }
+        fn u32le(&mut self) -> Result<u32, LoadError> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        }
+        fn u64le(&mut self) -> Result<u64, LoadError> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        }
+    }
+    let mut cur = Cursor(bytes);
+
+    if cur.take(4).ok() != Some(MAGIC.as_slice()) {
+        return Err(LoadError::Malformed("bad magic".into()));
+    }
+    let version = cur.u32le()?;
+    if version != VERSION {
+        return Err(LoadError::Malformed(format!("unsupported version {version}")));
+    }
+    let count = cur.u32le()? as usize;
+    let mut entries: std::collections::HashMap<String, (Vec<usize>, Vec<f32>)> =
+        std::collections::HashMap::with_capacity(count);
+    for _ in 0..count {
+        let name_len = cur.u32le()? as usize;
+        let name = String::from_utf8(cur.take(name_len)?.to_vec())
+            .map_err(|_| LoadError::Malformed("non-utf8 name".into()))?;
+        let ndim = cur.u32le()? as usize;
+        if ndim > 8 {
+            return Err(LoadError::Malformed(format!("implausible ndim {ndim}")));
+        }
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(cur.u64le()? as usize);
+        }
+        let n: usize = shape.iter().product();
+        let raw = cur.take(4 * n)?;
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("len 4")))
+            .collect();
+        entries.insert(name, (shape, data));
+    }
+
+    // Validate everything before mutating anything.
+    for p in net.params() {
+        match entries.get(&p.name) {
+            None => return Err(LoadError::MissingParam(p.name.clone())),
+            Some((shape, _)) if shape != p.value.shape() => {
+                return Err(LoadError::ShapeMismatch(p.name.clone()))
+            }
+            _ => {}
+        }
+    }
+    for p in net.params_mut() {
+        let (_, data) = &entries[&p.name];
+        p.value.data_mut().copy_from_slice(data);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Sequential;
+    use crate::linear::Linear;
+    use posit_tensor::rng::Prng;
+    use posit_tensor::Tensor;
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = Prng::seed(seed);
+        Sequential::new("net")
+            .push(Linear::new(
+                "fc1",
+                Tensor::rand_normal(&[4, 3], 0.0, 1.0, &mut rng),
+                Some(Tensor::zeros(&[4])),
+            ))
+            .push(Linear::new(
+                "fc2",
+                Tensor::rand_normal(&[2, 4], 0.0, 1.0, &mut rng),
+                None,
+            ))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = net(1);
+        let bytes = save(&a);
+        let mut b = net(2);
+        assert_ne!(a.params()[0].value.data(), b.params()[0].value.data());
+        load(&mut b, &bytes).unwrap();
+        for (pa, pb) in a.params().iter().zip(b.params()) {
+            assert_eq!(pa.name, pb.name);
+            assert_eq!(pa.value.data(), pb.value.data());
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        let mut n = net(1);
+        assert!(matches!(
+            load(&mut n, b"nonsense"),
+            Err(LoadError::Malformed(_))
+        ));
+        let bytes = save(&n);
+        assert!(matches!(
+            load(&mut n, &bytes[..bytes.len() - 3]),
+            Err(LoadError::Malformed(_))
+        ));
+        assert!(load(&mut n, &bytes).is_ok());
+    }
+
+    #[test]
+    fn rejects_shape_mismatch_without_mutation() {
+        let a = net(1);
+        let bytes = save(&a);
+        let mut rng = Prng::seed(3);
+        let mut other = Sequential::new("net").push(Linear::new(
+            "fc1",
+            Tensor::rand_normal(&[5, 3], 0.0, 1.0, &mut rng), // 5 != 4
+            Some(Tensor::zeros(&[5])),
+        ));
+        let before: Vec<f32> = other.params()[0].value.data().to_vec();
+        assert!(matches!(
+            load(&mut other, &bytes),
+            Err(LoadError::ShapeMismatch(_))
+        ));
+        assert_eq!(other.params()[0].value.data(), &before[..]);
+    }
+
+    #[test]
+    fn missing_param_detected() {
+        let a = net(1);
+        let bytes = save(&a);
+        let mut rng = Prng::seed(4);
+        let mut bigger = Sequential::new("net").push(Linear::new(
+            "fc3", // not in the checkpoint
+            Tensor::rand_normal(&[2, 2], 0.0, 1.0, &mut rng),
+            None,
+        ));
+        assert!(matches!(
+            load(&mut bigger, &bytes),
+            Err(LoadError::MissingParam(_))
+        ));
+    }
+
+    #[test]
+    fn extra_entries_are_ignored() {
+        let a = net(1);
+        let bytes = save(&a);
+        // A net with only fc1 loads fine from the two-layer checkpoint.
+        let mut rng = Prng::seed(5);
+        let mut partial = Sequential::new("net").push(Linear::new(
+            "fc1",
+            Tensor::rand_normal(&[4, 3], 0.0, 1.0, &mut rng),
+            Some(Tensor::zeros(&[4])),
+        ));
+        load(&mut partial, &bytes).unwrap();
+        assert_eq!(partial.params()[0].value.data(), a.params()[0].value.data());
+    }
+}

@@ -1,0 +1,253 @@
+//! 2-D convolution layer with explicit backward.
+
+use crate::layer::{Layer, LayerKind};
+use crate::param::Param;
+use posit_tensor::conv::{col2im, im2col, ConvGeom};
+use posit_tensor::{gemm, Tensor};
+
+/// `Conv2d`: NCHW convolution, square kernel, no dilation/groups (all the
+/// paper's ResNets need). Bias is optional — ResNet convs are bias-free
+/// because BN follows.
+pub struct Conv2d {
+    name: String,
+    weight: Param,
+    bias: Option<Param>,
+    stride: usize,
+    pad: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Create with explicit weights (see [`crate::init`] for initializers).
+    pub fn new(
+        name: impl Into<String>,
+        weight: Tensor,
+        bias: Option<Tensor>,
+        stride: usize,
+        pad: usize,
+    ) -> Conv2d {
+        assert_eq!(weight.shape().len(), 4, "weight must be [O,C,KH,KW]");
+        let name = name.into();
+        Conv2d {
+            weight: Param::new(format!("{name}.weight"), weight),
+            bias: bias.map(|b| Param::no_decay(format!("{name}.bias"), b)),
+            name,
+            stride,
+            pad,
+            cached_input: None,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.weight.value.shape()[0]
+    }
+
+    fn geom(&self, input_shape: &[usize]) -> ConvGeom {
+        let wsh = self.weight.value.shape();
+        ConvGeom {
+            c: input_shape[1],
+            h: input_shape[2],
+            w: input_shape[3],
+            kh: wsh[2],
+            kw: wsh[3],
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Conv
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.cached_input = Some(input.clone());
+        posit_tensor::conv::conv2d(
+            input,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| b.value.data()),
+            self.stride,
+            self.pad,
+        )
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward");
+        let ish = input.shape();
+        let g = self.geom(ish);
+        let n = ish[0];
+        let o = self.out_channels();
+        let (rows, cols) = (g.col_rows(), g.col_cols());
+        let sample_in = g.c * g.h * g.w;
+        let sample_out = o * cols;
+
+        let mut grad_in = Tensor::zeros(ish);
+        let mut col = vec![0.0f32; rows * cols];
+        let mut dcol = vec![0.0f32; rows * cols];
+        // weight as [O, rows]; grad_out sample as [O, cols].
+        let w_flat = self.weight.value.data();
+        for i in 0..n {
+            let dy = &grad_out.data()[i * sample_out..(i + 1) * sample_out];
+            // ΔW += dY · colᵀ  — [O, cols] × [cols, rows]
+            im2col(&input.data()[i * sample_in..(i + 1) * sample_in], &g, &mut col);
+            gemm::gemm_a_bt(o, cols, rows, dy, &col, self.weight.grad.data_mut());
+            // dX_col = Wᵀ · dY — [rows, O] × [O, cols]
+            dcol.fill(0.0);
+            gemm::gemm_at_b(rows, o, cols, w_flat, dy, &mut dcol);
+            col2im(
+                &dcol,
+                &g,
+                &mut grad_in.data_mut()[i * sample_in..(i + 1) * sample_in],
+            );
+        }
+        if let Some(b) = &mut self.bias {
+            for i in 0..n {
+                let dy = &grad_out.data()[i * sample_out..(i + 1) * sample_out];
+                for (oc, gb) in b.grad.data_mut().iter_mut().enumerate() {
+                    *gb += dy[oc * cols..(oc + 1) * cols].iter().sum::<f32>();
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            p.push(b);
+        }
+        p
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut p = vec![&self.weight];
+        if let Some(b) = &self.bias {
+            p.push(b);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posit_tensor::rng::Prng;
+
+    /// Finite-difference check of dW and dX through a scalar loss
+    /// `L = Σ out ⊙ R` for a fixed random R.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Prng::seed(42);
+        let input = Tensor::rand_normal(&[2, 3, 6, 6], 0.0, 1.0, &mut rng);
+        let weight = Tensor::rand_normal(&[4, 3, 3, 3], 0.0, 0.3, &mut rng);
+        let bias = Tensor::rand_normal(&[4], 0.0, 0.1, &mut rng);
+        let r = Tensor::rand_normal(&[2, 4, 6, 6], 0.0, 1.0, &mut rng);
+
+        let mut layer = Conv2d::new("c", weight.clone(), Some(bias.clone()), 1, 1);
+        let out = layer.forward(&input, true);
+        assert_eq!(out.shape(), r.shape());
+        let grad_in = layer.backward(&r);
+
+        let loss = |w: &Tensor, b: &Tensor, x: &Tensor| -> f64 {
+            let mut l = Conv2d::new("c", w.clone(), Some(b.clone()), 1, 1);
+            let o = l.forward(x, true);
+            o.data().iter().zip(r.data()).map(|(&a, &b)| (a * b) as f64).sum()
+        };
+
+        let eps = 1e-3f32;
+        // dW spot checks
+        for &idx in &[0usize, 17, 53, 107] {
+            let mut wp = weight.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.data_mut()[idx] -= eps;
+            let num = (loss(&wp, &bias, &input) - loss(&wm, &bias, &input)) / (2.0 * eps as f64);
+            let ana = layer.weight.grad.data()[idx] as f64;
+            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "dW[{idx}] {num} vs {ana}");
+        }
+        // db spot checks
+        for idx in 0..4 {
+            let mut bp = bias.clone();
+            bp.data_mut()[idx] += eps;
+            let mut bm = bias.clone();
+            bm.data_mut()[idx] -= eps;
+            let num = (loss(&weight, &bp, &input) - loss(&weight, &bm, &input)) / (2.0 * eps as f64);
+            let ana = layer.bias.as_ref().unwrap().grad.data()[idx] as f64;
+            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "db[{idx}] {num} vs {ana}");
+        }
+        // dX spot checks
+        for &idx in &[0usize, 31, 99, 215] {
+            let mut xp = input.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = input.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&weight, &bias, &xp) - loss(&weight, &bias, &xm)) / (2.0 * eps as f64);
+            let ana = grad_in.data()[idx] as f64;
+            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "dX[{idx}] {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn strided_gradients_match_finite_differences() {
+        let mut rng = Prng::seed(43);
+        let input = Tensor::rand_normal(&[1, 2, 7, 7], 0.0, 1.0, &mut rng);
+        let weight = Tensor::rand_normal(&[3, 2, 3, 3], 0.0, 0.3, &mut rng);
+        let mut layer = Conv2d::new("c", weight.clone(), None, 2, 1);
+        let out = layer.forward(&input, true);
+        let r = Tensor::rand_normal(out.shape(), 0.0, 1.0, &mut rng);
+        let grad_in = layer.backward(&r);
+
+        let loss = |w: &Tensor, x: &Tensor| -> f64 {
+            let mut l = Conv2d::new("c", w.clone(), None, 2, 1);
+            let o = l.forward(x, true);
+            o.data().iter().zip(r.data()).map(|(&a, &b)| (a * b) as f64).sum()
+        };
+        let eps = 1e-3f32;
+        for &idx in &[0usize, 13, 41] {
+            let mut xp = input.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = input.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&weight, &xp) - loss(&weight, &xm)) / (2.0 * eps as f64);
+            let ana = grad_in.data()[idx] as f64;
+            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "dX[{idx}]");
+        }
+        for &idx in &[0usize, 25, 50] {
+            let mut wp = weight.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.data_mut()[idx] -= eps;
+            let num = (loss(&wp, &input) - loss(&wm, &input)) / (2.0 * eps as f64);
+            let ana = layer.weight.grad.data()[idx] as f64;
+            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "dW[{idx}]");
+        }
+    }
+
+    #[test]
+    fn grad_accumulates_across_backwards() {
+        let mut rng = Prng::seed(44);
+        let input = Tensor::rand_normal(&[1, 1, 4, 4], 0.0, 1.0, &mut rng);
+        let weight = Tensor::rand_normal(&[1, 1, 3, 3], 0.0, 1.0, &mut rng);
+        let mut layer = Conv2d::new("c", weight, None, 1, 1);
+        let out = layer.forward(&input, true);
+        let g = Tensor::ones(out.shape());
+        layer.backward(&g);
+        let once = layer.weight.grad.clone();
+        layer.forward(&input, true);
+        layer.backward(&g);
+        for (a, b) in layer.weight.grad.data().iter().zip(once.data()) {
+            assert!((a - 2.0 * b).abs() < 1e-4, "grads must accumulate");
+        }
+        layer.params_mut()[0].zero_grad();
+        assert_eq!(layer.weight.grad.max_abs(), 0.0);
+    }
+}

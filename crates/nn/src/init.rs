@@ -1,0 +1,54 @@
+//! Weight initializers (Kaiming/He, as used by the ResNet family).
+
+use posit_tensor::rng::Prng;
+use posit_tensor::Tensor;
+
+/// Kaiming-normal init for conv weights `[O, C, KH, KW]`:
+/// `std = sqrt(2 / fan_in)` with `fan_in = C*KH*KW`.
+pub fn kaiming_conv(o: usize, c: usize, kh: usize, kw: usize, rng: &mut Prng) -> Tensor {
+    let fan_in = (c * kh * kw) as f32;
+    let std = (2.0 / fan_in).sqrt();
+    Tensor::rand_normal(&[o, c, kh, kw], 0.0, std, rng)
+}
+
+/// Kaiming-uniform init for linear weights `[out, in]`:
+/// `bound = sqrt(6 / fan_in)`.
+pub fn kaiming_linear(out: usize, inp: usize, rng: &mut Prng) -> Tensor {
+    let bound = (6.0 / inp as f32).sqrt();
+    Tensor::rand_uniform(&[out, inp], -bound, bound, rng)
+}
+
+/// Zero bias of length `n`.
+pub fn zero_bias(n: usize) -> Tensor {
+    Tensor::zeros(&[n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_conv_std() {
+        let mut rng = Prng::seed(5);
+        let w = kaiming_conv(64, 16, 3, 3, &mut rng);
+        let n = w.len() as f64;
+        let mean = w.mean();
+        let var = w.data().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        let want = 2.0 / (16.0 * 9.0);
+        assert!(mean.abs() < 0.01);
+        assert!((var - want).abs() < 0.2 * want, "var {var} want {want}");
+    }
+
+    #[test]
+    fn kaiming_linear_bounds() {
+        let mut rng = Prng::seed(6);
+        let w = kaiming_linear(10, 24, &mut rng);
+        let bound = (6.0f32 / 24.0).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn zero_bias_is_zero() {
+        assert_eq!(zero_bias(4).data(), &[0.0; 4]);
+    }
+}

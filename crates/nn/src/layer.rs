@@ -1,0 +1,377 @@
+//! The layer trait and the structural layers (ReLU, Flatten, Sequential,
+//! Residual).
+
+use crate::param::Param;
+use posit_tensor::Tensor;
+
+/// Coarse layer taxonomy. The paper's Table III assigns different posit
+/// precisions to CONV and BN layers, so the quantizer needs to know which
+/// is which.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Convolution layers (Table III: posit(8,1)/(8,2) on CIFAR).
+    Conv,
+    /// Batch-normalization layers (Table III: posit(16,1)/(16,2) on CIFAR).
+    BatchNorm,
+    /// Fully-connected layers (treated like CONV by the quantizer).
+    Linear,
+    /// Parameter-free activations.
+    Activation,
+    /// Pooling layers.
+    Pool,
+    /// Shape-only layers.
+    Structural,
+}
+
+/// A layer in the Fig. 3 dataflow.
+///
+/// * `forward`: `A^{l-1} → A^l`, caching whatever the backward needs;
+/// * `backward`: `E^l → E^{l-1}`, accumulating `ΔW` into [`Param::grad`].
+///
+/// `backward` must be called after `forward` on the same input batch.
+pub trait Layer: Send {
+    /// Layer taxonomy for per-kind quantizer configuration.
+    fn kind(&self) -> LayerKind;
+
+    /// Instance name (e.g. `"conv1"`), used for per-layer reporting.
+    fn name(&self) -> &str;
+
+    /// Forward pass. `train` selects training behaviour (BN batch stats).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backward pass: consumes the output-side error `E^l` and returns the
+    /// input-side error `E^{l-1}`, accumulating parameter gradients.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable access to the learnable parameters (empty by default).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Shared access to the learnable parameters (empty by default).
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+}
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct ReLU {
+    name: String,
+    mask: Vec<bool>,
+}
+
+impl ReLU {
+    /// A named ReLU.
+    pub fn new(name: impl Into<String>) -> ReLU {
+        ReLU {
+            name: name.into(),
+            mask: Vec::new(),
+        }
+    }
+}
+
+impl Layer for ReLU {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Activation
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.mask = input.data().iter().map(|&x| x > 0.0).collect();
+        input.map(|x| x.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.mask.len(), "backward before forward?");
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_out.shape())
+    }
+}
+
+/// Collapse `[N, C, H, W] → [N, C*H*W]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    name: String,
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// A named Flatten.
+    pub fn new(name: impl Into<String>) -> Flatten {
+        Flatten {
+            name: name.into(),
+            in_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Structural
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.in_shape = input.shape().to_vec();
+        let n = self.in_shape[0];
+        let rest: usize = self.in_shape[1..].iter().product();
+        input.clone().reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.clone().reshape(&self.in_shape)
+    }
+}
+
+/// A straight-line container running layers in order.
+#[derive(Default)]
+pub struct Sequential {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty named container.
+    pub fn new(name: impl Into<String>) -> Sequential {
+        Sequential {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Append a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Sequential {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Append a boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// The contained layers.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to the contained layers.
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Number of directly contained layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True iff the container is empty (acts as identity).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Structural
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+}
+
+/// A residual block: `y = relu?(main(x) + shortcut(x))` where an empty
+/// shortcut is the identity — the ResNet BasicBlock skeleton.
+pub struct Residual {
+    name: String,
+    main: Sequential,
+    shortcut: Sequential,
+    final_relu: bool,
+    relu_mask: Vec<bool>,
+}
+
+impl Residual {
+    /// Build from a main path and a (possibly empty = identity) shortcut.
+    pub fn new(
+        name: impl Into<String>,
+        main: Sequential,
+        shortcut: Sequential,
+        final_relu: bool,
+    ) -> Residual {
+        Residual {
+            name: name.into(),
+            main,
+            shortcut,
+            final_relu,
+            relu_mask: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Residual {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Structural
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let main = self.main.forward(input, train);
+        let short = if self.shortcut.is_empty() {
+            input.clone()
+        } else {
+            self.shortcut.forward(input, train)
+        };
+        let mut y = main.add(&short);
+        if self.final_relu {
+            self.relu_mask = y.data().iter().map(|&v| v > 0.0).collect();
+            y.apply(|v| v.max(0.0));
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = if self.final_relu {
+            let data = grad_out
+                .data()
+                .iter()
+                .zip(&self.relu_mask)
+                .map(|(&g, &m)| if m { g } else { 0.0 })
+                .collect();
+            Tensor::from_vec(data, grad_out.shape())
+        } else {
+            grad_out.clone()
+        };
+        let g_main = self.main.backward(&g);
+        let g_short = if self.shortcut.is_empty() {
+            g
+        } else {
+            self.shortcut.backward(&g)
+        };
+        g_main.add(&g_short)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.main.params_mut();
+        p.extend(self.shortcut.params_mut());
+        p
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut p = self.main.params();
+        p.extend(self.shortcut.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut relu = ReLU::new("r");
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0, -3.0], &[4]);
+        let y = relu.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = relu.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[4]));
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(relu.kind(), LayerKind::Activation);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new("f");
+        let x = Tensor::zeros(&[2, 3, 4, 5]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 60]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn sequential_composes() {
+        let mut seq = Sequential::new("s").push(ReLU::new("r1")).push(ReLU::new("r2"));
+        assert_eq!(seq.len(), 2);
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[2]);
+        let y = seq.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 2.0]);
+        let g = seq.backward(&Tensor::ones(&[2]));
+        assert_eq!(g.data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn residual_identity_shortcut() {
+        // main = ReLU, shortcut = identity: y = relu_off(main(x) + x).
+        let mut block = Residual::new(
+            "res",
+            Sequential::new("m").push(ReLU::new("r")),
+            Sequential::new("sc"),
+            false,
+        );
+        let x = Tensor::from_vec(vec![-2.0, 3.0], &[2]);
+        let y = block.forward(&x, true);
+        assert_eq!(y.data(), &[-2.0, 6.0]); // relu(-2)+(-2), relu(3)+3
+        let g = block.backward(&Tensor::ones(&[2]));
+        // d/dx [relu(x) + x] = mask + 1
+        assert_eq!(g.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn residual_final_relu_gates_both_paths() {
+        let mut block = Residual::new(
+            "res",
+            Sequential::new("m"),
+            Sequential::new("sc"),
+            true,
+        );
+        // empty main and shortcut: y = relu(x + x)
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[2]);
+        let y = block.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 4.0]);
+        let g = block.backward(&Tensor::ones(&[2]));
+        assert_eq!(g.data(), &[0.0, 2.0]);
+    }
+}

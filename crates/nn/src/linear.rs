@@ -1,0 +1,156 @@
+//! Fully-connected layer with explicit backward.
+
+use crate::layer::{Layer, LayerKind};
+use crate::param::Param;
+use posit_tensor::{gemm, Tensor};
+
+/// `Linear`: `y[N,out] = x[N,in] · Wᵀ + b`, weight stored `[out, in]`.
+pub struct Linear {
+    name: String,
+    weight: Param,
+    bias: Option<Param>,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Create with explicit weights (see [`crate::init`]).
+    pub fn new(name: impl Into<String>, weight: Tensor, bias: Option<Tensor>) -> Linear {
+        assert_eq!(weight.shape().len(), 2, "weight must be [out, in]");
+        let name = name.into();
+        Linear {
+            weight: Param::new(format!("{name}.weight"), weight),
+            bias: bias.map(|b| Param::no_decay(format!("{name}.bias"), b)),
+            name,
+            cached_input: None,
+        }
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.shape()[0]
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.shape()[1]
+    }
+}
+
+impl Layer for Linear {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Linear
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "Linear input must be [N, in]");
+        assert_eq!(input.shape()[1], self.in_features(), "feature mismatch");
+        self.cached_input = Some(input.clone());
+        let n = input.shape()[0];
+        let (o, k) = (self.out_features(), self.in_features());
+        let mut out = Tensor::zeros(&[n, o]);
+        // y = x · Wᵀ
+        gemm::gemm_a_bt(n, k, o, input.data(), self.weight.value.data(), out.data_mut());
+        if let Some(b) = &self.bias {
+            for i in 0..n {
+                for (j, &bv) in b.value.data().iter().enumerate() {
+                    out.data_mut()[i * o + j] += bv;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        let n = input.shape()[0];
+        let (o, k) = (self.out_features(), self.in_features());
+        // ΔW += dYᵀ · X — [o, n] × [n, k]
+        gemm::gemm_at_b(o, n, k, grad_out.data(), input.data(), self.weight.grad.data_mut());
+        if let Some(b) = &mut self.bias {
+            for i in 0..n {
+                for (j, gb) in b.grad.data_mut().iter_mut().enumerate() {
+                    *gb += grad_out.data()[i * o + j];
+                }
+            }
+        }
+        // dX = dY · W — [n, o] × [o, k]
+        let mut grad_in = Tensor::zeros(&[n, k]);
+        gemm::gemm(n, o, k, grad_out.data(), self.weight.value.data(), grad_in.data_mut());
+        grad_in
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            p.push(b);
+        }
+        p
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut p = vec![&self.weight];
+        if let Some(b) = &self.bias {
+            p.push(b);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posit_tensor::rng::Prng;
+
+    #[test]
+    fn forward_small() {
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+        let mut l = Linear::new("fc", w, Some(b));
+        let x = Tensor::from_vec(vec![1.0, 0.0, -1.0], &[1, 3]);
+        let y = l.forward(&x, true);
+        assert_eq!(y.data(), &[1.0 - 3.0 + 0.5, 4.0 - 6.0 - 0.5]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Prng::seed(9);
+        let w0 = Tensor::rand_normal(&[4, 6], 0.0, 0.5, &mut rng);
+        let b0 = Tensor::rand_normal(&[4], 0.0, 0.1, &mut rng);
+        let x0 = Tensor::rand_normal(&[3, 6], 0.0, 1.0, &mut rng);
+        let r = Tensor::rand_normal(&[3, 4], 0.0, 1.0, &mut rng);
+
+        let loss = |w: &Tensor, b: &Tensor, x: &Tensor| -> f64 {
+            let mut l = Linear::new("fc", w.clone(), Some(b.clone()));
+            let y = l.forward(x, true);
+            y.data().iter().zip(r.data()).map(|(&a, &b)| (a * b) as f64).sum()
+        };
+
+        let mut layer = Linear::new("fc", w0.clone(), Some(b0.clone()));
+        layer.forward(&x0, true);
+        let grad_in = layer.backward(&r);
+
+        let eps = 1e-3f32;
+        for &idx in &[0usize, 7, 13, 23] {
+            let mut wp = w0.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w0.clone();
+            wm.data_mut()[idx] -= eps;
+            let num = (loss(&wp, &b0, &x0) - loss(&wm, &b0, &x0)) / (2.0 * eps as f64);
+            let ana = layer.weight.grad.data()[idx] as f64;
+            assert!((num - ana).abs() < 1e-2 * (1.0 + ana.abs()), "dW[{idx}]");
+        }
+        for &idx in &[0usize, 5, 11, 17] {
+            let mut xp = x0.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x0.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&w0, &b0, &xp) - loss(&w0, &b0, &xm)) / (2.0 * eps as f64);
+            let ana = grad_in.data()[idx] as f64;
+            assert!((num - ana).abs() < 1e-2 * (1.0 + ana.abs()), "dX[{idx}]");
+        }
+    }
+}

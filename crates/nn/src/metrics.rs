@@ -1,0 +1,97 @@
+//! Training metrics: top-1 accuracy and running averages.
+
+use posit_tensor::Tensor;
+
+/// Top-1 accuracy of logits `[N, C]` against integer targets, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn top1_accuracy(logits: &Tensor, targets: &[usize]) -> f64 {
+    let sh = logits.shape();
+    assert_eq!(sh.len(), 2, "logits must be [N, C]");
+    let (n, c) = (sh[0], sh[1]);
+    assert_eq!(targets.len(), n, "target count mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for i in 0..n {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let mut best = 0usize;
+        for j in 1..c {
+            if row[j] > row[best] {
+                best = j;
+            }
+        }
+        if best == targets[i] {
+            correct += 1;
+        }
+    }
+    correct as f64 / n as f64
+}
+
+/// A running average (weighted by sample count), for loss/accuracy meters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Meter {
+    sum: f64,
+    count: f64,
+}
+
+impl Meter {
+    /// An empty meter.
+    pub fn new() -> Meter {
+        Meter::default()
+    }
+
+    /// Add a value with a weight (e.g. batch size).
+    pub fn update(&mut self, value: f64, weight: f64) {
+        self.sum += value * weight;
+        self.count += weight;
+    }
+
+    /// Weighted mean so far (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0.0 {
+            0.0
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Reset to empty.
+    pub fn reset(&mut self) {
+        *self = Meter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Tensor::from_vec(
+            vec![
+                0.9, 0.1, 0.0, // -> 0
+                0.1, 0.8, 0.1, // -> 1
+                0.2, 0.3, 0.5, // -> 2
+                0.6, 0.3, 0.1, // -> 0
+            ],
+            &[4, 3],
+        );
+        assert_eq!(top1_accuracy(&logits, &[0, 1, 2, 0]), 1.0);
+        assert_eq!(top1_accuracy(&logits, &[1, 1, 2, 0]), 0.75);
+        assert_eq!(top1_accuracy(&logits, &[1, 0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    fn meter_weighted_mean() {
+        let mut m = Meter::new();
+        m.update(1.0, 10.0);
+        m.update(0.0, 30.0);
+        assert_eq!(m.mean(), 0.25);
+        m.reset();
+        assert_eq!(m.mean(), 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! SGD with momentum and the paper's step learning-rate schedules.
+
+use crate::param::Param;
+use posit_tensor::Tensor;
+
+/// Stochastic gradient descent with classical momentum and decoupled-from-
+/// BN weight decay — the optimizer of the paper's §III-C ("SGD with
+/// Moment 0.9").
+///
+/// Velocity buffers are FP32 regardless of the quantizer configuration,
+/// matching the paper (Fig. 3c quantizes `W`, `ΔW`, not optimizer state).
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD (no momentum, no decay).
+    pub fn new(lr: f32) -> Sgd {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Set the momentum coefficient (builder style).
+    pub fn momentum(mut self, m: f32) -> Sgd {
+        self.momentum = m;
+        self
+    }
+
+    /// Set the weight decay (builder style).
+    pub fn weight_decay(mut self, wd: f32) -> Sgd {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replace the learning rate (driven by a schedule).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// One update step over the parameter list. The parameter order must be
+    /// stable across calls (velocity buffers are positional).
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+        }
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            let wd = if p.decay { self.weight_decay } else { 0.0 };
+            let pv = p.value.data();
+            let pg = p.grad.data();
+            let vd = v.data_mut();
+            for i in 0..pv.len() {
+                let g = pg[i] + wd * pv[i];
+                vd[i] = self.momentum * vd[i] + g;
+            }
+            let lr = self.lr;
+            let vdata = v.data();
+            for (w, &vi) in p.value.data_mut().iter_mut().zip(vdata) {
+                *w -= lr * vi;
+            }
+        }
+    }
+
+    /// Zero all gradients.
+    pub fn zero_grad(&self, params: &mut [&mut Param]) {
+        for p in params {
+            p.zero_grad();
+        }
+    }
+}
+
+/// Step decay schedule: divide the initial LR by 10 at each milestone
+/// epoch — the paper's CIFAR schedule is `{60, 150, 250}` over 300 epochs,
+/// ImageNet's is every 30 epochs.
+#[derive(Debug, Clone)]
+pub struct StepLr {
+    initial: f32,
+    milestones: Vec<usize>,
+    factor: f32,
+}
+
+impl StepLr {
+    /// Divide `initial` by `1/factor` at each milestone (paper: factor 0.1).
+    pub fn new(initial: f32, milestones: Vec<usize>, factor: f32) -> StepLr {
+        StepLr {
+            initial,
+            milestones,
+            factor,
+        }
+    }
+
+    /// The paper's CIFAR-10 schedule: 0.1, ÷10 at epochs 60, 150, 250.
+    pub fn cifar_paper() -> StepLr {
+        StepLr::new(0.1, vec![60, 150, 250], 0.1)
+    }
+
+    /// The paper's ImageNet schedule: 0.1, ÷10 every 30 epochs.
+    pub fn imagenet_paper(epochs: usize) -> StepLr {
+        StepLr::new(0.1, (1..=epochs / 30).map(|k| 30 * k).collect(), 0.1)
+    }
+
+    /// Learning rate for a (0-based) epoch.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        let crossed = self.milestones.iter().filter(|&&m| epoch >= m).count();
+        self.initial * self.factor.powi(crossed as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad_param(x: f32) -> Param {
+        Param::new("w", Tensor::from_vec(vec![x], &[1]))
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        // f(w) = (w-3)^2, df = 2(w-3)
+        let mut p = quad_param(0.0);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            let w = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * (w - 3.0);
+            opt.step(&mut [&mut p]);
+        }
+        assert!((p.value.data()[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |mom: f32| {
+            let mut p = quad_param(0.0);
+            let mut opt = Sgd::new(0.01).momentum(mom);
+            for _ in 0..50 {
+                let w = p.value.data()[0];
+                p.grad.data_mut()[0] = 2.0 * (w - 3.0);
+                opt.step(&mut [&mut p]);
+            }
+            (p.value.data()[0] - 3.0).abs()
+        };
+        assert!(run(0.9) < run(0.0), "momentum should converge faster here");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut p = quad_param(1.0);
+        let mut opt = Sgd::new(0.1).weight_decay(0.5);
+        p.grad.data_mut()[0] = 0.0;
+        opt.step(&mut [&mut p]);
+        assert!(p.value.data()[0] < 1.0);
+        // no-decay params are exempt
+        let mut q = Param::no_decay("b", Tensor::from_vec(vec![1.0], &[1]));
+        q.grad.data_mut()[0] = 0.0;
+        let mut opt2 = Sgd::new(0.1).weight_decay(0.5);
+        opt2.step(&mut [&mut q]);
+        assert_eq!(q.value.data()[0], 1.0);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = quad_param(1.0);
+        p.grad.data_mut()[0] = 5.0;
+        let opt = Sgd::new(0.1);
+        opt.zero_grad(&mut [&mut p]);
+        assert_eq!(p.grad.data()[0], 0.0);
+    }
+
+    #[test]
+    fn cifar_schedule_matches_paper() {
+        // §III-C: initial 0.1, divided by 10 at epoch 60, 150, 250.
+        let s = StepLr::cifar_paper();
+        assert_eq!(s.lr_at(0), 0.1);
+        assert_eq!(s.lr_at(59), 0.1);
+        assert!((s.lr_at(60) - 0.01).abs() < 1e-9);
+        assert!((s.lr_at(149) - 0.01).abs() < 1e-9);
+        assert!((s.lr_at(150) - 0.001).abs() < 1e-9);
+        assert!((s.lr_at(250) - 0.0001).abs() < 1e-10);
+    }
+
+    #[test]
+    fn imagenet_schedule_matches_paper() {
+        // §III-C: initial 0.1 divided by 10 every 30 epochs.
+        let s = StepLr::imagenet_paper(90);
+        assert_eq!(s.lr_at(29), 0.1);
+        assert!((s.lr_at(30) - 0.01).abs() < 1e-9);
+        assert!((s.lr_at(60) - 0.001).abs() < 1e-9);
+    }
+}

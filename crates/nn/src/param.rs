@@ -1,0 +1,45 @@
+//! Learnable parameters.
+
+use posit_tensor::Tensor;
+
+/// A learnable parameter: master value and accumulated gradient (the
+/// paper's `W` and `ΔW`).
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Qualified name, PyTorch-style (`"conv1.weight"`, `"layer4.0.bn1.weight"`)
+    /// — the convention the paper's Fig. 2 uses.
+    pub name: String,
+    /// The parameter tensor `W`.
+    pub value: Tensor,
+    /// The gradient tensor `ΔW`, accumulated by `backward`.
+    pub grad: Tensor,
+    /// Whether weight decay applies (true for weights, false for BN
+    /// affine parameters and biases, following ResNet practice).
+    pub decay: bool,
+}
+
+impl Param {
+    /// A named parameter with zeroed gradient.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Param {
+        let grad = Tensor::zeros(value.shape());
+        Param {
+            name: name.into(),
+            value,
+            grad,
+            decay: true,
+        }
+    }
+
+    /// A named parameter exempt from weight decay.
+    pub fn no_decay(name: impl Into<String>, value: Tensor) -> Param {
+        Param {
+            decay: false,
+            ..Param::new(name, value)
+        }
+    }
+
+    /// Zero the gradient buffer.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+}

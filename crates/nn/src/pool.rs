@@ -1,0 +1,108 @@
+//! Pooling layers wrapping the tensor-crate primitives.
+
+use crate::layer::{Layer, LayerKind};
+use posit_tensor::{pool, Tensor};
+
+/// Max pooling layer (square kernel, no padding).
+pub struct MaxPool2d {
+    name: String,
+    kernel: usize,
+    stride: usize,
+    argmax: Vec<usize>,
+    in_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Kernel `k`, stride `s`.
+    pub fn new(name: impl Into<String>, kernel: usize, stride: usize) -> MaxPool2d {
+        MaxPool2d {
+            name: name.into(),
+            kernel,
+            stride,
+            argmax: Vec::new(),
+            in_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Pool
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.in_shape = input.shape().to_vec();
+        let (out, argmax) = pool::maxpool2d(input, self.kernel, self.stride);
+        self.argmax = argmax;
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        pool::maxpool2d_backward(grad_out, &self.argmax, &self.in_shape)
+    }
+}
+
+/// Global average pooling `[N,C,H,W] → [N,C]`.
+pub struct GlobalAvgPool {
+    name: String,
+    in_shape: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// A named global average pool.
+    pub fn new(name: impl Into<String>) -> GlobalAvgPool {
+        GlobalAvgPool {
+            name: name.into(),
+            in_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Pool
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.in_shape = input.shape().to_vec();
+        pool::global_avgpool(input)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        pool::global_avgpool_backward(grad_out, &self.in_shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_layer_roundtrip() {
+        let mut mp = MaxPool2d::new("mp", 2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = mp.forward(&x, true);
+        assert_eq!(y.data(), &[4.0]);
+        let g = mp.backward(&Tensor::from_vec(vec![7.0], &[1, 1, 1, 1]));
+        assert_eq!(g.data(), &[0.0, 0.0, 0.0, 7.0]);
+        assert_eq!(mp.kind(), LayerKind::Pool);
+    }
+
+    #[test]
+    fn gap_layer_roundtrip() {
+        let mut gap = GlobalAvgPool::new("gap");
+        let x = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[1, 1, 2, 2]);
+        let y = gap.forward(&x, true);
+        assert_eq!(y.data(), &[5.0]);
+        let g = gap.backward(&Tensor::from_vec(vec![4.0], &[1, 1]));
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,545 @@
+//! Correctly-rounded posit arithmetic on raw code words.
+//!
+//! Every operation decodes to exact integer form `sign * sig * 2^(scale-63)`
+//! (with `sig` a 64-bit significand whose msb is the implicit one), computes
+//! exactly in 128-bit integers, and re-encodes through the single rounding
+//! point [`PositFormat::encode_fields`].
+
+use crate::format::PositFormat;
+use crate::round::Rounding;
+use crate::value::{Decoded, PositValue, Sign};
+
+/// An exact unpacked intermediate: `value = sign * mag * 2^(scale - 126)`
+/// where `mag` is a 128-bit magnitude with its msb anywhere, plus a sticky
+/// flag for bits already shifted out.
+#[derive(Debug, Clone, Copy)]
+struct Unpacked {
+    sign: Sign,
+    scale: i32,
+    mag: u128,
+    sticky: bool,
+}
+
+impl Unpacked {
+    /// Normalize and hand to the format's encoder.
+    fn encode(self, fmt: &PositFormat, rounding: Rounding, rand_word: u64) -> u64 {
+        if self.mag == 0 {
+            // Exactly zero unless sticky says there's a vanishing residue; a
+            // residue is smaller than every representable step, so RTZ gives
+            // zero and RNE gives zero too (it only avoids zero when the true
+            // value is known non-zero at this precision: conservative flush).
+            return 0;
+        }
+        let lz = self.mag.leading_zeros();
+        let norm = self.mag << lz;
+        let scale = self.scale + (127 - lz as i32) - 126;
+        let sig = (norm >> 64) as u64; // implicit one at bit 63
+        let low = norm as u64;
+        let frac = (sig << 1) | (low >> 63);
+        let sticky = (low << 1) != 0 || self.sticky;
+        fmt.encode_fields(self.sign, scale, frac, sticky, rounding, rand_word)
+    }
+}
+
+fn unpack(d: Decoded) -> (Sign, i32, u64) {
+    (d.sign, d.scale, d.significand())
+}
+
+impl PositFormat {
+    /// `a + b`, correctly rounded (round-to-nearest-even).
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        self.add_with(a, b, Rounding::NearestEven, 0)
+    }
+
+    /// `a - b`, correctly rounded (round-to-nearest-even).
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        self.sub_with(a, b, Rounding::NearestEven, 0)
+    }
+
+    /// `a * b`, correctly rounded (round-to-nearest-even).
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.mul_with(a, b, Rounding::NearestEven, 0)
+    }
+
+    /// `a / b`, correctly rounded (round-to-nearest-even).
+    pub fn div(&self, a: u64, b: u64) -> u64 {
+        self.div_with(a, b, Rounding::NearestEven, 0)
+    }
+
+    /// `sqrt(a)`, correctly rounded (round-to-nearest-even);
+    /// negative inputs give NaR.
+    pub fn sqrt(&self, a: u64) -> u64 {
+        self.sqrt_with(a, Rounding::NearestEven, 0)
+    }
+
+    /// `a * b + c` with a single rounding at the end (fused multiply-add).
+    pub fn fused_mul_add(&self, a: u64, b: u64, c: u64) -> u64 {
+        self.fused_mul_add_with(a, b, c, Rounding::NearestEven, 0)
+    }
+
+    /// `a + b` under an explicit rounding mode. `rand_word` feeds
+    /// [`Rounding::Stochastic`] and is ignored otherwise.
+    pub fn add_with(&self, a: u64, b: u64, rounding: Rounding, rand_word: u64) -> u64 {
+        let (da, db) = match (self.decode(a), self.decode(b)) {
+            (PositValue::NaR, _) | (_, PositValue::NaR) => return self.nar_bits(),
+            (PositValue::Zero, _) => return b & self.mask(),
+            (_, PositValue::Zero) => return a & self.mask(),
+            (PositValue::Finite(da), PositValue::Finite(db)) => (da, db),
+        };
+        self.add_decoded(da, db, rounding, rand_word)
+    }
+
+    /// `a - b` under an explicit rounding mode.
+    pub fn sub_with(&self, a: u64, b: u64, rounding: Rounding, rand_word: u64) -> u64 {
+        self.add_with(a, self.negate_checked(b), rounding, rand_word)
+    }
+
+    fn negate_checked(&self, b: u64) -> u64 {
+        if (b & self.mask()) == self.nar_bits() {
+            self.nar_bits()
+        } else {
+            self.negate(b)
+        }
+    }
+
+    fn add_decoded(&self, da: Decoded, db: Decoded, rounding: Rounding, rand_word: u64) -> u64 {
+        let (sa, ea, siga) = unpack(da);
+        let (sb, eb, sigb) = unpack(db);
+        // Order so that |big| >= |small| (compare (scale, sig)).
+        let ((s_big, e_big, sig_big), (s_small, e_small, sig_small)) =
+            if (ea, siga) >= (eb, sigb) {
+                ((sa, ea, siga), (sb, eb, sigb))
+            } else {
+                ((sb, eb, sigb), (sa, ea, siga))
+            };
+        let ds = (e_big - e_small) as u32;
+        let big = (sig_big as u128) << 63;
+        let (small, sticky) = if ds == 0 {
+            ((sig_small as u128) << 63, false)
+        } else if ds < 127 {
+            let full = (sig_small as u128) << 63;
+            let shifted = full >> ds;
+            (shifted, (shifted << ds) != full)
+        } else {
+            (0u128, true)
+        };
+        let (mag, sign) = if s_big == s_small {
+            (big + small, s_big)
+        } else {
+            // big >= small by the ordering above (strict unless equal).
+            if big == small && !sticky {
+                return 0; // exact cancellation
+            }
+            // When sticky bits were shifted out of `small`, the true small
+            // magnitude is slightly larger than `small`, so subtract one ulp
+            // of the fixed-point grid and keep sticky: the residue stays on
+            // the correct side for rounding.
+            if sticky {
+                (big - small - 1, s_big)
+            } else {
+                (big - small, s_big)
+            }
+        };
+        Unpacked {
+            sign,
+            scale: e_big,
+            mag,
+            sticky,
+        }
+        .encode(self, rounding, rand_word)
+    }
+
+    /// `a * b` under an explicit rounding mode.
+    pub fn mul_with(&self, a: u64, b: u64, rounding: Rounding, rand_word: u64) -> u64 {
+        let (da, db) = match (self.decode(a), self.decode(b)) {
+            (PositValue::NaR, _) | (_, PositValue::NaR) => return self.nar_bits(),
+            (PositValue::Zero, _) | (_, PositValue::Zero) => return 0,
+            (PositValue::Finite(da), PositValue::Finite(db)) => (da, db),
+        };
+        let (sa, ea, siga) = unpack(da);
+        let (sb, eb, sigb) = unpack(db);
+        let prod = (siga as u128) * (sigb as u128); // in [2^126, 2^128)
+        Unpacked {
+            sign: sa.xor(sb),
+            scale: ea + eb,
+            mag: prod,
+            sticky: false,
+        }
+        .encode(self, rounding, rand_word)
+    }
+
+    /// `a / b` under an explicit rounding mode. `x / 0` and `0 / 0` give NaR.
+    pub fn div_with(&self, a: u64, b: u64, rounding: Rounding, rand_word: u64) -> u64 {
+        let (da, db) = match (self.decode(a), self.decode(b)) {
+            (PositValue::NaR, _) | (_, PositValue::NaR) => return self.nar_bits(),
+            (_, PositValue::Zero) => return self.nar_bits(),
+            (PositValue::Zero, _) => return 0,
+            (PositValue::Finite(da), PositValue::Finite(db)) => (da, db),
+        };
+        let (sa, ea, siga) = unpack(da);
+        let (sb, eb, sigb) = unpack(db);
+        let num = (siga as u128) << 64;
+        let q = num / (sigb as u128); // in (2^63, 2^65)
+        let r = num % (sigb as u128);
+        let sign = sa.xor(sb);
+        let sticky = r != 0;
+        if q >> 64 != 0 {
+            // q = 2^64 * (1 + f): implicit one at bit 64.
+            let frac = q as u64;
+            self.encode_fields(sign, ea - eb, frac, sticky, rounding, rand_word)
+        } else {
+            // q = 2^63 * (1 + f): implicit one at bit 63.
+            let frac = (q as u64) << 1;
+            self.encode_fields(sign, ea - eb - 1, frac, sticky, rounding, rand_word)
+        }
+    }
+
+    /// `sqrt(a)` under an explicit rounding mode.
+    pub fn sqrt_with(&self, a: u64, rounding: Rounding, rand_word: u64) -> u64 {
+        let d = match self.decode(a) {
+            PositValue::NaR => return self.nar_bits(),
+            PositValue::Zero => return 0,
+            PositValue::Finite(d) => {
+                if d.sign.is_negative() {
+                    return self.nar_bits();
+                }
+                d
+            }
+        };
+        let (_, scale, sig) = unpack(d);
+        let s2 = scale.div_euclid(2);
+        let t = scale.rem_euclid(2) as u32; // 0 or 1
+        // arg = 2^t * (1 + f) in [1, 4); A = arg * 2^126.
+        let arg = (sig as u128) << (63 + t);
+        let root = arg.isqrt(); // in [2^63, 2^64)
+        let exact = root * root == arg;
+        let frac = (root as u64) << 1;
+        self.encode_fields(
+            Sign::Positive,
+            s2,
+            frac,
+            !exact,
+            rounding,
+            rand_word,
+        )
+    }
+
+    /// `a * b + c` with one rounding, under an explicit rounding mode.
+    ///
+    /// This is the semantics the hardware MAC of Fig. 4 implements (decode →
+    /// FP multiply-accumulate → encode with one rounding).
+    pub fn fused_mul_add_with(
+        &self,
+        a: u64,
+        b: u64,
+        c: u64,
+        rounding: Rounding,
+        rand_word: u64,
+    ) -> u64 {
+        let prod = match (self.decode(a), self.decode(b)) {
+            (PositValue::NaR, _) | (_, PositValue::NaR) => return self.nar_bits(),
+            (PositValue::Zero, _) | (_, PositValue::Zero) => None,
+            (PositValue::Finite(da), PositValue::Finite(db)) => Some((da, db)),
+        };
+        let dc = match self.decode(c) {
+            PositValue::NaR => return self.nar_bits(),
+            PositValue::Zero => None,
+            PositValue::Finite(dc) => Some(dc),
+        };
+        match (prod, dc) {
+            (None, None) => 0,
+            (None, Some(_)) => c & self.mask(),
+            (Some(_), None) => self.mul_with(a, b, rounding, rand_word),
+            (Some((da, db)), Some(dc)) => self.fma_exact(da, db, dc, rounding, rand_word),
+        }
+    }
+
+    /// Exact fused multiply-add core. Both operands are expressed on the
+    /// common grid `value = m * 2^(e - 126)`:
+    /// product `m = siga*sigb` at `e = ea+eb`; addend `m = sigc << 63` at
+    /// `e = ec`.
+    fn fma_exact(
+        &self,
+        da: Decoded,
+        db: Decoded,
+        dc: Decoded,
+        rounding: Rounding,
+        rand_word: u64,
+    ) -> u64 {
+        let (sa, ea, siga) = unpack(da);
+        let (sb, eb, sigb) = unpack(db);
+        let (sc, ec, sigc) = unpack(dc);
+        let psign = sa.xor(sb);
+        let pscale = ea + eb;
+        let prod = (siga as u128) * (sigb as u128);
+        let cval = (sigc as u128) << 63;
+
+        // Compare true magnitudes: floor(log2 |p|) vs floor(log2 |c|),
+        // breaking ties on the normalized significands.
+        let p_msb = 127 - prod.leading_zeros() as i32;
+        let p_top_scale = pscale - 126 + p_msb;
+        let c_top_scale = ec;
+        let p_bigger = match p_top_scale.cmp(&c_top_scale) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => {
+                (prod << prod.leading_zeros()) >= (cval << cval.leading_zeros())
+            }
+        };
+        let (s_big, e_big, m_big, s_small, e_small, mut m_small) = if p_bigger {
+            (psign, pscale, prod, sc, ec, cval)
+        } else {
+            (sc, ec, cval, psign, pscale, prod)
+        };
+        let mut ds_i = e_big - e_small;
+        if ds_i < 0 {
+            // Only reachable with the product as `big` (msb at 127, grid one
+            // finer than c's): re-anchor c (msb at 126) one bit left instead.
+            debug_assert!(ds_i == -1 && p_bigger);
+            m_small <<= (-ds_i) as u32;
+            ds_i = 0;
+        }
+        let ds = ds_i as u32;
+        // m_small * 2^(e_small-126) == (m_small >> ds) * 2^(e_big-126).
+        let (small_aligned, sticky) = if ds == 0 {
+            (m_small, false)
+        } else if ds < 128 {
+            let shifted = m_small >> ds;
+            (shifted, (shifted << ds) != m_small)
+        } else {
+            (0u128, m_small != 0)
+        };
+        let (mag, sign) = if s_big == s_small {
+            // Sum can overflow 128 bits: pre-shift both right by 1 if needed.
+            match m_big.checked_add(small_aligned) {
+                Some(m) => (m, s_big),
+                None => {
+                    let lost = ((m_big & 1) | (small_aligned & 1)) != 0;
+                    return Unpacked {
+                        sign: s_big,
+                        scale: e_big + 1,
+                        mag: (m_big >> 1) + (small_aligned >> 1)
+                            + (((m_big & 1) + (small_aligned & 1)) >> 1),
+                        sticky: sticky || lost,
+                    }
+                    .encode(self, rounding, rand_word);
+                }
+            }
+        } else if m_big == small_aligned && !sticky {
+            return 0;
+        } else if sticky {
+            (m_big - small_aligned - 1, s_big)
+        } else {
+            (m_big - small_aligned, s_big)
+        };
+        Unpacked {
+            sign,
+            scale: e_big,
+            mag,
+            sticky,
+        }
+        .encode(self, rounding, rand_word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fmt(n: u32, es: u32) -> PositFormat {
+        PositFormat::of(n, es)
+    }
+
+    #[test]
+    fn add_small_exact() {
+        let f = fmt(16, 1);
+        let a = f.from_f64(1.5, Rounding::NearestEven);
+        let b = f.from_f64(0.25, Rounding::NearestEven);
+        assert_eq!(f.to_f64(f.add(a, b)), 1.75);
+        assert_eq!(f.to_f64(f.sub(a, b)), 1.25);
+    }
+
+    #[test]
+    fn add_zero_identities() {
+        let f = fmt(8, 1);
+        for code in 0..f.code_count() {
+            if code == f.nar_bits() {
+                continue;
+            }
+            assert_eq!(f.add(code, 0), code);
+            assert_eq!(f.add(0, code), code);
+        }
+    }
+
+    #[test]
+    fn add_negation_cancels() {
+        let f = fmt(8, 2);
+        for code in 0..f.code_count() {
+            if code == f.nar_bits() || code == 0 {
+                continue;
+            }
+            assert_eq!(f.add(code, f.negate(code)), 0, "code {code:#x}");
+        }
+    }
+
+    #[test]
+    fn nar_propagates() {
+        let f = fmt(16, 2);
+        let nar = f.nar_bits();
+        let one = f.one_bits();
+        assert_eq!(f.add(nar, one), nar);
+        assert_eq!(f.mul(one, nar), nar);
+        assert_eq!(f.div(one, 0), nar);
+        assert_eq!(f.div(0, 0), nar);
+        assert_eq!(f.sqrt(f.negate(one)), nar);
+        assert_eq!(f.fused_mul_add(nar, one, one), nar);
+    }
+
+    #[test]
+    fn mul_simple() {
+        let f = fmt(16, 1);
+        let a = f.from_f64(3.0, Rounding::NearestEven);
+        let b = f.from_f64(0.5, Rounding::NearestEven);
+        assert_eq!(f.to_f64(f.mul(a, b)), 1.5);
+        assert_eq!(f.to_f64(f.mul(a, a)), 9.0);
+        assert_eq!(f.mul(a, 0), 0);
+    }
+
+    #[test]
+    fn div_simple() {
+        let f = fmt(16, 1);
+        let a = f.from_f64(3.0, Rounding::NearestEven);
+        let b = f.from_f64(2.0, Rounding::NearestEven);
+        assert_eq!(f.to_f64(f.div(a, b)), 1.5);
+        let one = f.one_bits();
+        assert_eq!(f.to_f64(f.div(one, f.from_f64(4.0, Rounding::NearestEven))), 0.25);
+    }
+
+    #[test]
+    fn div_then_mul_round_trip_units() {
+        let f = fmt(16, 2);
+        // Powers of two divide exactly.
+        for p in [-8i32, -3, 0, 5, 9] {
+            let x = f.from_f64((p as f64).exp2(), Rounding::NearestEven);
+            let y = f.from_f64(2.0, Rounding::NearestEven);
+            let q = f.div(x, y);
+            assert_eq!(f.to_f64(q), (p as f64 - 1.0).exp2());
+        }
+    }
+
+    #[test]
+    fn sqrt_exact_squares() {
+        let f = fmt(16, 1);
+        for v in [1.0, 4.0, 9.0, 0.25, 2.25, 256.0] {
+            let b = f.from_f64(v, Rounding::NearestEven);
+            assert_eq!(f.to_f64(f.sqrt(b)), v.sqrt(), "sqrt({v})");
+        }
+    }
+
+    #[test]
+    fn sqrt_rounded() {
+        let f = fmt(16, 1);
+        let two = f.from_f64(2.0, Rounding::NearestEven);
+        let r = f.to_f64(f.sqrt(two));
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fma_matches_separate_when_exact() {
+        let f = fmt(16, 1);
+        let a = f.from_f64(1.5, Rounding::NearestEven);
+        let b = f.from_f64(2.0, Rounding::NearestEven);
+        let c = f.from_f64(0.25, Rounding::NearestEven);
+        assert_eq!(f.to_f64(f.fused_mul_add(a, b, c)), 3.25);
+    }
+
+    #[test]
+    fn fma_single_rounding_beats_double() {
+        // Find a case where fused != mul-then-add to prove single rounding.
+        let f = fmt(8, 0);
+        let mut found = false;
+        'outer: for a in 1..128u64 {
+            for b in 1..128u64 {
+                for c in 1..128u64 {
+                    let fused = f.fused_mul_add(a, b, c);
+                    let separate = f.add(f.mul(a, b), c);
+                    if fused != separate {
+                        // The fused result must be at least as accurate.
+                        let exact = f.to_f64(a) * f.to_f64(b) + f.to_f64(c);
+                        let ef = (f.to_f64(fused) - exact).abs();
+                        let es = (f.to_f64(separate) - exact).abs();
+                        assert!(ef <= es, "fused worse at a={a} b={b} c={c}");
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(found, "expected at least one double-rounding discrepancy");
+    }
+
+    #[test]
+    fn fma_zero_cases() {
+        let f = fmt(16, 1);
+        let a = f.from_f64(2.0, Rounding::NearestEven);
+        let c = f.from_f64(5.0, Rounding::NearestEven);
+        assert_eq!(f.fused_mul_add(0, a, c), c);
+        assert_eq!(f.fused_mul_add(a, 0, c), c);
+        assert_eq!(f.fused_mul_add(a, a, 0), f.mul(a, a));
+        assert_eq!(f.fused_mul_add(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn fma_cancellation() {
+        let f = fmt(16, 1);
+        let a = f.from_f64(3.0, Rounding::NearestEven);
+        let b = f.from_f64(2.0, Rounding::NearestEven);
+        let c = f.from_f64(-6.0, Rounding::NearestEven);
+        assert_eq!(f.fused_mul_add(a, b, c), 0);
+    }
+
+    #[test]
+    fn add_commutes_exhaustive_p8e0() {
+        let f = fmt(8, 0);
+        for a in 0..256u64 {
+            for b in a..256u64 {
+                assert_eq!(f.add(a, b), f.add(b, a), "a={a:#x} b={b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_commutes_exhaustive_p8e1() {
+        let f = fmt(8, 1);
+        for a in 0..256u64 {
+            for b in a..256u64 {
+                assert_eq!(f.mul(a, b), f.mul(b, a), "a={a:#x} b={b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_by_one_is_identity() {
+        for es in 0..=2 {
+            let f = fmt(8, es);
+            let one = f.one_bits();
+            for code in 0..f.code_count() {
+                if code == f.nar_bits() {
+                    continue;
+                }
+                assert_eq!(f.mul(code, one), code, "es={es} code={code:#x}");
+                assert_eq!(f.div(code, one), code, "es={es} code={code:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_add_at_maxpos() {
+        let f = fmt(8, 1);
+        let maxpos = f.maxpos_bits();
+        assert_eq!(f.add(maxpos, maxpos), maxpos);
+        assert_eq!(f.mul(maxpos, maxpos), maxpos);
+        let minpos = f.minpos_bits();
+        assert_eq!(f.mul(minpos, minpos), minpos, "never round to zero");
+    }
+}

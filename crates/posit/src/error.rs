@@ -1,0 +1,36 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a [`crate::PositFormat`] with an invalid
+/// `(n, es)` pair.
+///
+/// Valid formats have `2 <= n <= 32` and `es <= 4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InvalidFormatError {
+    pub(crate) n: u32,
+    pub(crate) es: u32,
+}
+
+impl InvalidFormatError {
+    /// The rejected word size.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The rejected exponent field size.
+    pub fn es(&self) -> u32 {
+        self.es
+    }
+}
+
+impl fmt::Display for InvalidFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid posit format ({}, {}): require 2 <= n <= 32 and es <= 4",
+            self.n, self.es
+        )
+    }
+}
+
+impl Error for InvalidFormatError {}

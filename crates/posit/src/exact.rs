@@ -1,0 +1,436 @@
+//! An independent, obviously-correct (and slow) reference implementation of
+//! posit decode and rounding, used to cross-check the fast path in tests.
+//!
+//! Values are exact [`Rational`]s over `i128`; rounding is done by
+//! enumerating *all* code words of the format. Only practical for small
+//! formats (`n <= 16`), which is exactly what the exhaustive tests use.
+
+use crate::format::PositFormat;
+use std::cmp::Ordering;
+
+/// An exact rational with `i128` parts. Panics on overflow — acceptable for
+/// the small formats it is used with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rational {
+    num: i128,
+    den: i128, // > 0
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+
+    /// `num / den`; `den` must be non-zero.
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "zero denominator");
+        let s = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        Rational {
+            num: s * num / g,
+            den: s * den / g,
+        }
+    }
+
+    /// `m * 2^e` as a rational.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|e| >= 127` (the dyadic would overflow `i128`).
+    pub fn dyadic(m: i128, e: i32) -> Rational {
+        assert!(e.unsigned_abs() < 127, "dyadic exponent {e} overflows i128");
+        if e >= 0 {
+            Rational::new(m << e, 1)
+        } else {
+            Rational::new(m, 1i128 << (-e))
+        }
+    }
+
+    /// Sum.
+    pub fn add(&self, o: &Rational) -> Rational {
+        Rational::new(self.num * o.den + o.num * self.den, self.den * o.den)
+    }
+
+    /// Difference.
+    pub fn sub(&self, o: &Rational) -> Rational {
+        Rational::new(self.num * o.den - o.num * self.den, self.den * o.den)
+    }
+
+    /// Product.
+    pub fn mul(&self, o: &Rational) -> Rational {
+        Rational::new(self.num * o.num, self.den * o.den)
+    }
+
+    /// Quotient; panics if `o` is zero.
+    pub fn div(&self, o: &Rational) -> Rational {
+        assert!(o.num != 0, "division by zero");
+        Rational::new(self.num * o.den, self.den * o.num)
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Numerator (after normalization).
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    /// The exact rational value of a finite `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite or its magnitude overflows `i128`.
+    pub fn from_f64_exact(x: f64) -> Rational {
+        assert!(x.is_finite(), "not finite: {x}");
+        if x == 0.0 {
+            return Rational::ZERO;
+        }
+        let bits = x.to_bits();
+        let neg = bits >> 63 == 1;
+        let biased = ((bits >> 52) & 0x7ff) as i32;
+        let mant = bits & ((1u64 << 52) - 1);
+        let (m, e) = if biased == 0 {
+            (mant as i128, -1074i32)
+        } else {
+            ((mant | (1 << 52)) as i128, biased - 1075)
+        };
+        let m = if neg { -m } else { m };
+        Rational::dyadic(m, e)
+    }
+
+    /// Exact comparison.
+    pub fn cmp_exact(&self, o: &Rational) -> Ordering {
+        (self.num * o.den).cmp(&(o.num * self.den))
+    }
+
+    /// True iff exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Nearest `f64` (for diagnostics only).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+/// Decode a code word by walking its bits one at a time — a deliberately
+/// different algorithm from the production shift-based decoder.
+/// Returns `None` for NaR.
+pub fn decode_ref(fmt: &PositFormat, bits: u64) -> Option<Rational> {
+    let n = fmt.n();
+    let es = fmt.es();
+    let bits = bits & fmt.mask();
+    if bits == 0 {
+        return Some(Rational::ZERO);
+    }
+    if bits == fmt.nar_bits() {
+        return None;
+    }
+    let neg = (bits >> (n - 1)) & 1 == 1;
+    let mag = if neg { fmt.negate(bits) } else { bits };
+    // Bit list after the sign, msb first.
+    let body: Vec<u8> = (0..n - 1)
+        .rev()
+        .map(|i| ((mag >> i) & 1) as u8)
+        .collect();
+    let mut idx = 0usize;
+    let lead = body[0];
+    while idx < body.len() && body[idx] == lead {
+        idx += 1;
+    }
+    let run = idx as i32;
+    let k = if lead == 1 { run - 1 } else { -run };
+    if idx < body.len() {
+        idx += 1; // regime terminator
+    }
+    let mut e: i32 = 0;
+    let mut e_read = 0;
+    while e_read < es && idx < body.len() {
+        e = (e << 1) | body[idx] as i32;
+        idx += 1;
+        e_read += 1;
+    }
+    // Missing low exponent bits are zeros.
+    e <<= es - e_read;
+    let mut frac_num: i128 = 0;
+    let mut frac_den: i128 = 1;
+    while idx < body.len() {
+        frac_num = frac_num * 2 + body[idx] as i128;
+        frac_den *= 2;
+        idx += 1;
+    }
+    let scale = k * (1i32 << es) + e;
+    // value = 2^scale * (1 + frac_num/frac_den)
+    let mantissa = Rational::new(frac_den + frac_num, frac_den);
+    let v = mantissa.mul(&Rational::dyadic(1, scale));
+    Some(if neg {
+        Rational::new(-v.num, v.den)
+    } else {
+        v
+    })
+}
+
+/// All finite code words of a format paired with their exact values,
+/// sorted by value.
+pub fn value_table(fmt: &PositFormat) -> Vec<(u64, Rational)> {
+    let mut rows: Vec<(u64, Rational)> = (0..fmt.code_count())
+        .filter_map(|c| decode_ref(fmt, c).map(|v| (c, v)))
+        .collect();
+    rows.sort_by(|a, b| a.1.cmp_exact(&b.1));
+    rows
+}
+
+/// Round an exact value to a posit by enumeration: nearest, ties to the code
+/// word with an even LSB; never rounds to zero (posit standard) and clamps
+/// at `±maxpos`.
+pub fn nearest_posit_ref(fmt: &PositFormat, x: &Rational) -> u64 {
+    if x.is_zero() {
+        return 0;
+    }
+    let table = value_table(fmt);
+    let mut best: Option<(u64, Rational)> = None;
+    for (code, v) in &table {
+        if *code == 0 {
+            continue; // never round a non-zero value to zero
+        }
+        let d = x.sub(v).abs();
+        match &best {
+            None => best = Some((*code, d)),
+            Some((bc, bd)) => match d.cmp_exact(bd) {
+                Ordering::Less => best = Some((*code, d)),
+                Ordering::Equal => {
+                    // Ties to even code LSB.
+                    if code & 1 == 0 && bc & 1 == 1 {
+                        best = Some((*code, d));
+                    }
+                }
+                Ordering::Greater => {}
+            },
+        }
+    }
+    best.expect("non-empty table").0
+}
+
+/// Round an exact value toward zero by enumeration — Algorithm 1 semantics:
+/// flush `|x| < minpos` to 0, clip `|x| > maxpos` to `maxpos`, otherwise the
+/// largest-magnitude posit not exceeding `|x|`.
+pub fn toward_zero_posit_ref(fmt: &PositFormat, x: &Rational) -> u64 {
+    if x.is_zero() {
+        return 0;
+    }
+    let minpos = Rational::dyadic(1, fmt.min_scale());
+    let maxpos = Rational::dyadic(1, fmt.max_scale());
+    let ax = x.abs();
+    if ax.cmp_exact(&minpos) == Ordering::Less {
+        return 0;
+    }
+    let neg = x.num < 0;
+    let clipped = if ax.cmp_exact(&maxpos) == Ordering::Greater {
+        maxpos
+    } else {
+        ax
+    };
+    // Largest v <= clipped among positive codes.
+    let mut best: Option<(u64, Rational)> = None;
+    for (code, v) in value_table(fmt) {
+        if v.num <= 0 {
+            continue;
+        }
+        if v.cmp_exact(&clipped) != Ordering::Greater {
+            match &best {
+                None => best = Some((code, v)),
+                Some((_, bv)) => {
+                    if v.cmp_exact(bv) == Ordering::Greater {
+                        best = Some((code, v));
+                    }
+                }
+            }
+        }
+    }
+    let code = best.expect("clipped >= minpos so a code exists").0;
+    if neg {
+        fmt.negate(code)
+    } else {
+        code
+    }
+}
+
+/// Precomputed value table for fast reference rounding (binary search over
+/// the sorted exact values instead of a linear scan). Semantics are
+/// identical to [`nearest_posit_ref`] / [`toward_zero_posit_ref`].
+pub struct RefRounder {
+    fmt: PositFormat,
+    /// (code, value) sorted by value; excludes NaR.
+    table: Vec<(u64, Rational)>,
+}
+
+impl RefRounder {
+    /// Build the table for a format (cost: one decode per code word).
+    pub fn new(fmt: PositFormat) -> RefRounder {
+        RefRounder {
+            fmt,
+            table: value_table(&fmt),
+        }
+    }
+
+    /// Index of the largest table value `<= x` (None if below all).
+    fn floor_idx(&self, x: &Rational) -> Option<usize> {
+        let mut lo = 0usize;
+        let mut hi = self.table.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.table[mid].1.cmp_exact(x) == Ordering::Greater {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo.checked_sub(1)
+    }
+
+    /// Round to nearest, ties to even code LSB, never to zero, clamped to
+    /// `±maxpos`.
+    pub fn nearest(&self, x: &Rational) -> u64 {
+        if x.is_zero() {
+            return 0;
+        }
+        let last = self.table.len() - 1;
+        let lo_idx = match self.floor_idx(x) {
+            None => return self.table[0].0, // below -maxpos
+            Some(i) => i,
+        };
+        if lo_idx == last {
+            return self.table[last].0; // above +maxpos
+        }
+        let (c_lo, v_lo) = &self.table[lo_idx];
+        let (c_hi, v_hi) = &self.table[lo_idx + 1];
+        // Exclude zero as a rounding target (posit standard).
+        if *c_lo == 0 {
+            return *c_hi;
+        }
+        if *c_hi == 0 {
+            return *c_lo;
+        }
+        let d_lo = x.sub(v_lo);
+        let d_hi = v_hi.sub(x);
+        match d_lo.cmp_exact(&d_hi) {
+            Ordering::Less => *c_lo,
+            Ordering::Greater => *c_hi,
+            Ordering::Equal => {
+                if c_lo & 1 == 0 {
+                    *c_lo
+                } else {
+                    *c_hi
+                }
+            }
+        }
+    }
+
+    /// Algorithm 1 semantics: toward zero with minpos flush and maxpos clip.
+    pub fn toward_zero(&self, x: &Rational) -> u64 {
+        if x.is_zero() {
+            return 0;
+        }
+        let minpos = Rational::dyadic(1, self.fmt.min_scale());
+        if x.abs().cmp_exact(&minpos) == Ordering::Less {
+            return 0;
+        }
+        let neg = x.num < 0;
+        let ax = x.abs();
+        let maxpos = Rational::dyadic(1, self.fmt.max_scale());
+        let clipped = if ax.cmp_exact(&maxpos) == Ordering::Greater {
+            maxpos
+        } else {
+            ax
+        };
+        let idx = self.floor_idx(&clipped).expect("clipped >= minpos");
+        let code = self.table[idx].0;
+        debug_assert!(code != 0 && code != self.fmt.nar_bits());
+        if neg {
+            self.fmt.negate(code)
+        } else {
+            code
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round::Rounding;
+
+    #[test]
+    fn rational_basics() {
+        let a = Rational::new(3, 8);
+        let b = Rational::new(1, 8);
+        assert_eq!(a.add(&b), Rational::new(1, 2));
+        assert_eq!(a.sub(&b), Rational::new(1, 4));
+        assert_eq!(a.mul(&b), Rational::new(3, 64));
+        assert_eq!(a.div(&b), Rational::new(3, 1));
+        assert_eq!(Rational::new(-6, -8), Rational::new(3, 4));
+        assert_eq!(Rational::new(6, -8), Rational::new(-3, 4));
+    }
+
+    #[test]
+    fn ref_decoder_agrees_with_fast_decoder_p8() {
+        for es in 0..=2u32 {
+            let fmt = PositFormat::of(8, es);
+            for code in 0..fmt.code_count() {
+                let fast = fmt.decode(code).to_f64();
+                match decode_ref(&fmt, code) {
+                    None => assert!(fast.is_nan()),
+                    Some(r) => assert_eq!(r.to_f64(), fast, "es={es} code={code:#x}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ref_decoder_agrees_with_fast_decoder_p16_sampled() {
+        let fmt = PositFormat::of(16, 1);
+        for code in (0..fmt.code_count()).step_by(97) {
+            let fast = fmt.decode(code).to_f64();
+            match decode_ref(&fmt, code) {
+                None => assert!(fast.is_nan()),
+                Some(r) => assert_eq!(r.to_f64(), fast, "code={code:#x}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reference_rounding_agrees_on_midpoints() {
+        let fmt = PositFormat::of(8, 1);
+        // For a handful of exact rationals, enumeration and the fast encoder
+        // must agree.
+        for (num, den) in [(13, 10), (7, 3), (1, 100), (999, 7), (-22, 7)] {
+            let x = Rational::new(num, den);
+            let want = nearest_posit_ref(&fmt, &x);
+            let got = fmt.from_f64(num as f64 / den as f64, Rounding::NearestEven);
+            assert_eq!(got, want, "{num}/{den}");
+            let want_tz = toward_zero_posit_ref(&fmt, &x);
+            let got_tz = fmt.from_f64(num as f64 / den as f64, Rounding::ToZero);
+            assert_eq!(got_tz, want_tz, "RTZ {num}/{den}");
+        }
+    }
+}

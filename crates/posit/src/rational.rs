@@ -1,0 +1,111 @@
+//! Exact dyadic rationals for rendering posit values the way the paper's
+//! Table I does (`3/8`, `1/64`, …).
+
+use crate::value::{Decoded, PositValue};
+use std::fmt;
+
+/// An exact dyadic rational `num / 2^log_den`, normalized so `num` is odd or
+/// zero. Every finite posit value is exactly one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dyadic {
+    num: i128,
+    log_den: u32,
+}
+
+impl Dyadic {
+    /// Zero.
+    pub const ZERO: Dyadic = Dyadic { num: 0, log_den: 0 };
+
+    /// Build from a numerator and a power-of-two denominator exponent.
+    pub fn new(num: i128, log_den: u32) -> Dyadic {
+        let mut d = Dyadic { num, log_den };
+        d.normalize();
+        d
+    }
+
+    fn normalize(&mut self) {
+        if self.num == 0 {
+            self.log_den = 0;
+            return;
+        }
+        while self.num % 2 == 0 && self.log_den > 0 {
+            self.num /= 2;
+            self.log_den -= 1;
+        }
+    }
+
+    /// Numerator (odd unless the value is an integer or zero).
+    pub fn numerator(&self) -> i128 {
+        self.num
+    }
+
+    /// `log2` of the denominator.
+    pub fn log_denominator(&self) -> u32 {
+        self.log_den
+    }
+
+    /// Exact conversion from a decoded posit:
+    /// `±(2^64 + frac) * 2^(scale - 64)`.
+    pub fn from_decoded(d: &Decoded) -> Dyadic {
+        let m: i128 = (1i128 << 64) | (d.frac as i128);
+        let m = if d.sign.is_negative() { -m } else { m };
+        let e = d.scale - 64;
+        if e >= 0 {
+            Dyadic::new(m << e, 0)
+        } else {
+            Dyadic::new(m, (-e) as u32)
+        }
+    }
+
+    /// Exact conversion from any posit value; `None` for NaR.
+    pub fn from_value(v: &PositValue) -> Option<Dyadic> {
+        match v {
+            PositValue::Zero => Some(Dyadic::ZERO),
+            PositValue::NaR => None,
+            PositValue::Finite(d) => Some(Dyadic::from_decoded(d)),
+        }
+    }
+
+    /// Nearest `f64` (exact when `num` fits in 53 bits).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / (self.log_den as f64).exp2()
+    }
+}
+
+impl fmt::Display for Dyadic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.log_den == 0 {
+            write!(f, "{}", self.num)
+        } else if self.log_den < 127 {
+            write!(f, "{}/{}", self.num, 1i128 << self.log_den)
+        } else {
+            write!(f, "{}*2^-{}", self.num, self.log_den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::PositFormat;
+
+    #[test]
+    fn renders_like_the_paper() {
+        assert_eq!(Dyadic::new(3, 3).to_string(), "3/8");
+        assert_eq!(Dyadic::new(6, 4).to_string(), "3/8"); // normalizes
+        assert_eq!(Dyadic::new(64, 0).to_string(), "64");
+        assert_eq!(Dyadic::new(1, 6).to_string(), "1/64");
+        assert_eq!(Dyadic::new(-3, 1).to_string(), "-3/2");
+        assert_eq!(Dyadic::ZERO.to_string(), "0");
+    }
+
+    #[test]
+    fn exact_from_posit() {
+        let f = PositFormat::of(5, 1);
+        let v = f.decode(0b00101);
+        let d = Dyadic::from_value(&v).unwrap();
+        assert_eq!(d.to_string(), "3/8");
+        assert_eq!(d.to_f64(), 0.375);
+        assert_eq!(Dyadic::from_value(&f.decode(f.nar_bits())), None);
+    }
+}

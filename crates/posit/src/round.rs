@@ -1,0 +1,52 @@
+//! Rounding modes for real → posit conversion.
+
+use std::fmt;
+
+/// How a real value is rounded to the nearest representable posit.
+///
+/// The SOCC'19 paper's `P(n,es)` operator (Algorithm 1) uses
+/// [`Rounding::ToZero`] because truncation "will be more friendly for hardware
+/// implementation"; the posit standard specifies [`Rounding::NearestEven`];
+/// [`Rounding::Stochastic`] is provided for the rounding-mode ablation
+/// (cf. Gupta et al., ICML'15, cited as \[7\] in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Rounding {
+    /// Round to nearest; ties to the bit pattern with an even (0) LSB.
+    /// Overflow clamps to `maxpos`, non-zero underflow to `minpos`
+    /// (posits never round to zero or NaR).
+    #[default]
+    NearestEven,
+    /// Truncate the regime/exponent/fraction bit stream — the paper's
+    /// Algorithm 1 (`⌊·⌋` in lines 18–19). Magnitudes below `minpos` flush to
+    /// zero (Algorithm 1 lines 3–4); magnitudes above `maxpos` clip to
+    /// `maxpos` (line 7).
+    ToZero,
+    /// Round up with probability equal to the truncated tail fraction.
+    /// Requires a caller-supplied random word; see
+    /// [`crate::PositFormat::from_f64_stochastic`].
+    Stochastic,
+}
+
+impl Rounding {
+    /// All rounding modes, in ablation order.
+    pub const ALL: [Rounding; 3] = [Rounding::NearestEven, Rounding::ToZero, Rounding::Stochastic];
+
+    /// Short machine-friendly name (`"rne"`, `"rtz"`, `"sr"`).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Rounding::NearestEven => "rne",
+            Rounding::ToZero => "rtz",
+            Rounding::Stochastic => "sr",
+        }
+    }
+}
+
+impl fmt::Display for Rounding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rounding::NearestEven => write!(f, "round-to-nearest-even"),
+            Rounding::ToZero => write!(f, "round-to-zero"),
+            Rounding::Stochastic => write!(f, "stochastic rounding"),
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Regeneration of the paper's Table I: the detail structure of the
+//! positive values of a `(5, 1)` posit — generalized to any format.
+
+use crate::format::PositFormat;
+use crate::rational::Dyadic;
+use crate::value::PositValue;
+
+/// One row of the structure table: a non-negative code word and its decoded
+/// fields, exactly as the paper's Table I lays them out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructureRow {
+    /// The code word.
+    pub code: u64,
+    /// Binary rendering of the code (paper column "Binary Code").
+    pub binary: String,
+    /// Regime value `k`; `None` for the zero row (paper prints `x`).
+    pub regime: Option<i32>,
+    /// Effective exponent value `e`; `None` for the zero row.
+    pub exponent: Option<i32>,
+    /// Mantissa (fraction) as an exact rational in `[0, 1)`; `None` for zero.
+    pub mantissa: Option<Dyadic>,
+    /// The real value as an exact rational.
+    pub value: Dyadic,
+}
+
+/// Enumerate the non-negative code words of `fmt` as structure-table rows —
+/// for `(5,1)` this is exactly the paper's Table I.
+pub fn structure_rows(fmt: &PositFormat) -> Vec<StructureRow> {
+    let half = fmt.code_count() / 2; // non-negative codes: 0..2^(n-1)
+    (0..half)
+        .map(|code| {
+            let binary = format!("{:0width$b}", code, width = fmt.n() as usize);
+            match fmt.decode(code) {
+                PositValue::Zero => StructureRow {
+                    code,
+                    binary,
+                    regime: None,
+                    exponent: None,
+                    mantissa: None,
+                    value: Dyadic::ZERO,
+                },
+                PositValue::NaR => unreachable!("NaR is not a non-negative code"),
+                PositValue::Finite(d) => {
+                    let es = fmt.es() as i32;
+                    let k = d.scale >> es;
+                    let e = d.scale - (k << es);
+                    // mantissa = frac/2^64 as an exact dyadic in [0,1)
+                    let mant = Dyadic::new(d.frac as i128, 64);
+                    StructureRow {
+                        code,
+                        binary,
+                        regime: Some(k),
+                        exponent: Some(e),
+                        mantissa: Some(mant),
+                        value: Dyadic::from_decoded(&d),
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Render the table as aligned text, matching the paper's column layout.
+pub fn format_table(fmt: &PositFormat) -> String {
+    let rows = structure_rows(fmt);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Structure of positive values of ({}, {}) posit\n",
+        fmt.n(),
+        fmt.es()
+    ));
+    out.push_str("Binary Code | Regime | Exponent | Mantissa | Real Value\n");
+    for r in rows {
+        let regime = r.regime.map_or("x".to_string(), |k| k.to_string());
+        let exp = r.exponent.map_or("x".to_string(), |e| e.to_string());
+        let mant = r.mantissa.map_or("x".to_string(), |m| m.to_string());
+        out.push_str(&format!(
+            "{:>11} | {:>6} | {:>8} | {:>8} | {}\n",
+            r.binary, regime, exp, mant, r.value
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table I, verbatim: (binary, regime, exponent, mantissa,
+    /// value) for the positive values of (5,1). Regime/exponent/mantissa for
+    /// the zero row are "x" in the paper (None here).
+    #[test]
+    fn table_one_matches_paper_exactly() {
+        let fmt = PositFormat::of(5, 1);
+        let rows = structure_rows(&fmt);
+        assert_eq!(rows.len(), 16);
+
+        // (code, regime, exponent, mantissa, value) — value as (num, log_den).
+        #[allow(clippy::type_complexity)]
+        let expected: [(u64, Option<i32>, Option<i32>, Option<(i128, u32)>, (i128, u32)); 16] = [
+            (0b00000, None, None, None, (0, 0)),
+            (0b00001, Some(-3), Some(0), Some((0, 0)), (1, 6)),   // 1/64
+            (0b00010, Some(-2), Some(0), Some((0, 0)), (1, 4)),   // 1/16
+            (0b00011, Some(-2), Some(1), Some((0, 0)), (1, 3)),   // 1/8
+            (0b00100, Some(-1), Some(0), Some((0, 0)), (1, 2)),   // 1/4
+            (0b00101, Some(-1), Some(0), Some((1, 1)), (3, 3)),   // 3/8
+            (0b00110, Some(-1), Some(1), Some((0, 0)), (1, 1)),   // 1/2
+            (0b00111, Some(-1), Some(1), Some((1, 1)), (3, 2)),   // 3/4
+            (0b01000, Some(0), Some(0), Some((0, 0)), (1, 0)),    // 1
+            (0b01001, Some(0), Some(0), Some((1, 1)), (3, 1)),    // 3/2
+            (0b01010, Some(0), Some(1), Some((0, 0)), (2, 0)),    // 2
+            (0b01011, Some(0), Some(1), Some((1, 1)), (3, 0)),    // 3
+            (0b01100, Some(1), Some(0), Some((0, 0)), (4, 0)),    // 4
+            (0b01101, Some(1), Some(1), Some((0, 0)), (8, 0)),    // 8
+            (0b01110, Some(2), Some(0), Some((0, 0)), (16, 0)),   // 16
+            (0b01111, Some(3), Some(0), Some((0, 0)), (64, 0)),   // 64
+        ];
+
+        for (row, exp) in rows.iter().zip(expected.iter()) {
+            assert_eq!(row.code, exp.0, "code");
+            assert_eq!(row.regime, exp.1, "regime of {:05b}", exp.0);
+            assert_eq!(row.exponent, exp.2, "exponent of {:05b}", exp.0);
+            match (row.mantissa, exp.3) {
+                (None, None) => {}
+                (Some(m), Some((num, ld))) => {
+                    assert_eq!(m, Dyadic::new(num, ld), "mantissa of {:05b}", exp.0)
+                }
+                other => panic!("mantissa mismatch for {:05b}: {other:?}", exp.0),
+            }
+            assert_eq!(
+                row.value,
+                Dyadic::new(exp.4 .0, exp.4 .1),
+                "value of {:05b}",
+                exp.0
+            );
+        }
+    }
+
+    #[test]
+    fn formatted_table_contains_key_rows() {
+        let fmt = PositFormat::of(5, 1);
+        let text = format_table(&fmt);
+        assert!(text.contains("00101"));
+        assert!(text.contains("3/8"));
+        assert!(text.contains("1/64"));
+        assert!(text.contains("64"));
+        // 16 data rows + 2 header lines
+        assert_eq!(text.lines().count(), 18);
+    }
+
+    #[test]
+    fn structure_rows_for_other_formats() {
+        // Sanity for (8,0): 128 non-negative rows, strictly increasing values.
+        let fmt = PositFormat::of(8, 0);
+        let rows = structure_rows(&fmt);
+        assert_eq!(rows.len(), 128);
+        for w in rows.windows(2) {
+            assert!(w[1].value.to_f64() > w[0].value.to_f64());
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Const-generic typed posits with operator overloads.
+
+use crate::format::PositFormat;
+use crate::round::Rounding;
+use crate::value::PositValue;
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// A posit number of compile-time format `(N, ES)`.
+///
+/// A thin, zero-cost wrapper over the runtime codec in [`PositFormat`]; all
+/// operators use round-to-nearest-even (the posit standard). NaR propagates
+/// through arithmetic like the paper's Eq. 1 `±∞`.
+///
+/// ```
+/// use posit::P16E1;
+///
+/// let x = P16E1::from_f64(2.5);
+/// let y = P16E1::from_f64(-0.5);
+/// assert_eq!((x * y).to_f64(), -1.25);
+/// assert_eq!((x / P16E1::ZERO), P16E1::NAR);
+/// assert!(P16E1::NAR < P16E1::from_f64(-1e9)); // NaR sorts below all reals
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Posit<const N: u32, const ES: u32>(u32);
+
+/// 8-bit posit, es = 0 (used in Table IV of the paper).
+pub type P8E0 = Posit<8, 0>;
+/// 8-bit posit, es = 1 (CONV forward/update format in Table III).
+pub type P8E1 = Posit<8, 1>;
+/// 8-bit posit, es = 2 (CONV backward format in Table III).
+pub type P8E2 = Posit<8, 2>;
+/// 16-bit posit, es = 1 (forward/update format in Table III, Table IV/V).
+pub type P16E1 = Posit<16, 1>;
+/// 16-bit posit, es = 2 (backward format in Table III, Table V).
+pub type P16E2 = Posit<16, 2>;
+/// 32-bit posit, es = 2 (the posit-standard 32-bit format).
+pub type P32E2 = Posit<32, 2>;
+/// 32-bit posit, es = 3 (used in Table IV of the paper).
+pub type P32E3 = Posit<32, 3>;
+/// 5-bit posit, es = 1 — the worked example of the paper's Table I.
+pub type P5E1 = Posit<5, 1>;
+
+impl<const N: u32, const ES: u32> Posit<N, ES> {
+    /// The runtime format descriptor. Invalid `(N, ES)` pairs fail to
+    /// compile when this constant is evaluated.
+    pub const FORMAT: PositFormat = PositFormat::of(N, ES);
+
+    /// Zero.
+    pub const ZERO: Self = Posit(0);
+    /// One.
+    pub const ONE: Self = Posit(1 << (N - 2));
+    /// Not-a-Real.
+    pub const NAR: Self = Posit(1 << (N - 1));
+    /// Largest positive value, `useed^(N-2)`.
+    pub const MAXPOS: Self = Posit((1 << (N - 1)) - 1);
+    /// Smallest positive value, `useed^(2-N)`.
+    pub const MINPOS: Self = Posit(1);
+
+    /// Wrap raw code bits (masked to `N` bits).
+    pub const fn from_bits(bits: u32) -> Self {
+        Posit(bits & (Self::FORMAT.mask() as u32))
+    }
+
+    /// The raw code bits.
+    pub const fn to_bits(self) -> u32 {
+        self.0
+    }
+
+    /// Convert from `f64` with round-to-nearest-even.
+    pub fn from_f64(x: f64) -> Self {
+        Posit(Self::FORMAT.from_f64(x, Rounding::NearestEven) as u32)
+    }
+
+    /// Convert from `f64` with an explicit rounding mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Rounding::Stochastic`]; use
+    /// [`PositFormat::from_f64_stochastic`] with the raw codec instead.
+    pub fn from_f64_with(x: f64, rounding: Rounding) -> Self {
+        Posit(Self::FORMAT.from_f64(x, rounding) as u32)
+    }
+
+    /// Convert from `f32` with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> Self {
+        Self::from_f64(x as f64)
+    }
+
+    /// Exact value as `f64` (NaR becomes NaN).
+    pub fn to_f64(self) -> f64 {
+        Self::FORMAT.to_f64(self.0 as u64)
+    }
+
+    /// Value as `f32` (nearest; NaR becomes NaN).
+    pub fn to_f32(self) -> f32 {
+        Self::FORMAT.to_f32(self.0 as u64)
+    }
+
+    /// Decode into value categories.
+    pub fn value(self) -> PositValue {
+        Self::FORMAT.decode(self.0 as u64)
+    }
+
+    /// True iff this is the NaR pattern.
+    pub fn is_nar(self) -> bool {
+        self == Self::NAR
+    }
+
+    /// True iff zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True iff the sign bit is set and the value is not NaR.
+    pub fn is_negative(self) -> bool {
+        !self.is_nar() && Self::FORMAT.is_negative(self.0 as u64)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Self {
+        Posit(Self::FORMAT.abs(self.0 as u64) as u32)
+    }
+
+    /// Square root (NaR for negative inputs).
+    pub fn sqrt(self) -> Self {
+        Posit(Self::FORMAT.sqrt(self.0 as u64) as u32)
+    }
+
+    /// Fused multiply-add `self * b + c` with a single rounding.
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        Posit(Self::FORMAT.fused_mul_add(self.0 as u64, b.0 as u64, c.0 as u64) as u32)
+    }
+
+    /// The next representable value above (saturating at `maxpos`).
+    pub fn next_up(self) -> Self {
+        Posit(Self::FORMAT.next_up(self.0 as u64) as u32)
+    }
+
+    /// The next representable value below (saturating just above NaR).
+    pub fn next_down(self) -> Self {
+        Posit(Self::FORMAT.next_down(self.0 as u64) as u32)
+    }
+}
+
+impl<const N: u32, const ES: u32> Add for Posit<N, ES> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Posit(Self::FORMAT.add(self.0 as u64, rhs.0 as u64) as u32)
+    }
+}
+
+impl<const N: u32, const ES: u32> Sub for Posit<N, ES> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Posit(Self::FORMAT.sub(self.0 as u64, rhs.0 as u64) as u32)
+    }
+}
+
+impl<const N: u32, const ES: u32> Mul for Posit<N, ES> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Posit(Self::FORMAT.mul(self.0 as u64, rhs.0 as u64) as u32)
+    }
+}
+
+impl<const N: u32, const ES: u32> Div for Posit<N, ES> {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        Posit(Self::FORMAT.div(self.0 as u64, rhs.0 as u64) as u32)
+    }
+}
+
+impl<const N: u32, const ES: u32> AddAssign for Posit<N, ES> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const N: u32, const ES: u32> SubAssign for Posit<N, ES> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<const N: u32, const ES: u32> MulAssign for Posit<N, ES> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<const N: u32, const ES: u32> DivAssign for Posit<N, ES> {
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl<const N: u32, const ES: u32> Sum for Posit<N, ES> {
+    /// Sequential summation: each partial sum rounds. For an exactly
+    /// rounded total use [`crate::Quire`].
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a, const N: u32, const ES: u32> Sum<&'a Posit<N, ES>> for Posit<N, ES> {
+    fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+        iter.copied().sum()
+    }
+}
+
+impl<const N: u32, const ES: u32> Product for Posit<N, ES> {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ONE, |a, b| a * b)
+    }
+}
+
+impl<const N: u32, const ES: u32> From<i32> for Posit<N, ES> {
+    /// Integers convert exactly when representable, else round to nearest.
+    fn from(x: i32) -> Self {
+        Self::from_f64(x as f64)
+    }
+}
+
+impl<const N: u32, const ES: u32> Neg for Posit<N, ES> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        if self.is_nar() {
+            self
+        } else {
+            Posit(Self::FORMAT.negate(self.0 as u64) as u32)
+        }
+    }
+}
+
+impl<const N: u32, const ES: u32> PartialOrd for Posit<N, ES> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const N: u32, const ES: u32> Ord for Posit<N, ES> {
+    /// Total order: posit codes compare as two's-complement integers, with
+    /// NaR below every real value.
+    fn cmp(&self, other: &Self) -> Ordering {
+        Self::FORMAT.total_cmp(self.0 as u64, other.0 as u64)
+    }
+}
+
+impl<const N: u32, const ES: u32> Default for Posit<N, ES> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const N: u32, const ES: u32> From<f64> for Posit<N, ES> {
+    fn from(x: f64) -> Self {
+        Self::from_f64(x)
+    }
+}
+
+impl<const N: u32, const ES: u32> From<f32> for Posit<N, ES> {
+    fn from(x: f32) -> Self {
+        Self::from_f32(x)
+    }
+}
+
+impl<const N: u32, const ES: u32> From<Posit<N, ES>> for f64 {
+    fn from(p: Posit<N, ES>) -> f64 {
+        p.to_f64()
+    }
+}
+
+impl<const N: u32, const ES: u32> fmt::Debug for Posit<N, ES> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Posit<{},{}>({:#0width$b} = {})",
+            N,
+            ES,
+            self.0,
+            self.value(),
+            width = N as usize + 2
+        )
+    }
+}
+
+impl<const N: u32, const ES: u32> fmt::Display for Posit<N, ES> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value())
+    }
+}
+
+impl<const N: u32, const ES: u32> fmt::Binary for Posit<N, ES> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl<const N: u32, const ES: u32> fmt::LowerHex for Posit<N, ES> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl<const N: u32, const ES: u32> fmt::UpperHex for Posit<N, ES> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+/// Error parsing a posit from a decimal string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePositError(String);
+
+impl fmt::Display for ParsePositError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid posit literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParsePositError {}
+
+impl<const N: u32, const ES: u32> FromStr for Posit<N, ES> {
+    type Err = ParsePositError;
+
+    /// Parse a decimal literal (via `f64`) or the special `"NaR"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("nar") {
+            return Ok(Self::NAR);
+        }
+        s.parse::<f64>()
+            .map(Self::from_f64)
+            .map_err(|_| ParsePositError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(P16E1::ZERO.to_f64(), 0.0);
+        assert_eq!(P16E1::ONE.to_f64(), 1.0);
+        assert!(P16E1::NAR.to_f64().is_nan());
+        assert_eq!(P16E1::MAXPOS.to_f64(), 2f64.powi(28));
+        assert_eq!(P16E1::MINPOS.to_f64(), 2f64.powi(-28));
+        assert_eq!(P8E2::MAXPOS.to_f64(), 2f64.powi(24));
+    }
+
+    #[test]
+    fn ops() {
+        let a = P16E1::from_f64(6.0);
+        let b = P16E1::from_f64(1.5);
+        assert_eq!((a + b).to_f64(), 7.5);
+        assert_eq!((a - b).to_f64(), 4.5);
+        assert_eq!((a * b).to_f64(), 9.0);
+        assert_eq!((a / b).to_f64(), 4.0);
+        assert_eq!((-a).to_f64(), -6.0);
+        assert_eq!(a.abs(), a);
+        assert_eq!((-a).abs(), a);
+        assert_eq!(P16E1::from_f64(9.0).sqrt().to_f64(), 3.0);
+        assert_eq!(a.mul_add(b, b).to_f64(), 10.5);
+    }
+
+    #[test]
+    fn ordering_matches_values() {
+        let mut v = [P8E1::from_f64(3.0),
+            P8E1::NAR,
+            P8E1::from_f64(-7.0),
+            P8E1::ZERO,
+            P8E1::from_f64(0.5)];
+        v.sort();
+        let f: Vec<f64> = v.iter().map(|p| p.to_f64()).collect();
+        assert!(f[0].is_nan());
+        assert_eq!(&f[1..], &[-7.0, 0.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let x = P5E1::from_f64(0.375);
+        assert_eq!(x.to_string(), "0.375");
+        assert_eq!(format!("{:b}", x), "101");
+        assert!(format!("{:?}", x).contains("Posit<5,1>"));
+        assert_eq!(P8E1::NAR.to_string(), "NaR");
+        assert_eq!(P8E1::ZERO.to_string(), "0");
+    }
+
+    #[test]
+    fn parse() {
+        assert_eq!("1.5".parse::<P16E1>().unwrap().to_f64(), 1.5);
+        assert_eq!("NaR".parse::<P16E1>().unwrap(), P16E1::NAR);
+        assert!("pizza".parse::<P16E1>().is_err());
+        let e = "pizza".parse::<P16E1>().unwrap_err();
+        assert!(e.to_string().contains("pizza"));
+    }
+
+    #[test]
+    fn from_into() {
+        let p: P16E2 = 2.25f64.into();
+        let back: f64 = p.into();
+        assert_eq!(back, 2.25);
+        let q: P8E0 = 3f32.into();
+        assert_eq!(q.to_f32(), 3.0);
+    }
+
+    #[test]
+    fn next_up_down() {
+        let one = P16E1::ONE;
+        assert!(one.next_up() > one);
+        assert!(one.next_down() < one);
+        assert_eq!(P16E1::MAXPOS.next_up(), P16E1::MAXPOS);
+    }
+
+    #[test]
+    fn op_assign_and_iterators() {
+        let mut x = P16E1::from_f64(2.0);
+        x += P16E1::ONE;
+        assert_eq!(x.to_f64(), 3.0);
+        x -= P16E1::from_f64(0.5);
+        assert_eq!(x.to_f64(), 2.5);
+        x *= P16E1::from_f64(2.0);
+        assert_eq!(x.to_f64(), 5.0);
+        x /= P16E1::from_f64(4.0);
+        assert_eq!(x.to_f64(), 1.25);
+
+        let v = [1.0f64, 2.0, 3.0, 4.0].map(P16E1::from_f64);
+        let s: P16E1 = v.iter().sum();
+        assert_eq!(s.to_f64(), 10.0);
+        let p: P16E1 = v.into_iter().product();
+        assert_eq!(p.to_f64(), 24.0);
+        let empty: P16E1 = std::iter::empty::<P16E1>().sum();
+        assert_eq!(empty, P16E1::ZERO);
+    }
+
+    #[test]
+    fn integer_conversion() {
+        assert_eq!(P16E1::from(12).to_f64(), 12.0);
+        assert_eq!(P16E1::from(-3).to_f64(), -3.0);
+        assert_eq!(P8E0::from(1000), P8E0::MAXPOS, "clamps at maxpos");
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<P16E1>();
+        assert_sync::<P16E1>();
+    }
+}

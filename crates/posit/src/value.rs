@@ -1,0 +1,132 @@
+//! Decoded posit values.
+
+use std::fmt;
+
+/// Sign of a non-zero posit value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// The value is positive.
+    Positive,
+    /// The value is negative.
+    Negative,
+}
+
+impl Sign {
+    /// `+1.0` or `-1.0`.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Sign::Positive => 1.0,
+            Sign::Negative => -1.0,
+        }
+    }
+
+    /// Flip the sign.
+    pub fn flip(self) -> Sign {
+        match self {
+            Sign::Positive => Sign::Negative,
+            Sign::Negative => Sign::Positive,
+        }
+    }
+
+    /// XOR of two signs (the sign of a product or quotient).
+    pub fn xor(self, other: Sign) -> Sign {
+        if self == other {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        }
+    }
+
+    /// True iff negative.
+    pub fn is_negative(self) -> bool {
+        self == Sign::Negative
+    }
+}
+
+impl fmt::Display for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sign::Positive => write!(f, "+"),
+            Sign::Negative => write!(f, "-"),
+        }
+    }
+}
+
+/// A fully decoded finite, non-zero posit: `value = sign * 2^scale * (1 + frac/2^64)`.
+///
+/// `frac` holds the fraction field left-aligned: bit 63 is the first fraction
+/// bit. For any format with `n <= 32` at most 29 fraction bits are non-zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decoded {
+    /// Sign of the value.
+    pub sign: Sign,
+    /// Effective (unbiased, regime-combined) binary exponent:
+    /// `scale = k * 2^es + e` in the paper's notation.
+    pub scale: i32,
+    /// Fraction bits, left-aligned at bit 63.
+    pub frac: u64,
+}
+
+impl Decoded {
+    /// The 64-bit significand with the implicit leading one at bit 63:
+    /// `sig = 2^63 * (1 + frac/2^64)`, so `value = sign * sig * 2^(scale-63)`.
+    pub fn significand(&self) -> u64 {
+        (1u64 << 63) | (self.frac >> 1)
+    }
+
+    /// Exact `f64` rendering (exact for every posit with `n <= 32`, `es <= 4`).
+    pub fn to_f64(&self) -> f64 {
+        let m = 1.0 + (self.frac as f64) / 18_446_744_073_709_551_616.0; // 2^64
+        self.sign.as_f64() * m * (self.scale as f64).exp2()
+    }
+}
+
+/// The value category of a posit bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PositValue {
+    /// The pattern `000…0`.
+    Zero,
+    /// Not-a-Real, the pattern `100…0` (the paper's Eq. 1 writes it `±∞`).
+    NaR,
+    /// A finite, non-zero value.
+    Finite(Decoded),
+}
+
+impl PositValue {
+    /// True iff this is [`PositValue::Zero`].
+    pub fn is_zero(&self) -> bool {
+        matches!(self, PositValue::Zero)
+    }
+
+    /// True iff this is [`PositValue::NaR`].
+    pub fn is_nar(&self) -> bool {
+        matches!(self, PositValue::NaR)
+    }
+
+    /// The decoded payload, if finite and non-zero.
+    pub fn finite(&self) -> Option<Decoded> {
+        match self {
+            PositValue::Finite(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Render as `f64`; `Zero → 0.0`, `NaR → NaN`.
+    pub fn to_f64(&self) -> f64 {
+        match self {
+            PositValue::Zero => 0.0,
+            PositValue::NaR => f64::NAN,
+            PositValue::Finite(d) => d.to_f64(),
+        }
+    }
+}
+
+impl fmt::Display for PositValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PositValue::Zero => write!(f, "0"),
+            PositValue::NaR => write!(f, "NaR"),
+            PositValue::Finite(d) => write!(f, "{}", d.to_f64()),
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Exhaustive cross-checks of the fast posit arithmetic against the
+//! enumeration-based exact reference in `posit::exact`.
+//!
+//! All 8-bit formats are checked over every operand pair; 16-bit formats are
+//! checked over structured samples.
+
+use posit::exact::{RefRounder, Rational};
+use posit::{exact, PositFormat, Rounding};
+
+fn all_formats_8bit() -> Vec<PositFormat> {
+    (0..=2).map(|es| PositFormat::of(8, es)).collect()
+}
+
+#[test]
+fn exhaustive_codec_roundtrip_all_small_formats() {
+    for n in 2..=12u32 {
+        for es in 0..=2u32 {
+            let fmt = PositFormat::of(n, es);
+            for code in 0..fmt.code_count() {
+                if code == fmt.nar_bits() {
+                    continue;
+                }
+                let v = fmt.to_f64(code);
+                assert_eq!(
+                    fmt.from_f64(v, Rounding::NearestEven),
+                    code,
+                    "(n={n},es={es}) code {code:#x} value {v}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exhaustive_add_vs_reference_p8() {
+    for fmt in all_formats_8bit() {
+        let r = RefRounder::new(fmt);
+        let values: Vec<Option<Rational>> = (0..fmt.code_count())
+            .map(|c| exact::decode_ref(&fmt, c))
+            .collect();
+        for a in 0..fmt.code_count() {
+            for b in 0..fmt.code_count() {
+                let got = fmt.add(a, b);
+                match (&values[a as usize], &values[b as usize]) {
+                    (Some(va), Some(vb)) => {
+                        let want = r.nearest(&va.add(vb));
+                        assert_eq!(
+                            got, want,
+                            "{fmt} add {a:#04x}+{b:#04x}: {} + {}",
+                            va.to_f64(),
+                            vb.to_f64()
+                        );
+                    }
+                    _ => assert_eq!(got, fmt.nar_bits(), "{fmt} NaR add {a:#x} {b:#x}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exhaustive_mul_vs_reference_p8() {
+    for fmt in all_formats_8bit() {
+        let r = RefRounder::new(fmt);
+        let values: Vec<Option<Rational>> = (0..fmt.code_count())
+            .map(|c| exact::decode_ref(&fmt, c))
+            .collect();
+        for a in 0..fmt.code_count() {
+            for b in 0..fmt.code_count() {
+                let got = fmt.mul(a, b);
+                match (&values[a as usize], &values[b as usize]) {
+                    (Some(va), Some(vb)) => {
+                        let prod = va.mul(vb);
+                        let want = if prod.is_zero() { 0 } else { r.nearest(&prod) };
+                        assert_eq!(got, want, "{fmt} mul {a:#04x}*{b:#04x}");
+                    }
+                    _ => assert_eq!(got, fmt.nar_bits()),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exhaustive_div_vs_reference_p8() {
+    for fmt in all_formats_8bit() {
+        let r = RefRounder::new(fmt);
+        let values: Vec<Option<Rational>> = (0..fmt.code_count())
+            .map(|c| exact::decode_ref(&fmt, c))
+            .collect();
+        for a in 0..fmt.code_count() {
+            for b in 0..fmt.code_count() {
+                let got = fmt.div(a, b);
+                match (&values[a as usize], &values[b as usize]) {
+                    (Some(va), Some(vb)) => {
+                        if vb.is_zero() {
+                            assert_eq!(got, fmt.nar_bits(), "x/0 is NaR");
+                        } else if va.is_zero() {
+                            assert_eq!(got, 0, "0/x is 0");
+                        } else {
+                            let want = r.nearest(&va.div(vb));
+                            assert_eq!(got, want, "{fmt} div {a:#04x}/{b:#04x}");
+                        }
+                    }
+                    _ => assert_eq!(got, fmt.nar_bits()),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exhaustive_sub_is_add_of_negation_p8() {
+    let fmt = PositFormat::of(8, 1);
+    for a in 0..fmt.code_count() {
+        for b in 0..fmt.code_count() {
+            let direct = fmt.sub(a, b);
+            let via_neg = if b == fmt.nar_bits() {
+                fmt.nar_bits()
+            } else {
+                fmt.add(a, fmt.negate(b))
+            };
+            assert_eq!(direct, via_neg, "sub {a:#x} {b:#x}");
+        }
+    }
+}
+
+#[test]
+fn exhaustive_sqrt_vs_reference_p8() {
+    for fmt in all_formats_8bit() {
+        let r = RefRounder::new(fmt);
+        for a in 0..fmt.code_count() {
+            let got = fmt.sqrt(a);
+            match exact::decode_ref(&fmt, a) {
+                None => assert_eq!(got, fmt.nar_bits()),
+                Some(v) => {
+                    if v.is_zero() {
+                        assert_eq!(got, 0);
+                    } else if v.num() < 0 {
+                        assert_eq!(got, fmt.nar_bits(), "sqrt of negative");
+                    } else {
+                        // Verify "got" is the correctly rounded sqrt by
+                        // squaring the bracketing posits: got is nearest iff
+                        // |got^2' ...|. Cheaper: compare against f64 sqrt
+                        // rounded by the reference, with an exactness escape:
+                        // f64 sqrt of a dyadic with <=53-bit relative error
+                        // cannot cross a P8 rounding boundary except at exact
+                        // representables, which f64 computes exactly.
+                        let approx = Rational::from_f64_exact(v.to_f64().sqrt());
+                        let want = r.nearest(&approx);
+                        assert_eq!(got, want, "{fmt} sqrt {a:#04x}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sampled_fma_vs_reference_p8() {
+    let fmt = PositFormat::of(8, 1);
+    let r = RefRounder::new(fmt);
+    let values: Vec<Option<Rational>> = (0..fmt.code_count())
+        .map(|c| exact::decode_ref(&fmt, c))
+        .collect();
+    // Every (a, b) pair against a spread of addends.
+    let cs: Vec<u64> = (0..fmt.code_count()).step_by(7).collect();
+    for a in 0..fmt.code_count() {
+        for b in (0..fmt.code_count()).step_by(3) {
+            for &c in &cs {
+                let got = fmt.fused_mul_add(a, b, c);
+                match (&values[a as usize], &values[b as usize], &values[c as usize]) {
+                    (Some(va), Some(vb), Some(vc)) => {
+                        let exact_val = va.mul(vb).add(vc);
+                        let want = if exact_val.is_zero() {
+                            0
+                        } else {
+                            r.nearest(&exact_val)
+                        };
+                        assert_eq!(got, want, "fma {a:#04x} {b:#04x} {c:#04x}");
+                    }
+                    _ => assert_eq!(got, fmt.nar_bits()),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exhaustive_quantizer_rtz_vs_reference_p8() {
+    // The paper's Algorithm 1: check the f32 quantizer on a dense value
+    // sweep against the enumeration reference.
+    for fmt in all_formats_8bit() {
+        let r = RefRounder::new(fmt);
+        for i in -4000..=4000i64 {
+            // Dyadic inputs so the rational is exact.
+            let x = Rational::dyadic(i as i128, -6); // i/64
+            let want = r.toward_zero(&x);
+            let got = fmt.from_f64(i as f64 / 64.0, Rounding::ToZero);
+            assert_eq!(got, want, "{fmt} quantize {i}/64");
+        }
+    }
+}
+
+#[test]
+fn sampled_p16_add_mul_vs_reference() {
+    let fmt = PositFormat::of(16, 1);
+    let r = RefRounder::new(fmt);
+    // Structured sample: step through the code space with co-prime strides.
+    let mut mismatches = 0;
+    for (ia, ib) in (0..fmt.code_count())
+        .step_by(131)
+        .flat_map(|a| (0..fmt.code_count()).step_by(257).map(move |b| (a, b)))
+    {
+        let (va, vb) = match (exact::decode_ref(&fmt, ia), exact::decode_ref(&fmt, ib)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => continue,
+        };
+        if fmt.add(ia, ib) != r.nearest(&va.add(&vb)) {
+            mismatches += 1;
+        }
+        let prod = va.mul(&vb);
+        let want = if prod.is_zero() { 0 } else { r.nearest(&prod) };
+        if fmt.mul(ia, ib) != want {
+            mismatches += 1;
+        }
+    }
+    assert_eq!(mismatches, 0);
+}
+
+#[test]
+fn monotone_encoding_all_formats() {
+    // Code order == value order: fundamental posit property used by the
+    // hardware decoder's LOD/LZD logic.
+    for (n, es) in [(6u32, 0u32), (8, 1), (8, 2), (10, 1), (12, 2)] {
+        let fmt = PositFormat::of(n, es);
+        let mut prev: Option<f64> = None;
+        // Walk codes in two's-complement order starting just above NaR.
+        let start = fmt.nar_bits() + 1;
+        let count = fmt.code_count() - 1;
+        let mut code = start;
+        for _ in 0..count {
+            let v = fmt.to_f64(code);
+            if let Some(p) = prev {
+                assert!(v > p, "(n={n},es={es}) code {code:#x}: {v} <= {p}");
+            }
+            prev = Some(v);
+            code = (code + 1) & fmt.mask();
+            if code == fmt.nar_bits() {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Blocked, thread-parallel single-precision matrix multiplication.
+//!
+//! `C[M,N] += A[M,K] * B[K,N]`, row-major. The kernel iterates `i-k-j` with
+//! a register accumulator broadcast of `A[i,k]`, which vectorizes well and
+//! keeps the `j` loop streaming over contiguous `B`/`C` rows. Rows of `C`
+//! are split statically across threads, so results are bit-deterministic
+//! regardless of thread count.
+
+/// Minimum per-thread row count before threads are spawned (small problems
+/// run single-threaded to avoid spawn overhead).
+const PAR_MIN_ROWS: usize = 32;
+
+/// Minimum multiply-accumulate count before threading pays for itself.
+const PAR_MIN_WORK: usize = 1 << 20;
+
+/// Cached `available_parallelism` — the std call re-reads cgroup files on
+/// every invocation, which costs ~1 ms inside containers.
+fn thread_count() -> usize {
+    use std::sync::OnceLock;
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    })
+}
+
+/// `c = a[m,k] * b[k,n]` (c must be zeroed or hold the accumulation base).
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the dimensions.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A length");
+    assert_eq!(b.len(), k * n, "B length");
+    assert_eq!(c.len(), m * n, "C length");
+    let threads = thread_count();
+    if m < PAR_MIN_ROWS || m * k * n < PAR_MIN_WORK || threads <= 1 {
+        gemm_rows(k, n, a, b, c);
+        return;
+    }
+    let rows_per = m.div_ceil(threads).max(PAR_MIN_ROWS / 2);
+    std::thread::scope(|s| {
+        let mut c_rest = c;
+        let mut a_rest = a;
+        let mut handles = Vec::new();
+        loop {
+            let rows = rows_per.min(c_rest.len() / n);
+            if rows == 0 {
+                break;
+            }
+            let (c_chunk, c_next) = c_rest.split_at_mut(rows * n);
+            let (a_chunk, a_next) = a_rest.split_at(rows * k);
+            handles.push(s.spawn(move || gemm_rows(k, n, a_chunk, b, c_chunk)));
+            c_rest = c_next;
+            a_rest = a_next;
+        }
+        for h in handles {
+            h.join().expect("gemm worker panicked");
+        }
+    });
+}
+
+/// Single-threaded kernel over a row block of `A`/`C`.
+fn gemm_rows(k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let rows = c.len() / n.max(1);
+    for i in 0..rows {
+        let c_row = &mut c[i * n..(i + 1) * n];
+        let a_row = &a[i * k..(i + 1) * k];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                *cj += aik * bj;
+            }
+        }
+    }
+}
+
+/// `c = a^T[m,k] * b[k,n]` where `a` is stored as `[k, m]` (used by the
+/// backward passes without materializing transposes).
+pub fn gemm_at_b(m: usize, k: usize, n: usize, a_t: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a_t.len(), k * m, "A^T length");
+    assert_eq!(b.len(), k * n, "B length");
+    assert_eq!(c.len(), m * n, "C length");
+    for kk in 0..k {
+        let a_row = &a_t[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (i, &aki) in a_row.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                *cj += aki * bj;
+            }
+        }
+    }
+}
+
+/// `c = a[m,k] * b^T[k,n]` where `b` is stored as `[n, k]`.
+pub fn gemm_a_bt(m: usize, k: usize, n: usize, a: &[f32], b_t: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A length");
+    assert_eq!(b_t.len(), n * k, "B^T length");
+    assert_eq!(c.len(), m * n, "C length");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b_t[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn rand_vec(n: usize, rng: &mut Prng) -> Vec<f32> {
+        (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let mut rng = Prng::seed(1);
+        for (m, k, n) in [(1, 1, 1), (2, 3, 4), (5, 5, 5), (7, 2, 9), (1, 16, 1)] {
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(k * n, &mut rng);
+            let mut c = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut c);
+            let want = naive(m, k, n, &a, &b);
+            for (g, w) in c.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-4, "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_parallel_sizes() {
+        let mut rng = Prng::seed(2);
+        let (m, k, n) = (97, 33, 41); // big enough to engage threading
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let mut c = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut c);
+        let want = naive(m, k, n, &a, &b);
+        for (g, w) in c.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn parallel_is_deterministic() {
+        let mut rng = Prng::seed(3);
+        let (m, k, n) = (128, 64, 32);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut c1);
+        gemm(m, k, n, &a, &b, &mut c2);
+        assert_eq!(c1, c2, "same split → bitwise identical");
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let a = [1.0f32, 0.0, 0.0, 1.0];
+        let b = [2.0f32, 0.0, 0.0, 2.0];
+        let mut c = vec![10.0f32; 4];
+        gemm(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, vec![12.0, 10.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn transposed_variants_match() {
+        let mut rng = Prng::seed(4);
+        let (m, k, n) = (6, 5, 7);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let want = naive(m, k, n, &a, &b);
+
+        // a^T stored [k, m]
+        let mut a_t = vec![0.0; k * m];
+        for i in 0..m {
+            for kk in 0..k {
+                a_t[kk * m + i] = a[i * k + kk];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_at_b(m, k, n, &a_t, &b, &mut c);
+        for (g, w) in c.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-4);
+        }
+
+        // b^T stored [n, k]
+        let mut b_t = vec![0.0; n * k];
+        for kk in 0..k {
+            for j in 0..n {
+                b_t[j * k + kk] = b[kk * n + j];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_a_bt(m, k, n, &a, &b_t, &mut c);
+        for (g, w) in c.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-4);
+        }
+    }
+}

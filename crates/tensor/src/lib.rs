@@ -1,0 +1,19 @@
+//! Minimal f32 tensor substrate for the posit-dnn reproduction.
+//!
+//! The paper simulates posit training on FP32 GPUs; this crate is the FP32
+//! compute substrate: a contiguous row-major [`Tensor`], a blocked,
+//! thread-parallel [`gemm`], im2col convolution ([`conv`]), pooling
+//! ([`pool`]) and the seeded RNG helpers ([`rng`]) everything else builds
+//! on. Determinism: every parallel split is static, every reduction order
+//! fixed, every random stream explicitly seeded.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod gemm;
+pub mod pool;
+pub mod rng;
+mod tensor;
+
+pub use tensor::Tensor;

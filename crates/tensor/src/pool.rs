@@ -1,0 +1,158 @@
+//! Pooling primitives (NCHW layout).
+
+use crate::tensor::Tensor;
+
+/// Max pooling: kernel `k`, stride `s`, no padding. Returns the pooled
+/// tensor and, per output element, the flat input index of the winning
+/// element (consumed by the backward pass).
+///
+/// # Panics
+///
+/// Panics unless the input is 4-D.
+pub fn maxpool2d(input: &Tensor, k: usize, s: usize) -> (Tensor, Vec<usize>) {
+    let sh = input.shape();
+    assert_eq!(sh.len(), 4, "maxpool input must be NCHW");
+    let (n, c, h, w) = (sh[0], sh[1], sh[2], sh[3]);
+    let oh = (h - k) / s + 1;
+    let ow = (w - k) / s + 1;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let data = input.data();
+    for i in 0..n {
+        for ch in 0..c {
+            let base = (i * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let idx = base + (oy * s + ky) * w + (ox * s + kx);
+                            if data[idx] > best {
+                                best = data[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let oidx = ((i * c + ch) * oh + oy) * ow + ox;
+                    out.data_mut()[oidx] = best;
+                    argmax[oidx] = best_idx;
+                }
+            }
+        }
+    }
+    (out, argmax)
+}
+
+/// Backward of [`maxpool2d`]: routes each output gradient to the winning
+/// input position.
+pub fn maxpool2d_backward(grad_out: &Tensor, argmax: &[usize], input_shape: &[usize]) -> Tensor {
+    let mut grad_in = Tensor::zeros(input_shape);
+    for (g, &idx) in grad_out.data().iter().zip(argmax) {
+        grad_in.data_mut()[idx] += g;
+    }
+    grad_in
+}
+
+/// Global average pooling `[N,C,H,W] → [N,C]`.
+pub fn global_avgpool(input: &Tensor) -> Tensor {
+    let sh = input.shape();
+    assert_eq!(sh.len(), 4, "avgpool input must be NCHW");
+    let (n, c, h, w) = (sh[0], sh[1], sh[2], sh[3]);
+    let hw = (h * w) as f32;
+    let mut out = Tensor::zeros(&[n, c]);
+    for i in 0..n {
+        for ch in 0..c {
+            let plane = &input.data()[(i * c + ch) * h * w..(i * c + ch + 1) * h * w];
+            out.data_mut()[i * c + ch] = plane.iter().sum::<f32>() / hw;
+        }
+    }
+    out
+}
+
+/// Backward of [`global_avgpool`]: spreads each gradient uniformly over the
+/// spatial plane.
+pub fn global_avgpool_backward(grad_out: &Tensor, input_shape: &[usize]) -> Tensor {
+    let (n, c, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
+    let hw = (h * w) as f32;
+    let mut grad_in = Tensor::zeros(input_shape);
+    for i in 0..n {
+        for ch in 0..c {
+            let g = grad_out.data()[i * c + ch] / hw;
+            for v in
+                &mut grad_in.data_mut()[(i * c + ch) * h * w..(i * c + ch + 1) * h * w]
+            {
+                *v = g;
+            }
+        }
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    #[test]
+    fn maxpool_small() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.0, 0.5, //
+                -3.0, -4.0, 0.25, 0.75,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let (out, argmax) = maxpool2d(&input, 2, 2);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[4.0, 8.0, -1.0, 0.75]);
+        assert_eq!(argmax, vec![5, 7, 8, 15]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let input = Tensor::from_vec(vec![1.0, 9.0, 2.0, 3.0], &[1, 1, 2, 2]);
+        let (_, argmax) = maxpool2d(&input, 2, 2);
+        let grad_out = Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]);
+        let grad_in = maxpool2d_backward(&grad_out, &argmax, &[1, 1, 2, 2]);
+        assert_eq!(grad_in.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_overlapping_stride() {
+        let input = Tensor::from_vec((1..=9).map(|i| i as f32).collect(), &[1, 1, 3, 3]);
+        let (out, _) = maxpool2d(&input, 2, 1);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn global_avgpool_and_backward() {
+        let input = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 2, 2]);
+        let out = global_avgpool(&input);
+        assert_eq!(out.shape(), &[1, 2]);
+        assert_eq!(out.data(), &[4.0, 2.0]);
+        let grad = Tensor::from_vec(vec![8.0, 4.0], &[1, 2]);
+        let gi = global_avgpool_backward(&grad, &[1, 2, 2, 2]);
+        assert_eq!(gi.data(), &[2.0, 2.0, 2.0, 2.0, 1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn avgpool_gradient_is_adjoint() {
+        let mut rng = Prng::seed(8);
+        let x = Tensor::rand_normal(&[2, 3, 4, 4], 0.0, 1.0, &mut rng);
+        let y = Tensor::rand_normal(&[2, 3], 0.0, 1.0, &mut rng);
+        let fx = global_avgpool(&x);
+        let aty = global_avgpool_backward(&y, x.shape());
+        let lhs: f64 = fx.data().iter().zip(y.data()).map(|(&a, &b)| (a * b) as f64).sum();
+        let rhs: f64 = x.data().iter().zip(aty.data()).map(|(&a, &b)| (a * b) as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,137 @@
+//! Seeded pseudo-random streams (uniform + Gaussian).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random stream. Thin wrapper over `SmallRng` with the
+/// Box–Muller transform for Gaussians (keeping the dependency surface to
+/// the plain `rand` crate).
+#[derive(Debug, Clone)]
+pub struct Prng {
+    rng: SmallRng,
+    spare: Option<f32>,
+}
+
+impl Prng {
+    /// Seeded stream; the same seed always produces the same sequence.
+    pub fn seed(seed: u64) -> Prng {
+        Prng {
+            rng: SmallRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Derive an independent child stream (for per-layer init etc.).
+    pub fn fork(&mut self, salt: u64) -> Prng {
+        let s = self.rng.random::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Prng::seed(s)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.rng.random::<f32>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        self.rng.random_range(0..n)
+    }
+
+    /// Raw 64-bit word.
+    pub fn word(&mut self) -> u64 {
+        self.rng.random::<u64>()
+    }
+
+    /// Standard Gaussian via Box–Muller (cached pair).
+    pub fn standard_normal(&mut self) -> f32 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u1 = self.rng.random::<f32>();
+            let u2 = self.rng.random::<f32>();
+            if u1 <= f32::MIN_POSITIVE {
+                continue;
+            }
+            let r = (-2.0 * u1.ln()).sqrt();
+            let (s, c) = (std::f32::consts::TAU * u2).sin_cos();
+            self.spare = Some(r * s);
+            return r * c;
+        }
+    }
+
+    /// Gaussian with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.standard_normal()
+    }
+
+    /// Fisher–Yates shuffle of a slice of indices.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Prng::seed(7);
+        let mut b = Prng::seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.word(), b.word());
+        }
+        let mut c = Prng::seed(8);
+        assert_ne!(a.word(), c.word());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = Prng::seed(1);
+        let n = 50_000;
+        let xs: Vec<f32> = (0..n).map(|_| r.normal(2.0, 3.0)).collect();
+        let mean = xs.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let var = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = Prng::seed(3);
+        for _ in 0..1000 {
+            let x = r.uniform(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+            let k = r.below(10);
+            assert!(k < 10);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Prng::seed(11);
+        let mut v: Vec<usize> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn fork_streams_differ() {
+        let mut r = Prng::seed(5);
+        let mut a = r.fork(1);
+        let mut b = r.fork(2);
+        assert_ne!(a.word(), b.word());
+    }
+}

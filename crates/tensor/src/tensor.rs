@@ -1,0 +1,357 @@
+//! The contiguous row-major f32 tensor.
+
+use crate::rng::Prng;
+use std::fmt;
+
+/// A dense, contiguous, row-major tensor of `f32`.
+///
+/// ```
+/// use posit_tensor::Tensor;
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::eye(2);
+/// assert_eq!(a.matmul(&b).data(), a.data());
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// All zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Tensor {
+        Tensor {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// All ones with the given shape.
+    pub fn ones(shape: &[usize]) -> Tensor {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Constant fill.
+    pub fn full(shape: &[usize], value: f32) -> Tensor {
+        Tensor {
+            data: vec![value; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Identity matrix of side `n`.
+    pub fn eye(n: usize) -> Tensor {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Wrap an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the shape's element count.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "buffer length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Uniform random values in `[lo, hi)`.
+    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut Prng) -> Tensor {
+        let n = shape.iter().product();
+        let data = (0..n).map(|_| rng.uniform(lo, hi)).collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Gaussian random values with the given mean and standard deviation.
+    pub fn rand_normal(shape: &[usize], mean: f32, std: f32, rng: &mut Prng) -> Tensor {
+        let n = shape.iter().product();
+        let data = (0..n).map(|_| rng.normal(mean, std)).collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Take ownership of the buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterpret with a new shape of identical element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            self.data.len(),
+            shape.iter().product::<usize>(),
+            "cannot reshape {:?} to {:?}",
+            self.shape,
+            shape
+        );
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Element at a 2-D position (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or the index is out of bounds.
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        assert_eq!(self.shape.len(), 2, "at2 on non-matrix");
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Elementwise map in place.
+    pub fn apply(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise binary zip into a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip shape mismatch");
+        Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// `self + other` elementwise.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// `self - other` elementwise.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// `self * other` elementwise (Hadamard).
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// `self + alpha * other`, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scale by a scalar, in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Sum of all elements (f64 accumulator for stability).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&x| x as f64).sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Maximum absolute element (0 for empty tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// 2-D matrix transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not 2-D.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose2 on non-matrix");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(&[n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self[M,K] × other[K,N]` via the blocked parallel
+    /// GEMM.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 2-D with compatible inner dims.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs not 2-D");
+        assert_eq!(other.shape.len(), 2, "matmul rhs not 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        crate::gemm::gemm(m, k, n, &self.data, &other.data, out.data_mut());
+        out
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(
+                f,
+                " [{:.4}, {:.4}, …, {:.4}] (n={})",
+                self.data[0],
+                self.data[1],
+                self.data[self.data.len() - 1],
+                self.data.len()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert!(!t.is_empty());
+        let u = Tensor::full(&[2], 3.5);
+        assert_eq!(u.data(), &[3.5, 3.5]);
+        assert_eq!(Tensor::eye(2).data(), &[1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_validates() {
+        let _ = Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        assert_eq!(a.add(&b).data(), &[11.0, 22.0]);
+        assert_eq!(b.sub(&a).data(), &[9.0, 18.0]);
+        assert_eq!(a.mul(&b).data(), &[10.0, 40.0]);
+        let mut c = a.clone();
+        c.axpy(2.0, &b);
+        assert_eq!(c.data(), &[21.0, 42.0]);
+        c.scale(0.5);
+        assert_eq!(c.data(), &[10.5, 21.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(vec![1.0, -4.0, 3.0], &[3]);
+        assert_eq!(a.sum(), 0.0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let t = a.transpose2();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(t.transpose2(), a);
+    }
+
+    #[test]
+    fn rng_determinism() {
+        let mut r1 = Prng::seed(42);
+        let mut r2 = Prng::seed(42);
+        let a = Tensor::rand_normal(&[32], 0.0, 1.0, &mut r1);
+        let b = Tensor::rand_normal(&[32], 0.0, 1.0, &mut r2);
+        assert_eq!(a, b);
+        let c = Tensor::rand_uniform(&[8], -1.0, 1.0, &mut r1);
+        assert!(c.data().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", Tensor::zeros(&[0])).is_empty());
+        assert!(!format!("{:?}", Tensor::zeros(&[100])).is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! The §III-B dynamic-range criterion in action: measure the log-domain
+//! spans of real training tensors and let the criterion pick `es` — it
+//! reproduces the paper's "es = 1 for weights/activations, es = 2 for
+//! gradients/errors" rule.
+//!
+//! ```text
+//! cargo run --release --example es_selection
+//! ```
+
+use posit_dnn::data::SyntheticCifar;
+use posit_dnn::nn::{Layer, Sgd, SoftmaxCrossEntropy};
+use posit_dnn::tensor::rng::Prng;
+use posit_dnn::train::es_select::{select_es, LogRange};
+
+fn main() {
+    // Train a small FP32 net briefly so tensors have realistic statistics.
+    let gen = SyntheticCifar::new(16, 3);
+    let data = gen.train(256, 1);
+    let mut rng = Prng::seed(1);
+    let mut builder = posit_dnn::models::PlainBuilder;
+    let mut net = posit_dnn::models::resnet_scaled(&mut builder, 8, 10, &mut rng);
+    let loss = SoftmaxCrossEntropy::new();
+    let mut opt = Sgd::new(0.05).momentum(0.9);
+
+    let mut batch_err = None;
+    for step in 0..24 {
+        let idx: Vec<usize> = (0..32).map(|i| (step * 32 + i) % data.len()).collect();
+        let (x, t) = data.gather(&idx);
+        let y = net.forward(&x, true);
+        let (_, g) = loss.forward(&y, &t);
+        opt.zero_grad(&mut net.params_mut());
+        let e0 = net.backward(&g);
+        opt.step(&mut net.params_mut());
+        batch_err = Some(e0);
+    }
+
+    println!("log-domain spans (max-min of log2|x|) and the es the criterion picks (n=8):\n");
+    println!("{:<32} {:>8} {:>6}", "tensor", "span", "es");
+    for p in net.params().iter().filter(|p| p.name.ends_with("weight")).take(6) {
+        if let Some(r) = LogRange::measure(p.value.data()) {
+            println!("{:<32} {:>8.1} {:>6}", p.name, r.span(), select_es(8, r.span()));
+        }
+    }
+    for p in net.params().iter().filter(|p| p.name.ends_with("weight")).take(6) {
+        if let Some(r) = LogRange::measure(p.grad.data()) {
+            println!(
+                "{:<32} {:>8.1} {:>6}",
+                format!("grad({})", p.name),
+                r.span(),
+                select_es(8, r.span())
+            );
+        }
+    }
+    if let Some(e) = batch_err {
+        if let Some(r) = LogRange::measure(e.data()) {
+            println!("{:<32} {:>8.1} {:>6}", "error(input edge)", r.span(), select_es(8, r.span()));
+        }
+    }
+    println!("\npaper rule (§III-B): es=1 for weights/activations, es=2 for gradients/errors");
+}

@@ -1,0 +1,51 @@
+//! Drive the gate-level posit MAC of Fig. 4: decode, multiply-accumulate,
+//! encode — then print the synthesis cost report behind Tables IV and V.
+//!
+//! ```text
+//! cargo run --example mac_hardware
+//! ```
+
+use posit_dnn::hw::cost::{format_table4, format_table5, CostModel};
+use posit_dnn::hw::decoder::PositDecoder;
+use posit_dnn::hw::{DecoderOptimized, PositMacUnit};
+use posit_dnn::posit::{PositFormat, Rounding};
+
+fn main() {
+    let fmt = PositFormat::new(16, 1).expect("valid format");
+
+    // Decode a value into the (sign, effective exponent, mantissa) bundle
+    // the FP MAC consumes.
+    let dec = DecoderOptimized::new(fmt);
+    let code = fmt.from_f64(-6.5, Rounding::NearestEven);
+    let fields = dec.decode(code);
+    println!(
+        "decode(-6.5) -> sign={} scale={} frac(top bits)={:#06x} (value {})",
+        fields.negative,
+        fields.scale,
+        fields.frac >> 48,
+        fields.to_f64()
+    );
+
+    // A dot product on the sequential MAC unit (accumulator register).
+    let xs: Vec<u64> = [1.5, -2.0, 0.25, 8.0]
+        .iter()
+        .map(|&v| fmt.from_f64(v, Rounding::NearestEven))
+        .collect();
+    let ys: Vec<u64> = [2.0, 0.5, -4.0, 0.125]
+        .iter()
+        .map(|&v| fmt.from_f64(v, Rounding::NearestEven))
+        .collect();
+    let mut unit = PositMacUnit::new(fmt);
+    let out = unit.dot(&xs, &ys);
+    println!(
+        "gate-level MAC dot([1.5,-2,0.25,8],[2,0.5,-4,0.125]) = {}",
+        fmt.to_f64(out)
+    );
+    let expect: f64 = 1.5 * 2.0 - 2.0 * 0.5 + 0.25 * -4.0 + 8.0 * 0.125;
+    println!("f64 reference                                    = {expect}");
+
+    // The synthesis story (Tables IV and V).
+    let model = CostModel::tsmc28();
+    println!("\n{}", format_table4(&model));
+    println!("{}", format_table5(&model));
+}

@@ -1,0 +1,41 @@
+//! Quickstart: the posit number system and the paper's `P(n,es)` operator.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use posit_dnn::posit::{PositFormat, PositQuantizer, Rounding, P16E1, P8E1};
+
+fn main() {
+    // --- Typed posits with operator overloads --------------------------
+    let a = P16E1::from_f64(3.25);
+    let b = P16E1::from_f64(-1.5);
+    println!("a = {a}, b = {b}");
+    println!("a + b = {}", a + b);
+    println!("a * b = {}", a * b);
+    println!("a / b = {}", a / b);
+    println!("sqrt(9) = {}", P16E1::from_f64(9.0).sqrt());
+    println!("1 / 0  = {} (NaR)", P16E1::ONE / P16E1::ZERO);
+    println!(
+        "maxpos = {} = useed^(n-2), minpos = {}",
+        P16E1::MAXPOS,
+        P16E1::MINPOS
+    );
+
+    // --- The precision profile that motivates the paper ----------------
+    // posit(8,1) has fine steps near 1.0 and coarse steps far away:
+    println!("\nposit(8,1) neighbours of 1.0 and of 1000:");
+    let one = P8E1::from_f64(1.0);
+    println!("  around 1.0:  {} | {} | {}", one.next_down(), one, one.next_up());
+    let k = P8E1::from_f64(1000.0);
+    println!("  around 1000: {} | {} | {}", k.next_down(), k, k.next_up());
+
+    // --- Algorithm 1: the P(n,es) transformation -----------------------
+    let fmt = PositFormat::new(8, 1).expect("valid format");
+    let mut q = PositQuantizer::new(fmt, Rounding::ToZero);
+    println!("\nAlgorithm 1, P(8,1) with round-to-zero:");
+    for x in [0.3f32, std::f32::consts::E, -7.4, 5000.0, 1e-7] {
+        println!("  P({x}) = {}", q.quantize(x));
+    }
+    println!("(out-of-range values clip to maxpos / flush to zero, per the paper)");
+}

@@ -1,0 +1,49 @@
+//! Exact accumulation with the quire (the EMAC of Deep Positron, discussed
+//! in the paper's related work) versus chained posit adds and FP32.
+//!
+//! ```text
+//! cargo run --example quire_dot
+//! ```
+
+use posit_dnn::posit::{quire, PositFormat, Quire, Rounding};
+
+fn main() {
+    let fmt = PositFormat::new(16, 1).expect("valid format");
+
+    // A long dot product whose terms cancel: chained low-precision adds
+    // drift, the quire does not.
+    let n = 2000;
+    let xs_f: Vec<f64> = (0..n)
+        .map(|i| if i % 2 == 0 { 1.0 + (i as f64) * 1e-3 } else { -1.0 - ((i - 1) as f64) * 1e-3 })
+        .collect();
+    let ones = vec![fmt.one_bits(); n];
+    let xs: Vec<u64> = xs_f.iter().map(|&v| fmt.from_f64(v, Rounding::NearestEven)).collect();
+
+    // Chained adds: round at every step.
+    let mut chained = 0u64;
+    for &x in &xs {
+        chained = fmt.add(chained, x);
+    }
+    // Quire: one rounding at the end.
+    let fused = quire::fused_dot(fmt, &xs, &ones);
+
+    let exact: f64 = xs.iter().map(|&x| fmt.to_f64(x)).sum();
+    println!("sum of {n} alternating terms (posit(16,1)):");
+    println!("  chained adds : {}", fmt.to_f64(chained));
+    println!("  quire (EMAC) : {}", fmt.to_f64(fused));
+    println!("  exact        : {exact}");
+
+    // minpos^2 products are invisible to chained arithmetic but exact in
+    // the quire.
+    let minpos = fmt.minpos_bits();
+    let mut q = Quire::new(fmt);
+    for _ in 0..1 << 12 {
+        q.add_product(minpos, minpos);
+    }
+    println!(
+        "\n4096 x minpos^2 accumulated exactly: {} (minpos^2 = {:e} each)",
+        fmt.to_f64(q.to_posit(Rounding::NearestEven, 0)),
+        fmt.minpos() * fmt.minpos()
+    );
+    println!("quire width for posit(16,1): {} bits", q.width_bits());
+}

@@ -1,0 +1,28 @@
+//! # posit-dnn
+//!
+//! A full-system Rust reproduction of *"Training Deep Neural Networks Using
+//! Posit Number System"* (Lu et al., SOCC 2019).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`posit`] — the posit number system (codec, arithmetic, quire,
+//!   Algorithm 1 quantizer);
+//! * [`hw`] — the gate-level posit MAC of Figs. 4–6 with a 28 nm
+//!   cost model (Tables IV–V);
+//! * [`tensor`] — the f32 tensor substrate;
+//! * [`nn`] — layers with the explicit Fig. 3 dataflow;
+//! * [`data`] — synthetic dataset generators;
+//! * [`models`] — the ResNet-18 family;
+//! * [`train`] — the paper's training methodology
+//!   (warm-up, Eq. 2–3 scaling, es selection, Table III configs).
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+pub use posit;
+pub use posit_data as data;
+pub use posit_hw as hw;
+pub use posit_models as models;
+pub use posit_nn as nn;
+pub use posit_tensor as tensor;
+pub use posit_train as train;

@@ -1,0 +1,70 @@
+//! Cross-crate end-to-end training tests: the Table III claim at smoke
+//! scale — posit training converges and tracks the FP32 baseline.
+
+use posit_dnn::data::{SyntheticCifar, SyntheticImageNet};
+use posit_dnn::posit::PositFormat;
+use posit_dnn::train::{QuantSpec, TrainConfig, Trainer};
+
+#[test]
+fn cifar_recipe_tracks_fp32() {
+    let gen = SyntheticCifar::new(8, 21);
+    let train = gen.train(320, 1);
+    let test = gen.test(80, 1);
+    let base = TrainConfig::cifar_scaled(4, 6).with_seed(5);
+
+    let fp32 = Trainer::resnet(&base).run(&train, &test, &base);
+    let pcfg = base.clone().with_quant(QuantSpec::cifar_paper());
+    let posit = Trainer::resnet(&pcfg).run(&train, &test, &pcfg);
+
+    assert!(fp32.final_test_acc > 0.3, "fp32 {:.3}", fp32.final_test_acc);
+    assert!(
+        posit.best_test_acc >= fp32.best_test_acc - 0.15,
+        "posit {:.3} vs fp32 {:.3}",
+        posit.best_test_acc,
+        fp32.best_test_acc
+    );
+    // The quantized run really switched phases.
+    assert_eq!(posit.epochs[0].phase, "calibrate");
+    assert!(posit.epochs[1..].iter().all(|e| e.phase == "posit"));
+}
+
+#[test]
+fn imagenet_recipe_runs_with_five_epoch_warmup() {
+    let gen = SyntheticImageNet::new(8, 10, 22);
+    let train = gen.train(500, 1);
+    let test = gen.test(150, 1);
+    let cfg = TrainConfig::imagenet_scaled(4, 10, 9)
+        .with_seed(5)
+        .with_quant(QuantSpec::imagenet_paper());
+    assert_eq!(cfg.warmup_epochs, 3); // clamped: min(5, epochs/3)
+    let report = Trainer::resnet(&cfg).run(&train, &test, &cfg);
+    assert_eq!(report.epochs.len(), 9);
+    assert_eq!(report.epochs[0].phase, "fp32");
+    assert_eq!(report.epochs[2].phase, "calibrate");
+    assert_eq!(report.epochs[3].phase, "posit");
+    assert!(
+        report.final_test_acc > 0.12,
+        "barely above the 0.10 chance level: {:.3}",
+        report.final_test_acc
+    );
+    // Training must not diverge after the posit switch.
+    let last = report.epochs.last().unwrap();
+    assert!(last.train_loss.is_finite() && last.train_loss < 3.0);
+}
+
+#[test]
+fn aggressive_low_precision_degrades_gracefully() {
+    // posit(6,1) everywhere is far below the paper's formats: training may
+    // lose accuracy but must not produce NaNs or panic — the infrastructure
+    // contract for the ablation sweeps.
+    let gen = SyntheticCifar::new(8, 23);
+    let train = gen.train(160, 1);
+    let test = gen.test(64, 1);
+    let cfg = TrainConfig::cifar_scaled(4, 4)
+        .with_seed(5)
+        .with_quant(QuantSpec::uniform(PositFormat::of(6, 1)));
+    let report = Trainer::resnet(&cfg).run(&train, &test, &cfg);
+    for e in &report.epochs {
+        assert!(e.train_loss.is_finite(), "loss diverged: {e:?}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Integration test of the paper's Fig. 3: every edge of the training
+//! dataflow — `A^l`, `E^{l-1}`, `ΔW`, `W` — must carry values on the
+//! configured posit grid once the posit phase is active, across the whole
+//! (cross-crate) layer stack.
+
+use posit_dnn::nn::{Conv2d, Layer};
+use posit_dnn::posit::Rounding;
+use posit_dnn::tensor::rng::Prng;
+use posit_dnn::tensor::Tensor;
+use posit_dnn::train::{scale, Phase, QuantControl, QuantSpec, Quantized, TensorClass};
+
+/// Check a slice lies on the Eq. 3 grid of `fmt` with scale `se`.
+fn assert_on_grid(xs: &[f32], fmt: &posit_dnn::posit::PositFormat, se: i32, what: &str) {
+    for &v in xs {
+        let mut copy = [v];
+        let mut st = 0u64;
+        scale::shifted_quantize_slice(&mut copy, fmt, se, Rounding::ToZero, &mut st);
+        assert_eq!(copy[0], v, "{what}: {v} not on grid (se={se})");
+    }
+}
+
+#[test]
+fn all_four_edges_quantize_for_conv_and_bn() {
+    let mut rng = Prng::seed(1);
+    let spec = QuantSpec::cifar_paper();
+    let control = QuantControl::new();
+
+    // A CONV layer under the (8,1)/(8,2) Table III formats.
+    let conv = Conv2d::new(
+        "conv1",
+        Tensor::rand_normal(&[4, 3, 3, 3], 0.0, 0.2, &mut rng),
+        None,
+        1,
+        1,
+    );
+    let mut q = Quantized::new(Box::new(conv), &spec, control.clone());
+    control.set_phase(Phase::Posit);
+
+    let x = Tensor::rand_normal(&[2, 3, 6, 6], 0.0, 1.0, &mut rng);
+    let a = q.forward(&x, true);
+
+    // Edge 1 (Fig. 3a): activations on the (8,1) grid.
+    assert_on_grid(
+        a.data(),
+        &q.format(TensorClass::Activation),
+        q.scale_exp(TensorClass::Activation).unwrap(),
+        "A^l",
+    );
+    // Edge 4 (Fig. 3c): the weight *compute view* W_p = P(W), installed
+    // between forward and backward, is on the (8,1) grid (the FP32 master
+    // comes back after backward — see MasterWeights).
+    let wfmt = q.format(TensorClass::Weight);
+    let wse = q.scale_exp(TensorClass::Weight).unwrap();
+    for p in q.params() {
+        assert_on_grid(p.value.data(), &wfmt, wse, "W_p");
+    }
+
+    let e = q.backward(&a);
+    // Edge 2 (Fig. 3b): errors on the (8,2) grid.
+    assert_on_grid(
+        e.data(),
+        &q.format(TensorClass::Error),
+        q.scale_exp(TensorClass::Error).unwrap(),
+        "E^{l-1}",
+    );
+    // Edge 3 (Fig. 3b): weight gradients on the (8,2) grid.
+    let gfmt = q.format(TensorClass::WeightGrad);
+    let gse = q.scale_exp(TensorClass::WeightGrad).unwrap();
+    for p in q.params() {
+        assert_on_grid(p.grad.data(), &gfmt, gse, "ΔW");
+    }
+    // Table III's format split is respected.
+    assert_eq!(q.format(TensorClass::Weight).n(), 8);
+    assert_eq!(q.format(TensorClass::Weight).es(), 1);
+    assert_eq!(q.format(TensorClass::Error).es(), 2);
+}
+
+#[test]
+fn warmup_phase_is_bit_exact_fp32() {
+    let mut rng = Prng::seed(2);
+    let spec = QuantSpec::cifar_paper();
+    let control = QuantControl::new();
+    let mk = |rng: &mut Prng| {
+        Conv2d::new(
+            "conv1",
+            Tensor::rand_normal(&[4, 3, 3, 3], 0.0, 0.2, rng),
+            None,
+            1,
+            1,
+        )
+    };
+    let mut rng2 = Prng::seed(2);
+    let mut wrapped = Quantized::new(Box::new(mk(&mut rng)), &spec, control.clone());
+    let mut plain = mk(&mut rng2);
+
+    let x = Tensor::rand_normal(&[2, 3, 6, 6], 0.0, 1.0, &mut rng);
+    assert_eq!(control.phase(), Phase::Fp32);
+    let a = wrapped.forward(&x, true);
+    let b = plain.forward(&x, true);
+    assert_eq!(a.data(), b.data(), "warm-up must not perturb FP32");
+    assert_eq!(
+        wrapped.backward(&a).data(),
+        plain.backward(&b).data(),
+        "warm-up backward must not perturb FP32"
+    );
+}
+
+#[test]
+fn quantized_weights_are_idempotent_across_steps() {
+    // Quantize-before-forward must be a fixed point: a second forward with
+    // unchanged weights must not move them again (P(P(x)) == P(x)).
+    let mut rng = Prng::seed(3);
+    let spec = QuantSpec::cifar_paper();
+    let control = QuantControl::new();
+    let conv = Conv2d::new(
+        "conv1",
+        Tensor::rand_normal(&[4, 3, 3, 3], 0.0, 0.2, &mut rng),
+        None,
+        1,
+        1,
+    );
+    let mut q = Quantized::new(Box::new(conv), &spec, control.clone());
+    control.set_phase(Phase::Posit);
+    let x = Tensor::rand_normal(&[1, 3, 6, 6], 0.0, 1.0, &mut rng);
+    let _ = q.forward(&x, true);
+    let w1: Vec<f32> = q.params()[0].value.data().to_vec();
+    let _ = q.forward(&x, true);
+    let w2: Vec<f32> = q.params()[0].value.data().to_vec();
+    assert_eq!(w1, w2);
+}

@@ -1,0 +1,94 @@
+//! Cross-crate hardware/software equivalence: tensors produced by the
+//! training stack execute identically on the gate-level MAC (Fig. 4) and
+//! the software posit arithmetic.
+
+use posit_dnn::hw::decoder::PositDecoder;
+use posit_dnn::hw::encoder::PositEncoder;
+use posit_dnn::hw::{DecoderOptimized, EncoderOptimized, PositMac, PositMacUnit};
+use posit_dnn::posit::{PositFormat, Quire, Rounding};
+use posit_dnn::tensor::rng::Prng;
+
+#[test]
+fn trained_weight_values_roundtrip_through_hw_codec() {
+    // Weight-like values (normal, small magnitude) must decode/encode
+    // bit-exactly through the Fig. 5b/6b circuits.
+    let fmt = PositFormat::of(16, 1);
+    let dec = DecoderOptimized::new(fmt);
+    let enc = EncoderOptimized::new(fmt);
+    let mut rng = Prng::seed(9);
+    for _ in 0..5000 {
+        let w = rng.normal(0.0, 0.05) as f64;
+        let code = fmt.from_f64(w, Rounding::NearestEven);
+        assert_eq!(enc.encode(dec.decode(code)), code, "w={w}");
+    }
+}
+
+#[test]
+fn hw_mac_dot_equals_sequential_software_fused_ops() {
+    // The sequential MAC unit computes acc = rtz(a*b + acc) per cycle;
+    // software fused_mul_add under RTZ must produce the identical sequence.
+    let fmt = PositFormat::of(8, 1);
+    let mut rng = Prng::seed(10);
+    let xs: Vec<u64> = (0..64)
+        .map(|_| fmt.from_f64(rng.normal(0.0, 1.0) as f64, Rounding::NearestEven))
+        .collect();
+    let ys: Vec<u64> = (0..64)
+        .map(|_| fmt.from_f64(rng.normal(0.0, 1.0) as f64, Rounding::NearestEven))
+        .collect();
+    let mut unit = PositMacUnit::new(fmt);
+    let hw = unit.dot(&xs, &ys);
+    let mut sw = 0u64;
+    for (&a, &b) in xs.iter().zip(&ys) {
+        sw = fmt.fused_mul_add_with(a, b, sw, Rounding::ToZero, 0);
+    }
+    assert_eq!(hw, sw);
+}
+
+#[test]
+fn quire_bounds_hw_mac_accumulation_error() {
+    // The quire computes the exact dot product; the sequential MAC rounds
+    // every cycle. The MAC result must stay within the worst-case drift
+    // band around the exact result — and the two must agree exactly for
+    // short, exactly-representable dots.
+    let fmt = PositFormat::of(16, 1);
+    let vals = [1.5f64, -0.25, 4.0, 0.125, -2.0];
+    let xs: Vec<u64> = vals.iter().map(|&v| fmt.from_f64(v, Rounding::NearestEven)).collect();
+    let ones = vec![fmt.one_bits(); xs.len()];
+    let mut unit = PositMacUnit::new(fmt);
+    let hw = unit.dot(&xs, &ones);
+    let mut q = Quire::new(fmt);
+    for &x in &xs {
+        q.add_posit(x);
+    }
+    let exact = q.to_posit(Rounding::NearestEven, 0);
+    assert_eq!(fmt.to_f64(hw), fmt.to_f64(exact), "short exact dot must agree");
+}
+
+#[test]
+fn combinational_mac_handles_specials_like_software() {
+    let fmt = PositFormat::of(16, 2);
+    let mac = PositMac::new(fmt);
+    let one = fmt.one_bits();
+    let nar = fmt.nar_bits();
+    assert_eq!(mac.mac(nar, one, one), nar);
+    assert_eq!(mac.mac(0, one, one), one);
+    assert_eq!(mac.mac(one, 0, 0), 0);
+    let maxpos = fmt.maxpos_bits();
+    assert_eq!(mac.mac(maxpos, maxpos, maxpos), maxpos, "saturates, never NaR");
+}
+
+#[test]
+fn every_8bit_code_survives_decode_encode_on_both_generations() {
+    use posit_dnn::hw::{DecoderOriginal, EncoderOriginal};
+    for es in 0..=2 {
+        let fmt = PositFormat::of(8, es);
+        let dec_o = DecoderOriginal::new(fmt);
+        let dec_p = DecoderOptimized::new(fmt);
+        let enc_o = EncoderOriginal::new(fmt);
+        let enc_p = EncoderOptimized::new(fmt);
+        for code in 0..fmt.code_count() {
+            assert_eq!(enc_o.encode(dec_o.decode(code)), code);
+            assert_eq!(enc_p.encode(dec_p.decode(code)), code);
+        }
+    }
+}
