@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# CI gate for the posit-dnn workspace. Run from the repo root.
+#
+# Order: cheap static checks first, then the tier-1 build+test gate.
+# Everything must exit 0; clippy runs with -D warnings (no lint baseline —
+# the tree is clippy-clean, keep it that way).
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo check --examples"
+cargo check --examples
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q  (tier-1 gate)"
+cargo test -q
+
+echo "==> OK"

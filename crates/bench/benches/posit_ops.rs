@@ -13,7 +13,13 @@ fn op_inputs(fmt: &PositFormat, n: usize) -> Vec<(u64, u64)> {
                 .wrapping_add(1442695040888963407);
             let a = state & fmt.mask();
             let b = (state >> 24) & fmt.mask();
-            let fix = |x: u64| if x == fmt.nar_bits() { fmt.one_bits() } else { x };
+            let fix = |x: u64| {
+                if x == fmt.nar_bits() {
+                    fmt.one_bits()
+                } else {
+                    x
+                }
+            };
             (fix(a), fix(b))
         })
         .collect()

@@ -18,17 +18,14 @@ fn bench_quantize_slice(c: &mut Criterion) {
     for (n, es) in [(8u32, 1u32), (8, 2), (16, 1), (16, 2)] {
         let fmt = PositFormat::of(n, es);
         for mode in [Rounding::ToZero, Rounding::NearestEven] {
-            g.bench_function(
-                BenchmarkId::new(format!("{fmt}"), mode.short_name()),
-                |b| {
-                    let mut q = PositQuantizer::new(fmt, mode);
-                    b.iter(|| {
-                        let mut ys = xs.clone();
-                        q.quantize_slice(black_box(&mut ys));
-                        ys
-                    })
-                },
-            );
+            g.bench_function(BenchmarkId::new(format!("{fmt}"), mode.short_name()), |b| {
+                let mut q = PositQuantizer::new(fmt, mode);
+                b.iter(|| {
+                    let mut ys = xs.clone();
+                    q.quantize_slice(black_box(&mut ys));
+                    ys
+                })
+            });
         }
         g.bench_function(BenchmarkId::new(format!("{fmt}"), "sr"), |b| {
             let mut q = PositQuantizer::with_seed(fmt, Rounding::Stochastic, 1);

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use posit_data::SyntheticCifar;
 use posit_nn::{Layer, Sgd, SoftmaxCrossEntropy};
 use posit_tensor::rng::Prng;
-use posit_train::{Phase, QuantBuilder, QuantSpec, Trainer, TrainConfig};
+use posit_train::{Phase, QuantBuilder, QuantSpec, TrainConfig, Trainer};
 use std::hint::black_box;
 
 fn bench_training_step(c: &mut Criterion) {

@@ -72,7 +72,10 @@ fn ablate_warmup(scale: Scale) {
             .with_quant(QuantSpec::cifar_paper())
             .with_warmup(warmup);
         let r = run_logged(&format!("warm-up = {warmup}"), &exp.train, &exp.test, &cfg);
-        println!("warmup {warmup}: best test acc {:.2}%", 100.0 * r.best_test_acc);
+        println!(
+            "warmup {warmup}: best test acc {:.2}%",
+            100.0 * r.best_test_acc
+        );
     }
 }
 
@@ -81,8 +84,14 @@ fn ablate_scaling(scale: Scale) {
     let exp = CifarExperiment::new(scale);
     for (label, spec) in [
         ("scaling ON,  sigma=2 (paper)", QuantSpec::cifar_paper()),
-        ("scaling ON,  sigma=0", QuantSpec::cifar_paper().with_sigma(0)),
-        ("scaling ON,  sigma=4", QuantSpec::cifar_paper().with_sigma(4)),
+        (
+            "scaling ON,  sigma=0",
+            QuantSpec::cifar_paper().with_sigma(0),
+        ),
+        (
+            "scaling ON,  sigma=4",
+            QuantSpec::cifar_paper().with_sigma(4),
+        ),
         ("scaling OFF", QuantSpec::cifar_paper().without_scaling()),
     ] {
         let cfg = trimmed(&exp).with_quant(spec);
@@ -114,7 +123,12 @@ fn ablate_es(scale: Scale) {
     for es in 0..=2u32 {
         let spec = QuantSpec::uniform(PositFormat::of(8, es));
         let cfg = trimmed(&exp).with_quant(spec);
-        let r = run_logged(&format!("uniform posit(8,{es})"), &exp.train, &exp.test, &cfg);
+        let r = run_logged(
+            &format!("uniform posit(8,{es})"),
+            &exp.train,
+            &exp.test,
+            &cfg,
+        );
         println!("es={es}: best test acc {:.2}%", 100.0 * r.best_test_acc);
     }
 }
@@ -122,7 +136,11 @@ fn ablate_es(scale: Scale) {
 fn ablate_rounding(scale: Scale) {
     println!("=== A4: rounding mode of the P(.) operator ===");
     let exp = CifarExperiment::new(scale);
-    for mode in [Rounding::ToZero, Rounding::NearestEven, Rounding::Stochastic] {
+    for mode in [
+        Rounding::ToZero,
+        Rounding::NearestEven,
+        Rounding::Stochastic,
+    ] {
         let spec = QuantSpec::cifar_paper().with_rounding(mode);
         let cfg = trimmed(&exp).with_quant(spec);
         let r = run_logged(&format!("{mode}"), &exp.train, &exp.test, &cfg);

@@ -27,7 +27,10 @@ fn main() {
     );
     println!();
     println!("Fig. 1 field layouts by effective exponent (scale):");
-    println!("{:>7} {:>3} {:>12} {:>13} {:>13}", "scale", "k", "regime bits", "exponent bits", "fraction bits");
+    println!(
+        "{:>7} {:>3} {:>12} {:>13} {:>13}",
+        "scale", "k", "regime bits", "exponent bits", "fraction bits"
+    );
     let mut scale = fmt.min_scale();
     while scale <= fmt.max_scale() {
         let l = fmt.field_layout(scale);

@@ -23,13 +23,23 @@ fn main() {
         .unwrap_or("all");
 
     println!("TABLE III: TRAINING CONFIGURATIONS AND VALIDATE ACCURACIES RESULTS");
-    println!("(scaled reproduction; paper reference: CIFAR {:.2} -> {:.2}, ImageNet {:.2} -> {:.2})",
-        paper::CIFAR_FP32, paper::CIFAR_POSIT, paper::IMAGENET_FP32, paper::IMAGENET_POSIT);
+    println!(
+        "(scaled reproduction; paper reference: CIFAR {:.2} -> {:.2}, ImageNet {:.2} -> {:.2})",
+        paper::CIFAR_FP32,
+        paper::CIFAR_POSIT,
+        paper::IMAGENET_FP32,
+        paper::IMAGENET_POSIT
+    );
     println!();
 
     if which == "cifar" || which == "all" {
         let exp = CifarExperiment::new(scale);
-        let fp32 = run_logged("CIFAR stand-in, FP32 baseline", &exp.train, &exp.test, &exp.config);
+        let fp32 = run_logged(
+            "CIFAR stand-in, FP32 baseline",
+            &exp.train,
+            &exp.test,
+            &exp.config,
+        );
         let posit_cfg = exp.config.clone().with_quant(QuantSpec::cifar_paper());
         let posit = run_logged(
             "CIFAR stand-in, posit (8,1)/(8,2) CONV + (16,1)/(16,2) BN, warm-up 1",

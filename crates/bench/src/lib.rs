@@ -143,6 +143,9 @@ pub mod paper {
 pub fn ablation_specs() -> Vec<(&'static str, QuantSpec)> {
     vec![
         ("paper (scaling on)", QuantSpec::cifar_paper()),
-        ("no scaling (A2)", QuantSpec::cifar_paper().without_scaling()),
+        (
+            "no scaling (A2)",
+            QuantSpec::cifar_paper().without_scaling(),
+        ),
     ]
 }

@@ -320,8 +320,14 @@ mod tests {
         assert_eq!(s.sigma, 2);
         assert!(s.scaling);
         assert_eq!(s.formats_for(LayerKind::Conv).weight, PositFormat::of(8, 1));
-        assert_eq!(s.formats_for(LayerKind::Linear).weight, PositFormat::of(8, 1));
-        assert_eq!(s.formats_for(LayerKind::BatchNorm).weight, PositFormat::of(16, 1));
+        assert_eq!(
+            s.formats_for(LayerKind::Linear).weight,
+            PositFormat::of(8, 1)
+        );
+        assert_eq!(
+            s.formats_for(LayerKind::BatchNorm).weight,
+            PositFormat::of(16, 1)
+        );
     }
 
     #[test]

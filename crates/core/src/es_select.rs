@@ -106,7 +106,9 @@ mod tests {
         // Gradients: product of several normals spreads the log magnitude.
         let grads: Vec<f32> = (0..4000)
             .map(|_| {
-                rng.normal(0.0, 1.0) * rng.normal(0.0, 1.0) * rng.normal(0.0, 1.0)
+                rng.normal(0.0, 1.0)
+                    * rng.normal(0.0, 1.0)
+                    * rng.normal(0.0, 1.0)
                     * 2f32.powi(-8)
                     * rng.normal(0.0, 1.0).abs().powi(3)
             })

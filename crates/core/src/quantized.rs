@@ -250,9 +250,7 @@ impl Layer for Quantized {
                     self.restore_master();
                 }
                 // Fig. 3a: A^l → P(·) → A^l_p.
-                let e = self
-                    .a_scale
-                    .exp_or_lazy(y.data(), self.sigma, self.scaling);
+                let e = self.a_scale.exp_or_lazy(y.data(), self.sigma, self.scaling);
                 scale::shifted_quantize_slice(
                     y.data_mut(),
                     &self.a_fmt,
@@ -469,7 +467,10 @@ mod tests {
         let se = q.scale_exp(TensorClass::Activation).unwrap();
         // Frozen from calibration (not lazily recomputed): the wrapper must
         // have an exponent already set before the posit forward ran.
-        assert!(se != 0 || !q.scaling, "calibrated scale should be non-trivial");
+        assert!(
+            se != 0 || !q.scaling,
+            "calibrated scale should be non-trivial"
+        );
     }
 
     #[test]

@@ -116,7 +116,9 @@ mod tests {
         // Eq. 2-3 shifting must reduce quantization error.
         let fmt = PositFormat::of(8, 1);
         let xs: Vec<f32> = (0..200)
-            .map(|i| (1.0 + (i as f32 * 0.002)) * 2f32.powi(-9) * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .map(|i| {
+                (1.0 + (i as f32 * 0.002)) * 2f32.powi(-9) * if i % 2 == 0 { 1.0 } else { -1.0 }
+            })
             .collect();
         let se = scale_exp(&xs, 2).unwrap();
         let err_shifted = quantization_error(&xs, &fmt, Some(se), Rounding::ToZero);

@@ -42,7 +42,11 @@ impl Histogram {
         }
         let n = xs.len();
         let mean = if n == 0 { 0.0 } else { sum / n as f64 };
-        let var = if n == 0 { 0.0 } else { (sq / n as f64 - mean * mean).max(0.0) };
+        let var = if n == 0 {
+            0.0
+        } else {
+            (sq / n as f64 - mean * mean).max(0.0)
+        };
         Histogram {
             lo,
             hi,

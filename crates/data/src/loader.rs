@@ -100,7 +100,12 @@ pub struct DataLoader<'a> {
 
 impl<'a> DataLoader<'a> {
     /// A loader over `dataset`; shuffling is seeded and reproducible.
-    pub fn new(dataset: &'a Dataset, batch_size: usize, shuffle: bool, seed: u64) -> DataLoader<'a> {
+    pub fn new(
+        dataset: &'a Dataset,
+        batch_size: usize,
+        shuffle: bool,
+        seed: u64,
+    ) -> DataLoader<'a> {
         assert!(batch_size > 0, "batch_size must be positive");
         DataLoader {
             dataset,

@@ -99,7 +99,8 @@ impl SyntheticImages {
         let mut labels = Vec::with_capacity(n);
         for i in 0..n {
             let class = i % spec.classes;
-            let proto_idx = class * spec.prototypes_per_class + rng.below(spec.prototypes_per_class);
+            let proto_idx =
+                class * spec.prototypes_per_class + rng.below(spec.prototypes_per_class);
             let proto = &self.prototypes[proto_idx];
             let dx = rng.below(2 * spec.max_shift + 1) as isize - spec.max_shift as isize;
             let dy = rng.below(2 * spec.max_shift + 1) as isize - spec.max_shift as isize;
@@ -171,7 +172,8 @@ impl SyntheticCifar {
 
     /// A held-out test split (independent sample stream).
     pub fn test(&self, n: usize, seed: u64) -> Dataset {
-        self.inner.generate(n, seed.wrapping_mul(2).wrapping_add(0x9E3779B9))
+        self.inner
+            .generate(n, seed.wrapping_mul(2).wrapping_add(0x9E3779B9))
     }
 
     /// Access the underlying generator.
@@ -218,7 +220,8 @@ impl SyntheticImageNet {
 
     /// A held-out test split.
     pub fn test(&self, n: usize, seed: u64) -> Dataset {
-        self.inner.generate(n, seed.wrapping_mul(2).wrapping_add(0x51ED270))
+        self.inner
+            .generate(n, seed.wrapping_mul(2).wrapping_add(0x51ED270))
     }
 
     /// Access the underlying generator.
@@ -333,8 +336,11 @@ mod tests {
         let n = data.len() as f64;
         let mean: f64 = data.iter().map(|&x| x as f64).sum::<f64>() / n;
         let var: f64 = data.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
-        let skew: f64 =
-            data.iter().map(|&x| ((x as f64 - mean) / var.sqrt()).powi(3)).sum::<f64>() / n;
+        let skew: f64 = data
+            .iter()
+            .map(|&x| ((x as f64 - mean) / var.sqrt()).powi(3))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.2, "mean {mean}");
         assert!(skew.abs() < 0.5, "skew {skew}");
     }

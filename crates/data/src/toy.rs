@@ -25,13 +25,7 @@ pub fn two_spirals(n: usize, noise: f32, seed: u64) -> Dataset {
 
 /// Isotropic Gaussian blobs: `classes` clusters in `dim` dimensions with
 /// centres on a seeded random sphere of radius `separation`.
-pub fn gaussian_blobs(
-    n: usize,
-    classes: usize,
-    dim: usize,
-    separation: f32,
-    seed: u64,
-) -> Dataset {
+pub fn gaussian_blobs(n: usize, classes: usize, dim: usize, separation: f32, seed: u64) -> Dataset {
     let mut rng = Prng::seed(seed);
     let centres: Vec<Vec<f32>> = (0..classes)
         .map(|_| {
@@ -44,8 +38,8 @@ pub fn gaussian_blobs(
     let mut labels = Vec::with_capacity(n);
     for i in 0..n {
         let class = i % classes;
-        for d in 0..dim {
-            data.push(centres[class][d] + rng.standard_normal());
+        for &centre_d in &centres[class] {
+            data.push(centre_d + rng.standard_normal());
         }
         labels.push(class);
     }
@@ -75,8 +69,8 @@ mod tests {
         for i in 0..d.len() {
             let c = d.labels()[i];
             counts[c] += 1;
-            for j in 0..4 {
-                centres[c][j] += d.features().data()[i * 4 + j] as f64;
+            for (j, centre_j) in centres[c].iter_mut().enumerate() {
+                *centre_j += d.features().data()[i * 4 + j] as f64;
             }
         }
         for (c, centre) in centres.iter_mut().enumerate() {
@@ -92,8 +86,16 @@ mod tests {
                 .collect();
             let best = (0..3)
                 .min_by(|&a, &b| {
-                    let da: f64 = x.iter().zip(&centres[a]).map(|(p, q)| (p - q).powi(2)).sum();
-                    let db: f64 = x.iter().zip(&centres[b]).map(|(p, q)| (p - q).powi(2)).sum();
+                    let da: f64 = x
+                        .iter()
+                        .zip(&centres[a])
+                        .map(|(p, q)| (p - q).powi(2))
+                        .sum();
+                    let db: f64 = x
+                        .iter()
+                        .zip(&centres[b])
+                        .map(|(p, q)| (p - q).powi(2))
+                        .sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .unwrap();

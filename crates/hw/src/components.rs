@@ -81,7 +81,11 @@ pub fn lzd_cost(w: u32) -> BlockCost {
 /// Logarithmic barrel shifter, left: `⌈log2 smax⌉` mux stages, each `w`
 /// 2:1 muxes (≈2.5 gates per mux).
 pub fn shl(bits: u64, width: u32, amount: u32) -> u64 {
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     if amount >= width {
         0
     } else {
@@ -91,7 +95,11 @@ pub fn shl(bits: u64, width: u32, amount: u32) -> u64 {
 
 /// Logarithmic barrel shifter, right.
 pub fn shr(bits: u64, width: u32, amount: u32) -> u64 {
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     if amount >= width {
         0
     } else {
@@ -135,7 +143,11 @@ pub fn mux_cost(w: u32) -> BlockCost {
 
 /// Two's-complement absolute value (XOR row + incrementer + mux).
 pub fn absval(x: i64, width: u32) -> u64 {
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     (x.unsigned_abs()) & mask
 }
 
@@ -151,7 +163,11 @@ pub fn absval_cost(w: u32) -> BlockCost {
 
 /// Two's-complement negation over `n` bits (inverter row + incrementer).
 pub fn negate(bits: u64, width: u32) -> u64 {
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     bits.wrapping_neg() & mask
 }
 
@@ -216,8 +232,14 @@ mod tests {
 
     #[test]
     fn cost_composition() {
-        let a = BlockCost { levels: 3.0, gates: 10.0 };
-        let b = BlockCost { levels: 2.0, gates: 20.0 };
+        let a = BlockCost {
+            levels: 3.0,
+            gates: 10.0,
+        };
+        let b = BlockCost {
+            levels: 2.0,
+            gates: 20.0,
+        };
         let s = a.then(b);
         assert_eq!(s.levels, 5.0);
         assert_eq!(s.gates, 30.0);

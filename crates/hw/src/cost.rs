@@ -117,8 +117,12 @@ impl fmt::Display for SynthesisReport {
         write!(
             f,
             "{:<36} {:>6.1} levels {:>8.0} gates {:>7.3} ns {:>7.3} mW {:>8.0} um^2",
-            self.name, self.block.levels, self.block.gates, self.cost.delay_ns,
-            self.cost.power_mw, self.cost.area_um2
+            self.name,
+            self.block.levels,
+            self.block.gates,
+            self.cost.delay_ns,
+            self.cost.power_mw,
+            self.cost.area_um2
         )
     }
 }
@@ -212,50 +216,94 @@ pub fn format_table4(model: &CostModel) -> String {
     };
     s.push_str(&row(
         "[6] delay(ns) encoder",
-        [cols[0].encoder_delay_orig, cols[1].encoder_delay_orig, cols[2].encoder_delay_orig],
+        [
+            cols[0].encoder_delay_orig,
+            cols[1].encoder_delay_orig,
+            cols[2].encoder_delay_orig,
+        ],
         2,
     ));
     s.push_str(&row(
         "[6] delay(ns) decoder",
-        [cols[0].decoder_delay_orig, cols[1].decoder_delay_orig, cols[2].decoder_delay_orig],
+        [
+            cols[0].decoder_delay_orig,
+            cols[1].decoder_delay_orig,
+            cols[2].decoder_delay_orig,
+        ],
         2,
     ));
     s.push_str(&row(
         "Ours delay(ns) encoder",
-        [cols[0].encoder_delay_opt, cols[1].encoder_delay_opt, cols[2].encoder_delay_opt],
+        [
+            cols[0].encoder_delay_opt,
+            cols[1].encoder_delay_opt,
+            cols[2].encoder_delay_opt,
+        ],
         2,
     ));
     s.push_str(&row(
         "Ours delay(ns) decoder",
-        [cols[0].decoder_delay_opt, cols[1].decoder_delay_opt, cols[2].decoder_delay_opt],
+        [
+            cols[0].decoder_delay_opt,
+            cols[1].decoder_delay_opt,
+            cols[2].decoder_delay_opt,
+        ],
         2,
     ));
     s.push_str(&row(
         "Ours power(mW) encoder",
-        [cols[0].encoder_power_opt, cols[1].encoder_power_opt, cols[2].encoder_power_opt],
+        [
+            cols[0].encoder_power_opt,
+            cols[1].encoder_power_opt,
+            cols[2].encoder_power_opt,
+        ],
         2,
     ));
     s.push_str(&row(
         "Ours power(mW) decoder",
-        [cols[0].decoder_power_opt, cols[1].decoder_power_opt, cols[2].decoder_power_opt],
+        [
+            cols[0].decoder_power_opt,
+            cols[1].decoder_power_opt,
+            cols[2].decoder_power_opt,
+        ],
         2,
     ));
     s.push_str(&row(
         "Ours area(um2) encoder",
-        [cols[0].encoder_area_opt, cols[1].encoder_area_opt, cols[2].encoder_area_opt],
+        [
+            cols[0].encoder_area_opt,
+            cols[1].encoder_area_opt,
+            cols[2].encoder_area_opt,
+        ],
         0,
     ));
     s.push_str(&row(
         "Ours area(um2) decoder",
-        [cols[0].decoder_area_opt, cols[1].decoder_area_opt, cols[2].decoder_area_opt],
+        [
+            cols[0].decoder_area_opt,
+            cols[1].decoder_area_opt,
+            cols[2].decoder_area_opt,
+        ],
         0,
     ));
     s.push_str(&format!(
         "speedup: encoder {:.0}%-{:.0}%, decoder {:.0}%-{:.0}% (paper: 25%-35% / 15%-30%)\n",
-        cols.iter().map(|c| c.encoder_speedup()).fold(f64::MAX, f64::min) * 100.0,
-        cols.iter().map(|c| c.encoder_speedup()).fold(f64::MIN, f64::max) * 100.0,
-        cols.iter().map(|c| c.decoder_speedup()).fold(f64::MAX, f64::min) * 100.0,
-        cols.iter().map(|c| c.decoder_speedup()).fold(f64::MIN, f64::max) * 100.0,
+        cols.iter()
+            .map(|c| c.encoder_speedup())
+            .fold(f64::MAX, f64::min)
+            * 100.0,
+        cols.iter()
+            .map(|c| c.encoder_speedup())
+            .fold(f64::MIN, f64::max)
+            * 100.0,
+        cols.iter()
+            .map(|c| c.decoder_speedup())
+            .fold(f64::MAX, f64::min)
+            * 100.0,
+        cols.iter()
+            .map(|c| c.decoder_speedup())
+            .fold(f64::MIN, f64::max)
+            * 100.0,
     ));
     s
 }
@@ -400,10 +448,34 @@ mod tests {
             // Modelled absolute numbers should land within ~50% of measured
             // silicon — they are estimates, the *ordering* is structural.
             let close = |got: f64, want: f64| (got / want - 1.0).abs() < 0.5;
-            assert!(close(c.encoder_delay_orig, paper_enc_orig[i]), "{}: enc orig {} vs {}", c.format, c.encoder_delay_orig, paper_enc_orig[i]);
-            assert!(close(c.decoder_delay_orig, paper_dec_orig[i]), "{}: dec orig {} vs {}", c.format, c.decoder_delay_orig, paper_dec_orig[i]);
-            assert!(close(c.encoder_delay_opt, paper_enc_opt[i]), "{}: enc opt {} vs {}", c.format, c.encoder_delay_opt, paper_enc_opt[i]);
-            assert!(close(c.decoder_delay_opt, paper_dec_opt[i]), "{}: dec opt {} vs {}", c.format, c.decoder_delay_opt, paper_dec_opt[i]);
+            assert!(
+                close(c.encoder_delay_orig, paper_enc_orig[i]),
+                "{}: enc orig {} vs {}",
+                c.format,
+                c.encoder_delay_orig,
+                paper_enc_orig[i]
+            );
+            assert!(
+                close(c.decoder_delay_orig, paper_dec_orig[i]),
+                "{}: dec orig {} vs {}",
+                c.format,
+                c.decoder_delay_orig,
+                paper_dec_orig[i]
+            );
+            assert!(
+                close(c.encoder_delay_opt, paper_enc_opt[i]),
+                "{}: enc opt {} vs {}",
+                c.format,
+                c.encoder_delay_opt,
+                paper_enc_opt[i]
+            );
+            assert!(
+                close(c.decoder_delay_opt, paper_dec_opt[i]),
+                "{}: dec opt {} vs {}",
+                c.format,
+                c.decoder_delay_opt,
+                paper_dec_opt[i]
+            );
         }
     }
 
@@ -453,8 +525,16 @@ mod tests {
         // The model is calibrated against the paper's FP32 MAC row.
         let model = CostModel::tsmc28();
         let fp32 = model.cost(Fp32Mac::new().block_cost());
-        assert!((fp32.power_mw / 2.52 - 1.0).abs() < 0.25, "power {}", fp32.power_mw);
-        assert!((fp32.area_um2 / 4322.0 - 1.0).abs() < 0.25, "area {}", fp32.area_um2);
+        assert!(
+            (fp32.power_mw / 2.52 - 1.0).abs() < 0.25,
+            "power {}",
+            fp32.power_mw
+        );
+        assert!(
+            (fp32.area_um2 / 4322.0 - 1.0).abs() < 0.25,
+            "area {}",
+            fp32.area_um2
+        );
     }
 
     #[test]

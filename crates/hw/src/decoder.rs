@@ -114,11 +114,7 @@ impl PositDecoder for DecoderOriginal {
         let run_lod = comp::lod(body >> (64 - w), w);
         let run_lzd = comp::lzd(body >> (64 - w), w);
         let run = if first { run_lzd } else { run_lod };
-        let k = if first {
-            run as i32 - 1
-        } else {
-            -(run as i32)
-        };
+        let k = if first { run as i32 - 1 } else { -(run as i32) };
         // The critical +1: regime width = run + 1 through an incrementer.
         let shift = run + 1;
         let shifted = comp::shl(body >> (64 - w), w, shift.min(w)) << (64 - w);
@@ -136,6 +132,7 @@ impl PositDecoder for DecoderOriginal {
         let n = self.fmt.n();
         let w = n - 1;
         let cw = 32 - (w.leading_zeros()); // count width in bits
+
         // sign-invert row (carry folded downstream)
         BlockCost {
             levels: 1.0,
@@ -276,7 +273,14 @@ mod tests {
                 assert_eq!(orig.decode(c), opt.decode(c), "(n={n},es={es}) {c:#x}");
             }
             // And the structured corners.
-            for c in [0, fmt.nar_bits(), fmt.one_bits(), fmt.maxpos_bits(), fmt.minpos_bits(), fmt.negate(fmt.one_bits())] {
+            for c in [
+                0,
+                fmt.nar_bits(),
+                fmt.one_bits(),
+                fmt.maxpos_bits(),
+                fmt.minpos_bits(),
+                fmt.negate(fmt.one_bits()),
+            ] {
                 assert_eq!(orig.decode(c), opt.decode(c));
                 check_against_software(fmt, c, &opt.decode(c));
             }

@@ -107,7 +107,10 @@ mod tests {
     #[test]
     fn matches_software_quire() {
         let fmt = PositFormat::of(16, 1);
-        let xs: Vec<u64> = [1.5, -2.25, 8.0, 0.125].iter().map(|&v| p(&fmt, v)).collect();
+        let xs: Vec<u64> = [1.5, -2.25, 8.0, 0.125]
+            .iter()
+            .map(|&v| p(&fmt, v))
+            .collect();
         let ys: Vec<u64> = [2.0, 4.0, -0.5, 64.0].iter().map(|&v| p(&fmt, v)).collect();
         let mut emac = ExactMac::new(fmt);
         let got = emac.dot(&xs, &ys, Rounding::NearestEven);
@@ -123,7 +126,9 @@ mod tests {
         let xs: Vec<u64> = (0..n)
             .map(|i| p(&fmt, if i % 2 == 0 { 3.0 } else { -3.0 }))
             .collect();
-        let ys: Vec<u64> = (0..n).map(|i| p(&fmt, 1.0 + (i % 5) as f64 * 0.25)).collect();
+        let ys: Vec<u64> = (0..n)
+            .map(|i| p(&fmt, 1.0 + (i % 5) as f64 * 0.25))
+            .collect();
         let exact: f64 = xs
             .iter()
             .zip(&ys)

@@ -314,7 +314,9 @@ mod tests {
                     is_zero: false,
                     is_nar: false,
                     negative: state & 1 == 1,
-                    scale: ((state >> 8) as i32 % (2 * fmt.max_scale() + 20)) - fmt.max_scale() - 10,
+                    scale: ((state >> 8) as i32 % (2 * fmt.max_scale() + 20))
+                        - fmt.max_scale()
+                        - 10,
                     frac: state.wrapping_mul(0x9E3779B97F4A7C15) & !(1 << 63) << 1,
                 };
                 assert_eq!(enc_o.encode(f), enc_p.encode(f), "(n={n},es={es}) {f:?}");

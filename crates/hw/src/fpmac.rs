@@ -130,7 +130,7 @@ impl FpMac {
         let wm = self.sig_width();
         let we = exp_width(&self.fmt);
         let wp = 2 * wm + 4; // product + guard width of the wide adder
-        // exponent add runs in parallel with the significand multiply
+                             // exponent add runs in parallel with the significand multiply
         comp::multiplier_cost(wm)
             .alongside(comp::cla_cost(we))
             // alignment shifter on the addend

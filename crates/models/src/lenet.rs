@@ -7,8 +7,9 @@ use posit_tensor::rng::Prng;
 /// A LeNet-style network for `in_channels × side × side` inputs.
 ///
 /// conv5x5(6)-ReLU-maxpool2 → conv5x5(16)-ReLU-maxpool2 → fc(120) → fc(n).
-/// `side` must be a multiple of 4 after the two 5×5 valid convolutions
-/// shrink it (e.g. 28 or 12 both work: the fc sizes adapt).
+/// `side` must be large enough that the two 5×5 valid convolutions and
+/// 2×2 pools leave at least one spatial cell: `(side - 4) / 2 - 4 >= 2`,
+/// i.e. `side >= 16` (e.g. 16 or 28 both work: the fc sizes adapt).
 pub fn lenet(
     builder: &mut dyn LayerBuilder,
     in_channels: usize,

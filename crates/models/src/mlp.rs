@@ -10,7 +10,10 @@ use posit_tensor::rng::Prng;
 ///
 /// Panics if fewer than two sizes are given.
 pub fn mlp(builder: &mut dyn LayerBuilder, sizes: &[usize], rng: &mut Prng) -> Sequential {
-    assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+    assert!(
+        sizes.len() >= 2,
+        "an MLP needs at least input and output sizes"
+    );
     let mut net = Sequential::new("mlp");
     for (i, pair) in sizes.windows(2).enumerate() {
         let (inp, out) = (pair[0], pair[1]);

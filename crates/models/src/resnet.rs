@@ -153,7 +153,9 @@ pub fn build_resnet(
         for b in 0..blocks {
             let stride = if stage > 0 && b == 0 { 2 } else { 1 };
             let name = format!("layer{}.{}", stage + 1, b);
-            net.push_boxed(Box::new(basic_block(builder, &name, in_c, width, stride, rng)));
+            net.push_boxed(Box::new(basic_block(
+                builder, &name, in_c, width, stride, rng,
+            )));
             in_c = width;
         }
     }

@@ -228,7 +228,11 @@ mod tests {
             bn.gamma.value = g.clone();
             bn.beta.value = b.clone();
             let y = bn.forward(x, true);
-            y.data().iter().zip(r.data()).map(|(&a, &b)| (a * b) as f64).sum()
+            y.data()
+                .iter()
+                .zip(r.data())
+                .map(|(&a, &b)| (a * b) as f64)
+                .sum()
         };
 
         let mut bn = BatchNorm2d::new("bn", 2);
@@ -245,7 +249,10 @@ mod tests {
             gm.data_mut()[idx] -= eps;
             let num = (loss(&gp, &beta0, &x) - loss(&gm, &beta0, &x)) / (2.0 * eps as f64);
             let ana = bn.gamma.grad.data()[idx] as f64;
-            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "dγ[{idx}] {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "dγ[{idx}] {num} vs {ana}"
+            );
             let mut bp = beta0.clone();
             bp.data_mut()[idx] += eps;
             let mut bm = beta0.clone();
@@ -259,9 +266,13 @@ mod tests {
             xp.data_mut()[idx] += eps;
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
-            let num = (loss(&gamma0, &beta0, &xp) - loss(&gamma0, &beta0, &xm)) / (2.0 * eps as f64);
+            let num =
+                (loss(&gamma0, &beta0, &xp) - loss(&gamma0, &beta0, &xm)) / (2.0 * eps as f64);
             let ana = grad_in.data()[idx] as f64;
-            assert!((num - ana).abs() < 3e-2 * (1.0 + ana.abs()), "dx[{idx}] {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 3e-2 * (1.0 + ana.abs()),
+                "dx[{idx}] {num} vs {ana}"
+            );
         }
     }
 

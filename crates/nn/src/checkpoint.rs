@@ -93,7 +93,9 @@ pub fn load(net: &mut dyn Layer, bytes: &[u8]) -> Result<(), LoadError> {
     }
     let version = cur.u32le()?;
     if version != VERSION {
-        return Err(LoadError::Malformed(format!("unsupported version {version}")));
+        return Err(LoadError::Malformed(format!(
+            "unsupported version {version}"
+        )));
     }
     let count = cur.u32le()? as usize;
     let mut entries: std::collections::HashMap<String, (Vec<usize>, Vec<f32>)> =

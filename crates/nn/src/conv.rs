@@ -78,10 +78,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
+        let input = self.cached_input.as_ref().expect("backward before forward");
         let ish = input.shape();
         let g = self.geom(ish);
         let n = ish[0];
@@ -98,7 +95,11 @@ impl Layer for Conv2d {
         for i in 0..n {
             let dy = &grad_out.data()[i * sample_out..(i + 1) * sample_out];
             // ΔW += dY · colᵀ  — [O, cols] × [cols, rows]
-            im2col(&input.data()[i * sample_in..(i + 1) * sample_in], &g, &mut col);
+            im2col(
+                &input.data()[i * sample_in..(i + 1) * sample_in],
+                &g,
+                &mut col,
+            );
             gemm::gemm_a_bt(o, cols, rows, dy, &col, self.weight.grad.data_mut());
             // dX_col = Wᵀ · dY — [rows, O] × [O, cols]
             dcol.fill(0.0);
@@ -160,7 +161,11 @@ mod tests {
         let loss = |w: &Tensor, b: &Tensor, x: &Tensor| -> f64 {
             let mut l = Conv2d::new("c", w.clone(), Some(b.clone()), 1, 1);
             let o = l.forward(x, true);
-            o.data().iter().zip(r.data()).map(|(&a, &b)| (a * b) as f64).sum()
+            o.data()
+                .iter()
+                .zip(r.data())
+                .map(|(&a, &b)| (a * b) as f64)
+                .sum()
         };
 
         let eps = 1e-3f32;
@@ -172,7 +177,10 @@ mod tests {
             wm.data_mut()[idx] -= eps;
             let num = (loss(&wp, &bias, &input) - loss(&wm, &bias, &input)) / (2.0 * eps as f64);
             let ana = layer.weight.grad.data()[idx] as f64;
-            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "dW[{idx}] {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "dW[{idx}] {num} vs {ana}"
+            );
         }
         // db spot checks
         for idx in 0..4 {
@@ -180,9 +188,13 @@ mod tests {
             bp.data_mut()[idx] += eps;
             let mut bm = bias.clone();
             bm.data_mut()[idx] -= eps;
-            let num = (loss(&weight, &bp, &input) - loss(&weight, &bm, &input)) / (2.0 * eps as f64);
+            let num =
+                (loss(&weight, &bp, &input) - loss(&weight, &bm, &input)) / (2.0 * eps as f64);
             let ana = layer.bias.as_ref().unwrap().grad.data()[idx] as f64;
-            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "db[{idx}] {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "db[{idx}] {num} vs {ana}"
+            );
         }
         // dX spot checks
         for &idx in &[0usize, 31, 99, 215] {
@@ -192,7 +204,10 @@ mod tests {
             xm.data_mut()[idx] -= eps;
             let num = (loss(&weight, &bias, &xp) - loss(&weight, &bias, &xm)) / (2.0 * eps as f64);
             let ana = grad_in.data()[idx] as f64;
-            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "dX[{idx}] {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "dX[{idx}] {num} vs {ana}"
+            );
         }
     }
 
@@ -209,7 +224,11 @@ mod tests {
         let loss = |w: &Tensor, x: &Tensor| -> f64 {
             let mut l = Conv2d::new("c", w.clone(), None, 2, 1);
             let o = l.forward(x, true);
-            o.data().iter().zip(r.data()).map(|(&a, &b)| (a * b) as f64).sum()
+            o.data()
+                .iter()
+                .zip(r.data())
+                .map(|(&a, &b)| (a * b) as f64)
+                .sum()
         };
         let eps = 1e-3f32;
         for &idx in &[0usize, 13, 41] {

@@ -33,7 +33,12 @@ mod tests {
         let w = kaiming_conv(64, 16, 3, 3, &mut rng);
         let n = w.len() as f64;
         let mean = w.mean();
-        let var = w.data().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var = w
+            .data()
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         let want = 2.0 / (16.0 * 9.0);
         assert!(mean.abs() < 0.01);
         assert!((var - want).abs() < 0.2 * want, "var {var} want {want}");

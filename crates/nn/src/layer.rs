@@ -333,7 +333,9 @@ mod tests {
 
     #[test]
     fn sequential_composes() {
-        let mut seq = Sequential::new("s").push(ReLU::new("r1")).push(ReLU::new("r2"));
+        let mut seq = Sequential::new("s")
+            .push(ReLU::new("r1"))
+            .push(ReLU::new("r2"));
         assert_eq!(seq.len(), 2);
         let x = Tensor::from_vec(vec![-1.0, 2.0], &[2]);
         let y = seq.forward(&x, true);
@@ -361,12 +363,7 @@ mod tests {
 
     #[test]
     fn residual_final_relu_gates_both_paths() {
-        let mut block = Residual::new(
-            "res",
-            Sequential::new("m"),
-            Sequential::new("sc"),
-            true,
-        );
+        let mut block = Residual::new("res", Sequential::new("m"), Sequential::new("sc"), true);
         // empty main and shortcut: y = relu(x + x)
         let x = Tensor::from_vec(vec![-1.0, 2.0], &[2]);
         let y = block.forward(&x, true);

@@ -53,7 +53,14 @@ impl Layer for Linear {
         let (o, k) = (self.out_features(), self.in_features());
         let mut out = Tensor::zeros(&[n, o]);
         // y = x · Wᵀ
-        gemm::gemm_a_bt(n, k, o, input.data(), self.weight.value.data(), out.data_mut());
+        gemm::gemm_a_bt(
+            n,
+            k,
+            o,
+            input.data(),
+            self.weight.value.data(),
+            out.data_mut(),
+        );
         if let Some(b) = &self.bias {
             for i in 0..n {
                 for (j, &bv) in b.value.data().iter().enumerate() {
@@ -69,7 +76,14 @@ impl Layer for Linear {
         let n = input.shape()[0];
         let (o, k) = (self.out_features(), self.in_features());
         // ΔW += dYᵀ · X — [o, n] × [n, k]
-        gemm::gemm_at_b(o, n, k, grad_out.data(), input.data(), self.weight.grad.data_mut());
+        gemm::gemm_at_b(
+            o,
+            n,
+            k,
+            grad_out.data(),
+            input.data(),
+            self.weight.grad.data_mut(),
+        );
         if let Some(b) = &mut self.bias {
             for i in 0..n {
                 for (j, gb) in b.grad.data_mut().iter_mut().enumerate() {
@@ -79,7 +93,14 @@ impl Layer for Linear {
         }
         // dX = dY · W — [n, o] × [o, k]
         let mut grad_in = Tensor::zeros(&[n, k]);
-        gemm::gemm(n, o, k, grad_out.data(), self.weight.value.data(), grad_in.data_mut());
+        gemm::gemm(
+            n,
+            o,
+            k,
+            grad_out.data(),
+            self.weight.value.data(),
+            grad_in.data_mut(),
+        );
         grad_in
     }
 
@@ -126,7 +147,11 @@ mod tests {
         let loss = |w: &Tensor, b: &Tensor, x: &Tensor| -> f64 {
             let mut l = Linear::new("fc", w.clone(), Some(b.clone()));
             let y = l.forward(x, true);
-            y.data().iter().zip(r.data()).map(|(&a, &b)| (a * b) as f64).sum()
+            y.data()
+                .iter()
+                .zip(r.data())
+                .map(|(&a, &b)| (a * b) as f64)
+                .sum()
         };
 
         let mut layer = Linear::new("fc", w0.clone(), Some(b0.clone()));

@@ -26,9 +26,8 @@ impl SoftmaxCrossEntropy {
         assert_eq!(targets.len(), n, "target count mismatch");
         let mut grad = Tensor::zeros(sh);
         let mut loss = 0.0f64;
-        for i in 0..n {
+        for (i, &t) in targets.iter().enumerate() {
             let row = &logits.data()[i * c..(i + 1) * c];
-            let t = targets[i];
             assert!(t < c, "target {t} out of range {c}");
             let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
             let exps: Vec<f64> = row.iter().map(|&x| ((x - max) as f64).exp()).collect();

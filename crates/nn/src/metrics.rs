@@ -16,7 +16,7 @@ pub fn top1_accuracy(logits: &Tensor, targets: &[usize]) -> f64 {
         return 0.0;
     }
     let mut correct = 0usize;
-    for i in 0..n {
+    for (i, &target) in targets.iter().enumerate() {
         let row = &logits.data()[i * c..(i + 1) * c];
         let mut best = 0usize;
         for j in 1..c {
@@ -24,7 +24,7 @@ pub fn top1_accuracy(logits: &Tensor, targets: &[usize]) -> f64 {
                 best = j;
             }
         }
-        if best == targets[i] {
+        if best == target {
             correct += 1;
         }
     }

@@ -106,12 +106,11 @@ impl PositFormat {
         let (sa, ea, siga) = unpack(da);
         let (sb, eb, sigb) = unpack(db);
         // Order so that |big| >= |small| (compare (scale, sig)).
-        let ((s_big, e_big, sig_big), (s_small, e_small, sig_small)) =
-            if (ea, siga) >= (eb, sigb) {
-                ((sa, ea, siga), (sb, eb, sigb))
-            } else {
-                ((sb, eb, sigb), (sa, ea, siga))
-            };
+        let ((s_big, e_big, sig_big), (s_small, e_small, sig_small)) = if (ea, siga) >= (eb, sigb) {
+            ((sa, ea, siga), (sb, eb, sigb))
+        } else {
+            ((sb, eb, sigb), (sa, ea, siga))
+        };
         let ds = (e_big - e_small) as u32;
         let big = (sig_big as u128) << 63;
         let (small, sticky) = if ds == 0 {
@@ -209,19 +208,13 @@ impl PositFormat {
         let (_, scale, sig) = unpack(d);
         let s2 = scale.div_euclid(2);
         let t = scale.rem_euclid(2) as u32; // 0 or 1
+
         // arg = 2^t * (1 + f) in [1, 4); A = arg * 2^126.
         let arg = (sig as u128) << (63 + t);
         let root = arg.isqrt(); // in [2^63, 2^64)
         let exact = root * root == arg;
         let frac = (root as u64) << 1;
-        self.encode_fields(
-            Sign::Positive,
-            s2,
-            frac,
-            !exact,
-            rounding,
-            rand_word,
-        )
+        self.encode_fields(Sign::Positive, s2, frac, !exact, rounding, rand_word)
     }
 
     /// `a * b + c` with one rounding, under an explicit rounding mode.
@@ -318,7 +311,8 @@ impl PositFormat {
                     return Unpacked {
                         sign: s_big,
                         scale: e_big + 1,
-                        mag: (m_big >> 1) + (small_aligned >> 1)
+                        mag: (m_big >> 1)
+                            + (small_aligned >> 1)
                             + (((m_big & 1) + (small_aligned & 1)) >> 1),
                         sticky: sticky || lost,
                     }
@@ -412,7 +406,10 @@ mod tests {
         let b = f.from_f64(2.0, Rounding::NearestEven);
         assert_eq!(f.to_f64(f.div(a, b)), 1.5);
         let one = f.one_bits();
-        assert_eq!(f.to_f64(f.div(one, f.from_f64(4.0, Rounding::NearestEven))), 0.25);
+        assert_eq!(
+            f.to_f64(f.div(one, f.from_f64(4.0, Rounding::NearestEven))),
+            0.25
+        );
     }
 
     #[test]

@@ -150,10 +150,7 @@ pub fn decode_ref(fmt: &PositFormat, bits: u64) -> Option<Rational> {
     let neg = (bits >> (n - 1)) & 1 == 1;
     let mag = if neg { fmt.negate(bits) } else { bits };
     // Bit list after the sign, msb first.
-    let body: Vec<u8> = (0..n - 1)
-        .rev()
-        .map(|i| ((mag >> i) & 1) as u8)
-        .collect();
+    let body: Vec<u8> = (0..n - 1).rev().map(|i| ((mag >> i) & 1) as u8).collect();
     let mut idx = 0usize;
     let lead = body[0];
     while idx < body.len() && body[idx] == lead {
@@ -184,11 +181,7 @@ pub fn decode_ref(fmt: &PositFormat, bits: u64) -> Option<Rational> {
     // value = 2^scale * (1 + frac_num/frac_den)
     let mantissa = Rational::new(frac_den + frac_num, frac_den);
     let v = mantissa.mul(&Rational::dyadic(1, scale));
-    Some(if neg {
-        Rational::new(-v.num, v.den)
-    } else {
-        v
-    })
+    Some(if neg { Rational::new(-v.num, v.den) } else { v })
 }
 
 /// All finite code words of a format paired with their exact values,

@@ -23,7 +23,6 @@ use std::fmt;
 /// # Ok::<(), posit::InvalidFormatError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PositFormat {
     n: u32,
     es: u32,
@@ -207,7 +206,11 @@ impl PositFormat {
     pub fn field_layout(&self, scale: i32) -> FieldLayout {
         let scale = scale.clamp(self.min_scale(), self.max_scale());
         let k = scale >> self.es; // floor division by 2^es
-        let nominal_rb = if k >= 0 { k as u32 + 2 } else { (-k) as u32 + 1 };
+        let nominal_rb = if k >= 0 {
+            k as u32 + 2
+        } else {
+            (-k) as u32 + 1
+        };
         let avail = self.n - 1;
         let regime_bits = nominal_rb.min(avail);
         let exponent_bits = (avail - regime_bits).min(self.es);
@@ -479,6 +482,9 @@ impl PositFormat {
         self.from_f64_impl(x, Rounding::Stochastic, rand_word)
     }
 
+    // `self` here is the target format, not the source value, so the
+    // `from_*` self convention lint does not apply.
+    #[allow(clippy::wrong_self_convention)]
     fn from_f64_impl(&self, x: f64, rounding: Rounding, rand_word: u64) -> u64 {
         if x == 0.0 {
             return 0;
@@ -609,7 +615,11 @@ mod tests {
             let low = v + (vn - v) * 0.25;
             let high = v + (vn - v) * 0.75;
             assert_eq!(f.from_f64(low, Rounding::NearestEven), code, "low {low}");
-            assert_eq!(f.from_f64(high, Rounding::NearestEven), code + 1, "high {high}");
+            assert_eq!(
+                f.from_f64(high, Rounding::NearestEven),
+                code + 1,
+                "high {high}"
+            );
         }
     }
 
@@ -623,7 +633,12 @@ mod tests {
             let r = f.from_f64(mid, Rounding::NearestEven);
             // Exact midpoint must go to the even code.
             let expected = if code & 1 == 0 { code } else { code + 1 };
-            assert_eq!(r, expected, "mid {mid} between codes {code} and {}", code + 1);
+            assert_eq!(
+                r,
+                expected,
+                "mid {mid} between codes {code} and {}",
+                code + 1
+            );
         }
     }
 
@@ -632,7 +647,10 @@ mod tests {
         let f = PositFormat::of(8, 1);
         assert_eq!(f.from_f64(1e30, Rounding::NearestEven), f.maxpos_bits());
         assert_eq!(f.from_f64(1e30, Rounding::ToZero), f.maxpos_bits());
-        assert_eq!(f.from_f64(-1e30, Rounding::ToZero), f.negate(f.maxpos_bits()));
+        assert_eq!(
+            f.from_f64(-1e30, Rounding::ToZero),
+            f.negate(f.maxpos_bits())
+        );
         // Below minpos: RTZ flushes (Algorithm 1), RNE goes to minpos.
         let tiny = f.minpos() / 3.0;
         assert_eq!(f.from_f64(tiny, Rounding::ToZero), 0);
@@ -649,7 +667,10 @@ mod tests {
         let f = PositFormat::of(16, 2);
         assert_eq!(f.from_f64(f64::NAN, Rounding::NearestEven), f.nar_bits());
         assert_eq!(f.from_f64(f64::INFINITY, Rounding::ToZero), f.nar_bits());
-        assert_eq!(f.from_f64(f64::NEG_INFINITY, Rounding::ToZero), f.nar_bits());
+        assert_eq!(
+            f.from_f64(f64::NEG_INFINITY, Rounding::ToZero),
+            f.nar_bits()
+        );
     }
 
     #[test]
@@ -693,7 +714,9 @@ mod tests {
         let mut seen_hi = false;
         let mut state = 0x9E3779B97F4A7C15u64;
         for _ in 0..200 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let r = f.from_f64_stochastic(x, state);
             assert!(r == lo || r == lo + 1, "SR escaped the bracketing codes");
             seen_lo |= r == lo;
@@ -710,7 +733,9 @@ mod tests {
         let mut acc = 0.0;
         let trials = 20_000;
         for _ in 0..trials {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             acc += f.to_f64(f.from_f64_stochastic(x, state));
         }
         let mean = acc / trials as f64;

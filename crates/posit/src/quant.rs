@@ -111,15 +111,17 @@ impl PositQuantizer {
 
     /// Quantize into a fresh vector.
     pub fn quantize_to_vec(&mut self, xs: &[f32]) -> Vec<f32> {
-        xs.iter().map(|&x| {
-            let bits = match self.rounding {
-                Rounding::Stochastic => self
-                    .format
-                    .from_f64_stochastic(x as f64, splitmix64(&mut self.rng_state)),
-                mode => self.format.from_f64(x as f64, mode),
-            };
-            self.format.to_f32(bits)
-        }).collect()
+        xs.iter()
+            .map(|&x| {
+                let bits = match self.rounding {
+                    Rounding::Stochastic => self
+                        .format
+                        .from_f64_stochastic(x as f64, splitmix64(&mut self.rng_state)),
+                    mode => self.format.from_f64(x as f64, mode),
+                };
+                self.format.to_f32(bits)
+            })
+            .collect()
     }
 }
 
@@ -231,10 +233,8 @@ mod tests {
         // representable — scaling by powers of two moves the window without
         // adding error.
         let fmt = PositFormat::of(16, 1);
-        let mut sq = ScaledQuantizer::new(
-            PositQuantizer::new(fmt, Rounding::ToZero),
-            2f32.powi(-4),
-        );
+        let mut sq =
+            ScaledQuantizer::new(PositQuantizer::new(fmt, Rounding::ToZero), 2f32.powi(-4));
         for x in [0.0625f32, 0.09375, 0.125, 0.1875] {
             assert_eq!(sq.quantize(x), x);
         }

@@ -221,11 +221,14 @@ impl Quire {
         let mut sticky = false;
         if hb >= 65 {
             let last = hb - 65; // highest sticky bit index
-            'outer: for i in 0..=(last / 64) {
-                let w = mag[i];
+            'outer: for (i, &w) in mag.iter().enumerate().take(last / 64 + 1) {
                 if i == last / 64 {
                     let keep = (last % 64) + 1;
-                    let m = if keep == 64 { u64::MAX } else { (1u64 << keep) - 1 };
+                    let m = if keep == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << keep) - 1
+                    };
                     if w & m != 0 {
                         sticky = true;
                     }
@@ -236,7 +239,11 @@ impl Quire {
                 }
             }
         }
-        let sign = if negative { Sign::Negative } else { Sign::Positive };
+        let sign = if negative {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
         self.fmt
             .encode_fields(sign, scale, frac, sticky, rounding, rand_word)
     }
@@ -341,6 +348,7 @@ mod tests {
         let minpos = fmt.minpos_bits();
         let mut q = Quire::new(fmt);
         let count = 1u64 << 24; // 4^12
+
         // Too slow to loop 16M times with decode each; use scaled batches:
         // accumulate minpos*minpos 2^12 times, then the partial is still
         // exact; assert its rounded value equals minpos^2 * 2^12.

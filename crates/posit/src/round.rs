@@ -29,7 +29,11 @@ pub enum Rounding {
 
 impl Rounding {
     /// All rounding modes, in ablation order.
-    pub const ALL: [Rounding; 3] = [Rounding::NearestEven, Rounding::ToZero, Rounding::Stochastic];
+    pub const ALL: [Rounding; 3] = [
+        Rounding::NearestEven,
+        Rounding::ToZero,
+        Rounding::Stochastic,
+    ];
 
     /// Short machine-friendly name (`"rne"`, `"rtz"`, `"sr"`).
     pub fn short_name(&self) -> &'static str {

@@ -97,23 +97,29 @@ mod tests {
 
         // (code, regime, exponent, mantissa, value) — value as (num, log_den).
         #[allow(clippy::type_complexity)]
-        let expected: [(u64, Option<i32>, Option<i32>, Option<(i128, u32)>, (i128, u32)); 16] = [
+        let expected: [(
+            u64,
+            Option<i32>,
+            Option<i32>,
+            Option<(i128, u32)>,
+            (i128, u32),
+        ); 16] = [
             (0b00000, None, None, None, (0, 0)),
-            (0b00001, Some(-3), Some(0), Some((0, 0)), (1, 6)),   // 1/64
-            (0b00010, Some(-2), Some(0), Some((0, 0)), (1, 4)),   // 1/16
-            (0b00011, Some(-2), Some(1), Some((0, 0)), (1, 3)),   // 1/8
-            (0b00100, Some(-1), Some(0), Some((0, 0)), (1, 2)),   // 1/4
-            (0b00101, Some(-1), Some(0), Some((1, 1)), (3, 3)),   // 3/8
-            (0b00110, Some(-1), Some(1), Some((0, 0)), (1, 1)),   // 1/2
-            (0b00111, Some(-1), Some(1), Some((1, 1)), (3, 2)),   // 3/4
-            (0b01000, Some(0), Some(0), Some((0, 0)), (1, 0)),    // 1
-            (0b01001, Some(0), Some(0), Some((1, 1)), (3, 1)),    // 3/2
-            (0b01010, Some(0), Some(1), Some((0, 0)), (2, 0)),    // 2
-            (0b01011, Some(0), Some(1), Some((1, 1)), (3, 0)),    // 3
-            (0b01100, Some(1), Some(0), Some((0, 0)), (4, 0)),    // 4
-            (0b01101, Some(1), Some(1), Some((0, 0)), (8, 0)),    // 8
-            (0b01110, Some(2), Some(0), Some((0, 0)), (16, 0)),   // 16
-            (0b01111, Some(3), Some(0), Some((0, 0)), (64, 0)),   // 64
+            (0b00001, Some(-3), Some(0), Some((0, 0)), (1, 6)), // 1/64
+            (0b00010, Some(-2), Some(0), Some((0, 0)), (1, 4)), // 1/16
+            (0b00011, Some(-2), Some(1), Some((0, 0)), (1, 3)), // 1/8
+            (0b00100, Some(-1), Some(0), Some((0, 0)), (1, 2)), // 1/4
+            (0b00101, Some(-1), Some(0), Some((1, 1)), (3, 3)), // 3/8
+            (0b00110, Some(-1), Some(1), Some((0, 0)), (1, 1)), // 1/2
+            (0b00111, Some(-1), Some(1), Some((1, 1)), (3, 2)), // 3/4
+            (0b01000, Some(0), Some(0), Some((0, 0)), (1, 0)),  // 1
+            (0b01001, Some(0), Some(0), Some((1, 1)), (3, 1)),  // 3/2
+            (0b01010, Some(0), Some(1), Some((0, 0)), (2, 0)),  // 2
+            (0b01011, Some(0), Some(1), Some((1, 1)), (3, 0)),  // 3
+            (0b01100, Some(1), Some(0), Some((0, 0)), (4, 0)),  // 4
+            (0b01101, Some(1), Some(1), Some((0, 0)), (8, 0)),  // 8
+            (0b01110, Some(2), Some(0), Some((0, 0)), (16, 0)), // 16
+            (0b01111, Some(3), Some(0), Some((0, 0)), (64, 0)), // 64
         ];
 
         for (row, exp) in rows.iter().zip(expected.iter()) {

@@ -369,11 +369,13 @@ mod tests {
 
     #[test]
     fn ordering_matches_values() {
-        let mut v = [P8E1::from_f64(3.0),
+        let mut v = [
+            P8E1::from_f64(3.0),
             P8E1::NAR,
             P8E1::from_f64(-7.0),
             P8E1::ZERO,
-            P8E1::from_f64(0.5)];
+            P8E1::from_f64(0.5),
+        ];
         v.sort();
         let f: Vec<f64> = v.iter().map(|p| p.to_f64()).collect();
         assert!(f[0].is_nan());

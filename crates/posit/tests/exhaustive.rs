@@ -4,7 +4,7 @@
 //! All 8-bit formats are checked over every operand pair; 16-bit formats are
 //! checked over structured samples.
 
-use posit::exact::{RefRounder, Rational};
+use posit::exact::{Rational, RefRounder};
 use posit::{exact, PositFormat, Rounding};
 
 fn all_formats_8bit() -> Vec<PositFormat> {
@@ -45,7 +45,8 @@ fn exhaustive_add_vs_reference_p8() {
                     (Some(va), Some(vb)) => {
                         let want = r.nearest(&va.add(vb));
                         assert_eq!(
-                            got, want,
+                            got,
+                            want,
                             "{fmt} add {a:#04x}+{b:#04x}: {} + {}",
                             va.to_f64(),
                             vb.to_f64()
@@ -169,7 +170,11 @@ fn sampled_fma_vs_reference_p8() {
         for b in (0..fmt.code_count()).step_by(3) {
             for &c in &cs {
                 let got = fmt.fused_mul_add(a, b, c);
-                match (&values[a as usize], &values[b as usize], &values[c as usize]) {
+                match (
+                    &values[a as usize],
+                    &values[b as usize],
+                    &values[c as usize],
+                ) {
                     (Some(va), Some(vb), Some(vc)) => {
                         let exact_val = va.mul(vb).add(vc);
                         let want = if exact_val.is_zero() {

@@ -1,0 +1,320 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! This container builds with no network access to crates.io, so the real
+//! `criterion` cannot be vendored. This shim implements the (small) API
+//! subset the workspace benches use — `Criterion`, `BenchmarkGroup`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, `criterion_group!`,
+//! `criterion_main!` — with a plain wall-clock measurement loop and a
+//! text report on stdout. Swap the `[workspace.dependencies]` entry back
+//! to the crates.io `criterion` when network access is available; the
+//! bench sources need no edits.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (benches mostly use
+/// `std::hint::black_box` directly, but keep the name available).
+pub use std::hint::black_box;
+
+/// Top-level harness state: measurement configuration shared by groups.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up duration (builder style, like real criterion).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accept (and ignore) CLI arguments passed by `cargo bench`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            warm_up: None,
+            measurement: None,
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (warm_up, measurement, sample_size) =
+            (self.warm_up, self.measurement, self.sample_size);
+        run_bench(&id.to_string(), warm_up, measurement, sample_size, None, f);
+        self
+    }
+
+    /// Print the trailing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named collection of benchmarks with shared throughput/timing config.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Option<Duration>,
+    measurement: Option<Duration>,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the group's warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = Some(d);
+        self
+    }
+
+    /// Override the group's measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = Some(d);
+        self
+    }
+
+    /// Override the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(
+            &label,
+            self.warm_up.unwrap_or(self.criterion.warm_up),
+            self.measurement.unwrap_or(self.criterion.measurement),
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Per-iteration work declaration (used only for the ops/s report line).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Hierarchical benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Build an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Total time spent inside `iter` bodies this sample.
+    elapsed: Duration,
+    /// Iterations executed this sample.
+    iters: u64,
+    /// Iterations to run per `iter` call this sample.
+    per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.per_sample {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.per_sample;
+    }
+}
+
+fn run_bench<F>(
+    label: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: also calibrates iterations-per-sample so each sample lands
+    // near measurement/sample_size wall time.
+    let mut per_sample = 1u64;
+    let warm_start = Instant::now();
+    let mut warm_time = Duration::ZERO;
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < warm_up {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            per_sample,
+        };
+        f(&mut b);
+        warm_time += b.elapsed;
+        warm_iters += b.iters;
+        if b.elapsed < Duration::from_millis(1) {
+            per_sample = per_sample.saturating_mul(2);
+        }
+    }
+    let per_iter = if warm_iters == 0 {
+        Duration::from_nanos(1)
+    } else {
+        warm_time / (warm_iters.max(1) as u32)
+    };
+    let target = measurement / (sample_size.max(1) as u32);
+    per_sample = (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
+
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            per_sample,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            let avg = b.elapsed / (b.iters as u32);
+            best = best.min(avg);
+            total += b.elapsed;
+            iters += b.iters;
+        }
+    }
+    let mean_ns = if iters == 0 {
+        0.0
+    } else {
+        total.as_nanos() as f64 / iters as f64
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            format!("  {:>12.1} Melem/s", n as f64 * 1e3 / mean_ns)
+        }
+        Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+            format!(
+                "  {:>12.1} MiB/s",
+                n as f64 * 1e9 / mean_ns / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label:<48} {mean_ns:>12.1} ns/iter (best {:.1}){rate}",
+        best.as_nanos() as f64
+    );
+}
+
+/// Mirror of `criterion::criterion_group!` (both invocation forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,53 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Anything usable as a vec-length specification.
+pub trait SizeRange {
+    /// Draw a length.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start() <= self.end(), "empty size range");
+        self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+    }
+}
+
+/// Strategy for `Vec<E::Value>` with lengths drawn from `size`, mirroring
+/// `proptest::collection::vec`.
+pub fn vec<E: Strategy, S: SizeRange>(element: E, size: S) -> VecStrategy<E, S> {
+    VecStrategy { element, size }
+}
+
+/// Output of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<E, S> {
+    element: E,
+    size: S,
+}
+
+impl<E: Strategy, S: SizeRange> Strategy for VecStrategy<E, S> {
+    type Value = Vec<E::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<E::Value> {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

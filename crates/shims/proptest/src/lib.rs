@@ -1,0 +1,276 @@
+//! Minimal offline stand-in for the `proptest` property-testing crate.
+//!
+//! The container has no network access to crates.io, so the real `proptest`
+//! cannot be pulled in as a dev-dependency. This shim implements the API
+//! subset the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, plus strategy impls for
+//!   numeric ranges, tuples, [`Just`] and [`collection::vec`];
+//! * [`any`] over the [`Arbitrary`] primitives;
+//! * the [`proptest!`] macro (deterministically seeded, no shrinking),
+//!   honouring the `PROPTEST_CASES` environment variable (default 256);
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assume!` / `prop_oneof!`.
+//!
+//! Semantics differ from real proptest in one deliberate way: failing cases
+//! are *not* shrunk — the panic message reports the seed and case index,
+//! which is enough to reproduce (generation is a pure function of them).
+//! Swap the `[workspace.dependencies]` entry back to crates.io `proptest`
+//! when network access is available; test sources need no edits.
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+use std::fmt;
+
+/// Commonly used items, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Outcome of one generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the property does not hold.
+    Fail(String),
+    /// A `prop_assume!` precondition rejected the inputs (not a failure).
+    Reject,
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject => f.write_str("inputs rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Deterministic split-mix/xorshift generator driving value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded generator; the stream is a pure function of the seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit word (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform u64 in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift (Lemire); the tiny bias is irrelevant for testing.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Types with a canonical "any value" strategy, mirroring
+/// `proptest::arbitrary::Arbitrary` for the primitives the tests use.
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, wide-dynamic-range doubles (no NaN/inf, like proptest's
+        // default f64 strategy minus the special values).
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = (rng.below(1200) as i32 - 600) as f64;
+        mantissa * exp.exp2()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mantissa = rng.unit_f64() as f32 * 2.0 - 1.0;
+        let exp = (rng.below(200) as i32 - 100) as f32;
+        mantissa * exp.exp2()
+    }
+}
+
+/// The strategy generating any value of `T`, mirroring `proptest::any`.
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Number of accepted cases each property runs (`PROPTEST_CASES`, default 256).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Drive one property: generate inputs until `cases()` accepted runs pass.
+///
+/// Called by the expansion of [`proptest!`]; not part of the public
+/// proptest API surface but harmless to expose.
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let wanted = cases();
+    // Stable per-test seed: FNV-1a of the test name.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed = (seed ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = wanted as u64 * 64;
+    while accepted < wanted {
+        attempts += 1;
+        if attempts > max_attempts {
+            panic!(
+                "proptest shim: property `{name}` rejected too many inputs \
+                 ({accepted}/{wanted} accepted after {attempts} attempts)"
+            );
+        }
+        let case_seed = seed.wrapping_add(attempts.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let mut rng = TestRng::new(case_seed);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property `{name}` failed at case {accepted} \
+                     (attempt {attempts}, seed {case_seed:#018x}):\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+/// Mirror of `proptest::proptest!`: each `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` running [`run_cases`] over deterministic seeds.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            $crate::run_cases(stringify!($name), |__proptest_rng| {
+                $(
+                    let $arg = $crate::Strategy::sample(&($strat), __proptest_rng);
+                )+
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Mirror of `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Mirror of `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs == *rhs, $($fmt)*);
+    }};
+}
+
+/// Mirror of `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
+        );
+    }};
+}
+
+/// Mirror of `proptest::prop_assume!`: reject the case without failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Mirror of `proptest::prop_oneof!`: uniform choice among strategies with a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}

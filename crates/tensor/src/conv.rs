@@ -115,7 +115,13 @@ pub fn col2im(col: &[f32], g: &ConvGeom, output: &mut [f32]) {
 /// # Panics
 ///
 /// Panics on shape mismatches.
-pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>, stride: usize, pad: usize) -> Tensor {
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
     let ish = input.shape();
     let wsh = weight.shape();
     assert_eq!(ish.len(), 4, "input must be NCHW");
@@ -157,7 +163,13 @@ mod tests {
     use crate::rng::Prng;
 
     /// Direct (quadruple-loop) reference convolution.
-    fn conv_ref(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>, stride: usize, pad: usize) -> Tensor {
+    fn conv_ref(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&[f32]>,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
         let (n, c, h, w) = {
             let s = input.shape();
             (s[0], s[1], s[2], s[3])
@@ -184,8 +196,7 @@ mod tests {
                                     }
                                     let iv = input.data()
                                         [((i * c + ic) * h + iy as usize) * w + ix as usize];
-                                    let wv = weight.data()
-                                        [((oc * c + ic) * kh + ki) * kw + kj];
+                                    let wv = weight.data()[((oc * c + ic) * kh + ki) * kw + kj];
                                     acc += iv * wv;
                                 }
                             }
@@ -252,7 +263,9 @@ mod tests {
             stride: 2,
             pad: 1,
         };
-        let x: Vec<f32> = (0..g.c * g.h * g.w).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let x: Vec<f32> = (0..g.c * g.h * g.w)
+            .map(|_| rng.uniform(-1.0, 1.0))
+            .collect();
         let y: Vec<f32> = (0..g.col_rows() * g.col_cols())
             .map(|_| rng.uniform(-1.0, 1.0))
             .collect();

@@ -84,9 +84,7 @@ pub fn global_avgpool_backward(grad_out: &Tensor, input_shape: &[usize]) -> Tens
     for i in 0..n {
         for ch in 0..c {
             let g = grad_out.data()[i * c + ch] / hw;
-            for v in
-                &mut grad_in.data_mut()[(i * c + ch) * h * w..(i * c + ch + 1) * h * w]
-            {
+            for v in &mut grad_in.data_mut()[(i * c + ch) * h * w..(i * c + ch + 1) * h * w] {
                 *v = g;
             }
         }
@@ -151,8 +149,18 @@ mod tests {
         let y = Tensor::rand_normal(&[2, 3], 0.0, 1.0, &mut rng);
         let fx = global_avgpool(&x);
         let aty = global_avgpool_backward(&y, x.shape());
-        let lhs: f64 = fx.data().iter().zip(y.data()).map(|(&a, &b)| (a * b) as f64).sum();
-        let rhs: f64 = x.data().iter().zip(aty.data()).map(|(&a, &b)| (a * b) as f64).sum();
+        let lhs: f64 = fx
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
+        let rhs: f64 = x
+            .data()
+            .iter()
+            .zip(aty.data())
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-4);
     }
 }

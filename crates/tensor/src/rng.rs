@@ -1,14 +1,55 @@
 //! Seeded pseudo-random streams (uniform + Gaussian).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// The xoshiro256++ core (Blackman & Vigna), seeded via splitmix64 —
+/// the same construction `rand::rngs::SmallRng` uses on 64-bit targets,
+/// inlined here to keep the workspace dependency-free for offline builds.
+#[derive(Debug, Clone)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
 
-/// A deterministic random stream. Thin wrapper over `SmallRng` with the
-/// Box–Muller transform for Gaussians (keeping the dependency surface to
-/// the plain `rand` crate).
+impl Xoshiro256pp {
+    fn seed_from_u64(seed: u64) -> Xoshiro256pp {
+        // splitmix64 stream to fill the state; never all-zero.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256pp {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform f32 in `[0, 1)` from the top 24 bits.
+    fn unit_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// A deterministic random stream: xoshiro256++ with the Box–Muller
+/// transform for Gaussians (self-contained; no external crates).
 #[derive(Debug, Clone)]
 pub struct Prng {
-    rng: SmallRng,
+    rng: Xoshiro256pp,
     spare: Option<f32>,
 }
 
@@ -16,20 +57,20 @@ impl Prng {
     /// Seeded stream; the same seed always produces the same sequence.
     pub fn seed(seed: u64) -> Prng {
         Prng {
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::seed_from_u64(seed),
             spare: None,
         }
     }
 
     /// Derive an independent child stream (for per-layer init etc.).
     pub fn fork(&mut self, salt: u64) -> Prng {
-        let s = self.rng.random::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.rng.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Prng::seed(s)
     }
 
     /// Uniform in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
-        lo + (hi - lo) * self.rng.random::<f32>()
+        lo + (hi - lo) * self.rng.unit_f32()
     }
 
     /// Uniform integer in `[0, n)`.
@@ -39,12 +80,13 @@ impl Prng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0)");
-        self.rng.random_range(0..n)
+        // Multiply-shift range reduction (Lemire, bias < 2^-64).
+        ((self.rng.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Raw 64-bit word.
     pub fn word(&mut self) -> u64 {
-        self.rng.random::<u64>()
+        self.rng.next_u64()
     }
 
     /// Standard Gaussian via Box–Muller (cached pair).
@@ -53,8 +95,8 @@ impl Prng {
             return z;
         }
         loop {
-            let u1 = self.rng.random::<f32>();
-            let u2 = self.rng.random::<f32>();
+            let u1 = self.rng.unit_f32();
+            let u2 = self.rng.unit_f32();
             if u1 <= f32::MIN_POSITIVE {
                 continue;
             }

@@ -28,7 +28,11 @@ fn main() {
     let mut loader = DataLoader::new(&train, 32, true, 9);
     for epoch in 0..20 {
         // one FP32 warm-up epoch with calibration, then posit
-        control.set_phase(if epoch == 0 { Phase::Calibrate } else { Phase::Posit });
+        control.set_phase(if epoch == 0 {
+            Phase::Calibrate
+        } else {
+            Phase::Posit
+        });
         let mut meter = metrics::Meter::new();
         for (x, t) in loader.epoch() {
             let y = net.forward(&x, true);

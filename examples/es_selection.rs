@@ -36,12 +36,27 @@ fn main() {
 
     println!("log-domain spans (max-min of log2|x|) and the es the criterion picks (n=8):\n");
     println!("{:<32} {:>8} {:>6}", "tensor", "span", "es");
-    for p in net.params().iter().filter(|p| p.name.ends_with("weight")).take(6) {
+    for p in net
+        .params()
+        .iter()
+        .filter(|p| p.name.ends_with("weight"))
+        .take(6)
+    {
         if let Some(r) = LogRange::measure(p.value.data()) {
-            println!("{:<32} {:>8.1} {:>6}", p.name, r.span(), select_es(8, r.span()));
+            println!(
+                "{:<32} {:>8.1} {:>6}",
+                p.name,
+                r.span(),
+                select_es(8, r.span())
+            );
         }
     }
-    for p in net.params().iter().filter(|p| p.name.ends_with("weight")).take(6) {
+    for p in net
+        .params()
+        .iter()
+        .filter(|p| p.name.ends_with("weight"))
+        .take(6)
+    {
         if let Some(r) = LogRange::measure(p.grad.data()) {
             println!(
                 "{:<32} {:>8.1} {:>6}",
@@ -53,7 +68,12 @@ fn main() {
     }
     if let Some(e) = batch_err {
         if let Some(r) = LogRange::measure(e.data()) {
-            println!("{:<32} {:>8.1} {:>6}", "error(input edge)", r.span(), select_es(8, r.span()));
+            println!(
+                "{:<32} {:>8.1} {:>6}",
+                "error(input edge)",
+                r.span(),
+                select_es(8, r.span())
+            );
         }
     }
     println!("\npaper rule (§III-B): es=1 for weights/activations, es=2 for gradients/errors");

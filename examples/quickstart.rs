@@ -26,7 +26,12 @@ fn main() {
     // posit(8,1) has fine steps near 1.0 and coarse steps far away:
     println!("\nposit(8,1) neighbours of 1.0 and of 1000:");
     let one = P8E1::from_f64(1.0);
-    println!("  around 1.0:  {} | {} | {}", one.next_down(), one, one.next_up());
+    println!(
+        "  around 1.0:  {} | {} | {}",
+        one.next_down(),
+        one,
+        one.next_up()
+    );
     let k = P8E1::from_f64(1000.0);
     println!("  around 1000: {} | {} | {}", k.next_down(), k, k.next_up());
 

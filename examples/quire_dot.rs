@@ -14,10 +14,19 @@ fn main() {
     // drift, the quire does not.
     let n = 2000;
     let xs_f: Vec<f64> = (0..n)
-        .map(|i| if i % 2 == 0 { 1.0 + (i as f64) * 1e-3 } else { -1.0 - ((i - 1) as f64) * 1e-3 })
+        .map(|i| {
+            if i % 2 == 0 {
+                1.0 + (i as f64) * 1e-3
+            } else {
+                -1.0 - ((i - 1) as f64) * 1e-3
+            }
+        })
         .collect();
     let ones = vec![fmt.one_bits(); n];
-    let xs: Vec<u64> = xs_f.iter().map(|&v| fmt.from_f64(v, Rounding::NearestEven)).collect();
+    let xs: Vec<u64> = xs_f
+        .iter()
+        .map(|&v| fmt.from_f64(v, Rounding::NearestEven))
+        .collect();
 
     // Chained adds: round at every step.
     let mut chained = 0u64;

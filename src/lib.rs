@@ -18,6 +18,39 @@
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the
 //! paper-vs-measured record.
+//!
+//! # Quick start
+//!
+//! The paper's `P(n,es)` operator in three lines — a format, a quantizer,
+//! a value pushed onto the posit grid (doctests use `?`, so the hidden
+//! return type is fallible):
+//!
+//! ```
+//! use posit_dnn::posit::{PositFormat, PositQuantizer, Rounding};
+//!
+//! let fmt = PositFormat::new(8, 1)?;
+//! let mut p = PositQuantizer::new(fmt, Rounding::ToZero);
+//! // In-range values round toward zero onto the (8,1) grid ...
+//! assert_eq!(p.quantize(2.5), 2.5);
+//! assert!(p.quantize(0.3) <= 0.3);
+//! // ... while |x| > maxpos clips and |x| < minpos flushes (Algorithm 1).
+//! assert_eq!(p.quantize(1e9), fmt.maxpos() as f32);
+//! assert_eq!(p.quantize(1e-9), 0.0);
+//! # Ok::<(), posit_dnn::posit::InvalidFormatError>(())
+//! ```
+//!
+//! Training with the paper's recipe goes through [`train`]:
+//!
+//! ```no_run
+//! use posit_dnn::data::SyntheticCifar;
+//! use posit_dnn::train::{QuantSpec, TrainConfig, Trainer};
+//!
+//! let gen = SyntheticCifar::new(16, 42);
+//! let (train, test) = (gen.train(2000, 1), gen.test(500, 1));
+//! let config = TrainConfig::cifar_scaled(8, 10).with_quant(QuantSpec::cifar_paper());
+//! let report = Trainer::resnet(&config).run(&train, &test, &config);
+//! println!("posit accuracy: {:.2}%", 100.0 * report.final_test_acc);
+//! ```
 
 pub use posit;
 pub use posit_data as data;

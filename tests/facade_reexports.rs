@@ -1,0 +1,140 @@
+//! Smoke test for the `posit_dnn` facade: every re-exported namespace must
+//! resolve, and its headline types must construct and do one real thing.
+//!
+//! This is the contract the README quickstart and the examples rely on —
+//! if a workspace refactor renames or drops a re-export, this file fails
+//! to compile rather than silently breaking downstream imports.
+
+use posit_dnn::data::{toy, DataLoader, Dataset, SyntheticCifar, SyntheticImageNet};
+use posit_dnn::hw::cost::CostModel;
+use posit_dnn::hw::decoder::PositDecoder;
+use posit_dnn::hw::{DecoderOptimized, EncoderOptimized, PositMac, PositMacUnit};
+use posit_dnn::models::{lenet, mlp, resnet18_cifar, PlainBuilder};
+use posit_dnn::nn::{metrics, Layer, Sgd, SoftmaxCrossEntropy};
+use posit_dnn::posit::{
+    quant, InvalidFormatError, PositFormat, PositQuantizer, Quire, Rounding, P16E1, P8E1,
+};
+use posit_dnn::tensor::rng::Prng;
+use posit_dnn::tensor::Tensor;
+use posit_dnn::train::es_select::{select_es, LogRange};
+use posit_dnn::train::{
+    scale, ClassFormats, Phase, QuantBuilder, QuantControl, QuantSpec, TensorClass, TrainConfig,
+    Trainer,
+};
+
+#[test]
+fn posit_reexports_construct() -> Result<(), InvalidFormatError> {
+    let fmt = PositFormat::new(16, 1)?;
+    let bits = fmt.from_f64(2.5, Rounding::NearestEven);
+    assert_eq!(fmt.to_f64(bits), 2.5);
+
+    let mut q = PositQuantizer::new(PositFormat::new(8, 1)?, Rounding::ToZero);
+    assert!(q.quantize(0.3).abs() <= 0.3);
+    assert_eq!(quant::quantize_f64(&fmt, 0.0, Rounding::ToZero), 0.0);
+
+    let mut quire = Quire::new(fmt);
+    quire.add_product(fmt.from_f64(1.5, Rounding::NearestEven), bits);
+    assert_eq!(fmt.to_f64(quire.to_posit(Rounding::NearestEven, 0)), 3.75);
+
+    assert_eq!(
+        (P16E1::from_f64(1.5) + P16E1::from_f64(0.25)).to_f64(),
+        1.75
+    );
+    assert_eq!(P8E1::from_f64(1.0).to_f64(), 1.0);
+    Ok(())
+}
+
+#[test]
+fn hw_reexports_construct() {
+    let fmt = PositFormat::of(16, 1);
+    let dec = DecoderOptimized::new(fmt);
+    let enc = EncoderOptimized::new(fmt);
+    let code = fmt.from_f64(-6.5, Rounding::NearestEven);
+    let fields = dec.decode(code);
+    assert_eq!(fields.to_f64(), -6.5);
+    let _ = enc;
+
+    let mac = PositMac::new(fmt);
+    let _ = mac;
+    let mut unit = PositMacUnit::new(fmt);
+    let out = unit.dot(
+        &[fmt.from_f64(2.0, Rounding::NearestEven)],
+        &[fmt.from_f64(3.0, Rounding::NearestEven)],
+    );
+    assert_eq!(fmt.to_f64(out), 6.0);
+
+    let model = CostModel::tsmc28();
+    let _ = model;
+}
+
+#[test]
+fn tensor_reexports_construct() {
+    let t = Tensor::zeros(&[2, 3]);
+    assert_eq!(t.shape(), &[2, 3]);
+    let v = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+    assert_eq!(v.data(), &[1.0, 2.0]);
+    let mut rng = Prng::seed(7);
+    assert!(rng.below(10) < 10);
+}
+
+#[test]
+fn nn_models_data_reexports_construct() {
+    let mut rng = Prng::seed(1);
+    let mut builder = PlainBuilder;
+    let mut net = mlp(&mut builder, &[4, 8, 3], &mut rng);
+
+    let ds: Dataset = toy::gaussian_blobs(30, 3, 4, 6.0, 2);
+    let mut loader = DataLoader::new(&ds, 10, true, 0);
+    let loss = SoftmaxCrossEntropy::new();
+    let mut opt = Sgd::new(0.1).momentum(0.9);
+    for (x, t) in loader.epoch() {
+        let y = net.forward(&x, true);
+        let (l, g) = loss.forward(&y, &t);
+        assert!(l.is_finite());
+        opt.zero_grad(&mut net.params_mut());
+        net.backward(&g);
+        opt.step(&mut net.params_mut());
+        let _ = metrics::top1_accuracy(&y, &t);
+    }
+
+    // The conv models and both synthetic generators construct.
+    let lenet_net = lenet(&mut builder, 1, 16, 10, &mut rng);
+    assert!(!lenet_net.params().is_empty());
+    let resnet = resnet18_cifar(&mut builder, 10, &mut rng);
+    assert!(!resnet.params().is_empty());
+    let cifar = SyntheticCifar::new(8, 42);
+    assert_eq!(cifar.train(4, 1).len(), 4);
+    let imagenet = SyntheticImageNet::new(8, 20, 43);
+    assert_eq!(imagenet.train(4, 1).len(), 4);
+}
+
+#[test]
+fn train_reexports_construct() {
+    let config = TrainConfig::cifar_scaled(4, 1).with_quant(QuantSpec::cifar_paper());
+    let trainer = Trainer::resnet(&config);
+    let _ = trainer;
+
+    let qb = QuantBuilder::new(QuantSpec::cifar_paper());
+    let control: QuantControl = qb.control();
+    control.set_phase(Phase::Posit);
+
+    // Eq. 2-3 scaling helpers and the §III-B es criterion.
+    let xs = [0.5f32, 1.0, 2.0, 4.0];
+    // log2 values are [-1, 0, 1, 2]: mean 0.5 rounds to 1.
+    assert_eq!(scale::log2_center(&xs), Some(1));
+    let span = LogRange::measure(&xs).expect("nonzero tensor").span();
+    let es = select_es(8, span);
+    assert!(es <= 3, "criterion picked es={es}");
+
+    // The four Fig. 3 insertion points are all addressable.
+    let formats = ClassFormats::paper_rule(8);
+    for class in [
+        TensorClass::Weight,
+        TensorClass::Activation,
+        TensorClass::Error,
+        TensorClass::WeightGrad,
+    ] {
+        let fmt = formats.format(class);
+        assert!(fmt.es() <= 2, "paper rule uses es in {{1, 2}}");
+    }
+}

@@ -52,7 +52,10 @@ fn quire_bounds_hw_mac_accumulation_error() {
     // short, exactly-representable dots.
     let fmt = PositFormat::of(16, 1);
     let vals = [1.5f64, -0.25, 4.0, 0.125, -2.0];
-    let xs: Vec<u64> = vals.iter().map(|&v| fmt.from_f64(v, Rounding::NearestEven)).collect();
+    let xs: Vec<u64> = vals
+        .iter()
+        .map(|&v| fmt.from_f64(v, Rounding::NearestEven))
+        .collect();
     let ones = vec![fmt.one_bits(); xs.len()];
     let mut unit = PositMacUnit::new(fmt);
     let hw = unit.dot(&xs, &ones);
@@ -61,7 +64,11 @@ fn quire_bounds_hw_mac_accumulation_error() {
         q.add_posit(x);
     }
     let exact = q.to_posit(Rounding::NearestEven, 0);
-    assert_eq!(fmt.to_f64(hw), fmt.to_f64(exact), "short exact dot must agree");
+    assert_eq!(
+        fmt.to_f64(hw),
+        fmt.to_f64(exact),
+        "short exact dot must agree"
+    );
 }
 
 #[test]
@@ -74,7 +81,11 @@ fn combinational_mac_handles_specials_like_software() {
     assert_eq!(mac.mac(0, one, one), one);
     assert_eq!(mac.mac(one, 0, 0), 0);
     let maxpos = fmt.maxpos_bits();
-    assert_eq!(mac.mac(maxpos, maxpos, maxpos), maxpos, "saturates, never NaR");
+    assert_eq!(
+        mac.mac(maxpos, maxpos, maxpos),
+        maxpos,
+        "saturates, never NaR"
+    );
 }
 
 #[test]
