@@ -1,24 +1,5 @@
 #!/usr/bin/env sh
-# CI gate for the posit-dnn workspace. Run from the repo root.
-#
-# Order: cheap static checks first, then the tier-1 build+test gate.
-# Everything must exit 0; clippy runs with -D warnings (no lint baseline —
-# the tree is clippy-clean, keep it that way).
-set -eu
-
-echo "==> cargo fmt --check"
-cargo fmt --check
-
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo "==> cargo check --examples"
-cargo check --examples
-
-echo "==> cargo build --release"
-cargo build --release
-
-echo "==> cargo test -q  (tier-1 gate)"
-cargo test -q
-
-echo "==> OK"
+# CI gate for the posit-dnn workspace — thin wrapper over the staged
+# pipeline in ci/ (fmt, lint, test, bench-smoke, doc). See ci/run.sh for
+# the stage list, per-stage timing and the --quick mode.
+exec sh "$(dirname "$0")/ci/run.sh" "$@"

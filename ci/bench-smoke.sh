@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# CI stage: bench smoke. Runs every criterion bench target once under the
+# shim's quick mode (CRITERION_QUICK=1 → one iteration per benchmark), so
+# regressions that only break `benches/` are caught before merge without
+# paying real measurement time.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> CRITERION_QUICK=1 cargo bench -p posit-bench"
+CRITERION_QUICK=1 cargo bench -p posit-bench

@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# CI stage: documentation. Rustdoc runs with -D warnings so broken
+# intra-doc links (e.g. in the backend kernel docs) fail the gate; doctests
+# themselves run in the test stage.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> RUSTDOCFLAGS='-D warnings' cargo doc --workspace --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# CI stage: formatting. Fails if any file deviates from rustfmt defaults.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# CI stage: lints. Clippy runs with -D warnings across every target (no
+# lint baseline — the tree is clippy-clean, keep it that way), and the
+# examples must at least type-check.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo check --examples"
+cargo check --examples

@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# Staged CI runner for the posit-dnn workspace.
+#
+#   ci/run.sh [--quick]
+#
+# Runs every stage (fmt, lint, test, bench-smoke, doc) even when an earlier
+# one fails, timing each, then prints a summary table and exits non-zero if
+# any stage failed. `--quick` is forwarded to the test stage (skips the
+# release build).
+set -u
+cd "$(dirname "$0")/.."
+
+quick=""
+for arg in "$@"; do
+    [ "$arg" = "--quick" ] && quick="--quick"
+done
+
+stages="fmt lint test bench-smoke doc"
+results=""
+failed=0
+
+for stage in $stages; do
+    echo ""
+    echo "===== stage: $stage ====="
+    start=$(date +%s)
+    if [ "$stage" = "test" ]; then
+        sh "ci/$stage.sh" $quick
+    else
+        sh "ci/$stage.sh"
+    fi
+    code=$?
+    end=$(date +%s)
+    dur=$((end - start))
+    if [ "$code" -eq 0 ]; then
+        status="ok"
+    else
+        status="FAIL"
+        failed=1
+    fi
+    results="$results$stage $status ${dur}s\n"
+    echo "===== stage: $stage -> $status (${dur}s) ====="
+done
+
+echo ""
+echo "===== CI summary ====="
+printf "%-14s %-6s %s\n" "stage" "status" "time"
+printf "$results" | while read -r name status dur; do
+    [ -n "$name" ] && printf "%-14s %-6s %s\n" "$name" "$status" "$dur"
+done
+echo "======================"
+
+if [ "$failed" -ne 0 ]; then
+    echo "CI: FAILED"
+    exit 1
+fi
+echo "CI: OK"

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# CI stage: the tier-1 gate — release build plus the full test suite.
+#
+#   --quick   skip the release build (debug tests only)
+set -eu
+cd "$(dirname "$0")/.."
+
+quick=0
+for arg in "$@"; do
+    [ "$arg" = "--quick" ] && quick=1
+done
+
+if [ "$quick" -eq 0 ]; then
+    echo "==> cargo build --release"
+    cargo build --release
+else
+    echo "==> (--quick: skipping cargo build --release)"
+fi
+
+echo "==> cargo test -q"
+cargo test -q

@@ -1,0 +1,68 @@
+//! Compute-backend A/B: `f32` vs `posit-emulated` vs `posit-quire` GEMMs at
+//! the layer shapes of the LeNet and MLP reference models.
+//!
+//! Two extra variants isolate where the quire path's time goes:
+//! `posit-quire` includes the per-call operand unpack (what the `nn` layers
+//! pay), `posit-quire-preplaned` reuses decoded planes across iterations
+//! (what a weight-stationary kernel pays — the decode-once upside).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use posit::{PositFormat, Rounding};
+use posit_models::{lenet_gemm_shapes, mlp_gemm_shapes, GemmShape};
+use posit_tensor::rng::Prng;
+use posit_tensor::{Backend, PositGemm};
+use std::hint::black_box;
+
+fn bench_shapes() -> Vec<GemmShape> {
+    let mut shapes = lenet_gemm_shapes(28, 32, 10);
+    shapes.extend(mlp_gemm_shapes(32, &[256, 128, 10]));
+    shapes
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let fmt = PositFormat::of(8, 1);
+    let rounding = Rounding::NearestEven;
+    let mut rng = Prng::seed(1);
+    for shape in bench_shapes() {
+        let (m, k, n) = (shape.m, shape.k, shape.n);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut g = c.benchmark_group(shape.label.clone());
+        g.throughput(Throughput::Elements(shape.macs() as u64));
+        for backend in [
+            Backend::F32,
+            Backend::PositEmulated { fmt, rounding },
+            Backend::PositQuire { fmt, rounding },
+        ] {
+            g.bench_function(backend.name(), |bch| {
+                bch.iter(|| {
+                    let mut out = vec![0.0f32; m * n];
+                    backend.gemm(m, k, n, black_box(&a), black_box(&b), &mut out);
+                    out
+                })
+            });
+        }
+        // Decode-once amortized: planes built outside the timed loop.
+        let kernel = PositGemm::new(fmt, rounding);
+        let pa = kernel.encode_plane(&a);
+        let pb = kernel.encode_plane(&b);
+        g.bench_function("posit-quire-preplaned", |bch| {
+            bch.iter(|| {
+                let mut out = vec![0.0f32; m * n];
+                kernel.gemm(m, k, n, black_box(&pa), black_box(&pb), &mut out);
+                out
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench_backends
+}
+criterion_main!(benches);

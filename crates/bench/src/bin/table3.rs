@@ -5,17 +5,25 @@
 //! the reproduced quantity).
 //!
 //! ```text
-//! cargo run --release -p posit-bench --bin table3 -- [cifar|imagenet|all] [--quick]
+//! cargo run --release -p posit-bench --bin table3 -- [cifar|imagenet|all] [--quick] [--backend=<f32|posit-emulated|posit-quire>]
 //! ```
+//!
+//! `--backend` selects the GEMM kernel family for the posit runs: `f32`
+//! (the paper's simulation, default), `posit-emulated` (per-element
+//! quantization around f32 kernels) or `posit-quire` (decode-once posit
+//! kernels with exact quire accumulation — orders of magnitude slower,
+//! pair with `--quick`).
 
 use posit_bench::{
-    paper, print_table3_row, run_logged, CifarExperiment, ImageNetExperiment, Scale,
+    backend_from_args, paper, print_table3_row, run_logged, CifarExperiment, ImageNetExperiment,
+    Scale,
 };
 use posit_train::QuantSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
+    let backend = backend_from_args(&args);
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -40,9 +48,15 @@ fn main() {
             &exp.test,
             &exp.config,
         );
-        let posit_cfg = exp.config.clone().with_quant(QuantSpec::cifar_paper());
+        let posit_cfg = exp
+            .config
+            .clone()
+            .with_quant(QuantSpec::cifar_paper().with_backend(backend));
         let posit = run_logged(
-            "CIFAR stand-in, posit (8,1)/(8,2) CONV + (16,1)/(16,2) BN, warm-up 1",
+            &format!(
+                "CIFAR stand-in, posit (8,1)/(8,2) CONV + (16,1)/(16,2) BN, warm-up 1, {} kernels",
+                backend.name()
+            ),
             &exp.train,
             &exp.test,
             &posit_cfg,
@@ -63,9 +77,15 @@ fn main() {
             &exp.test,
             &exp.config,
         );
-        let posit_cfg = exp.config.clone().with_quant(QuantSpec::imagenet_paper());
+        let posit_cfg = exp
+            .config
+            .clone()
+            .with_quant(QuantSpec::imagenet_paper().with_backend(backend));
         let posit = run_logged(
-            "ImageNet stand-in, posit (16,1) fwd/update + (16,2) bwd, warm-up 5",
+            &format!(
+                "ImageNet stand-in, posit (16,1) fwd/update + (16,2) bwd, warm-up 5, {} kernels",
+                backend.name()
+            ),
             &exp.train,
             &exp.test,
             &posit_cfg,

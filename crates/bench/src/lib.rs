@@ -15,7 +15,7 @@
 //! | A1–A4 ablations | `ablations` |
 
 use posit_data::{Dataset, SyntheticCifar, SyntheticImageNet};
-use posit_train::{QuantSpec, TrainConfig, TrainReport, Trainer};
+use posit_train::{ComputeBackend, QuantSpec, TrainConfig, TrainReport, Trainer};
 
 /// Size preset for the training experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +35,23 @@ impl Scale {
             Scale::Full
         }
     }
+}
+
+/// Parse a `--backend=<f32|posit-emulated|posit-quire>` flag (default
+/// `f32`) — the trainer-level A/B switch over GEMM kernel families.
+///
+/// # Panics
+///
+/// Panics on an unknown backend name, listing the valid ones.
+pub fn backend_from_args(args: &[String]) -> ComputeBackend {
+    args.iter()
+        .find_map(|a| a.strip_prefix("--backend="))
+        .map(|v| {
+            ComputeBackend::parse(v).unwrap_or_else(|| {
+                panic!("unknown backend '{v}' (expected f32|posit-emulated|posit-quire)")
+            })
+        })
+        .unwrap_or_default()
 }
 
 /// The CIFAR-10 stand-in experiment fixture (Table III, left column).

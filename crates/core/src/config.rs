@@ -2,6 +2,59 @@
 
 use posit::{PositFormat, Rounding};
 use posit_nn::{LayerKind, StepLr};
+use posit_tensor::Backend;
+
+/// Which kernel family executes the CONV/FC GEMMs — the trainer-facing
+/// switch over [`posit_tensor::Backend`].
+///
+/// * `F32`: the paper's GPU-simulation setup — GEMMs run in f32, posit
+///   quantization happens only at the Fig. 3 tensor edges.
+/// * `PositEmulated`: additionally round the GEMM operands and results to
+///   the posit grid around an f32 kernel (per-element `P(·)` with double
+///   rounding and f32 accumulation).
+/// * `PositQuire`: the decode-once posit kernels with exact quire
+///   accumulation and a single rounding per output element — the numerics
+///   the paper's EMAC hardware argument is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ComputeBackend {
+    /// f32 kernels (default; the paper's simulation).
+    #[default]
+    F32,
+    /// Quantize→f32-GEMM→requantize sandwich.
+    PositEmulated,
+    /// Decode-once posit GEMM with quire accumulation.
+    PositQuire,
+}
+
+impl ComputeBackend {
+    /// Parse a CLI flag value (`f32` | `posit-emulated` | `posit-quire`).
+    pub fn parse(s: &str) -> Option<ComputeBackend> {
+        match s {
+            "f32" => Some(ComputeBackend::F32),
+            "posit-emulated" => Some(ComputeBackend::PositEmulated),
+            "posit-quire" => Some(ComputeBackend::PositQuire),
+            _ => None,
+        }
+    }
+
+    /// The stable flag name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ComputeBackend::F32 => "f32",
+            ComputeBackend::PositEmulated => "posit-emulated",
+            ComputeBackend::PositQuire => "posit-quire",
+        }
+    }
+
+    /// Instantiate the tensor-level backend for a direction's format.
+    pub fn tensor_backend(&self, fmt: PositFormat, rounding: Rounding) -> Backend {
+        match self {
+            ComputeBackend::F32 => Backend::F32,
+            ComputeBackend::PositEmulated => Backend::PositEmulated { fmt, rounding },
+            ComputeBackend::PositQuire => Backend::PositQuire { fmt, rounding },
+        }
+    }
+}
 
 /// The four tensor classes of the Fig. 3 dataflow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -111,6 +164,8 @@ pub struct QuantSpec {
     pub sr_seed: u64,
     /// Master-weight policy (A5 ablation switch).
     pub master: MasterWeights,
+    /// Kernel family for the CONV/FC GEMMs.
+    pub backend: ComputeBackend,
 }
 
 impl QuantSpec {
@@ -125,6 +180,7 @@ impl QuantSpec {
             scaling: true,
             sr_seed: 0x5EED,
             master: MasterWeights::default(),
+            backend: ComputeBackend::default(),
         }
     }
 
@@ -139,6 +195,7 @@ impl QuantSpec {
             scaling: true,
             sr_seed: 0x5EED,
             master: MasterWeights::default(),
+            backend: ComputeBackend::default(),
         }
     }
 
@@ -152,6 +209,7 @@ impl QuantSpec {
             scaling: true,
             sr_seed: 0x5EED,
             master: MasterWeights::default(),
+            backend: ComputeBackend::default(),
         }
     }
 
@@ -176,6 +234,12 @@ impl QuantSpec {
     /// Replace the master-weight policy (A5 ablation).
     pub fn with_master(mut self, master: MasterWeights) -> QuantSpec {
         self.master = master;
+        self
+    }
+
+    /// Select the GEMM kernel family (backend A/B switch).
+    pub fn with_backend(mut self, backend: ComputeBackend) -> QuantSpec {
+        self.backend = backend;
         self
     }
 
@@ -338,6 +402,34 @@ mod tests {
         assert_eq!(s.conv.weight, PositFormat::of(16, 1));
         assert_eq!(s.conv.error, PositFormat::of(16, 2));
         assert_eq!(s.bn.weight, PositFormat::of(16, 1));
+    }
+
+    #[test]
+    fn compute_backend_flag_round_trip() {
+        for b in [
+            ComputeBackend::F32,
+            ComputeBackend::PositEmulated,
+            ComputeBackend::PositQuire,
+        ] {
+            assert_eq!(ComputeBackend::parse(b.name()), Some(b));
+        }
+        assert_eq!(ComputeBackend::parse("fp64"), None);
+        assert_eq!(ComputeBackend::default(), ComputeBackend::F32);
+        let s = QuantSpec::cifar_paper().with_backend(ComputeBackend::PositQuire);
+        assert_eq!(s.backend, ComputeBackend::PositQuire);
+        // The tensor-level instantiation carries the format through.
+        let fmt = PositFormat::of(8, 1);
+        assert_eq!(
+            s.backend.tensor_backend(fmt, Rounding::ToZero),
+            Backend::PositQuire {
+                fmt,
+                rounding: Rounding::ToZero
+            }
+        );
+        assert_eq!(
+            ComputeBackend::F32.tensor_backend(fmt, Rounding::ToZero),
+            Backend::F32
+        );
     }
 
     #[test]

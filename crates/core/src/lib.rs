@@ -42,6 +42,8 @@ pub mod scale;
 pub mod stats;
 mod trainer;
 
-pub use config::{ClassFormats, MasterWeights, QuantSpec, TensorClass, TrainConfig};
+pub use config::{
+    ClassFormats, ComputeBackend, MasterWeights, QuantSpec, TensorClass, TrainConfig,
+};
 pub use quantized::{Phase, QuantBuilder, QuantControl, Quantized};
 pub use trainer::{EpochStats, TrainReport, Trainer};

@@ -120,6 +120,29 @@ pub struct Quantized {
     rounding: posit::Rounding,
     sigma: i32,
     scaling: bool,
+    /// GEMM backends for the posit phase (forward, backward); FP32 phases
+    /// always run on [`posit_tensor::Backend::F32`].
+    ///
+    /// Each backend carries a single format: the forward GEMM runs in the
+    /// weight/activation format, the backward GEMMs in the error format.
+    /// This is a deliberate simplification of Fig. 3b, where
+    /// `E^{l-1} = W_pᵀ·E_p` mixes the `(n,1)` weight grid with the `(n,2)`
+    /// error grid: here the backward kernel re-rounds the weight/activation
+    /// operands onto the error grid first (values exact in `(8,1)` such as
+    /// `1.0625` are not representable in `(8,2)`). A mixed-format kernel
+    /// would need per-operand formats in `PositGemm`; until then, backward
+    /// numerics are "everything in the error format".
+    ///
+    /// Known limitation: the kernels quantize operands at their raw
+    /// magnitude, unaware of the Eq. 2–3 scale shift. With `scaling`
+    /// enabled, the Fig. 3 edges store `P(x/Sf)·Sf` — values shifted off
+    /// the raw posit grid — so the posit backends re-round them on entry
+    /// (an extra rounding the f32 backend does not add). Threading the
+    /// frozen scale exponents into the kernels (quantize `x·2^-e`, rescale
+    /// the output) would remove it; pair posit backends with
+    /// `QuantSpec::without_scaling()` for single-rounding numerics today.
+    fwd_backend: posit_tensor::Backend,
+    bwd_backend: posit_tensor::Backend,
     master_mode: MasterWeights,
     /// FP32 master copies stashed while the quantized view is installed.
     master: Option<Vec<Tensor>>,
@@ -152,6 +175,8 @@ impl Quantized {
             rounding: spec.rounding,
             sigma: spec.sigma,
             scaling: spec.scaling,
+            fwd_backend: spec.backend.tensor_backend(fmts.weight, spec.rounding),
+            bwd_backend: spec.backend.tensor_backend(fmts.error, spec.rounding),
             master_mode: spec.master,
             master: None,
             w_scale: ClassScale::default(),
@@ -159,6 +184,22 @@ impl Quantized {
             e_scale: ClassScale::default(),
             g_scale: ClassScale::default(),
             sr_state: h ^ spec.sr_seed,
+        }
+    }
+
+    /// Install the phase-appropriate GEMM backends on the wrapped layer:
+    /// the configured pair in the posit phase, plain f32 otherwise (warm-up
+    /// and calibration must stay bit-transparent FP32).
+    fn apply_backends(&mut self, posit_phase: bool) {
+        use posit_tensor::Backend;
+        if self.fwd_backend == Backend::F32 && self.bwd_backend == Backend::F32 {
+            return; // nothing to switch
+        }
+        if posit_phase {
+            self.inner
+                .set_compute_backends(self.fwd_backend, self.bwd_backend);
+        } else {
+            self.inner.set_compute_backends(Backend::F32, Backend::F32);
         }
     }
 
@@ -227,6 +268,7 @@ impl Layer for Quantized {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.apply_backends(self.control.phase() == Phase::Posit);
         match self.control.phase() {
             Phase::Fp32 => self.inner.forward(input, train),
             Phase::Calibrate => {
@@ -400,6 +442,36 @@ mod tests {
         let ga = q.backward(&a);
         let gb = plain.backward(&b);
         assert_eq!(ga.data(), gb.data());
+    }
+
+    #[test]
+    fn fp32_phase_transparent_even_with_posit_backend() {
+        use crate::config::ComputeBackend;
+        // A configured posit-quire backend must NOT leak into the FP32
+        // warm-up: the wrapper re-installs f32 kernels outside the posit
+        // phase.
+        let mut rng = Prng::seed(21);
+        let control = QuantControl::new();
+        let spec = QuantSpec::cifar_paper().with_backend(ComputeBackend::PositQuire);
+        let mut q = Quantized::new(small_conv(), &spec, control.clone());
+        let mut plain = small_conv();
+        let x = Tensor::rand_normal(&[1, 1, 5, 5], 0.0, 1.0, &mut rng);
+        let a = q.forward(&x, true);
+        let b = plain.forward(&x, true);
+        assert_eq!(a.data(), b.data(), "warm-up must stay exact FP32");
+        // Posit phase: quire kernels engage, outputs stay finite and land
+        // on the activation quantization grid like any other backend.
+        control.set_phase(Phase::Posit);
+        let y = q.forward(&x, true);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        let g = q.backward(&y);
+        assert!(g.data().iter().all(|v| v.is_finite()));
+        // Back to FP32: transparent again (the FP32 master was restored
+        // after the posit backward).
+        control.set_phase(Phase::Fp32);
+        let a2 = q.forward(&x, true);
+        let b2 = plain.forward(&x, true);
+        assert_eq!(a2.data(), b2.data(), "post-posit FP32 must be exact again");
     }
 
     #[test]

@@ -18,8 +18,10 @@ mod builder;
 mod lenet;
 mod mlp;
 mod resnet;
+mod shapes;
 
 pub use builder::{LayerBuilder, PlainBuilder};
 pub use lenet::lenet;
 pub use mlp::mlp;
 pub use resnet::{resnet18_cifar, resnet18_imagenet, resnet_scaled, ResNetConfig};
+pub use shapes::{lenet_gemm_shapes, mlp_gemm_shapes, GemmShape};

@@ -3,7 +3,7 @@
 use crate::layer::{Layer, LayerKind};
 use crate::param::Param;
 use posit_tensor::conv::{col2im, im2col, ConvGeom};
-use posit_tensor::{gemm, Tensor};
+use posit_tensor::{Backend, Tensor};
 
 /// `Conv2d`: NCHW convolution, square kernel, no dilation/groups (all the
 /// paper's ResNets need). Bias is optional — ResNet convs are bias-free
@@ -15,6 +15,8 @@ pub struct Conv2d {
     stride: usize,
     pad: usize,
     cached_input: Option<Tensor>,
+    fwd_backend: Backend,
+    bwd_backend: Backend,
 }
 
 impl Conv2d {
@@ -35,7 +37,22 @@ impl Conv2d {
             stride,
             pad,
             cached_input: None,
+            fwd_backend: Backend::F32,
+            bwd_backend: Backend::F32,
         }
+    }
+
+    /// Select the compute backends: `forward` drives the im2col GEMM,
+    /// `backward` drives both gradient GEMMs (`dY·colᵀ` and `Wᵀ·dY`) — the
+    /// paper's es rule assigns different formats to the two directions.
+    pub fn set_backends(&mut self, forward: Backend, backward: Backend) {
+        self.fwd_backend = forward;
+        self.bwd_backend = backward;
+    }
+
+    /// The (forward, backward) compute backends.
+    pub fn backends(&self) -> (Backend, Backend) {
+        (self.fwd_backend, self.bwd_backend)
     }
 
     /// Output channel count.
@@ -68,7 +85,8 @@ impl Layer for Conv2d {
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         self.cached_input = Some(input.clone());
-        posit_tensor::conv::conv2d(
+        posit_tensor::conv::conv2d_with(
+            self.fwd_backend,
             input,
             &self.weight.value,
             self.bias.as_ref().map(|b| b.value.data()),
@@ -90,8 +108,10 @@ impl Layer for Conv2d {
         let mut grad_in = Tensor::zeros(ish);
         let mut col = vec![0.0f32; rows * cols];
         let mut dcol = vec![0.0f32; rows * cols];
-        // weight as [O, rows]; grad_out sample as [O, cols].
-        let w_flat = self.weight.value.data();
+        // weight as [O, rows]; grad_out sample as [O, cols]. The weight
+        // operand of the dX GEMM is prepared once for the whole batch
+        // (decode-once for the quire backend).
+        let w_prep = self.bwd_backend.prepare(self.weight.value.data());
         for i in 0..n {
             let dy = &grad_out.data()[i * sample_out..(i + 1) * sample_out];
             // ΔW += dY · colᵀ  — [O, cols] × [cols, rows]
@@ -100,10 +120,11 @@ impl Layer for Conv2d {
                 &g,
                 &mut col,
             );
-            gemm::gemm_a_bt(o, cols, rows, dy, &col, self.weight.grad.data_mut());
+            self.bwd_backend
+                .gemm_a_bt(o, cols, rows, dy, &col, self.weight.grad.data_mut());
             // dX_col = Wᵀ · dY — [rows, O] × [O, cols]
             dcol.fill(0.0);
-            gemm::gemm_at_b(rows, o, cols, w_flat, dy, &mut dcol);
+            w_prep.gemm_at_b(rows, o, cols, dy, &mut dcol);
             col2im(
                 &dcol,
                 &g,
@@ -135,6 +156,10 @@ impl Layer for Conv2d {
             p.push(b);
         }
         p
+    }
+
+    fn set_compute_backends(&mut self, forward: Backend, backward: Backend) {
+        self.set_backends(forward, backward);
     }
 }
 
@@ -208,6 +233,39 @@ mod tests {
                 (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
                 "dX[{idx}] {num} vs {ana}"
             );
+        }
+    }
+
+    #[test]
+    fn posit_backends_agree_on_exact_inputs() {
+        // Quarter-grid values are exact in posit(16,1) and f32 alike, so the
+        // backends must agree bitwise through forward and backward.
+        let fmt = posit::PositFormat::of(16, 1);
+        let rounding = posit::Rounding::NearestEven;
+        let mut rng = Prng::seed(11);
+        let quant = |t: &Tensor| t.map(|x| (x * 4.0).round() / 4.0);
+        let input = quant(&Tensor::rand_normal(&[1, 2, 5, 5], 0.0, 1.0, &mut rng));
+        let weight = quant(&Tensor::rand_normal(&[2, 2, 3, 3], 0.0, 0.5, &mut rng));
+        let dy = quant(&Tensor::rand_normal(&[1, 2, 5, 5], 0.0, 1.0, &mut rng));
+
+        let run = |fwd: Backend, bwd: Backend| {
+            let mut l = Conv2d::new("c", weight.clone(), None, 1, 1);
+            l.set_backends(fwd, bwd);
+            assert_eq!(l.backends(), (fwd, bwd));
+            let y = l.forward(&input, true);
+            let gx = l.backward(&dy);
+            let gw = l.params()[0].grad.clone();
+            (y, gx, gw)
+        };
+        let (y0, gx0, gw0) = run(Backend::F32, Backend::F32);
+        for b in [
+            Backend::PositEmulated { fmt, rounding },
+            Backend::PositQuire { fmt, rounding },
+        ] {
+            let (y, gx, gw) = run(b, b);
+            assert_eq!(y.data(), y0.data(), "forward {}", b.name());
+            assert_eq!(gx.data(), gx0.data(), "dX {}", b.name());
+            assert_eq!(gw.data(), gw0.data(), "dW {}", b.name());
         }
     }
 

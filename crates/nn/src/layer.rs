@@ -52,6 +52,19 @@ pub trait Layer: Send {
     fn params(&self) -> Vec<&Param> {
         Vec::new()
     }
+
+    /// Select the GEMM compute backends for the forward and backward
+    /// directions. No-op for layers without GEMMs; [`crate::Linear`] and
+    /// [`crate::Conv2d`] route their kernels through the selection. Phase
+    /// wrappers (the trainer's `Quantized`) call this on every phase switch,
+    /// so FP32 warm-up stays bit-transparent even when a posit backend is
+    /// configured for the posit phase.
+    fn set_compute_backends(
+        &mut self,
+        _forward: posit_tensor::Backend,
+        _backward: posit_tensor::Backend,
+    ) {
+    }
 }
 
 /// Rectified linear unit.
@@ -215,6 +228,16 @@ impl Layer for Sequential {
             .collect()
     }
 
+    fn set_compute_backends(
+        &mut self,
+        forward: posit_tensor::Backend,
+        backward: posit_tensor::Backend,
+    ) {
+        for layer in &mut self.layers {
+            layer.set_compute_backends(forward, backward);
+        }
+    }
+
     fn params(&self) -> Vec<&Param> {
         self.layers.iter().flat_map(|l| l.params()).collect()
     }
@@ -303,6 +326,15 @@ impl Layer for Residual {
         let mut p = self.main.params();
         p.extend(self.shortcut.params());
         p
+    }
+
+    fn set_compute_backends(
+        &mut self,
+        forward: posit_tensor::Backend,
+        backward: posit_tensor::Backend,
+    ) {
+        self.main.set_compute_backends(forward, backward);
+        self.shortcut.set_compute_backends(forward, backward);
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::layer::{Layer, LayerKind};
 use crate::param::Param;
-use posit_tensor::{gemm, Tensor};
+use posit_tensor::{Backend, Tensor};
 
 /// `Linear`: `y[N,out] = x[N,in] · Wᵀ + b`, weight stored `[out, in]`.
 pub struct Linear {
@@ -10,6 +10,8 @@ pub struct Linear {
     weight: Param,
     bias: Option<Param>,
     cached_input: Option<Tensor>,
+    fwd_backend: Backend,
+    bwd_backend: Backend,
 }
 
 impl Linear {
@@ -22,7 +24,22 @@ impl Linear {
             bias: bias.map(|b| Param::no_decay(format!("{name}.bias"), b)),
             name,
             cached_input: None,
+            fwd_backend: Backend::F32,
+            bwd_backend: Backend::F32,
         }
+    }
+
+    /// Select the compute backends: `forward` drives the `x·Wᵀ` GEMM,
+    /// `backward` drives both gradient GEMMs (`dYᵀ·X` and `dY·W`) — the
+    /// paper's es rule assigns different formats to the two directions.
+    pub fn set_backends(&mut self, forward: Backend, backward: Backend) {
+        self.fwd_backend = forward;
+        self.bwd_backend = backward;
+    }
+
+    /// The (forward, backward) compute backends.
+    pub fn backends(&self) -> (Backend, Backend) {
+        (self.fwd_backend, self.bwd_backend)
     }
 
     /// Output feature count.
@@ -53,7 +70,7 @@ impl Layer for Linear {
         let (o, k) = (self.out_features(), self.in_features());
         let mut out = Tensor::zeros(&[n, o]);
         // y = x · Wᵀ
-        gemm::gemm_a_bt(
+        self.fwd_backend.gemm_a_bt(
             n,
             k,
             o,
@@ -76,7 +93,7 @@ impl Layer for Linear {
         let n = input.shape()[0];
         let (o, k) = (self.out_features(), self.in_features());
         // ΔW += dYᵀ · X — [o, n] × [n, k]
-        gemm::gemm_at_b(
+        self.bwd_backend.gemm_at_b(
             o,
             n,
             k,
@@ -93,7 +110,7 @@ impl Layer for Linear {
         }
         // dX = dY · W — [n, o] × [o, k]
         let mut grad_in = Tensor::zeros(&[n, k]);
-        gemm::gemm(
+        self.bwd_backend.gemm(
             n,
             o,
             k,
@@ -119,6 +136,10 @@ impl Layer for Linear {
         }
         p
     }
+
+    fn set_compute_backends(&mut self, forward: Backend, backward: Backend) {
+        self.set_backends(forward, backward);
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +155,38 @@ mod tests {
         let x = Tensor::from_vec(vec![1.0, 0.0, -1.0], &[1, 3]);
         let y = l.forward(&x, true);
         assert_eq!(y.data(), &[1.0 - 3.0 + 0.5, 4.0 - 6.0 - 0.5]);
+    }
+
+    #[test]
+    fn posit_backends_agree_on_exact_inputs() {
+        use posit_tensor::Backend;
+        // Power-of-two data is exact in posit(16,1) and f32 alike, so the
+        // three backends must produce identical forward/backward tensors.
+        let fmt = posit::PositFormat::of(16, 1);
+        let rounding = posit::Rounding::NearestEven;
+        let w = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.25, 4.0, -0.125], &[2, 3]);
+        let x = Tensor::from_vec(vec![1.0, -2.0, 0.5, 8.0, 0.25, -1.0], &[2, 3]);
+        let dy = Tensor::from_vec(vec![1.0, -0.5, 2.0, 0.25], &[2, 2]);
+
+        let run = |fwd: Backend, bwd: Backend| {
+            let mut l = Linear::new("fc", w.clone(), None);
+            l.set_backends(fwd, bwd);
+            assert_eq!(l.backends(), (fwd, bwd));
+            let y = l.forward(&x, true);
+            let gx = l.backward(&dy);
+            let gw = l.params()[0].grad.clone();
+            (y, gx, gw)
+        };
+        let (y0, gx0, gw0) = run(Backend::F32, Backend::F32);
+        for b in [
+            Backend::PositEmulated { fmt, rounding },
+            Backend::PositQuire { fmt, rounding },
+        ] {
+            let (y, gx, gw) = run(b, b);
+            assert_eq!(y.data(), y0.data(), "forward {}", b.name());
+            assert_eq!(gx.data(), gx0.data(), "dX {}", b.name());
+            assert_eq!(gw.data(), gw0.data(), "dW {}", b.name());
+        }
     }
 
     #[test]

@@ -89,14 +89,38 @@ impl Quire {
             (PositValue::Finite(da), PositValue::Finite(db)) => (da, db),
         };
         let prod = (da.significand() as u128) * (db.significand() as u128);
-        // value = prod * 2^(sa + sb - 126)
-        let pos = (da.scale + db.scale - 126) - self.qmin;
+        self.add_product_parts(da.sign != db.sign, da.scale + db.scale, prod);
+    }
+
+    /// Accumulate an already-decoded product: `±sig_prod * 2^(scale_sum - 126)`
+    /// where `sig_prod` is the 128-bit product of two 64-bit significands
+    /// (implicit one at bit 63 each, see [`crate::Decoded::significand`])
+    /// and `scale_sum` the sum of the two operand scales.
+    ///
+    /// This is the decode-free entry point used by kernels that unpack each
+    /// operand once (e.g. a posit GEMM) instead of paying a decode per
+    /// multiply-accumulate as [`Quire::add_product`] does.
+    ///
+    /// `scale_sum` must lie within this quire's product range,
+    /// `[2·min_scale, 2·max_scale]` of the format it was built for — true
+    /// whenever both operands come from that format. Out-of-range sums are
+    /// caught by a debug assertion; in release builds they index out of the
+    /// limb array and panic there.
+    pub fn add_product_parts(&mut self, negative: bool, scale_sum: i32, sig_prod: u128) {
+        // value = sig_prod * 2^(scale_sum - 126)
+        let pos = (scale_sum - 126) - self.qmin;
         debug_assert!(pos >= 0);
-        if da.sign == db.sign {
-            self.add_at(pos as usize, prod);
+        if negative {
+            self.sub_at(pos as usize, sig_prod);
         } else {
-            self.sub_at(pos as usize, prod);
+            self.add_at(pos as usize, sig_prod);
         }
+    }
+
+    /// Force the quire into the absorbing NaR state (a NaR operand was
+    /// observed by a caller that bypasses [`Quire::add_product`]).
+    pub fn set_nar(&mut self) {
+        self.nar = true;
     }
 
     /// Accumulate a single posit value (as `x * 1`).
@@ -361,6 +385,51 @@ mod tests {
         // want = 4^-12 * 2^12 = 2^-12: exactly representable in (8,1)?
         // scale -12 is within ±24, so yes.
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn add_product_parts_matches_add_product() {
+        // The decode-free path must accumulate bit-identically to the
+        // decoding path over every finite (8,1) pair (sampled stride keeps
+        // the 65k-pair sweep fast; exhaustive coverage lives in the tensor
+        // crate's cross-backend suite).
+        let fmt = PositFormat::of(8, 1);
+        for a in (1..fmt.code_count()).step_by(3) {
+            for b in (1..fmt.code_count()).step_by(7) {
+                if a == fmt.nar_bits() || b == fmt.nar_bits() {
+                    continue;
+                }
+                let (da, db) = match (fmt.decode(a), fmt.decode(b)) {
+                    (PositValue::Finite(da), PositValue::Finite(db)) => (da, db),
+                    _ => unreachable!("zero excluded by the ranges"),
+                };
+                let mut q1 = Quire::new(fmt);
+                q1.add_product(a, b);
+                let mut q2 = Quire::new(fmt);
+                q2.add_product_parts(
+                    da.sign != db.sign,
+                    da.scale + db.scale,
+                    (da.significand() as u128) * (db.significand() as u128),
+                );
+                assert_eq!(
+                    q1.to_posit(Rounding::NearestEven, 0),
+                    q2.to_posit(Rounding::NearestEven, 0),
+                    "a={a:#x} b={b:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_nar_is_absorbing() {
+        let fmt = PositFormat::of(8, 1);
+        let mut q = Quire::new(fmt);
+        q.add_product(fmt.one_bits(), fmt.one_bits());
+        q.set_nar();
+        assert!(q.is_nar());
+        assert_eq!(q.to_posit(Rounding::NearestEven, 0), fmt.nar_bits());
+        q.clear();
+        assert!(!q.is_nar());
     }
 
     #[test]

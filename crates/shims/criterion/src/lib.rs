@@ -8,6 +8,13 @@
 //! text report on stdout. Swap the `[workspace.dependencies]` entry back
 //! to the crates.io `criterion` when network access is available; the
 //! bench sources need no edits.
+//!
+//! **Quick mode:** setting `CRITERION_QUICK=1` in the environment makes
+//! every benchmark run its routine exactly once (no warm-up, one sample,
+//! one iteration) and report that single wall time. CI's bench-smoke stage
+//! uses it to execute every bench target end-to-end in seconds, catching
+//! kernel regressions that only break `benches/` without paying
+//! measurement time.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -214,6 +221,11 @@ impl Bencher {
     }
 }
 
+/// True iff `CRITERION_QUICK` requests single-iteration smoke runs.
+fn quick_mode() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
 fn run_bench<F>(
     label: &str,
     warm_up: Duration,
@@ -224,6 +236,19 @@ fn run_bench<F>(
 ) where
     F: FnMut(&mut Bencher),
 {
+    if quick_mode() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            per_sample: 1,
+        };
+        f(&mut b);
+        println!(
+            "{label:<48} {:>12.1} ns/iter (quick: 1 iteration)",
+            b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64
+        );
+        return;
+    }
     // Warm-up: also calibrates iterations-per-sample so each sample lands
     // near measurement/sample_size wall time.
     let mut per_sample = 1u64;

@@ -36,7 +36,7 @@ pub fn vec<E: Strategy, S: SizeRange>(element: E, size: S) -> VecStrategy<E, S> 
     VecStrategy { element, size }
 }
 
-/// Output of [`vec`].
+/// Output of [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<E, S> {
     element: E,

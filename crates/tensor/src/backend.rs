@@ -1,0 +1,326 @@
+//! The compute-backend switch: one dispatch point for every GEMM-shaped
+//! operation in the workspace.
+//!
+//! Three backends implement the same `C += A·B` contracts as
+//! [`crate::gemm`]:
+//!
+//! * [`Backend::F32`] — the plain blocked f32 kernels (the substrate the
+//!   paper's GPU simulation runs on);
+//! * [`Backend::PositEmulated`] — the quantize→f32-GEMM→requantize sandwich:
+//!   operands are rounded to the posit grid element-by-element, the multiply
+//!   accumulates in f32, and the result is rounded again. This is what
+//!   per-element `P(·)` insertion around an f32 kernel computes, with its
+//!   double rounding;
+//! * [`Backend::PositQuire`] — the decode-once [`crate::posit_gemm`] kernels:
+//!   operands are unpacked once, every product accumulates exactly in a
+//!   quire, and each output element is rounded exactly once.
+//!
+//! The `nn` layers carry a `Backend` per direction (forward / backward), so
+//! the trainer can A/B the three paths without touching layer code.
+
+use crate::gemm;
+use crate::posit_gemm::{PositGemm, PositPlane};
+use posit::{PositFormat, Rounding};
+
+/// Which kernel family executes a GEMM, and in which number system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Plain f32 kernels (default).
+    #[default]
+    F32,
+    /// Posit-emulated: per-element quantization around the f32 kernel.
+    PositEmulated {
+        /// Operand/result format.
+        fmt: PositFormat,
+        /// Rounding mode for every quantization point.
+        rounding: Rounding,
+    },
+    /// Posit-native: decode-once planes with exact quire accumulation.
+    PositQuire {
+        /// Operand/result format.
+        fmt: PositFormat,
+        /// Rounding mode for the single rounding on store.
+        rounding: Rounding,
+    },
+}
+
+impl Backend {
+    /// Short stable name (`f32` | `posit-emulated` | `posit-quire`), e.g.
+    /// for bench labels and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::F32 => "f32",
+            Backend::PositEmulated { .. } => "posit-emulated",
+            Backend::PositQuire { .. } => "posit-quire",
+        }
+    }
+
+    /// The rounding mode the kernels actually apply: stochastic degrades to
+    /// nearest-even (the kernels carry no per-element random stream).
+    pub(crate) fn op_rounding(rounding: Rounding) -> Rounding {
+        if rounding == Rounding::Stochastic {
+            Rounding::NearestEven
+        } else {
+            rounding
+        }
+    }
+
+    /// Quantize a slice to the posit grid (the sandwich's operand rounding).
+    pub(crate) fn sandwich_quantize(fmt: &PositFormat, rounding: Rounding, xs: &[f32]) -> Vec<f32> {
+        xs.iter()
+            .map(|&x| fmt.to_f32(fmt.from_f32(x, rounding)))
+            .collect()
+    }
+
+    /// Prepare a left operand once for repeated GEMMs under this backend —
+    /// the decode-once contract extended across calls (e.g. a conv batch
+    /// loop where the weight tile is the `A` operand of every sample's
+    /// GEMM). For [`Backend::F32`] this is a free borrow; for the posit
+    /// backends it pays the quantize/decode exactly once.
+    pub fn prepare<'a>(&self, xs: &'a [f32]) -> PreparedOperand<'a> {
+        let inner = match self {
+            Backend::F32 => Prepared::F32(xs),
+            Backend::PositEmulated { fmt, rounding } => {
+                let rounding = Self::op_rounding(*rounding);
+                Prepared::Emulated {
+                    fmt: *fmt,
+                    rounding,
+                    q: Self::sandwich_quantize(fmt, rounding, xs),
+                }
+            }
+            Backend::PositQuire { fmt, rounding } => {
+                let kernel = PositGemm::new(*fmt, *rounding);
+                let plane = kernel.encode_plane(xs);
+                Prepared::Quire { kernel, plane }
+            }
+        };
+        PreparedOperand { inner }
+    }
+
+    /// `c += a[m,k] * b[k,n]` under this backend.
+    pub fn gemm(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        self.prepare(a).gemm(m, k, n, b, c);
+    }
+
+    /// `c += a^T[m,k] * b[k,n]` (`a` stored `[k, m]`) under this backend.
+    pub fn gemm_at_b(&self, m: usize, k: usize, n: usize, a_t: &[f32], b: &[f32], c: &mut [f32]) {
+        self.prepare(a_t).gemm_at_b(m, k, n, b, c);
+    }
+
+    /// `c += a[m,k] * b^T[k,n]` (`b` stored `[n, k]`) under this backend.
+    pub fn gemm_a_bt(&self, m: usize, k: usize, n: usize, a: &[f32], b_t: &[f32], c: &mut [f32]) {
+        self.prepare(a).gemm_a_bt(m, k, n, b_t, c);
+    }
+}
+
+/// A GEMM left operand prepared once under a [`Backend`] (see
+/// [`Backend::prepare`]); the right operand is prepared per call.
+pub struct PreparedOperand<'a> {
+    inner: Prepared<'a>,
+}
+
+enum Prepared<'a> {
+    F32(&'a [f32]),
+    Emulated {
+        fmt: PositFormat,
+        rounding: Rounding,
+        q: Vec<f32>,
+    },
+    Quire {
+        kernel: PositGemm,
+        plane: PositPlane,
+    },
+}
+
+impl PreparedOperand<'_> {
+    /// The emulated sandwich tail: requantize the f32 scratch result and
+    /// accumulate it into `c`.
+    fn emulated_store(fmt: &PositFormat, rounding: Rounding, tmp: &[f32], c: &mut [f32]) {
+        for (ci, &t) in c.iter_mut().zip(tmp) {
+            *ci += fmt.to_f32(fmt.from_f32(t, rounding));
+        }
+    }
+
+    /// `c += self[m,k] * b[k,n]` (`self` is the prepared `A`).
+    pub fn gemm(&self, m: usize, k: usize, n: usize, b: &[f32], c: &mut [f32]) {
+        match &self.inner {
+            Prepared::F32(a) => gemm::gemm(m, k, n, a, b, c),
+            Prepared::Emulated { fmt, rounding, q } => {
+                let qb = Backend::sandwich_quantize(fmt, *rounding, b);
+                let mut tmp = vec![0.0f32; c.len()];
+                gemm::gemm(m, k, n, q, &qb, &mut tmp);
+                Self::emulated_store(fmt, *rounding, &tmp, c);
+            }
+            Prepared::Quire { kernel, plane } => {
+                let pb = kernel.encode_plane(b);
+                kernel.gemm(m, k, n, plane, &pb, c);
+            }
+        }
+    }
+
+    /// `c += self^T[m,k] * b[k,n]` (`self` is the prepared `A^T`, stored
+    /// `[k, m]`).
+    pub fn gemm_at_b(&self, m: usize, k: usize, n: usize, b: &[f32], c: &mut [f32]) {
+        match &self.inner {
+            Prepared::F32(a_t) => gemm::gemm_at_b(m, k, n, a_t, b, c),
+            Prepared::Emulated { fmt, rounding, q } => {
+                let qb = Backend::sandwich_quantize(fmt, *rounding, b);
+                let mut tmp = vec![0.0f32; c.len()];
+                gemm::gemm_at_b(m, k, n, q, &qb, &mut tmp);
+                Self::emulated_store(fmt, *rounding, &tmp, c);
+            }
+            Prepared::Quire { kernel, plane } => {
+                let pb = kernel.encode_plane(b);
+                kernel.gemm_at_b(m, k, n, plane, &pb, c);
+            }
+        }
+    }
+
+    /// `c += self[m,k] * b^T[k,n]` (`self` is the prepared `A`; `b` stored
+    /// `[n, k]`).
+    pub fn gemm_a_bt(&self, m: usize, k: usize, n: usize, b_t: &[f32], c: &mut [f32]) {
+        match &self.inner {
+            Prepared::F32(a) => gemm::gemm_a_bt(m, k, n, a, b_t, c),
+            Prepared::Emulated { fmt, rounding, q } => {
+                let qb = Backend::sandwich_quantize(fmt, *rounding, b_t);
+                let mut tmp = vec![0.0f32; c.len()];
+                gemm::gemm_a_bt(m, k, n, q, &qb, &mut tmp);
+                Self::emulated_store(fmt, *rounding, &tmp, c);
+            }
+            Prepared::Quire { kernel, plane } => {
+                let pb = kernel.encode_plane(b_t);
+                kernel.gemm_a_bt(m, k, n, plane, &pb, c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FMT: PositFormat = PositFormat::of(16, 1);
+
+    fn backends() -> [Backend; 3] {
+        [
+            Backend::F32,
+            Backend::PositEmulated {
+                fmt: FMT,
+                rounding: Rounding::NearestEven,
+            },
+            Backend::PositQuire {
+                fmt: FMT,
+                rounding: Rounding::NearestEven,
+            },
+        ]
+    }
+
+    #[test]
+    fn names() {
+        let [f, e, q] = backends();
+        assert_eq!(f.name(), "f32");
+        assert_eq!(e.name(), "posit-emulated");
+        assert_eq!(q.name(), "posit-quire");
+        assert_eq!(Backend::default(), Backend::F32);
+    }
+
+    #[test]
+    fn backends_agree_on_exact_inputs() {
+        // Small powers of two: every intermediate is exact in (16,1) and in
+        // f32, so all three backends must produce identical results.
+        let a = [1.0f32, 2.0, -0.5, 4.0, 0.25, -8.0]; // [2, 3]
+        let b = [2.0f32, 0.5, -1.0, 4.0, 0.125, -2.0]; // [3, 2]
+        let mut want = vec![0.0f32; 4];
+        gemm::gemm(2, 3, 2, &a, &b, &mut want);
+        for bk in backends() {
+            let mut c = vec![0.0f32; 4];
+            bk.gemm(2, 3, 2, &a, &b, &mut c);
+            assert_eq!(c, want, "{}", bk.name());
+        }
+    }
+
+    #[test]
+    fn transposed_dispatch_matches_plain() {
+        let a = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]; // [2, 3]
+        let a_t = [1.0f32, 4.0, 2.0, 5.0, 3.0, 6.0]; // [3, 2]
+        let b = [1.0f32, -2.0, 0.5, 1.0, -1.0, 2.0]; // [3, 2]
+        let b_t = [1.0f32, 0.5, -1.0, -2.0, 1.0, 2.0]; // [2, 3]
+        for bk in backends() {
+            let mut plain = vec![0.0f32; 4];
+            bk.gemm(2, 3, 2, &a, &b, &mut plain);
+            let mut c = vec![0.0f32; 4];
+            bk.gemm_at_b(2, 3, 2, &a_t, &b, &mut c);
+            assert_eq!(c, plain, "gemm_at_b {}", bk.name());
+            let mut c = vec![0.0f32; 4];
+            bk.gemm_a_bt(2, 3, 2, &a, &b_t, &mut c);
+            assert_eq!(c, plain, "gemm_a_bt {}", bk.name());
+        }
+    }
+
+    #[test]
+    fn posit_backends_accumulate_into_c() {
+        for bk in backends() {
+            let mut c = vec![100.0f32; 1];
+            bk.gemm(1, 1, 1, &[2.0], &[3.0], &mut c);
+            assert_eq!(c, vec![106.0], "{}", bk.name());
+        }
+    }
+
+    #[test]
+    fn stochastic_rounding_degrades_instead_of_panicking() {
+        // The A4 ablation configures Rounding::Stochastic; the kernels
+        // carry no per-element random stream, so every backend must degrade
+        // to nearest-even rather than hit from_f64's stochastic assert.
+        let a = [1.0f32, 2.0, -0.5, 4.0, 0.25, -8.0];
+        let b = [2.0f32, 0.5, -1.0, 4.0, 0.125, -2.0];
+        for bk in [
+            Backend::PositEmulated {
+                fmt: FMT,
+                rounding: Rounding::Stochastic,
+            },
+            Backend::PositQuire {
+                fmt: FMT,
+                rounding: Rounding::Stochastic,
+            },
+        ] {
+            let mut want = vec![0.0f32; 4];
+            bk.gemm(2, 3, 2, &a, &b, &mut want);
+            let mut c = vec![0.0f32; 4];
+            bk.gemm_at_b(2, 3, 2, &[1.0, 4.0, 2.0, 0.25, -0.5, -8.0], &b, &mut c);
+            let mut c = vec![0.0f32; 4];
+            bk.gemm_a_bt(2, 3, 2, &a, &[2.0, -1.0, 0.125, 0.5, 4.0, -2.0], &mut c);
+        }
+    }
+
+    #[test]
+    fn quire_avoids_the_double_rounding_of_the_sandwich() {
+        // Exact dot: 1 + 2^-13 + 2^-40. In (16,1) the codes around it are
+        // 1.0 (even LSB) and 1 + 2^-12, with midpoint 1 + 2^-13. The f32
+        // accumulator of the sandwich drops the 2^-40 term (41 significant
+        // bits needed), lands exactly on the midpoint and ties to the even
+        // code 1.0; the quire keeps the term, sits above the midpoint and
+        // must round up. Every operand is exactly representable in (16,1),
+        // so the difference is purely the accumulator.
+        let fmt = PositFormat::of(16, 1);
+        let emu = Backend::PositEmulated {
+            fmt,
+            rounding: Rounding::NearestEven,
+        };
+        let qui = Backend::PositQuire {
+            fmt,
+            rounding: Rounding::NearestEven,
+        };
+        let a = [1.0f32, (-13f32).exp2(), (-20f32).exp2()];
+        let b = [1.0f32, 1.0, (-20f32).exp2()];
+        let mut ce = vec![0.0f32; 1];
+        emu.gemm(1, 3, 1, &a, &b, &mut ce);
+        let mut cq = vec![0.0f32; 1];
+        qui.gemm(1, 3, 1, &a, &b, &mut cq);
+        assert_eq!(ce[0], 1.0, "sandwich ties to even after dropping 2^-40");
+        let up = 1.0 + (-12f32).exp2();
+        assert_eq!(cq[0], up, "quire keeps 2^-40 and rounds up");
+        // And the quire result must be on the (16,1) grid exactly.
+        let back = fmt.to_f32(fmt.from_f32(cq[0], Rounding::NearestEven));
+        assert_eq!(back, cq[0]);
+    }
+}

@@ -1,6 +1,5 @@
 //! im2col/col2im convolution primitives (NCHW layout).
 
-use crate::gemm;
 use crate::tensor::Tensor;
 
 /// Geometry of a 2-D convolution.
@@ -122,6 +121,29 @@ pub fn conv2d(
     stride: usize,
     pad: usize,
 ) -> Tensor {
+    conv2d_with(crate::Backend::F32, input, weight, bias, stride, pad)
+}
+
+/// [`conv2d`] under an explicit compute [`crate::Backend`]: the per-sample
+/// im2col GEMM runs on the selected kernel family.
+///
+/// The weight tile is prepared once per call and reused across every
+/// sample in the batch: decoded into a plane under
+/// [`crate::Backend::PositQuire`], quantized to the posit grid under
+/// [`crate::Backend::PositEmulated`] — the decode-once contract extended
+/// over the batch dimension.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv2d_with(
+    backend: crate::Backend,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
     let ish = input.shape();
     let wsh = weight.shape();
     assert_eq!(ish.len(), 4, "input must be NCHW");
@@ -142,10 +164,13 @@ pub fn conv2d(
     let mut col = vec![0.0f32; g.col_rows() * g.col_cols()];
     let sample = g.c * g.h * g.w;
     let out_sample = o * oh * ow;
+    // Prepare the weight operand once for the whole batch (decode-once
+    // for the quire backend, quantize-once for the emulated one).
+    let w_prep = backend.prepare(weight.data());
     for i in 0..n {
         im2col(&input.data()[i * sample..(i + 1) * sample], &g, &mut col);
         let dst = &mut out.data_mut()[i * out_sample..(i + 1) * out_sample];
-        gemm::gemm(o, g.col_rows(), g.col_cols(), weight.data(), &col, dst);
+        w_prep.gemm(o, g.col_rows(), g.col_cols(), &col, dst);
         if let Some(b) = bias {
             for (oc, &bv) in b.iter().enumerate() {
                 for v in &mut dst[oc * oh * ow..(oc + 1) * oh * ow] {
@@ -276,6 +301,33 @@ mod tests {
         let lhs: f64 = cx.iter().zip(&y).map(|(&a, &b)| (a * b) as f64).sum();
         let rhs: f64 = x.iter().zip(&ay).map(|(&a, &b)| (a * b) as f64).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn backend_conv_matches_f32_on_exact_inputs() {
+        // Inputs on coarse power-of-two grids are exactly representable in
+        // (16,1) and every dot fits the f32 mantissa, so all three backends
+        // must agree bitwise.
+        use posit::{PositFormat, Rounding};
+        let mut rng = Prng::seed(9);
+        let quant = |t: &Tensor| t.map(|x| (x * 4.0).round() / 4.0);
+        let input = quant(&Tensor::rand_normal(&[2, 2, 6, 6], 0.0, 1.0, &mut rng));
+        let weight = quant(&Tensor::rand_normal(&[3, 2, 3, 3], 0.0, 0.5, &mut rng));
+        let want = conv2d(&input, &weight, None, 1, 1);
+        let fmt = PositFormat::of(16, 1);
+        for backend in [
+            crate::Backend::PositEmulated {
+                fmt,
+                rounding: Rounding::NearestEven,
+            },
+            crate::Backend::PositQuire {
+                fmt,
+                rounding: Rounding::NearestEven,
+            },
+        ] {
+            let got = conv2d_with(backend, &input, &weight, None, 1, 1);
+            assert_eq!(got.data(), want.data(), "{}", backend.name());
+        }
     }
 
     #[test]

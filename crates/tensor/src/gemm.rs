@@ -25,6 +25,46 @@ fn thread_count() -> usize {
     })
 }
 
+/// Split the `[m, n]` output buffer `c` into contiguous row blocks and run
+/// `body(first_row, block)` on each, spawning scoped threads when the
+/// problem is big enough (`work` is the total multiply-accumulate count).
+///
+/// The split is static — the same `(m, n)` always yields the same blocks —
+/// so any kernel whose per-element reduction order is fixed stays
+/// bit-deterministic regardless of thread count. Shared by the f32 kernels
+/// here and the posit kernels in [`crate::posit_gemm`].
+pub(crate) fn par_rows<F>(m: usize, n: usize, work: usize, c: &mut [f32], body: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(c.len(), m * n);
+    let threads = thread_count();
+    if m < PAR_MIN_ROWS || work < PAR_MIN_WORK || threads <= 1 || n == 0 {
+        body(0, c);
+        return;
+    }
+    let rows_per = m.div_ceil(threads).max(PAR_MIN_ROWS / 2);
+    std::thread::scope(|s| {
+        let mut c_rest = c;
+        let mut row0 = 0usize;
+        let mut handles = Vec::new();
+        loop {
+            let rows = rows_per.min(c_rest.len() / n);
+            if rows == 0 {
+                break;
+            }
+            let (c_chunk, c_next) = c_rest.split_at_mut(rows * n);
+            let body = &body;
+            handles.push(s.spawn(move || body(row0, c_chunk)));
+            c_rest = c_next;
+            row0 += rows;
+        }
+        for h in handles {
+            h.join().expect("gemm worker panicked");
+        }
+    });
+}
+
 /// `c = a[m,k] * b[k,n]` (c must be zeroed or hold the accumulation base).
 ///
 /// # Panics
@@ -34,30 +74,9 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert_eq!(a.len(), m * k, "A length");
     assert_eq!(b.len(), k * n, "B length");
     assert_eq!(c.len(), m * n, "C length");
-    let threads = thread_count();
-    if m < PAR_MIN_ROWS || m * k * n < PAR_MIN_WORK || threads <= 1 {
-        gemm_rows(k, n, a, b, c);
-        return;
-    }
-    let rows_per = m.div_ceil(threads).max(PAR_MIN_ROWS / 2);
-    std::thread::scope(|s| {
-        let mut c_rest = c;
-        let mut a_rest = a;
-        let mut handles = Vec::new();
-        loop {
-            let rows = rows_per.min(c_rest.len() / n);
-            if rows == 0 {
-                break;
-            }
-            let (c_chunk, c_next) = c_rest.split_at_mut(rows * n);
-            let (a_chunk, a_next) = a_rest.split_at(rows * k);
-            handles.push(s.spawn(move || gemm_rows(k, n, a_chunk, b, c_chunk)));
-            c_rest = c_next;
-            a_rest = a_next;
-        }
-        for h in handles {
-            h.join().expect("gemm worker panicked");
-        }
+    par_rows(m, n, m * k * n, c, |row0, c_chunk| {
+        let rows = c_chunk.len().checked_div(n).unwrap_or(0);
+        gemm_rows(k, n, &a[row0 * k..(row0 + rows) * k], b, c_chunk);
     });
 }
 
@@ -81,23 +100,30 @@ fn gemm_rows(k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
 
 /// `c = a^T[m,k] * b[k,n]` where `a` is stored as `[k, m]` (used by the
 /// backward passes without materializing transposes).
+///
+/// Rows of `C` are partitioned across threads like [`gemm`]; the per-element
+/// reduction order over `k` is ascending in every split, so results are
+/// bit-deterministic.
 pub fn gemm_at_b(m: usize, k: usize, n: usize, a_t: &[f32], b: &[f32], c: &mut [f32]) {
     assert_eq!(a_t.len(), k * m, "A^T length");
     assert_eq!(b.len(), k * n, "B length");
     assert_eq!(c.len(), m * n, "C length");
-    for kk in 0..k {
-        let a_row = &a_t[kk * m..(kk + 1) * m];
-        let b_row = &b[kk * n..(kk + 1) * n];
-        for (i, &aki) in a_row.iter().enumerate() {
-            if aki == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
-                *cj += aki * bj;
+    par_rows(m, n, m * k * n, c, |row0, c_chunk| {
+        let rows = c_chunk.len().checked_div(n).unwrap_or(0);
+        for i in 0..rows {
+            let c_row = &mut c_chunk[i * n..(i + 1) * n];
+            for kk in 0..k {
+                let aki = a_t[kk * m + row0 + i];
+                if aki == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                    *cj += aki * bj;
+                }
             }
         }
-    }
+    });
 }
 
 /// `c = a[m,k] * b^T[k,n]` where `b` is stored as `[n, k]`.
@@ -105,17 +131,20 @@ pub fn gemm_a_bt(m: usize, k: usize, n: usize, a: &[f32], b_t: &[f32], c: &mut [
     assert_eq!(a.len(), m * k, "A length");
     assert_eq!(b_t.len(), n * k, "B^T length");
     assert_eq!(c.len(), m * n, "C length");
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &b_t[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in a_row.iter().zip(b_row) {
-                acc += x * y;
+    par_rows(m, n, m * k * n, c, |row0, c_chunk| {
+        let rows = c_chunk.len().checked_div(n).unwrap_or(0);
+        for i in 0..rows {
+            let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            for j in 0..n {
+                let b_row = &b_t[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                c_chunk[i * n + j] += acc;
             }
-            c[i * n + j] += acc;
         }
-    }
+    });
 }
 
 #[cfg(test)]
@@ -190,6 +219,74 @@ mod tests {
         let mut c = vec![10.0f32; 4];
         gemm(2, 2, 2, &a, &b, &mut c);
         assert_eq!(c, vec![12.0, 10.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        // m = 0: no output rows; every kernel must accept empty C.
+        let mut c: Vec<f32> = vec![];
+        gemm(0, 3, 4, &[], &[0.0; 12], &mut c);
+        gemm_at_b(0, 3, 4, &[], &[0.0; 12], &mut c);
+        gemm_a_bt(0, 3, 4, &[], &[0.0; 12], &mut c);
+        assert!(c.is_empty());
+
+        // k = 0: an empty reduction adds nothing; C keeps its base values.
+        let mut c = vec![7.0f32; 6];
+        gemm(2, 0, 3, &[], &[], &mut c);
+        assert_eq!(c, vec![7.0; 6]);
+        gemm_at_b(2, 0, 3, &[], &[], &mut c);
+        assert_eq!(c, vec![7.0; 6]);
+        gemm_a_bt(2, 0, 3, &[], &[0.0; 0], &mut c);
+        assert_eq!(c, vec![7.0; 6]);
+
+        // n = 1: single-column output exercises the row-slicing edges.
+        let a = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]; // [2, 3]
+        let b = [1.0f32, -1.0, 2.0]; // [3, 1]
+        let mut c = vec![0.0f32; 2];
+        gemm(2, 3, 1, &a, &b, &mut c);
+        assert_eq!(c, vec![5.0, 11.0]);
+        // a^T stored [3, 2]
+        let a_t = [1.0f32, 4.0, 2.0, 5.0, 3.0, 6.0];
+        let mut c = vec![0.0f32; 2];
+        gemm_at_b(2, 3, 1, &a_t, &b, &mut c);
+        assert_eq!(c, vec![5.0, 11.0]);
+        // b^T stored [1, 3]
+        let b_t = [1.0f32, -1.0, 2.0];
+        let mut c = vec![0.0f32; 2];
+        gemm_a_bt(2, 3, 1, &a, &b_t, &mut c);
+        assert_eq!(c, vec![5.0, 11.0]);
+    }
+
+    #[test]
+    fn transposed_parallel_sizes_match_naive() {
+        // Big enough to engage the row partitioner in the transposed kernels.
+        let mut rng = Prng::seed(5);
+        let (m, k, n) = (96, 40, 48);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let want = naive(m, k, n, &a, &b);
+        let mut a_t = vec![0.0; k * m];
+        for i in 0..m {
+            for kk in 0..k {
+                a_t[kk * m + i] = a[i * k + kk];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_at_b(m, k, n, &a_t, &b, &mut c);
+        for (g, w) in c.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3);
+        }
+        let mut b_t = vec![0.0; n * k];
+        for kk in 0..k {
+            for j in 0..n {
+                b_t[j * k + kk] = b[kk * n + j];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_a_bt(m, k, n, &a, &b_t, &mut c);
+        for (g, w) in c.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3);
+        }
     }
 
     #[test]

@@ -1,19 +1,25 @@
-//! Minimal f32 tensor substrate for the posit-dnn reproduction.
+//! Minimal tensor substrate for the posit-dnn reproduction.
 //!
-//! The paper simulates posit training on FP32 GPUs; this crate is the FP32
+//! The paper simulates posit training on FP32 GPUs; this crate provides the
 //! compute substrate: a contiguous row-major [`Tensor`], a blocked,
-//! thread-parallel [`gemm`], im2col convolution ([`conv`]), pooling
-//! ([`pool`]) and the seeded RNG helpers ([`rng`]) everything else builds
-//! on. Determinism: every parallel split is static, every reduction order
-//! fixed, every random stream explicitly seeded.
+//! thread-parallel f32 [`gemm`], a posit-domain GEMM family with exact
+//! quire accumulation ([`posit_gemm`]), the [`Backend`] switch dispatching
+//! between them, im2col convolution ([`conv`]), pooling ([`pool`]) and the
+//! seeded RNG helpers ([`rng`]) everything else builds on. Determinism:
+//! every parallel split is static, every reduction order fixed, every
+//! random stream explicitly seeded.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 pub mod conv;
 pub mod gemm;
 pub mod pool;
+pub mod posit_gemm;
 pub mod rng;
 mod tensor;
 
+pub use backend::{Backend, PreparedOperand};
+pub use posit_gemm::{PositGemm, PositPlane};
 pub use tensor::Tensor;

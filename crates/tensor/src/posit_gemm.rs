@@ -1,0 +1,482 @@
+//! Posit-domain GEMM: decode-once operand planes with exact quire
+//! accumulation.
+//!
+//! The paper's claim is that low-precision posit training holds up when dot
+//! products accumulate *exactly* (the EMAC of Deep Positron): every product
+//! `P(a)·P(b)` lands in a wide fixed-point quire and the sum is rounded to a
+//! posit only once, on store. The naive way to get there is to call
+//! [`posit::Quire::add_product`] per multiply-accumulate, which decodes both
+//! code words every time — `O(M·N·K)` decodes. The kernels here instead
+//! unpack each operand element once into an `(sign, scale, fraction)`
+//! [`PositPlane`] and feed raw significand products to the quire via
+//! [`posit::Quire::add_product_parts`] — `O(M·K + K·N)` decodes, zero per-MAC
+//! decode work.
+//!
+//! The kernel family mirrors the f32 entry points in [`crate::gemm`]
+//! (`gemm`, `gemm_at_b`, `gemm_a_bt`) with identical shape conventions and
+//! the same scoped-thread row partitioner, so the `nn` layers can swap
+//! backends without reshaping anything.
+
+use crate::gemm::par_rows;
+use posit::{PositFormat, PositValue, Quire, Rounding};
+
+/// Sentinel scale marking a NaR element in a plane (no finite posit scale
+/// gets anywhere near `i32::MIN`).
+const NAR_SCALE: i32 = i32::MIN;
+
+/// One decoded posit operand: `value = ±2^(scale-63) * sig` with the
+/// implicit leading one at bit 63 of `sig`.
+///
+/// Zero is `sig == 0`; NaR is `sig == 0` with `scale == i32::MIN`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unpacked {
+    /// 64-bit significand (bit 63 set for finite non-zero values).
+    pub sig: u64,
+    /// Effective binary exponent, or the NaR sentinel.
+    pub scale: i32,
+    /// True for negative values.
+    pub neg: bool,
+}
+
+const ZERO_ELEM: Unpacked = Unpacked {
+    sig: 0,
+    scale: 0,
+    neg: false,
+};
+
+/// A matrix tile decoded once into unpacked posit elements.
+///
+/// Built from f32 data (quantize + decode) or from raw code words (decode
+/// only); consumed by the [`PositGemm`] kernels, which never decode again.
+#[derive(Debug, Clone)]
+pub struct PositPlane {
+    fmt: PositFormat,
+    elems: Vec<Unpacked>,
+}
+
+impl PositPlane {
+    /// Decode a slice of code words (low `n` bits of each `u64`).
+    pub fn from_bits(fmt: PositFormat, bits: &[u64]) -> PositPlane {
+        let elems = bits
+            .iter()
+            .map(|&b| match fmt.decode(b) {
+                PositValue::Zero => ZERO_ELEM,
+                PositValue::NaR => Unpacked {
+                    sig: 0,
+                    scale: NAR_SCALE,
+                    neg: false,
+                },
+                PositValue::Finite(d) => Unpacked {
+                    sig: d.significand(),
+                    scale: d.scale,
+                    neg: d.sign.is_negative(),
+                },
+            })
+            .collect();
+        PositPlane { fmt, elems }
+    }
+
+    /// Quantize f32 data to the format under `rounding`, then decode once.
+    ///
+    /// This is the `P(·)` edge of the paper's Fig. 3 fused with the operand
+    /// unpack: the plane holds exactly the values a quantize→store→reload
+    /// round trip would produce, without materializing the f32 copy.
+    pub fn from_f32(fmt: PositFormat, xs: &[f32], rounding: Rounding) -> PositPlane {
+        let bits: Vec<u64> = xs.iter().map(|&x| fmt.from_f32(x, rounding)).collect();
+        PositPlane::from_bits(fmt, &bits)
+    }
+
+    /// The format the plane was decoded from.
+    pub fn format(&self) -> PositFormat {
+        self.fmt
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// True iff the plane holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// The unpacked elements (row-major, caller-defined shape).
+    pub fn elems(&self) -> &[Unpacked] {
+        &self.elems
+    }
+
+    /// Render back to f32 (each element is an exactly representable posit).
+    pub fn to_f32(&self) -> Vec<f32> {
+        self.elems
+            .iter()
+            .map(|e| {
+                if e.sig == 0 {
+                    if e.scale == NAR_SCALE {
+                        f32::NAN
+                    } else {
+                        0.0
+                    }
+                } else {
+                    let m = e.sig as f64 * (e.scale as f64 - 63.0).exp2();
+                    if e.neg {
+                        -m as f32
+                    } else {
+                        m as f32
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// A strided view over plane elements: `elems[start + t*step]` for `t < k`.
+#[derive(Clone, Copy)]
+struct Run<'a> {
+    elems: &'a [Unpacked],
+    start: usize,
+    step: usize,
+}
+
+/// The posit GEMM kernel family: exact quire accumulation over
+/// [`PositPlane`] operands, one rounding per output element.
+///
+/// `C += round(Σ_k a·b)`: like the f32 kernels, outputs accumulate into `C`
+/// so the backward passes can sum gradient contributions across calls; the
+/// posit-domain rounding happens once per GEMM, on store.
+#[derive(Debug, Clone, Copy)]
+pub struct PositGemm {
+    fmt: PositFormat,
+    rounding: Rounding,
+}
+
+impl PositGemm {
+    /// A kernel for `fmt`, rounding once per output element with `rounding`.
+    ///
+    /// [`Rounding::Stochastic`] needs a per-element random word the kernel
+    /// does not carry; it degrades to round-to-nearest-even.
+    pub fn new(fmt: PositFormat, rounding: Rounding) -> PositGemm {
+        let rounding = if rounding == Rounding::Stochastic {
+            Rounding::NearestEven
+        } else {
+            rounding
+        };
+        PositGemm { fmt, rounding }
+    }
+
+    /// The kernel's format.
+    pub fn format(&self) -> PositFormat {
+        self.fmt
+    }
+
+    /// Unpack f32 data into an operand plane for this kernel's format.
+    pub fn encode_plane(&self, xs: &[f32]) -> PositPlane {
+        PositPlane::from_f32(self.fmt, xs, self.rounding)
+    }
+
+    /// Exact dot product of two strided element runs of length `k`,
+    /// rounded once.
+    fn dot(&self, q: &mut Quire, k: usize, a: Run<'_>, b: Run<'_>) -> f32 {
+        q.clear();
+        for t in 0..k {
+            let ua = a.elems[a.start + t * a.step];
+            let ub = b.elems[b.start + t * b.step];
+            if ua.sig == 0 || ub.sig == 0 {
+                if ua.scale == NAR_SCALE || ub.scale == NAR_SCALE {
+                    q.set_nar();
+                }
+                continue;
+            }
+            q.add_product_parts(
+                ua.neg != ub.neg,
+                ua.scale + ub.scale,
+                (ua.sig as u128) * (ub.sig as u128),
+            );
+        }
+        self.fmt.to_f32(q.to_posit(self.rounding, 0))
+    }
+
+    /// `c += round(a[m,k] * b[k,n])` — the posit twin of [`crate::gemm::gemm`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane lengths disagree with the dimensions.
+    pub fn gemm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &PositPlane,
+        b: &PositPlane,
+        c: &mut [f32],
+    ) {
+        assert_eq!(a.format(), self.fmt, "A plane format");
+        assert_eq!(b.format(), self.fmt, "B plane format");
+        assert_eq!(a.len(), m * k, "A length");
+        assert_eq!(b.len(), k * n, "B length");
+        assert_eq!(c.len(), m * n, "C length");
+        let kernel = *self;
+        par_rows(m, n, m * k * n, c, |row0, c_chunk| {
+            let rows = c_chunk.len().checked_div(n).unwrap_or(0);
+            let mut q = Quire::new(kernel.fmt);
+            for i in 0..rows {
+                let a_row = Run {
+                    elems: a.elems(),
+                    start: (row0 + i) * k,
+                    step: 1,
+                };
+                for j in 0..n {
+                    let b_col = Run {
+                        elems: b.elems(),
+                        start: j,
+                        step: n,
+                    };
+                    c_chunk[i * n + j] += kernel.dot(&mut q, k, a_row, b_col);
+                }
+            }
+        });
+    }
+
+    /// `c += round(a^T[m,k] * b[k,n])` with `a` stored `[k, m]` — the posit
+    /// twin of [`crate::gemm::gemm_at_b`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane lengths disagree with the dimensions.
+    pub fn gemm_at_b(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a_t: &PositPlane,
+        b: &PositPlane,
+        c: &mut [f32],
+    ) {
+        assert_eq!(a_t.format(), self.fmt, "A^T plane format");
+        assert_eq!(b.format(), self.fmt, "B plane format");
+        assert_eq!(a_t.len(), k * m, "A^T length");
+        assert_eq!(b.len(), k * n, "B length");
+        assert_eq!(c.len(), m * n, "C length");
+        let kernel = *self;
+        par_rows(m, n, m * k * n, c, |row0, c_chunk| {
+            let rows = c_chunk.len().checked_div(n).unwrap_or(0);
+            let mut q = Quire::new(kernel.fmt);
+            for i in 0..rows {
+                let a_col = Run {
+                    elems: a_t.elems(),
+                    start: row0 + i,
+                    step: m,
+                };
+                for j in 0..n {
+                    let b_col = Run {
+                        elems: b.elems(),
+                        start: j,
+                        step: n,
+                    };
+                    c_chunk[i * n + j] += kernel.dot(&mut q, k, a_col, b_col);
+                }
+            }
+        });
+    }
+
+    /// `c += round(a[m,k] * b^T[k,n])` with `b` stored `[n, k]` — the posit
+    /// twin of [`crate::gemm::gemm_a_bt`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane lengths disagree with the dimensions.
+    pub fn gemm_a_bt(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &PositPlane,
+        b_t: &PositPlane,
+        c: &mut [f32],
+    ) {
+        assert_eq!(a.format(), self.fmt, "A plane format");
+        assert_eq!(b_t.format(), self.fmt, "B^T plane format");
+        assert_eq!(a.len(), m * k, "A length");
+        assert_eq!(b_t.len(), n * k, "B^T length");
+        assert_eq!(c.len(), m * n, "C length");
+        let kernel = *self;
+        par_rows(m, n, m * k * n, c, |row0, c_chunk| {
+            let rows = c_chunk.len().checked_div(n).unwrap_or(0);
+            let mut q = Quire::new(kernel.fmt);
+            for i in 0..rows {
+                let a_row = Run {
+                    elems: a.elems(),
+                    start: (row0 + i) * k,
+                    step: 1,
+                };
+                for j in 0..n {
+                    let b_row = Run {
+                        elems: b_t.elems(),
+                        start: j * k,
+                        step: 1,
+                    };
+                    c_chunk[i * n + j] += kernel.dot(&mut q, k, a_row, b_row);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(fmt: PositFormat, xs: &[f32]) -> PositPlane {
+        PositPlane::from_f32(fmt, xs, Rounding::NearestEven)
+    }
+
+    #[test]
+    fn plane_roundtrip_and_specials() {
+        let fmt = PositFormat::of(16, 1);
+        let xs = [1.5f32, -0.25, 0.0, 3.0, f32::NAN];
+        let p = plane(fmt, &xs);
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+        assert_eq!(p.format(), fmt);
+        let back = p.to_f32();
+        assert_eq!(&back[..4], &[1.5, -0.25, 0.0, 3.0]);
+        assert!(back[4].is_nan());
+    }
+
+    #[test]
+    fn matches_fused_dot() {
+        // The kernel's 1×1 output must equal posit::quire::fused_dot on the
+        // same code words — same quire, same single rounding.
+        let fmt = PositFormat::of(16, 1);
+        let xs = [1.5f32, -2.25, 8.0, 0.03125, -0.5];
+        let ys = [2.0f32, 4.0, -0.125, 32.0, 7.0];
+        let xb: Vec<u64> = xs
+            .iter()
+            .map(|&v| fmt.from_f32(v, Rounding::NearestEven))
+            .collect();
+        let yb: Vec<u64> = ys
+            .iter()
+            .map(|&v| fmt.from_f32(v, Rounding::NearestEven))
+            .collect();
+        let want = fmt.to_f32(posit::quire::fused_dot(fmt, &xb, &yb));
+        let g = PositGemm::new(fmt, Rounding::NearestEven);
+        let mut c = [0.0f32];
+        g.gemm(1, xs.len(), 1, &plane(fmt, &xs), &plane(fmt, &ys), &mut c);
+        assert_eq!(c[0], want);
+    }
+
+    #[test]
+    fn transposed_kernels_agree_with_plain() {
+        let fmt = PositFormat::of(16, 1);
+        let (m, k, n) = (4, 5, 3);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 - 9.0) * 0.375).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 - 7.0) * 0.25).collect();
+        let g = PositGemm::new(fmt, Rounding::NearestEven);
+        let mut want = vec![0.0f32; m * n];
+        g.gemm(m, k, n, &plane(fmt, &a), &plane(fmt, &b), &mut want);
+
+        let mut a_t = vec![0.0f32; k * m];
+        for i in 0..m {
+            for kk in 0..k {
+                a_t[kk * m + i] = a[i * k + kk];
+            }
+        }
+        let mut c = vec![0.0f32; m * n];
+        g.gemm_at_b(m, k, n, &plane(fmt, &a_t), &plane(fmt, &b), &mut c);
+        assert_eq!(c, want, "gemm_at_b");
+
+        let mut b_t = vec![0.0f32; n * k];
+        for kk in 0..k {
+            for j in 0..n {
+                b_t[j * k + kk] = b[kk * n + j];
+            }
+        }
+        let mut c = vec![0.0f32; m * n];
+        g.gemm_a_bt(m, k, n, &plane(fmt, &a), &plane(fmt, &b_t), &mut c);
+        assert_eq!(c, want, "gemm_a_bt");
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let fmt = PositFormat::of(16, 1);
+        let g = PositGemm::new(fmt, Rounding::NearestEven);
+        let a = plane(fmt, &[1.0, 0.0, 0.0, 1.0]);
+        let b = plane(fmt, &[2.0, 0.0, 0.0, 2.0]);
+        let mut c = vec![10.0f32; 4];
+        g.gemm(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, vec![12.0, 10.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn quire_beats_f32_accumulation_on_cancellation() {
+        // Σ = big² − big² + small where f32 accumulation of posit products
+        // keeps the small term but chained posit(8,1) adds would drop it; the
+        // quire keeps it exactly. Checks the kernel really is single-rounding.
+        let fmt = PositFormat::of(8, 1);
+        let big = 1024.0f32; // exactly representable in (8,1)
+        let small = 0.0625f32;
+        let a = [big, big, small];
+        let b = [big, -big, 1.0];
+        let g = PositGemm::new(fmt, Rounding::NearestEven);
+        let mut c = [0.0f32];
+        g.gemm(1, 3, 1, &plane(fmt, &a), &plane(fmt, &b), &mut c);
+        assert_eq!(c[0], small);
+    }
+
+    #[test]
+    fn nar_poisons_only_its_output_element() {
+        let fmt = PositFormat::of(16, 1);
+        let g = PositGemm::new(fmt, Rounding::NearestEven);
+        let a = plane(fmt, &[f32::NAN, 1.0, 2.0, 3.0]); // [2, 2]
+        let b = plane(fmt, &[1.0, 0.0, 0.0, 1.0]);
+        let mut c = vec![0.0f32; 4];
+        g.gemm(2, 2, 2, &a, &b, &mut c);
+        assert!(c[0].is_nan() && c[1].is_nan(), "row with NaR");
+        assert_eq!(&c[2..], &[2.0, 3.0], "clean row unaffected");
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let fmt = PositFormat::of(8, 1);
+        let g = PositGemm::new(fmt, Rounding::NearestEven);
+        let empty = plane(fmt, &[]);
+        let mut c: Vec<f32> = vec![];
+        g.gemm(0, 3, 4, &empty, &plane(fmt, &[0.0; 12]), &mut c);
+        g.gemm_at_b(0, 3, 4, &empty, &plane(fmt, &[0.0; 12]), &mut c);
+        g.gemm_a_bt(0, 3, 4, &empty, &plane(fmt, &[0.0; 12]), &mut c);
+        assert!(c.is_empty());
+
+        // k = 0: empty dot rounds to posit zero; C keeps its base.
+        let mut c = vec![5.0f32; 6];
+        g.gemm(2, 0, 3, &empty, &empty, &mut c);
+        g.gemm_at_b(2, 0, 3, &empty, &empty, &mut c);
+        g.gemm_a_bt(2, 0, 3, &empty, &empty, &mut c);
+        assert_eq!(c, vec![5.0; 6]);
+
+        // n = 1 column output.
+        let a = plane(fmt, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = plane(fmt, &[1.0, -1.0, 2.0]);
+        let mut c = vec![0.0f32; 2];
+        g.gemm(2, 3, 1, &a, &b, &mut c);
+        assert_eq!(c, vec![5.0, 11.0]);
+    }
+
+    #[test]
+    fn parallel_split_is_deterministic() {
+        let fmt = PositFormat::of(8, 1);
+        let g = PositGemm::new(fmt, Rounding::NearestEven);
+        let (m, k, n) = (64, 32, 16);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 7 % 23) as f32 - 11.0) * 0.125)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 5 % 19) as f32 - 9.0) * 0.25)
+            .collect();
+        let (pa, pb) = (plane(fmt, &a), plane(fmt, &b));
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        g.gemm(m, k, n, &pa, &pb, &mut c1);
+        g.gemm(m, k, n, &pa, &pb, &mut c2);
+        assert_eq!(c1, c2);
+    }
+}

@@ -9,8 +9,9 @@ use std::fmt;
 /// use posit_tensor::Tensor;
 ///
 /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
-/// let b = Tensor::eye(2);
-/// assert_eq!(a.matmul(&b).data(), a.data());
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+/// // [[1,2],[3,4]] · [[5,6],[7,8]] = [[19,22],[43,50]]
+/// assert_eq!(a.matmul(&b).data(), &[19.0, 22.0, 43.0, 50.0]);
 /// ```
 #[derive(Clone, PartialEq)]
 pub struct Tensor {

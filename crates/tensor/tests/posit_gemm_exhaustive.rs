@@ -1,0 +1,119 @@
+//! Exhaustive posit(8,0) cross-backend agreement: the `posit-quire` GEMM
+//! must be bit-identical to a double-rounding-free reference built from
+//! exact rational arithmetic (`posit::exact`), for every code-word pair and
+//! for full-code-space dot products.
+
+use posit::exact::{decode_ref, Rational, RefRounder};
+use posit::{PositFormat, Rounding};
+use posit_tensor::{PositGemm, PositPlane};
+
+const FMT: PositFormat = PositFormat::of(8, 0);
+
+/// Every finite code word of the format (zero included, NaR excluded).
+fn finite_codes() -> Vec<u64> {
+    (0..FMT.code_count())
+        .filter(|&c| c != FMT.nar_bits())
+        .collect()
+}
+
+fn exact(code: u64) -> Rational {
+    decode_ref(&FMT, code).expect("finite code")
+}
+
+/// Reference: round an exact rational once, per the kernel's rounding mode.
+fn round_ref(r: &RefRounder, x: &Rational, rounding: Rounding) -> u64 {
+    match rounding {
+        Rounding::NearestEven => r.nearest(x),
+        Rounding::ToZero => r.toward_zero(x),
+        Rounding::Stochastic => unreachable!("kernel never runs stochastic"),
+    }
+}
+
+/// All pairwise products in one GEMM: `C[254,254] = A[254,1] · B[1,254]`.
+/// Each output element is a single-product dot, so the kernel result must
+/// equal the exactly-computed product rounded once.
+#[test]
+fn exhaustive_pairwise_products_match_exact_rationals() {
+    let codes = finite_codes();
+    let m = codes.len();
+    let a = PositPlane::from_bits(FMT, &codes); // [m, 1]
+    let b = PositPlane::from_bits(FMT, &codes); // [1, m]
+    let rounder = RefRounder::new(FMT);
+    for rounding in [Rounding::NearestEven, Rounding::ToZero] {
+        let kernel = PositGemm::new(FMT, rounding);
+        let mut c = vec![0.0f32; m * m];
+        kernel.gemm(m, 1, m, &a, &b, &mut c);
+        for (i, &ca) in codes.iter().enumerate() {
+            for (j, &cb) in codes.iter().enumerate() {
+                let prod = exact(ca).mul(&exact(cb));
+                let want = FMT.to_f32(round_ref(&rounder, &prod, rounding));
+                assert_eq!(c[i * m + j], want, "{rounding:?}: {ca:#04x} * {cb:#04x}");
+            }
+        }
+    }
+}
+
+/// Full-code-space dot products: pair the exhaustive code list against
+/// rotated copies of itself so every code meets many partners inside one
+/// accumulation, and compare against exact rational summation rounded once
+/// (the double-rounding-free reference).
+#[test]
+fn exhaustive_dot_products_match_exact_accumulation() {
+    let codes = finite_codes();
+    let k = codes.len();
+    let rounder = RefRounder::new(FMT);
+    for rotation in [1usize, 37, 101, 200] {
+        let rotated: Vec<u64> = (0..k).map(|i| codes[(i + rotation) % k]).collect();
+        let a = PositPlane::from_bits(FMT, &codes); // [1, k]
+        let b = PositPlane::from_bits(FMT, &rotated); // [k, 1]
+        let mut sum = Rational::ZERO;
+        for (&ca, &cb) in codes.iter().zip(&rotated) {
+            sum = sum.add(&exact(ca).mul(&exact(cb)));
+        }
+        for rounding in [Rounding::NearestEven, Rounding::ToZero] {
+            let kernel = PositGemm::new(FMT, rounding);
+            let mut c = vec![0.0f32; 1];
+            kernel.gemm(1, k, 1, &a, &b, &mut c);
+            let want = FMT.to_f32(round_ref(&rounder, &sum, rounding));
+            assert_eq!(c[0], want, "rotation {rotation}, {rounding:?}");
+        }
+    }
+}
+
+/// The transposed kernel entry points must agree with the plain one on the
+/// same exhaustive data (shape conventions only differ in storage order).
+#[test]
+fn transposed_kernels_bitwise_agree_on_exhaustive_data() {
+    let codes = finite_codes();
+    // Arrange the 254 codes as a 127×2 times 2×127 product.
+    let (m, k, n) = (127usize, 2usize, 127usize);
+    let a_codes = &codes[..m * k];
+    let b_codes = &codes[..k * n];
+    let kernel = PositGemm::new(FMT, Rounding::NearestEven);
+    let a = PositPlane::from_bits(FMT, a_codes);
+    let b = PositPlane::from_bits(FMT, b_codes);
+    let mut want = vec![0.0f32; m * n];
+    kernel.gemm(m, k, n, &a, &b, &mut want);
+
+    let mut at_codes = vec![0u64; k * m];
+    for i in 0..m {
+        for kk in 0..k {
+            at_codes[kk * m + i] = a_codes[i * k + kk];
+        }
+    }
+    let a_t = PositPlane::from_bits(FMT, &at_codes);
+    let mut c = vec![0.0f32; m * n];
+    kernel.gemm_at_b(m, k, n, &a_t, &b, &mut c);
+    assert_eq!(c, want, "gemm_at_b");
+
+    let mut bt_codes = vec![0u64; n * k];
+    for kk in 0..k {
+        for j in 0..n {
+            bt_codes[j * k + kk] = b_codes[kk * n + j];
+        }
+    }
+    let b_t = PositPlane::from_bits(FMT, &bt_codes);
+    let mut c = vec![0.0f32; m * n];
+    kernel.gemm_a_bt(m, k, n, &a, &b_t, &mut c);
+    assert_eq!(c, want, "gemm_a_bt");
+}

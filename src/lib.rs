@@ -9,7 +9,9 @@
 //!   Algorithm 1 quantizer);
 //! * [`hw`] — the gate-level posit MAC of Figs. 4–6 with a 28 nm
 //!   cost model (Tables IV–V);
-//! * [`tensor`] — the f32 tensor substrate;
+//! * [`tensor`] — the tensor substrate: f32 kernels, the decode-once
+//!   posit GEMM with exact quire accumulation, and the
+//!   [`tensor::Backend`] switch between them;
 //! * [`nn`] — layers with the explicit Fig. 3 dataflow;
 //! * [`data`] — synthetic dataset generators;
 //! * [`models`] — the ResNet-18 family;
