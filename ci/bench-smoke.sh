@@ -3,8 +3,45 @@
 # shim's quick mode (CRITERION_QUICK=1 → one iteration per benchmark), so
 # regressions that only break `benches/` are caught before merge without
 # paying real measurement time.
+#
+# Every run also emits a machine-readable BENCH_<stage>.json at the repo
+# root (bench name → ns/iter), assembled from the shim's CRITERION_JSON
+# NDJSON stream, so the perf trajectory of a branch can be tracked by
+# diffing two JSON files instead of scraping bench stdout.
 set -eu
 cd "$(dirname "$0")/.."
 
+# Absolute paths: cargo runs each bench binary from its package directory,
+# so a relative CRITERION_JSON would scatter files across the workspace.
+root="$(pwd)"
+stage=bench-smoke
+ndjson="$root/target/criterion-${stage}.ndjson"
+json="$root/BENCH_${stage}.json"
+mkdir -p "$root/target"
+rm -f "$ndjson"
+
 echo "==> CRITERION_QUICK=1 cargo bench -p posit-bench"
-CRITERION_QUICK=1 cargo bench -p posit-bench
+CRITERION_QUICK=1 CRITERION_JSON="$ndjson" cargo bench -p posit-bench
+
+# Assemble {"bench": ns, …} from the one-object-per-line NDJSON stream.
+if [ -s "$ndjson" ]; then
+    awk '
+        {
+            line = $0
+            sub(/^\{"bench":/, "", line)
+            sub(/,"ns_per_iter":/, ": ", line)
+            sub(/\}$/, "", line)
+            lines[NR] = line
+        }
+        END {
+            print "{"
+            for (i = 1; i <= NR; i++)
+                printf "  %s%s\n", lines[i], (i < NR ? "," : "")
+            print "}"
+        }
+    ' "$ndjson" > "$json"
+    echo "==> wrote ${json#"$root"/} ($(wc -l < "$ndjson") benchmarks)"
+else
+    echo "==> no bench records captured; $json not written" >&2
+    exit 1
+fi

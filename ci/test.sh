@@ -1,7 +1,11 @@
 #!/usr/bin/env sh
-# CI stage: the tier-1 gate — release build plus the full test suite.
+# CI stage: the tier-1 gate — release build plus the full test suite, and
+# the exhaustive packed-storage suite re-run in release mode (its code-point
+# sweeps are cheap there, and release is where the encode/decode fast paths
+# actually run).
 #
-#   --quick   skip the release build (debug tests only)
+#   --quick   skip the release build and the release-mode storage suite
+#             (debug tests only)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,3 +23,10 @@ fi
 
 echo "==> cargo test -q"
 cargo test -q
+
+if [ "$quick" -eq 0 ]; then
+    echo "==> cargo test -q --release -p posit-tensor --test storage_exhaustive"
+    cargo test -q --release -p posit-tensor --test storage_exhaustive
+else
+    echo "==> (--quick: skipping release-mode storage_exhaustive)"
+fi

@@ -3,6 +3,8 @@
 use posit::{PositFormat, Rounding};
 use posit_nn::{LayerKind, StepLr};
 use posit_tensor::Backend;
+use std::error::Error;
+use std::fmt;
 
 /// Which kernel family executes the CONV/FC GEMMs — the trainer-facing
 /// switch over [`posit_tensor::Backend`].
@@ -289,7 +291,74 @@ pub struct TrainConfig {
     pub loss_scale: f32,
 }
 
+/// A structurally invalid [`TrainConfig`], caught by
+/// [`TrainConfig::validate`] before it can surface as a panic deep inside
+/// the data loader or an empty training phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `batch_size == 0`: no batch can ever be formed.
+    ZeroBatchSize,
+    /// `epochs == 0`: the schedule contains no training phase at all.
+    ZeroEpochs,
+    /// A quantization policy is attached but `warmup_epochs >= epochs`:
+    /// the posit phase the policy exists for would run for zero epochs.
+    EmptyPositPhase {
+        /// Configured warm-up length.
+        warmup_epochs: usize,
+        /// Configured total epochs.
+        epochs: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroBatchSize => {
+                write!(f, "batch_size must be positive (got 0)")
+            }
+            ConfigError::ZeroEpochs => {
+                write!(f, "epochs must be positive (got 0)")
+            }
+            ConfigError::EmptyPositPhase {
+                warmup_epochs,
+                epochs,
+            } => write!(
+                f,
+                "quantization is configured but the posit phase is empty: \
+                 warmup_epochs ({warmup_epochs}) >= epochs ({epochs})"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
 impl TrainConfig {
+    /// Check the config for phase splits that would panic or silently
+    /// no-op downstream: a zero batch size (the loader cannot form a
+    /// batch), zero epochs (no phase runs at all), and a quantization
+    /// policy whose posit phase is empty because the warm-up swallows
+    /// every epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.batch_size == 0 {
+            return Err(ConfigError::ZeroBatchSize);
+        }
+        if self.epochs == 0 {
+            return Err(ConfigError::ZeroEpochs);
+        }
+        if self.quant.is_some() && self.warmup_epochs >= self.epochs {
+            return Err(ConfigError::EmptyPositPhase {
+                warmup_epochs: self.warmup_epochs,
+                epochs: self.epochs,
+            });
+        }
+        Ok(())
+    }
+
     /// A scaled-down CIFAR-style run: `base`-width ResNet, short schedule
     /// mirroring the paper's CIFAR shape (warm-up 1 epoch, SGD momentum
     /// 0.9, step decay).
@@ -430,6 +499,48 @@ mod tests {
             ComputeBackend::F32.tensor_backend(fmt, Rounding::ToZero),
             Backend::F32
         );
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_phase_splits() {
+        let ok = TrainConfig::cifar_scaled(4, 10);
+        assert!(ok.validate().is_ok());
+        let mut zb = ok.clone();
+        zb.batch_size = 0;
+        assert_eq!(zb.validate(), Err(ConfigError::ZeroBatchSize));
+        assert!(zb
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("batch_size"));
+        let mut ze = ok.clone();
+        ze.epochs = 0;
+        assert_eq!(ze.validate(), Err(ConfigError::ZeroEpochs));
+        // Quantized run whose warm-up swallows every epoch: the posit
+        // phase the policy exists for would never run.
+        let qp = TrainConfig::cifar_scaled(4, 3)
+            .with_quant(QuantSpec::cifar_paper())
+            .with_warmup(3);
+        assert_eq!(
+            qp.validate(),
+            Err(ConfigError::EmptyPositPhase {
+                warmup_epochs: 3,
+                epochs: 3
+            })
+        );
+        assert!(qp
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("posit phase is empty"));
+        // The same split without a quantization policy is a plain FP32 run.
+        let fp = TrainConfig::cifar_scaled(4, 3).with_warmup(5);
+        assert!(fp.validate().is_ok());
+        // Warm-up 0 with quant is the A1 ablation, not an error.
+        let a1 = TrainConfig::cifar_scaled(4, 3)
+            .with_quant(QuantSpec::cifar_paper())
+            .with_warmup(0);
+        assert!(a1.validate().is_ok());
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod stats;
 mod trainer;
 
 pub use config::{
-    ClassFormats, ComputeBackend, MasterWeights, QuantSpec, TensorClass, TrainConfig,
+    ClassFormats, ComputeBackend, ConfigError, MasterWeights, QuantSpec, TensorClass, TrainConfig,
 };
 pub use quantized::{Phase, QuantBuilder, QuantControl, Quantized};
 pub use trainer::{EpochStats, TrainReport, Trainer};

@@ -133,16 +133,22 @@ pub struct Quantized {
     /// would need per-operand formats in `PositGemm`; until then, backward
     /// numerics are "everything in the error format".
     ///
-    /// Known limitation: the kernels quantize operands at their raw
-    /// magnitude, unaware of the Eq. 2–3 scale shift. With `scaling`
-    /// enabled, the Fig. 3 edges store `P(x/Sf)·Sf` — values shifted off
-    /// the raw posit grid — so the posit backends re-round them on entry
-    /// (an extra rounding the f32 backend does not add). Threading the
-    /// frozen scale exponents into the kernels (quantize `x·2^-e`, rescale
-    /// the output) would remove it; pair posit backends with
-    /// `QuantSpec::without_scaling()` for single-rounding numerics today.
+    /// With the quire backend the Fig. 3 edges are *storage-domain
+    /// transitions*: weights, activations and errors are encoded once into
+    /// packed posit planes (`Tensor::to_posit`) whose Eq. 2 scale exponent
+    /// travels with the bits, and the kernels decode those planes directly
+    /// — `P(x/Sf)·Sf` reaches the quire exactly, with no f32 staging buffer
+    /// and no re-rounding. Operands that reach a kernel of a *different*
+    /// format (the backward GEMMs mix the weight/activation grid with the
+    /// error grid) still decode→re-encode onto the kernel's grid, as do
+    /// f32-staged operands under the emulated backend.
     fwd_backend: posit_tensor::Backend,
     bwd_backend: posit_tensor::Backend,
+    /// True when the Fig. 3 edges should produce packed posit tensors
+    /// (quire backend): the storage-domain residency the paper's memory
+    /// argument needs — posit8 weights/activations occupy 1 byte/element
+    /// between steps instead of 4.
+    packed: bool,
     master_mode: MasterWeights,
     /// FP32 master copies stashed while the quantized view is installed.
     master: Option<Vec<Tensor>>,
@@ -177,6 +183,7 @@ impl Quantized {
             scaling: spec.scaling,
             fwd_backend: spec.backend.tensor_backend(fmts.weight, spec.rounding),
             bwd_backend: spec.backend.tensor_backend(fmts.error, spec.rounding),
+            packed: spec.backend == crate::config::ComputeBackend::PositQuire,
             master_mode: spec.master,
             master: None,
             w_scale: ClassScale::default(),
@@ -234,13 +241,26 @@ impl Quantized {
         let scale = &mut self.w_scale;
         let sr = &mut self.sr_state;
         let keep_master = self.master_mode == MasterWeights::Fp32;
+        let packed = self.packed;
         let mut stash = Vec::new();
         for p in self.inner.params_mut() {
             if keep_master {
                 stash.push(p.value.clone());
             }
-            let e = scale.exp_or_lazy(p.value.data(), sigma, scaling);
-            scale::shifted_quantize_slice(p.value.data_mut(), &fmt, e, rounding, sr);
+            if packed {
+                // Posit-master residency: a plane that is still packed from
+                // the previous step is already on the grid — leave its bits
+                // alone (the f32 path relies on idempotence for the same
+                // effect; here it is a no-op by construction).
+                if p.value.is_posit() {
+                    continue;
+                }
+                let e = scale.exp_or_lazy(p.value.data(), sigma, scaling);
+                p.value = p.value.to_posit_with(fmt, e, rounding, sr);
+            } else {
+                let e = scale.exp_or_lazy(p.value.data(), sigma, scaling);
+                scale::shifted_quantize_slice(p.value.data_mut(), &fmt, e, rounding, sr);
+            }
         }
         if keep_master {
             self.master = Some(stash);
@@ -273,7 +293,9 @@ impl Layer for Quantized {
             Phase::Fp32 => self.inner.forward(input, train),
             Phase::Calibrate => {
                 for p in self.inner.params() {
-                    self.w_scale.observe(p.value.data());
+                    // dense(): robust against re-calibrating a net whose
+                    // weights were left posit-resident by an earlier phase.
+                    self.w_scale.observe(p.value.dense().data());
                 }
                 let y = self.inner.forward(input, train);
                 self.a_scale.observe(y.data());
@@ -291,16 +313,23 @@ impl Layer for Quantized {
                     // Inference has no backward; release the view now.
                     self.restore_master();
                 }
-                // Fig. 3a: A^l → P(·) → A^l_p.
+                // Fig. 3a: A^l → P(·) → A^l_p. With the quire backend the
+                // edge is a storage transition: the activation leaves this
+                // layer as packed posit bits and the next GEMM consumes
+                // them directly.
                 let e = self.a_scale.exp_or_lazy(y.data(), self.sigma, self.scaling);
-                scale::shifted_quantize_slice(
-                    y.data_mut(),
-                    &self.a_fmt,
-                    e,
-                    self.rounding,
-                    &mut self.sr_state,
-                );
-                y
+                if self.packed {
+                    y.to_posit_with(self.a_fmt, e, self.rounding, &mut self.sr_state)
+                } else {
+                    scale::shifted_quantize_slice(
+                        y.data_mut(),
+                        &self.a_fmt,
+                        e,
+                        self.rounding,
+                        &mut self.sr_state,
+                    );
+                    y
+                }
             }
         }
     }
@@ -332,16 +361,22 @@ impl Layer for Quantized {
                     let e = gscale.exp_or_lazy(p.grad.data(), sigma, scaling);
                     scale::shifted_quantize_slice(p.grad.data_mut(), &fmt, e, rounding, sr);
                 }
-                // Fig. 3b: E^{l-1} → P(·) → E^{l-1}_p.
+                // Fig. 3b: E^{l-1} → P(·) → E^{l-1}_p — a storage
+                // transition under the quire backend, like the forward
+                // activation edge.
                 let e = self.e_scale.exp_or_lazy(g.data(), sigma, scaling);
-                scale::shifted_quantize_slice(
-                    g.data_mut(),
-                    &self.e_fmt,
-                    e,
-                    rounding,
-                    &mut self.sr_state,
-                );
-                g
+                if self.packed {
+                    g.to_posit_with(self.e_fmt, e, rounding, &mut self.sr_state)
+                } else {
+                    scale::shifted_quantize_slice(
+                        g.data_mut(),
+                        &self.e_fmt,
+                        e,
+                        rounding,
+                        &mut self.sr_state,
+                    );
+                    g
+                }
             }
         }
     }
@@ -459,19 +494,101 @@ mod tests {
         let a = q.forward(&x, true);
         let b = plain.forward(&x, true);
         assert_eq!(a.data(), b.data(), "warm-up must stay exact FP32");
-        // Posit phase: quire kernels engage, outputs stay finite and land
-        // on the activation quantization grid like any other backend.
+        // Posit phase: quire kernels engage and the Fig. 3 edges become
+        // storage transitions — activations and errors leave as packed
+        // posit planes whose decoded values are finite.
         control.set_phase(Phase::Posit);
         let y = q.forward(&x, true);
-        assert!(y.data().iter().all(|v| v.is_finite()));
+        assert!(y.is_posit(), "quire-backend activation edge must pack");
+        assert!(y.to_f32().data().iter().all(|v| v.is_finite()));
+        // The weight compute view is packed between forward and backward.
+        assert!(
+            q.params().iter().all(|p| p.value.is_posit()),
+            "weights must be posit-resident through the backward"
+        );
         let g = q.backward(&y);
-        assert!(g.data().iter().all(|v| v.is_finite()));
+        assert!(g.is_posit(), "error edge must pack");
+        assert!(g.to_f32().data().iter().all(|v| v.is_finite()));
         // Back to FP32: transparent again (the FP32 master was restored
         // after the posit backward).
         control.set_phase(Phase::Fp32);
         let a2 = q.forward(&x, true);
         let b2 = plain.forward(&x, true);
         assert_eq!(a2.data(), b2.data(), "post-posit FP32 must be exact again");
+    }
+
+    #[test]
+    fn packed_edges_shrink_the_footprint_and_stay_on_grid() {
+        use crate::config::ComputeBackend;
+        let mut rng = Prng::seed(23);
+        let control = QuantControl::new();
+        let spec = QuantSpec::cifar_paper().with_backend(ComputeBackend::PositQuire);
+        let mut q = Quantized::new(small_conv(), &spec, control.clone());
+        control.set_phase(Phase::Posit);
+        let x = Tensor::rand_normal(&[1, 1, 5, 5], 0.0, 1.0, &mut rng);
+        let y = q.forward(&x, true);
+        // posit(8,1) activations: 1 byte per element, 4× below f32.
+        assert_eq!(y.nbytes() * 4, y.len() * 4);
+        assert_eq!(y.nbytes(), y.len());
+        // The packed activation decodes onto the P(a/Sf)·Sf grid exactly:
+        // re-encoding with the frozen scale is the identity.
+        let se = q.scale_exp(TensorClass::Activation).unwrap();
+        let fmt = q.format(TensorClass::Activation);
+        let decoded = y.to_f32();
+        let repacked = decoded.to_posit(fmt, se, Rounding::ToZero);
+        assert_eq!(repacked.to_f32(), decoded, "activation left its grid");
+        // Weight view: packed at the weight format with 1 B/elem while the
+        // view is installed; the FP32 master returns after backward.
+        let wbytes: usize = q.params().iter().map(|p| p.value.nbytes()).sum();
+        let wlen: usize = q.params().iter().map(|p| p.value.len()).sum();
+        assert_eq!(wbytes, wlen, "posit8 weights must be 1 B/elem");
+        let _ = q.backward(&y);
+        assert!(
+            q.params().iter().all(|p| !p.value.is_posit()),
+            "FP32 master restored after backward"
+        );
+    }
+
+    #[test]
+    fn posit_master_stays_packed_between_steps() {
+        use crate::config::{ComputeBackend, MasterWeights};
+        let mut rng = Prng::seed(29);
+        let control = QuantControl::new();
+        let spec = QuantSpec::cifar_paper()
+            .with_backend(ComputeBackend::PositQuire)
+            .with_master(MasterWeights::Posit);
+        let mut q = Quantized::new(small_conv(), &spec, control.clone());
+        control.set_phase(Phase::Posit);
+        let x = Tensor::rand_normal(&[1, 1, 5, 5], 0.0, 1.0, &mut rng);
+        let y = q.forward(&x, true);
+        let _ = q.backward(&y);
+        // No restore under the posit-master policy: the master IS the
+        // packed plane, resident at 1 B/elem between steps.
+        assert!(q.params().iter().all(|p| p.value.is_posit()));
+        let before: Vec<u64> = q.params()[0].value.posit_bits().unwrap().0.iter().collect();
+        // A second forward must leave the resident plane bit-identical
+        // (idempotence of the Fig. 3c edge, now a structural no-op).
+        let y2 = q.forward(&x, true);
+        let after: Vec<u64> = q.params()[0].value.posit_bits().unwrap().0.iter().collect();
+        assert_eq!(before, after, "resident plane must not be re-encoded");
+        let _ = q.backward(&y2);
+        // The optimizer reads through the boundary: step() decodes, updates
+        // in f32, and the next forward re-packs.
+        let mut sgd = posit_nn::Sgd::new(0.1);
+        for p in q.params_mut() {
+            p.grad.data_mut().iter_mut().for_each(|g| *g = 0.01);
+        }
+        sgd.step(&mut q.params_mut());
+        assert!(
+            q.params().iter().all(|p| !p.value.is_posit()),
+            "step() crosses the domain boundary into f32"
+        );
+        let y3 = q.forward(&x, true);
+        assert!(y3.is_posit());
+        assert!(
+            q.params().iter().all(|p| p.value.is_posit()),
+            "next forward re-packs the updated master"
+        );
     }
 
     #[test]

@@ -51,14 +51,7 @@ pub fn shifted_quantize_slice(
     match rounding {
         Rounding::Stochastic => {
             for x in xs.iter_mut() {
-                *rand_state = rand_state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                let z = {
-                    let mut z = *rand_state;
-                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                    z ^ (z >> 31)
-                };
+                let z = posit::quant::sr_next(rand_state);
                 let bits = fmt.from_f64_stochastic((*x * inv) as f64, z);
                 *x = fmt.to_f32(bits) * sf;
             }
@@ -149,6 +142,32 @@ mod tests {
         let once = xs.clone();
         shifted_quantize_slice(&mut xs, &fmt, -3, Rounding::ToZero, &mut state);
         assert_eq!(xs, once);
+    }
+
+    #[test]
+    fn packed_encode_matches_the_inplace_quantizer() {
+        // Tensor::to_posit_with must be the storage-domain split of Eq. 3's
+        // in-place quantizer: identical values AND identical random-stream
+        // consumption, so swapping a P(·) round trip for a packed encode
+        // never perturbs downstream stochastic rounding.
+        let fmt = PositFormat::of(8, 2);
+        let xs: Vec<f32> = (0..64).map(|i| i as f32 * 0.037 - 1.0).collect();
+        for rounding in [
+            Rounding::ToZero,
+            Rounding::NearestEven,
+            Rounding::Stochastic,
+        ] {
+            for e in [-3i32, 0, 2] {
+                let mut inplace = xs.clone();
+                let mut s1 = 77u64;
+                let mut s2 = 77u64;
+                shifted_quantize_slice(&mut inplace, &fmt, e, rounding, &mut s1);
+                let t = posit_tensor::Tensor::from_vec(xs.clone(), &[64]);
+                let p = t.to_posit_with(fmt, e, rounding, &mut s2);
+                assert_eq!(p.to_f32().data(), &inplace[..], "{rounding:?} e={e}");
+                assert_eq!(s1, s2, "stream desync {rounding:?} e={e}");
+            }
+        }
     }
 
     #[test]

@@ -131,15 +131,18 @@ impl HistogramRecorder {
         }
     }
 
-    /// Capture all tracked parameters from a network.
+    /// Capture all tracked parameters from a network. Posit-resident
+    /// parameters (the quire backend's packed masters) are decoded for the
+    /// histogram — Fig. 2 plots values, not code words.
     pub fn capture(&mut self, net: &Sequential, epoch: usize) {
         for p in net.params() {
             if self.params.contains(&p.name) {
+                let value = p.value.dense();
                 self.snapshots.push(Snapshot {
                     param: p.name.clone(),
                     epoch,
-                    values: Histogram::symmetric(p.value.data(), self.bins),
-                    log_magnitudes: Histogram::log2_magnitude(p.value.data(), self.bins),
+                    values: Histogram::symmetric(value.data(), self.bins),
+                    log_magnitudes: Histogram::log2_magnitude(value.data(), self.bins),
                 });
             }
         }

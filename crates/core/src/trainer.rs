@@ -157,7 +157,9 @@ impl Trainer {
         let mut meter = metrics::Meter::new();
         for (mut x, t) in loader.epoch() {
             self.quantize_input(&mut x, config);
-            let y = self.net.forward(&x, false);
+            // Packed posit logits (quire backend) decode once here, at the
+            // top of the dataflow.
+            let y = self.net.forward(&x, false).into_f32();
             meter.update(metrics::top1_accuracy(&y, &t), t.len() as f64);
         }
         meter.mean()
@@ -170,6 +172,13 @@ impl Trainer {
 
     /// Like [`Trainer::run`], invoking `on_epoch` after each epoch (live
     /// progress reporting for the experiment binaries).
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the [`crate::config::ConfigError`] message) if the
+    /// config fails [`TrainConfig::validate`] — a zero batch size or an
+    /// empty training/posit phase is a configuration bug, caught here
+    /// before it can panic deep inside the loader.
     pub fn run_with(
         &mut self,
         train: &Dataset,
@@ -177,6 +186,9 @@ impl Trainer {
         config: &TrainConfig,
         mut on_epoch: impl FnMut(&EpochStats),
     ) -> TrainReport {
+        if let Err(e) = config.validate() {
+            panic!("invalid TrainConfig: {e}");
+        }
         let loss_fn = SoftmaxCrossEntropy::new();
         let mut opt = Sgd::new(config.schedule.lr_at(0))
             .momentum(config.momentum)
@@ -200,7 +212,7 @@ impl Trainer {
             let mut acc_meter = metrics::Meter::new();
             for (mut x, t) in loader.epoch() {
                 self.quantize_input(&mut x, config);
-                let y = self.net.forward(&x, true);
+                let y = self.net.forward(&x, true).into_f32();
                 let (l, mut g) = loss_fn.forward(&y, &t);
                 if config.loss_scale != 1.0 {
                     g.scale(config.loss_scale);
@@ -302,6 +314,49 @@ mod tests {
         );
         // Phases recorded as expected.
         assert_eq!(posit_report.epochs[0].phase, "calibrate");
+        assert_eq!(posit_report.epochs[1].phase, "posit");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be positive")]
+    fn run_rejects_zero_batch_size_up_front() {
+        let (train, test) = tiny_data();
+        let mut cfg = TrainConfig::cifar_scaled(4, 2);
+        cfg.batch_size = 0;
+        Trainer::resnet(&cfg).run(&train, &test, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "posit phase is empty")]
+    fn run_rejects_empty_posit_phase_up_front() {
+        let (train, test) = tiny_data();
+        let cfg = TrainConfig::cifar_scaled(4, 2)
+            .with_quant(QuantSpec::cifar_paper())
+            .with_warmup(2);
+        Trainer::resnet(&cfg).run(&train, &test, &cfg);
+    }
+
+    #[test]
+    fn resident_posit_training_tracks_fp32_on_tiny_task() {
+        use crate::config::ComputeBackend;
+        // The table3-style smoke for the packed path: quire backend with
+        // posit-resident weights/activations must train to parity with the
+        // FP32 baseline on the tiny task (the acceptance bar for the
+        // storage refactor — packed bits flowing end-to-end through the
+        // Fig. 3 loop without breaking accuracy).
+        let (train, test) = tiny_data();
+        let base_cfg = TrainConfig::cifar_scaled(4, 4).with_seed(3);
+        let fp32_report = Trainer::resnet(&base_cfg).run(&train, &test, &base_cfg);
+        let posit_cfg = base_cfg
+            .clone()
+            .with_quant(QuantSpec::cifar_paper().with_backend(ComputeBackend::PositQuire));
+        let posit_report = Trainer::resnet(&posit_cfg).run(&train, &test, &posit_cfg);
+        assert!(
+            posit_report.final_test_acc >= fp32_report.final_test_acc - 0.15,
+            "resident posit {:.3} vs fp32 {:.3}",
+            posit_report.final_test_acc,
+            fp32_report.final_test_acc,
+        );
         assert_eq!(posit_report.epochs[1].phase, "posit");
     }
 

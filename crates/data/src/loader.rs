@@ -213,4 +213,86 @@ mod tests {
         assert_eq!(loader.batches_per_epoch(), 2);
         assert_eq!(loader.epoch().len(), 2);
     }
+
+    #[test]
+    fn partial_final_batch_has_the_leftover_samples() {
+        // 10 samples at batch 4 → [4, 4, 2]; without shuffling the short
+        // batch must hold exactly the two trailing samples, with the
+        // per-sample shape intact.
+        let d = toy_dataset(10);
+        let mut loader = DataLoader::new(&d, 4, false, 0);
+        assert_eq!(loader.batches_per_epoch(), 3);
+        let batches = loader.epoch();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(
+            batches
+                .iter()
+                .map(|(f, _)| f.shape()[0])
+                .collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
+        let (f, l) = &batches[2];
+        assert_eq!(f.shape(), &[2, 2]);
+        assert_eq!(f.data(), &[16.0, 17.0, 18.0, 19.0], "samples 8 and 9");
+        assert_eq!(l, &vec![8 % 3, 9 % 3]);
+        // Total coverage: partial batch included, nothing duplicated.
+        let total: usize = batches.iter().map(|(_, l)| l.len()).sum();
+        assert_eq!(total, 10);
+        // A batch size larger than the dataset yields one (partial) batch.
+        let mut big = DataLoader::new(&d, 16, false, 0);
+        assert_eq!(big.batches_per_epoch(), 1);
+        let only = big.epoch();
+        assert_eq!(only.len(), 1);
+        assert_eq!(only[0].0.shape()[0], 10);
+    }
+
+    mod shuffle_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Recover the sample index from a toy feature row (`[2i, 2i+1]`).
+        fn sample_ids(batches: &[(Tensor, Vec<usize>)]) -> Vec<usize> {
+            batches
+                .iter()
+                .flat_map(|(f, _)| f.data().iter().step_by(2).map(|&v| (v / 2.0) as usize))
+                .collect()
+        }
+
+        proptest! {
+            #[test]
+            fn shuffling_is_a_seed_deterministic_permutation(
+                n in 1usize..48,
+                bs in 1usize..9,
+                seed in any::<u64>(),
+            ) {
+                let d = toy_dataset(n);
+                let b1 = DataLoader::new(&d, bs, true, seed).epoch();
+                let b2 = DataLoader::new(&d, bs, true, seed).epoch();
+                // Same seed → bit-identical epoch (features and labels).
+                prop_assert_eq!(b1.len(), b2.len());
+                for ((f1, l1), (f2, l2)) in b1.iter().zip(&b2) {
+                    prop_assert_eq!(f1, f2);
+                    prop_assert_eq!(l1, l2);
+                }
+                // The epoch is a permutation: every sample exactly once,
+                // with its own label still attached.
+                let mut ids = sample_ids(&b1);
+                let labels: Vec<usize> =
+                    b1.iter().flat_map(|(_, l)| l.iter().copied()).collect();
+                for (&id, &label) in ids.iter().zip(&labels) {
+                    prop_assert_eq!(label, id % 3, "label rode along with its sample");
+                }
+                ids.sort_unstable();
+                prop_assert_eq!(ids, (0..n).collect::<Vec<_>>());
+                // Batch sizing: all full except possibly the last.
+                for (i, (f, _)) in b1.iter().enumerate() {
+                    if i + 1 < b1.len() {
+                        prop_assert_eq!(f.shape()[0], bs);
+                    } else {
+                        prop_assert!(f.shape()[0] <= bs && f.shape()[0] > 0);
+                    }
+                }
+            }
+        }
+    }
 }

@@ -70,6 +70,13 @@ impl Layer for BatchNorm2d {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        // BN arithmetic (statistics, normalization) is defined on dense
+        // values: a packed posit input or packed γ/β decode once here (a
+        // free borrow in the f32 domain).
+        let input = input.dense();
+        let input = input.as_ref();
+        let gamma = self.gamma.value.dense();
+        let beta = self.beta.value.dense();
         let sh = input.shape();
         assert_eq!(sh.len(), 4, "BatchNorm2d input must be NCHW");
         let (n, c, h, w) = (sh[0], sh[1], sh[2], sh[3]);
@@ -103,8 +110,8 @@ impl Layer for BatchNorm2d {
             };
             let inv = 1.0 / (var + self.eps).sqrt();
             self.inv_std[ch] = inv;
-            let g = self.gamma.value.data()[ch];
-            let b = self.beta.value.data()[ch];
+            let g = gamma.data()[ch];
+            let b = beta.data()[ch];
             for i in 0..n {
                 let base = (i * c + ch) * h * w;
                 for j in 0..h * w {
@@ -121,6 +128,9 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let grad_out = grad_out.dense();
+        let grad_out = grad_out.as_ref();
+        let gamma = self.gamma.value.dense();
         let xhat = self.xhat.as_ref().expect("backward before forward(train)");
         let sh = grad_out.shape();
         let (n, c, h, w) = (sh[0], sh[1], sh[2], sh[3]);
@@ -141,7 +151,7 @@ impl Layer for BatchNorm2d {
             self.beta.grad.data_mut()[ch] += dbeta as f32;
             self.gamma.grad.data_mut()[ch] += dgamma as f32;
             // dx = (γ/(m·σ)) · (m·dy − dβ − x̂·dγ)
-            let scale = self.gamma.value.data()[ch] * self.inv_std[ch] / m;
+            let scale = gamma.data()[ch] * self.inv_std[ch] / m;
             for i in 0..n {
                 let base = (i * c + ch) * h * w;
                 for j in 0..h * w {

@@ -51,7 +51,9 @@ pub fn save(net: &dyn Layer) -> Vec<u8> {
         for &d in shape {
             out.extend_from_slice(&(d as u64).to_le_bytes());
         }
-        for &v in p.value.data() {
+        // Posit-resident masters serialize through their exact f32 view,
+        // keeping the on-disk format stable across storage domains.
+        for &v in p.value.dense().data() {
             out.extend_from_slice(&v.to_le_bytes());
         }
     }
@@ -132,8 +134,12 @@ pub fn load(net: &mut dyn Layer, bytes: &[u8]) -> Result<(), LoadError> {
         }
     }
     for p in net.params_mut() {
-        let (_, data) = &entries[&p.name];
-        p.value.data_mut().copy_from_slice(data);
+        let (_, data) = entries.remove(&p.name).expect("validated above");
+        // Checkpoints store f32, so restore lands the parameter in the f32
+        // domain regardless of where it lived (a posit-resident master is
+        // simply re-packed at the next quantized forward).
+        let shape = p.value.shape().to_vec();
+        p.value = posit_tensor::Tensor::from_vec(data, &shape);
     }
     Ok(())
 }
@@ -159,6 +165,37 @@ mod tests {
                 Tensor::rand_normal(&[2, 4], 0.0, 1.0, &mut rng),
                 None,
             ))
+    }
+
+    #[test]
+    fn roundtrip_with_posit_resident_params() {
+        use posit::{PositFormat, Rounding};
+        // A net whose masters live in the posit domain (the quire
+        // backend's posit-master residency) must save through the exact
+        // f32 view AND accept a load — which lands every parameter back
+        // in the f32 domain, ready to be re-packed at the next forward.
+        let fmt = PositFormat::of(8, 1);
+        let mut a = net(1);
+        for p in a.params_mut() {
+            p.value = p.value.to_posit(fmt, 0, Rounding::NearestEven);
+        }
+        let grid: Vec<Vec<f32>> = a
+            .params()
+            .iter()
+            .map(|p| p.value.dense().data().to_vec())
+            .collect();
+        let bytes = save(&a);
+        let mut b = net(2);
+        // Load into a packed net too: the restore must not panic on the
+        // posit-domain destination.
+        for p in b.params_mut() {
+            p.value = p.value.to_posit(fmt, 0, Rounding::NearestEven);
+        }
+        load(&mut b, &bytes).unwrap();
+        for (p, want) in b.params().iter().zip(&grid) {
+            assert!(!p.value.is_posit(), "load lands in the f32 domain");
+            assert_eq!(p.value.data(), &want[..]);
+        }
     }
 
     #[test]

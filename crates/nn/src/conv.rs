@@ -85,18 +85,25 @@ impl Layer for Conv2d {
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         self.cached_input = Some(input.clone());
+        // dense() is a free borrow for an f32 bias; only a packed bias
+        // (posit-resident weights) pays a decode.
+        let bias = self.bias.as_ref().map(|b| b.value.dense());
         posit_tensor::conv::conv2d_with(
             self.fwd_backend,
             input,
             &self.weight.value,
-            self.bias.as_ref().map(|b| b.value.data()),
+            bias.as_ref().map(|c| c.data()),
             self.stride,
             self.pad,
         )
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self.cached_input.as_ref().expect("backward before forward");
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward")
+            .dense();
         let ish = input.shape();
         let g = self.geom(ish);
         let n = ish[0];
@@ -105,13 +112,19 @@ impl Layer for Conv2d {
         let sample_in = g.c * g.h * g.w;
         let sample_out = o * cols;
 
+        // The im2col unfold and the per-sample slicing are defined on dense
+        // values: packed activations/errors decode once here, at the
+        // storage-domain boundary.
+        let grad_out = grad_out.dense();
         let mut grad_in = Tensor::zeros(ish);
         let mut col = vec![0.0f32; rows * cols];
         let mut dcol = vec![0.0f32; rows * cols];
         // weight as [O, rows]; grad_out sample as [O, cols]. The weight
         // operand of the dX GEMM is prepared once for the whole batch
-        // (decode-once for the quire backend).
-        let w_prep = self.bwd_backend.prepare(self.weight.value.data());
+        // (decode-once from packed bits for the quire backend).
+        let w_prep = self
+            .bwd_backend
+            .prepare_operand(self.weight.value.operand());
         for i in 0..n {
             let dy = &grad_out.data()[i * sample_out..(i + 1) * sample_out];
             // ΔW += dY · colᵀ  — [O, cols] × [cols, rows]

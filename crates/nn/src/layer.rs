@@ -94,12 +94,38 @@ impl Layer for ReLU {
     }
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        // A packed posit activation stays packed: posit codes compare as
+        // two's-complement integers, so `value > 0` is a sign test on the
+        // code word and the gated output is exact (negative codes and NaR
+        // map to the zero code, matching the f32 path where NaN.max(0) = 0).
+        if let Some((bits, fmt, scale_exp)) = input.posit_bits() {
+            let mut out = bits.clone();
+            self.mask = Vec::with_capacity(bits.len());
+            for i in 0..bits.len() {
+                let keep = fmt.to_signed(bits.get(i)) > 0;
+                self.mask.push(keep);
+                if !keep {
+                    out.set(i, fmt.zero_bits());
+                }
+            }
+            return Tensor::from_posit_bits(out, fmt, scale_exp, input.shape());
+        }
         self.mask = input.data().iter().map(|&x| x > 0.0).collect();
         input.map(|x| x.max(0.0))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert_eq!(grad_out.len(), self.mask.len(), "backward before forward?");
+        // A packed error plane is gated in place on its code words.
+        if let Some((bits, fmt, scale_exp)) = grad_out.posit_bits() {
+            let mut out = bits.clone();
+            for (i, &m) in self.mask.iter().enumerate() {
+                if !m {
+                    out.set(i, fmt.zero_bits());
+                }
+            }
+            return Tensor::from_posit_bits(out, fmt, scale_exp, grad_out.shape());
+        }
         let data = grad_out
             .data()
             .iter()
@@ -281,11 +307,12 @@ impl Layer for Residual {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let main = self.main.forward(input, train);
+        // The join is an f32 add: packed branch outputs decode here.
+        let main = self.main.forward(input, train).into_f32();
         let short = if self.shortcut.is_empty() {
-            input.clone()
+            input.to_f32()
         } else {
-            self.shortcut.forward(input, train)
+            self.shortcut.forward(input, train).into_f32()
         };
         let mut y = main.add(&short);
         if self.final_relu {
@@ -296,6 +323,7 @@ impl Layer for Residual {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let grad_out = grad_out.dense();
         let g = if self.final_relu {
             let data = grad_out
                 .data()
@@ -305,13 +333,13 @@ impl Layer for Residual {
                 .collect();
             Tensor::from_vec(data, grad_out.shape())
         } else {
-            grad_out.clone()
+            grad_out.into_owned()
         };
-        let g_main = self.main.backward(&g);
+        let g_main = self.main.backward(&g).into_f32();
         let g_short = if self.shortcut.is_empty() {
             g
         } else {
-            self.shortcut.backward(&g)
+            self.shortcut.backward(&g).into_f32()
         };
         g_main.add(&g_short)
     }

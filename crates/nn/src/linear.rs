@@ -69,19 +69,22 @@ impl Layer for Linear {
         let n = input.shape()[0];
         let (o, k) = (self.out_features(), self.in_features());
         let mut out = Tensor::zeros(&[n, o]);
-        // y = x · Wᵀ
-        self.fwd_backend.gemm_a_bt(
+        // y = x · Wᵀ — input and weight flow in whichever storage domain
+        // they arrived in (packed posit planes feed the quire kernel with
+        // no f32 staging).
+        self.fwd_backend.gemm_a_bt_op(
             n,
             k,
             o,
-            input.data(),
-            self.weight.value.data(),
+            input.operand(),
+            self.weight.value.operand(),
             out.data_mut(),
         );
         if let Some(b) = &self.bias {
+            let bv = b.value.dense();
             for i in 0..n {
-                for (j, &bv) in b.value.data().iter().enumerate() {
-                    out.data_mut()[i * o + j] += bv;
+                for (j, &v) in bv.data().iter().enumerate() {
+                    out.data_mut()[i * o + j] += v;
                 }
             }
         }
@@ -93,29 +96,30 @@ impl Layer for Linear {
         let n = input.shape()[0];
         let (o, k) = (self.out_features(), self.in_features());
         // ΔW += dYᵀ · X — [o, n] × [n, k]
-        self.bwd_backend.gemm_at_b(
+        self.bwd_backend.gemm_at_b_op(
             o,
             n,
             k,
-            grad_out.data(),
-            input.data(),
+            grad_out.operand(),
+            input.operand(),
             self.weight.grad.data_mut(),
         );
         if let Some(b) = &mut self.bias {
+            let dy = grad_out.dense();
             for i in 0..n {
                 for (j, gb) in b.grad.data_mut().iter_mut().enumerate() {
-                    *gb += grad_out.data()[i * o + j];
+                    *gb += dy.data()[i * o + j];
                 }
             }
         }
         // dX = dY · W — [n, o] × [o, k]
         let mut grad_in = Tensor::zeros(&[n, k]);
-        self.bwd_backend.gemm(
+        self.bwd_backend.gemm_op(
             n,
             o,
             k,
-            grad_out.data(),
-            self.weight.value.data(),
+            grad_out.operand(),
+            self.weight.value.operand(),
             grad_in.data_mut(),
         );
         grad_in

@@ -20,6 +20,9 @@ impl SoftmaxCrossEntropy {
     ///
     /// Panics if shapes disagree or a target index is out of range.
     pub fn forward(&self, logits: &Tensor, targets: &[usize]) -> (f64, Tensor) {
+        // Softmax is f32 arithmetic: packed posit logits decode here.
+        let logits = logits.dense();
+        let logits = logits.as_ref();
         let sh = logits.shape();
         assert_eq!(sh.len(), 2, "logits must be [N, C]");
         let (n, c) = (sh[0], sh[1]);
@@ -44,6 +47,8 @@ impl SoftmaxCrossEntropy {
 
     /// Per-row softmax probabilities (for calibration inspection).
     pub fn probabilities(&self, logits: &Tensor) -> Tensor {
+        let logits = logits.dense();
+        let logits = logits.as_ref();
         let sh = logits.shape();
         let (n, c) = (sh[0], sh[1]);
         let mut out = Tensor::zeros(sh);

@@ -8,6 +8,8 @@ use posit_tensor::Tensor;
 ///
 /// Panics if shapes disagree.
 pub fn top1_accuracy(logits: &Tensor, targets: &[usize]) -> f64 {
+    let logits = logits.dense();
+    let logits = logits.as_ref();
     let sh = logits.shape();
     assert_eq!(sh.len(), 2, "logits must be [N, C]");
     let (n, c) = (sh[0], sh[1]);

@@ -52,6 +52,12 @@ impl Sgd {
 
     /// One update step over the parameter list. The parameter order must be
     /// stable across calls (velocity buffers are positional).
+    ///
+    /// A parameter whose master lives in the posit domain (the A5
+    /// posit-master policy keeps weights packed between steps) is read
+    /// through the storage boundary: its code words decode to the exact
+    /// grid values, the update applies in f32, and the quantizer re-packs
+    /// it at the next forward's Fig. 3c edge.
     pub fn step(&mut self, params: &mut [&mut Param]) {
         if self.velocity.len() != params.len() {
             self.velocity = params
@@ -60,6 +66,9 @@ impl Sgd {
                 .collect();
         }
         for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            if p.value.is_posit() {
+                p.value = p.value.to_f32();
+            }
             let wd = if p.decay { self.weight_decay } else { 0.0 };
             let pv = p.value.data();
             let pg = p.grad.data();

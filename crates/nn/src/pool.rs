@@ -36,13 +36,14 @@ impl Layer for MaxPool2d {
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         self.in_shape = input.shape().to_vec();
-        let (out, argmax) = pool::maxpool2d(input, self.kernel, self.stride);
+        // The pooling primitives are f32-only: packed inputs decode here.
+        let (out, argmax) = pool::maxpool2d(&input.dense(), self.kernel, self.stride);
         self.argmax = argmax;
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        pool::maxpool2d_backward(grad_out, &self.argmax, &self.in_shape)
+        pool::maxpool2d_backward(&grad_out.dense(), &self.argmax, &self.in_shape)
     }
 }
 
@@ -73,11 +74,11 @@ impl Layer for GlobalAvgPool {
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         self.in_shape = input.shape().to_vec();
-        pool::global_avgpool(input)
+        pool::global_avgpool(&input.dense())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        pool::global_avgpool_backward(grad_out, &self.in_shape)
+        pool::global_avgpool_backward(&grad_out.dense(), &self.in_shape)
     }
 }
 

@@ -19,6 +19,24 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Advance the *shared* per-element stochastic-rounding stream one step:
+/// an LCG state update followed by a splitmix-style mix, yielding the
+/// random word fed to [`PositFormat::from_f64_stochastic`].
+///
+/// This is the single definition of the stream used by every per-element
+/// quantization path in the workspace (the trainer's in-place Eq. 3
+/// quantizer and the tensor crate's packed encoder). They must consume
+/// bit-identical randomness so that swapping an f32 `P(·)` round trip for
+/// a packed storage transition never perturbs a stochastic-rounding run.
+pub fn sr_next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
 /// Stateless quantization of one value (deterministic modes only).
 ///
 /// # Panics

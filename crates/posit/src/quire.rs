@@ -40,8 +40,20 @@ pub struct Quire {
 impl Quire {
     /// An empty (zero) quire for `fmt`.
     pub fn new(fmt: PositFormat) -> Quire {
-        let qmin = 2 * fmt.min_scale() - 128;
-        let top = 2 * fmt.max_scale() + 2; // above the largest product msb
+        Quire::with_margin(fmt, 0)
+    }
+
+    /// An empty quire with `margin` extra bits of headroom on *both* ends
+    /// of the product range: accepted `scale_sum`s extend to
+    /// `[2·min_scale − margin, 2·max_scale + margin]`.
+    ///
+    /// Needed when operands carry an Eq. 2 scale shift folded into their
+    /// decoded scales (see `posit-tensor`'s packed planes): a product of
+    /// two shifted operands lands up to `|e_a| + |e_b|` positions outside
+    /// the format's native product range.
+    pub fn with_margin(fmt: PositFormat, margin: u32) -> Quire {
+        let qmin = 2 * fmt.min_scale() - 128 - margin as i32;
+        let top = 2 * fmt.max_scale() + 2 + margin as i32; // above the largest product msb
         let bits = (top - qmin) as u32 + 32; // + carry guard
         let words = bits.div_ceil(64) as usize + 1;
         Quire {
@@ -473,6 +485,25 @@ mod tests {
         q.sub_posit(p(&fmt, 3.5));
         assert_eq!(fmt.to_f64(q.to_posit(Rounding::NearestEven, 0)), -2.5);
         assert!(q.to_f64() == -2.5);
+    }
+
+    #[test]
+    fn margin_extends_the_product_range() {
+        // A product scale below 2·min_scale − 2 overflows the base quire's
+        // slack in debug builds; a margined quire holds it exactly.
+        let fmt = PositFormat::of(8, 2);
+        let mut q = Quire::with_margin(fmt, 40);
+        let shift = -30i32; // both operands shifted by 2^-15
+        q.add_product_parts(false, 2 * fmt.min_scale() + shift, 1u128 << 126);
+        // The sum is far below minpos: rounds to minpos under RNE (posits
+        // never round a non-zero value to zero), to zero under RTZ.
+        assert_eq!(q.to_posit(Rounding::ToZero, 0), 0);
+        assert_eq!(q.to_posit(Rounding::NearestEven, 0), fmt.minpos_bits());
+        // And above the top: 2·max_scale + margin stays exact and clamps.
+        let mut q = Quire::with_margin(fmt, 40);
+        q.add_product_parts(false, 2 * fmt.max_scale() + 30, 1u128 << 126);
+        assert_eq!(q.to_posit(Rounding::NearestEven, 0), fmt.maxpos_bits());
+        assert!(Quire::with_margin(fmt, 64).width_bits() > Quire::new(fmt).width_bits());
     }
 
     #[test]

@@ -226,6 +226,39 @@ fn quick_mode() -> bool {
     std::env::var_os("CRITERION_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
 }
 
+/// Append a machine-readable record to the NDJSON file named by the
+/// `CRITERION_JSON` environment variable — one
+/// `{"bench": "<label>", "ns_per_iter": <x>}` object per line, appended so
+/// every bench target of a `cargo bench` run lands in one file. No-op when
+/// the variable is unset or empty; I/O errors are swallowed (reporting is
+/// best-effort and must never fail a bench run).
+fn emit_json(label: &str, ns_per_iter: f64) {
+    let Some(path) = std::env::var_os("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut escaped = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c == '"' || c == '\\' {
+            escaped.push('\\');
+        }
+        escaped.push(c);
+    }
+    use std::io::Write;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(
+            f,
+            "{{\"bench\":\"{escaped}\",\"ns_per_iter\":{ns_per_iter}}}"
+        );
+    }
+}
+
 fn run_bench<F>(
     label: &str,
     warm_up: Duration,
@@ -243,10 +276,9 @@ fn run_bench<F>(
             per_sample: 1,
         };
         f(&mut b);
-        println!(
-            "{label:<48} {:>12.1} ns/iter (quick: 1 iteration)",
-            b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64
-        );
+        let ns = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+        println!("{label:<48} {ns:>12.1} ns/iter (quick: 1 iteration)");
+        emit_json(label, ns);
         return;
     }
     // Warm-up: also calibrates iterations-per-sample so each sample lands
@@ -314,6 +346,7 @@ fn run_bench<F>(
         "{label:<48} {mean_ns:>12.1} ns/iter (best {:.1}){rate}",
         best.as_nanos() as f64
     );
+    emit_json(label, mean_ns);
 }
 
 /// Mirror of `criterion::criterion_group!` (both invocation forms).

@@ -15,12 +15,108 @@
 //!   operands are unpacked once, every product accumulates exactly in a
 //!   quire, and each output element is rounded exactly once.
 //!
+//! Operands arrive as [`Operand`]s, which carry either storage domain of
+//! [`Tensor`]: a borrowed f32 slice, or a packed posit plane. A packed
+//! operand whose format matches a [`Backend::PositQuire`] kernel is decoded
+//! straight from its code words — no f32 staging buffer, no re-rounding,
+//! and the Eq. 2 scale exponent it was encoded under is folded into the
+//! decoded scales exactly. Every other combination decodes to f32 first
+//! (the explicit round trip the packed path exists to avoid).
+//!
 //! The `nn` layers carry a `Backend` per direction (forward / backward), so
 //! the trainer can A/B the three paths without touching layer code.
 
 use crate::gemm;
 use crate::posit_gemm::{PositGemm, PositPlane};
+use crate::storage::{PackedBits, Storage};
+use crate::tensor::Tensor;
 use posit::{PositFormat, Rounding};
+use std::borrow::Cow;
+
+/// A borrowed GEMM operand in either storage domain.
+#[derive(Clone, Copy)]
+pub enum Operand<'a> {
+    /// Dense f32 elements.
+    F32(&'a [f32]),
+    /// Packed posit code words (see [`crate::Storage::Posit`]).
+    Posit {
+        /// The packed code words.
+        bits: &'a PackedBits,
+        /// Their posit format.
+        fmt: PositFormat,
+        /// The Eq. 2 scale exponent applied at encode time.
+        scale_exp: i32,
+    },
+}
+
+impl<'a> Operand<'a> {
+    /// Element count.
+    pub fn len(&self) -> usize {
+        match self {
+            Operand::F32(xs) => xs.len(),
+            Operand::Posit { bits, .. } => bits.len(),
+        }
+    }
+
+    /// True iff no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The operand's values as f32: a free borrow in the f32 domain, a
+    /// decode (`posit · 2^scale_exp`) in the posit domain.
+    fn to_f32_vec(self) -> Cow<'a, [f32]> {
+        match self {
+            Operand::F32(xs) => Cow::Borrowed(xs),
+            Operand::Posit {
+                bits,
+                fmt,
+                scale_exp,
+            } => {
+                let sf = (scale_exp as f32).exp2();
+                Cow::Owned(bits.iter().map(|b| fmt.to_f32(b) * sf).collect())
+            }
+        }
+    }
+}
+
+impl<'a> From<&'a [f32]> for Operand<'a> {
+    fn from(xs: &'a [f32]) -> Operand<'a> {
+        Operand::F32(xs)
+    }
+}
+
+impl Tensor {
+    /// Borrow this tensor as a GEMM operand in its storage domain.
+    pub fn operand(&self) -> Operand<'_> {
+        match self.storage() {
+            Storage::F32(v) => Operand::F32(v),
+            Storage::Posit {
+                bits,
+                format,
+                scale_exp,
+            } => Operand::Posit {
+                bits,
+                fmt: *format,
+                scale_exp: *scale_exp,
+            },
+        }
+    }
+}
+
+/// Build a quire-kernel plane for an operand: straight from the packed
+/// code words when the formats agree (decode-once, no f32 staging),
+/// through a decode→re-encode otherwise.
+fn quire_plane(kernel: &PositGemm, op: Operand<'_>) -> PositPlane {
+    match op {
+        Operand::Posit {
+            bits,
+            fmt,
+            scale_exp,
+        } if fmt == kernel.format() => PositPlane::from_packed(fmt, bits, scale_exp),
+        _ => kernel.encode_plane(&op.to_f32_vec()),
+    }
+}
 
 /// Which kernel family executes a GEMM, and in which number system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,19 +174,26 @@ impl Backend {
     /// GEMM). For [`Backend::F32`] this is a free borrow; for the posit
     /// backends it pays the quantize/decode exactly once.
     pub fn prepare<'a>(&self, xs: &'a [f32]) -> PreparedOperand<'a> {
+        self.prepare_operand(Operand::F32(xs))
+    }
+
+    /// [`Backend::prepare`] for an operand in either storage domain. A
+    /// packed posit operand matching a [`Backend::PositQuire`] format is
+    /// decoded once from its code words with no f32 staging.
+    pub fn prepare_operand<'a>(&self, op: Operand<'a>) -> PreparedOperand<'a> {
         let inner = match self {
-            Backend::F32 => Prepared::F32(xs),
+            Backend::F32 => Prepared::F32(op.to_f32_vec()),
             Backend::PositEmulated { fmt, rounding } => {
                 let rounding = Self::op_rounding(*rounding);
                 Prepared::Emulated {
                     fmt: *fmt,
                     rounding,
-                    q: Self::sandwich_quantize(fmt, rounding, xs),
+                    q: Self::sandwich_quantize(fmt, rounding, &op.to_f32_vec()),
                 }
             }
             Backend::PositQuire { fmt, rounding } => {
                 let kernel = PositGemm::new(*fmt, *rounding);
-                let plane = kernel.encode_plane(xs);
+                let plane = quire_plane(&kernel, op);
                 Prepared::Quire { kernel, plane }
             }
         };
@@ -111,6 +214,45 @@ impl Backend {
     pub fn gemm_a_bt(&self, m: usize, k: usize, n: usize, a: &[f32], b_t: &[f32], c: &mut [f32]) {
         self.prepare(a).gemm_a_bt(m, k, n, b_t, c);
     }
+
+    /// [`Backend::gemm`] over dual-domain operands.
+    pub fn gemm_op(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: Operand<'_>,
+        b: Operand<'_>,
+        c: &mut [f32],
+    ) {
+        self.prepare_operand(a).gemm_op(m, k, n, b, c);
+    }
+
+    /// [`Backend::gemm_at_b`] over dual-domain operands.
+    pub fn gemm_at_b_op(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a_t: Operand<'_>,
+        b: Operand<'_>,
+        c: &mut [f32],
+    ) {
+        self.prepare_operand(a_t).gemm_at_b_op(m, k, n, b, c);
+    }
+
+    /// [`Backend::gemm_a_bt`] over dual-domain operands.
+    pub fn gemm_a_bt_op(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: Operand<'_>,
+        b_t: Operand<'_>,
+        c: &mut [f32],
+    ) {
+        self.prepare_operand(a).gemm_a_bt_op(m, k, n, b_t, c);
+    }
 }
 
 /// A GEMM left operand prepared once under a [`Backend`] (see
@@ -120,7 +262,7 @@ pub struct PreparedOperand<'a> {
 }
 
 enum Prepared<'a> {
-    F32(&'a [f32]),
+    F32(Cow<'a, [f32]>),
     Emulated {
         fmt: PositFormat,
         rounding: Rounding,
@@ -143,52 +285,67 @@ impl PreparedOperand<'_> {
 
     /// `c += self[m,k] * b[k,n]` (`self` is the prepared `A`).
     pub fn gemm(&self, m: usize, k: usize, n: usize, b: &[f32], c: &mut [f32]) {
-        match &self.inner {
-            Prepared::F32(a) => gemm::gemm(m, k, n, a, b, c),
-            Prepared::Emulated { fmt, rounding, q } => {
-                let qb = Backend::sandwich_quantize(fmt, *rounding, b);
-                let mut tmp = vec![0.0f32; c.len()];
-                gemm::gemm(m, k, n, q, &qb, &mut tmp);
-                Self::emulated_store(fmt, *rounding, &tmp, c);
-            }
-            Prepared::Quire { kernel, plane } => {
-                let pb = kernel.encode_plane(b);
-                kernel.gemm(m, k, n, plane, &pb, c);
-            }
-        }
+        self.gemm_op(m, k, n, Operand::F32(b), c);
     }
 
     /// `c += self^T[m,k] * b[k,n]` (`self` is the prepared `A^T`, stored
     /// `[k, m]`).
     pub fn gemm_at_b(&self, m: usize, k: usize, n: usize, b: &[f32], c: &mut [f32]) {
-        match &self.inner {
-            Prepared::F32(a_t) => gemm::gemm_at_b(m, k, n, a_t, b, c),
-            Prepared::Emulated { fmt, rounding, q } => {
-                let qb = Backend::sandwich_quantize(fmt, *rounding, b);
-                let mut tmp = vec![0.0f32; c.len()];
-                gemm::gemm_at_b(m, k, n, q, &qb, &mut tmp);
-                Self::emulated_store(fmt, *rounding, &tmp, c);
-            }
-            Prepared::Quire { kernel, plane } => {
-                let pb = kernel.encode_plane(b);
-                kernel.gemm_at_b(m, k, n, plane, &pb, c);
-            }
-        }
+        self.gemm_at_b_op(m, k, n, Operand::F32(b), c);
     }
 
     /// `c += self[m,k] * b^T[k,n]` (`self` is the prepared `A`; `b` stored
     /// `[n, k]`).
     pub fn gemm_a_bt(&self, m: usize, k: usize, n: usize, b_t: &[f32], c: &mut [f32]) {
+        self.gemm_a_bt_op(m, k, n, Operand::F32(b_t), c);
+    }
+
+    /// [`PreparedOperand::gemm`] over a dual-domain right operand.
+    pub fn gemm_op(&self, m: usize, k: usize, n: usize, b: Operand<'_>, c: &mut [f32]) {
         match &self.inner {
-            Prepared::F32(a) => gemm::gemm_a_bt(m, k, n, a, b_t, c),
+            Prepared::F32(a) => gemm::gemm(m, k, n, a, &b.to_f32_vec(), c),
             Prepared::Emulated { fmt, rounding, q } => {
-                let qb = Backend::sandwich_quantize(fmt, *rounding, b_t);
+                let qb = Backend::sandwich_quantize(fmt, *rounding, &b.to_f32_vec());
+                let mut tmp = vec![0.0f32; c.len()];
+                gemm::gemm(m, k, n, q, &qb, &mut tmp);
+                Self::emulated_store(fmt, *rounding, &tmp, c);
+            }
+            Prepared::Quire { kernel, plane } => {
+                let pb = quire_plane(kernel, b);
+                kernel.gemm(m, k, n, plane, &pb, c);
+            }
+        }
+    }
+
+    /// [`PreparedOperand::gemm_at_b`] over a dual-domain right operand.
+    pub fn gemm_at_b_op(&self, m: usize, k: usize, n: usize, b: Operand<'_>, c: &mut [f32]) {
+        match &self.inner {
+            Prepared::F32(a_t) => gemm::gemm_at_b(m, k, n, a_t, &b.to_f32_vec(), c),
+            Prepared::Emulated { fmt, rounding, q } => {
+                let qb = Backend::sandwich_quantize(fmt, *rounding, &b.to_f32_vec());
+                let mut tmp = vec![0.0f32; c.len()];
+                gemm::gemm_at_b(m, k, n, q, &qb, &mut tmp);
+                Self::emulated_store(fmt, *rounding, &tmp, c);
+            }
+            Prepared::Quire { kernel, plane } => {
+                let pb = quire_plane(kernel, b);
+                kernel.gemm_at_b(m, k, n, plane, &pb, c);
+            }
+        }
+    }
+
+    /// [`PreparedOperand::gemm_a_bt`] over a dual-domain right operand.
+    pub fn gemm_a_bt_op(&self, m: usize, k: usize, n: usize, b_t: Operand<'_>, c: &mut [f32]) {
+        match &self.inner {
+            Prepared::F32(a) => gemm::gemm_a_bt(m, k, n, a, &b_t.to_f32_vec(), c),
+            Prepared::Emulated { fmt, rounding, q } => {
+                let qb = Backend::sandwich_quantize(fmt, *rounding, &b_t.to_f32_vec());
                 let mut tmp = vec![0.0f32; c.len()];
                 gemm::gemm_a_bt(m, k, n, q, &qb, &mut tmp);
                 Self::emulated_store(fmt, *rounding, &tmp, c);
             }
             Prepared::Quire { kernel, plane } => {
-                let pb = kernel.encode_plane(b_t);
+                let pb = quire_plane(kernel, b_t);
                 kernel.gemm_a_bt(m, k, n, plane, &pb, c);
             }
         }
@@ -240,6 +397,60 @@ mod tests {
     }
 
     #[test]
+    fn packed_operands_agree_with_f32_operands() {
+        // Exact inputs packed into (16,1) planes must produce the same
+        // results as their f32 twins under every backend, in every operand
+        // position, with and without a scale shift.
+        let av = vec![1.0f32, 2.0, -0.5, 4.0, 0.25, -8.0]; // [2, 3]
+        let bv = vec![2.0f32, 0.5, -1.0, 4.0, 0.125, -2.0]; // [3, 2]
+        let ta = Tensor::from_vec(av.clone(), &[2, 3]);
+        let tb = Tensor::from_vec(bv.clone(), &[3, 2]);
+        for (ea, eb) in [(0, 0), (2, -1)] {
+            let pa = ta.to_posit(FMT, ea, Rounding::NearestEven);
+            let pb = tb.to_posit(FMT, eb, Rounding::NearestEven);
+            for bk in backends() {
+                let mut want = vec![0.0f32; 4];
+                bk.gemm(2, 3, 2, &av, &bv, &mut want);
+                let mut c = vec![0.0f32; 4];
+                bk.gemm_op(2, 3, 2, pa.operand(), pb.operand(), &mut c);
+                assert_eq!(c, want, "packed×packed {} e=({ea},{eb})", bk.name());
+                let mut c = vec![0.0f32; 4];
+                bk.gemm_op(2, 3, 2, ta.operand(), pb.operand(), &mut c);
+                assert_eq!(c, want, "f32×packed {}", bk.name());
+            }
+        }
+    }
+
+    #[test]
+    fn packed_format_mismatch_falls_back_to_reencode() {
+        // A (16,1) quire kernel fed an (8,1)-packed operand decodes it to
+        // f32 and re-encodes — same values here since they are exact in
+        // both formats.
+        let t = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[1, 3]);
+        let p8 = t.to_posit(PositFormat::of(8, 1), 0, Rounding::NearestEven);
+        let qui = Backend::PositQuire {
+            fmt: FMT,
+            rounding: Rounding::NearestEven,
+        };
+        let b = Tensor::from_vec(vec![2.0, 4.0, -1.0], &[3, 1]);
+        let mut want = vec![0.0f32; 1];
+        qui.gemm_op(1, 3, 1, t.operand(), b.operand(), &mut want);
+        let mut c = vec![0.0f32; 1];
+        qui.gemm_op(1, 3, 1, p8.operand(), b.operand(), &mut c);
+        assert_eq!(c, want);
+    }
+
+    #[test]
+    fn operand_len_and_from() {
+        let t = Tensor::ones(&[4]).to_posit(FMT, 0, Rounding::NearestEven);
+        assert_eq!(t.operand().len(), 4);
+        assert!(!t.operand().is_empty());
+        let xs = [1.0f32, 2.0];
+        let op: Operand<'_> = xs.as_slice().into();
+        assert_eq!(op.len(), 2);
+    }
+
+    #[test]
     fn transposed_dispatch_matches_plain() {
         let a = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]; // [2, 3]
         let a_t = [1.0f32, 4.0, 2.0, 5.0, 3.0, 6.0]; // [3, 2]
@@ -254,6 +465,28 @@ mod tests {
             let mut c = vec![0.0f32; 4];
             bk.gemm_a_bt(2, 3, 2, &a, &b_t, &mut c);
             assert_eq!(c, plain, "gemm_a_bt {}", bk.name());
+        }
+    }
+
+    #[test]
+    fn transposed_packed_operands_agree() {
+        let a_t = Tensor::from_vec(vec![1.0, 4.0, 2.0, 0.25, -0.5, -8.0], &[3, 2]);
+        let b = Tensor::from_vec(vec![1.0, -2.0, 0.5, 1.0, -1.0, 2.0], &[3, 2]);
+        let b_t = b.transpose2();
+        let a = a_t.transpose2();
+        for bk in backends() {
+            let mut plain = vec![0.0f32; 4];
+            bk.gemm(2, 3, 2, a.data(), b.data(), &mut plain);
+            let pat = a_t.to_posit(FMT, 0, Rounding::NearestEven);
+            let pb = b.to_posit(FMT, 0, Rounding::NearestEven);
+            let pbt = b_t.to_posit(FMT, 0, Rounding::NearestEven);
+            let pa = a.to_posit(FMT, 0, Rounding::NearestEven);
+            let mut c = vec![0.0f32; 4];
+            bk.gemm_at_b_op(2, 3, 2, pat.operand(), pb.operand(), &mut c);
+            assert_eq!(c, plain, "gemm_at_b_op {}", bk.name());
+            let mut c = vec![0.0f32; 4];
+            bk.gemm_a_bt_op(2, 3, 2, pa.operand(), pbt.operand(), &mut c);
+            assert_eq!(c, plain, "gemm_a_bt_op {}", bk.name());
         }
     }
 
@@ -322,5 +555,35 @@ mod tests {
         // And the quire result must be on the (16,1) grid exactly.
         let back = fmt.to_f32(fmt.from_f32(cq[0], Rounding::NearestEven));
         assert_eq!(back, cq[0]);
+    }
+
+    #[test]
+    fn packed_plane_skips_the_entry_rounding() {
+        // An Eq. 2–3 shifted value that is OFF the raw posit grid:
+        // P((8,1)) of 1.0625 = exact code with scale shift −4 applied →
+        // value 1.0625·2^-4 = 0.06640625. Encoded with scale_exp = −4 the
+        // packed plane carries it exactly; an f32 operand at the same value
+        // would be re-rounded onto the raw (8,1) grid on entry (0.0664… is
+        // not an (8,1) posit) and lose the tail.
+        let fmt = PositFormat::of(8, 1);
+        let qui = Backend::PositQuire {
+            fmt,
+            rounding: Rounding::NearestEven,
+        };
+        let x = 1.0625f32; // exact in (8,1)
+        let shifted = x * (-4f32).exp2();
+        let t = Tensor::from_vec(vec![shifted], &[1, 1]);
+        let packed = t.to_posit(fmt, -4, Rounding::NearestEven);
+        assert_eq!(packed.to_f32().data(), &[shifted], "encode is exact");
+        let one = Tensor::from_vec(vec![16.0], &[1, 1]); // exact in (8,1)
+                                                         // Packed path: exact product 1.0625.
+        let mut c = vec![0.0f32; 1];
+        qui.gemm_op(1, 1, 1, packed.operand(), one.operand(), &mut c);
+        assert_eq!(c, vec![1.0625], "packed plane keeps the shifted value");
+        // f32 path: the operand re-rounds to the nearest (8,1) posit
+        // (0.0625 or 0.078125 — the tail is gone either way).
+        let mut c = vec![0.0f32; 1];
+        qui.gemm_op(1, 1, 1, t.operand(), one.operand(), &mut c);
+        assert_ne!(c, vec![1.0625], "f32 staging re-rounds the operand");
     }
 }

@@ -128,10 +128,12 @@ pub fn conv2d(
 /// im2col GEMM runs on the selected kernel family.
 ///
 /// The weight tile is prepared once per call and reused across every
-/// sample in the batch: decoded into a plane under
-/// [`crate::Backend::PositQuire`], quantized to the posit grid under
-/// [`crate::Backend::PositEmulated`] — the decode-once contract extended
-/// over the batch dimension.
+/// sample in the batch: a posit-packed weight tensor matching a
+/// [`crate::Backend::PositQuire`] format is decoded into a plane straight
+/// from its code words (no f32 staging); f32 weights are decoded/quantized
+/// once per call — the decode-once contract extended over the batch
+/// dimension. A posit-packed *input* is decoded once at the im2col unfold
+/// (the unfold is a gather, defined on dense values).
 ///
 /// # Panics
 ///
@@ -165,8 +167,10 @@ pub fn conv2d_with(
     let sample = g.c * g.h * g.w;
     let out_sample = o * oh * ow;
     // Prepare the weight operand once for the whole batch (decode-once
-    // for the quire backend, quantize-once for the emulated one).
-    let w_prep = backend.prepare(weight.data());
+    // from packed bits or f32 for the quire backend, quantize-once for
+    // the emulated one); decode a packed input once for the unfold.
+    let w_prep = backend.prepare_operand(weight.operand());
+    let input = input.dense();
     for i in 0..n {
         im2col(&input.data()[i * sample..(i + 1) * sample], &g, &mut col);
         let dst = &mut out.data_mut()[i * out_sample..(i + 1) * out_sample];

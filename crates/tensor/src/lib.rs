@@ -1,13 +1,15 @@
 //! Minimal tensor substrate for the posit-dnn reproduction.
 //!
 //! The paper simulates posit training on FP32 GPUs; this crate provides the
-//! compute substrate: a contiguous row-major [`Tensor`], a blocked,
+//! compute substrate: a contiguous row-major [`Tensor`] with dual-domain
+//! [`storage`] (dense f32 or packed posit code words), a blocked,
 //! thread-parallel f32 [`gemm`], a posit-domain GEMM family with exact
-//! quire accumulation ([`posit_gemm`]), the [`Backend`] switch dispatching
-//! between them, im2col convolution ([`conv`]), pooling ([`pool`]) and the
-//! seeded RNG helpers ([`rng`]) everything else builds on. Determinism:
-//! every parallel split is static, every reduction order fixed, every
-//! random stream explicitly seeded.
+//! quire accumulation ([`posit_gemm`]) that consumes packed planes
+//! directly, the [`Backend`] switch dispatching between them over
+//! dual-domain [`Operand`]s, im2col convolution ([`conv`]), pooling
+//! ([`pool`]) and the seeded RNG helpers ([`rng`]) everything else builds
+//! on. Determinism: every parallel split is static, every reduction order
+//! fixed, every random stream explicitly seeded.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,8 +20,10 @@ pub mod gemm;
 pub mod pool;
 pub mod posit_gemm;
 pub mod rng;
+pub mod storage;
 mod tensor;
 
-pub use backend::{Backend, PreparedOperand};
+pub use backend::{Backend, Operand, PreparedOperand};
 pub use posit_gemm::{PositGemm, PositPlane};
+pub use storage::{PackedBits, Storage, StorageDomain};
 pub use tensor::Tensor;

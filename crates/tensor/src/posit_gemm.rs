@@ -51,29 +51,57 @@ const ZERO_ELEM: Unpacked = Unpacked {
 #[derive(Debug, Clone)]
 pub struct PositPlane {
     fmt: PositFormat,
+    /// Eq. 2 scale exponent folded into the element scales (widens the
+    /// quire the kernels allocate; 0 for unshifted planes).
+    scale_exp: i32,
     elems: Vec<Unpacked>,
 }
 
 impl PositPlane {
+    fn decode_one(fmt: PositFormat, b: u64, scale_exp: i32) -> Unpacked {
+        match fmt.decode(b) {
+            PositValue::Zero => ZERO_ELEM,
+            PositValue::NaR => Unpacked {
+                sig: 0,
+                scale: NAR_SCALE,
+                neg: false,
+            },
+            PositValue::Finite(d) => Unpacked {
+                sig: d.significand(),
+                scale: d.scale + scale_exp,
+                neg: d.sign.is_negative(),
+            },
+        }
+    }
+
     /// Decode a slice of code words (low `n` bits of each `u64`).
     pub fn from_bits(fmt: PositFormat, bits: &[u64]) -> PositPlane {
+        let elems = bits.iter().map(|&b| Self::decode_one(fmt, b, 0)).collect();
+        PositPlane {
+            fmt,
+            scale_exp: 0,
+            elems,
+        }
+    }
+
+    /// Decode a packed storage plane, folding its Eq. 2 scale exponent into
+    /// the element scales — the decode-once entry point for posit-resident
+    /// tensors: `value = P(x/Sf)·Sf` arrives in the kernel *exactly*, with
+    /// no f32 staging buffer and no re-rounding onto the unshifted grid.
+    pub fn from_packed(
+        fmt: PositFormat,
+        bits: &crate::storage::PackedBits,
+        scale_exp: i32,
+    ) -> PositPlane {
         let elems = bits
             .iter()
-            .map(|&b| match fmt.decode(b) {
-                PositValue::Zero => ZERO_ELEM,
-                PositValue::NaR => Unpacked {
-                    sig: 0,
-                    scale: NAR_SCALE,
-                    neg: false,
-                },
-                PositValue::Finite(d) => Unpacked {
-                    sig: d.significand(),
-                    scale: d.scale,
-                    neg: d.sign.is_negative(),
-                },
-            })
+            .map(|b| Self::decode_one(fmt, b, scale_exp))
             .collect();
-        PositPlane { fmt, elems }
+        PositPlane {
+            fmt,
+            scale_exp,
+            elems,
+        }
     }
 
     /// Quantize f32 data to the format under `rounding`, then decode once.
@@ -89,6 +117,16 @@ impl PositPlane {
     /// The format the plane was decoded from.
     pub fn format(&self) -> PositFormat {
         self.fmt
+    }
+
+    /// The Eq. 2 scale exponent folded into the element scales.
+    pub fn scale_exp(&self) -> i32 {
+        self.scale_exp
+    }
+
+    /// Extra quire headroom (bits) this plane's scale shift requires.
+    fn quire_margin(&self) -> u32 {
+        self.scale_exp.unsigned_abs()
     }
 
     /// Element count.
@@ -216,9 +254,10 @@ impl PositGemm {
         assert_eq!(b.len(), k * n, "B length");
         assert_eq!(c.len(), m * n, "C length");
         let kernel = *self;
+        let margin = a.quire_margin() + b.quire_margin();
         par_rows(m, n, m * k * n, c, |row0, c_chunk| {
             let rows = c_chunk.len().checked_div(n).unwrap_or(0);
-            let mut q = Quire::new(kernel.fmt);
+            let mut q = Quire::with_margin(kernel.fmt, margin);
             for i in 0..rows {
                 let a_row = Run {
                     elems: a.elems(),
@@ -258,9 +297,10 @@ impl PositGemm {
         assert_eq!(b.len(), k * n, "B length");
         assert_eq!(c.len(), m * n, "C length");
         let kernel = *self;
+        let margin = a_t.quire_margin() + b.quire_margin();
         par_rows(m, n, m * k * n, c, |row0, c_chunk| {
             let rows = c_chunk.len().checked_div(n).unwrap_or(0);
-            let mut q = Quire::new(kernel.fmt);
+            let mut q = Quire::with_margin(kernel.fmt, margin);
             for i in 0..rows {
                 let a_col = Run {
                     elems: a_t.elems(),
@@ -300,9 +340,10 @@ impl PositGemm {
         assert_eq!(b_t.len(), n * k, "B^T length");
         assert_eq!(c.len(), m * n, "C length");
         let kernel = *self;
+        let margin = a.quire_margin() + b_t.quire_margin();
         par_rows(m, n, m * k * n, c, |row0, c_chunk| {
             let rows = c_chunk.len().checked_div(n).unwrap_or(0);
-            let mut q = Quire::new(kernel.fmt);
+            let mut q = Quire::with_margin(kernel.fmt, margin);
             for i in 0..rows {
                 let a_row = Run {
                     elems: a.elems(),

@@ -1,0 +1,236 @@
+//! Dual-domain tensor storage: packed posit planes as a first-class
+//! citizen next to the dense f32 buffer.
+//!
+//! The paper's footprint claim — 8-bit posit training at FP32 accuracy with
+//! a quarter of the memory traffic — only materializes if tensors *stay* in
+//! posit bits between the Fig. 3 edges. [`Storage`] makes the domain
+//! explicit: a tensor is either a dense `Vec<f32>` or a packed plane of
+//! posit code words plus the Eq. 2 scale exponent that was applied when it
+//! was encoded (`value = P(x / 2^e) · 2^e`). Transitions between the
+//! domains happen only through [`crate::Tensor::to_posit`] /
+//! [`crate::Tensor::to_f32`], so every encode/decode in the system is a
+//! visible storage-domain crossing rather than a hidden per-element round
+//! trip.
+
+use posit::PositFormat;
+
+/// Packed posit code words at the narrowest unsigned width that holds the
+/// format's `n` bits: `u8` for `n ≤ 8`, `u16` for `n ≤ 16`, `u32` above.
+///
+/// This is the byte layout the paper's memory argument is about: a
+/// posit(8,x) tensor occupies one byte per element, a quarter of its f32
+/// shadow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackedBits {
+    /// One byte per code word (`n ≤ 8`).
+    U8(Vec<u8>),
+    /// Two bytes per code word (`8 < n ≤ 16`).
+    U16(Vec<u16>),
+    /// Four bytes per code word (`16 < n ≤ 32`).
+    U32(Vec<u32>),
+}
+
+impl PackedBits {
+    /// An empty buffer of the right width for `fmt`, with capacity `cap`.
+    pub fn for_format(fmt: PositFormat, cap: usize) -> PackedBits {
+        match fmt.n() {
+            0..=8 => PackedBits::U8(Vec::with_capacity(cap)),
+            9..=16 => PackedBits::U16(Vec::with_capacity(cap)),
+            _ => PackedBits::U32(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Bytes per element for a format's packed representation.
+    pub fn bytes_per_elem(fmt: PositFormat) -> usize {
+        match fmt.n() {
+            0..=8 => 1,
+            9..=16 => 2,
+            _ => 4,
+        }
+    }
+
+    /// Append a code word (low bits of `code`; the caller guarantees it
+    /// fits the width chosen at construction).
+    pub fn push(&mut self, code: u64) {
+        match self {
+            PackedBits::U8(v) => v.push(code as u8),
+            PackedBits::U16(v) => v.push(code as u16),
+            PackedBits::U32(v) => v.push(code as u32),
+        }
+    }
+
+    /// The `i`-th code word, widened to `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> u64 {
+        match self {
+            PackedBits::U8(v) => v[i] as u64,
+            PackedBits::U16(v) => v[i] as u64,
+            PackedBits::U32(v) => v[i] as u64,
+        }
+    }
+
+    /// Overwrite the `i`-th code word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn set(&mut self, i: usize, code: u64) {
+        match self {
+            PackedBits::U8(v) => v[i] = code as u8,
+            PackedBits::U16(v) => v[i] = code as u16,
+            PackedBits::U32(v) => v[i] = code as u32,
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        match self {
+            PackedBits::U8(v) => v.len(),
+            PackedBits::U16(v) => v.len(),
+            PackedBits::U32(v) => v.len(),
+        }
+    }
+
+    /// True iff no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Storage footprint in bytes (`len × width`).
+    pub fn nbytes(&self) -> usize {
+        match self {
+            PackedBits::U8(v) => v.len(),
+            PackedBits::U16(v) => 2 * v.len(),
+            PackedBits::U32(v) => 4 * v.len(),
+        }
+    }
+
+    /// Iterate the code words widened to `u64`.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+/// Which domain a [`Storage`] lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageDomain {
+    /// Dense `f32` buffer.
+    F32,
+    /// Packed posit code words.
+    Posit,
+}
+
+/// The storage of a [`crate::Tensor`]: a dense f32 buffer or a packed
+/// posit plane.
+///
+/// A posit plane represents `value[i] = P(x[i] / 2^scale_exp) · 2^scale_exp`
+/// per the paper's Eq. 3: the stored code word is the posit of the *shifted*
+/// value and `scale_exp` is the frozen Eq. 2 exponent (`log2 Sf`). A plane
+/// encoded with `scale_exp = 0` is a plain `P(x)` tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Storage {
+    /// Dense row-major f32 elements.
+    F32(Vec<f32>),
+    /// Packed posit code words with their format and Eq. 2 scale exponent.
+    Posit {
+        /// The packed code words.
+        bits: PackedBits,
+        /// The posit format the codes belong to.
+        format: PositFormat,
+        /// `log2 Sf` applied at encode time (Eq. 2–3); the decoded value is
+        /// `posit_value · 2^scale_exp`.
+        scale_exp: i32,
+    },
+}
+
+impl Storage {
+    /// The domain this storage lives in.
+    pub fn domain(&self) -> StorageDomain {
+        match self {
+            Storage::F32(_) => StorageDomain::F32,
+            Storage::Posit { .. } => StorageDomain::Posit,
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        match self {
+            Storage::F32(v) => v.len(),
+            Storage::Posit { bits, .. } => bits.len(),
+        }
+    }
+
+    /// True iff no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Storage footprint in bytes: `4·len` for f32, `width·len` for posit.
+    pub fn nbytes(&self) -> usize {
+        match self {
+            Storage::F32(v) => 4 * v.len(),
+            Storage::Posit { bits, .. } => bits.nbytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_follows_format() {
+        let p8 = PositFormat::of(8, 1);
+        let p16 = PositFormat::of(16, 1);
+        let p32 = PositFormat::of(32, 2);
+        assert!(matches!(PackedBits::for_format(p8, 0), PackedBits::U8(_)));
+        assert!(matches!(PackedBits::for_format(p16, 0), PackedBits::U16(_)));
+        assert!(matches!(PackedBits::for_format(p32, 0), PackedBits::U32(_)));
+        assert_eq!(PackedBits::bytes_per_elem(p8), 1);
+        assert_eq!(PackedBits::bytes_per_elem(p16), 2);
+        assert_eq!(PackedBits::bytes_per_elem(p32), 4);
+    }
+
+    #[test]
+    fn push_get_set_roundtrip() {
+        let fmt = PositFormat::of(8, 1);
+        let mut b = PackedBits::for_format(fmt, 4);
+        for code in [0u64, 0x40, 0x80, 0xFF] {
+            b.push(code);
+        }
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 0x40, 0x80, 0xFF]);
+        b.set(1, 0x7F);
+        assert_eq!(b.get(1), 0x7F);
+        assert_eq!(b.nbytes(), 4);
+    }
+
+    #[test]
+    fn footprint_is_the_paper_ratio() {
+        // The headline: posit8 storage is 4× smaller than f32, posit16 2×.
+        let n = 1000;
+        let f32s = Storage::F32(vec![0.0; n]);
+        let p8 = Storage::Posit {
+            bits: {
+                let mut b = PackedBits::for_format(PositFormat::of(8, 1), n);
+                for _ in 0..n {
+                    b.push(0);
+                }
+                b
+            },
+            format: PositFormat::of(8, 1),
+            scale_exp: 0,
+        };
+        assert_eq!(f32s.nbytes(), 4 * n);
+        assert_eq!(p8.nbytes(), n);
+        assert_eq!(f32s.nbytes() / p8.nbytes(), 4);
+        assert_eq!(f32s.domain(), StorageDomain::F32);
+        assert_eq!(p8.domain(), StorageDomain::Posit);
+        assert_eq!(p8.len(), n);
+        assert!(!p8.is_empty());
+    }
+}

@@ -1,9 +1,18 @@
-//! The contiguous row-major f32 tensor.
+//! The contiguous row-major tensor with dual-domain storage.
 
 use crate::rng::Prng;
+use crate::storage::{PackedBits, Storage, StorageDomain};
+use posit::{PositFormat, Rounding};
+use std::borrow::Cow;
 use std::fmt;
 
-/// A dense, contiguous, row-major tensor of `f32`.
+/// A dense, contiguous, row-major tensor.
+///
+/// Storage lives in one of two domains (see [`Storage`]): a plain `f32`
+/// buffer, or a packed posit plane (code words + format + Eq. 2 scale
+/// exponent). Most ops require the f32 domain; [`Tensor::to_posit`] and
+/// [`Tensor::to_f32`] are the explicit transitions, and GEMM-shaped ops
+/// accept either domain through [`crate::Operand`].
 ///
 /// ```
 /// use posit_tensor::Tensor;
@@ -13,9 +22,22 @@ use std::fmt;
 /// // [[1,2],[3,4]] · [[5,6],[7,8]] = [[19,22],[43,50]]
 /// assert_eq!(a.matmul(&b).data(), &[19.0, 22.0, 43.0, 50.0]);
 /// ```
+///
+/// Packing to posit cuts the footprint by the word-size ratio:
+///
+/// ```
+/// use posit::{PositFormat, Rounding};
+/// use posit_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![0.5; 64], &[64]);
+/// let p = t.to_posit(PositFormat::of(8, 1), 0, Rounding::NearestEven);
+/// assert_eq!(t.nbytes(), 256); // 4 bytes/elem
+/// assert_eq!(p.nbytes(), 64); // 1 byte/elem
+/// assert_eq!(p.to_f32().data(), t.data()); // 0.5 is exact in (8,1)
+/// ```
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
-    data: Vec<f32>,
+    storage: Storage,
     shape: Vec<usize>,
 }
 
@@ -23,7 +45,7 @@ impl Tensor {
     /// All zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Tensor {
         Tensor {
-            data: vec![0.0; shape.iter().product()],
+            storage: Storage::F32(vec![0.0; shape.iter().product()]),
             shape: shape.to_vec(),
         }
     }
@@ -36,7 +58,7 @@ impl Tensor {
     /// Constant fill.
     pub fn full(shape: &[usize], value: f32) -> Tensor {
         Tensor {
-            data: vec![value; shape.iter().product()],
+            storage: Storage::F32(vec![value; shape.iter().product()]),
             shape: shape.to_vec(),
         }
     }
@@ -44,9 +66,10 @@ impl Tensor {
     /// Identity matrix of side `n`.
     pub fn eye(n: usize) -> Tensor {
         let mut t = Tensor::zeros(&[n, n]);
-        for i in 0..n {
-            t.data[i * n + i] = 1.0;
-        }
+        t.data_mut()[..]
+            .chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| row[i] = 1.0);
         t
     }
 
@@ -64,7 +87,55 @@ impl Tensor {
             shape
         );
         Tensor {
-            data,
+            storage: Storage::F32(data),
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Wrap packed posit code words (the posit-domain twin of
+    /// [`Tensor::from_vec`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the shape's element count, if
+    /// the buffer width does not match the format's word width (a `u8`
+    /// plane holding `(16,x)` codes would silently decode garbage), or if
+    /// `scale_exp` is outside the sane Eq. 2 band (`|e| ≤ 2^20` — far
+    /// beyond any calibrated scale, and small enough that quire-margin
+    /// arithmetic cannot overflow).
+    pub fn from_posit_bits(
+        bits: PackedBits,
+        format: PositFormat,
+        scale_exp: i32,
+        shape: &[usize],
+    ) -> Tensor {
+        assert_eq!(
+            bits.len(),
+            shape.iter().product::<usize>(),
+            "bit-plane length {} does not match shape {:?}",
+            bits.len(),
+            shape
+        );
+        let width = match &bits {
+            PackedBits::U8(_) => 1,
+            PackedBits::U16(_) => 2,
+            PackedBits::U32(_) => 4,
+        };
+        assert_eq!(
+            width,
+            PackedBits::bytes_per_elem(format),
+            "packed width {width} B does not fit {format}"
+        );
+        assert!(
+            scale_exp.unsigned_abs() <= 1 << 20,
+            "implausible scale exponent {scale_exp}"
+        );
+        Tensor {
+            storage: Storage::Posit {
+                bits,
+                format,
+                scale_exp,
+            },
             shape: shape.to_vec(),
         }
     }
@@ -90,37 +161,201 @@ impl Tensor {
 
     /// Total element count.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.storage.len()
     }
 
     /// True iff no elements.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.storage.is_empty()
     }
 
-    /// Immutable view of the underlying buffer.
+    /// The underlying storage (domain, format, packed bits).
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Which domain the tensor's storage lives in.
+    pub fn domain(&self) -> StorageDomain {
+        self.storage.domain()
+    }
+
+    /// True iff the storage is a packed posit plane.
+    pub fn is_posit(&self) -> bool {
+        self.domain() == StorageDomain::Posit
+    }
+
+    /// Storage footprint in bytes (4·len for f32; width·len for posit).
+    pub fn nbytes(&self) -> usize {
+        self.storage.nbytes()
+    }
+
+    /// The packed plane `(bits, format, scale_exp)` of a posit-domain
+    /// tensor, or `None` in the f32 domain.
+    pub fn posit_bits(&self) -> Option<(&PackedBits, PositFormat, i32)> {
+        match &self.storage {
+            Storage::F32(_) => None,
+            Storage::Posit {
+                bits,
+                format,
+                scale_exp,
+            } => Some((bits, *format, *scale_exp)),
+        }
+    }
+
+    /// Immutable view of the underlying f32 buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a posit-domain tensor: packed bits have no f32 view. Use
+    /// [`Tensor::to_f32`] (or [`Tensor::dense`]) to cross the domain
+    /// boundary explicitly, or [`Tensor::posit_bits`] for the code words.
     pub fn data(&self) -> &[f32] {
-        &self.data
+        match &self.storage {
+            Storage::F32(v) => v,
+            Storage::Posit { format, .. } => {
+                panic!("f32 view of a posit-domain tensor ({format}): call to_f32()/dense() first")
+            }
+        }
     }
 
-    /// Mutable view of the underlying buffer.
+    /// Mutable view of the underlying f32 buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a posit-domain tensor (see [`Tensor::data`]).
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        match &mut self.storage {
+            Storage::F32(v) => v,
+            Storage::Posit { format, .. } => {
+                panic!("mutable f32 view of a posit-domain tensor ({format}): call to_f32() first")
+            }
+        }
     }
 
-    /// Take ownership of the buffer.
+    /// Take ownership of the f32 buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a posit-domain tensor (see [`Tensor::data`]).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        match self.storage {
+            Storage::F32(v) => v,
+            Storage::Posit { format, .. } => {
+                panic!("into_vec on a posit-domain tensor ({format}): call into_f32() first")
+            }
+        }
     }
 
-    /// Reinterpret with a new shape of identical element count.
+    /// Encode into the posit domain: `bits[i] = P(x[i] / 2^scale_exp)`,
+    /// packed at the format's word width (Eq. 3 with `Sf = 2^scale_exp`).
+    ///
+    /// A posit-domain source is decoded first (re-encoding crosses through
+    /// f32 values, which are exact for every supported format).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Rounding::Stochastic`], which needs a caller-owned
+    /// random stream; use [`Tensor::to_posit_with`].
+    pub fn to_posit(&self, format: PositFormat, scale_exp: i32, rounding: Rounding) -> Tensor {
+        assert!(
+            rounding != Rounding::Stochastic,
+            "stochastic encoding needs a random stream; use to_posit_with"
+        );
+        let mut state = 0u64;
+        self.to_posit_with(format, scale_exp, rounding, &mut state)
+    }
+
+    /// [`Tensor::to_posit`] with an explicit stochastic-rounding stream.
+    ///
+    /// `rand_state` is advanced once per element with the same generator as
+    /// the Eq. 3 in-place quantizer, so a packed encode and an f32-domain
+    /// `P(·)` round trip consume identical randomness and land on identical
+    /// code words. Deterministic modes ignore (and do not advance) it.
+    pub fn to_posit_with(
+        &self,
+        format: PositFormat,
+        scale_exp: i32,
+        rounding: Rounding,
+        rand_state: &mut u64,
+    ) -> Tensor {
+        let dense = self.dense();
+        let xs = dense.data();
+        let inv = (-scale_exp as f32).exp2();
+        let mut bits = PackedBits::for_format(format, xs.len());
+        match rounding {
+            Rounding::Stochastic => {
+                for &x in xs {
+                    let z = posit::quant::sr_next(rand_state);
+                    bits.push(format.from_f64_stochastic((x * inv) as f64, z));
+                }
+            }
+            mode => {
+                for &x in xs {
+                    bits.push(format.from_f64((x * inv) as f64, mode));
+                }
+            }
+        }
+        Tensor {
+            storage: Storage::Posit {
+                bits,
+                format,
+                scale_exp,
+            },
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Decode into the f32 domain: `x[i] = posit(bits[i]) · 2^scale_exp`
+    /// (exact — every supported posit value and scale shift is
+    /// representable in f32 up to the format's range). An f32-domain tensor
+    /// is cloned unchanged.
+    pub fn to_f32(&self) -> Tensor {
+        match &self.storage {
+            Storage::F32(_) => self.clone(),
+            Storage::Posit {
+                bits,
+                format,
+                scale_exp,
+            } => {
+                let sf = (*scale_exp as f32).exp2();
+                let data = bits.iter().map(|b| format.to_f32(b) * sf).collect();
+                Tensor {
+                    storage: Storage::F32(data),
+                    shape: self.shape.clone(),
+                }
+            }
+        }
+    }
+
+    /// Consuming [`Tensor::to_f32`]: a no-op move in the f32 domain.
+    pub fn into_f32(self) -> Tensor {
+        if self.is_posit() {
+            self.to_f32()
+        } else {
+            self
+        }
+    }
+
+    /// A borrowed f32-domain view: the tensor itself when already dense, a
+    /// decoded copy when posit-packed. The cheap way for f32-only consumers
+    /// to accept either domain.
+    pub fn dense(&self) -> Cow<'_, Tensor> {
+        if self.is_posit() {
+            Cow::Owned(self.to_f32())
+        } else {
+            Cow::Borrowed(self)
+        }
+    }
+
+    /// Reinterpret with a new shape of identical element count. Works in
+    /// both storage domains (the buffer is untouched).
     ///
     /// # Panics
     ///
     /// Panics if the element counts differ.
     pub fn reshape(mut self, shape: &[usize]) -> Tensor {
         assert_eq!(
-            self.data.len(),
+            self.len(),
             shape.iter().product::<usize>(),
             "cannot reshape {:?} to {:?}",
             self.shape,
@@ -134,23 +369,31 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics if the tensor is not 2-D or the index is out of bounds.
+    /// Panics if the tensor is not 2-D, posit-domain, or out of bounds.
     pub fn at2(&self, i: usize, j: usize) -> f32 {
         assert_eq!(self.shape.len(), 2, "at2 on non-matrix");
-        self.data[i * self.shape[1] + j]
+        self.data()[i * self.shape[1] + j]
     }
 
     /// Elementwise map into a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a posit-domain tensor (see [`Tensor::data`]).
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            storage: Storage::F32(self.data().iter().map(|&x| f(x)).collect()),
             shape: self.shape.clone(),
         }
     }
 
     /// Elementwise map in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a posit-domain tensor (see [`Tensor::data`]).
     pub fn apply(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in self.data_mut() {
             *x = f(*x);
         }
     }
@@ -159,16 +402,17 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics on shape mismatch.
+    /// Panics on shape mismatch or posit-domain operands.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip shape mismatch");
         Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            storage: Storage::F32(
+                self.data()
+                    .iter()
+                    .zip(other.data())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            ),
             shape: self.shape.clone(),
         }
     }
@@ -192,59 +436,75 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics on shape mismatch.
+    /// Panics on shape mismatch or posit-domain operands.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        let other = other.data();
+        for (a, &b) in self.data_mut().iter_mut().zip(other) {
             *a += alpha * b;
         }
     }
 
     /// Scale by a scalar, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a posit-domain tensor (see [`Tensor::data`]).
     pub fn scale(&mut self, alpha: f32) {
-        for a in &mut self.data {
+        for a in self.data_mut() {
             *a *= alpha;
         }
     }
 
     /// Sum of all elements (f64 accumulator for stability).
     pub fn sum(&self) -> f64 {
-        self.data.iter().map(|&x| x as f64).sum()
+        self.dense().data().iter().map(|&x| x as f64).sum()
     }
 
     /// Mean of all elements.
     pub fn mean(&self) -> f64 {
-        if self.data.is_empty() {
+        if self.is_empty() {
             0.0
         } else {
-            self.sum() / self.data.len() as f64
+            self.sum() / self.len() as f64
         }
     }
 
     /// Maximum absolute element (0 for empty tensors).
     pub fn max_abs(&self) -> f32 {
-        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+        self.dense()
+            .data()
+            .iter()
+            .fold(0.0f32, |m, &x| m.max(x.abs()))
     }
 
     /// 2-D matrix transpose.
     ///
     /// # Panics
     ///
-    /// Panics if not 2-D.
+    /// Panics if not 2-D or posit-domain.
     pub fn transpose2(&self) -> Tensor {
         assert_eq!(self.shape.len(), 2, "transpose2 on non-matrix");
         let (m, n) = (self.shape[0], self.shape[1]);
+        let src = self.data();
         let mut out = Tensor::zeros(&[n, m]);
-        for i in 0..m {
-            for j in 0..n {
-                out.data[j * m + i] = self.data[i * n + j];
+        {
+            let dst = out.data_mut();
+            for i in 0..m {
+                for j in 0..n {
+                    dst[j * m + i] = src[i * n + j];
+                }
             }
         }
         out
     }
 
-    /// Matrix product `self[M,K] × other[K,N]` via the blocked parallel
-    /// GEMM.
+    /// Matrix product `self[M,K] × other[K,N]`, dispatching on storage
+    /// domain: two packed planes of the same posit format run on the
+    /// decode-once quire GEMM (exact accumulation, one rounding per output
+    /// element, nearest-even); any other combination runs on the blocked
+    /// parallel f32 kernel after decoding posit operands. The result is
+    /// always f32-domain.
     ///
     /// # Panics
     ///
@@ -256,7 +516,19 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
         let mut out = Tensor::zeros(&[m, n]);
-        crate::gemm::gemm(m, k, n, &self.data, &other.data, out.data_mut());
+        match (self.posit_bits(), other.posit_bits()) {
+            (Some((ab, af, ae)), Some((bb, bf, be))) if af == bf => {
+                let kernel = crate::posit_gemm::PositGemm::new(af, Rounding::NearestEven);
+                let pa = crate::posit_gemm::PositPlane::from_packed(af, ab, ae);
+                let pb = crate::posit_gemm::PositPlane::from_packed(bf, bb, be);
+                kernel.gemm(m, k, n, &pa, &pb, out.data_mut());
+            }
+            _ => {
+                let a = self.dense();
+                let b = other.dense();
+                crate::gemm::gemm(m, k, n, a.data(), b.data(), out.data_mut());
+            }
+        }
         out
     }
 }
@@ -264,16 +536,25 @@ impl Tensor {
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{:?}", self.shape)?;
-        if self.data.len() <= 16 {
-            write!(f, " {:?}", self.data)
+        if let Some((_, format, scale_exp)) = self.posit_bits() {
+            return write!(
+                f,
+                " packed {format} scale 2^{scale_exp} ({} B, n={})",
+                self.nbytes(),
+                self.len()
+            );
+        }
+        let data = self.data();
+        if data.len() <= 16 {
+            write!(f, " {:?}", data)
         } else {
             write!(
                 f,
                 " [{:.4}, {:.4}, …, {:.4}] (n={})",
-                self.data[0],
-                self.data[1],
-                self.data[self.data.len() - 1],
-                self.data.len()
+                data[0],
+                data[1],
+                data[data.len() - 1],
+                data.len()
             )
         }
     }
@@ -354,5 +635,113 @@ mod tests {
     fn debug_is_never_empty() {
         assert!(!format!("{:?}", Tensor::zeros(&[0])).is_empty());
         assert!(!format!("{:?}", Tensor::zeros(&[100])).is_empty());
+        let p = Tensor::zeros(&[4]).to_posit(PositFormat::of(8, 1), 0, Rounding::ToZero);
+        let s = format!("{p:?}");
+        assert!(s.contains("packed"), "{s}");
+    }
+
+    #[test]
+    fn posit_roundtrip_exact_values() {
+        let fmt = PositFormat::of(8, 1);
+        let t = Tensor::from_vec(vec![1.0, -0.5, 2.0, 0.0], &[2, 2]);
+        let p = t.to_posit(fmt, 0, Rounding::NearestEven);
+        assert!(p.is_posit());
+        assert_eq!(p.domain(), StorageDomain::Posit);
+        assert_eq!(p.shape(), &[2, 2]);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.nbytes(), 4);
+        assert_eq!(p.to_f32(), t);
+        assert_eq!(p.clone().into_f32(), t);
+        assert_eq!(p.dense().data(), t.data());
+        // f32 tensors pass through dense()/into_f32 untouched.
+        assert!(matches!(t.dense(), Cow::Borrowed(_)));
+        let (bits, f, e) = p.posit_bits().unwrap();
+        assert_eq!(f, fmt);
+        assert_eq!(e, 0);
+        assert_eq!(bits.get(0), fmt.one_bits());
+    }
+
+    #[test]
+    fn scale_exp_shifts_the_grid() {
+        // 96 is off the (8,1) grid near its magnitude (step 8 at scale 6),
+        // representable exactly once shifted down by 2^4.
+        let fmt = PositFormat::of(8, 1);
+        let t = Tensor::from_vec(vec![96.0], &[1]);
+        let plain = t.to_posit(fmt, 0, Rounding::NearestEven);
+        let shifted = t.to_posit(fmt, 4, Rounding::NearestEven);
+        assert_eq!(shifted.to_f32().data(), &[96.0], "6·2^4 exact when shifted");
+        assert_eq!(plain.to_f32().data(), &[96.0], "96 = 1.5·64 is (8,1) exact");
+        // A value needing the shift: 2^-25 is far below (8,1)'s minpos
+        // (2^-12) and flushes at scale 0 (ToZero), but survives once the
+        // grid is shifted down by 2^-13 (2^-25/2^-13 = minpos = 2^-12).
+        let tiny = Tensor::from_vec(vec![(-25f32).exp2()], &[1]);
+        assert_eq!(
+            tiny.to_posit(fmt, 0, Rounding::ToZero).to_f32().data(),
+            &[0.0]
+        );
+        assert_eq!(
+            tiny.to_posit(fmt, -13, Rounding::ToZero).to_f32().data(),
+            &[(-25f32).exp2()]
+        );
+    }
+
+    #[test]
+    fn nar_propagates_through_the_roundtrip() {
+        let fmt = PositFormat::of(8, 0);
+        let t = Tensor::from_vec(vec![f32::NAN, 1.0], &[2]);
+        let p = t.to_posit(fmt, 0, Rounding::NearestEven);
+        let (bits, ..) = p.posit_bits().unwrap();
+        assert_eq!(bits.get(0), fmt.nar_bits());
+        let back = p.to_f32();
+        assert!(back.data()[0].is_nan());
+        assert_eq!(back.data()[1], 1.0);
+    }
+
+    #[test]
+    fn reshape_keeps_the_posit_plane() {
+        let fmt = PositFormat::of(8, 1);
+        let p = Tensor::from_vec(vec![1.0; 6], &[2, 3]).to_posit(fmt, 0, Rounding::ToZero);
+        let r = p.reshape(&[3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert!(r.is_posit());
+    }
+
+    #[test]
+    #[should_panic(expected = "posit-domain")]
+    fn data_panics_on_posit_domain() {
+        let p = Tensor::ones(&[2]).to_posit(PositFormat::of(8, 1), 0, Rounding::ToZero);
+        let _ = p.data();
+    }
+
+    #[test]
+    fn matmul_dispatches_on_packed_planes() {
+        // Exact power-of-two data: the packed quire product must equal the
+        // f32 product bit-for-bit.
+        let fmt = PositFormat::of(16, 1);
+        let a = Tensor::from_vec(vec![1.0, 2.0, -0.5, 4.0, 0.25, -8.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![2.0, 0.5, -1.0, 4.0, 0.125, -2.0], &[3, 2]);
+        let want = a.matmul(&b);
+        let pa = a.to_posit(fmt, 0, Rounding::NearestEven);
+        let pb = b.to_posit(fmt, 0, Rounding::NearestEven);
+        assert_eq!(pa.matmul(&pb), want, "posit × posit");
+        assert_eq!(pa.matmul(&b), want, "mixed decodes");
+        assert_eq!(a.matmul(&pb), want, "mixed decodes (rhs)");
+        // Scale exponents are honoured: operands carry 2^2 and 2^-1.
+        let pa2 = a.to_posit(fmt, 2, Rounding::NearestEven);
+        let pb2 = b.to_posit(fmt, -1, Rounding::NearestEven);
+        assert_eq!(pa2.matmul(&pb2), want, "scale-shifted planes");
+    }
+
+    #[test]
+    fn stochastic_encode_stream_is_reproducible() {
+        let fmt = PositFormat::of(8, 2);
+        let t = Tensor::from_vec((0..64).map(|i| i as f32 * 0.037 - 1.0).collect(), &[64]);
+        let mut s1 = 99u64;
+        let mut s2 = 99u64;
+        let a = t.to_posit_with(fmt, 0, Rounding::Stochastic, &mut s1);
+        let b = t.to_posit_with(fmt, 0, Rounding::Stochastic, &mut s2);
+        assert_eq!(a, b);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, 99, "stream must advance");
     }
 }

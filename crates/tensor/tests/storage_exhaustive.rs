@@ -1,0 +1,121 @@
+//! Exhaustive cross-check of the packed storage transitions against the
+//! reference quantizer: `to_posit → to_f32` must be bit-identical to
+//! `posit::quant` on every code point of the 8-bit formats, including NaR
+//! propagation, and stable (idempotent) under re-encoding.
+//!
+//! This is the tier-1 guarantee behind the storage refactor: replacing the
+//! f32 `P(·)` round trip with a packed encode changes *where* the bits
+//! live, never *which* bits they are.
+
+use posit::{quant, PositFormat, Rounding};
+use posit_tensor::Tensor;
+
+/// Every value representable in posit(8,0) survives the storage round trip
+/// with its exact code word, under both deterministic rounding modes.
+#[test]
+fn p8e0_roundtrip_is_bit_identical_on_every_code_point() {
+    let fmt = PositFormat::of(8, 0);
+    for mode in [Rounding::NearestEven, Rounding::ToZero] {
+        for code in 0..fmt.code_count() {
+            let v = fmt.to_f32(code);
+            let t = Tensor::from_vec(vec![v], &[1]);
+            let p = t.to_posit(fmt, 0, mode);
+            let (bits, pf, pe) = p.posit_bits().expect("must be posit-domain");
+            assert_eq!(pf, fmt);
+            assert_eq!(pe, 0);
+            assert_eq!(
+                bits.get(0),
+                code,
+                "code {code:#04x} (value {v}) did not survive encode under {mode:?}"
+            );
+            let back = p.to_f32();
+            let want = quant::quantize_f32(&fmt, v, mode);
+            if code == fmt.nar_bits() {
+                assert!(v.is_nan(), "NaR must decode to NaN");
+                assert!(back.data()[0].is_nan(), "NaR lost in round trip");
+                assert!(want.is_nan(), "reference quantizer disagrees on NaR");
+            } else {
+                assert_eq!(
+                    back.data()[0],
+                    want,
+                    "decode of code {code:#04x} disagrees with posit::quant"
+                );
+            }
+        }
+    }
+}
+
+/// Off-grid inputs: `to_posit → to_f32` equals the reference quantizer on
+/// a dense sweep across (8,0)'s whole dynamic range (both rounding modes),
+/// so the packed encode is the same operator, not merely the same fixed
+/// points.
+#[test]
+fn p8e0_matches_reference_quantizer_on_off_grid_sweep() {
+    let fmt = PositFormat::of(8, 0);
+    for mode in [Rounding::NearestEven, Rounding::ToZero] {
+        let xs: Vec<f32> = (-4000..4000).map(|i| i as f32 * 0.037).collect();
+        let t = Tensor::from_vec(xs.clone(), &[xs.len()]);
+        let round_trip = t.to_posit(fmt, 0, mode).to_f32();
+        for (&x, &got) in xs.iter().zip(round_trip.data()) {
+            let want = quant::quantize_f32(&fmt, x, mode);
+            assert_eq!(got, want, "x={x} under {mode:?}");
+        }
+    }
+}
+
+/// The other 8-bit formats of Table III behave identically (the paper's
+/// CONV grids): every code point survives, NaR propagates.
+#[test]
+fn all_8bit_formats_roundtrip_every_code_point() {
+    for es in 0..=2u32 {
+        let fmt = PositFormat::of(8, es);
+        for code in 0..fmt.code_count() {
+            let v = fmt.to_f32(code);
+            let p = Tensor::from_vec(vec![v], &[1]).to_posit(fmt, 0, Rounding::NearestEven);
+            assert_eq!(
+                p.posit_bits().unwrap().0.get(0),
+                code,
+                "(8,{es}) {code:#04x}"
+            );
+        }
+    }
+}
+
+/// NaR propagation through a *scaled* plane: the scale shift applies only
+/// to finite values; NaN stays NaR stays NaN at any scale exponent.
+#[test]
+fn nar_propagates_at_every_scale_exponent() {
+    let fmt = PositFormat::of(8, 0);
+    for e in [-6i32, 0, 6] {
+        let t = Tensor::from_vec(vec![f32::NAN, 1.0, -1.0], &[3]);
+        let p = t.to_posit(fmt, e, Rounding::ToZero);
+        let (bits, ..) = p.posit_bits().unwrap();
+        assert_eq!(bits.get(0), fmt.nar_bits(), "e={e}");
+        let back = p.to_f32();
+        assert!(back.data()[0].is_nan(), "e={e}");
+        assert_eq!(back.data()[1], 1.0, "e={e}");
+        assert_eq!(back.data()[2], -1.0, "e={e}");
+    }
+}
+
+/// Re-encoding a decoded plane is the identity on bits (the grid is a
+/// fixed point of the transition pair) — for every (8,0) code point and
+/// every deterministic mode.
+#[test]
+fn reencoding_is_idempotent_on_the_grid() {
+    let fmt = PositFormat::of(8, 0);
+    let codes: Vec<u64> = (0..fmt.code_count()).collect();
+    let values: Vec<f32> = codes.iter().map(|&c| fmt.to_f32(c)).collect();
+    let t = Tensor::from_vec(values, &[codes.len()]);
+    for mode in [Rounding::NearestEven, Rounding::ToZero] {
+        let once = t.to_posit(fmt, 0, mode);
+        let twice = once.to_f32().to_posit(fmt, 0, mode);
+        let (b1, ..) = once.posit_bits().unwrap();
+        let (b2, ..) = twice.posit_bits().unwrap();
+        assert_eq!(
+            b1.iter().collect::<Vec<_>>(),
+            b2.iter().collect::<Vec<_>>(),
+            "{mode:?}"
+        );
+    }
+}

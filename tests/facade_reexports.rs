@@ -78,6 +78,35 @@ fn tensor_reexports_construct() {
 }
 
 #[test]
+fn storage_reexports_construct() {
+    use posit_dnn::tensor::{Backend, Operand, PackedBits, Storage, StorageDomain};
+    let fmt = PositFormat::of(8, 1);
+    let t = Tensor::from_vec(vec![1.0, -0.5, 2.0, 0.25], &[2, 2]);
+    assert_eq!(t.domain(), StorageDomain::F32);
+    let p = t.to_posit(fmt, 0, Rounding::NearestEven);
+    assert!(matches!(p.storage(), Storage::Posit { .. }));
+    assert_eq!(p.nbytes(), 4, "posit8 packs 1 byte/element");
+    assert_eq!(p.to_f32().data(), t.data());
+    assert_eq!(PackedBits::bytes_per_elem(fmt), 1);
+    let op: Operand<'_> = p.operand();
+    assert_eq!(op.len(), 4);
+    // Packed planes feed the quire backend directly.
+    let bk = Backend::PositQuire {
+        fmt,
+        rounding: Rounding::NearestEven,
+    };
+    let mut c = vec![0.0f32; 4];
+    bk.gemm_op(2, 2, 2, p.operand(), p.operand(), &mut c);
+    let want = t.matmul(&t);
+    assert_eq!(c, want.data(), "exact operands: packed quire == f32");
+    // Config validation re-exports.
+    use posit_dnn::train::ConfigError;
+    let mut bad = TrainConfig::cifar_scaled(4, 2);
+    bad.batch_size = 0;
+    assert_eq!(bad.validate(), Err(ConfigError::ZeroBatchSize));
+}
+
+#[test]
 fn nn_models_data_reexports_construct() {
     let mut rng = Prng::seed(1);
     let mut builder = PlainBuilder;
