@@ -27,6 +27,8 @@ cargo test -q
 if [ "$quick" -eq 0 ]; then
     echo "==> cargo test -q --release -p posit-tensor --test storage_exhaustive"
     cargo test -q --release -p posit-tensor --test storage_exhaustive
+    echo "==> cargo test -q --release -p posit-store --test store_exhaustive"
+    cargo test -q --release -p posit-store --test store_exhaustive
 else
-    echo "==> (--quick: skipping release-mode storage_exhaustive)"
+    echo "==> (--quick: skipping release-mode storage_exhaustive + store_exhaustive)"
 fi

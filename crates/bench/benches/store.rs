@@ -1,0 +1,102 @@
+//! Chunked-store A/B at checkpoint-sized tensors: what one storage-domain
+//! crossing to/from disk costs, and what the codec pipeline buys.
+//!
+//! Three axes:
+//!
+//! * **packed-chunked vs flat-f32** — the v2 path (bit-packed posit
+//!   chunks with CRC trailers) against a v1-style flat little-endian f32
+//!   blob of the same tensor. The byte throughputs differ by the paper's
+//!   4× ratio: the packed path moves 1 byte/element where flat f32 moves 4.
+//! * **serial vs parallel chunks** — one chunk (single-threaded codec) vs
+//!   a grid of chunks encoded/decoded on the scoped-thread partitioner.
+//! * **encode vs decode** — write_tensor vs read_tensor round trips
+//!   against an in-memory store (no filesystem noise in the numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use posit::{PositFormat, Rounding};
+use posit_store::{delete_array, read_tensor, write_tensor_with, MemoryStore, Store};
+use posit_tensor::rng::Prng;
+use posit_tensor::Tensor;
+use std::hint::black_box;
+
+/// A checkpoint-sized weight tensor: 256×1024 ≈ the large FC layers the
+/// store shards in practice.
+const ROWS: usize = 256;
+const COLS: usize = 1024;
+
+fn bench_store(c: &mut Criterion) {
+    let fmt = PositFormat::of(8, 1);
+    let mut rng = Prng::seed(17);
+    let dense = Tensor::rand_normal(&[ROWS, COLS], 0.0, 0.5, &mut rng);
+    let packed = dense.to_posit(fmt, 0, Rounding::NearestEven);
+    let serial_chunks = vec![ROWS, COLS]; // one chunk: serial codec path
+    let parallel_chunks = vec![16, COLS]; // 16 chunks: scoped-thread path
+
+    let mut g = c.benchmark_group(format!("store/{ROWS}x{COLS}"));
+
+    // -- encode -----------------------------------------------------------
+    g.throughput(Throughput::Bytes(packed.nbytes() as u64));
+    for (label, chunks) in [
+        ("encode/posit-serial", &serial_chunks),
+        ("encode/posit-parallel", &parallel_chunks),
+    ] {
+        g.bench_function(label, |b| {
+            let store = MemoryStore::new();
+            b.iter(|| {
+                let stats =
+                    write_tensor_with(&store, "w", black_box(&packed), chunks, None).unwrap();
+                black_box(stats)
+            })
+        });
+    }
+
+    // Flat f32 baseline: the v1 dataflow — dense f32 view serialized as
+    // one little-endian blob, no chunking, no checksum.
+    g.throughput(Throughput::Bytes(dense.nbytes() as u64));
+    g.bench_function("encode/flat-f32", |b| {
+        let store = MemoryStore::new();
+        b.iter(|| {
+            let blob: Vec<u8> = black_box(&dense)
+                .data()
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect();
+            store.set("w.f32", &blob).unwrap();
+            blob.len()
+        })
+    });
+
+    // -- decode -----------------------------------------------------------
+    g.throughput(Throughput::Bytes(packed.nbytes() as u64));
+    for (label, chunks) in [
+        ("decode/posit-serial", &serial_chunks),
+        ("decode/posit-parallel", &parallel_chunks),
+    ] {
+        let store = MemoryStore::new();
+        delete_array(&store, "w").unwrap();
+        write_tensor_with(&store, "w", &packed, chunks, None).unwrap();
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(read_tensor(&store, "w").unwrap()))
+        });
+    }
+
+    g.throughput(Throughput::Bytes(dense.nbytes() as u64));
+    g.bench_function("decode/flat-f32", |b| {
+        let store = MemoryStore::new();
+        let blob: Vec<u8> = dense.data().iter().flat_map(|v| v.to_le_bytes()).collect();
+        store.set("w.f32", &blob).unwrap();
+        b.iter(|| {
+            let bytes = store.get("w.f32").unwrap().unwrap();
+            let data: Vec<f32> = bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            black_box(Tensor::from_vec(data, &[ROWS, COLS]))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

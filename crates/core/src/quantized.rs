@@ -105,6 +105,32 @@ impl ClassScale {
         self.freeze(sigma);
         self.exp.unwrap_or(0)
     }
+
+    /// Serialize into a checkpoint blob: presence flag + frozen exponent +
+    /// the in-flight calibration accumulator (so a run killed during the
+    /// calibrate epoch resumes mid-calibration bit-exactly).
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.push(self.exp.is_some() as u8);
+        out.extend_from_slice(&self.exp.unwrap_or(0).to_le_bytes());
+        out.extend_from_slice(&self.acc.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.count as u64).to_le_bytes());
+    }
+
+    /// Inverse of [`ClassScale::write_to`]; `None` on short input.
+    fn read_from(bytes: &[u8]) -> Option<(ClassScale, &[u8])> {
+        let (head, rest) = bytes.split_at_checked(21)?;
+        let exp = i32::from_le_bytes(head[1..5].try_into().expect("len 4"));
+        let acc = f64::from_bits(u64::from_le_bytes(head[5..13].try_into().expect("len 8")));
+        let count = u64::from_le_bytes(head[13..21].try_into().expect("len 8")) as usize;
+        Some((
+            ClassScale {
+                exp: (head[0] != 0).then_some(exp),
+                acc,
+                count,
+            },
+            rest,
+        ))
+    }
 }
 
 /// A layer wrapped with the paper's `P(n,es)` transformation at every
@@ -387,6 +413,46 @@ impl Layer for Quantized {
 
     fn params(&self) -> Vec<&Param> {
         self.inner.params()
+    }
+
+    fn state_entries(&self) -> Vec<(String, Vec<u8>)> {
+        // The wrapper's own state — frozen/in-flight Eq. 2 scales per
+        // tensor class and the stochastic-rounding stream — is what makes
+        // a checkpointed posit run resumable bit-exactly: without it a
+        // restored net would re-calibrate different scale factors.
+        let mut out = self.inner.state_entries();
+        let mut blob = Vec::with_capacity(4 * 21 + 8);
+        for s in [&self.w_scale, &self.a_scale, &self.e_scale, &self.g_scale] {
+            s.write_to(&mut blob);
+        }
+        blob.extend_from_slice(&self.sr_state.to_le_bytes());
+        out.push((format!("{}.quant", self.inner.name()), blob));
+        out
+    }
+
+    fn restore_state_entries(&mut self, lookup: &dyn Fn(&str) -> Option<Vec<u8>>) {
+        self.inner.restore_state_entries(lookup);
+        let Some(blob) = lookup(&format!("{}.quant", self.inner.name())) else {
+            return;
+        };
+        let parse = |bytes: &[u8]| -> Option<([ClassScale; 4], u64)> {
+            let (w, bytes) = ClassScale::read_from(bytes)?;
+            let (a, bytes) = ClassScale::read_from(bytes)?;
+            let (e, bytes) = ClassScale::read_from(bytes)?;
+            let (g, bytes) = ClassScale::read_from(bytes)?;
+            if bytes.len() != 8 {
+                return None;
+            }
+            let sr = u64::from_le_bytes(bytes.try_into().expect("len 8"));
+            Some(([w, a, e, g], sr))
+        };
+        if let Some(([w, a, e, g], sr)) = parse(&blob) {
+            self.w_scale = w;
+            self.a_scale = a;
+            self.e_scale = e;
+            self.g_scale = g;
+            self.sr_state = sr;
+        }
     }
 }
 

@@ -7,8 +7,9 @@ use crate::scale;
 use crate::stats::HistogramRecorder;
 use posit_data::{DataLoader, Dataset};
 use posit_models::{resnet_scaled, PlainBuilder};
-use posit_nn::{metrics, Layer, Sequential, Sgd, SoftmaxCrossEntropy};
-use posit_tensor::rng::Prng;
+use posit_nn::{checkpoint, metrics, Layer, Sequential, Sgd, SoftmaxCrossEntropy};
+use posit_store::{read_tensor, write_tensor, Store, StoreError};
+use posit_tensor::rng::{Prng, PrngState};
 use posit_tensor::Tensor;
 
 /// Per-epoch record.
@@ -186,6 +187,53 @@ impl Trainer {
         config: &TrainConfig,
         mut on_epoch: impl FnMut(&EpochStats),
     ) -> TrainReport {
+        self.run_impl(train, test, config, None, &mut on_epoch)
+            .expect("no store, no store errors")
+    }
+
+    /// Like [`Trainer::run_with`], checkpointing the *full* training state
+    /// into `store` after every epoch and resuming from the newest
+    /// checkpoint found there.
+    ///
+    /// The per-epoch checkpoint is a v2 store checkpoint of the network
+    /// (packed posit masters land natively, bit-identical) plus the
+    /// trainer state the next epoch depends on: optimizer velocity, the
+    /// data-loader shuffle stream, the calibrated Eq. 2 scales and
+    /// stochastic-rounding streams of every `Quantized` wrapper, BN
+    /// running statistics, the cached input scale and the per-epoch
+    /// report so far. A run killed between epochs and relaunched with the
+    /// same arguments therefore continues **bit-exactly**: the final
+    /// parameters and metrics equal the uninterrupted run's.
+    ///
+    /// Histogram capture is the one exception: a resumed run only records
+    /// snapshots for the epochs it actually executes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures (I/O, corrupt checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`TrainConfig`], like [`Trainer::run_with`].
+    pub fn run_resumable(
+        &mut self,
+        train: &Dataset,
+        test: &Dataset,
+        config: &TrainConfig,
+        store: &dyn Store,
+        mut on_epoch: impl FnMut(&EpochStats),
+    ) -> Result<TrainReport, StoreError> {
+        self.run_impl(train, test, config, Some(store), &mut on_epoch)
+    }
+
+    fn run_impl(
+        &mut self,
+        train: &Dataset,
+        test: &Dataset,
+        config: &TrainConfig,
+        store: Option<&dyn Store>,
+        on_epoch: &mut dyn FnMut(&EpochStats),
+    ) -> Result<TrainReport, StoreError> {
         if let Err(e) = config.validate() {
             panic!("invalid TrainConfig: {e}");
         }
@@ -201,7 +249,34 @@ impl Trainer {
             best_test_acc: 0.0,
             histograms: HistogramRecorder::default(),
         };
-        for epoch in 0..config.epochs {
+        let mut start_epoch = 0;
+        if let Some(store) = store {
+            if let Some(state) = resume::load(store)? {
+                checkpoint::load_from_store(
+                    &mut self.net,
+                    store,
+                    &resume::net_prefix(state.next_epoch),
+                )
+                .map_err(|e| StoreError::Corrupt(format!("resume: {e}")))?;
+                let mut velocity = Vec::with_capacity(state.velocity_count);
+                for i in 0..state.velocity_count {
+                    velocity.push(read_tensor(
+                        store,
+                        &resume::velocity_prefix(state.next_epoch, i),
+                    )?);
+                }
+                opt.set_velocity(velocity);
+                loader.set_rng_state(state.loader_rng);
+                self.input_scale_exp = state.input_scale_exp;
+                for s in &state.epochs {
+                    report.best_test_acc = report.best_test_acc.max(s.test_acc);
+                    report.final_test_acc = s.test_acc;
+                }
+                start_epoch = state.next_epoch;
+                report.epochs = state.epochs;
+            }
+        }
+        for epoch in start_epoch..config.epochs {
             let phase = Self::phase_for_epoch(config, epoch);
             if let Some(c) = &self.control {
                 c.set_phase(phase);
@@ -245,9 +320,227 @@ impl Trainer {
             report.epochs.push(stats);
             report.best_test_acc = report.best_test_acc.max(test_acc);
             report.final_test_acc = test_acc;
+            if let Some(store) = store {
+                self.save_checkpoint(store, epoch + 1, &opt, &loader, &report)?;
+            }
         }
         report.histograms = recorder;
-        report
+        Ok(report)
+    }
+
+    /// Write the epoch-boundary checkpoint: network (v2 store checkpoint,
+    /// posit masters native) + trainer state, all under an epoch-stamped
+    /// prefix. The state blob is committed last and is the *only* pointer
+    /// to the new epoch's arrays, so a process killed anywhere inside this
+    /// function leaves the previous epoch's checkpoint fully intact and
+    /// referenced — never a mixed-epoch net. The superseded epoch's keys
+    /// are deleted only after the new state commits.
+    fn save_checkpoint(
+        &self,
+        store: &dyn Store,
+        next_epoch: usize,
+        opt: &Sgd,
+        loader: &DataLoader<'_>,
+        report: &TrainReport,
+    ) -> Result<(), StoreError> {
+        checkpoint::save_to_store(&self.net, store, &resume::net_prefix(next_epoch))?;
+        for (i, v) in opt.velocity().iter().enumerate() {
+            write_tensor(store, &resume::velocity_prefix(next_epoch, i), v)?;
+        }
+        let state = resume::TrainerState {
+            next_epoch,
+            input_scale_exp: self.input_scale_exp,
+            loader_rng: loader.rng_state(),
+            velocity_count: opt.velocity().len(),
+            epochs: report.epochs.clone(),
+        };
+        store.set(resume::STATE_KEY, &resume::serialize(&state))?;
+        // Commit point passed: the old epoch is unreferenced, reclaim it.
+        // (A kill during cleanup leaves unreferenced keys — harmless.)
+        if next_epoch >= 2 {
+            resume::delete_epoch(store, next_epoch - 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Serialization of the trainer-side resume state (everything outside the
+/// network that the next epoch depends on).
+mod resume {
+    use super::{EpochStats, PrngState, Store, StoreError};
+
+    pub(super) const STATE_KEY: &str = "trainer/state.bin";
+    const STATE_MAGIC: &[u8; 4] = b"PTS1";
+    /// Epoch-record cap a parser will believe (far above any real run).
+    const MAX_EPOCHS: usize = 1 << 20;
+
+    /// The network checkpoint prefix for the state that *enters* `epoch`.
+    pub(super) fn net_prefix(epoch: usize) -> String {
+        format!("net/e{epoch}")
+    }
+
+    pub(super) fn velocity_prefix(epoch: usize, i: usize) -> String {
+        format!("trainer/velocity/e{epoch}/{i}")
+    }
+
+    /// Drop every key of a superseded epoch's checkpoint.
+    pub(super) fn delete_epoch(store: &dyn Store, epoch: usize) -> Result<(), StoreError> {
+        for prefix in [
+            format!("{}/", net_prefix(epoch)),
+            format!("trainer/velocity/e{epoch}/"),
+        ] {
+            for key in store.list_prefix(&prefix)? {
+                store.delete(&key)?;
+            }
+        }
+        Ok(())
+    }
+
+    pub(super) struct TrainerState {
+        pub next_epoch: usize,
+        pub input_scale_exp: Option<i32>,
+        pub loader_rng: PrngState,
+        pub velocity_count: usize,
+        pub epochs: Vec<EpochStats>,
+    }
+
+    fn phase_code(name: &str) -> u8 {
+        match name {
+            "fp32" => 0,
+            "calibrate" => 1,
+            _ => 2,
+        }
+    }
+
+    fn phase_name(code: u8) -> &'static str {
+        match code {
+            0 => "fp32",
+            1 => "calibrate",
+            _ => "posit",
+        }
+    }
+
+    pub(super) fn serialize(s: &TrainerState) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(STATE_MAGIC);
+        out.extend_from_slice(&(s.next_epoch as u64).to_le_bytes());
+        out.push(s.input_scale_exp.is_some() as u8);
+        out.extend_from_slice(&s.input_scale_exp.unwrap_or(0).to_le_bytes());
+        for w in s.loader_rng.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.push(s.loader_rng.spare.is_some() as u8);
+        out.extend_from_slice(&s.loader_rng.spare.unwrap_or(0.0).to_le_bytes());
+        out.extend_from_slice(&(s.velocity_count as u64).to_le_bytes());
+        out.extend_from_slice(&(s.epochs.len() as u64).to_le_bytes());
+        for e in &s.epochs {
+            out.extend_from_slice(&(e.epoch as u64).to_le_bytes());
+            out.push(phase_code(e.phase));
+            out.extend_from_slice(&e.lr.to_le_bytes());
+            out.extend_from_slice(&e.train_loss.to_le_bytes());
+            out.extend_from_slice(&e.train_acc.to_le_bytes());
+            out.extend_from_slice(&e.test_acc.to_le_bytes());
+        }
+        // CRC trailer: the bit-exact-resume guarantee hinges on this blob,
+        // so bit rot here must be as loud as in any chunk.
+        out.extend_from_slice(&posit_store::crc32(&out).to_le_bytes());
+        out
+    }
+
+    struct Reader<'a>(&'a [u8]);
+
+    impl<'a> Reader<'a> {
+        fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+            if self.0.len() < n {
+                return Err(StoreError::Corrupt("trainer state truncated".into()));
+            }
+            let (head, rest) = self.0.split_at(n);
+            self.0 = rest;
+            Ok(head)
+        }
+        fn u8(&mut self) -> Result<u8, StoreError> {
+            Ok(self.take(1)?[0])
+        }
+        fn u64(&mut self) -> Result<u64, StoreError> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        }
+        fn i32(&mut self) -> Result<i32, StoreError> {
+            Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        }
+        fn f32(&mut self) -> Result<f32, StoreError> {
+            Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        }
+        fn f64(&mut self) -> Result<f64, StoreError> {
+            Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        }
+    }
+
+    /// Load the resume state, `None` when the store has no checkpoint yet.
+    pub(super) fn load(store: &dyn Store) -> Result<Option<TrainerState>, StoreError> {
+        let Some(mut bytes) = store.get(STATE_KEY)? else {
+            return Ok(None);
+        };
+        if bytes.len() < 4 {
+            return Err(StoreError::Corrupt(
+                "trainer state shorter than its checksum".into(),
+            ));
+        }
+        let body = bytes.len() - 4;
+        let stored = u32::from_le_bytes(bytes[body..].try_into().expect("len 4"));
+        if stored != posit_store::crc32(&bytes[..body]) {
+            return Err(StoreError::Corrupt(
+                "trainer state failed its checksum".into(),
+            ));
+        }
+        bytes.truncate(body);
+        let mut r = Reader(&bytes);
+        if r.take(4)? != STATE_MAGIC {
+            return Err(StoreError::Corrupt("bad trainer-state magic".into()));
+        }
+        let next_epoch = r.u64()? as usize;
+        let has_scale = r.u8()? != 0;
+        let scale = r.i32()?;
+        let mut words = [0u64; 4];
+        for w in &mut words {
+            *w = r.u64()?;
+        }
+        let has_spare = r.u8()? != 0;
+        let spare = r.f32()?;
+        let velocity_count = r.u64()? as usize;
+        let n_epochs = r.u64()? as usize;
+        if n_epochs > MAX_EPOCHS || velocity_count > MAX_EPOCHS {
+            return Err(StoreError::Corrupt("implausible trainer state".into()));
+        }
+        let mut epochs = Vec::with_capacity(n_epochs);
+        for _ in 0..n_epochs {
+            let epoch = r.u64()? as usize;
+            let phase = phase_name(r.u8()?);
+            let lr = r.f32()?;
+            let train_loss = r.f64()?;
+            let train_acc = r.f64()?;
+            let test_acc = r.f64()?;
+            epochs.push(EpochStats {
+                epoch,
+                phase,
+                lr,
+                train_loss,
+                train_acc,
+                test_acc,
+            });
+        }
+        if !r.0.is_empty() {
+            return Err(StoreError::Corrupt("trailing trainer-state bytes".into()));
+        }
+        Ok(Some(TrainerState {
+            next_epoch,
+            input_scale_exp: has_scale.then_some(scale),
+            loader_rng: PrngState {
+                words,
+                spare: has_spare.then_some(spare),
+            },
+            velocity_count,
+            epochs,
+        }))
     }
 }
 
@@ -358,6 +651,126 @@ mod tests {
             fp32_report.final_test_acc,
         );
         assert_eq!(posit_report.epochs[1].phase, "posit");
+    }
+
+    #[test]
+    fn killed_and_resumed_run_matches_uninterrupted_bit_exactly() {
+        use crate::config::{ComputeBackend, MasterWeights};
+        use posit_store::MemoryStore;
+        // The acceptance bar for checkpoint v2 + trainer resume: under the
+        // quire backend with posit-resident masters, a run killed after
+        // epoch 2 of 3 and resumed from the store reproduces the
+        // uninterrupted run's trajectory, final metrics and final packed
+        // parameters bit-exactly.
+        let (train, test) = tiny_data();
+        let cfg = TrainConfig::cifar_scaled(4, 3).with_seed(3).with_quant(
+            QuantSpec::cifar_paper()
+                .with_backend(ComputeBackend::PositQuire)
+                .with_master(MasterWeights::Posit),
+        );
+
+        let mut uninterrupted = Trainer::resnet(&cfg);
+        let full = uninterrupted.run(&train, &test, &cfg);
+
+        // "Kill after epoch 2": run the same schedule truncated to two
+        // epochs, checkpointing into the store (the LR schedule, phases and
+        // shuffle stream are epoch-indexed, so the prefix is identical).
+        let store = MemoryStore::new();
+        let mut cfg_prefix = cfg.clone();
+        cfg_prefix.epochs = 2;
+        let partial = Trainer::resnet(&cfg_prefix)
+            .run_resumable(&train, &test, &cfg_prefix, &store, |_| {})
+            .unwrap();
+        assert_eq!(partial.epochs.len(), 2);
+
+        // Resume in a *fresh process stand-in*: new trainer, full config,
+        // same store.
+        let mut resumed_trainer = Trainer::resnet(&cfg);
+        let resumed = resumed_trainer
+            .run_resumable(&train, &test, &cfg, &store, |_| {})
+            .unwrap();
+
+        assert_eq!(resumed.epochs.len(), full.epochs.len());
+        for (a, b) in full.epochs.iter().zip(&resumed.epochs) {
+            assert_eq!(a.epoch, b.epoch);
+            assert_eq!(a.phase, b.phase);
+            assert_eq!(
+                a.train_loss.to_bits(),
+                b.train_loss.to_bits(),
+                "epoch {} train loss drifted",
+                a.epoch
+            );
+            assert_eq!(a.train_acc.to_bits(), b.train_acc.to_bits());
+            assert_eq!(a.test_acc.to_bits(), b.test_acc.to_bits());
+        }
+        assert_eq!(
+            full.final_test_acc.to_bits(),
+            resumed.final_test_acc.to_bits()
+        );
+        assert_eq!(
+            full.best_test_acc.to_bits(),
+            resumed.best_test_acc.to_bits()
+        );
+        // Final parameters: bit-identical packed planes (posit masters).
+        for (pa, pb) in uninterrupted
+            .net()
+            .params()
+            .iter()
+            .zip(resumed_trainer.net().params())
+        {
+            assert_eq!(pa.name, pb.name);
+            match (pa.value.posit_bits(), pb.value.posit_bits()) {
+                (Some(a), Some(b)) => assert_eq!(a, b, "{} packed plane drifted", pa.name),
+                (None, None) => assert_eq!(
+                    pa.value.data(),
+                    pb.value.data(),
+                    "{} f32 master drifted",
+                    pa.name
+                ),
+                _ => panic!("{}: storage domains disagree", pa.name),
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointing_does_not_perturb_the_run() {
+        use posit_store::MemoryStore;
+        // run_resumable over an empty store must produce exactly what
+        // run_with produces — saving checkpoints consumes no randomness.
+        let (train, test) = tiny_data();
+        let cfg = TrainConfig::cifar_scaled(4, 2)
+            .with_seed(5)
+            .with_quant(QuantSpec::cifar_paper());
+        let plain = Trainer::resnet(&cfg).run(&train, &test, &cfg);
+        let store = MemoryStore::new();
+        let resumable = Trainer::resnet(&cfg)
+            .run_resumable(&train, &test, &cfg, &store, |_| {})
+            .unwrap();
+        for (a, b) in plain.epochs.iter().zip(&resumable.epochs) {
+            assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
+            assert_eq!(a.test_acc.to_bits(), b.test_acc.to_bits());
+        }
+        // And a no-op resume (checkpoint already at config.epochs) leaves
+        // the report intact without training further.
+        let resumed = Trainer::resnet(&cfg)
+            .run_resumable(&train, &test, &cfg, &store, |_| {
+                panic!("no epochs left to run")
+            })
+            .unwrap();
+        assert_eq!(resumed.epochs.len(), cfg.epochs);
+        assert_eq!(
+            resumed.final_test_acc.to_bits(),
+            resumable.final_test_acc.to_bits()
+        );
+        // Bit rot in the trainer-state blob is a loud checksum error, not
+        // a silently different resume.
+        let mut bytes = store.get("trainer/state.bin").unwrap().unwrap();
+        bytes[8] ^= 0x40; // inside the payload, not the trailer
+        store.set("trainer/state.bin", &bytes).unwrap();
+        let err = Trainer::resnet(&cfg)
+            .run_resumable(&train, &test, &cfg, &store, |_| {})
+            .unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
     }
 
     #[test]

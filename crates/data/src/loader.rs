@@ -122,6 +122,18 @@ impl<'a> DataLoader<'a> {
         self
     }
 
+    /// Snapshot the shuffle stream (advanced by each [`DataLoader::epoch`]
+    /// call), so a training checkpoint can persist it and a resumed run
+    /// replays the exact remaining epoch order.
+    pub fn rng_state(&self) -> posit_tensor::rng::PrngState {
+        self.rng.state()
+    }
+
+    /// Restore a shuffle stream captured by [`DataLoader::rng_state`].
+    pub fn set_rng_state(&mut self, state: posit_tensor::rng::PrngState) {
+        self.rng = Prng::from_state(state);
+    }
+
     /// Number of batches per epoch.
     pub fn batches_per_epoch(&self) -> usize {
         if self.drop_last {

@@ -172,6 +172,39 @@ impl Layer for BatchNorm2d {
     fn params(&self) -> Vec<&Param> {
         vec![&self.gamma, &self.beta]
     }
+
+    fn state_entries(&self) -> Vec<(String, Vec<u8>)> {
+        // The running statistics are inference state, not parameters: a
+        // checkpoint that drops them restores a net whose eval pass
+        // renormalizes with the (0, 1) init instead of the learned stats.
+        let pack = |xs: &[f32]| xs.iter().flat_map(|v| v.to_le_bytes()).collect();
+        vec![
+            (
+                format!("{}.running_mean", self.name),
+                pack(&self.running_mean),
+            ),
+            (
+                format!("{}.running_var", self.name),
+                pack(&self.running_var),
+            ),
+        ]
+    }
+
+    fn restore_state_entries(&mut self, lookup: &dyn Fn(&str) -> Option<Vec<u8>>) {
+        let unpack = |bytes: &[u8], dst: &mut Vec<f32>| {
+            if bytes.len() == 4 * dst.len() {
+                for (d, c) in dst.iter_mut().zip(bytes.chunks_exact(4)) {
+                    *d = f32::from_le_bytes(c.try_into().expect("len 4"));
+                }
+            }
+        };
+        if let Some(b) = lookup(&format!("{}.running_mean", self.name)) {
+            unpack(&b, &mut self.running_mean);
+        }
+        if let Some(b) = lookup(&format!("{}.running_var", self.name)) {
+            unpack(&b, &mut self.running_var);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -65,6 +65,26 @@ pub trait Layer: Send {
         _backward: posit_tensor::Backend,
     ) {
     }
+
+    /// Non-parameter state that must survive a checkpoint/restore round
+    /// trip: BN running statistics, a quantization wrapper's calibrated
+    /// scales, rounding streams. Each entry is `(key, opaque bytes)`; keys
+    /// must be network-unique, so layers namespace them under their own
+    /// qualified name (the same convention [`Param::name`] uses) and
+    /// containers simply concatenate their children's entries.
+    ///
+    /// Default: no extra state.
+    fn state_entries(&self) -> Vec<(String, Vec<u8>)> {
+        Vec::new()
+    }
+
+    /// Restore entries previously produced by [`Layer::state_entries`].
+    /// Layers look up their own keys through `lookup`; an absent key leaves
+    /// the current state untouched (forward-compatible with checkpoints
+    /// from smaller nets), and containers fan the lookup out to children.
+    fn restore_state_entries(&mut self, lookup: &dyn Fn(&str) -> Option<Vec<u8>>) {
+        let _ = lookup;
+    }
 }
 
 /// Rectified linear unit.
@@ -267,6 +287,16 @@ impl Layer for Sequential {
     fn params(&self) -> Vec<&Param> {
         self.layers.iter().flat_map(|l| l.params()).collect()
     }
+
+    fn state_entries(&self) -> Vec<(String, Vec<u8>)> {
+        self.layers.iter().flat_map(|l| l.state_entries()).collect()
+    }
+
+    fn restore_state_entries(&mut self, lookup: &dyn Fn(&str) -> Option<Vec<u8>>) {
+        for layer in &mut self.layers {
+            layer.restore_state_entries(lookup);
+        }
+    }
 }
 
 /// A residual block: `y = relu?(main(x) + shortcut(x))` where an empty
@@ -363,6 +393,17 @@ impl Layer for Residual {
     ) {
         self.main.set_compute_backends(forward, backward);
         self.shortcut.set_compute_backends(forward, backward);
+    }
+
+    fn state_entries(&self) -> Vec<(String, Vec<u8>)> {
+        let mut s = self.main.state_entries();
+        s.extend(self.shortcut.state_entries());
+        s
+    }
+
+    fn restore_state_entries(&mut self, lookup: &dyn Fn(&str) -> Option<Vec<u8>>) {
+        self.main.restore_state_entries(lookup);
+        self.shortcut.restore_state_entries(lookup);
     }
 }
 

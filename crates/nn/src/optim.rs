@@ -85,6 +85,21 @@ impl Sgd {
         }
     }
 
+    /// The positional velocity buffers (empty until the first
+    /// [`Sgd::step`]) — exposed so a training checkpoint can persist the
+    /// optimizer state and a resumed run continues bit-exactly.
+    pub fn velocity(&self) -> &[Tensor] {
+        &self.velocity
+    }
+
+    /// Install velocity buffers captured by [`Sgd::velocity`]. The order
+    /// and shapes must match the parameter list of the upcoming
+    /// [`Sgd::step`] calls; a later step with a different parameter count
+    /// falls back to re-zeroing (the lazy-init path).
+    pub fn set_velocity(&mut self, velocity: Vec<Tensor>) {
+        self.velocity = velocity;
+    }
+
     /// Zero all gradients.
     pub fn zero_grad(&self, params: &mut [&mut Param]) {
         for p in params {

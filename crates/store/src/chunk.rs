@@ -1,0 +1,314 @@
+//! The regular chunk grid: partition an n-d row-major tensor into
+//! rectangular chunks with exact edge handling.
+//!
+//! Same model as zarr's `regular` chunk grid: chunk `(c_0, …, c_{d-1})`
+//! covers the half-open box `[c_i·k_i, min((c_i+1)·k_i, shape_i))` per
+//! dimension. Interior chunks are full `chunk_shape` boxes; edge chunks are
+//! clipped to the array bounds, so every element belongs to exactly one
+//! chunk and no chunk stores padding.
+
+use crate::error::StoreError;
+
+/// The clipped extent of one chunk inside the array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRegion {
+    /// First element per dimension.
+    pub origin: Vec<usize>,
+    /// Extent per dimension (already clipped at array edges).
+    pub shape: Vec<usize>,
+}
+
+impl ChunkRegion {
+    /// Element count of the region.
+    pub fn len(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// True iff the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A regular chunk grid over a row-major array shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkGrid {
+    shape: Vec<usize>,
+    chunk_shape: Vec<usize>,
+    /// Chunks per dimension (`ceil(shape / chunk_shape)`).
+    grid_shape: Vec<usize>,
+}
+
+impl ChunkGrid {
+    /// A grid partitioning `shape` into `chunk_shape`-sized boxes.
+    ///
+    /// # Errors
+    ///
+    /// `Invalid` when the ranks differ, the rank is zero, or any chunk
+    /// dimension is zero (array dimensions of zero are fine: the grid then
+    /// simply has no chunks along that axis).
+    pub fn new(shape: &[usize], chunk_shape: &[usize]) -> Result<ChunkGrid, StoreError> {
+        if shape.is_empty() {
+            return Err(StoreError::Invalid("rank-0 arrays are not chunked".into()));
+        }
+        if shape.len() != chunk_shape.len() {
+            return Err(StoreError::Invalid(format!(
+                "rank mismatch: shape {shape:?} vs chunk shape {chunk_shape:?}"
+            )));
+        }
+        if chunk_shape.contains(&0) {
+            return Err(StoreError::Invalid(format!(
+                "zero-sized chunk dimension in {chunk_shape:?}"
+            )));
+        }
+        let grid_shape = shape
+            .iter()
+            .zip(chunk_shape)
+            .map(|(&s, &c)| s.div_ceil(c))
+            .collect();
+        Ok(ChunkGrid {
+            shape: shape.to_vec(),
+            chunk_shape: chunk_shape.to_vec(),
+            grid_shape,
+        })
+    }
+
+    /// The array shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The (unclipped) chunk shape.
+    pub fn chunk_shape(&self) -> &[usize] {
+        &self.chunk_shape
+    }
+
+    /// Chunks per dimension.
+    pub fn grid_shape(&self) -> &[usize] {
+        &self.grid_shape
+    }
+
+    /// Total chunk count.
+    pub fn num_chunks(&self) -> usize {
+        self.grid_shape.iter().product()
+    }
+
+    /// Total element count of the array.
+    pub fn num_elements(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// The multi-dimensional index of the `linear`-th chunk (row-major
+    /// over the grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `linear >= num_chunks()`.
+    pub fn chunk_index(&self, linear: usize) -> Vec<usize> {
+        assert!(linear < self.num_chunks(), "chunk {linear} out of grid");
+        let mut idx = vec![0; self.grid_shape.len()];
+        let mut rem = linear;
+        for d in (0..self.grid_shape.len()).rev() {
+            idx[d] = rem % self.grid_shape[d];
+            rem /= self.grid_shape[d];
+        }
+        idx
+    }
+
+    /// The clipped region covered by a chunk index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is outside the grid.
+    pub fn region(&self, chunk_index: &[usize]) -> ChunkRegion {
+        assert_eq!(chunk_index.len(), self.grid_shape.len(), "rank mismatch");
+        let mut origin = Vec::with_capacity(chunk_index.len());
+        let mut shape = Vec::with_capacity(chunk_index.len());
+        for d in 0..chunk_index.len() {
+            assert!(
+                chunk_index[d] < self.grid_shape[d],
+                "chunk index {chunk_index:?} outside grid {:?}",
+                self.grid_shape
+            );
+            let o = chunk_index[d] * self.chunk_shape[d];
+            origin.push(o);
+            shape.push(self.chunk_shape[d].min(self.shape[d] - o));
+        }
+        ChunkRegion { origin, shape }
+    }
+
+    /// The contiguous element runs of a chunk: `(start, len)` pairs of
+    /// row-major linear offsets into the full array, in the chunk's own
+    /// row-major order. The innermost dimension of every chunk box is
+    /// contiguous in the source, so gather/scatter copy whole runs instead
+    /// of single elements.
+    pub fn runs(&self, chunk_index: &[usize]) -> Vec<(usize, usize)> {
+        let region = self.region(chunk_index);
+        if region.is_empty() {
+            return Vec::new();
+        }
+        let rank = self.shape.len();
+        // Row-major strides of the full array.
+        let mut strides = vec![1usize; rank];
+        for d in (0..rank.saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * self.shape[d + 1];
+        }
+        let run = region.shape[rank - 1];
+        let n_runs = region.len() / run;
+        let mut out = Vec::with_capacity(n_runs);
+        let mut cursor = vec![0usize; rank];
+        loop {
+            let base: usize = cursor
+                .iter()
+                .zip(&region.origin)
+                .zip(&strides)
+                .map(|((&c, &o), &s)| (c + o) * s)
+                .sum();
+            out.push((base, run));
+            // Advance all but the innermost dimension.
+            let mut d = rank.wrapping_sub(2);
+            loop {
+                if d == usize::MAX {
+                    return out;
+                }
+                cursor[d] += 1;
+                if cursor[d] < region.shape[d] {
+                    break;
+                }
+                cursor[d] = 0;
+                d = d.wrapping_sub(1);
+            }
+        }
+    }
+
+    /// Row-major linear offsets (into the full array) of every element of a
+    /// chunk, in the chunk's own row-major order — the flattened form of
+    /// [`ChunkGrid::runs`].
+    pub fn element_offsets(&self, chunk_index: &[usize]) -> Vec<usize> {
+        self.runs(chunk_index)
+            .into_iter()
+            .flat_map(|(start, len)| start..start + len)
+            .collect()
+    }
+
+    /// Gather one chunk from a flat byte buffer of `word` bytes per element
+    /// into a contiguous chunk slab.
+    pub fn gather_bytes(&self, chunk_index: &[usize], src: &[u8], word: usize) -> Vec<u8> {
+        let region = self.region(chunk_index);
+        let mut out = Vec::with_capacity(region.len() * word);
+        for (start, len) in self.runs(chunk_index) {
+            out.extend_from_slice(&src[start * word..(start + len) * word]);
+        }
+        out
+    }
+
+    /// Scatter a contiguous chunk slab back into a flat byte buffer of
+    /// `word` bytes per element (inverse of [`ChunkGrid::gather_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// `Corrupt` when the slab length disagrees with the chunk's clipped
+    /// element count.
+    pub fn scatter_bytes(
+        &self,
+        chunk_index: &[usize],
+        slab: &[u8],
+        word: usize,
+        dst: &mut [u8],
+    ) -> Result<(), StoreError> {
+        let region = self.region(chunk_index);
+        if slab.len() != region.len() * word {
+            return Err(StoreError::Corrupt(format!(
+                "chunk {chunk_index:?}: got {} bytes, expected {}",
+                slab.len(),
+                region.len() * word
+            )));
+        }
+        let mut cursor = 0usize;
+        for (start, len) in self.runs(chunk_index) {
+            dst[start * word..(start + len) * word]
+                .copy_from_slice(&slab[cursor..cursor + len * word]);
+            cursor += len * word;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(ChunkGrid::new(&[], &[]).is_err());
+        assert!(ChunkGrid::new(&[4, 4], &[2]).is_err());
+        assert!(ChunkGrid::new(&[4, 4], &[2, 0]).is_err());
+        assert!(ChunkGrid::new(&[0, 4], &[2, 2]).is_ok(), "empty array ok");
+    }
+
+    #[test]
+    fn grid_shape_and_edges() {
+        let g = ChunkGrid::new(&[5, 7], &[2, 3]).unwrap();
+        assert_eq!(g.grid_shape(), &[3, 3]);
+        assert_eq!(g.num_chunks(), 9);
+        // Interior chunk is full-size.
+        assert_eq!(
+            g.region(&[0, 0]),
+            ChunkRegion {
+                origin: vec![0, 0],
+                shape: vec![2, 3]
+            }
+        );
+        // Bottom-right corner is clipped in both dimensions.
+        assert_eq!(
+            g.region(&[2, 2]),
+            ChunkRegion {
+                origin: vec![4, 6],
+                shape: vec![1, 1]
+            }
+        );
+    }
+
+    #[test]
+    fn offsets_cover_exactly_once() {
+        let g = ChunkGrid::new(&[5, 7, 3], &[2, 3, 2]).unwrap();
+        let mut seen = vec![0u32; 5 * 7 * 3];
+        for c in 0..g.num_chunks() {
+            for e in g.element_offsets(&g.chunk_index(c)) {
+                seen[e] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&k| k == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let g = ChunkGrid::new(&[3, 5], &[2, 2]).unwrap();
+        let src: Vec<u8> = (0..15u8).flat_map(|x| [x, x ^ 0xFF]).collect(); // 2 B words
+        let mut dst = vec![0u8; src.len()];
+        for c in 0..g.num_chunks() {
+            let idx = g.chunk_index(c);
+            let slab = g.gather_bytes(&idx, &src, 2);
+            g.scatter_bytes(&idx, &slab, 2, &mut dst).unwrap();
+        }
+        assert_eq!(dst, src);
+        // Wrong slab length is rejected.
+        assert!(g.scatter_bytes(&[0, 0], &[0u8; 3], 2, &mut dst).is_err());
+    }
+
+    #[test]
+    fn empty_dimension_has_no_chunks() {
+        let g = ChunkGrid::new(&[0, 4], &[2, 2]).unwrap();
+        assert_eq!(g.num_chunks(), 0);
+        assert_eq!(g.num_elements(), 0);
+    }
+
+    #[test]
+    fn one_dimensional_grid() {
+        let g = ChunkGrid::new(&[10], &[4]).unwrap();
+        assert_eq!(g.grid_shape(), &[3]);
+        assert_eq!(g.region(&[2]).shape, vec![2]);
+        let offs = g.element_offsets(&[1]);
+        assert_eq!(offs, vec![4, 5, 6, 7]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Error type shared across the store, codec and array layers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Anything that can go wrong while reading or writing a chunked array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The underlying byte store failed (filesystem I/O, …).
+    Io(String),
+    /// Stored bytes do not decode (bad framing, checksum mismatch, short
+    /// chunk, malformed metadata).
+    Corrupt(String),
+    /// A key the array layout requires is absent from the store.
+    MissingKey(String),
+    /// The request is structurally invalid (bad key charset, mismatched
+    /// shapes, unknown codec, zero-sized chunk dims).
+    Invalid(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(m) => write!(f, "store I/O error: {m}"),
+            StoreError::Corrupt(m) => write!(f, "corrupt stored data: {m}"),
+            StoreError::MissingKey(k) => write!(f, "missing store key: {k}"),
+            StoreError::Invalid(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,55 @@
+//! # posit-store
+//!
+//! Chunked, codec-pipelined storage for packed posit tensors — the on-disk
+//! half of the paper's footprint claim (Lu et al., SOCC 2019: 8-bit posit
+//! weights/activations at a quarter of the f32 traffic). The in-memory
+//! [`posit_tensor::Storage`] domain keeps tensors packed *between* steps;
+//! this crate keeps them packed *at rest*, zarr-style:
+//!
+//! * [`ChunkGrid`] — regular n-d chunking with exact edge handling, so
+//!   checkpoints shard and partial reads touch only the chunks they need;
+//! * [`Codec`] pipeline — [`PositBitPack`] (true bits-per-element on disk,
+//!   even for sub-byte formats like posit(6,0)), [`ByteShuffle`] and a
+//!   [`Crc32`] trailer, chained per chunk and recorded in the header;
+//! * [`Store`] — a keyed byte store with [`MemoryStore`] and [`FsStore`]
+//!   (one file per chunk, temp-file + rename commits) backends;
+//! * [`write_tensor`] / [`read_tensor`] — tensor-level entry points that
+//!   encode/decode chunks in parallel on the same scoped-thread partitioner
+//!   as the posit GEMM, and restore packed planes **bit-identically**
+//!   (code words, format and Eq. 2 scale exponent).
+//!
+//! ```
+//! use posit::{PositFormat, Rounding};
+//! use posit_store::{read_tensor, write_tensor, MemoryStore};
+//! use posit_tensor::Tensor;
+//!
+//! let store = MemoryStore::new();
+//! let t = Tensor::from_vec(vec![0.5, -2.0, 1.5, 0.0], &[2, 2])
+//!     .to_posit(PositFormat::of(8, 1), 0, Rounding::NearestEven);
+//! write_tensor(&store, "weights/fc1", &t)?;
+//! let back = read_tensor(&store, "weights/fc1")?;
+//! assert_eq!(back.posit_bits(), t.posit_bits()); // bit-identical restore
+//! # Ok::<(), posit_store::StoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod chunk;
+mod codec;
+mod error;
+mod meta;
+mod store;
+
+pub use array::{
+    chunk_key, default_chunk_shape, default_codecs, delete_array, meta_key, read_tensor,
+    write_tensor, write_tensor_with, WriteStats,
+};
+pub use chunk::{ChunkGrid, ChunkRegion};
+pub use codec::{
+    chain_from_specs, codec_from_spec, crc32, ByteShuffle, Codec, CodecContext, Crc32, PositBitPack,
+};
+pub use error::StoreError;
+pub use meta::{ArrayMeta, Dtype, FORMAT_VERSION};
+pub use store::{validate_key, FsStore, MemoryStore, Store};

@@ -1,0 +1,303 @@
+//! The keyed byte store: where encoded chunks and metadata live.
+//!
+//! Keys are `/`-separated paths (`"lenet/params/conv1.weight/c/0.0"`) over
+//! a restricted charset, so the same key space maps 1:1 onto an in-memory
+//! map, a directory tree, or (later) an object store — the zarr store
+//! abstraction. All methods take `&self`: stores are internally
+//! synchronized so parallel chunk pipelines can share one handle.
+
+use crate::error::StoreError;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A keyed byte store.
+pub trait Store: Send + Sync {
+    /// Read a key's bytes (`None` when absent).
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError>;
+
+    /// Create or replace a key.
+    fn set(&self, key: &str, value: &[u8]) -> Result<(), StoreError>;
+
+    /// Remove a key (absent keys are fine).
+    fn delete(&self, key: &str) -> Result<(), StoreError>;
+
+    /// All keys, sorted lexicographically.
+    fn list(&self) -> Result<Vec<String>, StoreError>;
+
+    /// Keys under a prefix (sorted). The default filters [`Store::list`].
+    fn list_prefix(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        Ok(self
+            .list()?
+            .into_iter()
+            .filter(|k| k.starts_with(prefix))
+            .collect())
+    }
+}
+
+/// Validate a store key: non-empty `/`-separated segments of
+/// `[A-Za-z0-9._-]`, no empty / `.` / `..` segments, no leading slash,
+/// and no segment ending in `.tmp` (that suffix is reserved for
+/// [`FsStore`]'s in-flight staging files, which directory walks skip —
+/// allowing it in keys would make the backends disagree about `list`).
+///
+/// # Errors
+///
+/// `Invalid` describing the offending part.
+pub fn validate_key(key: &str) -> Result<(), StoreError> {
+    if key.is_empty() {
+        return Err(StoreError::Invalid("empty store key".into()));
+    }
+    for seg in key.split('/') {
+        if seg.is_empty() {
+            return Err(StoreError::Invalid(format!(
+                "key {key:?} has an empty segment"
+            )));
+        }
+        if seg == "." || seg == ".." {
+            return Err(StoreError::Invalid(format!(
+                "key {key:?} contains a relative segment"
+            )));
+        }
+        if seg.ends_with(".tmp") {
+            return Err(StoreError::Invalid(format!(
+                "key {key:?}: the .tmp suffix is reserved for staging files"
+            )));
+        }
+        if !seg
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+        {
+            return Err(StoreError::Invalid(format!(
+                "key {key:?}: segment {seg:?} outside [A-Za-z0-9._-]"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// An in-memory store (sorted map under a mutex) — the test double and the
+/// staging target for single-blob serialization.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    map: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    pub fn new() -> MemoryStore {
+        MemoryStore::default()
+    }
+
+    /// Total payload bytes currently held (metadata + chunks) — the
+    /// "checkpoint size" a size comparison wants.
+    pub fn total_bytes(&self) -> usize {
+        self.map
+            .lock()
+            .expect("store poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+impl Store for MemoryStore {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        validate_key(key)?;
+        Ok(self.map.lock().expect("store poisoned").get(key).cloned())
+    }
+
+    fn set(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        validate_key(key)?;
+        self.map
+            .lock()
+            .expect("store poisoned")
+            .insert(key.to_string(), value.to_vec());
+        Ok(())
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StoreError> {
+        validate_key(key)?;
+        self.map.lock().expect("store poisoned").remove(key);
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        Ok(self
+            .map
+            .lock()
+            .expect("store poisoned")
+            .keys()
+            .cloned()
+            .collect())
+    }
+}
+
+/// A filesystem-directory store: one file per key under a root directory,
+/// key segments as subdirectories. Writes go through a temp file + rename
+/// so a killed process never leaves a half-written chunk under its final
+/// name — the property the kill/resume training demo leans on.
+#[derive(Debug)]
+pub struct FsStore {
+    root: PathBuf,
+    /// Serializes temp-name generation (same-key races are the caller's
+    /// concern; this only keeps temp names unique within the process).
+    counter: Mutex<u64>,
+}
+
+impl FsStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<FsStore, StoreError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(FsStore {
+            root,
+            counter: Mutex::new(0),
+        })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, key: &str) -> Result<PathBuf, StoreError> {
+        validate_key(key)?;
+        let mut p = self.root.clone();
+        for seg in key.split('/') {
+            p.push(seg);
+        }
+        Ok(p)
+    }
+
+    /// Total payload bytes of every key (directory walk).
+    pub fn total_bytes(&self) -> Result<u64, StoreError> {
+        let mut sum = 0;
+        for key in self.list()? {
+            let p = self.path_of(&key)?;
+            sum += std::fs::metadata(&p)?.len();
+        }
+        Ok(sum)
+    }
+
+    fn walk(dir: &Path, rel: &mut Vec<String>, out: &mut Vec<String>) -> Result<(), StoreError> {
+        let mut entries: Vec<_> = std::fs::read_dir(dir)?
+            .collect::<Result<_, _>>()
+            .map_err(StoreError::from)?;
+        entries.sort_by_key(|e| e.file_name());
+        for e in entries {
+            let name = e.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".tmp") {
+                continue; // in-flight write, not a committed key
+            }
+            let ty = e.file_type()?;
+            rel.push(name);
+            if ty.is_dir() {
+                Self::walk(&e.path(), rel, out)?;
+            } else {
+                out.push(rel.join("/"));
+            }
+            rel.pop();
+        }
+        Ok(())
+    }
+}
+
+impl Store for FsStore {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        let p = self.path_of(key)?;
+        match std::fs::read(&p) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn set(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        let p = self.path_of(key)?;
+        if let Some(dir) = p.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = {
+            let mut c = self.counter.lock().expect("counter poisoned");
+            *c += 1;
+            p.with_extension(format!("{}.{}.tmp", std::process::id(), *c))
+        };
+        std::fs::write(&tmp, value)?;
+        std::fs::rename(&tmp, &p)?;
+        Ok(())
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StoreError> {
+        let p = self.path_of(key)?;
+        match std::fs::remove_file(&p) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        let mut out = Vec::new();
+        Self::walk(&self.root, &mut Vec::new(), &mut out)?;
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn Store) {
+        assert_eq!(store.get("a/b").unwrap(), None);
+        store.set("a/b", b"one").unwrap();
+        store.set("a/c.d", b"two").unwrap();
+        store.set("z", b"three").unwrap();
+        assert_eq!(store.get("a/b").unwrap().unwrap(), b"one");
+        store.set("a/b", b"ONE").unwrap(); // overwrite
+        assert_eq!(store.get("a/b").unwrap().unwrap(), b"ONE");
+        assert_eq!(store.list().unwrap(), vec!["a/b", "a/c.d", "z"]);
+        assert_eq!(store.list_prefix("a/").unwrap(), vec!["a/b", "a/c.d"]);
+        store.delete("a/b").unwrap();
+        store.delete("a/b").unwrap(); // idempotent
+        assert_eq!(store.get("a/b").unwrap(), None);
+        // Bad keys are rejected, not resolved.
+        assert!(store.get("../escape").is_err());
+        assert!(store.set("a//b", b"x").is_err());
+        assert!(store.set("", b"x").is_err());
+        assert!(store.set("/abs", b"x").is_err());
+        assert!(store.set("a b", b"x").is_err());
+        // .tmp is the staging suffix: a committed key may not claim it
+        // (FsStore's directory walk would hide it from list()).
+        assert!(store.set("scratch.tmp", b"x").is_err());
+        assert!(store.set("a/b.tmp", b"x").is_err());
+    }
+
+    #[test]
+    fn memory_store_contract() {
+        exercise(&MemoryStore::new());
+    }
+
+    #[test]
+    fn fs_store_contract() {
+        let dir = std::env::temp_dir().join(format!("posit-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FsStore::open(&dir).unwrap();
+        exercise(&store);
+        // Reopen: committed keys survive.
+        store.set("persist/me", b"bytes").unwrap();
+        let again = FsStore::open(&dir).unwrap();
+        assert_eq!(again.get("persist/me").unwrap().unwrap(), b"bytes");
+        assert!(again.total_bytes().unwrap() >= 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_store_total_bytes() {
+        let s = MemoryStore::new();
+        s.set("k1", &[0; 10]).unwrap();
+        s.set("k2", &[0; 5]).unwrap();
+        assert_eq!(s.total_bytes(), 15);
+    }
+}

@@ -1,0 +1,186 @@
+//! Exhaustive and property coverage of the chunked store:
+//!
+//! * every 8-bit posit code point — including NaR — survives
+//!   `Tensor → store → Tensor` bit-identically for posit(8,0..=2), through
+//!   both the in-memory and the filesystem backend, with non-trivial chunk
+//!   shapes and scale exponents;
+//! * a proptest that [`ChunkGrid`] covers every element of random
+//!   shape/chunk-shape combinations exactly once (the "no element lost, no
+//!   element doubled" invariant behind gather/scatter);
+//! * a proptest that random f32 tensors round-trip bit-exactly through
+//!   random chunkings.
+//!
+//! `ci/test.sh` re-runs this suite in release mode, like the in-memory
+//! storage suite: the sweeps are cheap there and release is where the
+//! codec fast paths actually run.
+
+use posit::{PositFormat, Rounding};
+use posit_store::{
+    read_tensor, write_tensor_with, ChunkGrid, FsStore, MemoryStore, Store, StoreError,
+};
+use posit_tensor::rng::Prng;
+use posit_tensor::{PackedBits, Tensor};
+
+/// A tensor holding every code point of an 8-bit format once, shaped so
+/// the chunking produces interior and clipped edge chunks.
+fn all_codes_tensor(fmt: PositFormat, scale_exp: i32) -> Tensor {
+    let mut bits = PackedBits::for_format(fmt, 256);
+    for code in 0..=255u64 {
+        bits.push(code);
+    }
+    Tensor::from_posit_bits(bits, fmt, scale_exp, &[16, 16])
+}
+
+fn assert_bit_identical_roundtrip(store: &dyn Store, prefix: &str, t: &Tensor) {
+    let chunk = vec![5, 7]; // deliberately misaligned with [16, 16]
+    write_tensor_with(store, prefix, t, &chunk, None).expect("write");
+    let back = read_tensor(store, prefix).expect("read");
+    let (b0, f0, e0) = t.posit_bits().expect("source packed");
+    let (b1, f1, e1) = back.posit_bits().expect("restore must stay packed");
+    assert_eq!(f1, f0, "format");
+    assert_eq!(e1, e0, "scale exponent");
+    assert_eq!(back.shape(), t.shape(), "shape");
+    for i in 0..b0.len() {
+        assert_eq!(
+            b1.get(i),
+            b0.get(i),
+            "code point {:#04x} at {i} damaged in {prefix}",
+            b0.get(i)
+        );
+    }
+}
+
+#[test]
+fn every_8bit_code_point_survives_memory_store() {
+    let store = MemoryStore::new();
+    for es in 0..=2u32 {
+        let fmt = PositFormat::of(8, es);
+        for scale_exp in [0, -3, 5] {
+            let t = all_codes_tensor(fmt, scale_exp);
+            let prefix = format!("codes/es{es}/s{scale_exp}");
+            assert_bit_identical_roundtrip(&store, &prefix.replace('-', "m"), &t);
+        }
+    }
+}
+
+#[test]
+fn every_8bit_code_point_survives_fs_store() {
+    let dir = std::env::temp_dir().join(format!("posit-store-exhaustive-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = FsStore::open(&dir).expect("open fs store");
+    for es in 0..=2u32 {
+        let fmt = PositFormat::of(8, es);
+        let t = all_codes_tensor(fmt, -2);
+        assert_bit_identical_roundtrip(&store, &format!("codes/es{es}"), &t);
+    }
+    // The restore also survives a fresh handle over the same directory
+    // (i.e. the bytes on disk, not a cache, carry the array).
+    let reopened = FsStore::open(&dir).expect("reopen");
+    for es in 0..=2u32 {
+        let fmt = PositFormat::of(8, es);
+        let t = all_codes_tensor(fmt, -2);
+        let back = read_tensor(&reopened, &format!("codes/es{es}")).expect("read");
+        assert_eq!(back.posit_bits(), t.posit_bits());
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn nar_survives_with_its_exact_code() {
+    // NaR is the one value an f32 round trip could plausibly mangle
+    // (NaN payloads are not canonical); the native path must store the
+    // 0x80 code word itself.
+    let store = MemoryStore::new();
+    for es in 0..=2u32 {
+        let fmt = PositFormat::of(8, es);
+        let mut bits = PackedBits::for_format(fmt, 4);
+        for code in [fmt.nar_bits(), 0, fmt.one_bits(), fmt.nar_bits()] {
+            bits.push(code);
+        }
+        let t = Tensor::from_posit_bits(bits, fmt, 1, &[2, 2]);
+        write_tensor_with(&store, "nar", &t, &[1, 2], None).unwrap();
+        let back = read_tensor(&store, "nar").unwrap();
+        let (b, ..) = back.posit_bits().unwrap();
+        assert_eq!(b.get(0), fmt.nar_bits());
+        assert_eq!(b.get(3), fmt.nar_bits());
+        let dense = back.to_f32();
+        assert!(dense.data()[0].is_nan() && dense.data()[3].is_nan());
+    }
+}
+
+#[test]
+fn wider_formats_roundtrip_spot_check() {
+    // The exhaustive sweep is 8-bit; 16- and 32-bit formats get a dense
+    // random spot check (u16/u32 word paths + byte shuffle + bitpack).
+    let store = MemoryStore::new();
+    let mut rng = Prng::seed(11);
+    for (n, es) in [(16u32, 1u32), (16, 2), (32, 2)] {
+        let fmt = PositFormat::of(n, es);
+        let t = Tensor::rand_normal(&[9, 11], 0.0, 4.0, &mut rng).to_posit(
+            fmt,
+            2,
+            Rounding::NearestEven,
+        );
+        write_tensor_with(&store, "wide", &t, &[4, 4], None).unwrap();
+        let back = read_tensor(&store, "wide").unwrap();
+        assert_eq!(back.posit_bits(), t.posit_bits(), "posit({n},{es})");
+    }
+}
+
+#[test]
+fn store_error_is_a_real_error_type() {
+    let e = StoreError::MissingKey("k".into());
+    let _: &dyn std::error::Error = &e;
+    assert!(e.to_string().contains('k'));
+}
+
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dims(rng_max: usize) -> impl Strategy<Value = usize> {
+        1usize..rng_max
+    }
+
+    proptest! {
+        #[test]
+        fn chunk_grid_covers_every_element_exactly_once(
+            d0 in dims(9), d1 in dims(9), d2 in dims(6),
+            c0 in dims(5), c1 in dims(5), c2 in dims(4),
+        ) {
+            let shape = [d0, d1, d2];
+            let chunk = [c0, c1, c2];
+            let g = ChunkGrid::new(&shape, &chunk).unwrap();
+            let n: usize = shape.iter().product();
+            let mut seen = vec![0u32; n];
+            let mut total_regions = 0usize;
+            for c in 0..g.num_chunks() {
+                let idx = g.chunk_index(c);
+                let region = g.region(&idx);
+                total_regions += region.len();
+                for off in g.element_offsets(&idx) {
+                    prop_assert!(off < n, "offset {off} out of bounds");
+                    seen[off] += 1;
+                }
+            }
+            prop_assert_eq!(total_regions, n, "clipped regions must tile the array");
+            for (i, &k) in seen.iter().enumerate() {
+                prop_assert_eq!(k, 1, "element {} covered {} times", i, k);
+            }
+        }
+
+        #[test]
+        fn random_f32_tensors_roundtrip_under_random_chunking(
+            d0 in dims(7), d1 in dims(7),
+            c0 in dims(5), c1 in dims(5),
+            seed in any::<u64>(),
+        ) {
+            let mut rng = Prng::seed(seed);
+            let t = Tensor::rand_normal(&[d0, d1], 0.0, 10.0, &mut rng);
+            let store = MemoryStore::new();
+            write_tensor_with(&store, "t", &t, &[c0, c1], None).unwrap();
+            let back = read_tensor(&store, "t").unwrap();
+            prop_assert_eq!(back, t);
+        }
+    }
+}

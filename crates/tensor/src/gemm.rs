@@ -65,6 +65,54 @@ where
     });
 }
 
+/// Map `f(index, item)` over `items` with the same static scoped-thread
+/// partitioning as the GEMM row splitter (`par_rows`): contiguous index
+/// blocks, one thread per block, deterministic output order regardless of
+/// thread count.
+///
+/// `min_per_thread` is the smallest block worth a thread spawn — fewer
+/// items run serially on the caller's thread. This is the partitioner the
+/// chunked store reuses for parallel chunk encode/decode, where each item
+/// is an independent chunk job producing an owned result.
+pub fn par_map_indexed<T, U, F>(items: &[T], min_per_thread: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = thread_count();
+    let min_per_thread = min_per_thread.max(1);
+    if items.len() <= min_per_thread || threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let per = items.len().div_ceil(threads).max(min_per_thread);
+    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let mut out_rest: &mut [Option<U>] = &mut out;
+        let mut start = 0usize;
+        let mut handles = Vec::new();
+        while !out_rest.is_empty() {
+            let take = per.min(out_rest.len());
+            let (block, next) = out_rest.split_at_mut(take);
+            let f = &f;
+            let chunk = &items[start..start + take];
+            handles.push(s.spawn(move || {
+                for (off, (slot, item)) in block.iter_mut().zip(chunk).enumerate() {
+                    *slot = Some(f(start + off, item));
+                }
+            }));
+            out_rest = next;
+            start += take;
+        }
+        for h in handles {
+            h.join().expect("par_map worker panicked");
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
 /// `c = a[m,k] * b[k,n]` (c must be zeroed or hold the accumulation base).
 ///
 /// # Panics
@@ -321,6 +369,23 @@ mod tests {
         gemm_a_bt(m, k, n, &a, &b_t, &mut c);
         for (g, w) in c.iter().zip(&want) {
             assert!((g - w).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_every_scale() {
+        // Serial path (below the spawn threshold), and parallel path with a
+        // count that does not divide evenly across threads.
+        for n in [0usize, 1, 3, 7, 64, 1001] {
+            let items: Vec<usize> = (0..n).collect();
+            let out = par_map_indexed(&items, 2, |i, &x| {
+                assert_eq!(i, x);
+                x * 3 + 1
+            });
+            assert_eq!(out.len(), n);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i * 3 + 1);
+            }
         }
     }
 }

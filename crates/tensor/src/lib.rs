@@ -24,6 +24,7 @@ pub mod storage;
 mod tensor;
 
 pub use backend::{Backend, Operand, PreparedOperand};
+pub use gemm::par_map_indexed;
 pub use posit_gemm::{PositGemm, PositPlane};
 pub use storage::{PackedBits, Storage, StorageDomain};
 pub use tensor::Tensor;

@@ -112,6 +112,57 @@ impl PackedBits {
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
         (0..self.len()).map(move |i| self.get(i))
     }
+
+    /// Bytes per code word of this buffer (1, 2 or 4).
+    pub fn word_bytes(&self) -> usize {
+        match self {
+            PackedBits::U8(_) => 1,
+            PackedBits::U16(_) => 2,
+            PackedBits::U32(_) => 4,
+        }
+    }
+
+    /// Serialize the code words as a little-endian byte slab
+    /// (`len × word_bytes` bytes) — the raw-array form the on-disk store
+    /// feeds into its codec pipeline.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        match self {
+            PackedBits::U8(v) => v.clone(),
+            PackedBits::U16(v) => v.iter().flat_map(|w| w.to_le_bytes()).collect(),
+            PackedBits::U32(v) => v.iter().flat_map(|w| w.to_le_bytes()).collect(),
+        }
+    }
+
+    /// Rebuild a buffer from a little-endian byte slab previously produced
+    /// by [`PackedBits::to_le_bytes`] at the width `fmt` implies. Returns
+    /// `None` when the slab length is not a multiple of the word width.
+    pub fn from_le_bytes(fmt: PositFormat, bytes: &[u8]) -> Option<PackedBits> {
+        match PackedBits::bytes_per_elem(fmt) {
+            1 => Some(PackedBits::U8(bytes.to_vec())),
+            2 => {
+                if !bytes.len().is_multiple_of(2) {
+                    return None;
+                }
+                Some(PackedBits::U16(
+                    bytes
+                        .chunks_exact(2)
+                        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                        .collect(),
+                ))
+            }
+            _ => {
+                if !bytes.len().is_multiple_of(4) {
+                    return None;
+                }
+                Some(PackedBits::U32(
+                    bytes
+                        .chunks_exact(4)
+                        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                        .collect(),
+                ))
+            }
+        }
+    }
 }
 
 /// Which domain a [`Storage`] lives in.
@@ -207,6 +258,28 @@ mod tests {
         b.set(1, 0x7F);
         assert_eq!(b.get(1), 0x7F);
         assert_eq!(b.nbytes(), 4);
+    }
+
+    #[test]
+    fn le_byte_slab_roundtrips_at_every_width() {
+        for (fmt, codes) in [
+            (PositFormat::of(8, 1), vec![0u64, 0x40, 0x80, 0xFF]),
+            (PositFormat::of(16, 1), vec![0, 0x4000, 0x8000, 0xFFFF]),
+            (PositFormat::of(32, 2), vec![0, 0x4000_0000, 0xFFFF_FFFF]),
+        ] {
+            let mut b = PackedBits::for_format(fmt, codes.len());
+            for &c in &codes {
+                b.push(c);
+            }
+            let slab = b.to_le_bytes();
+            assert_eq!(slab.len(), b.nbytes());
+            assert_eq!(b.word_bytes(), PackedBits::bytes_per_elem(fmt));
+            let back = PackedBits::from_le_bytes(fmt, &slab).unwrap();
+            assert_eq!(back, b);
+        }
+        // A slab that is not a whole number of words is rejected.
+        assert!(PackedBits::from_le_bytes(PositFormat::of(16, 1), &[1, 2, 3]).is_none());
+        assert!(PackedBits::from_le_bytes(PositFormat::of(32, 2), &[1, 2, 3]).is_none());
     }
 
     #[test]

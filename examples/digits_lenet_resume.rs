@@ -1,0 +1,153 @@
+//! Kill/resume training demo on the chunked posit store: checkpoint a
+//! quire-backend LeNet run into a `posit-store` directory every epoch,
+//! "kill" it mid-training, resume from disk in a fresh trainer, and verify
+//! the resumed run reproduces the uninterrupted run's metrics bit-exactly.
+//! Then pack the trained masters into posit(8,1) — the deploy artifact —
+//! and compare checkpoint v2 (native packed code words) against the flat
+//! f32 v1 format.
+//!
+//! ```text
+//! cargo run --release --example digits_lenet_resume
+//! ```
+
+use posit_dnn::data::digits;
+use posit_dnn::models::lenet;
+use posit_dnn::nn::{checkpoint, Layer, StepLr};
+use posit_dnn::posit::{PositFormat, Rounding};
+use posit_dnn::store::{FsStore, Store};
+use posit_dnn::tensor::rng::Prng;
+use posit_dnn::train::{ComputeBackend, QuantBuilder, QuantSpec, TrainConfig, Trainer};
+
+const EPOCHS: usize = 12;
+const KILL_AFTER: usize = 6;
+
+fn spec() -> QuantSpec {
+    // The paper's CIFAR recipe on the exact-accumulation quire backend:
+    // posit(8,1) weights/activations, posit(8,2) errors, FP32 masters.
+    QuantSpec::cifar_paper().with_backend(ComputeBackend::PositQuire)
+}
+
+fn config() -> TrainConfig {
+    let mut config = TrainConfig::cifar_scaled(4, EPOCHS)
+        .with_seed(3)
+        .with_quant(spec())
+        .with_warmup(3);
+    // A stable recipe for this task: LR 0.02 with a step at 2/3, no decay.
+    config.schedule = StepLr::new(0.02, vec![EPOCHS * 2 / 3], 0.1);
+    config.weight_decay = 0.0;
+    config
+}
+
+fn trainer(config: &TrainConfig) -> Trainer {
+    let mut qb = QuantBuilder::new(spec());
+    let control = qb.control();
+    let mut rng = Prng::seed(config.seed);
+    let net = lenet(&mut qb, 1, 28, 10, &mut rng);
+    Trainer::from_net(net, Some(control))
+}
+
+fn print_epoch(s: &posit_dnn::train::EpochStats) {
+    println!(
+        "epoch {:2} [{:9}] loss {:.4} test acc {:.1}%",
+        s.epoch,
+        s.phase,
+        s.train_loss,
+        100.0 * s.test_acc
+    );
+}
+
+fn main() {
+    let train = digits::generate(1200, 28, 0.15, 1);
+    let test = digits::generate(300, 28, 0.15, 2);
+    let config = config();
+
+    // Reference: the uninterrupted run.
+    println!("=== uninterrupted run ({EPOCHS} epochs) ===");
+    let mut uninterrupted = trainer(&config);
+    let full = uninterrupted.run_with(&train, &test, &config, print_epoch);
+
+    // The same schedule, checkpointed per epoch and killed after
+    // KILL_AFTER epochs. Truncating only the `epochs` field keeps the LR
+    // milestones (and therefore the executed prefix) identical.
+    let dir = std::env::temp_dir().join(format!("digits-lenet-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = FsStore::open(&dir).expect("open checkpoint dir");
+    let mut truncated = config.clone();
+    truncated.epochs = KILL_AFTER;
+    println!(
+        "\n=== run killed after epoch {KILL_AFTER} (checkpoints -> {}) ===",
+        dir.display()
+    );
+    trainer(&truncated)
+        .run_resumable(&train, &test, &truncated, &store, print_epoch)
+        .expect("checkpointed run");
+    println!("(process \"killed\" here — trainer dropped, only the store survives)");
+    println!(
+        "checkpoint on disk: {} keys, {} bytes",
+        store.list().expect("list").len(),
+        store.total_bytes().expect("du"),
+    );
+
+    // A fresh trainer + the full config resume from the same store.
+    println!("\n=== resumed run (epochs {KILL_AFTER}..{EPOCHS}) ===");
+    let mut resumed_trainer = trainer(&config);
+    let resumed = resumed_trainer
+        .run_resumable(&train, &test, &config, &store, print_epoch)
+        .expect("resumed run");
+
+    assert_eq!(resumed.epochs.len(), full.epochs.len());
+    for (a, b) in full.epochs.iter().zip(&resumed.epochs) {
+        assert_eq!(
+            a.train_loss.to_bits(),
+            b.train_loss.to_bits(),
+            "epoch {} diverged",
+            a.epoch
+        );
+        assert_eq!(a.test_acc.to_bits(), b.test_acc.to_bits());
+    }
+    assert_eq!(
+        full.final_test_acc.to_bits(),
+        resumed.final_test_acc.to_bits()
+    );
+    println!(
+        "\nresume verified: final test acc {:.1}% (bit-exact vs uninterrupted)",
+        100.0 * resumed.final_test_acc
+    );
+
+    // Deploy artifact: pack the trained masters into posit(8,1) planes and
+    // checkpoint them natively — v2 stores the code words themselves.
+    let net = resumed_trainer.net_mut();
+    let fmt = PositFormat::of(8, 1);
+    for p in net.params_mut() {
+        p.value = p.value.to_posit(fmt, 0, Rounding::NearestEven);
+    }
+    let v1 = checkpoint::save(net).len();
+    let v2_bytes = checkpoint::save_v2(net);
+    let v2 = v2_bytes.len();
+    println!("deploy checkpoint, v1 (flat f32):     {v1} bytes");
+    println!(
+        "deploy checkpoint, v2 (packed posit): {v2} bytes  ({:.2}x smaller)",
+        v1 as f64 / v2 as f64
+    );
+    assert!(
+        v2 * 3 <= v1,
+        "v2 must be at least 3x smaller for posit8 masters"
+    );
+
+    // And the packed plane restores bit-identically into a fresh net.
+    let mut qb = QuantBuilder::new(spec());
+    let mut rng = Prng::seed(999);
+    let mut restored = lenet(&mut qb, 1, 28, 10, &mut rng);
+    checkpoint::load(&mut restored, &v2_bytes).expect("restore v2");
+    for (pa, pb) in net.params().iter().zip(restored.params()) {
+        assert_eq!(
+            pa.value.posit_bits(),
+            pb.value.posit_bits(),
+            "{} must restore bit-identically",
+            pa.name
+        );
+    }
+    println!("v2 restore verified: packed code words bit-identical.");
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -16,7 +16,9 @@
 //! * [`data`] — synthetic dataset generators;
 //! * [`models`] — the ResNet-18 family;
 //! * [`train`] — the paper's training methodology
-//!   (warm-up, Eq. 2–3 scaling, es selection, Table III configs).
+//!   (warm-up, Eq. 2–3 scaling, es selection, Table III configs);
+//! * [`store`] — chunked, codec-pipelined on-disk storage for packed
+//!   posit tensors (checkpoint v2, bit-exact kill/resume training).
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the
 //! paper-vs-measured record.
@@ -59,5 +61,6 @@ pub use posit_data as data;
 pub use posit_hw as hw;
 pub use posit_models as models;
 pub use posit_nn as nn;
+pub use posit_store as store;
 pub use posit_tensor as tensor;
 pub use posit_train as train;

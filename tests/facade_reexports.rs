@@ -167,3 +167,29 @@ fn train_reexports_construct() {
         assert!(fmt.es() <= 2, "paper rule uses es in {{1, 2}}");
     }
 }
+
+#[test]
+fn store_reexports_construct() {
+    use posit_dnn::store::{read_tensor, write_tensor, ChunkGrid, MemoryStore, Store};
+
+    // A packed posit tensor survives the chunked store bit-identically.
+    let store = MemoryStore::new();
+    let t = Tensor::from_vec(vec![0.5, -2.0, 1.5, 0.0], &[2, 2]).to_posit(
+        PositFormat::of(8, 1),
+        0,
+        Rounding::NearestEven,
+    );
+    write_tensor(&store, "w", &t).expect("write");
+    let back = read_tensor(&store, "w").expect("read");
+    assert_eq!(back.posit_bits(), t.posit_bits());
+    assert!(!store.list().expect("list").is_empty());
+
+    let grid = ChunkGrid::new(&[5, 7], &[2, 3]).expect("grid");
+    assert_eq!(grid.num_chunks(), 9);
+
+    // Checkpoint v2 flows through the same store machinery.
+    let mut rng = Prng::seed(6);
+    let mut net = lenet(&mut PlainBuilder, 1, 16, 10, &mut rng);
+    let blob = posit_dnn::nn::checkpoint::save_v2(&net);
+    posit_dnn::nn::checkpoint::load(&mut net, &blob).expect("v2 self-load");
+}
