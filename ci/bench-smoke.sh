@@ -20,6 +20,14 @@ json="$root/BENCH_${stage}.json"
 mkdir -p "$root/target"
 rm -f "$ndjson"
 
+# Keep the committed numbers around: the quire-GEMM regression gate below
+# compares the fresh run against them before they are overwritten.
+old_json="$root/target/criterion-${stage}-committed.json"
+rm -f "$old_json"
+if [ -s "$json" ]; then
+    cp "$json" "$old_json"
+fi
+
 echo "==> CRITERION_QUICK=1 cargo bench -p posit-bench"
 CRITERION_QUICK=1 CRITERION_JSON="$ndjson" cargo bench -p posit-bench
 
@@ -44,4 +52,50 @@ if [ -s "$ndjson" ]; then
 else
     echo "==> no bench records captured; $json not written" >&2
     exit 1
+fi
+
+# Regression gate: the posit-quire GEMM rows (the kernels this repo's perf
+# story stands on) must not regress more than 1.5x against the previous
+# run's JSON. The baseline is always same-machine: BENCH_*.json is
+# gitignored, so the file at the repo root is whatever the *last run on
+# this box* wrote (a fresh clone has no baseline and skips the gate) —
+# absolute wall times are never compared across machines. Other rows are
+# informational — micro-bench noise is real even with the shim's
+# quick-mode warm-up — but a >1.5x slide on a millisecond-scale GEMM on
+# the same box is a code change, not noise.
+if [ -s "$old_json" ]; then
+    echo "==> quire-GEMM regression gate (limit 1.5x vs committed JSON)"
+    awk '
+        # "  "lenet.fc1/posit-quire": 1234," -> key | value
+        match($0, /"(lenet|mlp)\.[^"]*\/posit-quire"/) {
+            key = substr($0, RSTART + 1, RLENGTH - 2)
+            val = $0
+            sub(/^[^:]*: */, "", val)
+            sub(/,?[[:space:]]*$/, "", val)
+            if (FNR == NR) { old[key] = val + 0 }
+            else { new[key] = val + 0 }
+        }
+        END {
+            status = 0
+            for (key in old) {
+                if (!(key in new)) {
+                    printf "    MISSING  %-28s (was %.0f ns/iter)\n", key, old[key]
+                    status = 1
+                    continue
+                }
+                ratio = old[key] > 0 ? new[key] / old[key] : 0
+                verdict = ratio > 1.5 ? "REGRESSED" : "ok"
+                printf "    %-9s %-28s %12.0f -> %12.0f ns/iter (%.2fx)\n", \
+                    verdict, key, old[key], new[key], ratio
+                if (ratio > 1.5) status = 1
+            }
+            if (status) {
+                print "==> FAIL: posit-quire GEMM regressed >1.5x vs committed BENCH json" \
+                    > "/dev/stderr"
+            }
+            exit status
+        }
+    ' "$old_json" "$json"
+else
+    echo "==> no committed BENCH json to gate against (first run)"
 fi

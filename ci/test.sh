@@ -27,8 +27,10 @@ cargo test -q
 if [ "$quick" -eq 0 ]; then
     echo "==> cargo test -q --release -p posit-tensor --test storage_exhaustive"
     cargo test -q --release -p posit-tensor --test storage_exhaustive
+    echo "==> cargo test -q --release -p posit-tensor --test posit_gemm_exhaustive"
+    cargo test -q --release -p posit-tensor --test posit_gemm_exhaustive
     echo "==> cargo test -q --release -p posit-store --test store_exhaustive"
     cargo test -q --release -p posit-store --test store_exhaustive
 else
-    echo "==> (--quick: skipping release-mode storage_exhaustive + store_exhaustive)"
+    echo "==> (--quick: skipping release-mode exhaustive suites)"
 fi

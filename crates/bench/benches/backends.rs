@@ -1,16 +1,29 @@
 //! Compute-backend A/B: `f32` vs `posit-emulated` vs `posit-quire` GEMMs at
 //! the layer shapes of the LeNet and MLP reference models.
 //!
-//! Two extra variants isolate where the quire path's time goes:
-//! `posit-quire` includes the per-call operand unpack (what the `nn` layers
-//! pay), `posit-quire-preplaned` reuses decoded planes across iterations
-//! (what a weight-stationary kernel pays — the decode-once upside).
+//! Extra variants isolate where the quire path's time goes:
+//!
+//! * `posit-quire` includes the per-call operand unpack (what the `nn`
+//!   layers pay on a cache miss);
+//! * `posit-quire-preplaned` reuses decoded planes across iterations (what
+//!   a weight-stationary kernel pays — the decode-once upside, and what
+//!   the layers' `OperandCache` achieves for weights);
+//! * `posit-quire-widequire` is preplaned with the narrow i128 fast path
+//!   disabled — the gap to `preplaned` is the narrow-accumulator win;
+//! * `posit-quire-serial` is preplaned inside a `serial_scope` — the gap
+//!   to `preplaned` is the worker-pool win (zero on single-core boxes,
+//!   where the pool never dispatches).
+//!
+//! A LUT on/off row is not feasible at kernel level — the decode tables
+//! are keyed by format, not by a switch — so the `plane_decode` group
+//! approximates it by timing the plane unpack for a LUT-served 8-bit
+//! format against the bit-twiddled 16-bit path at equal element counts.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use posit::{PositFormat, Rounding};
 use posit_models::{lenet_gemm_shapes, mlp_gemm_shapes, GemmShape};
 use posit_tensor::rng::Prng;
-use posit_tensor::{Backend, PositGemm};
+use posit_tensor::{serial_scope, Backend, PositGemm, PositPlane};
 use std::hint::black_box;
 
 fn bench_shapes() -> Vec<GemmShape> {
@@ -53,8 +66,56 @@ fn bench_backends(c: &mut Criterion) {
                 out
             })
         });
+        // Narrow accumulator off: the same preplaned GEMM forced onto the
+        // heap-allocated wide quire (bit-identical results, slower path).
+        let wide = kernel.wide_accumulator(true);
+        g.bench_function("posit-quire-widequire", |bch| {
+            bch.iter(|| {
+                let mut out = vec![0.0f32; m * n];
+                wide.gemm(m, k, n, black_box(&pa), black_box(&pb), &mut out);
+                out
+            })
+        });
+        // Worker pool off: preplaned, dispatch disabled on this thread.
+        g.bench_function("posit-quire-serial", |bch| {
+            bch.iter(|| {
+                serial_scope(|| {
+                    let mut out = vec![0.0f32; m * n];
+                    kernel.gemm(m, k, n, black_box(&pa), black_box(&pb), &mut out);
+                    out
+                })
+            })
+        });
         g.finish();
     }
+}
+
+/// Operand-plane unpack throughput: the 8-bit row decodes through the
+/// 256-entry LUT, the 16-bit row through the direct bit-twiddled decoder —
+/// the closest feasible LUT on/off comparison (per element, at identical
+/// counts).
+fn bench_plane_decode(c: &mut Criterion) {
+    let elems = 1 << 14;
+    let mut g = c.benchmark_group("plane_decode");
+    g.throughput(Throughput::Elements(elems as u64));
+    for (label, fmt) in [
+        ("lut/posit(8,1)", PositFormat::of(8, 1)),
+        ("twiddle/posit(16,1)", PositFormat::of(16, 1)),
+    ] {
+        let mut state = 0x5EED_BA5E_u64;
+        let bits: Vec<u64> = (0..elems)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) & fmt.mask()
+            })
+            .collect();
+        g.bench_function(label, |bch| {
+            bch.iter(|| PositPlane::from_bits(fmt, black_box(&bits)))
+        });
+    }
+    g.finish();
 }
 
 criterion_group! {
@@ -63,6 +124,6 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(1))
         .sample_size(10);
-    targets = bench_backends
+    targets = bench_backends, bench_plane_decode
 }
 criterion_main!(benches);

@@ -2,8 +2,8 @@
 
 use crate::layer::{Layer, LayerKind};
 use crate::param::Param;
-use posit_tensor::conv::{col2im, im2col, ConvGeom};
-use posit_tensor::{Backend, Tensor};
+use posit_tensor::conv::{col2im, conv2d_prepared, im2col, ConvGeom};
+use posit_tensor::{Backend, OperandCache, Tensor};
 
 /// `Conv2d`: NCHW convolution, square kernel, no dilation/groups (all the
 /// paper's ResNets need). Bias is optional — ResNet convs are bias-free
@@ -17,6 +17,12 @@ pub struct Conv2d {
     cached_input: Option<Tensor>,
     fwd_backend: Backend,
     bwd_backend: Backend,
+    /// Per-direction prepared-weight memos keyed on the weight's content
+    /// stamp (see [`posit_tensor::Backend::prepare_tensor_cached`]): the
+    /// weight tile decode survives across batches until the optimizer
+    /// writes new weights.
+    fwd_weight_cache: OperandCache,
+    bwd_weight_cache: OperandCache,
 }
 
 impl Conv2d {
@@ -39,6 +45,8 @@ impl Conv2d {
             cached_input: None,
             fwd_backend: Backend::F32,
             bwd_backend: Backend::F32,
+            fwd_weight_cache: OperandCache::new(),
+            bwd_weight_cache: OperandCache::new(),
         }
     }
 
@@ -88,10 +96,15 @@ impl Layer for Conv2d {
         // dense() is a free borrow for an f32 bias; only a packed bias
         // (posit-resident weights) pays a decode.
         let bias = self.bias.as_ref().map(|b| b.value.dense());
-        posit_tensor::conv::conv2d_with(
-            self.fwd_backend,
+        // The prepared weight tile is memoized across batches (content
+        // stamp keyed), not just across the samples of one batch.
+        let w_prep = self
+            .fwd_backend
+            .prepare_tensor_cached(&self.weight.value, &mut self.fwd_weight_cache);
+        conv2d_prepared(
+            &w_prep,
+            self.weight.value.shape(),
             input,
-            &self.weight.value,
             bias.as_ref().map(|c| c.data()),
             self.stride,
             self.pad,
@@ -120,11 +133,16 @@ impl Layer for Conv2d {
         let mut col = vec![0.0f32; rows * cols];
         let mut dcol = vec![0.0f32; rows * cols];
         // weight as [O, rows]; grad_out sample as [O, cols]. The weight
-        // operand of the dX GEMM is prepared once for the whole batch
-        // (decode-once from packed bits for the quire backend).
+        // operand of the dX GEMM comes from the backward-direction memo
+        // (decode-once from packed bits for the quire backend, reused
+        // across batches until the weight content changes). The quire
+        // kernel still re-packs this plane into its A panel per sample —
+        // a known, bounded cost (O(O·rows) per O(rows·O·cols) GEMM, a few
+        // percent at the LeNet shapes) that batching the per-sample GEMMs
+        // would remove at the price of restructuring col2im.
         let w_prep = self
             .bwd_backend
-            .prepare_operand(self.weight.value.operand());
+            .prepare_tensor_cached(&self.weight.value, &mut self.bwd_weight_cache);
         for i in 0..n {
             let dy = &grad_out.data()[i * sample_out..(i + 1) * sample_out];
             // ΔW += dY · colᵀ  — [O, cols] × [cols, rows]

@@ -2,7 +2,7 @@
 
 use crate::layer::{Layer, LayerKind};
 use crate::param::Param;
-use posit_tensor::{Backend, Tensor};
+use posit_tensor::{Backend, OperandCache, Tensor};
 
 /// `Linear`: `y[N,out] = x[N,in] · Wᵀ + b`, weight stored `[out, in]`.
 pub struct Linear {
@@ -12,6 +12,13 @@ pub struct Linear {
     cached_input: Option<Tensor>,
     fwd_backend: Backend,
     bwd_backend: Backend,
+    /// Per-direction prepared-weight memos (decoded posit plane /
+    /// quantized copy), keyed on the weight's content stamp — the weight
+    /// decode is paid once per weight update, not once per GEMM. Forward
+    /// and backward run under different backends in the paper's recipes,
+    /// hence two slots.
+    fwd_weight_cache: OperandCache,
+    bwd_weight_cache: OperandCache,
 }
 
 impl Linear {
@@ -26,6 +33,8 @@ impl Linear {
             cached_input: None,
             fwd_backend: Backend::F32,
             bwd_backend: Backend::F32,
+            fwd_weight_cache: OperandCache::new(),
+            bwd_weight_cache: OperandCache::new(),
         }
     }
 
@@ -71,15 +80,13 @@ impl Layer for Linear {
         let mut out = Tensor::zeros(&[n, o]);
         // y = x · Wᵀ — input and weight flow in whichever storage domain
         // they arrived in (packed posit planes feed the quire kernel with
-        // no f32 staging).
-        self.fwd_backend.gemm_a_bt_op(
-            n,
-            k,
-            o,
-            input.operand(),
-            self.weight.value.operand(),
-            out.data_mut(),
-        );
+        // no f32 staging); the decoded weight operand is memoized across
+        // calls until the weight content changes.
+        let x = self.fwd_backend.prepare_operand(input.operand());
+        let w = self
+            .fwd_backend
+            .prepare_tensor_cached(&self.weight.value, &mut self.fwd_weight_cache);
+        x.gemm_a_bt_prepared(n, k, o, &w, out.data_mut());
         if let Some(b) = &self.bias {
             let bv = b.value.dense();
             for i in 0..n {
@@ -112,16 +119,14 @@ impl Layer for Linear {
                 }
             }
         }
-        // dX = dY · W — [n, o] × [o, k]
+        // dX = dY · W — [n, o] × [o, k]; the weight operand comes from the
+        // backward-direction memo (shared with later steps until updated).
         let mut grad_in = Tensor::zeros(&[n, k]);
-        self.bwd_backend.gemm_op(
-            n,
-            o,
-            k,
-            grad_out.operand(),
-            self.weight.value.operand(),
-            grad_in.data_mut(),
-        );
+        let dy = self.bwd_backend.prepare_operand(grad_out.operand());
+        let w = self
+            .bwd_backend
+            .prepare_tensor_cached(&self.weight.value, &mut self.bwd_weight_cache);
+        dy.gemm_prepared(n, o, k, &w, grad_in.data_mut());
         grad_in
     }
 
@@ -191,6 +196,42 @@ mod tests {
             assert_eq!(gx.data(), gx0.data(), "dX {}", b.name());
             assert_eq!(gw.data(), gw0.data(), "dW {}", b.name());
         }
+    }
+
+    #[test]
+    fn weight_cache_tracks_updates_across_steps() {
+        // The memoized weight plane must follow in-place optimizer-style
+        // writes and whole-storage replacements (the Quantized wrapper's
+        // packed-view install), through forward and backward.
+        let fmt = posit::PositFormat::of(8, 1);
+        let qui = Backend::PositQuire {
+            fmt,
+            rounding: posit::Rounding::NearestEven,
+        };
+        let w = Tensor::from_vec(vec![1.0, 2.0, -0.5, 4.0], &[2, 2]);
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let dy = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let mut l = Linear::new("fc", w, None);
+        l.set_backends(qui, qui);
+        // First step: populate both caches.
+        let y1 = l.forward(&x, true);
+        let g1 = l.backward(&dy);
+        assert_eq!(y1.data(), &[1.0, -0.5, 2.0, 4.0], "x·Wᵀ with x = I");
+        assert_eq!(g1.data(), &[1.0, 2.0, -0.5, 4.0], "dY·W with dY = I");
+        // In-place update (what Sgd::step does).
+        l.params_mut()[0].value.data_mut()[0] = 8.0;
+        let y2 = l.forward(&x, true);
+        let g2 = l.backward(&dy);
+        assert_eq!(y2.data(), &[8.0, -0.5, 2.0, 4.0], "fwd sees the update");
+        assert_eq!(g2.data(), &[8.0, 2.0, -0.5, 4.0], "bwd sees the update");
+        // Storage replacement (a packed weight view).
+        l.params_mut()[0].value = Tensor::from_vec(vec![0.5, 0.5, 0.5, 0.5], &[2, 2]).to_posit(
+            fmt,
+            0,
+            posit::Rounding::NearestEven,
+        );
+        let y3 = l.forward(&x, true);
+        assert_eq!(y3.data(), &[0.5, 0.5, 0.5, 0.5], "replacement rebuilds");
     }
 
     #[test]

@@ -278,6 +278,18 @@ impl PositFormat {
         PositValue::Finite(Decoded { sign, scale, frac })
     }
 
+    /// [`PositFormat::decode`] through the per-format lookup table for
+    /// narrow (`n ≤ 8`) formats — identical results (the table is built by
+    /// `decode` itself; see [`crate::lut`]), one memory load instead of the
+    /// bit-twiddled field extraction. Wider formats fall through to the
+    /// direct decode.
+    pub fn decode_fast(&self, bits: u64) -> PositValue {
+        match crate::lut::decode_lut(*self) {
+            Some(lut) => lut[(bits & self.mask()) as usize],
+            None => self.decode(bits),
+        }
+    }
+
     /// Decode directly to `f64` (exact for all supported formats);
     /// NaR becomes NaN.
     pub fn to_f64(&self, bits: u64) -> f64 {
@@ -399,11 +411,13 @@ impl PositFormat {
         } else {
             let c0 = field;
             let c1 = field + 1;
-            let d0 = match self.decode(c0) {
+            // The neighbour decodes dominate the rounding search; narrow
+            // formats resolve them from the decode LUT.
+            let d0 = match self.decode_fast(c0) {
                 crate::value::PositValue::Finite(d) => d,
                 _ => unreachable!("1 <= c0 < maxpos is finite"),
             };
-            let d1 = match self.decode(c1) {
+            let d1 = match self.decode_fast(c1) {
                 crate::value::PositValue::Finite(d) => d,
                 _ => unreachable!("c1 <= maxpos is finite"),
             };

@@ -1,0 +1,105 @@
+//! Per-format decode lookup tables for narrow (n ≤ 8) posit formats.
+//!
+//! An 8-bit posit has at most 256 code words, so the whole decode — regime
+//! run detection, exponent reassembly, fraction alignment — collapses into
+//! one table lookup. The tables are built lazily (once per `(n, es)`) by the
+//! bit-exact [`PositFormat::decode`] itself, so a LUT hit is *identical* to
+//! a bit-twiddled decode by construction; they exist purely to take the
+//! per-element decode off hot paths (operand-plane unpacking in the tensor
+//! kernels, neighbour decodes inside the rounding search, posit→f32 on
+//! store).
+
+use crate::format::PositFormat;
+use crate::value::PositValue;
+use std::sync::OnceLock;
+
+/// Largest word size served by the tables (one 256-entry table per format).
+pub const MAX_LUT_BITS: u32 = 8;
+
+const N_SLOTS: usize = (MAX_LUT_BITS - 1) as usize; // n in 2..=8
+const ES_SLOTS: usize = 5; // es in 0..=4
+
+type DecodeSlot = OnceLock<Vec<PositValue>>;
+type F32Slot = OnceLock<Vec<f32>>;
+
+#[allow(clippy::declare_interior_mutable_const)]
+const DECODE_INIT: DecodeSlot = OnceLock::new();
+#[allow(clippy::declare_interior_mutable_const)]
+const DECODE_ROW: [DecodeSlot; ES_SLOTS] = [DECODE_INIT; ES_SLOTS];
+#[allow(clippy::declare_interior_mutable_const)]
+const F32_INIT: F32Slot = OnceLock::new();
+#[allow(clippy::declare_interior_mutable_const)]
+const F32_ROW: [F32Slot; ES_SLOTS] = [F32_INIT; ES_SLOTS];
+
+static DECODE: [[DecodeSlot; ES_SLOTS]; N_SLOTS] = [DECODE_ROW; N_SLOTS];
+static TO_F32: [[F32Slot; ES_SLOTS]; N_SLOTS] = [F32_ROW; N_SLOTS];
+
+fn slot_index(fmt: PositFormat) -> Option<(usize, usize)> {
+    (fmt.n() <= MAX_LUT_BITS).then(|| ((fmt.n() - 2) as usize, fmt.es() as usize))
+}
+
+/// The 256-entry decode table of a narrow format, or `None` when `n > 8`.
+///
+/// `table[b] == fmt.decode(b)` for every byte `b` (decode masks to the low
+/// `n` bits, so out-of-range indices alias their masked code word exactly
+/// like a direct decode would).
+pub fn decode_lut(fmt: PositFormat) -> Option<&'static [PositValue]> {
+    let (ni, ei) = slot_index(fmt)?;
+    Some(
+        DECODE[ni][ei]
+            .get_or_init(|| (0..256u64).map(|b| fmt.decode(b)).collect())
+            .as_slice(),
+    )
+}
+
+/// The 256-entry posit→f32 table of a narrow format (`table[b] ==
+/// fmt.to_f32(b)`, NaR decoding to NaN), or `None` when `n > 8`.
+pub fn to_f32_lut(fmt: PositFormat) -> Option<&'static [f32]> {
+    let (ni, ei) = slot_index(fmt)?;
+    Some(
+        TO_F32[ni][ei]
+            .get_or_init(|| (0..256u64).map(|b| fmt.to_f32(b)).collect())
+            .as_slice(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_lut_matches_decode_for_every_narrow_format() {
+        for n in 2..=8 {
+            for es in 0..=4 {
+                let fmt = PositFormat::of(n, es);
+                let lut = decode_lut(fmt).expect("narrow format has a LUT");
+                assert_eq!(lut.len(), 256);
+                for b in 0..256u64 {
+                    assert_eq!(lut[b as usize], fmt.decode(b), "({n},{es}) code {b:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_lut_matches_to_f32() {
+        for (n, es) in [(6u32, 0u32), (8, 0), (8, 1), (8, 2)] {
+            let fmt = PositFormat::of(n, es);
+            let lut = to_f32_lut(fmt).unwrap();
+            for b in 0..256u64 {
+                let want = fmt.to_f32(b);
+                let got = lut[b as usize];
+                assert!(
+                    got == want || (got.is_nan() && want.is_nan()),
+                    "({n},{es}) code {b:#x}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_formats_have_no_lut() {
+        assert!(decode_lut(PositFormat::of(16, 1)).is_none());
+        assert!(to_f32_lut(PositFormat::of(32, 2)).is_none());
+    }
+}

@@ -113,20 +113,41 @@ impl Quire {
     /// operand once (e.g. a posit GEMM) instead of paying a decode per
     /// multiply-accumulate as [`Quire::add_product`] does.
     ///
-    /// `scale_sum` must lie within this quire's product range,
-    /// `[2·min_scale, 2·max_scale]` of the format it was built for — true
-    /// whenever both operands come from that format. Out-of-range sums are
-    /// caught by a debug assertion; in release builds they index out of the
-    /// limb array and panic there.
+    /// # Panics
+    ///
+    /// `scale_sum` must lie within this quire's accumulable range —
+    /// `[2·min_scale − margin, 2·max_scale + margin]` of the format and
+    /// margin it was built for, which always holds when both operands come
+    /// from that format. An out-of-range sum panics with the offending
+    /// scale and the accepted range (it would otherwise scribble outside
+    /// the limb array).
     pub fn add_product_parts(&mut self, negative: bool, scale_sum: i32, sig_prod: u128) {
         // value = sig_prod * 2^(scale_sum - 126)
         let pos = (scale_sum - 126) - self.qmin;
+        let (lo, hi) = self.scale_sum_range();
+        if scale_sum < lo || scale_sum > hi {
+            panic!(
+                "Quire::add_product_parts: scale_sum {scale_sum} outside the accumulable \
+                 range [{lo}, {hi}] of this {} quire (operands from a wider format, or a \
+                 scale shift beyond the margin it was built with?)",
+                self.fmt
+            );
+        }
         debug_assert!(pos >= 0);
         if negative {
             self.sub_at(pos as usize, sig_prod);
         } else {
             self.add_at(pos as usize, sig_prod);
         }
+    }
+
+    /// The `scale_sum` values [`Quire::add_product_parts`] accepts: the
+    /// format's product range widened by the construction-time margin.
+    fn scale_sum_range(&self) -> (i32, i32) {
+        let lo = self.qmin + 126;
+        // add_at/sub_at touch limbs `pos/64 .. pos/64 + 2`.
+        let hi = self.qmin + 126 + ((self.words.len() as i32 - 3) * 64 + 63);
+        (lo, hi)
     }
 
     /// Force the quire into the absorbing NaR state (a NaR operand was
@@ -306,6 +327,192 @@ impl Quire {
             }
             acc
         }
+    }
+}
+
+/// A register-resident exact accumulator for narrow posit formats: the
+/// drop-in fast path of [`Quire`] when the whole product range fits an
+/// `i128`.
+///
+/// For the formats the paper actually trains with — posit(8,es) and
+/// posit(16,1) — every product of two posits spans at most
+/// `2·(max_scale − min_scale)` bit positions (a posit's least significant
+/// fraction bit never weighs less than `2^min_scale`, because the regime
+/// eats fraction bits toward the extreme scales), so a fixed-point
+/// accumulator whose bit 0 weighs `2^(2·min_scale − margin)` holds every
+/// product *exactly* in `4·max_scale + 2·margin + 2` bits. What's left of
+/// the 127 magnitude bits of an `i128` is carry guard: `K ≤ 2^guard`
+/// accumulations cannot overflow. [`NarrowQuire::try_new`] does that
+/// accounting and refuses formats/margins/K that don't fit, so callers fall
+/// back to the heap-allocated [`Quire`] — which this type matches
+/// bit-for-bit (same exact sum, same single rounding on
+/// [`NarrowQuire::to_posit`]).
+///
+/// ```
+/// use posit::{quire::NarrowQuire, PositFormat, Quire, Rounding};
+///
+/// let fmt = PositFormat::of(8, 1);
+/// let a = fmt.from_f64(3.0, Rounding::NearestEven);
+/// let b = fmt.from_f64(-4.0, Rounding::NearestEven);
+/// let mut wide = Quire::new(fmt);
+/// wide.add_product(a, b);
+/// let mut narrow = NarrowQuire::try_new(fmt, 0, 1).unwrap();
+/// narrow.add_product(a, b);
+/// assert_eq!(
+///     narrow.to_posit(Rounding::NearestEven, 0),
+///     wide.to_posit(Rounding::NearestEven, 0),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct NarrowQuire {
+    fmt: PositFormat,
+    acc: i128,
+    nar: bool,
+    /// Weight of bit 0 of `acc`: `2^emin` with `emin = 2·min_scale − margin`.
+    emin: i32,
+}
+
+impl NarrowQuire {
+    /// Carry-guard bits left over once the product span of `fmt` (widened
+    /// by `margin` on both ends) is carved out of an `i128`, or `None` when
+    /// the span itself does not fit. `2^guard` products can be accumulated
+    /// without overflow.
+    pub fn guard_bits(fmt: PositFormat, margin: u32) -> Option<u32> {
+        // Product MSB positions above emin span 4·max_scale + 2·margin;
+        // a single product is < 2^(span + 2) in accumulator units (its
+        // 128-bit significand product has 2 bits above the implicit-one
+        // line). Sign takes the 128th bit.
+        let used = 4 * fmt.max_scale() as i64 + 2 * margin as i64 + 2;
+        let guard = 127 - used;
+        (guard >= 0).then_some(guard as u32)
+    }
+
+    /// An empty accumulator for up to `k` products of `fmt` posits whose
+    /// decoded scales carry at most `margin` bits of Eq. 2 shift in total,
+    /// or `None` when `4·max_scale + 2·margin + 2 + ⌈log2 k⌉` exceeds the
+    /// 127 magnitude bits of an `i128` — the caller's cue to use the wide
+    /// [`Quire`] instead.
+    pub fn try_new(fmt: PositFormat, margin: u32, k: usize) -> Option<NarrowQuire> {
+        let guard = Self::guard_bits(fmt, margin)?; // ≤ 125: used ≥ 2
+        if (k as u128) > (1u128 << guard) {
+            return None;
+        }
+        Some(NarrowQuire {
+            fmt,
+            acc: 0,
+            nar: false,
+            emin: 2 * fmt.min_scale() - margin as i32,
+        })
+    }
+
+    /// The format this accumulator rounds to.
+    pub fn format(&self) -> PositFormat {
+        self.fmt
+    }
+
+    /// Reset to zero.
+    pub fn clear(&mut self) {
+        self.acc = 0;
+        self.nar = false;
+    }
+
+    /// True iff a NaR was absorbed.
+    pub fn is_nar(&self) -> bool {
+        self.nar
+    }
+
+    /// True iff the accumulated value is exactly zero (and not NaR).
+    pub fn is_zero(&self) -> bool {
+        !self.nar && self.acc == 0
+    }
+
+    /// Force the absorbing NaR state (a NaR operand was observed by a
+    /// caller that feeds decoded parts).
+    pub fn set_nar(&mut self) {
+        self.nar = true;
+    }
+
+    /// Accumulate an already-decoded product — same contract as
+    /// [`Quire::add_product_parts`]: `±sig_prod · 2^(scale_sum − 126)` with
+    /// `sig_prod` the 128-bit product of two bit-63-aligned significands.
+    ///
+    /// Both operands must come from this accumulator's format (with scale
+    /// shifts inside the construction margin): that is what guarantees the
+    /// product's low bits are zero below the accumulator's LSB (asserted in
+    /// debug builds) and its high bits fit under the carry guard.
+    ///
+    /// # Panics
+    ///
+    /// Panics (release builds included, like the hardened wide quire) when
+    /// `scale_sum` falls outside the accumulable range — silent shift
+    /// wraparound would corrupt the sum otherwise.
+    #[inline(always)]
+    pub fn add_product_parts(&mut self, negative: bool, scale_sum: i32, sig_prod: u128) {
+        // value = sig_prod · 2^(scale_sum − 126); accumulator bit 0 weighs
+        // 2^emin. Eligible formats make this always a right shift, exact
+        // because a posit's trailing significand zeros grow toward extreme
+        // scales at least as fast as the shift does.
+        let shr = 126 + self.emin - scale_sum;
+        if !(1..=127).contains(&shr) {
+            panic!(
+                "NarrowQuire::add_product_parts: scale_sum {scale_sum} outside the \
+                 accumulable range [{}, {}] of this {} accumulator (operands from a \
+                 wider format, or a scale shift beyond the construction margin?)",
+                self.emin - 1,
+                self.emin + 125,
+                self.fmt
+            );
+        }
+        debug_assert!(
+            sig_prod.trailing_zeros() >= shr as u32,
+            "product bits below the accumulator LSB (operands from a wider format?)"
+        );
+        let v = (sig_prod >> shr) as i128;
+        self.acc += if negative { -v } else { v };
+    }
+
+    /// Accumulate the exact product `a * b` of two code words (decoding
+    /// twin of [`Quire::add_product`], mainly for tests and small dots).
+    pub fn add_product(&mut self, a: u64, b: u64) {
+        let (da, db) = match (self.fmt.decode(a), self.fmt.decode(b)) {
+            (PositValue::NaR, _) | (_, PositValue::NaR) => {
+                self.nar = true;
+                return;
+            }
+            (PositValue::Zero, _) | (_, PositValue::Zero) => return,
+            (PositValue::Finite(da), PositValue::Finite(db)) => (da, db),
+        };
+        let prod = (da.significand() as u128) * (db.significand() as u128);
+        self.add_product_parts(da.sign != db.sign, da.scale + db.scale, prod);
+    }
+
+    /// Round the accumulated value to a posit code word — bit-identical to
+    /// [`Quire::to_posit`] on the same accumulated products.
+    pub fn to_posit(&self, rounding: Rounding, rand_word: u64) -> u64 {
+        if self.nar {
+            return self.fmt.nar_bits();
+        }
+        if self.acc == 0 {
+            return 0;
+        }
+        let negative = self.acc < 0;
+        let mag = self.acc.unsigned_abs();
+        let hb = 127 - mag.leading_zeros(); // msb position
+        let scale = self.emin + hb as i32;
+        // The 64 bits below the msb become the fraction, anything further
+        // down is sticky — the same normalization the wide quire performs
+        // on its limb array.
+        let tail = mag ^ (1u128 << hb);
+        let aligned = if hb == 0 { 0 } else { tail << (128 - hb) };
+        let frac = (aligned >> 64) as u64;
+        let sticky = aligned as u64 != 0;
+        let sign = if negative {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
+        self.fmt
+            .encode_fields(sign, scale, frac, sticky, rounding, rand_word)
     }
 }
 
@@ -504,6 +711,170 @@ mod tests {
         q.add_product_parts(false, 2 * fmt.max_scale() + 30, 1u128 << 126);
         assert_eq!(q.to_posit(Rounding::NearestEven, 0), fmt.maxpos_bits());
         assert!(Quire::with_margin(fmt, 64).width_bits() > Quire::new(fmt).width_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the accumulable range")]
+    fn out_of_range_scale_sum_panics_clearly() {
+        // Feeding a (32,2)-scaled product into an (8,0) quire lands far
+        // outside its limb array; the failure must name the scale and the
+        // accepted range, not die on an opaque slice index.
+        let fmt = PositFormat::of(8, 0);
+        let mut q = Quire::new(fmt);
+        q.add_product_parts(false, 200, 1u128 << 126);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the accumulable range")]
+    fn below_range_scale_sum_panics_clearly() {
+        // The low side would otherwise cast a negative limb position to a
+        // huge usize.
+        let fmt = PositFormat::of(8, 0);
+        let mut q = Quire::new(fmt);
+        q.add_product_parts(true, -200, 1u128 << 126);
+    }
+
+    #[test]
+    fn in_range_scale_sums_do_not_panic() {
+        // The full legal product range of the format (and of a margined
+        // quire) stays accepted after the hardening.
+        for (n, es, margin) in [(8u32, 0u32, 0u32), (8, 2, 0), (16, 1, 0), (8, 1, 40)] {
+            let fmt = PositFormat::of(n, es);
+            let mut q = Quire::with_margin(fmt, margin);
+            let m = margin as i32;
+            for scale_sum in [2 * fmt.min_scale() - m, 0, 2 * fmt.max_scale() + m] {
+                q.add_product_parts(false, scale_sum, 1u128 << 126);
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_quire_matches_wide_exhaustive_pairs() {
+        // Single products over every finite (8,1) code pair: the i128 fast
+        // path must round to the same code word as the limb-array quire in
+        // both deterministic modes.
+        let fmt = PositFormat::of(8, 1);
+        for a in 0..fmt.code_count() {
+            for b in 0..fmt.code_count() {
+                let mut wide = Quire::new(fmt);
+                wide.add_product(a, b);
+                let mut narrow = NarrowQuire::try_new(fmt, 0, 1).unwrap();
+                narrow.add_product(a, b);
+                for rounding in [Rounding::NearestEven, Rounding::ToZero] {
+                    assert_eq!(
+                        narrow.to_posit(rounding, 0),
+                        wide.to_posit(rounding, 0),
+                        "{a:#x} * {b:#x} {rounding:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_quire_matches_wide_on_dots() {
+        // Random (16,1) dot products with heavy cancellation.
+        let fmt = PositFormat::of(16, 1);
+        let mut state = 0x0123_4567_89AB_CDEF_u64;
+        for trial in 0..200 {
+            let k = 1 + (trial % 37);
+            let mut wide = Quire::new(fmt);
+            let mut narrow = NarrowQuire::try_new(fmt, 0, k).unwrap();
+            assert!(narrow.is_zero());
+            for _ in 0..k {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let a = state & fmt.mask();
+                let b = (state >> 17) & fmt.mask();
+                if a == fmt.nar_bits() || b == fmt.nar_bits() {
+                    continue;
+                }
+                wide.add_product(a, b);
+                narrow.add_product(a, b);
+            }
+            assert_eq!(
+                narrow.to_posit(Rounding::NearestEven, 0),
+                wide.to_posit(Rounding::NearestEven, 0),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_quire_eligibility_accounting() {
+        // The formats the paper trains with all fit; the kernel-side K
+        // guard and the margin/width refusals behave as documented.
+        for (n, es) in [(8u32, 0u32), (8, 1), (8, 2), (16, 1)] {
+            let fmt = PositFormat::of(n, es);
+            assert!(
+                NarrowQuire::try_new(fmt, 0, 1024).is_some(),
+                "({n},{es}) must take the fast path at K=1024"
+            );
+        }
+        // (16,1): span 112 + 2 → 13 guard bits → K ≤ 8192.
+        let p16 = PositFormat::of(16, 1);
+        assert_eq!(NarrowQuire::guard_bits(p16, 0), Some(13));
+        assert!(NarrowQuire::try_new(p16, 0, 8192).is_some());
+        assert!(NarrowQuire::try_new(p16, 0, 8193).is_none(), "K guard");
+        // (32,2) spans 4·120 bits: never narrow.
+        assert!(NarrowQuire::guard_bits(PositFormat::of(32, 2), 0).is_none());
+        // A margin eats guard bits symmetrically.
+        assert_eq!(NarrowQuire::guard_bits(p16, 4), Some(5));
+        assert!(NarrowQuire::guard_bits(p16, 7).is_none());
+    }
+
+    #[test]
+    fn narrow_quire_margin_matches_wide() {
+        // Scale-shifted products (the packed-plane Eq. 2 path) agree with a
+        // margined wide quire, including below-minpos and above-maxpos sums.
+        let fmt = PositFormat::of(8, 1);
+        let margin = 20u32;
+        for (scale_sum, neg) in [
+            (2 * fmt.min_scale() - 18, false),
+            (2 * fmt.max_scale() + 18, false),
+            (-3, true),
+            (7, false),
+        ] {
+            let mut wide = Quire::with_margin(fmt, margin);
+            wide.add_product_parts(neg, scale_sum, 1u128 << 126);
+            let mut narrow = NarrowQuire::try_new(fmt, margin, 1).unwrap();
+            narrow.add_product_parts(neg, scale_sum, 1u128 << 126);
+            for rounding in [Rounding::NearestEven, Rounding::ToZero] {
+                assert_eq!(
+                    narrow.to_posit(rounding, 0),
+                    wide.to_posit(rounding, 0),
+                    "scale_sum {scale_sum} {rounding:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the accumulable range")]
+    fn narrow_quire_out_of_range_scale_sum_panics() {
+        // Release builds must refuse out-of-contract products loudly, not
+        // wrap the shift and corrupt the accumulator.
+        let fmt = PositFormat::of(8, 0);
+        let mut q = NarrowQuire::try_new(fmt, 0, 1).unwrap();
+        q.add_product_parts(false, 200, 1u128 << 126);
+    }
+
+    #[test]
+    fn narrow_quire_nar_and_clear() {
+        let fmt = PositFormat::of(8, 1);
+        let mut q = NarrowQuire::try_new(fmt, 0, 4).unwrap();
+        assert_eq!(q.format(), fmt);
+        q.add_product(fmt.one_bits(), fmt.one_bits());
+        assert!(!q.is_zero());
+        q.set_nar();
+        assert!(q.is_nar());
+        assert_eq!(q.to_posit(Rounding::NearestEven, 0), fmt.nar_bits());
+        q.clear();
+        assert!(q.is_zero() && !q.is_nar());
+        assert_eq!(q.to_posit(Rounding::NearestEven, 0), 0);
+        q.add_product(fmt.nar_bits(), fmt.one_bits());
+        assert!(q.is_nar(), "decoded NaR absorbs");
     }
 
     #[test]

@@ -10,11 +10,12 @@
 //! bench sources need no edits.
 //!
 //! **Quick mode:** setting `CRITERION_QUICK=1` in the environment makes
-//! every benchmark run its routine exactly once (no warm-up, one sample,
-//! one iteration) and report that single wall time. CI's bench-smoke stage
+//! every benchmark run one untimed warm-up iteration followed by one timed
+//! iteration and report that single warm wall time. CI's bench-smoke stage
 //! uses it to execute every bench target end-to-end in seconds, catching
-//! kernel regressions that only break `benches/` without paying
-//! measurement time.
+//! kernel regressions that only break `benches/` without paying full
+//! measurement time; the warm-up keeps first-touch costs (page faults,
+//! lazy table builds) out of the recorded number.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -270,6 +271,17 @@ fn run_bench<F>(
     F: FnMut(&mut Bencher),
 {
     if quick_mode() {
+        // One untimed warm-up iteration first: a single cold iteration
+        // pays page faults, lazy-LUT builds and branch-predictor training,
+        // which showed up as phantom 4× regressions in smoke JSONs (the
+        // hw_mac/optimized/posit(16,1) outlier). The timed iteration runs
+        // warm.
+        let mut warm = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            per_sample: 1,
+        };
+        f(&mut warm);
         let mut b = Bencher {
             elapsed: Duration::ZERO,
             iters: 0,
@@ -277,7 +289,7 @@ fn run_bench<F>(
         };
         f(&mut b);
         let ns = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
-        println!("{label:<48} {ns:>12.1} ns/iter (quick: 1 iteration)");
+        println!("{label:<48} {ns:>12.1} ns/iter (quick: 1 warm iteration)");
         emit_json(label, ns);
         return;
     }

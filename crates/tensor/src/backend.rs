@@ -181,11 +181,90 @@ impl Backend {
     /// packed posit operand matching a [`Backend::PositQuire`] format is
     /// decoded once from its code words with no f32 staging.
     pub fn prepare_operand<'a>(&self, op: Operand<'a>) -> PreparedOperand<'a> {
-        let inner = match self {
-            Backend::F32 => Prepared::F32(op.to_f32_vec()),
+        if let (Backend::F32, Operand::F32(xs)) = (self, op) {
+            return PreparedOperand {
+                inner: Prepared::F32(Cow::Borrowed(xs)),
+            };
+        }
+        let inner = match self.prepare_owned(op) {
+            PreparedOwned::F32(v) => Prepared::F32(Cow::Owned(v)),
+            PreparedOwned::Emulated { fmt, rounding, q } => Prepared::Emulated {
+                fmt,
+                rounding,
+                q: Cow::Owned(q),
+            },
+            PreparedOwned::Quire { kernel, plane } => Prepared::Quire {
+                kernel,
+                plane: Cow::Owned(plane),
+            },
+        };
+        PreparedOperand { inner }
+    }
+
+    /// [`Backend::prepare_operand`] for a tensor operand, memoized in
+    /// `cache` and keyed on the tensor's content stamp
+    /// ([`crate::Tensor::version`]) plus this backend: the expensive part
+    /// of preparation (posit decode into a plane, sandwich quantization, a
+    /// packed-tensor decode to f32) is paid once per distinct weight
+    /// content instead of once per GEMM. A plain f32 tensor under the f32
+    /// backend bypasses the cache entirely — its preparation is a free
+    /// borrow.
+    ///
+    /// Invalidation is automatic: any mutable borrow of the tensor's
+    /// buffer, and any storage replacement (an optimizer step, a packed
+    /// weight view install), refreshes the stamp and forces a rebuild on
+    /// the next call.
+    pub fn prepare_tensor_cached<'a>(
+        &self,
+        t: &'a Tensor,
+        cache: &'a mut OperandCache,
+    ) -> PreparedOperand<'a> {
+        if let (Backend::F32, Storage::F32(v)) = (self, t.storage()) {
+            // Free borrow — and drop whatever a previous backend cached
+            // here, so a layer switched to f32 doesn't pin a stale decoded
+            // plane for the rest of the process.
+            cache.slot = None;
+            return PreparedOperand {
+                inner: Prepared::F32(Cow::Borrowed(v)),
+            };
+        }
+        let version = t.version();
+        let valid = cache
+            .slot
+            .as_ref()
+            .is_some_and(|s| s.backend == *self && s.version == version);
+        if !valid {
+            cache.slot = Some(CacheSlot {
+                backend: *self,
+                version,
+                prepared: self.prepare_owned(t.operand()),
+            });
+        }
+        let slot = cache.slot.as_ref().expect("slot just filled");
+        let inner = match &slot.prepared {
+            PreparedOwned::F32(v) => Prepared::F32(Cow::Borrowed(v)),
+            PreparedOwned::Emulated { fmt, rounding, q } => Prepared::Emulated {
+                fmt: *fmt,
+                rounding: *rounding,
+                q: Cow::Borrowed(q),
+            },
+            PreparedOwned::Quire { kernel, plane } => Prepared::Quire {
+                kernel: *kernel,
+                plane: Cow::Borrowed(plane),
+            },
+        };
+        PreparedOperand { inner }
+    }
+
+    /// The owned preparation every prepare path shares (the free-borrow
+    /// case — f32 data under the f32 backend — is short-circuited by the
+    /// callers before reaching here).
+    fn prepare_owned(&self, op: Operand<'_>) -> PreparedOwned {
+        match self {
+            Backend::F32 => PreparedOwned::F32(op.to_f32_vec().into_owned()),
             Backend::PositEmulated { fmt, rounding } => {
                 let rounding = Self::op_rounding(*rounding);
-                Prepared::Emulated {
+                PreparedOwned::Emulated {
                     fmt: *fmt,
                     rounding,
                     q: Self::sandwich_quantize(fmt, rounding, &op.to_f32_vec()),
@@ -194,10 +273,9 @@ impl Backend {
             Backend::PositQuire { fmt, rounding } => {
                 let kernel = PositGemm::new(*fmt, *rounding);
                 let plane = quire_plane(&kernel, op);
-                Prepared::Quire { kernel, plane }
+                PreparedOwned::Quire { kernel, plane }
             }
-        };
-        PreparedOperand { inner }
+        }
     }
 
     /// `c += a[m,k] * b[k,n]` under this backend.
@@ -255,8 +333,58 @@ impl Backend {
     }
 }
 
+/// A memo slot for [`Backend::prepare_tensor_cached`]: one prepared
+/// operand, keyed by the backend that built it and the source tensor's
+/// content stamp. Layers keep one per (weight, direction) so the per-step
+/// weight decode is paid once per weight update instead of once per GEMM.
+#[derive(Default)]
+pub struct OperandCache {
+    slot: Option<CacheSlot>,
+}
+
+impl OperandCache {
+    /// An empty cache.
+    pub fn new() -> OperandCache {
+        OperandCache::default()
+    }
+
+    /// Drop the cached preparation (the next
+    /// [`Backend::prepare_tensor_cached`] rebuilds). Invalidation is
+    /// normally automatic through the tensor's content stamp; this exists
+    /// for callers that want to release the memory.
+    pub fn invalidate(&mut self) {
+        self.slot = None;
+    }
+
+    /// True iff a preparation is currently cached.
+    pub fn is_cached(&self) -> bool {
+        self.slot.is_some()
+    }
+}
+
+struct CacheSlot {
+    backend: Backend,
+    version: u64,
+    prepared: PreparedOwned,
+}
+
+/// Owned twin of [`Prepared`], storable across calls.
+enum PreparedOwned {
+    F32(Vec<f32>),
+    Emulated {
+        fmt: PositFormat,
+        rounding: Rounding,
+        q: Vec<f32>,
+    },
+    Quire {
+        kernel: PositGemm,
+        plane: PositPlane,
+    },
+}
+
 /// A GEMM left operand prepared once under a [`Backend`] (see
-/// [`Backend::prepare`]); the right operand is prepared per call.
+/// [`Backend::prepare`]); the right operand is prepared per call — or
+/// passed pre-prepared through the `*_prepared` entry points.
 pub struct PreparedOperand<'a> {
     inner: Prepared<'a>,
 }
@@ -266,11 +394,11 @@ enum Prepared<'a> {
     Emulated {
         fmt: PositFormat,
         rounding: Rounding,
-        q: Vec<f32>,
+        q: Cow<'a, [f32]>,
     },
     Quire {
         kernel: PositGemm,
-        plane: PositPlane,
+        plane: Cow<'a, PositPlane>,
     },
 }
 
@@ -331,6 +459,157 @@ impl PreparedOperand<'_> {
                 let pb = quire_plane(kernel, b);
                 kernel.gemm_at_b(m, k, n, plane, &pb, c);
             }
+        }
+    }
+
+    /// `c += self[m,k] * b[k,n]` with *both* operands pre-prepared under
+    /// the same backend — the entry point for a cached weight operand on
+    /// the right-hand side (see [`Backend::prepare_tensor_cached`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands were prepared under different backends.
+    pub fn gemm_prepared(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        b: &PreparedOperand<'_>,
+        c: &mut [f32],
+    ) {
+        match (&self.inner, &b.inner) {
+            (Prepared::F32(a), Prepared::F32(bv)) => gemm::gemm(m, k, n, a, bv, c),
+            (
+                Prepared::Emulated { fmt, rounding, q },
+                Prepared::Emulated {
+                    fmt: bf,
+                    rounding: br,
+                    q: qb,
+                },
+            ) => {
+                assert_eq!(
+                    (fmt, rounding),
+                    (bf, br),
+                    "emulated operands quantized under different formats/roundings"
+                );
+                let mut tmp = vec![0.0f32; c.len()];
+                gemm::gemm(m, k, n, q, qb, &mut tmp);
+                Self::emulated_store(fmt, *rounding, &tmp, c);
+            }
+            (
+                Prepared::Quire { kernel, plane },
+                Prepared::Quire {
+                    kernel: bk,
+                    plane: pb,
+                },
+            ) => {
+                assert_eq!(
+                    kernel, bk,
+                    "quire operands prepared under different formats/roundings"
+                );
+                kernel.gemm(m, k, n, plane, pb, c);
+            }
+            _ => panic!("GEMM operands prepared under different backends"),
+        }
+    }
+
+    /// `c += self^T[m,k] * b[k,n]` (`self` stored `[k, m]`) with both
+    /// operands pre-prepared under the same backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands were prepared under different backends.
+    pub fn gemm_at_b_prepared(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        b: &PreparedOperand<'_>,
+        c: &mut [f32],
+    ) {
+        match (&self.inner, &b.inner) {
+            (Prepared::F32(a_t), Prepared::F32(bv)) => gemm::gemm_at_b(m, k, n, a_t, bv, c),
+            (
+                Prepared::Emulated { fmt, rounding, q },
+                Prepared::Emulated {
+                    fmt: bf,
+                    rounding: br,
+                    q: qb,
+                },
+            ) => {
+                assert_eq!(
+                    (fmt, rounding),
+                    (bf, br),
+                    "emulated operands quantized under different formats/roundings"
+                );
+                let mut tmp = vec![0.0f32; c.len()];
+                gemm::gemm_at_b(m, k, n, q, qb, &mut tmp);
+                Self::emulated_store(fmt, *rounding, &tmp, c);
+            }
+            (
+                Prepared::Quire { kernel, plane },
+                Prepared::Quire {
+                    kernel: bk,
+                    plane: pb,
+                },
+            ) => {
+                assert_eq!(
+                    kernel, bk,
+                    "quire operands prepared under different formats/roundings"
+                );
+                kernel.gemm_at_b(m, k, n, plane, pb, c);
+            }
+            _ => panic!("GEMM operands prepared under different backends"),
+        }
+    }
+
+    /// `c += self[m,k] * b^T[k,n]` (`b` stored `[n, k]`) with both
+    /// operands pre-prepared under the same backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands were prepared under different backends.
+    pub fn gemm_a_bt_prepared(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        b_t: &PreparedOperand<'_>,
+        c: &mut [f32],
+    ) {
+        match (&self.inner, &b_t.inner) {
+            (Prepared::F32(a), Prepared::F32(bv)) => gemm::gemm_a_bt(m, k, n, a, bv, c),
+            (
+                Prepared::Emulated { fmt, rounding, q },
+                Prepared::Emulated {
+                    fmt: bf,
+                    rounding: br,
+                    q: qb,
+                },
+            ) => {
+                assert_eq!(
+                    (fmt, rounding),
+                    (bf, br),
+                    "emulated operands quantized under different formats/roundings"
+                );
+                let mut tmp = vec![0.0f32; c.len()];
+                gemm::gemm_a_bt(m, k, n, q, qb, &mut tmp);
+                Self::emulated_store(fmt, *rounding, &tmp, c);
+            }
+            (
+                Prepared::Quire { kernel, plane },
+                Prepared::Quire {
+                    kernel: bk,
+                    plane: pb,
+                },
+            ) => {
+                assert_eq!(
+                    kernel, bk,
+                    "quire operands prepared under different formats/roundings"
+                );
+                kernel.gemm_a_bt(m, k, n, plane, pb, c);
+            }
+            _ => panic!("GEMM operands prepared under different backends"),
         }
     }
 
@@ -523,6 +802,85 @@ mod tests {
             let mut c = vec![0.0f32; 4];
             bk.gemm_a_bt(2, 3, 2, &a, &[2.0, -1.0, 0.125, 0.5, 4.0, -2.0], &mut c);
         }
+    }
+
+    #[test]
+    fn cached_weight_operand_matches_per_call_preparation() {
+        // The prepared×prepared entry points fed from an OperandCache must
+        // reproduce the per-call gemm_*_op results under every backend, in
+        // both the A·Bᵀ (forward) and A·B (backward-dX) positions.
+        let w = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.25, 4.0, -0.125], &[2, 3]);
+        let x = [1.0f32, -2.0, 0.5, 8.0, 0.25, -1.0]; // [2, 3]
+        for bk in backends() {
+            let mut cache = OperandCache::new();
+            let mut want = vec![0.0f32; 4];
+            bk.gemm_a_bt_op(2, 3, 2, Operand::F32(&x), w.operand(), &mut want);
+            for _ in 0..2 {
+                let xp = bk.prepare_operand(Operand::F32(&x));
+                let wp = bk.prepare_tensor_cached(&w, &mut cache);
+                let mut c = vec![0.0f32; 4];
+                xp.gemm_a_bt_prepared(2, 3, 2, &wp, &mut c);
+                assert_eq!(c, want, "{} a_bt", bk.name());
+            }
+            // Caches engage for everything but the free-borrow f32 case.
+            assert_eq!(cache.is_cached(), bk != Backend::F32);
+
+            let w_t = w.transpose2(); // [3, 2] so W is the B of a plain gemm
+            let mut cache_t = OperandCache::new();
+            let mut want = vec![0.0f32; 4];
+            bk.gemm_op(2, 3, 2, Operand::F32(&x), w_t.operand(), &mut want);
+            let xp = bk.prepare_operand(Operand::F32(&x));
+            let wp = bk.prepare_tensor_cached(&w_t, &mut cache_t);
+            let mut c = vec![0.0f32; 4];
+            xp.gemm_prepared(2, 3, 2, &wp, &mut c);
+            assert_eq!(c, want, "{} plain", bk.name());
+        }
+    }
+
+    #[test]
+    fn cache_invalidates_on_content_change_and_backend_switch() {
+        let qui = Backend::PositQuire {
+            fmt: FMT,
+            rounding: Rounding::NearestEven,
+        };
+        let mut w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let x = [1.0f32, 0.0, 0.0, 1.0];
+        let mut cache = OperandCache::new();
+        let run = |w: &Tensor, cache: &mut OperandCache, bk: Backend| {
+            let xp = bk.prepare_operand(Operand::F32(&x));
+            let wp = bk.prepare_tensor_cached(w, cache);
+            let mut c = vec![0.0f32; 4];
+            xp.gemm_prepared(2, 2, 2, &wp, &mut c);
+            c
+        };
+        assert_eq!(run(&w, &mut cache, qui), vec![1.0, 2.0, 3.0, 4.0]);
+        // Mutate the weight: the stamp changes, the stale plane must go.
+        w.data_mut()[0] = 8.0;
+        assert_eq!(run(&w, &mut cache, qui), vec![8.0, 2.0, 3.0, 4.0]);
+        // Same content, different backend: must also rebuild, not reuse.
+        let emu = Backend::PositEmulated {
+            fmt: FMT,
+            rounding: Rounding::NearestEven,
+        };
+        assert_eq!(run(&w, &mut cache, emu), vec![8.0, 2.0, 3.0, 4.0]);
+        cache.invalidate();
+        assert!(!cache.is_cached());
+        assert_eq!(run(&w, &mut cache, qui), vec![8.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different backends")]
+    fn mixed_backend_prepared_operands_panic() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let qui = Backend::PositQuire {
+            fmt: FMT,
+            rounding: Rounding::NearestEven,
+        };
+        let pa = Backend::F32.prepare_operand(Operand::F32(&a));
+        let pb = qui.prepare_operand(Operand::F32(&b));
+        let mut c = vec![0.0f32; 1];
+        pa.gemm_prepared(1, 2, 1, &pb, &mut c);
     }
 
     #[test]

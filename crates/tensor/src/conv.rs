@@ -146,18 +146,40 @@ pub fn conv2d_with(
     stride: usize,
     pad: usize,
 ) -> Tensor {
+    // Prepare the weight operand once for the whole batch (decode-once
+    // from packed bits or f32 for the quire backend, quantize-once for
+    // the emulated one).
+    let w_prep = backend.prepare_operand(weight.operand());
+    conv2d_prepared(&w_prep, weight.shape(), input, bias, stride, pad)
+}
+
+/// [`conv2d_with`] over an already-prepared weight operand (`weight_shape`
+/// is its `[O,C,KH,KW]` shape) — the entry point for a weight tile cached
+/// across calls (see [`crate::Backend::prepare_tensor_cached`]), which
+/// skips even the once-per-call weight preparation of [`conv2d_with`].
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv2d_prepared(
+    w_prep: &crate::PreparedOperand<'_>,
+    weight_shape: &[usize],
+    input: &Tensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
     let ish = input.shape();
-    let wsh = weight.shape();
     assert_eq!(ish.len(), 4, "input must be NCHW");
-    assert_eq!(wsh.len(), 4, "weight must be OCKK");
-    assert_eq!(ish[1], wsh[1], "channel mismatch");
-    let (n, o) = (ish[0], wsh[0]);
+    assert_eq!(weight_shape.len(), 4, "weight must be OCKK");
+    assert_eq!(ish[1], weight_shape[1], "channel mismatch");
+    let (n, o) = (ish[0], weight_shape[0]);
     let g = ConvGeom {
         c: ish[1],
         h: ish[2],
         w: ish[3],
-        kh: wsh[2],
-        kw: wsh[3],
+        kh: weight_shape[2],
+        kw: weight_shape[3],
         stride,
         pad,
     };
@@ -166,14 +188,13 @@ pub fn conv2d_with(
     let mut col = vec![0.0f32; g.col_rows() * g.col_cols()];
     let sample = g.c * g.h * g.w;
     let out_sample = o * oh * ow;
-    // Prepare the weight operand once for the whole batch (decode-once
-    // from packed bits or f32 for the quire backend, quantize-once for
-    // the emulated one); decode a packed input once for the unfold.
-    let w_prep = backend.prepare_operand(weight.operand());
+    // Decode a packed input once for the unfold (the unfold is a gather,
+    // defined on dense values).
     let input = input.dense();
+    let out_data = out.data_mut();
     for i in 0..n {
         im2col(&input.data()[i * sample..(i + 1) * sample], &g, &mut col);
-        let dst = &mut out.data_mut()[i * out_sample..(i + 1) * out_sample];
+        let dst = &mut out_data[i * out_sample..(i + 1) * out_sample];
         w_prep.gemm(o, g.col_rows(), g.col_cols(), &col, dst);
         if let Some(b) = bias {
             for (oc, &bv) in b.iter().enumerate() {

@@ -6,72 +6,73 @@
 //! are split statically across threads, so results are bit-deterministic
 //! regardless of thread count.
 
-/// Minimum per-thread row count before threads are spawned (small problems
-/// run single-threaded to avoid spawn overhead).
+use crate::workers;
+use std::sync::Mutex;
+
+/// A take-once slot handing a parallel task its disjoint output block.
+type BlockSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+
+/// Minimum per-thread row count before work is dispatched to the pool
+/// (small problems run single-threaded to avoid dispatch overhead).
 const PAR_MIN_ROWS: usize = 32;
 
 /// Minimum multiply-accumulate count before threading pays for itself.
 const PAR_MIN_WORK: usize = 1 << 20;
 
-/// Cached `available_parallelism` — the std call re-reads cgroup files on
-/// every invocation, which costs ~1 ms inside containers.
-fn thread_count() -> usize {
-    use std::sync::OnceLock;
-    static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1)
-    })
-}
-
 /// Split the `[m, n]` output buffer `c` into contiguous row blocks and run
-/// `body(first_row, block)` on each, spawning scoped threads when the
-/// problem is big enough (`work` is the total multiply-accumulate count).
+/// `body(first_row, block)` on each, dispatching the blocks to the
+/// persistent worker pool ([`crate::workers`]) when the problem is big
+/// enough (`work` is the total multiply-accumulate count).
 ///
-/// The split is static — the same `(m, n)` always yields the same blocks —
+/// The split is static — the same `(m, n)` always yields the same blocks,
+/// each block's output is computed entirely by whichever lane runs it —
 /// so any kernel whose per-element reduction order is fixed stays
-/// bit-deterministic regardless of thread count. Shared by the f32 kernels
-/// here and the posit kernels in [`crate::posit_gemm`].
+/// bit-deterministic regardless of thread count or lane assignment. Shared
+/// by the f32 kernels here and the posit kernels in [`crate::posit_gemm`].
 pub(crate) fn par_rows<F>(m: usize, n: usize, work: usize, c: &mut [f32], body: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
     debug_assert_eq!(c.len(), m * n);
-    let threads = thread_count();
+    let threads = workers::effective_parallelism();
     if m < PAR_MIN_ROWS || work < PAR_MIN_WORK || threads <= 1 || n == 0 {
         body(0, c);
         return;
     }
     let rows_per = m.div_ceil(threads).max(PAR_MIN_ROWS / 2);
-    std::thread::scope(|s| {
-        let mut c_rest = c;
-        let mut row0 = 0usize;
-        let mut handles = Vec::new();
-        loop {
-            let rows = rows_per.min(c_rest.len() / n);
-            if rows == 0 {
-                break;
-            }
-            let (c_chunk, c_next) = c_rest.split_at_mut(rows * n);
-            let body = &body;
-            handles.push(s.spawn(move || body(row0, c_chunk)));
-            c_rest = c_next;
-            row0 += rows;
+    // The same block boundaries the scoped-thread splitter used: hand each
+    // task its disjoint `&mut` chunk through a take-once slot (each index
+    // is executed exactly once, so the lock is uncontended bookkeeping).
+    let mut blocks: Vec<BlockSlot<'_, f32>> = Vec::new();
+    let mut c_rest = c;
+    let mut row0 = 0usize;
+    loop {
+        let rows = rows_per.min(c_rest.len() / n);
+        if rows == 0 {
+            break;
         }
-        for h in handles {
-            h.join().expect("gemm worker panicked");
-        }
+        let (c_chunk, c_next) = c_rest.split_at_mut(rows * n);
+        blocks.push(Mutex::new(Some((row0, c_chunk))));
+        c_rest = c_next;
+        row0 += rows;
+    }
+    workers::run_indexed(blocks.len(), &|t| {
+        let (row0, chunk) = blocks[t]
+            .lock()
+            .expect("block slot poisoned")
+            .take()
+            .expect("block executed twice");
+        body(row0, chunk);
     });
 }
 
-/// Map `f(index, item)` over `items` with the same static scoped-thread
-/// partitioning as the GEMM row splitter (`par_rows`): contiguous index
-/// blocks, one thread per block, deterministic output order regardless of
-/// thread count.
+/// Map `f(index, item)` over `items` with the same static partitioning as
+/// the GEMM row splitter (`par_rows`): contiguous index blocks on the
+/// persistent worker pool, deterministic output order regardless of thread
+/// count.
 ///
-/// `min_per_thread` is the smallest block worth a thread spawn — fewer
-/// items run serially on the caller's thread. This is the partitioner the
+/// `min_per_thread` is the smallest block worth dispatching — fewer items
+/// run serially on the caller's thread. This is the partitioner the
 /// chunked store reuses for parallel chunk encode/decode, where each item
 /// is an independent chunk job producing an owned result.
 pub fn par_map_indexed<T, U, F>(items: &[T], min_per_thread: usize, f: F) -> Vec<U>
@@ -80,34 +81,35 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    let threads = thread_count();
+    let threads = workers::effective_parallelism();
     let min_per_thread = min_per_thread.max(1);
     if items.len() <= min_per_thread || threads <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let per = items.len().div_ceil(threads).max(min_per_thread);
     let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
-    std::thread::scope(|s| {
+    {
+        let mut tasks: Vec<BlockSlot<'_, Option<U>>> = Vec::new();
         let mut out_rest: &mut [Option<U>] = &mut out;
         let mut start = 0usize;
-        let mut handles = Vec::new();
         while !out_rest.is_empty() {
             let take = per.min(out_rest.len());
             let (block, next) = out_rest.split_at_mut(take);
-            let f = &f;
-            let chunk = &items[start..start + take];
-            handles.push(s.spawn(move || {
-                for (off, (slot, item)) in block.iter_mut().zip(chunk).enumerate() {
-                    *slot = Some(f(start + off, item));
-                }
-            }));
+            tasks.push(Mutex::new(Some((start, block))));
             out_rest = next;
             start += take;
         }
-        for h in handles {
-            h.join().expect("par_map worker panicked");
-        }
-    });
+        workers::run_indexed(tasks.len(), &|t| {
+            let (start, block) = tasks[t]
+                .lock()
+                .expect("map slot poisoned")
+                .take()
+                .expect("map block executed twice");
+            for (off, slot) in block.iter_mut().enumerate() {
+                *slot = Some(f(start + off, &items[start + off]));
+            }
+        });
+    }
     out.into_iter()
         .map(|s| s.expect("every slot filled"))
         .collect()

@@ -11,7 +11,10 @@
 //! on. Determinism: every parallel split is static, every reduction order
 //! fixed, every random stream explicitly seeded.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the persistent worker pool in [`workers`]
+// needs one narrowly-scoped lifetime erasure (the standard scoped-pool
+// technique) behind a module-level allow; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod backend;
@@ -22,9 +25,11 @@ pub mod posit_gemm;
 pub mod rng;
 pub mod storage;
 mod tensor;
+pub mod workers;
 
-pub use backend::{Backend, Operand, PreparedOperand};
+pub use backend::{Backend, Operand, OperandCache, PreparedOperand};
 pub use gemm::par_map_indexed;
 pub use posit_gemm::{PositGemm, PositPlane};
 pub use storage::{PackedBits, Storage, StorageDomain};
 pub use tensor::Tensor;
+pub use workers::serial_scope;

@@ -18,6 +18,7 @@ pub fn maxpool2d(input: &Tensor, k: usize, s: usize) -> (Tensor, Vec<usize>) {
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
     let mut argmax = vec![0usize; n * c * oh * ow];
     let data = input.data();
+    let out_data = out.data_mut();
     for i in 0..n {
         for ch in 0..c {
             let base = (i * c + ch) * h * w;
@@ -35,7 +36,7 @@ pub fn maxpool2d(input: &Tensor, k: usize, s: usize) -> (Tensor, Vec<usize>) {
                         }
                     }
                     let oidx = ((i * c + ch) * oh + oy) * ow + ox;
-                    out.data_mut()[oidx] = best;
+                    out_data[oidx] = best;
                     argmax[oidx] = best_idx;
                 }
             }
@@ -48,8 +49,9 @@ pub fn maxpool2d(input: &Tensor, k: usize, s: usize) -> (Tensor, Vec<usize>) {
 /// input position.
 pub fn maxpool2d_backward(grad_out: &Tensor, argmax: &[usize], input_shape: &[usize]) -> Tensor {
     let mut grad_in = Tensor::zeros(input_shape);
+    let gi = grad_in.data_mut();
     for (g, &idx) in grad_out.data().iter().zip(argmax) {
-        grad_in.data_mut()[idx] += g;
+        gi[idx] += g;
     }
     grad_in
 }
@@ -61,10 +63,11 @@ pub fn global_avgpool(input: &Tensor) -> Tensor {
     let (n, c, h, w) = (sh[0], sh[1], sh[2], sh[3]);
     let hw = (h * w) as f32;
     let mut out = Tensor::zeros(&[n, c]);
+    let out_data = out.data_mut();
     for i in 0..n {
         for ch in 0..c {
             let plane = &input.data()[(i * c + ch) * h * w..(i * c + ch + 1) * h * w];
-            out.data_mut()[i * c + ch] = plane.iter().sum::<f32>() / hw;
+            out_data[i * c + ch] = plane.iter().sum::<f32>() / hw;
         }
     }
     out
@@ -81,10 +84,11 @@ pub fn global_avgpool_backward(grad_out: &Tensor, input_shape: &[usize]) -> Tens
     );
     let hw = (h * w) as f32;
     let mut grad_in = Tensor::zeros(input_shape);
+    let gi = grad_in.data_mut();
     for i in 0..n {
         for ch in 0..c {
             let g = grad_out.data()[i * c + ch] / hw;
-            for v in &mut grad_in.data_mut()[(i * c + ch) * h * w..(i * c + ch + 1) * h * w] {
+            for v in &mut gi[(i * c + ch) * h * w..(i * c + ch + 1) * h * w] {
                 *v = g;
             }
         }

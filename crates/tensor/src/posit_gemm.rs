@@ -3,22 +3,44 @@
 //!
 //! The paper's claim is that low-precision posit training holds up when dot
 //! products accumulate *exactly* (the EMAC of Deep Positron): every product
-//! `P(a)·P(b)` lands in a wide fixed-point quire and the sum is rounded to a
-//! posit only once, on store. The naive way to get there is to call
-//! [`posit::Quire::add_product`] per multiply-accumulate, which decodes both
-//! code words every time — `O(M·N·K)` decodes. The kernels here instead
+//! `P(a)·P(b)` lands in a wide fixed-point accumulator and the sum is
+//! rounded to a posit only once, on store. The naive way to get there is to
+//! call [`posit::Quire::add_product`] per multiply-accumulate, which decodes
+//! both code words every time — `O(M·N·K)` decodes. The kernels here instead
 //! unpack each operand element once into an `(sign, scale, fraction)`
-//! [`PositPlane`] and feed raw significand products to the quire via
-//! [`posit::Quire::add_product_parts`] — `O(M·K + K·N)` decodes, zero per-MAC
-//! decode work.
+//! [`PositPlane`] and feed raw significand products to the accumulator —
+//! `O(M·K + K·N)` decodes, zero per-MAC decode work.
+//!
+//! Three compounding optimisations keep the per-MAC cost near the integer
+//! multiply it fundamentally is:
+//!
+//! * **narrow accumulator** — for formats whose whole product range fits an
+//!   `i128` (every format the paper trains with: posit(8,es), posit(16,1)),
+//!   dot products accumulate in a register-resident [`posit::NarrowQuire`]
+//!   instead of the heap-allocated limb array, with a once-per-call
+//!   eligibility check (`4·max_scale + 2·margin + 2 + ⌈log2 K⌉ ≤ 127`)
+//!   that falls back to the wide [`Quire`] otherwise — bit-identically;
+//! * **decode LUTs** — ≤8-bit formats decode operand planes through a
+//!   256-entry [`Unpacked`] table and round back to f32 on store through
+//!   [`posit::lut::to_f32_lut`], replacing per-element bit-twiddling;
+//! * **register-blocked tiles** — the kernels pack both operands into
+//!   contiguous row-major panels (`A` rows, `B` columns) and run an
+//!   `MR×NR` micro-kernel whose accumulators stay in registers across the
+//!   whole `K` loop, so operand elements stream linearly and each loaded
+//!   element feeds `MR` or `NR` multiplies.
 //!
 //! The kernel family mirrors the f32 entry points in [`crate::gemm`]
 //! (`gemm`, `gemm_at_b`, `gemm_a_bt`) with identical shape conventions and
-//! the same scoped-thread row partitioner, so the `nn` layers can swap
-//! backends without reshaping anything.
+//! the same static row partitioner (now on the persistent worker pool), so
+//! the `nn` layers can swap backends without reshaping anything. Exactness
+//! makes all of this bit-transparent: narrow vs wide, tiled vs scalar and
+//! serial vs pooled all compute the same exact sum and round it once, which
+//! the exhaustive cross-checks in `tests/posit_gemm_exhaustive.rs` pin
+//! against exact rational arithmetic.
 
 use crate::gemm::par_rows;
-use posit::{PositFormat, PositValue, Quire, Rounding};
+use posit::{NarrowQuire, PositFormat, PositValue, Quire, Rounding};
+use std::sync::OnceLock;
 
 /// Sentinel scale marking a NaR element in a plane (no finite posit scale
 /// gets anywhere near `i32::MIN`).
@@ -44,6 +66,50 @@ const ZERO_ELEM: Unpacked = Unpacked {
     neg: false,
 };
 
+/// The decoded value in the kernels' element form, with an optional Eq. 2
+/// scale shift folded in — the single definition both the direct decode
+/// path and the LUT build go through.
+fn unpack(v: PositValue, scale_exp: i32) -> Unpacked {
+    match v {
+        PositValue::Zero => ZERO_ELEM,
+        PositValue::NaR => Unpacked {
+            sig: 0,
+            scale: NAR_SCALE,
+            neg: false,
+        },
+        PositValue::Finite(d) => Unpacked {
+            sig: d.significand(),
+            scale: d.scale + scale_exp,
+            neg: d.sign.is_negative(),
+        },
+    }
+}
+
+fn decode_one(fmt: PositFormat, b: u64, scale_exp: i32) -> Unpacked {
+    unpack(fmt.decode(b), scale_exp)
+}
+
+/// The 256-entry [`Unpacked`] decode table of a narrow (`n ≤ 8`) format:
+/// [`posit::lut::decode_lut`] re-shaped into the kernels' flat 16-byte
+/// element form (worth its own cached copy — the hot loops load it once
+/// per element). `None` for wider formats. A table hit is identical to a
+/// direct decode by construction: both routes run [`unpack`] over the same
+/// bit-exact decoder output.
+fn unpacked_lut(fmt: PositFormat) -> Option<&'static [Unpacked]> {
+    type Slot = OnceLock<Vec<Unpacked>>;
+    #[allow(clippy::declare_interior_mutable_const)]
+    const SLOT: Slot = OnceLock::new();
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ROW: [Slot; 5] = [SLOT; 5];
+    static LUTS: [[Slot; 5]; 7] = [ROW; 7]; // n in 2..=8 × es in 0..=4
+    let decoded = posit::lut::decode_lut(fmt)?;
+    let slot = &LUTS[(fmt.n() - 2) as usize][fmt.es() as usize];
+    Some(
+        slot.get_or_init(|| decoded.iter().map(|&v| unpack(v, 0)).collect())
+            .as_slice(),
+    )
+}
+
 /// A matrix tile decoded once into unpacked posit elements.
 ///
 /// Built from f32 data (quantize + decode) or from raw code words (decode
@@ -58,25 +124,15 @@ pub struct PositPlane {
 }
 
 impl PositPlane {
-    fn decode_one(fmt: PositFormat, b: u64, scale_exp: i32) -> Unpacked {
-        match fmt.decode(b) {
-            PositValue::Zero => ZERO_ELEM,
-            PositValue::NaR => Unpacked {
-                sig: 0,
-                scale: NAR_SCALE,
-                neg: false,
-            },
-            PositValue::Finite(d) => Unpacked {
-                sig: d.significand(),
-                scale: d.scale + scale_exp,
-                neg: d.sign.is_negative(),
-            },
-        }
-    }
-
     /// Decode a slice of code words (low `n` bits of each `u64`).
     pub fn from_bits(fmt: PositFormat, bits: &[u64]) -> PositPlane {
-        let elems = bits.iter().map(|&b| Self::decode_one(fmt, b, 0)).collect();
+        let elems = match unpacked_lut(fmt) {
+            Some(lut) => {
+                let mask = fmt.mask();
+                bits.iter().map(|&b| lut[(b & mask) as usize]).collect()
+            }
+            None => bits.iter().map(|&b| decode_one(fmt, b, 0)).collect(),
+        };
         PositPlane {
             fmt,
             scale_exp: 0,
@@ -93,10 +149,21 @@ impl PositPlane {
         bits: &crate::storage::PackedBits,
         scale_exp: i32,
     ) -> PositPlane {
-        let elems = bits
-            .iter()
-            .map(|b| Self::decode_one(fmt, b, scale_exp))
-            .collect();
+        let elems = match unpacked_lut(fmt) {
+            Some(lut) => {
+                let mask = fmt.mask();
+                bits.iter()
+                    .map(|b| {
+                        let mut u = lut[(b & mask) as usize];
+                        if u.sig != 0 {
+                            u.scale += scale_exp;
+                        }
+                        u
+                    })
+                    .collect()
+            }
+            None => bits.iter().map(|b| decode_one(fmt, b, scale_exp)).collect(),
+        };
         PositPlane {
             fmt,
             scale_exp,
@@ -168,24 +235,65 @@ impl PositPlane {
     }
 }
 
-/// A strided view over plane elements: `elems[start + t*step]` for `t < k`.
-#[derive(Clone, Copy)]
-struct Run<'a> {
-    elems: &'a [Unpacked],
-    start: usize,
-    step: usize,
+/// Transpose an `[rows, cols]` element tile into `[cols, rows]` — the
+/// panel-packing step that turns every kernel's strided operand walk into
+/// two contiguous streams.
+fn transpose_elems(src: &[Unpacked], rows: usize, cols: usize) -> Vec<Unpacked> {
+    debug_assert_eq!(src.len(), rows * cols);
+    let mut out = vec![ZERO_ELEM; src.len()];
+    for r in 0..rows {
+        let src_row = &src[r * cols..(r + 1) * cols];
+        for (c, &e) in src_row.iter().enumerate() {
+            out[c * rows + r] = e;
+        }
+    }
+    out
 }
 
-/// The posit GEMM kernel family: exact quire accumulation over
-/// [`PositPlane`] operands, one rounding per output element.
+/// Rows per register tile of the micro-kernel.
+const MR: usize = 2;
+/// Columns per register tile of the micro-kernel.
+const NR: usize = 4;
+
+/// One multiply-accumulate into a narrow accumulator, with the plane
+/// conventions for zero (skip) and NaR (absorb).
+#[inline(always)]
+fn mac_narrow(q: &mut NarrowQuire, x: Unpacked, y: Unpacked) {
+    if x.sig == 0 || y.sig == 0 {
+        if x.scale == NAR_SCALE || y.scale == NAR_SCALE {
+            q.set_nar();
+        }
+        return;
+    }
+    q.add_product_parts(
+        x.neg != y.neg,
+        x.scale + y.scale,
+        (x.sig as u128) * (y.sig as u128),
+    );
+}
+
+/// Exact dot product of two contiguous element runs in a narrow
+/// accumulator (the tail path of the micro-kernel; same math, no tiling).
+#[inline]
+fn dot_narrow(proto: NarrowQuire, a: &[Unpacked], b: &[Unpacked]) -> NarrowQuire {
+    let mut q = proto;
+    for (&x, &y) in a.iter().zip(b) {
+        mac_narrow(&mut q, x, y);
+    }
+    q
+}
+
+/// The posit GEMM kernel family: exact accumulation over [`PositPlane`]
+/// operands, one rounding per output element.
 ///
 /// `C += round(Σ_k a·b)`: like the f32 kernels, outputs accumulate into `C`
 /// so the backward passes can sum gradient contributions across calls; the
 /// posit-domain rounding happens once per GEMM, on store.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PositGemm {
     fmt: PositFormat,
     rounding: Rounding,
+    force_wide: bool,
 }
 
 impl PositGemm {
@@ -199,7 +307,26 @@ impl PositGemm {
         } else {
             rounding
         };
-        PositGemm { fmt, rounding }
+        PositGemm {
+            fmt,
+            rounding,
+            force_wide: false,
+        }
+    }
+
+    /// Force the heap-allocated wide [`Quire`] even when the format is
+    /// narrow-eligible (builder style). Results are bit-identical either
+    /// way; this exists so tests and benches can pin the fallback path.
+    pub fn wide_accumulator(mut self, force_wide: bool) -> PositGemm {
+        self.force_wide = force_wide;
+        self
+    }
+
+    /// True iff a GEMM with reduction depth `k` over planes carrying
+    /// `margin` total scale-shift bits would take the narrow-accumulator
+    /// fast path (see [`posit::NarrowQuire::try_new`] for the accounting).
+    pub fn uses_narrow_path(&self, margin: u32, k: usize) -> bool {
+        !self.force_wide && NarrowQuire::try_new(self.fmt, margin, k).is_some()
     }
 
     /// The kernel's format.
@@ -212,26 +339,151 @@ impl PositGemm {
         PositPlane::from_f32(self.fmt, xs, self.rounding)
     }
 
-    /// Exact dot product of two strided element runs of length `k`,
-    /// rounded once.
-    fn dot(&self, q: &mut Quire, k: usize, a: Run<'_>, b: Run<'_>) -> f32 {
-        q.clear();
-        for t in 0..k {
-            let ua = a.elems[a.start + t * a.step];
-            let ub = b.elems[b.start + t * b.step];
-            if ua.sig == 0 || ub.sig == 0 {
-                if ua.scale == NAR_SCALE || ub.scale == NAR_SCALE {
-                    q.set_nar();
-                }
-                continue;
-            }
-            q.add_product_parts(
-                ua.neg != ub.neg,
-                ua.scale + ub.scale,
-                (ua.sig as u128) * (ub.sig as u128),
-            );
+    /// Round an accumulated narrow dot to f32, through the store LUT when
+    /// the format has one.
+    #[inline]
+    fn store_narrow(&self, q: &NarrowQuire, lut: Option<&[f32]>) -> f32 {
+        let code = q.to_posit(self.rounding, 0);
+        match lut {
+            Some(l) => l[code as usize],
+            None => self.fmt.to_f32(code),
         }
-        self.fmt.to_f32(q.to_posit(self.rounding, 0))
+    }
+
+    /// The shared panel kernel: `c[rows, n] += round(dot(a_rows, b_cols))`
+    /// over row-major `A` rows (`[m, k]`, already offset to this block) and
+    /// row-major `B` columns (`[n, k]`).
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_panels(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a_rows: &[Unpacked],
+        b_cols: &[Unpacked],
+        margin: u32,
+        c: &mut [f32],
+    ) {
+        let kernel = *self;
+        let narrow = if self.force_wide {
+            None
+        } else {
+            NarrowQuire::try_new(self.fmt, margin, k)
+        };
+        let f32_lut = posit::lut::to_f32_lut(self.fmt);
+        par_rows(m, n, m * k * n, c, |row0, c_chunk| {
+            let rows = c_chunk.len().checked_div(n).unwrap_or(0);
+            let a_block = &a_rows[row0 * k..(row0 + rows) * k];
+            match narrow {
+                Some(proto) => {
+                    kernel.block_narrow(proto, f32_lut, rows, k, n, a_block, b_cols, c_chunk)
+                }
+                None => kernel.block_wide(f32_lut, margin, rows, k, n, a_block, b_cols, c_chunk),
+            }
+        });
+    }
+
+    /// Narrow fast path over one row block: MR×NR register tiles with
+    /// scalar edge loops. Every output element still accumulates its own
+    /// exact sum in ascending-`k` order, so tiling is bit-transparent.
+    #[allow(clippy::too_many_arguments)]
+    fn block_narrow(
+        &self,
+        proto: NarrowQuire,
+        f32_lut: Option<&[f32]>,
+        rows: usize,
+        k: usize,
+        n: usize,
+        a: &[Unpacked],
+        b_cols: &[Unpacked],
+        c: &mut [f32],
+    ) {
+        let mut i = 0;
+        while i + MR <= rows {
+            let a0 = &a[i * k..(i + 1) * k];
+            let a1 = &a[(i + 1) * k..(i + 2) * k];
+            let mut j = 0;
+            while j + NR <= n {
+                let b0 = &b_cols[j * k..(j + 1) * k];
+                let b1 = &b_cols[(j + 1) * k..(j + 2) * k];
+                let b2 = &b_cols[(j + 2) * k..(j + 3) * k];
+                let b3 = &b_cols[(j + 3) * k..(j + 4) * k];
+                let mut acc = [[proto; NR]; MR];
+                for t in 0..k {
+                    let av = [a0[t], a1[t]];
+                    let bv = [b0[t], b1[t], b2[t], b3[t]];
+                    for (r, &x) in av.iter().enumerate() {
+                        for (s, &y) in bv.iter().enumerate() {
+                            mac_narrow(&mut acc[r][s], x, y);
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate() {
+                    for (s, q) in acc_row.iter().enumerate() {
+                        c[(i + r) * n + j + s] += self.store_narrow(q, f32_lut);
+                    }
+                }
+                j += NR;
+            }
+            while j < n {
+                let b_run = &b_cols[j * k..(j + 1) * k];
+                c[i * n + j] += self.store_narrow(&dot_narrow(proto, a0, b_run), f32_lut);
+                c[(i + 1) * n + j] += self.store_narrow(&dot_narrow(proto, a1, b_run), f32_lut);
+                j += 1;
+            }
+            i += MR;
+        }
+        while i < rows {
+            let a_run = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_run = &b_cols[j * k..(j + 1) * k];
+                c[i * n + j] += self.store_narrow(&dot_narrow(proto, a_run, b_run), f32_lut);
+            }
+            i += 1;
+        }
+    }
+
+    /// Wide fallback over one row block: per-output dots into the
+    /// limb-array [`Quire`] (formats or reduction depths the narrow
+    /// accumulator refuses). Operands still stream contiguously.
+    #[allow(clippy::too_many_arguments)]
+    fn block_wide(
+        &self,
+        f32_lut: Option<&[f32]>,
+        margin: u32,
+        rows: usize,
+        k: usize,
+        n: usize,
+        a: &[Unpacked],
+        b_cols: &[Unpacked],
+        c: &mut [f32],
+    ) {
+        let mut q = Quire::with_margin(self.fmt, margin);
+        for i in 0..rows {
+            let a_run = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_run = &b_cols[j * k..(j + 1) * k];
+                q.clear();
+                for (&x, &y) in a_run.iter().zip(b_run) {
+                    if x.sig == 0 || y.sig == 0 {
+                        if x.scale == NAR_SCALE || y.scale == NAR_SCALE {
+                            q.set_nar();
+                        }
+                        continue;
+                    }
+                    q.add_product_parts(
+                        x.neg != y.neg,
+                        x.scale + y.scale,
+                        (x.sig as u128) * (y.sig as u128),
+                    );
+                }
+                let code = q.to_posit(self.rounding, 0);
+                c[i * n + j] += match f32_lut {
+                    Some(l) => l[code as usize],
+                    None => self.fmt.to_f32(code),
+                };
+            }
+        }
     }
 
     /// `c += round(a[m,k] * b[k,n])` — the posit twin of [`crate::gemm::gemm`].
@@ -253,27 +505,9 @@ impl PositGemm {
         assert_eq!(a.len(), m * k, "A length");
         assert_eq!(b.len(), k * n, "B length");
         assert_eq!(c.len(), m * n, "C length");
-        let kernel = *self;
         let margin = a.quire_margin() + b.quire_margin();
-        par_rows(m, n, m * k * n, c, |row0, c_chunk| {
-            let rows = c_chunk.len().checked_div(n).unwrap_or(0);
-            let mut q = Quire::with_margin(kernel.fmt, margin);
-            for i in 0..rows {
-                let a_row = Run {
-                    elems: a.elems(),
-                    start: (row0 + i) * k,
-                    step: 1,
-                };
-                for j in 0..n {
-                    let b_col = Run {
-                        elems: b.elems(),
-                        start: j,
-                        step: n,
-                    };
-                    c_chunk[i * n + j] += kernel.dot(&mut q, k, a_row, b_col);
-                }
-            }
-        });
+        let b_cols = transpose_elems(b.elems(), k, n);
+        self.gemm_panels(m, k, n, a.elems(), &b_cols, margin, c);
     }
 
     /// `c += round(a^T[m,k] * b[k,n])` with `a` stored `[k, m]` — the posit
@@ -296,31 +530,15 @@ impl PositGemm {
         assert_eq!(a_t.len(), k * m, "A^T length");
         assert_eq!(b.len(), k * n, "B length");
         assert_eq!(c.len(), m * n, "C length");
-        let kernel = *self;
         let margin = a_t.quire_margin() + b.quire_margin();
-        par_rows(m, n, m * k * n, c, |row0, c_chunk| {
-            let rows = c_chunk.len().checked_div(n).unwrap_or(0);
-            let mut q = Quire::with_margin(kernel.fmt, margin);
-            for i in 0..rows {
-                let a_col = Run {
-                    elems: a_t.elems(),
-                    start: row0 + i,
-                    step: m,
-                };
-                for j in 0..n {
-                    let b_col = Run {
-                        elems: b.elems(),
-                        start: j,
-                        step: n,
-                    };
-                    c_chunk[i * n + j] += kernel.dot(&mut q, k, a_col, b_col);
-                }
-            }
-        });
+        let a_rows = transpose_elems(a_t.elems(), k, m);
+        let b_cols = transpose_elems(b.elems(), k, n);
+        self.gemm_panels(m, k, n, &a_rows, &b_cols, margin, c);
     }
 
     /// `c += round(a[m,k] * b^T[k,n])` with `b` stored `[n, k]` — the posit
-    /// twin of [`crate::gemm::gemm_a_bt`].
+    /// twin of [`crate::gemm::gemm_a_bt`]. Both operands already sit in
+    /// panel layout, so this entry point packs nothing.
     ///
     /// # Panics
     ///
@@ -339,27 +557,8 @@ impl PositGemm {
         assert_eq!(a.len(), m * k, "A length");
         assert_eq!(b_t.len(), n * k, "B^T length");
         assert_eq!(c.len(), m * n, "C length");
-        let kernel = *self;
         let margin = a.quire_margin() + b_t.quire_margin();
-        par_rows(m, n, m * k * n, c, |row0, c_chunk| {
-            let rows = c_chunk.len().checked_div(n).unwrap_or(0);
-            let mut q = Quire::with_margin(kernel.fmt, margin);
-            for i in 0..rows {
-                let a_row = Run {
-                    elems: a.elems(),
-                    start: (row0 + i) * k,
-                    step: 1,
-                };
-                for j in 0..n {
-                    let b_row = Run {
-                        elems: b_t.elems(),
-                        start: j * k,
-                        step: 1,
-                    };
-                    c_chunk[i * n + j] += kernel.dot(&mut q, k, a_row, b_row);
-                }
-            }
-        });
+        self.gemm_panels(m, k, n, a.elems(), b_t.elems(), margin, c);
     }
 }
 
@@ -385,9 +584,38 @@ mod tests {
     }
 
     #[test]
+    fn lut_plane_decode_matches_direct_decode() {
+        // Every ≤8-bit code word must decode to the same Unpacked through
+        // the LUT path (from_bits) as through decode_one, including NaR and
+        // a scale shift through from_packed.
+        for (n, es) in [(8u32, 0u32), (8, 1), (8, 2), (6, 0), (5, 1)] {
+            let fmt = PositFormat::of(n, es);
+            let codes: Vec<u64> = (0..fmt.code_count()).collect();
+            let p = PositPlane::from_bits(fmt, &codes);
+            for (i, &b) in codes.iter().enumerate() {
+                assert_eq!(p.elems()[i], decode_one(fmt, b, 0), "({n},{es}) {b:#x}");
+            }
+            let mut packed = crate::storage::PackedBits::for_format(fmt, codes.len());
+            for &b in &codes {
+                packed.push(b);
+            }
+            for shift in [-5i32, 0, 7] {
+                let ps = PositPlane::from_packed(fmt, &packed, shift);
+                for (i, &b) in codes.iter().enumerate() {
+                    assert_eq!(
+                        ps.elems()[i],
+                        decode_one(fmt, b, shift),
+                        "({n},{es}) {b:#x} shift {shift}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn matches_fused_dot() {
         // The kernel's 1×1 output must equal posit::quire::fused_dot on the
-        // same code words — same quire, same single rounding.
+        // same code words — same exact accumulation, same single rounding.
         let fmt = PositFormat::of(16, 1);
         let xs = [1.5f32, -2.25, 8.0, 0.03125, -0.5];
         let ys = [2.0f32, 4.0, -0.125, 32.0, 7.0];
@@ -452,7 +680,8 @@ mod tests {
     fn quire_beats_f32_accumulation_on_cancellation() {
         // Σ = big² − big² + small where f32 accumulation of posit products
         // keeps the small term but chained posit(8,1) adds would drop it; the
-        // quire keeps it exactly. Checks the kernel really is single-rounding.
+        // exact accumulator keeps it exactly. Checks the kernel really is
+        // single-rounding.
         let fmt = PositFormat::of(8, 1);
         let big = 1024.0f32; // exactly representable in (8,1)
         let small = 0.0625f32;
@@ -474,6 +703,32 @@ mod tests {
         g.gemm(2, 2, 2, &a, &b, &mut c);
         assert!(c[0].is_nan() && c[1].is_nan(), "row with NaR");
         assert_eq!(&c[2..], &[2.0, 3.0], "clean row unaffected");
+    }
+
+    #[test]
+    fn nar_poisons_inside_register_tiles() {
+        // A shape wide enough to engage the MR×NR tile with a NaR landing
+        // in the middle of a tile, a zero next to it, and clean columns
+        // around: only the poisoned outputs may be NaN.
+        let fmt = PositFormat::of(8, 1);
+        let g = PositGemm::new(fmt, Rounding::NearestEven);
+        let (m, k, n) = (4, 3, 9);
+        let mut av = vec![0.5f32; m * k];
+        av[k + 1] = f32::NAN; // row 1 poisoned
+        av[2 * k] = 0.0;
+        let bv = vec![0.25f32; k * n];
+        let mut c = vec![0.0f32; m * n];
+        g.gemm(m, k, n, &plane(fmt, &av), &plane(fmt, &bv), &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let v = c[i * n + j];
+                if i == 1 {
+                    assert!(v.is_nan(), "({i},{j}) must be NaR-poisoned");
+                } else {
+                    assert!(!v.is_nan(), "({i},{j}) must stay clean");
+                }
+            }
+        }
     }
 
     #[test]
@@ -503,6 +758,64 @@ mod tests {
     }
 
     #[test]
+    fn wide_and_narrow_paths_agree_at_every_tile_edge() {
+        // Sweep shapes across the MR/NR remainder space so main tiles, row
+        // tails and column tails all execute, on a format with a LUT (8,1)
+        // and one without (16,1); the forced-wide kernel is the reference.
+        for (fmt, scale) in [
+            (PositFormat::of(8, 1), 0.25f32),
+            (PositFormat::of(16, 1), 0.125f32),
+        ] {
+            let fast = PositGemm::new(fmt, Rounding::NearestEven);
+            let wide = fast.wide_accumulator(true);
+            for (m, k, n) in [
+                (1, 1, 1),
+                (2, 3, 4),
+                (3, 5, 5),
+                (5, 7, 9),
+                (4, 2, 8),
+                (7, 4, 11),
+            ] {
+                let av: Vec<f32> = (0..m * k)
+                    .map(|i| ((i * 13 % 17) as f32 - 8.0) * scale)
+                    .collect();
+                let bv: Vec<f32> = (0..k * n)
+                    .map(|i| ((i * 11 % 19) as f32 - 9.0) * scale)
+                    .collect();
+                let (pa, pb) = (plane(fmt, &av), plane(fmt, &bv));
+                assert!(fast.uses_narrow_path(0, k), "{fmt} k={k}");
+                assert!(!wide.uses_narrow_path(0, k));
+                let mut c_fast = vec![0.0f32; m * n];
+                let mut c_wide = vec![0.0f32; m * n];
+                fast.gemm(m, k, n, &pa, &pb, &mut c_fast);
+                wide.gemm(m, k, n, &pa, &pb, &mut c_wide);
+                assert_eq!(c_fast, c_wide, "{fmt} ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_reductions_fall_back_to_the_wide_quire() {
+        // (16,1) has 13 guard bits: K beyond 8192 must refuse the narrow
+        // path automatically and still agree with the forced-wide kernel.
+        let fmt = PositFormat::of(16, 1);
+        let g = PositGemm::new(fmt, Rounding::NearestEven);
+        let k = 8200;
+        assert!(!g.uses_narrow_path(0, k), "K guard must refuse");
+        assert!(g.uses_narrow_path(0, 8192), "K at the guard limit is fine");
+        let av: Vec<f32> = (0..k)
+            .map(|i| if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let bv: Vec<f32> = (0..k).map(|i| ((i % 5) as f32) * 0.25).collect();
+        let mut c_auto = vec![0.0f32; 1];
+        let mut c_wide = vec![0.0f32; 1];
+        g.gemm(1, k, 1, &plane(fmt, &av), &plane(fmt, &bv), &mut c_auto);
+        g.wide_accumulator(true)
+            .gemm(1, k, 1, &plane(fmt, &av), &plane(fmt, &bv), &mut c_wide);
+        assert_eq!(c_auto, c_wide);
+    }
+
+    #[test]
     fn parallel_split_is_deterministic() {
         let fmt = PositFormat::of(8, 1);
         let g = PositGemm::new(fmt, Rounding::NearestEven);
@@ -519,5 +832,9 @@ mod tests {
         g.gemm(m, k, n, &pa, &pb, &mut c1);
         g.gemm(m, k, n, &pa, &pb, &mut c2);
         assert_eq!(c1, c2);
+        // And the pooled split must equal a fully serial run.
+        let mut c3 = vec![0.0f32; m * n];
+        crate::workers::serial_scope(|| g.gemm(m, k, n, &pa, &pb, &mut c3));
+        assert_eq!(c1, c3, "pool vs serial");
     }
 }

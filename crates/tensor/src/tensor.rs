@@ -35,19 +35,45 @@ use std::fmt;
 /// assert_eq!(p.nbytes(), 64); // 1 byte/elem
 /// assert_eq!(p.to_f32().data(), t.data()); // 0.5 is exact in (8,1)
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Tensor {
     storage: Storage,
     shape: Vec<usize>,
+    /// Content stamp (see [`Tensor::version`]).
+    version: u64,
+}
+
+/// Process-unique content stamps: every constructed tensor and every
+/// mutable-buffer borrow gets a fresh one, so two tensors only ever share a
+/// stamp through `clone()` — when their contents are identical.
+fn next_version() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Tensor) -> bool {
+        // The version stamp is bookkeeping, not content.
+        self.storage == other.storage && self.shape == other.shape
+    }
 }
 
 impl Tensor {
+    fn with_storage(storage: Storage, shape: Vec<usize>) -> Tensor {
+        Tensor {
+            storage,
+            shape,
+            version: next_version(),
+        }
+    }
+
     /// All zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Tensor {
-        Tensor {
-            storage: Storage::F32(vec![0.0; shape.iter().product()]),
-            shape: shape.to_vec(),
-        }
+        Tensor::with_storage(
+            Storage::F32(vec![0.0; shape.iter().product()]),
+            shape.to_vec(),
+        )
     }
 
     /// All ones with the given shape.
@@ -57,10 +83,10 @@ impl Tensor {
 
     /// Constant fill.
     pub fn full(shape: &[usize], value: f32) -> Tensor {
-        Tensor {
-            storage: Storage::F32(vec![value; shape.iter().product()]),
-            shape: shape.to_vec(),
-        }
+        Tensor::with_storage(
+            Storage::F32(vec![value; shape.iter().product()]),
+            shape.to_vec(),
+        )
     }
 
     /// Identity matrix of side `n`.
@@ -86,10 +112,7 @@ impl Tensor {
             data.len(),
             shape
         );
-        Tensor {
-            storage: Storage::F32(data),
-            shape: shape.to_vec(),
-        }
+        Tensor::with_storage(Storage::F32(data), shape.to_vec())
     }
 
     /// Wrap packed posit code words (the posit-domain twin of
@@ -130,14 +153,14 @@ impl Tensor {
             scale_exp.unsigned_abs() <= 1 << 20,
             "implausible scale exponent {scale_exp}"
         );
-        Tensor {
-            storage: Storage::Posit {
+        Tensor::with_storage(
+            Storage::Posit {
                 bits,
                 format,
                 scale_exp,
             },
-            shape: shape.to_vec(),
-        }
+            shape.to_vec(),
+        )
     }
 
     /// Uniform random values in `[lo, hi)`.
@@ -218,12 +241,26 @@ impl Tensor {
         }
     }
 
-    /// Mutable view of the underlying f32 buffer.
+    /// Content stamp of this tensor's buffer: a process-unique value
+    /// assigned at construction and refreshed on every [`Tensor::data_mut`]
+    /// borrow, so an unchanged stamp guarantees unchanged contents. Clones
+    /// share their source's stamp (their contents are identical) until
+    /// either side is mutably borrowed. This is what lets derived artifacts
+    /// — e.g. the decoded weight planes in [`crate::OperandCache`] — be
+    /// reused across calls and invalidated automatically when the optimizer
+    /// writes new weights.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Mutable view of the underlying f32 buffer. Refreshes the content
+    /// stamp (see [`Tensor::version`]): the borrow may write.
     ///
     /// # Panics
     ///
     /// Panics on a posit-domain tensor (see [`Tensor::data`]).
     pub fn data_mut(&mut self) -> &mut [f32] {
+        self.version = next_version();
         match &mut self.storage {
             Storage::F32(v) => v,
             Storage::Posit { format, .. } => {
@@ -295,14 +332,14 @@ impl Tensor {
                 }
             }
         }
-        Tensor {
-            storage: Storage::Posit {
+        Tensor::with_storage(
+            Storage::Posit {
                 bits,
                 format,
                 scale_exp,
             },
-            shape: self.shape.clone(),
-        }
+            self.shape.clone(),
+        )
     }
 
     /// Decode into the f32 domain: `x[i] = posit(bits[i]) · 2^scale_exp`
@@ -319,10 +356,7 @@ impl Tensor {
             } => {
                 let sf = (*scale_exp as f32).exp2();
                 let data = bits.iter().map(|b| format.to_f32(b) * sf).collect();
-                Tensor {
-                    storage: Storage::F32(data),
-                    shape: self.shape.clone(),
-                }
+                Tensor::with_storage(Storage::F32(data), self.shape.clone())
             }
         }
     }
@@ -381,10 +415,10 @@ impl Tensor {
     ///
     /// Panics on a posit-domain tensor (see [`Tensor::data`]).
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            storage: Storage::F32(self.data().iter().map(|&x| f(x)).collect()),
-            shape: self.shape.clone(),
-        }
+        Tensor::with_storage(
+            Storage::F32(self.data().iter().map(|&x| f(x)).collect()),
+            self.shape.clone(),
+        )
     }
 
     /// Elementwise map in place.
@@ -405,16 +439,16 @@ impl Tensor {
     /// Panics on shape mismatch or posit-domain operands.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip shape mismatch");
-        Tensor {
-            storage: Storage::F32(
+        Tensor::with_storage(
+            Storage::F32(
                 self.data()
                     .iter()
                     .zip(other.data())
                     .map(|(&a, &b)| f(a, b))
                     .collect(),
             ),
-            shape: self.shape.clone(),
-        }
+            self.shape.clone(),
+        )
     }
 
     /// `self + other` elementwise.
@@ -629,6 +663,20 @@ mod tests {
         assert_eq!(a, b);
         let c = Tensor::rand_uniform(&[8], -1.0, 1.0, &mut r1);
         assert!(c.data().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn version_tracks_content_changes() {
+        let mut t = Tensor::zeros(&[4]);
+        let v0 = t.version();
+        let c = t.clone();
+        assert_eq!(c.version(), v0, "clone shares the stamp (same contents)");
+        t.data_mut()[0] = 1.0;
+        assert_ne!(t.version(), v0, "mutable borrow refreshes the stamp");
+        assert_eq!(c.version(), v0, "clone keeps its own stamp");
+        let u = Tensor::zeros(&[4]);
+        assert_ne!(u.version(), c.version(), "fresh tensors are unique");
+        assert_eq!(u, Tensor::zeros(&[4]), "stamp is not part of equality");
     }
 
     #[test]

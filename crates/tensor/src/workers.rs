@@ -1,0 +1,321 @@
+//! The persistent worker pool behind every parallel kernel in this crate.
+//!
+//! The original row partitioner spawned fresh scoped threads per GEMM call
+//! — a spawn+join pair per thread per layer per training step, which the
+//! bench traces showed costing tens of microseconds per call at LeNet/MLP
+//! shapes. This module keeps one set of workers alive for the process
+//! lifetime (lazily spawned on the first parallel run) and hands them
+//! statically partitioned index lanes over a channel, so a parallel region
+//! costs a channel send and a latch wait instead of thread creation.
+//!
+//! Scheduling is deliberately work-stealing-free: a run over `count` tasks
+//! splits them into `lanes` round-robin strides (`lane, lane + lanes, …`),
+//! the caller executes lane 0 on its own thread and blocks until the
+//! workers finish the rest. Task-to-lane assignment is a pure function of
+//! `(count, lanes)`, and callers (see `par_rows` in [`crate::gemm`]) give
+//! every task a self-contained, disjoint slice of the output — results are
+//! bit-deterministic regardless of which worker runs what when.
+//!
+//! Nested parallel regions (a task that itself re-enters `run_indexed`)
+//! degrade to serial execution on the worker's thread: the pool cannot
+//! service a region from inside one of its own tasks without risking
+//! deadlock, and every call site's split is already near the hardware
+//! thread count.
+
+#![allow(unsafe_code)]
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+
+/// Cached thread budget: the `POSIT_TENSOR_THREADS` environment variable
+/// when set (deployment override, and the only way to exercise the pool
+/// dispatch path on single-core CI boxes), `available_parallelism`
+/// otherwise — cached because the std call re-reads cgroup files on every
+/// invocation, which costs ~1 ms inside containers.
+pub(crate) fn parallelism() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Some(n) = std::env::var("POSIT_TENSOR_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    })
+}
+
+thread_local! {
+    /// Set inside pool workers (nested regions run serially) …
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// … and inside [`serial_scope`] (parallel dispatch disabled).
+    static FORCE_SERIAL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The parallelism kernels should plan for on this thread: 1 inside a pool
+/// worker or a [`serial_scope`], the hardware thread count otherwise.
+pub(crate) fn effective_parallelism() -> usize {
+    if IN_WORKER.get() || FORCE_SERIAL.get() {
+        1
+    } else {
+        parallelism()
+    }
+}
+
+/// Run `f` with the pool disabled on this thread: every parallel region it
+/// reaches executes serially on the caller. For benches and tests that
+/// isolate single-thread kernel cost; not intended for production paths.
+/// Panic-safe: the previous setting is restored on unwind too, so a caught
+/// panic inside `f` cannot leave the thread permanently serial.
+pub fn serial_scope<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCE_SERIAL.set(self.0);
+        }
+    }
+    let _restore = Restore(FORCE_SERIAL.replace(true));
+    f()
+}
+
+/// Completion latch: the caller waits until every worker lane checks in.
+struct Latch {
+    state: Mutex<usize>,
+    cv: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn new(lanes: usize) -> Latch {
+        Latch {
+            state: Mutex::new(lanes),
+            cv: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    fn check_in(&self, panicked: bool) {
+        if panicked {
+            self.panicked.store(true, Ordering::Relaxed);
+        }
+        let mut remaining = self.state.lock().expect("latch poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until every lane checked in; true iff any lane panicked.
+    fn wait(&self) -> bool {
+        let mut remaining = self.state.lock().expect("latch poisoned");
+        while *remaining != 0 {
+            remaining = self.cv.wait(remaining).expect("latch poisoned");
+        }
+        self.panicked.load(Ordering::Relaxed)
+    }
+}
+
+/// One strided lane of a parallel region, shipped to a worker.
+struct Job {
+    /// The region's task body. Lifetime-erased: [`run_indexed`] blocks on
+    /// the latch before returning, so the borrow outlives every use.
+    task: &'static (dyn Fn(usize) + Sync),
+    first: usize,
+    stride: usize,
+    count: usize,
+    latch: Arc<Latch>,
+}
+
+struct Pool {
+    senders: Vec<mpsc::Sender<Job>>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = parallelism().saturating_sub(1);
+        let senders = (0..workers)
+            .map(|i| {
+                let (tx, rx) = mpsc::channel::<Job>();
+                std::thread::Builder::new()
+                    .name(format!("posit-tensor-{i}"))
+                    .spawn(move || {
+                        IN_WORKER.set(true);
+                        while let Ok(job) = rx.recv() {
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                let mut t = job.first;
+                                while t < job.count {
+                                    (job.task)(t);
+                                    t += job.stride;
+                                }
+                            }));
+                            job.latch.check_in(outcome.is_err());
+                        }
+                    })
+                    .expect("failed to spawn posit-tensor worker");
+                tx
+            })
+            .collect();
+        Pool { senders }
+    })
+}
+
+/// Execute `task(0..count)` across the worker pool with static round-robin
+/// lane assignment (the caller runs lane 0 and blocks until all lanes
+/// finish). Falls back to a serial loop when the pool would not help:
+/// single task, single hardware thread, a [`serial_scope`], or a nested
+/// region inside a pool worker.
+///
+/// # Panics
+///
+/// Re-raises a panicking caller-lane task after the region quiesces;
+/// panics with a generic message when a worker-lane task panicked.
+pub(crate) fn run_indexed(count: usize, task: &(dyn Fn(usize) + Sync)) {
+    if count == 0 {
+        return;
+    }
+    if count == 1 || effective_parallelism() <= 1 {
+        for t in 0..count {
+            task(t);
+        }
+        return;
+    }
+    let pool = pool();
+    let lanes = (pool.senders.len() + 1).min(count);
+    let latch = Arc::new(Latch::new(lanes - 1));
+    // SAFETY: the latch wait below keeps this stack frame alive until every
+    // worker has finished running `task`, so erasing the borrow's lifetime
+    // cannot let a worker observe it dangling. The jobs are dropped by the
+    // workers before they check in, and no worker retains `task` after its
+    // lane completes.
+    let task_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+    for lane in 1..lanes {
+        pool.senders[lane - 1]
+            .send(Job {
+                task: task_static,
+                first: lane,
+                stride: lanes,
+                count,
+                latch: Arc::clone(&latch),
+            })
+            .expect("posit-tensor worker channel closed");
+    }
+    // The caller works lane 0. A panic here must still wait for the other
+    // lanes (they borrow this frame) before unwinding further.
+    let caller = catch_unwind(AssertUnwindSafe(|| {
+        let mut t = 0;
+        while t < count {
+            task(t);
+            t += lanes;
+        }
+    }));
+    let worker_panicked = latch.wait();
+    if let Err(payload) = caller {
+        resume_unwind(payload);
+    }
+    if worker_panicked {
+        panic!("posit-tensor worker panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        for count in [0usize, 1, 2, 3, 17, 64, 1000] {
+            let hits: Vec<AtomicUsize> = (0..count).map(|_| AtomicUsize::new(0)).collect();
+            run_indexed(count, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} of {count}");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_scope_disables_dispatch_and_restores() {
+        let out = serial_scope(|| {
+            assert_eq!(effective_parallelism(), 1);
+            let hits = AtomicUsize::new(0);
+            run_indexed(100, &|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            hits.load(Ordering::Relaxed)
+        });
+        assert_eq!(out, 100);
+        assert_eq!(effective_parallelism(), parallelism());
+    }
+
+    #[test]
+    fn serial_scope_restores_on_panic() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            serial_scope(|| panic!("boom"));
+        }));
+        assert!(result.is_err());
+        assert_eq!(
+            effective_parallelism(),
+            parallelism(),
+            "a caught panic must not leave the thread serial"
+        );
+    }
+
+    #[test]
+    fn nested_regions_run_serially_not_deadlock() {
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        run_indexed(8, &|outer| {
+            run_indexed(8, &|inner| {
+                hits[outer * 8 + inner].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn caller_lane_panic_propagates_after_quiescing() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_indexed(16, &|i| {
+                if i == 0 {
+                    panic!("caller lane boom");
+                }
+            });
+        }));
+        let msg = *result.unwrap_err().downcast::<&str>().unwrap();
+        assert_eq!(msg, "caller lane boom");
+        // The pool must remain serviceable after a panicked region.
+        let hits = AtomicUsize::new(0);
+        run_indexed(16, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn worker_lane_panic_is_reported() {
+        if parallelism() <= 1 {
+            return; // no worker lanes to panic on a single-core box
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_indexed(64, &|i| {
+                if i == 1 {
+                    panic!("worker lane boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        let hits = AtomicUsize::new(0);
+        run_indexed(64, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64, "pool survives");
+    }
+}

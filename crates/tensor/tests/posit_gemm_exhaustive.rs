@@ -1,23 +1,31 @@
-//! Exhaustive posit(8,0) cross-backend agreement: the `posit-quire` GEMM
-//! must be bit-identical to a double-rounding-free reference built from
-//! exact rational arithmetic (`posit::exact`), for every code-word pair and
-//! for full-code-space dot products.
+//! Exhaustive posit(8,·) cross-backend agreement: the `posit-quire` GEMM —
+//! narrow-accumulator fast path, decode LUTs, register-blocked tiles and
+//! all — must be bit-identical to a double-rounding-free reference built
+//! from exact rational arithmetic (`posit::exact`), for every code-word
+//! pair of every 8-bit training format and for full-code-space dot
+//! products, plus a sampled posit(16,1) sweep and forced-fallback checks
+//! that pin the wide-quire path against the fast path on identical inputs.
 
 use posit::exact::{decode_ref, Rational, RefRounder};
 use posit::{PositFormat, Rounding};
 use posit_tensor::{PositGemm, PositPlane};
 
-const FMT: PositFormat = PositFormat::of(8, 0);
+/// The 8-bit formats the paper trains with (es 0..=2).
+const NARROW_FMTS: [PositFormat; 3] = [
+    PositFormat::of(8, 0),
+    PositFormat::of(8, 1),
+    PositFormat::of(8, 2),
+];
 
-/// Every finite code word of the format (zero included, NaR excluded).
-fn finite_codes() -> Vec<u64> {
-    (0..FMT.code_count())
-        .filter(|&c| c != FMT.nar_bits())
+/// Every finite code word of a format (zero included, NaR excluded).
+fn finite_codes(fmt: PositFormat) -> Vec<u64> {
+    (0..fmt.code_count())
+        .filter(|&c| c != fmt.nar_bits())
         .collect()
 }
 
-fn exact(code: u64) -> Rational {
-    decode_ref(&FMT, code).expect("finite code")
+fn exact(fmt: PositFormat, code: u64) -> Rational {
+    decode_ref(&fmt, code).expect("finite code")
 }
 
 /// Reference: round an exact rational once, per the kernel's rounding mode.
@@ -31,24 +39,56 @@ fn round_ref(r: &RefRounder, x: &Rational, rounding: Rounding) -> u64 {
 
 /// All pairwise products in one GEMM: `C[254,254] = A[254,1] · B[1,254]`.
 /// Each output element is a single-product dot, so the kernel result must
-/// equal the exactly-computed product rounded once.
+/// equal the exactly-computed product rounded once — for every 8-bit
+/// training format, through the LUT decode and the narrow accumulator.
 #[test]
 fn exhaustive_pairwise_products_match_exact_rationals() {
-    let codes = finite_codes();
-    let m = codes.len();
-    let a = PositPlane::from_bits(FMT, &codes); // [m, 1]
-    let b = PositPlane::from_bits(FMT, &codes); // [1, m]
-    let rounder = RefRounder::new(FMT);
-    for rounding in [Rounding::NearestEven, Rounding::ToZero] {
-        let kernel = PositGemm::new(FMT, rounding);
-        let mut c = vec![0.0f32; m * m];
-        kernel.gemm(m, 1, m, &a, &b, &mut c);
-        for (i, &ca) in codes.iter().enumerate() {
-            for (j, &cb) in codes.iter().enumerate() {
-                let prod = exact(ca).mul(&exact(cb));
-                let want = FMT.to_f32(round_ref(&rounder, &prod, rounding));
-                assert_eq!(c[i * m + j], want, "{rounding:?}: {ca:#04x} * {cb:#04x}");
+    for fmt in NARROW_FMTS {
+        let codes = finite_codes(fmt);
+        let m = codes.len();
+        let a = PositPlane::from_bits(fmt, &codes); // [m, 1]
+        let b = PositPlane::from_bits(fmt, &codes); // [1, m]
+        let rounder = RefRounder::new(fmt);
+        for rounding in [Rounding::NearestEven, Rounding::ToZero] {
+            let kernel = PositGemm::new(fmt, rounding);
+            assert!(kernel.uses_narrow_path(0, 1), "{fmt} must run narrow");
+            let mut c = vec![0.0f32; m * m];
+            kernel.gemm(m, 1, m, &a, &b, &mut c);
+            for (i, &ca) in codes.iter().enumerate() {
+                for (j, &cb) in codes.iter().enumerate() {
+                    let prod = exact(fmt, ca).mul(&exact(fmt, cb));
+                    let want = fmt.to_f32(round_ref(&rounder, &prod, rounding));
+                    assert_eq!(
+                        c[i * m + j],
+                        want,
+                        "{fmt} {rounding:?}: {ca:#04x} * {cb:#04x}"
+                    );
+                }
             }
+        }
+    }
+}
+
+/// The forced-wide kernel must agree with the fast path on the same
+/// exhaustive pairwise sweep: narrow accumulator, LUT store and tiling are
+/// bit-transparent by construction, and this pins it on every code pair.
+#[test]
+fn exhaustive_pairwise_products_forced_wide_agrees() {
+    for fmt in NARROW_FMTS {
+        let codes = finite_codes(fmt);
+        let m = codes.len();
+        let a = PositPlane::from_bits(fmt, &codes);
+        let b = PositPlane::from_bits(fmt, &codes);
+        for rounding in [Rounding::NearestEven, Rounding::ToZero] {
+            let fast = PositGemm::new(fmt, rounding);
+            let wide = fast.wide_accumulator(true);
+            assert!(!wide.uses_narrow_path(0, 1));
+            let mut c_fast = vec![0.0f32; m * m];
+            let mut c_wide = vec![0.0f32; m * m];
+            fast.gemm(m, 1, m, &a, &b, &mut c_fast);
+            wide.gemm(m, 1, m, &a, &b, &mut c_wide);
+            // Bitwise: NaN-free data, so f32 equality is bit equality.
+            assert_eq!(c_fast, c_wide, "{fmt} {rounding:?}");
         }
     }
 }
@@ -56,64 +96,178 @@ fn exhaustive_pairwise_products_match_exact_rationals() {
 /// Full-code-space dot products: pair the exhaustive code list against
 /// rotated copies of itself so every code meets many partners inside one
 /// accumulation, and compare against exact rational summation rounded once
-/// (the double-rounding-free reference).
+/// (the double-rounding-free reference) — per 8-bit format.
 #[test]
 fn exhaustive_dot_products_match_exact_accumulation() {
-    let codes = finite_codes();
-    let k = codes.len();
-    let rounder = RefRounder::new(FMT);
-    for rotation in [1usize, 37, 101, 200] {
-        let rotated: Vec<u64> = (0..k).map(|i| codes[(i + rotation) % k]).collect();
-        let a = PositPlane::from_bits(FMT, &codes); // [1, k]
-        let b = PositPlane::from_bits(FMT, &rotated); // [k, 1]
-        let mut sum = Rational::ZERO;
-        for (&ca, &cb) in codes.iter().zip(&rotated) {
-            sum = sum.add(&exact(ca).mul(&exact(cb)));
-        }
-        for rounding in [Rounding::NearestEven, Rounding::ToZero] {
-            let kernel = PositGemm::new(FMT, rounding);
-            let mut c = vec![0.0f32; 1];
-            kernel.gemm(1, k, 1, &a, &b, &mut c);
-            let want = FMT.to_f32(round_ref(&rounder, &sum, rounding));
-            assert_eq!(c[0], want, "rotation {rotation}, {rounding:?}");
+    for fmt in NARROW_FMTS {
+        // The i128 rational reference cannot hold an (8,2) sum that mixes
+        // maxpos² (2^48) with minpos² (2^-96) — numerator × denominator
+        // overflows — so for es=2 the dot sweep windows the codes to
+        // |scale| ≤ 12. The kernel itself is pinned on the *full* (8,2)
+        // code space by the pairwise-product sweep above.
+        let codes: Vec<u64> = if fmt.es() >= 2 {
+            finite_codes(fmt)
+                .into_iter()
+                .filter(|&c| {
+                    let v = fmt.to_f64(c).abs();
+                    v == 0.0 || (2f64.powi(-12)..=2f64.powi(12)).contains(&v)
+                })
+                .collect()
+        } else {
+            finite_codes(fmt)
+        };
+        let k = codes.len();
+        let rounder = RefRounder::new(fmt);
+        for rotation in [1usize, 37, 101, 200] {
+            let rotated: Vec<u64> = (0..k).map(|i| codes[(i + rotation) % k]).collect();
+            let a = PositPlane::from_bits(fmt, &codes); // [1, k]
+            let b = PositPlane::from_bits(fmt, &rotated); // [k, 1]
+            let mut sum = Rational::ZERO;
+            for (&ca, &cb) in codes.iter().zip(&rotated) {
+                sum = sum.add(&exact(fmt, ca).mul(&exact(fmt, cb)));
+            }
+            for rounding in [Rounding::NearestEven, Rounding::ToZero] {
+                let kernel = PositGemm::new(fmt, rounding);
+                let mut c = vec![0.0f32; 1];
+                kernel.gemm(1, k, 1, &a, &b, &mut c);
+                let want = fmt.to_f32(round_ref(&rounder, &sum, rounding));
+                assert_eq!(c[0], want, "{fmt} rotation {rotation}, {rounding:?}");
+            }
         }
     }
 }
 
+/// Sampled posit(16,1) sweep against the exact rational reference: random
+/// code-word dots at several reduction depths, checking the narrow
+/// accumulator's 16-bit regime (no LUT, 13 guard bits) and the wide
+/// fallback on the same data.
+#[test]
+fn sampled_p16_dots_match_exact_rationals() {
+    let fmt = PositFormat::of(16, 1);
+    let rounder = RefRounder::new(fmt);
+    let mut state = 0xD1CE_5EED_0BAD_F00Du64;
+    let mut rand_code = |exclude_nar: bool| loop {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let c = (state >> 24) & fmt.mask();
+        if !(exclude_nar && c == fmt.nar_bits()) {
+            return c;
+        }
+    };
+    for (trial, &k) in [1usize, 2, 7, 64, 333].iter().enumerate().cycle().take(60) {
+        let xs: Vec<u64> = (0..k).map(|_| rand_code(true)).collect();
+        let ys: Vec<u64> = (0..k).map(|_| rand_code(true)).collect();
+        let a = PositPlane::from_bits(fmt, &xs);
+        let b = PositPlane::from_bits(fmt, &ys);
+        let mut sum = Rational::ZERO;
+        for (&ca, &cb) in xs.iter().zip(&ys) {
+            sum = sum.add(&exact(fmt, ca).mul(&exact(fmt, cb)));
+        }
+        for rounding in [Rounding::NearestEven, Rounding::ToZero] {
+            let fast = PositGemm::new(fmt, rounding);
+            assert!(fast.uses_narrow_path(0, k));
+            let want = fmt.to_f32(round_ref(&rounder, &sum, rounding));
+            let mut c = vec![0.0f32; 1];
+            fast.gemm(1, k, 1, &a, &b, &mut c);
+            assert_eq!(c[0], want, "narrow trial {trial} k={k} {rounding:?}");
+            let mut c = vec![0.0f32; 1];
+            fast.wide_accumulator(true).gemm(1, k, 1, &a, &b, &mut c);
+            assert_eq!(c[0], want, "wide trial {trial} k={k} {rounding:?}");
+        }
+    }
+}
+
+/// Forced-fallback agreement at GEMM scale: a (16,1) shape big enough to
+/// engage register tiles, edge loops and the parallel row split, with NaR
+/// and zero elements mixed in, must produce identical outputs through the
+/// narrow fast path and the forced wide quire.
+#[test]
+fn forced_fallback_agrees_on_gemm_scale_inputs() {
+    let fmt = PositFormat::of(16, 1);
+    let (m, k, n) = (37, 19, 23);
+    let mut state = 0xABCD_EF01_2345_6789u64;
+    let mut codes = |len: usize| -> Vec<u64> {
+        (0..len)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if i % 11 == 0 {
+                    0 // zeros exercise the skip branch
+                } else {
+                    (state >> 13) & fmt.mask()
+                }
+            })
+            .collect()
+    };
+    let mut a_codes = codes(m * k);
+    let mut b_codes = codes(k * n);
+    // One NaR in each operand: poisons a single output row/column, leaving
+    // plenty of finite outputs to compare.
+    a_codes[3 * k + 1] = fmt.nar_bits();
+    b_codes[2 * n + 5] = fmt.nar_bits();
+    let a = PositPlane::from_bits(fmt, &a_codes);
+    let b = PositPlane::from_bits(fmt, &b_codes);
+    let fast = PositGemm::new(fmt, Rounding::NearestEven);
+    let wide = fast.wide_accumulator(true);
+    let mut c_fast = vec![0.0f32; m * n];
+    let mut c_wide = vec![0.0f32; m * n];
+    fast.gemm(m, k, n, &a, &b, &mut c_fast);
+    wide.gemm(m, k, n, &a, &b, &mut c_wide);
+    for (i, (x, y)) in c_fast.iter().zip(&c_wide).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()),
+            "element {i}: {x} vs {y}"
+        );
+    }
+    assert!(
+        c_fast.iter().any(|v| v.is_nan()),
+        "the sweep should exercise NaR outputs"
+    );
+    assert!(
+        c_fast.iter().any(|v| *v != 0.0 && !v.is_nan()),
+        "the sweep should exercise finite outputs"
+    );
+}
+
 /// The transposed kernel entry points must agree with the plain one on the
-/// same exhaustive data (shape conventions only differ in storage order).
+/// same exhaustive data (shape conventions only differ in storage order),
+/// for every 8-bit training format.
 #[test]
 fn transposed_kernels_bitwise_agree_on_exhaustive_data() {
-    let codes = finite_codes();
-    // Arrange the 254 codes as a 127×2 times 2×127 product.
-    let (m, k, n) = (127usize, 2usize, 127usize);
-    let a_codes = &codes[..m * k];
-    let b_codes = &codes[..k * n];
-    let kernel = PositGemm::new(FMT, Rounding::NearestEven);
-    let a = PositPlane::from_bits(FMT, a_codes);
-    let b = PositPlane::from_bits(FMT, b_codes);
-    let mut want = vec![0.0f32; m * n];
-    kernel.gemm(m, k, n, &a, &b, &mut want);
+    for fmt in NARROW_FMTS {
+        let codes = finite_codes(fmt);
+        // Arrange the 254 codes as a 127×2 times 2×127 product.
+        let (m, k, n) = (127usize, 2usize, 127usize);
+        let a_codes = &codes[..m * k];
+        let b_codes = &codes[..k * n];
+        let kernel = PositGemm::new(fmt, Rounding::NearestEven);
+        let a = PositPlane::from_bits(fmt, a_codes);
+        let b = PositPlane::from_bits(fmt, b_codes);
+        let mut want = vec![0.0f32; m * n];
+        kernel.gemm(m, k, n, &a, &b, &mut want);
 
-    let mut at_codes = vec![0u64; k * m];
-    for i in 0..m {
+        let mut at_codes = vec![0u64; k * m];
+        for i in 0..m {
+            for kk in 0..k {
+                at_codes[kk * m + i] = a_codes[i * k + kk];
+            }
+        }
+        let a_t = PositPlane::from_bits(fmt, &at_codes);
+        let mut c = vec![0.0f32; m * n];
+        kernel.gemm_at_b(m, k, n, &a_t, &b, &mut c);
+        assert_eq!(c, want, "{fmt} gemm_at_b");
+
+        let mut bt_codes = vec![0u64; n * k];
         for kk in 0..k {
-            at_codes[kk * m + i] = a_codes[i * k + kk];
+            for j in 0..n {
+                bt_codes[j * k + kk] = b_codes[kk * n + j];
+            }
         }
+        let b_t = PositPlane::from_bits(fmt, &bt_codes);
+        let mut c = vec![0.0f32; m * n];
+        kernel.gemm_a_bt(m, k, n, &a, &b_t, &mut c);
+        assert_eq!(c, want, "{fmt} gemm_a_bt");
     }
-    let a_t = PositPlane::from_bits(FMT, &at_codes);
-    let mut c = vec![0.0f32; m * n];
-    kernel.gemm_at_b(m, k, n, &a_t, &b, &mut c);
-    assert_eq!(c, want, "gemm_at_b");
-
-    let mut bt_codes = vec![0u64; n * k];
-    for kk in 0..k {
-        for j in 0..n {
-            bt_codes[j * k + kk] = b_codes[kk * n + j];
-        }
-    }
-    let b_t = PositPlane::from_bits(FMT, &bt_codes);
-    let mut c = vec![0.0f32; m * n];
-    kernel.gemm_a_bt(m, k, n, &a, &b_t, &mut c);
-    assert_eq!(c, want, "gemm_a_bt");
 }

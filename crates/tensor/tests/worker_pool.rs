@@ -1,0 +1,73 @@
+//! Worker-pool dispatch exercised with a forced thread budget.
+//!
+//! CI containers often expose a single hardware thread, on which every
+//! parallel region takes the serial fast path and the pool never spawns.
+//! This test runs in its own process and pins `POSIT_TENSOR_THREADS=4`
+//! *before* the budget is first read, so the channel dispatch, the strided
+//! lane split and the latch all actually execute — and must be
+//! bit-identical to a serial run of the same kernels.
+//!
+//! Everything lives in one `#[test]` so the environment variable is set
+//! exactly once, before any pool touch.
+
+use posit::{PositFormat, Rounding};
+use posit_tensor::{gemm, par_map_indexed, serial_scope, PositGemm};
+
+#[test]
+fn pooled_kernels_match_serial_bit_for_bit() {
+    std::env::set_var("POSIT_TENSOR_THREADS", "4");
+
+    // f32 GEMM, big enough to cross the dispatch thresholds.
+    let (m, k, n) = (96, 48, 64);
+    let a: Vec<f32> = (0..m * k)
+        .map(|i| ((i * 7 % 23) as f32 - 11.0) * 0.125)
+        .collect();
+    let b: Vec<f32> = (0..k * n)
+        .map(|i| ((i * 5 % 19) as f32 - 9.0) * 0.25)
+        .collect();
+    let mut c_pool = vec![0.0f32; m * n];
+    gemm::gemm(m, k, n, &a, &b, &mut c_pool);
+    let mut c_serial = vec![0.0f32; m * n];
+    serial_scope(|| gemm::gemm(m, k, n, &a, &b, &mut c_serial));
+    assert_eq!(c_pool, c_serial, "f32 gemm pool vs serial");
+
+    // Posit quire GEMM through the same pooled row split.
+    let fmt = PositFormat::of(8, 1);
+    let kernel = PositGemm::new(fmt, Rounding::NearestEven);
+    let pa = kernel.encode_plane(&a);
+    let pb = kernel.encode_plane(&b);
+    let mut q_pool = vec![0.0f32; m * n];
+    kernel.gemm(m, k, n, &pa, &pb, &mut q_pool);
+    let mut q_serial = vec![0.0f32; m * n];
+    serial_scope(|| kernel.gemm(m, k, n, &pa, &pb, &mut q_serial));
+    assert_eq!(q_pool, q_serial, "posit gemm pool vs serial");
+    // And repeated pooled runs are deterministic.
+    let mut q_again = vec![0.0f32; m * n];
+    kernel.gemm(m, k, n, &pa, &pb, &mut q_again);
+    assert_eq!(q_pool, q_again, "pooled run determinism");
+
+    // par_map_indexed across the pool preserves order and runs every item
+    // exactly once.
+    let items: Vec<usize> = (0..1001).collect();
+    let out = par_map_indexed(&items, 2, |i, &x| {
+        assert_eq!(i, x);
+        x * 3 + 1
+    });
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(*v, i * 3 + 1);
+    }
+
+    // A panicking task must quiesce the region, report, and leave the pool
+    // serviceable.
+    let result = std::panic::catch_unwind(|| {
+        par_map_indexed(&items, 2, |_, &x| {
+            if x == 500 {
+                panic!("boom");
+            }
+            x
+        })
+    });
+    assert!(result.is_err(), "panic must propagate out of the region");
+    let out = par_map_indexed(&items, 2, |_, &x| x + 1);
+    assert_eq!(out.len(), items.len(), "pool survives a panicked region");
+}
