@@ -5,7 +5,9 @@
 //! the reproduced quantity).
 //!
 //! ```text
-//! cargo run --release -p posit-bench --bin table3 -- [cifar|imagenet|all] [--quick] [--backend=<f32|posit-emulated|posit-quire>]
+//! cargo run --release -p posit-bench --bin table3 -- [cifar|imagenet|all] [--quick] \
+//!     [--backend=<f32|posit-emulated|posit-quire>] [--model=<resnet|lenet>] \
+//!     [--data-parallel=<lanes>] [--grad-accum=<steps>]
 //! ```
 //!
 //! `--backend` selects the GEMM kernel family for the posit runs: `f32`
@@ -13,10 +15,17 @@
 //! quantization around f32 kernels) or `posit-quire` (decode-once posit
 //! kernels with exact quire accumulation — orders of magnitude slower,
 //! pair with `--quick`).
+//!
+//! `--data-parallel`/`--grad-accum` shard the posit runs' mini-batches
+//! through the exact quire all-reduce (bit-identical to serial — see
+//! "Deterministic data parallelism" in README.md). They require
+//! `--backend=posit-quire` plus the batch-separable `--model=lenet`: the
+//! ResNet's batch normalization couples rows through batch statistics, so
+//! the trainer refuses to shard it.
 
 use posit_bench::{
-    backend_from_args, paper, print_table3_row, run_logged, CifarExperiment, ImageNetExperiment,
-    Scale,
+    backend_from_args, dp_from_args, paper, print_table3_row, run_logged_trainer, CifarExperiment,
+    ImageNetExperiment, Scale, TableModel,
 };
 use posit_train::QuantSpec;
 
@@ -24,6 +33,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
     let backend = backend_from_args(&args);
+    let model = TableModel::from_args(&args);
+    let (lanes, accum) = dp_from_args(&args);
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -41,28 +52,32 @@ fn main() {
     println!();
 
     if which == "cifar" || which == "all" {
-        let exp = CifarExperiment::new(scale);
-        let fp32 = run_logged(
+        let exp = CifarExperiment::with_min_side(scale, model.min_side());
+        let base_cfg = model.tune(exp.config.clone());
+        let fp32 = run_logged_trainer(
             "CIFAR stand-in, FP32 baseline",
+            model.trainer(&base_cfg, exp.side),
             &exp.train,
             &exp.test,
-            &exp.config,
+            &base_cfg,
         );
-        let posit_cfg = exp
-            .config
+        let posit_cfg = base_cfg
             .clone()
-            .with_quant(QuantSpec::cifar_paper().with_backend(backend));
-        let posit = run_logged(
+            .with_quant(QuantSpec::cifar_paper().with_backend(backend))
+            .with_data_parallel(lanes)
+            .with_grad_accum(accum);
+        let posit = run_logged_trainer(
             &format!(
                 "CIFAR stand-in, posit (8,1)/(8,2) CONV + (16,1)/(16,2) BN, warm-up 1, {} kernels",
                 backend.name()
             ),
+            model.trainer(&posit_cfg, exp.side),
             &exp.train,
             &exp.test,
             &posit_cfg,
         );
         println!("--- CIFAR-10 stand-in ---");
-        print_table3_row("synthetic-CIFAR-10", "ResNet-18 (scaled)", &fp32, &posit);
+        print_table3_row("synthetic-CIFAR-10", model.label(), &fp32, &posit);
         println!(
             "batch size         {}\nepochs             {}\noptimizer          SGD with Moment 0.9\nwarm-up            1 epoch\n",
             posit_cfg.batch_size, posit_cfg.epochs
@@ -70,28 +85,32 @@ fn main() {
     }
 
     if which == "imagenet" || which == "all" {
-        let exp = ImageNetExperiment::new(scale);
-        let fp32 = run_logged(
+        let exp = ImageNetExperiment::with_min_side(scale, model.min_side());
+        let base_cfg = model.tune(exp.config.clone());
+        let fp32 = run_logged_trainer(
             "ImageNet stand-in, FP32 baseline",
+            model.trainer(&base_cfg, exp.side),
             &exp.train,
             &exp.test,
-            &exp.config,
+            &base_cfg,
         );
-        let posit_cfg = exp
-            .config
+        let posit_cfg = base_cfg
             .clone()
-            .with_quant(QuantSpec::imagenet_paper().with_backend(backend));
-        let posit = run_logged(
+            .with_quant(QuantSpec::imagenet_paper().with_backend(backend))
+            .with_data_parallel(lanes)
+            .with_grad_accum(accum);
+        let posit = run_logged_trainer(
             &format!(
                 "ImageNet stand-in, posit (16,1) fwd/update + (16,2) bwd, warm-up 5, {} kernels",
                 backend.name()
             ),
+            model.trainer(&posit_cfg, exp.side),
             &exp.train,
             &exp.test,
             &posit_cfg,
         );
         println!("--- ImageNet stand-in ---");
-        print_table3_row("synthetic-ImageNet", "ResNet-18 (scaled)", &fp32, &posit);
+        print_table3_row("synthetic-ImageNet", model.label(), &fp32, &posit);
         println!(
             "batch size         {}\nepochs             {}\noptimizer          SGD with Moment 0.9\nwarm-up            {} epochs\n",
             posit_cfg.batch_size, posit_cfg.epochs, posit_cfg.warmup_epochs

@@ -15,6 +15,7 @@
 //! | A1–A4 ablations | `ablations` |
 
 use posit_data::{Dataset, SyntheticCifar, SyntheticImageNet};
+use posit_nn::StepLr;
 use posit_train::{ComputeBackend, QuantSpec, TrainConfig, TrainReport, Trainer};
 
 /// Size preset for the training experiments.
@@ -54,6 +55,101 @@ pub fn backend_from_args(args: &[String]) -> ComputeBackend {
         .unwrap_or_default()
 }
 
+/// Parse `--data-parallel=<lanes>` and `--grad-accum=<steps>` flags (both
+/// default 1) — the exact sharded-trainer knobs of
+/// `TrainConfig::data_parallel` / `grad_accum_steps`.
+///
+/// Values above 1 require `--backend=posit-quire` (the exactness guarantee
+/// rests on quire accumulation; `TrainConfig::validate` rejects the rest)
+/// and a batch-separable model (`--model=lenet` — batch normalization
+/// couples rows through batch statistics, so the ResNet cannot shard).
+///
+/// # Panics
+///
+/// Panics if either value is present but not a positive integer.
+pub fn dp_from_args(args: &[String]) -> (usize, usize) {
+    let parse = |key: &str| {
+        args.iter()
+            .find_map(|a| a.strip_prefix(key))
+            .map(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| panic!("{key} wants a positive integer, got '{v}'"))
+            })
+            .unwrap_or(1)
+    };
+    (parse("--data-parallel="), parse("--grad-accum="))
+}
+
+/// Model family for the training-table binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableModel {
+    /// The paper's scaled ResNet-18 (default; contains batch norm).
+    Resnet,
+    /// BN-free LeNet — the batch-separable model that composes with
+    /// `--data-parallel`/`--grad-accum` (needs image side >= 16).
+    Lenet,
+}
+
+impl TableModel {
+    /// Parse a `--model=<resnet|lenet>` flag (default `resnet`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown model name.
+    pub fn from_args(args: &[String]) -> TableModel {
+        args.iter()
+            .find_map(|a| a.strip_prefix("--model="))
+            .map(|v| match v {
+                "resnet" => TableModel::Resnet,
+                "lenet" => TableModel::Lenet,
+                _ => panic!("unknown model '{v}' (expected resnet|lenet)"),
+            })
+            .unwrap_or(TableModel::Resnet)
+    }
+
+    /// Display name in the Table III layout.
+    pub fn label(self) -> &'static str {
+        match self {
+            TableModel::Resnet => "ResNet-18 (scaled)",
+            TableModel::Lenet => "LeNet",
+        }
+    }
+
+    /// Smallest image side the model accepts (LeNet's two valid 5×5
+    /// convolutions need 16; the ResNet handles anything the pools allow).
+    pub fn min_side(self) -> usize {
+        match self {
+            TableModel::Resnet => 0,
+            TableModel::Lenet => 16,
+        }
+    }
+
+    /// Build the trainer for `config` on `side`-pixel RGB inputs.
+    pub fn trainer(self, config: &TrainConfig, side: usize) -> Trainer {
+        match self {
+            TableModel::Resnet => Trainer::resnet(config),
+            TableModel::Lenet => Trainer::lenet(config, 3, side),
+        }
+    }
+
+    /// Per-model schedule fix-up: LeNet has no batch norm to absorb the
+    /// ResNet schedule's 0.05 peak rate (it collapses to dead ReLUs), so
+    /// its runs restart the same step schedule from 0.02.
+    pub fn tune(self, config: TrainConfig) -> TrainConfig {
+        match self {
+            TableModel::Resnet => config,
+            TableModel::Lenet => {
+                let mut cfg = config;
+                cfg.schedule =
+                    StepLr::new(0.02, vec![cfg.epochs * 6 / 10, cfg.epochs * 8 / 10], 0.1);
+                cfg
+            }
+        }
+    }
+}
+
 /// The CIFAR-10 stand-in experiment fixture (Table III, left column).
 pub struct CifarExperiment {
     /// Training split.
@@ -62,6 +158,8 @@ pub struct CifarExperiment {
     pub test: Dataset,
     /// Baseline config (FP32); attach quant specs for the posit runs.
     pub config: TrainConfig,
+    /// Image side the splits were generated at.
+    pub side: usize,
 }
 
 impl CifarExperiment {
@@ -69,15 +167,24 @@ impl CifarExperiment {
     /// so the FP32 baseline lands in the 80-95% band like the paper's
     /// CIFAR-10 runs, rather than saturating at 100%.
     pub fn new(scale: Scale) -> CifarExperiment {
+        CifarExperiment::with_min_side(scale, 0)
+    }
+
+    /// Same fixture with the image side clamped up to `min_side` (LeNet
+    /// rejects the Quick preset's side-8 images; see
+    /// [`TableModel::min_side`]).
+    pub fn with_min_side(scale: Scale, min_side: usize) -> CifarExperiment {
         let (side, n_train, n_test, base, epochs, noise) = match scale {
             Scale::Quick => (8, 320, 80, 4, 6, 0.7),
             Scale::Full => (16, 2560, 640, 8, 18, 2.2),
         };
+        let side = side.max(min_side);
         let gen = SyntheticCifar::with_noise(side, 42, noise);
         CifarExperiment {
             train: gen.train(n_train, 1),
             test: gen.test(n_test, 1),
             config: TrainConfig::cifar_scaled(base, epochs).with_seed(7),
+            side,
         }
     }
 }
@@ -90,35 +197,55 @@ pub struct ImageNetExperiment {
     pub test: Dataset,
     /// Baseline config (FP32).
     pub config: TrainConfig,
+    /// Image side the splits were generated at.
+    pub side: usize,
 }
 
 impl ImageNetExperiment {
     /// Build the fixture at a scale (Full noise tuned like
     /// [`CifarExperiment::new`], targeting the paper's ~71% ImageNet band).
     pub fn new(scale: Scale) -> ImageNetExperiment {
+        ImageNetExperiment::with_min_side(scale, 0)
+    }
+
+    /// Same fixture with the image side clamped up to `min_side` (see
+    /// [`CifarExperiment::with_min_side`]).
+    pub fn with_min_side(scale: Scale, min_side: usize) -> ImageNetExperiment {
         let (side, classes, n_train, n_test, base, epochs, noise) = match scale {
             Scale::Quick => (8, 10, 400, 100, 4, 6, 0.9),
             Scale::Full => (16, 20, 3200, 800, 8, 18, 2.4),
         };
+        let side = side.max(min_side);
         let gen = SyntheticImageNet::with_noise(side, classes, 43, noise);
         ImageNetExperiment {
             train: gen.train(n_train, 1),
             test: gen.test(n_test, 1),
             config: TrainConfig::imagenet_scaled(base, classes, epochs).with_seed(7),
+            side,
         }
     }
 }
 
-/// Run one configuration and return its report, logging per-epoch lines to
-/// stderr.
+/// Run one configuration on the scaled ResNet and return its report,
+/// logging per-epoch lines to stderr.
 pub fn run_logged(
     label: &str,
     train: &Dataset,
     test: &Dataset,
     config: &TrainConfig,
 ) -> TrainReport {
+    run_logged_trainer(label, Trainer::resnet(config), train, test, config)
+}
+
+/// [`run_logged`] on a caller-built trainer (e.g. [`TableModel::trainer`]).
+pub fn run_logged_trainer(
+    label: &str,
+    mut trainer: Trainer,
+    train: &Dataset,
+    test: &Dataset,
+    config: &TrainConfig,
+) -> TrainReport {
     eprintln!("== {label} ==");
-    let mut trainer = Trainer::resnet(config);
     trainer.run_with(train, test, config, |e| {
         eprintln!(
             "  epoch {:>3} [{:>9}] lr {:<7.4} loss {:<7.4} train {:>5.1}% test {:>5.1}%",

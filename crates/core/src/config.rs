@@ -289,6 +289,17 @@ pub struct TrainConfig {
     /// multiplied by `S` before backward and weight gradients divided by
     /// `S` before the update. `1.0` disables it (the paper's setting).
     pub loss_scale: f32,
+    /// Data-parallel lanes: each posit-phase mini-batch is split into this
+    /// many row shards whose gradients are reduced by an exact quire
+    /// all-reduce, so the result is bit-identical to the serial run for
+    /// *any* lane count. `1` (default) disables sharding. Values above 1
+    /// require the posit-quire backend (see [`TrainConfig::validate`]).
+    pub data_parallel: usize,
+    /// Gradient-accumulation micro-batches per optimizer step, on the same
+    /// exact-quire machinery as `data_parallel` (a step sees
+    /// `grad_accum_steps × data_parallel` contiguous shards). `1` (default)
+    /// disables accumulation.
+    pub grad_accum_steps: usize,
 }
 
 /// A structurally invalid [`TrainConfig`], caught by
@@ -307,6 +318,16 @@ pub enum ConfigError {
         warmup_epochs: usize,
         /// Configured total epochs.
         epochs: usize,
+    },
+    /// `data_parallel == 0` or `grad_accum_steps == 0`: a step needs at
+    /// least one lane and one micro-batch.
+    ZeroShards,
+    /// Data parallelism / gradient accumulation was requested in a setup
+    /// that cannot reduce gradients exactly, so the bit-for-bit guarantee
+    /// the feature exists for would silently not hold.
+    DataParallelUnsupported {
+        /// What the setup is missing.
+        reason: &'static str,
     },
 }
 
@@ -327,6 +348,15 @@ impl fmt::Display for ConfigError {
                 "quantization is configured but the posit phase is empty: \
                  warmup_epochs ({warmup_epochs}) >= epochs ({epochs})"
             ),
+            ConfigError::ZeroShards => {
+                write!(
+                    f,
+                    "data_parallel and grad_accum_steps must be positive (got 0)"
+                )
+            }
+            ConfigError::DataParallelUnsupported { reason } => {
+                write!(f, "exact data parallelism unsupported: {reason}")
+            }
         }
     }
 }
@@ -356,6 +386,35 @@ impl TrainConfig {
                 epochs: self.epochs,
             });
         }
+        if self.data_parallel == 0 || self.grad_accum_steps == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if self.data_parallel > 1 || self.grad_accum_steps > 1 {
+            // The bit-for-bit guarantee rests on exact quire reduction, so
+            // sharding is only offered where it can actually hold.
+            let quant = self
+                .quant
+                .as_ref()
+                .ok_or(ConfigError::DataParallelUnsupported {
+                    reason: "requires a quantized run on the posit-quire backend",
+                })?;
+            if quant.backend != ComputeBackend::PositQuire {
+                return Err(ConfigError::DataParallelUnsupported {
+                    reason:
+                        "requires the posit-quire backend (f32/emulated sums are order-dependent)",
+                });
+            }
+            if quant.rounding == Rounding::Stochastic {
+                return Err(ConfigError::DataParallelUnsupported {
+                    reason: "stochastic rounding consumes a serial random stream per edge",
+                });
+            }
+            if self.warmup_epochs == 0 {
+                return Err(ConfigError::DataParallelUnsupported {
+                    reason: "needs >= 1 warm-up epoch so scales calibrate on unsharded batches",
+                });
+            }
+        }
         Ok(())
     }
 
@@ -377,6 +436,8 @@ impl TrainConfig {
             hist_params: vec!["conv1.weight".into(), "layer4.0.bn1.weight".into()],
             hist_epochs: vec![],
             loss_scale: 1.0,
+            data_parallel: 1,
+            grad_accum_steps: 1,
         }
     }
 
@@ -421,6 +482,20 @@ impl TrainConfig {
     pub fn with_loss_scale(mut self, scale: f32) -> TrainConfig {
         assert!(scale.is_finite() && scale > 0.0, "invalid loss scale");
         self.loss_scale = scale;
+        self
+    }
+
+    /// Shard each posit-phase mini-batch across `lanes` data-parallel
+    /// lanes with exact quire all-reduce (bit-identical to serial).
+    pub fn with_data_parallel(mut self, lanes: usize) -> TrainConfig {
+        self.data_parallel = lanes;
+        self
+    }
+
+    /// Split each optimizer step into `steps` gradient-accumulation
+    /// micro-batches on the exact-quire machinery.
+    pub fn with_grad_accum(mut self, steps: usize) -> TrainConfig {
+        self.grad_accum_steps = steps;
         self
     }
 }
@@ -541,6 +616,50 @@ mod tests {
             .with_quant(QuantSpec::cifar_paper())
             .with_warmup(0);
         assert!(a1.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_gates_data_parallelism() {
+        let quire = QuantSpec::cifar_paper().with_backend(ComputeBackend::PositQuire);
+        let ok = TrainConfig::cifar_scaled(4, 3)
+            .with_quant(quire.clone())
+            .with_data_parallel(4)
+            .with_grad_accum(2);
+        assert!(ok.validate().is_ok());
+        // Lanes/accum of 1 are always fine — they are the serial run.
+        assert!(TrainConfig::cifar_scaled(4, 3).validate().is_ok());
+        let mut zs = ok.clone();
+        zs.data_parallel = 0;
+        assert_eq!(zs.validate(), Err(ConfigError::ZeroShards));
+        let mut zg = ok.clone();
+        zg.grad_accum_steps = 0;
+        assert_eq!(zg.validate(), Err(ConfigError::ZeroShards));
+        // Sharding without the exact-reduction substrate is refused.
+        let fp32 = TrainConfig::cifar_scaled(4, 3).with_data_parallel(2);
+        assert!(matches!(
+            fp32.validate(),
+            Err(ConfigError::DataParallelUnsupported { .. })
+        ));
+        let emulated = TrainConfig::cifar_scaled(4, 3)
+            .with_quant(QuantSpec::cifar_paper().with_backend(ComputeBackend::PositEmulated))
+            .with_grad_accum(2);
+        assert!(matches!(
+            emulated.validate(),
+            Err(ConfigError::DataParallelUnsupported { .. })
+        ));
+        let sr = TrainConfig::cifar_scaled(4, 3)
+            .with_quant(quire.clone().with_rounding(Rounding::Stochastic))
+            .with_data_parallel(2);
+        assert!(matches!(
+            sr.validate(),
+            Err(ConfigError::DataParallelUnsupported { .. })
+        ));
+        let no_warmup = TrainConfig::cifar_scaled(4, 3)
+            .with_quant(quire)
+            .with_warmup(0)
+            .with_data_parallel(2);
+        let err = no_warmup.validate().unwrap_err();
+        assert!(err.to_string().contains("warm-up"), "{err}");
     }
 
     #[test]

@@ -178,6 +178,11 @@ pub struct Quantized {
     master_mode: MasterWeights,
     /// FP32 master copies stashed while the quantized view is installed.
     master: Option<Vec<Tensor>>,
+    /// True between `begin_grad_batch` and `end_grad_batch`: the inner
+    /// layer holds ΔW in exact quire buffers, so the per-backward ΔW
+    /// quantize edge is deferred until the all-reduce materializes the
+    /// gradients (one `P(·)` per optimizer step, as in the serial run).
+    grad_batch_open: bool,
     w_scale: ClassScale,
     a_scale: ClassScale,
     e_scale: ClassScale,
@@ -212,6 +217,7 @@ impl Quantized {
             packed: spec.backend == crate::config::ComputeBackend::PositQuire,
             master_mode: spec.master,
             master: None,
+            grad_batch_open: false,
             w_scale: ClassScale::default(),
             a_scale: ClassScale::default(),
             e_scale: ClassScale::default(),
@@ -328,6 +334,13 @@ impl Layer for Quantized {
                 y
             }
             Phase::Posit => {
+                // The calibrate epoch's statistics freeze at the phase
+                // boundary. (Folding the first posit batch into the mean
+                // lazily would make the frozen exponent depend on how that
+                // batch was sharded — the lazy path below stays only for
+                // runs that skipped calibration entirely.)
+                self.w_scale.freeze(self.sigma);
+                self.a_scale.freeze(self.sigma);
                 // Fig. 3c tail: W_p = P(W). With an FP32 master, the posit
                 // view stays installed only through the backward pass (it
                 // must: E^{l-1} = W_pᵀ·E per Fig. 3b).
@@ -372,20 +385,29 @@ impl Layer for Quantized {
                 g
             }
             Phase::Posit => {
+                // As in forward: calibrated error/gradient scales freeze
+                // before first use, independent of batch sharding.
+                self.e_scale.freeze(self.sigma);
+                self.g_scale.freeze(self.sigma);
                 let mut g = self.inner.backward(grad_out);
                 // The posit weight view has served forward + backward;
                 // restore the FP32 master before the optimizer step.
                 self.restore_master();
                 // Fig. 3b: ΔW → P(·) → ΔW_p (one accumulation per step).
+                // Under an open gradient batch the inner layer holds ΔW in
+                // quire buffers instead of Param::grad, so this edge moves
+                // to end_grad_batch — still once per step.
                 let sigma = self.sigma;
                 let scaling = self.scaling;
                 let rounding = self.rounding;
-                let fmt = self.g_fmt;
-                let gscale = &mut self.g_scale;
-                let sr = &mut self.sr_state;
-                for p in self.inner.params_mut() {
-                    let e = gscale.exp_or_lazy(p.grad.data(), sigma, scaling);
-                    scale::shifted_quantize_slice(p.grad.data_mut(), &fmt, e, rounding, sr);
+                if !self.grad_batch_open {
+                    let fmt = self.g_fmt;
+                    let gscale = &mut self.g_scale;
+                    let sr = &mut self.sr_state;
+                    for p in self.inner.params_mut() {
+                        let e = gscale.exp_or_lazy(p.grad.data(), sigma, scaling);
+                        scale::shifted_quantize_slice(p.grad.data_mut(), &fmt, e, rounding, sr);
+                    }
                 }
                 // Fig. 3b: E^{l-1} → P(·) → E^{l-1}_p — a storage
                 // transition under the quire backend, like the forward
@@ -413,6 +435,42 @@ impl Layer for Quantized {
 
     fn params(&self) -> Vec<&Param> {
         self.inner.params()
+    }
+
+    fn batch_separable(&self) -> bool {
+        self.inner.batch_separable()
+    }
+
+    fn begin_grad_batch(&mut self, total_samples: usize) {
+        self.grad_batch_open = true;
+        self.inner.begin_grad_batch(total_samples);
+    }
+
+    fn begin_grad_shard(&mut self) {
+        self.inner.begin_grad_shard();
+    }
+
+    fn end_grad_batch(&mut self) {
+        if !self.grad_batch_open {
+            return;
+        }
+        self.grad_batch_open = false;
+        // The all-reduce materializes the exact whole-batch gradients …
+        self.inner.end_grad_batch();
+        // … and the deferred Fig. 3b ΔW edge quantizes them exactly once
+        // per optimizer step, as the serial run does.
+        if self.control.phase() == Phase::Posit {
+            let sigma = self.sigma;
+            let scaling = self.scaling;
+            let rounding = self.rounding;
+            let fmt = self.g_fmt;
+            let gscale = &mut self.g_scale;
+            let sr = &mut self.sr_state;
+            for p in self.inner.params_mut() {
+                let e = gscale.exp_or_lazy(p.grad.data(), sigma, scaling);
+                scale::shifted_quantize_slice(p.grad.data_mut(), &fmt, e, rounding, sr);
+            }
+        }
     }
 
     fn state_entries(&self) -> Vec<(String, Vec<u8>)> {

@@ -1,12 +1,12 @@
 //! The training harness: warm-up → calibration → posit phases, per
 //! §III-B/III-C of the paper.
 
-use crate::config::TrainConfig;
+use crate::config::{ComputeBackend, TrainConfig};
 use crate::quantized::{Phase, QuantBuilder, QuantControl};
 use crate::scale;
 use crate::stats::HistogramRecorder;
 use posit_data::{DataLoader, Dataset};
-use posit_models::{resnet_scaled, PlainBuilder};
+use posit_models::{lenet, resnet_scaled, PlainBuilder};
 use posit_nn::{checkpoint, metrics, Layer, Sequential, Sgd, SoftmaxCrossEntropy};
 use posit_store::{read_tensor, write_tensor, Store, StoreError};
 use posit_tensor::rng::{Prng, PrngState};
@@ -69,6 +69,34 @@ impl Trainer {
                 let control = qb.control();
                 Trainer {
                     net: resnet_scaled(&mut qb, config.base_width, config.num_classes, &mut rng),
+                    control: Some(control),
+                    input_scale_exp: None,
+                }
+            }
+        }
+    }
+
+    /// Build the config's LeNet on `in_channels × side × side` inputs
+    /// (`side >= 16`), wrapped with the quantization policy if one is
+    /// configured. Unlike the ResNet it has no batch normalization, so it
+    /// is batch-separable and composes with `TrainConfig::data_parallel` /
+    /// `grad_accum_steps`.
+    pub fn lenet(config: &TrainConfig, in_channels: usize, side: usize) -> Trainer {
+        let mut rng = Prng::seed(config.seed);
+        match &config.quant {
+            None => {
+                let mut b = PlainBuilder;
+                Trainer {
+                    net: lenet(&mut b, in_channels, side, config.num_classes, &mut rng),
+                    control: None,
+                    input_scale_exp: None,
+                }
+            }
+            Some(spec) => {
+                let mut qb = QuantBuilder::new(spec.clone());
+                let control = qb.control();
+                Trainer {
+                    net: lenet(&mut qb, in_channels, side, config.num_classes, &mut rng),
                     control: Some(control),
                     input_scale_exp: None,
                 }
@@ -149,6 +177,77 @@ impl Trainer {
             spec.rounding,
             &mut state,
         );
+    }
+
+    /// One optimizer step through the exact data-parallel shard protocol
+    /// (posit phase, quire backend). The batch is split into
+    /// `data_parallel × grad_accum_steps` contiguous near-equal shards;
+    /// each shard runs forward/backward with its per-shard weight and bias
+    /// gradients accumulated in quires, and `end_grad_batch` merges the
+    /// shard quires limb-wise (an exact all-reduce — integer addition, so
+    /// order- and partition-invariant) before rounding once into the
+    /// parameter gradients. The serial run is the 1-shard instance of the
+    /// same protocol, so any lane count × accumulation split reproduces it
+    /// bit-for-bit:
+    ///
+    /// - weight/bias gradients: exact quire sums, rounded once;
+    /// - loss: per-sample `-ln p` folded in global sample order;
+    /// - accuracy: integer hit counts summed across shards;
+    /// - activations/dX and the quantization edges: per-row operations
+    ///   under deterministic rounding (the config gate rejects stochastic
+    ///   rounding), hence shard-invariant;
+    /// - input quantization and Eq. 2 scale calibration both see only
+    ///   whole batches (shards are sliced *after* `quantize_input`, and
+    ///   the gate requires a warm-up epoch so scales freeze unsharded).
+    ///
+    /// Returns `(mean loss, top-1 accuracy)` for the batch.
+    fn sharded_step(
+        &mut self,
+        x: &Tensor,
+        t: &[usize],
+        config: &TrainConfig,
+        loss_fn: &SoftmaxCrossEntropy,
+        opt: &mut Sgd,
+    ) -> (f64, f64) {
+        let n = t.len();
+        let shards = config.data_parallel * config.grad_accum_steps;
+        let base = n / shards;
+        let extra = n % shards;
+        opt.zero_grad(&mut self.net.params_mut());
+        self.net.begin_grad_batch(n);
+        let mut loss_sum = 0.0f64;
+        let mut correct = 0usize;
+        let mut start = 0usize;
+        for s in 0..shards {
+            let rows = base + usize::from(s < extra);
+            if rows == 0 {
+                continue; // batch smaller than the lane grid
+            }
+            let end = start + rows;
+            self.net.begin_grad_shard();
+            let xs = x.slice_rows(start, end);
+            let ts = &t[start..end];
+            let y = self.net.forward(&xs, true).into_f32();
+            let (vals, mut g) = loss_fn.forward_shard(&y, ts, n);
+            for v in vals {
+                loss_sum += v;
+            }
+            correct += metrics::top1_correct(&y, ts);
+            if config.loss_scale != 1.0 {
+                g.scale(config.loss_scale);
+            }
+            self.net.backward(&g);
+            start = end;
+        }
+        self.net.end_grad_batch();
+        if config.loss_scale != 1.0 {
+            let inv = 1.0 / config.loss_scale;
+            for p in self.net.params_mut() {
+                p.grad.scale(inv);
+            }
+        }
+        opt.step(&mut self.net.params_mut());
+        (loss_sum / n as f64, correct as f64 / n as f64)
     }
 
     /// Evaluate top-1 accuracy on a dataset (eval mode; in the posit phase
@@ -237,6 +336,13 @@ impl Trainer {
         if let Err(e) = config.validate() {
             panic!("invalid TrainConfig: {e}");
         }
+        if (config.data_parallel > 1 || config.grad_accum_steps > 1) && !self.net.batch_separable()
+        {
+            panic!(
+                "invalid TrainConfig: exact data parallelism requires batch-separable \
+                 layers (batch normalization couples rows through batch statistics)"
+            );
+        }
         let loss_fn = SoftmaxCrossEntropy::new();
         let mut opt = Sgd::new(config.schedule.lr_at(0))
             .momentum(config.momentum)
@@ -285,24 +391,34 @@ impl Trainer {
             opt.set_lr(lr);
             let mut loss_meter = metrics::Meter::new();
             let mut acc_meter = metrics::Meter::new();
+            let exact_shards = phase == Phase::Posit
+                && config
+                    .quant
+                    .as_ref()
+                    .is_some_and(|q| q.backend == ComputeBackend::PositQuire);
             for (mut x, t) in loader.epoch() {
                 self.quantize_input(&mut x, config);
-                let y = self.net.forward(&x, true).into_f32();
-                let (l, mut g) = loss_fn.forward(&y, &t);
-                if config.loss_scale != 1.0 {
-                    g.scale(config.loss_scale);
-                }
-                opt.zero_grad(&mut self.net.params_mut());
-                self.net.backward(&g);
-                if config.loss_scale != 1.0 {
-                    let inv = 1.0 / config.loss_scale;
-                    for p in self.net.params_mut() {
-                        p.grad.scale(inv);
+                let (l, acc) = if exact_shards {
+                    self.sharded_step(&x, &t, config, &loss_fn, &mut opt)
+                } else {
+                    let y = self.net.forward(&x, true).into_f32();
+                    let (l, mut g) = loss_fn.forward(&y, &t);
+                    if config.loss_scale != 1.0 {
+                        g.scale(config.loss_scale);
                     }
-                }
-                opt.step(&mut self.net.params_mut());
+                    opt.zero_grad(&mut self.net.params_mut());
+                    self.net.backward(&g);
+                    if config.loss_scale != 1.0 {
+                        let inv = 1.0 / config.loss_scale;
+                        for p in self.net.params_mut() {
+                            p.grad.scale(inv);
+                        }
+                    }
+                    opt.step(&mut self.net.params_mut());
+                    (l, metrics::top1_accuracy(&y, &t))
+                };
                 loss_meter.update(l, t.len() as f64);
-                acc_meter.update(metrics::top1_accuracy(&y, &t), t.len() as f64);
+                acc_meter.update(acc, t.len() as f64);
             }
             let test_acc = self.evaluate(test, config);
             if config.hist_epochs.contains(&epoch) {
@@ -730,6 +846,105 @@ mod tests {
                 _ => panic!("{}: storage domains disagree", pa.name),
             }
         }
+    }
+
+    /// A quantized LeNet trainer (no batch norm, so every lane grid is
+    /// admissible) for the data-parallel tests.
+    fn lenet_trainer(cfg: &TrainConfig) -> Trainer {
+        let mut rng = posit_tensor::rng::Prng::seed(cfg.seed);
+        let mut qb = QuantBuilder::new(cfg.quant.clone().expect("quantized config"));
+        let control = qb.control();
+        let net = posit_models::lenet(&mut qb, 3, 16, cfg.num_classes, &mut rng);
+        Trainer::from_net(net, Some(control))
+    }
+
+    #[test]
+    fn killed_and_resumed_data_parallel_run_matches_uninterrupted_serial_bit_exactly() {
+        use crate::config::{ComputeBackend, MasterWeights};
+        use posit_store::MemoryStore;
+        // The acceptance bar for the exact quire all-reduce: a run killed
+        // after epoch 2 of 3 while training on FOUR lanes, then resumed on
+        // a *different* grid (2 lanes × 2 accumulation steps), reproduces
+        // the uninterrupted SERIAL run bit-exactly. The checkpoint stores
+        // no shard geometry, so this also pins that checkpoint bytes are
+        // lane-count-independent.
+        let gen = SyntheticCifar::new(16, 11);
+        let (train, test) = (gen.train(64, 1), gen.test(32, 1));
+        let cfg = TrainConfig::cifar_scaled(4, 3).with_seed(3).with_quant(
+            QuantSpec::cifar_paper()
+                .with_backend(ComputeBackend::PositQuire)
+                .with_master(MasterWeights::Posit),
+        );
+
+        let mut serial = lenet_trainer(&cfg);
+        let want = serial.run(&train, &test, &cfg);
+
+        let store = MemoryStore::new();
+        let mut prefix_cfg = cfg.clone().with_data_parallel(4);
+        prefix_cfg.epochs = 2;
+        let partial = lenet_trainer(&prefix_cfg)
+            .run_resumable(&train, &test, &prefix_cfg, &store, |_| {})
+            .unwrap();
+        assert_eq!(partial.epochs.len(), 2);
+
+        let resume_cfg = cfg.clone().with_data_parallel(2).with_grad_accum(2);
+        let mut resumed_trainer = lenet_trainer(&resume_cfg);
+        let resumed = resumed_trainer
+            .run_resumable(&train, &test, &resume_cfg, &store, |_| {})
+            .unwrap();
+
+        assert_eq!(resumed.epochs.len(), want.epochs.len());
+        for (a, b) in want.epochs.iter().zip(&resumed.epochs) {
+            assert_eq!(a.epoch, b.epoch);
+            assert_eq!(a.phase, b.phase);
+            assert_eq!(
+                a.train_loss.to_bits(),
+                b.train_loss.to_bits(),
+                "epoch {} train loss drifted across lane grids",
+                a.epoch
+            );
+            assert_eq!(a.train_acc.to_bits(), b.train_acc.to_bits());
+            assert_eq!(a.test_acc.to_bits(), b.test_acc.to_bits());
+        }
+        for (pa, pb) in serial
+            .net()
+            .params()
+            .iter()
+            .zip(resumed_trainer.net().params())
+        {
+            assert_eq!(pa.name, pb.name);
+            match (pa.value.posit_bits(), pb.value.posit_bits()) {
+                (Some(a), Some(b)) => assert_eq!(a, b, "{} packed plane drifted", pa.name),
+                (None, None) => assert_eq!(
+                    pa.value.data(),
+                    pb.value.data(),
+                    "{} f32 master drifted",
+                    pa.name
+                ),
+                _ => panic!("{}: storage domains disagree", pa.name),
+            }
+        }
+    }
+
+    #[test]
+    fn data_parallel_rejects_batch_norm_nets() {
+        use crate::config::ComputeBackend;
+        let (train, test) = tiny_data();
+        let cfg = TrainConfig::cifar_scaled(4, 2)
+            .with_quant(QuantSpec::cifar_paper().with_backend(ComputeBackend::PositQuire))
+            .with_data_parallel(2);
+        // The scaled ResNet has batch norm: shard statistics would diverge
+        // from the serial run, so the trainer must refuse up front.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Trainer::resnet(&cfg).run(&train, &test, &cfg)
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| err.downcast_ref::<&str>().copied())
+            .unwrap_or_default();
+        assert!(msg.contains("batch-separable"), "unexpected panic: {msg}");
     }
 
     #[test]

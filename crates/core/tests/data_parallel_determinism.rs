@@ -1,0 +1,322 @@
+//! The determinism suite for exact data-parallel training.
+//!
+//! Shard gradients accumulate in quires (integer fixed-point, exact), so
+//! merging per-shard partial sums is associative and commutative — the
+//! all-reduce rounds ONCE after an exact sum, and the result cannot depend
+//! on the lane count, the accumulation split, or the worker-pool width.
+//! These tests pin that claim end to end: training runs under
+//! `POSIT_TENSOR_THREADS ∈ {1, 2, 4, 7}` × lane counts × grad-accum
+//! splits must reproduce the serial baseline's loss curve, final packed
+//! weights and checkpoint bytes bit-for-bit.
+//!
+//! The worker-pool width is latched in a process-global `OnceLock` at
+//! first use, so each (threads, lanes, accum) cell runs in a fresh child
+//! process: the test re-execs its own binary with `--exact <test name>`
+//! and env-var guards, and every child writes a textual fingerprint
+//! (per-epoch loss/accuracy bits + a key-by-key CRC of the final
+//! checkpoint store) that the parent compares against the serial
+//! baseline's.
+
+use posit_data::{toy, Dataset, SyntheticCifar};
+use posit_store::{FsStore, MemoryStore, Store};
+use posit_tensor::rng::Prng;
+use posit_train::{
+    ComputeBackend, MasterWeights, QuantBuilder, QuantSpec, TrainConfig, TrainReport, Trainer,
+};
+use std::fmt::Write as _;
+use std::process::Command;
+
+/// Child-mode env vars. `DPD_MODEL`/`DPD_LANES`/`DPD_ACCUM` select the
+/// cell, `DPD_OUT` the fingerprint path; `DPD_EPOCHS` optionally truncates
+/// the schedule (the "killed" half of the resume scenario) and
+/// `DPD_STORE` routes checkpoints to a shared on-disk store.
+const CHILD_GUARD: &str = "DPD_OUT";
+
+fn quant() -> QuantSpec {
+    QuantSpec::cifar_paper()
+        .with_backend(ComputeBackend::PositQuire)
+        .with_master(MasterWeights::Posit)
+}
+
+fn lenet_data() -> (Dataset, Dataset) {
+    let gen = SyntheticCifar::new(16, 11);
+    (gen.train(48, 1), gen.test(16, 1))
+}
+
+fn mlp_data() -> (Dataset, Dataset) {
+    (
+        toy::gaussian_blobs(64, 4, 16, 3.0, 5),
+        toy::gaussian_blobs(32, 4, 16, 3.0, 6),
+    )
+}
+
+fn trainer_for(model: &str, cfg: &TrainConfig) -> Trainer {
+    let mut rng = Prng::seed(cfg.seed);
+    let mut qb = QuantBuilder::new(cfg.quant.clone().expect("quantized config"));
+    let control = qb.control();
+    let net = match model {
+        "lenet" => posit_models::lenet(&mut qb, 3, 16, 10, &mut rng),
+        "mlp" => posit_models::mlp(&mut qb, &[16, 32, 4], &mut rng),
+        other => panic!("unknown model {other}"),
+    };
+    Trainer::from_net(net, Some(control))
+}
+
+fn config_for(model: &str, epochs: usize, lanes: usize, accum: usize) -> TrainConfig {
+    let mut cfg = TrainConfig::cifar_scaled(4, epochs)
+        .with_seed(3)
+        .with_quant(quant())
+        .with_data_parallel(lanes)
+        .with_grad_accum(accum);
+    if model == "mlp" {
+        cfg.num_classes = 4;
+        cfg.batch_size = 17; // deliberately not divisible by any lane grid
+    }
+    cfg
+}
+
+/// FNV-1a over the value bytes. (Not `posit_store::crc32`: store chunks
+/// carry their own CRC32 trailer, and a message followed by its CRC hashes
+/// to a constant residue — every chunk would fingerprint identically.)
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Key-by-key digest of a checkpoint store: the final network parameters,
+/// optimizer velocity and trainer state all live here, so two equal dumps
+/// mean bit-identical weights AND bit-identical checkpoint bytes.
+fn store_dump(store: &dyn Store) -> String {
+    let mut keys = store.list_prefix("").expect("list keys");
+    keys.sort();
+    let mut s = String::new();
+    for k in keys {
+        let v = store.get(&k).expect("read key").expect("key vanished");
+        writeln!(s, "{k} len {} fnv {:016x}", v.len(), fnv1a(&v)).unwrap();
+    }
+    s
+}
+
+fn fingerprint(report: &TrainReport, store: &dyn Store) -> String {
+    let mut s = String::new();
+    for e in &report.epochs {
+        writeln!(
+            s,
+            "epoch {} phase {} loss {:016x} acc {:016x} test {:016x}",
+            e.epoch,
+            e.phase,
+            e.train_loss.to_bits(),
+            e.train_acc.to_bits(),
+            e.test_acc.to_bits()
+        )
+        .unwrap();
+    }
+    s.push_str(&store_dump(store));
+    s
+}
+
+/// Run one (model, lanes, accum) training in this process and write the
+/// fingerprint to `DPD_OUT`.
+fn run_child() {
+    let out = std::env::var(CHILD_GUARD).unwrap();
+    let model = std::env::var("DPD_MODEL").unwrap();
+    let lanes: usize = std::env::var("DPD_LANES").unwrap().parse().unwrap();
+    let accum: usize = std::env::var("DPD_ACCUM").unwrap().parse().unwrap();
+    let epochs: usize = std::env::var("DPD_EPOCHS")
+        .map(|e| e.parse().unwrap())
+        .unwrap_or(2);
+    let mut cfg = config_for(&model, epochs, lanes, accum);
+    // "Kill" the run early while keeping the full schedule (the LR
+    // milestones are derived from `epochs`, so shortening the schedule
+    // itself would train a different run, not a prefix of the same one).
+    if let Ok(t) = std::env::var("DPD_TRUNCATE") {
+        cfg.epochs = t.parse().unwrap();
+    }
+    let (train, test) = match model.as_str() {
+        "lenet" => lenet_data(),
+        _ => mlp_data(),
+    };
+    let mut trainer = trainer_for(&model, &cfg);
+    let fp = match std::env::var("DPD_STORE") {
+        Ok(dir) => {
+            // Resume scenario: checkpoints shared across processes.
+            let store = FsStore::open(dir).unwrap();
+            let report = trainer
+                .run_resumable(&train, &test, &cfg, &store, |_| {})
+                .unwrap();
+            fingerprint(&report, &store)
+        }
+        Err(_) => {
+            let store = MemoryStore::new();
+            let report = trainer
+                .run_resumable(&train, &test, &cfg, &store, |_| {})
+                .unwrap();
+            fingerprint(&report, &store)
+        }
+    };
+    std::fs::write(out, fp).unwrap();
+}
+
+struct Child {
+    label: String,
+    out: std::path::PathBuf,
+    proc: std::process::Child,
+}
+
+fn spawn_cell(
+    scratch: &std::path::Path,
+    tag: &str,
+    model: &str,
+    threads: usize,
+    lanes: usize,
+    accum: usize,
+    extra: &[(&str, String)],
+) -> Child {
+    let label = format!("{tag}: {model} threads={threads} lanes={lanes} accum={accum}");
+    let out = scratch.join(format!("{tag}-{model}-t{threads}-l{lanes}-a{accum}.fp"));
+    let mut cmd = Command::new(std::env::current_exe().unwrap());
+    cmd.stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .args([
+            "--exact",
+            "data_parallel_training_is_bit_identical_to_serial",
+            "--nocapture",
+        ])
+        .env("POSIT_TENSOR_THREADS", threads.to_string())
+        .env(CHILD_GUARD, &out)
+        .env("DPD_MODEL", model)
+        .env("DPD_LANES", lanes.to_string())
+        .env("DPD_ACCUM", accum.to_string());
+    for (k, v) in extra {
+        cmd.env(k, v);
+    }
+    let proc = cmd.spawn().expect("spawn child");
+    Child { label, out, proc }
+}
+
+fn join(child: Child) -> String {
+    let status = child.proc.wait_with_output().expect("child wait");
+    assert!(
+        status.status.success(),
+        "{} failed:\n{}{}",
+        child.label,
+        String::from_utf8_lossy(&status.stdout),
+        String::from_utf8_lossy(&status.stderr),
+    );
+    std::fs::read_to_string(&child.out)
+        .unwrap_or_else(|e| panic!("{}: no fingerprint: {e}", child.label))
+}
+
+#[test]
+fn data_parallel_training_is_bit_identical_to_serial() {
+    if std::env::var(CHILD_GUARD).is_ok() {
+        run_child();
+        return;
+    }
+    let scratch = std::env::temp_dir().join(format!("dpd-{}", std::process::id()));
+    // A previous failed run may have left checkpoints here (and the PID
+    // can recycle): the resume scenario needs a clean store.
+    std::fs::remove_dir_all(&scratch).ok();
+    std::fs::create_dir_all(&scratch).unwrap();
+
+    // The sweep: every worker-pool width from the issue crossed with lane
+    // counts (1..5) and grad-accum splits (1, 2, 4), including grids that
+    // do not divide the batch (32, and 17 for the MLP), plus the serial
+    // baseline itself re-run on a wide pool.
+    let cells: &[(&str, usize, usize, usize)] = &[
+        ("lenet", 1, 4, 1),
+        ("lenet", 2, 2, 1),
+        ("lenet", 4, 4, 1),
+        ("lenet", 4, 1, 4),
+        ("lenet", 7, 3, 2),
+        ("lenet", 7, 1, 1),
+        ("mlp", 1, 2, 1),
+        ("mlp", 2, 2, 2),
+        ("mlp", 4, 4, 1),
+        ("mlp", 4, 5, 1),
+        ("mlp", 7, 1, 4),
+        ("mlp", 7, 1, 1),
+    ];
+    let mut children = Vec::new();
+    // Serial baselines on a single-thread pool.
+    for model in ["lenet", "mlp"] {
+        children.push(spawn_cell(&scratch, "sweep", model, 1, 1, 1, &[]));
+    }
+    for &(model, threads, lanes, accum) in cells {
+        children.push(spawn_cell(
+            &scratch,
+            "sweep",
+            model,
+            threads,
+            lanes,
+            accum,
+            &[],
+        ));
+    }
+
+    // Resume scenario: kill a 2-lane run on a 2-thread pool after epoch 2
+    // of 3, resume it as 3 lanes on a 7-thread pool, and demand the
+    // uninterrupted serial run's bits (the checkpoint stores no shard
+    // geometry and no thread count).
+    let store_dir = scratch.join("resume-store");
+    let epochs3 = [("DPD_EPOCHS", "3".to_string())];
+    let serial3 = spawn_cell(&scratch, "resume", "mlp", 1, 1, 1, &epochs3);
+    let serial3_fp = join(serial3);
+    let prefix = spawn_cell(
+        &scratch,
+        "resume",
+        "mlp",
+        2,
+        2,
+        1,
+        &[
+            ("DPD_EPOCHS", "3".to_string()),
+            ("DPD_TRUNCATE", "2".to_string()),
+            ("DPD_STORE", store_dir.display().to_string()),
+        ],
+    );
+    join(prefix); // 2-epoch prefix checkpointed on disk
+    let finish = spawn_cell(
+        &scratch,
+        "resume",
+        "mlp",
+        7,
+        3,
+        1,
+        &[
+            ("DPD_EPOCHS", "3".to_string()),
+            ("DPD_STORE", store_dir.display().to_string()),
+        ],
+    );
+    let resumed_fp = join(finish);
+    assert_eq!(
+        resumed_fp, serial3_fp,
+        "resume across thread counts and lane grids drifted from the serial run"
+    );
+
+    // Sweep results: every cell must match its model's serial baseline.
+    let mut results = Vec::new();
+    for c in children {
+        let label = c.label.clone();
+        results.push((label, join(c)));
+    }
+    let (baselines, sweep) = results.split_at(2);
+    for (label, fp) in sweep {
+        let base = if label.contains("lenet") {
+            &baselines[0]
+        } else {
+            &baselines[1]
+        };
+        assert_eq!(
+            *fp, base.1,
+            "{label} diverged from the serial baseline ({})",
+            base.0
+        );
+    }
+
+    std::fs::remove_dir_all(&scratch).ok();
+}

@@ -3,7 +3,7 @@
 use crate::layer::{Layer, LayerKind};
 use crate::param::Param;
 use posit_tensor::conv::{col2im, conv2d_prepared, im2col, ConvGeom};
-use posit_tensor::{Backend, OperandCache, Tensor};
+use posit_tensor::{Backend, GradQuireBuf, Operand, OperandCache, Tensor};
 
 /// `Conv2d`: NCHW convolution, square kernel, no dilation/groups (all the
 /// paper's ResNets need). Bias is optional — ResNet convs are bias-free
@@ -23,6 +23,13 @@ pub struct Conv2d {
     /// writes new weights.
     fwd_weight_cache: OperandCache,
     bwd_weight_cache: OperandCache,
+    /// Exact-gradient shard protocol (see [`Layer::begin_grad_batch`]):
+    /// `Some(total_samples)` while a batch is open, one lazily-created
+    /// buffer per shard (the construction margin is read off the operand
+    /// planes at first backward).
+    grad_batch: Option<usize>,
+    shard_dw: Vec<Option<GradQuireBuf>>,
+    shard_db: Vec<Option<GradQuireBuf>>,
 }
 
 impl Conv2d {
@@ -47,6 +54,9 @@ impl Conv2d {
             bwd_backend: Backend::F32,
             fwd_weight_cache: OperandCache::new(),
             bwd_weight_cache: OperandCache::new(),
+            grad_batch: None,
+            shard_dw: Vec::new(),
+            shard_db: Vec::new(),
         }
     }
 
@@ -143,6 +153,10 @@ impl Layer for Conv2d {
         let w_prep = self
             .bwd_backend
             .prepare_tensor_cached(&self.weight.value, &mut self.bwd_weight_cache);
+        let bwd = self.bwd_backend;
+        let exact = self
+            .grad_batch
+            .filter(|_| matches!(bwd, Backend::PositQuire { .. }));
         for i in 0..n {
             let dy = &grad_out.data()[i * sample_out..(i + 1) * sample_out];
             // ΔW += dY · colᵀ  — [O, cols] × [cols, rows]
@@ -151,8 +165,37 @@ impl Layer for Conv2d {
                 &g,
                 &mut col,
             );
-            self.bwd_backend
-                .gemm_a_bt(o, cols, rows, dy, &col, self.weight.grad.data_mut());
+            if let Some(total) = exact {
+                // Shard-protocol path: every per-sample product lands in
+                // the shard's quire buffer, so ΔW accumulates exactly
+                // across the *whole* batch (the legacy path rounds once
+                // per sample) and merges shard-invariantly. The encode of
+                // the dense dy/col slices is element-wise, hence identical
+                // whatever shard a sample lands in.
+                let dy_plane = bwd.quire_operand_plane(Operand::F32(dy)).unwrap();
+                let col_plane = bwd.quire_operand_plane(Operand::F32(&col)).unwrap();
+                let margin = dy_plane.quire_margin() + col_plane.quire_margin();
+                let slot = self
+                    .shard_dw
+                    .last_mut()
+                    .expect("backward outside begin_grad_shard");
+                slot.get_or_insert_with(|| {
+                    bwd.grad_quire_buf(o * rows, margin, total * cols)
+                        .expect("shard protocol requires a quire backend")
+                })
+                .accumulate_a_bt(o, cols, rows, &dy_plane, &col_plane);
+                if self.bias.is_some() {
+                    let slot = self.shard_db.last_mut().expect("shard state out of sync");
+                    slot.get_or_insert_with(|| {
+                        bwd.grad_quire_buf(o, dy_plane.quire_margin(), total * cols)
+                            .expect("shard protocol requires a quire backend")
+                    })
+                    .accumulate_row_sums(o, cols, &dy_plane);
+                }
+            } else {
+                self.bwd_backend
+                    .gemm_a_bt(o, cols, rows, dy, &col, self.weight.grad.data_mut());
+            }
             // dX_col = Wᵀ · dY — [rows, O] × [O, cols]
             dcol.fill(0.0);
             w_prep.gemm_at_b(rows, o, cols, dy, &mut dcol);
@@ -162,11 +205,13 @@ impl Layer for Conv2d {
                 &mut grad_in.data_mut()[i * sample_in..(i + 1) * sample_in],
             );
         }
-        if let Some(b) = &mut self.bias {
-            for i in 0..n {
-                let dy = &grad_out.data()[i * sample_out..(i + 1) * sample_out];
-                for (oc, gb) in b.grad.data_mut().iter_mut().enumerate() {
-                    *gb += dy[oc * cols..(oc + 1) * cols].iter().sum::<f32>();
+        if exact.is_none() {
+            if let Some(b) = &mut self.bias {
+                for i in 0..n {
+                    let dy = &grad_out.data()[i * sample_out..(i + 1) * sample_out];
+                    for (oc, gb) in b.grad.data_mut().iter_mut().enumerate() {
+                        *gb += dy[oc * cols..(oc + 1) * cols].iter().sum::<f32>();
+                    }
                 }
             }
         }
@@ -191,6 +236,39 @@ impl Layer for Conv2d {
 
     fn set_compute_backends(&mut self, forward: Backend, backward: Backend) {
         self.set_backends(forward, backward);
+    }
+
+    fn begin_grad_batch(&mut self, total_samples: usize) {
+        self.grad_batch = Some(total_samples);
+        self.shard_dw.clear();
+        self.shard_db.clear();
+    }
+
+    fn begin_grad_shard(&mut self) {
+        self.shard_dw.push(None);
+        self.shard_db.push(None);
+    }
+
+    fn end_grad_batch(&mut self) {
+        if self.grad_batch.take().is_none() {
+            return;
+        }
+        let mut dw = std::mem::take(&mut self.shard_dw).into_iter().flatten();
+        if let Some(mut total) = dw.next() {
+            for shard in dw {
+                total.merge_from(&shard);
+            }
+            total.round_into(self.weight.grad.data_mut());
+        }
+        let mut db = std::mem::take(&mut self.shard_db).into_iter().flatten();
+        if let Some(mut total) = db.next() {
+            for shard in db {
+                total.merge_from(&shard);
+            }
+            if let Some(b) = &mut self.bias {
+                total.round_into(b.grad.data_mut());
+            }
+        }
     }
 }
 
@@ -297,6 +375,45 @@ mod tests {
             assert_eq!(y.data(), y0.data(), "forward {}", b.name());
             assert_eq!(gx.data(), gx0.data(), "dX {}", b.name());
             assert_eq!(gw.data(), gw0.data(), "dW {}", b.name());
+        }
+    }
+
+    #[test]
+    fn shard_protocol_grads_are_shard_invariant() {
+        // Whatever shard split the 6-sample batch takes, ΔW and Δb from
+        // the quire protocol must agree bit-for-bit with the 1-shard run.
+        let fmt = posit::PositFormat::of(16, 1);
+        let qui = Backend::PositQuire {
+            fmt,
+            rounding: posit::Rounding::NearestEven,
+        };
+        let mut rng = Prng::seed(23);
+        let input = Tensor::rand_normal(&[6, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let weight = Tensor::rand_normal(&[3, 2, 3, 3], 0.0, 0.4, &mut rng);
+        let bias = Tensor::rand_normal(&[3], 0.0, 0.1, &mut rng);
+        let dy = Tensor::rand_normal(&[6, 3, 5, 5], 0.0, 1.0, &mut rng);
+        let n = 6;
+
+        let run = |splits: &[usize]| {
+            let mut l = Conv2d::new("c", weight.clone(), Some(bias.clone()), 1, 1);
+            l.set_backends(qui, qui);
+            l.begin_grad_batch(n);
+            let mut start = 0;
+            for &rows in splits {
+                l.begin_grad_shard();
+                l.forward(&input.slice_rows(start, start + rows), true);
+                l.backward(&dy.slice_rows(start, start + rows));
+                start += rows;
+            }
+            assert_eq!(start, n);
+            l.end_grad_batch();
+            (l.params()[0].grad.clone(), l.params()[1].grad.clone())
+        };
+        let (dw1, db1) = run(&[6]);
+        for splits in [vec![3, 3], vec![2, 2, 2], vec![1; 6], vec![4, 1, 1]] {
+            let (dw, db) = run(&splits);
+            assert_eq!(dw.data(), dw1.data(), "dW {splits:?}");
+            assert_eq!(db.data(), db1.data(), "db {splits:?}");
         }
     }
 

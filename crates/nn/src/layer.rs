@@ -85,6 +85,36 @@ pub trait Layer: Send {
     fn restore_state_entries(&mut self, lookup: &dyn Fn(&str) -> Option<Vec<u8>>) {
         let _ = lookup;
     }
+
+    /// True iff forward and backward treat each batch row independently,
+    /// so a batch may be split into row shards and the per-shard results
+    /// concatenated/summed without changing any value. Layers that couple
+    /// rows (BatchNorm's batch statistics) return `false`; containers
+    /// fold over their children. Data-parallel training requires every
+    /// layer in the net to be separable.
+    fn batch_separable(&self) -> bool {
+        true
+    }
+
+    /// Open a gradient batch of `total_samples` rows under the exact
+    /// shard protocol: until [`Layer::end_grad_batch`], parameter
+    /// gradients are held in quire accumulators instead of being rounded
+    /// into [`Param::grad`] per backward call. `total_samples` is the
+    /// *whole* batch's row count (all shards and micro-batches), so every
+    /// shard sizes its accumulators identically. Default: no-op (layers
+    /// without parameters, or whose backward already writes exact grads).
+    fn begin_grad_batch(&mut self, _total_samples: usize) {}
+
+    /// Start the next shard within the open gradient batch: subsequent
+    /// backward calls accumulate into a fresh per-shard quire set, to be
+    /// all-reduced at [`Layer::end_grad_batch`]. Default: no-op.
+    fn begin_grad_shard(&mut self) {}
+
+    /// Close the gradient batch: merge every shard's quire accumulators
+    /// (exact integer adds — any merge order gives the same sums) and
+    /// round each gradient element once into [`Param::grad`]. Default:
+    /// no-op.
+    fn end_grad_batch(&mut self) {}
 }
 
 /// Rectified linear unit.
@@ -297,6 +327,28 @@ impl Layer for Sequential {
             layer.restore_state_entries(lookup);
         }
     }
+
+    fn batch_separable(&self) -> bool {
+        self.layers.iter().all(|l| l.batch_separable())
+    }
+
+    fn begin_grad_batch(&mut self, total_samples: usize) {
+        for layer in &mut self.layers {
+            layer.begin_grad_batch(total_samples);
+        }
+    }
+
+    fn begin_grad_shard(&mut self) {
+        for layer in &mut self.layers {
+            layer.begin_grad_shard();
+        }
+    }
+
+    fn end_grad_batch(&mut self) {
+        for layer in &mut self.layers {
+            layer.end_grad_batch();
+        }
+    }
 }
 
 /// A residual block: `y = relu?(main(x) + shortcut(x))` where an empty
@@ -404,6 +456,25 @@ impl Layer for Residual {
     fn restore_state_entries(&mut self, lookup: &dyn Fn(&str) -> Option<Vec<u8>>) {
         self.main.restore_state_entries(lookup);
         self.shortcut.restore_state_entries(lookup);
+    }
+
+    fn batch_separable(&self) -> bool {
+        self.main.batch_separable() && self.shortcut.batch_separable()
+    }
+
+    fn begin_grad_batch(&mut self, total_samples: usize) {
+        self.main.begin_grad_batch(total_samples);
+        self.shortcut.begin_grad_batch(total_samples);
+    }
+
+    fn begin_grad_shard(&mut self) {
+        self.main.begin_grad_shard();
+        self.shortcut.begin_grad_shard();
+    }
+
+    fn end_grad_batch(&mut self) {
+        self.main.end_grad_batch();
+        self.shortcut.end_grad_batch();
     }
 }
 

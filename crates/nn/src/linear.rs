@@ -2,7 +2,7 @@
 
 use crate::layer::{Layer, LayerKind};
 use crate::param::Param;
-use posit_tensor::{Backend, OperandCache, Tensor};
+use posit_tensor::{Backend, GradQuireBuf, OperandCache, Tensor};
 
 /// `Linear`: `y[N,out] = x[N,in] · Wᵀ + b`, weight stored `[out, in]`.
 pub struct Linear {
@@ -19,6 +19,13 @@ pub struct Linear {
     /// hence two slots.
     fwd_weight_cache: OperandCache,
     bwd_weight_cache: OperandCache,
+    /// Exact-gradient shard protocol (see [`Layer::begin_grad_batch`]):
+    /// `Some(total_samples)` while a batch is open. One lazily-created
+    /// buffer per shard — lazily because the construction margin comes
+    /// from the operand planes' scale shifts, seen first in `backward`.
+    grad_batch: Option<usize>,
+    shard_dw: Vec<Option<GradQuireBuf>>,
+    shard_db: Vec<Option<GradQuireBuf>>,
 }
 
 impl Linear {
@@ -35,6 +42,9 @@ impl Linear {
             bwd_backend: Backend::F32,
             fwd_weight_cache: OperandCache::new(),
             bwd_weight_cache: OperandCache::new(),
+            grad_batch: None,
+            shard_dw: Vec::new(),
+            shard_db: Vec::new(),
         }
     }
 
@@ -102,20 +112,53 @@ impl Layer for Linear {
         let input = self.cached_input.as_ref().expect("backward before forward");
         let n = input.shape()[0];
         let (o, k) = (self.out_features(), self.in_features());
-        // ΔW += dYᵀ · X — [o, n] × [n, k]
-        self.bwd_backend.gemm_at_b_op(
-            o,
-            n,
-            k,
-            grad_out.operand(),
-            input.operand(),
-            self.weight.grad.data_mut(),
-        );
-        if let Some(b) = &mut self.bias {
-            let dy = grad_out.dense();
-            for i in 0..n {
-                for (j, gb) in b.grad.data_mut().iter_mut().enumerate() {
-                    *gb += dy.data()[i * o + j];
+        let bwd = self.bwd_backend;
+        let exact = self.grad_batch.and_then(|total| {
+            let dy = bwd.quire_operand_plane(grad_out.operand())?;
+            let x = bwd.quire_operand_plane(input.operand())?;
+            Some((total, dy, x))
+        });
+        if let Some((total, dy, x)) = exact {
+            // Shard-protocol path: ΔW and Δb land in per-shard quire
+            // buffers, all-reduced and rounded once in `end_grad_batch`.
+            // Margins come from the planes' scale shifts, which are
+            // shard-invariant (the input plane's scale exponent is frozen
+            // on the whole batch before sharding), so every shard builds
+            // an identical — hence mergeable — buffer.
+            let margin = dy.quire_margin() + x.quire_margin();
+            let slot = self
+                .shard_dw
+                .last_mut()
+                .expect("backward outside begin_grad_shard");
+            slot.get_or_insert_with(|| {
+                bwd.grad_quire_buf(o * k, margin, total)
+                    .expect("shard protocol requires a quire backend")
+            })
+            .accumulate_at_b(o, n, k, &dy, &x);
+            if self.bias.is_some() {
+                let slot = self.shard_db.last_mut().expect("shard state out of sync");
+                slot.get_or_insert_with(|| {
+                    bwd.grad_quire_buf(o, dy.quire_margin(), total)
+                        .expect("shard protocol requires a quire backend")
+                })
+                .accumulate_col_sums(n, o, &dy);
+            }
+        } else {
+            // ΔW += dYᵀ · X — [o, n] × [n, k]
+            self.bwd_backend.gemm_at_b_op(
+                o,
+                n,
+                k,
+                grad_out.operand(),
+                input.operand(),
+                self.weight.grad.data_mut(),
+            );
+            if let Some(b) = &mut self.bias {
+                let dy = grad_out.dense();
+                for i in 0..n {
+                    for (j, gb) in b.grad.data_mut().iter_mut().enumerate() {
+                        *gb += dy.data()[i * o + j];
+                    }
                 }
             }
         }
@@ -148,6 +191,42 @@ impl Layer for Linear {
 
     fn set_compute_backends(&mut self, forward: Backend, backward: Backend) {
         self.set_backends(forward, backward);
+    }
+
+    fn begin_grad_batch(&mut self, total_samples: usize) {
+        self.grad_batch = Some(total_samples);
+        self.shard_dw.clear();
+        self.shard_db.clear();
+    }
+
+    fn begin_grad_shard(&mut self) {
+        self.shard_dw.push(None);
+        self.shard_db.push(None);
+    }
+
+    fn end_grad_batch(&mut self) {
+        if self.grad_batch.take().is_none() {
+            return;
+        }
+        // The exact all-reduce: integer-merge every shard's accumulators,
+        // then round each gradient element once. Empty (never-touched)
+        // shard slots drop out of the fold.
+        let mut dw = std::mem::take(&mut self.shard_dw).into_iter().flatten();
+        if let Some(mut total) = dw.next() {
+            for shard in dw {
+                total.merge_from(&shard);
+            }
+            total.round_into(self.weight.grad.data_mut());
+        }
+        let mut db = std::mem::take(&mut self.shard_db).into_iter().flatten();
+        if let Some(mut total) = db.next() {
+            for shard in db {
+                total.merge_from(&shard);
+            }
+            if let Some(b) = &mut self.bias {
+                total.round_into(b.grad.data_mut());
+            }
+        }
     }
 }
 
@@ -196,6 +275,51 @@ mod tests {
             assert_eq!(gx.data(), gx0.data(), "dX {}", b.name());
             assert_eq!(gw.data(), gw0.data(), "dW {}", b.name());
         }
+    }
+
+    #[test]
+    fn shard_protocol_grads_are_shard_invariant() {
+        // Any shard split of the batch — including uneven ones — must
+        // produce bit-identical ΔW and Δb, and the 1-shard protocol must
+        // equal the legacy round-once GEMM for ΔW.
+        let fmt = posit::PositFormat::of(16, 1);
+        let qui = Backend::PositQuire {
+            fmt,
+            rounding: posit::Rounding::NearestEven,
+        };
+        let mut rng = Prng::seed(17);
+        let w = Tensor::rand_normal(&[3, 5], 0.0, 0.5, &mut rng);
+        let b = Tensor::rand_normal(&[3], 0.0, 0.1, &mut rng);
+        let x = Tensor::rand_normal(&[8, 5], 0.0, 1.0, &mut rng);
+        let dy = Tensor::rand_normal(&[8, 3], 0.0, 1.0, &mut rng);
+        let n = 8;
+
+        let run = |splits: &[usize]| {
+            let mut l = Linear::new("fc", w.clone(), Some(b.clone()));
+            l.set_backends(qui, qui);
+            l.begin_grad_batch(n);
+            let mut start = 0;
+            for &rows in splits {
+                l.begin_grad_shard();
+                l.forward(&x.slice_rows(start, start + rows), true);
+                l.backward(&dy.slice_rows(start, start + rows));
+                start += rows;
+            }
+            assert_eq!(start, n);
+            l.end_grad_batch();
+            (l.params()[0].grad.clone(), l.params()[1].grad.clone())
+        };
+        let (dw1, db1) = run(&[8]);
+        for splits in [vec![4, 4], vec![3, 3, 2], vec![1; 8], vec![5, 1, 2]] {
+            let (dw, db) = run(&splits);
+            assert_eq!(dw.data(), dw1.data(), "dW {splits:?}");
+            assert_eq!(db.data(), db1.data(), "db {splits:?}");
+        }
+        let mut legacy = Linear::new("fc", w.clone(), Some(b.clone()));
+        legacy.set_backends(qui, qui);
+        legacy.forward(&x, true);
+        legacy.backward(&dy);
+        assert_eq!(dw1.data(), legacy.params()[0].grad.data());
     }
 
     #[test]

@@ -233,6 +233,44 @@ impl Quire {
         }
     }
 
+    /// Exact merge of another quire into this one: the limb arrays add as
+    /// two's-complement integers (dropping the top carry, which the 32
+    /// guard bits keep meaningless) and NaR absorbs. Because the merged
+    /// value is the *exact* integer sum of both accumulators, merging is
+    /// associative and commutative — any reduction tree over per-shard
+    /// quires rounds to the same code word as one quire fed every product,
+    /// which is what makes a data-parallel gradient all-reduce
+    /// bit-deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Both quires must accumulate the same format with the same margin
+    /// (identical `qmin`/width): merging differently-scaled limb arrays
+    /// would misalign their fixed points.
+    pub fn merge_from(&mut self, other: &Quire) {
+        assert_eq!(
+            self.fmt, other.fmt,
+            "Quire::merge_from: format mismatch ({} vs {})",
+            self.fmt, other.fmt
+        );
+        assert_eq!(
+            self.qmin, other.qmin,
+            "Quire::merge_from: margin mismatch (qmin {} vs {})",
+            self.qmin, other.qmin
+        );
+        debug_assert_eq!(self.words.len(), other.words.len());
+        if other.nar {
+            self.nar = true;
+        }
+        let mut carry = false;
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            let (x, c1) = w.overflowing_add(o);
+            let (x, c2) = x.overflowing_add(carry as u64);
+            *w = x;
+            carry = c1 || c2;
+        }
+    }
+
     /// Round the accumulated value to a posit code word.
     pub fn to_posit(&self, rounding: Rounding, rand_word: u64) -> u64 {
         if self.nar {
@@ -484,6 +522,33 @@ impl NarrowQuire {
         };
         let prod = (da.significand() as u128) * (db.significand() as u128);
         self.add_product_parts(da.sign != db.sign, da.scale + db.scale, prod);
+    }
+
+    /// Exact merge of another accumulator into this one — the `i128` twin
+    /// of [`Quire::merge_from`]: integer-adds the accumulators and lets NaR
+    /// absorb. The caller's K budget (see [`NarrowQuire::try_new`]) must
+    /// cover the *total* product count across every merged shard; the
+    /// grad-buffer layer sizes K from the whole batch for exactly this
+    /// reason.
+    ///
+    /// # Panics
+    ///
+    /// Both accumulators must share format and margin (identical `emin`).
+    pub fn merge_from(&mut self, other: &NarrowQuire) {
+        assert_eq!(
+            self.fmt, other.fmt,
+            "NarrowQuire::merge_from: format mismatch ({} vs {})",
+            self.fmt, other.fmt
+        );
+        assert_eq!(
+            self.emin, other.emin,
+            "NarrowQuire::merge_from: margin mismatch (emin {} vs {})",
+            self.emin, other.emin
+        );
+        if other.nar {
+            self.nar = true;
+        }
+        self.acc = self.acc.wrapping_add(other.acc);
     }
 
     /// Round the accumulated value to a posit code word — bit-identical to
@@ -875,6 +940,108 @@ mod tests {
         assert_eq!(q.to_posit(Rounding::NearestEven, 0), 0);
         q.add_product(fmt.nar_bits(), fmt.one_bits());
         assert!(q.is_nar(), "decoded NaR absorbs");
+    }
+
+    #[test]
+    fn merge_matches_single_quire_fold() {
+        // Splitting a product stream across shard quires and merging must
+        // round identically to one quire fed everything, wide and narrow.
+        let fmt = PositFormat::of(16, 1);
+        let mut state = 0xDEAD_BEEF_0BAD_F00D_u64;
+        let mut products = Vec::new();
+        for _ in 0..64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = state & fmt.mask();
+            let b = (state >> 23) & fmt.mask();
+            if a != fmt.nar_bits() && b != fmt.nar_bits() {
+                products.push((a, b));
+            }
+        }
+        let mut serial = Quire::new(fmt);
+        let mut narrow_serial = NarrowQuire::try_new(fmt, 0, products.len()).unwrap();
+        for &(a, b) in &products {
+            serial.add_product(a, b);
+            narrow_serial.add_product(a, b);
+        }
+        for shards in [1usize, 2, 3, 5, 7] {
+            let mut parts: Vec<Quire> = (0..shards).map(|_| Quire::new(fmt)).collect();
+            let mut narrow_parts: Vec<NarrowQuire> = (0..shards)
+                .map(|_| NarrowQuire::try_new(fmt, 0, products.len()).unwrap())
+                .collect();
+            for (i, &(a, b)) in products.iter().enumerate() {
+                parts[i % shards].add_product(a, b);
+                narrow_parts[i % shards].add_product(a, b);
+            }
+            // Reduce in reverse shard order to stress order-invariance.
+            let mut acc = Quire::new(fmt);
+            let mut nacc = NarrowQuire::try_new(fmt, 0, products.len()).unwrap();
+            for p in parts.iter().rev() {
+                acc.merge_from(p);
+            }
+            for p in narrow_parts.iter().rev() {
+                nacc.merge_from(p);
+            }
+            for rounding in [Rounding::NearestEven, Rounding::ToZero] {
+                assert_eq!(
+                    acc.to_posit(rounding, 0),
+                    serial.to_posit(rounding, 0),
+                    "wide, {shards} shards, {rounding:?}"
+                );
+                assert_eq!(
+                    nacc.to_posit(rounding, 0),
+                    narrow_serial.to_posit(rounding, 0),
+                    "narrow, {shards} shards, {rounding:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_negative_partials_cancel_exactly() {
+        // A shard holding -x merged into a shard holding +x must cancel to
+        // exactly zero — the two's-complement carry across the full limb
+        // array (and the i128 add) is what makes the all-reduce exact.
+        let fmt = PositFormat::of(16, 1);
+        let x = p(&fmt, 1.0e8);
+        let mut pos = Quire::new(fmt);
+        pos.add_product(x, x);
+        let mut neg = Quire::new(fmt);
+        neg.add_product(fmt.negate(x), x);
+        pos.merge_from(&neg);
+        assert!(pos.is_zero());
+        let mut npos = NarrowQuire::try_new(fmt, 0, 2).unwrap();
+        npos.add_product(x, x);
+        let mut nneg = NarrowQuire::try_new(fmt, 0, 2).unwrap();
+        nneg.add_product(fmt.negate(x), x);
+        npos.merge_from(&nneg);
+        assert!(npos.is_zero());
+    }
+
+    #[test]
+    fn merge_absorbs_nar() {
+        let fmt = PositFormat::of(8, 1);
+        let mut a = Quire::new(fmt);
+        a.add_product(fmt.one_bits(), fmt.one_bits());
+        let mut b = Quire::new(fmt);
+        b.set_nar();
+        a.merge_from(&b);
+        assert!(a.is_nar());
+        let mut na = NarrowQuire::try_new(fmt, 0, 1).unwrap();
+        let mut nb = NarrowQuire::try_new(fmt, 0, 1).unwrap();
+        nb.set_nar();
+        na.merge_from(&nb);
+        assert!(na.is_nar());
+    }
+
+    #[test]
+    #[should_panic(expected = "margin mismatch")]
+    fn merge_rejects_margin_mismatch() {
+        let fmt = PositFormat::of(8, 1);
+        let mut a = Quire::with_margin(fmt, 4);
+        let b = Quire::with_margin(fmt, 8);
+        a.merge_from(&b);
     }
 
     #[test]

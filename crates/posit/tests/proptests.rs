@@ -1,6 +1,6 @@
 //! Property-based tests for the posit number system.
 
-use posit::{quant, PositFormat, PositQuantizer, Quire, Rounding, P16E1};
+use posit::{quant, NarrowQuire, PositFormat, PositQuantizer, Quire, Rounding, P16E1};
 use proptest::prelude::*;
 
 /// Strategy over supported formats (biased toward the paper's formats).
@@ -257,5 +257,86 @@ proptest! {
         let gap = hi - lo;
         prop_assert!((mean - x).abs() < gap * 0.15 + 1e-9,
             "mean {mean} vs {x} (gap {gap})");
+    }
+}
+
+/// P16E1 code words biased toward the exact-accumulation edge cases: NaR,
+/// saturated scales (maxpos/minpos squares push the product scale sum to
+/// its extremes) and zero.
+fn p16_words() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        any::<u16>().prop_map(u64::from),
+        any::<u16>().prop_map(u64::from),
+        any::<u16>().prop_map(u64::from),
+        Just(0x8000u64), // NaR
+        Just(0x7FFFu64), // maxpos
+        Just(0x0001u64), // minpos
+        Just(0u64),
+    ]
+}
+
+proptest! {
+    // The algebraic heart of the exact data-parallel all-reduce: a quire
+    // is an integer fixed-point sum, so accumulating any PERMUTATION of
+    // the products, partitioned into ANY set of shards, and merging the
+    // shard quires must reproduce the serial fold's rounded posit
+    // bit-for-bit — NaR absorption and saturated scale sums included.
+    // Checked for the wide (limb-array) quire and the narrow i128
+    // accumulator, which must also agree with each other.
+    #[test]
+    fn quire_all_reduce_is_partition_and_order_invariant(
+        pairs in proptest::collection::vec((p16_words(), p16_words()), 1..48),
+        perm_seed in any::<u64>(),
+        cuts in proptest::collection::vec(0usize..48, 0..5),
+    ) {
+        let fmt = PositFormat::of(16, 1);
+        let mut serial = Quire::new(fmt);
+        let mut serial_narrow = NarrowQuire::try_new(fmt, 0, pairs.len()).unwrap();
+        for &(a, b) in &pairs {
+            serial.add_product(a, b);
+            serial_narrow.add_product(a, b);
+        }
+
+        // Permute (Fisher–Yates over an xorshift stream) and cut into
+        // contiguous shards of the permuted order.
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        let mut state = perm_seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in (1..order.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (pairs.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(pairs.len());
+        bounds.sort_unstable();
+
+        let mut wide = Quire::new(fmt);
+        let mut narrow = NarrowQuire::try_new(fmt, 0, pairs.len()).unwrap();
+        for w in bounds.windows(2) {
+            let mut shard_w = Quire::new(fmt);
+            let mut shard_n = NarrowQuire::try_new(fmt, 0, pairs.len()).unwrap();
+            for &i in &order[w[0]..w[1]] {
+                let (a, b) = pairs[i];
+                shard_w.add_product(a, b);
+                shard_n.add_product(a, b);
+            }
+            wide.merge_from(&shard_w);
+            narrow.merge_from(&shard_n);
+        }
+
+        prop_assert_eq!(wide.is_nar(), serial.is_nar());
+        prop_assert_eq!(narrow.is_nar(), serial_narrow.is_nar());
+        for rounding in [Rounding::NearestEven, Rounding::ToZero] {
+            let want = serial.to_posit(rounding, 0);
+            prop_assert_eq!(wide.to_posit(rounding, 0), want);
+            prop_assert_eq!(serial_narrow.to_posit(rounding, 0), want);
+            prop_assert_eq!(narrow.to_posit(rounding, 0), want);
+        }
     }
 }

@@ -278,6 +278,45 @@ impl Backend {
         }
     }
 
+    /// For [`Backend::PositQuire`]: the decode-once operand plane this
+    /// backend's GEMMs would build for `op` (packed fast path included);
+    /// `None` for the other backends. This is the operand entry point of
+    /// the exact gradient buffers ([`crate::GradQuireBuf`]), which must see
+    /// byte-identical planes to the kernels for the 1-shard ≡ serial
+    /// guarantee to hold.
+    pub fn quire_operand_plane(&self, op: Operand<'_>) -> Option<PositPlane> {
+        match self {
+            Backend::PositQuire { fmt, rounding } => {
+                let kernel = PositGemm::new(*fmt, *rounding);
+                Some(quire_plane(&kernel, op))
+            }
+            _ => None,
+        }
+    }
+
+    /// For [`Backend::PositQuire`]: a zeroed [`crate::GradQuireBuf`] of
+    /// `len` accumulators sized for this backend's format and rounding, a
+    /// whole-batch reduction depth of `k_total`, and operand planes
+    /// carrying at most `margin` total scale-shift bits; `None` for the
+    /// other backends (exact sharded accumulation has no meaning there).
+    pub fn grad_quire_buf(
+        &self,
+        len: usize,
+        margin: u32,
+        k_total: usize,
+    ) -> Option<crate::GradQuireBuf> {
+        match self {
+            Backend::PositQuire { fmt, rounding } => Some(crate::GradQuireBuf::new(
+                *fmt,
+                Self::op_rounding(*rounding),
+                margin,
+                k_total,
+                len,
+            )),
+            _ => None,
+        }
+    }
+
     /// `c += a[m,k] * b[k,n]` under this backend.
     pub fn gemm(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
         self.prepare(a).gemm(m, k, n, b, c);

@@ -20,6 +20,7 @@
 mod backend;
 pub mod conv;
 pub mod gemm;
+pub mod grad_accum;
 pub mod pool;
 pub mod posit_gemm;
 pub mod rng;
@@ -29,6 +30,7 @@ pub mod workers;
 
 pub use backend::{Backend, Operand, OperandCache, PreparedOperand};
 pub use gemm::par_map_indexed;
+pub use grad_accum::GradQuireBuf;
 pub use posit_gemm::{PositGemm, PositPlane};
 pub use storage::{PackedBits, Storage, StorageDomain};
 pub use tensor::Tensor;

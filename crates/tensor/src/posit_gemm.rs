@@ -66,6 +66,22 @@ const ZERO_ELEM: Unpacked = Unpacked {
     neg: false,
 };
 
+impl Unpacked {
+    /// The multiplicative identity in element form — the `y` operand that
+    /// turns a multiply-accumulate into a plain accumulate (`x · 1`), used
+    /// by the gradient buffers to sum posit values exactly.
+    pub const ONE: Unpacked = Unpacked {
+        sig: 1 << 63,
+        scale: 0,
+        neg: false,
+    };
+
+    /// True iff this element is the NaR sentinel.
+    pub fn is_nar(&self) -> bool {
+        self.sig == 0 && self.scale == NAR_SCALE
+    }
+}
+
 /// The decoded value in the kernels' element form, with an optional Eq. 2
 /// scale shift folded in — the single definition both the direct decode
 /// path and the LUT build go through.
@@ -192,7 +208,7 @@ impl PositPlane {
     }
 
     /// Extra quire headroom (bits) this plane's scale shift requires.
-    fn quire_margin(&self) -> u32 {
+    pub fn quire_margin(&self) -> u32 {
         self.scale_exp.unsigned_abs()
     }
 

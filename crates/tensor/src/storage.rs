@@ -113,6 +113,22 @@ impl PackedBits {
         (0..self.len()).map(move |i| self.get(i))
     }
 
+    /// A contiguous sub-range `[start, end)` of code words as a fresh
+    /// buffer of the same width. The words are copied verbatim — no
+    /// decode/re-encode — so a slice of an encoded plane holds exactly
+    /// the code words the full plane holds at those positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, start: usize, end: usize) -> PackedBits {
+        match self {
+            PackedBits::U8(v) => PackedBits::U8(v[start..end].to_vec()),
+            PackedBits::U16(v) => PackedBits::U16(v[start..end].to_vec()),
+            PackedBits::U32(v) => PackedBits::U32(v[start..end].to_vec()),
+        }
+    }
+
     /// Bytes per code word of this buffer (1, 2 or 4).
     pub fn word_bytes(&self) -> usize {
         match self {

@@ -399,6 +399,44 @@ impl Tensor {
         self
     }
 
+    /// Rows `[start, end)` along the leading dimension as a new tensor.
+    ///
+    /// Works in both storage domains and — crucially for bit-exact batch
+    /// sharding — a posit-domain slice copies the packed code words
+    /// verbatim and keeps the plane's format and scale exponent, so a
+    /// shard of an encoded batch holds exactly the code words the full
+    /// batch holds at those rows. (Decoding to f32 and re-encoding would
+    /// not be safe: the decoded value times `2^scale_exp` need not be
+    /// representable on the unshifted grid.)
+    ///
+    /// # Panics
+    ///
+    /// Panics on a 0-d tensor or an out-of-range/inverted row range.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+        assert!(!self.shape.is_empty(), "slice_rows on a 0-d tensor");
+        assert!(
+            start <= end && end <= self.shape[0],
+            "row range {start}..{end} out of bounds for leading dim {}",
+            self.shape[0]
+        );
+        let row: usize = self.shape[1..].iter().product();
+        let mut shape = self.shape.clone();
+        shape[0] = end - start;
+        let storage = match &self.storage {
+            Storage::F32(v) => Storage::F32(v[start * row..end * row].to_vec()),
+            Storage::Posit {
+                bits,
+                format,
+                scale_exp,
+            } => Storage::Posit {
+                bits: bits.slice(start * row, end * row),
+                format: *format,
+                scale_exp: *scale_exp,
+            },
+        };
+        Tensor::with_storage(storage, shape)
+    }
+
     /// Element at a 2-D position (row-major).
     ///
     /// # Panics
@@ -652,6 +690,33 @@ mod tests {
         assert_eq!(t.shape(), &[3, 2]);
         assert_eq!(t.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
         assert_eq!(t.transpose2(), a);
+    }
+
+    #[test]
+    fn slice_rows_both_domains() {
+        let t = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[4, 2, 3]);
+        let s = t.slice_rows(1, 3);
+        assert_eq!(s.shape(), &[2, 2, 3]);
+        assert_eq!(s.data(), &t.data()[6..18]);
+        assert_eq!(t.slice_rows(2, 2).len(), 0, "empty slice is fine");
+        // Packed slices keep the exact code words, format and scale.
+        let fmt = PositFormat::of(8, 1);
+        let vals: Vec<f32> = (0..12).map(|i| i as f32 * 0.37 - 2.0).collect();
+        let p = Tensor::from_vec(vals, &[4, 3]).to_posit(fmt, -2, Rounding::NearestEven);
+        let ps = p.slice_rows(1, 3);
+        assert_eq!(ps.shape(), &[2, 3]);
+        let (full, f, e) = p.posit_bits().unwrap();
+        let (part, pf, pe) = ps.posit_bits().unwrap();
+        assert_eq!((pf, pe), (f, e), "format and scale_exp survive the slice");
+        for i in 0..6 {
+            assert_eq!(part.get(i), full.get(3 + i), "code words copied verbatim");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_rows_validates_range() {
+        let _ = Tensor::zeros(&[2, 2]).slice_rows(1, 3);
     }
 
     #[test]

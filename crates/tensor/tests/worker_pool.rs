@@ -11,7 +11,7 @@
 //! exactly once, before any pool touch.
 
 use posit::{PositFormat, Rounding};
-use posit_tensor::{gemm, par_map_indexed, serial_scope, PositGemm};
+use posit_tensor::{gemm, par_map_indexed, serial_scope, Backend, Operand, PositGemm};
 
 #[test]
 fn pooled_kernels_match_serial_bit_for_bit() {
@@ -45,6 +45,80 @@ fn pooled_kernels_match_serial_bit_for_bit() {
     let mut q_again = vec![0.0f32; m * n];
     kernel.gemm(m, k, n, &pa, &pb, &mut q_again);
     assert_eq!(q_pool, q_again, "pooled run determinism");
+
+    // Uneven lane split: row counts that do not divide by the 4-lane
+    // budget (37 = 9·4+1) and a 1-row degenerate batch (fewer rows than
+    // lanes, so some lanes receive no work). Pool ≡ serial either way.
+    for (mu, ku, nu) in [(37, 23, 29), (1, 48, 64)] {
+        let au: Vec<f32> = (0..mu * ku)
+            .map(|i| ((i * 13 % 31) as f32 - 15.0) * 0.0625)
+            .collect();
+        let bu: Vec<f32> = (0..ku * nu)
+            .map(|i| ((i * 17 % 29) as f32 - 14.0) * 0.125)
+            .collect();
+        let mut cu_pool = vec![0.0f32; mu * nu];
+        gemm::gemm(mu, ku, nu, &au, &bu, &mut cu_pool);
+        let mut cu_serial = vec![0.0f32; mu * nu];
+        serial_scope(|| gemm::gemm(mu, ku, nu, &au, &bu, &mut cu_serial));
+        assert_eq!(cu_pool, cu_serial, "uneven f32 gemm {mu}x{ku}x{nu}");
+
+        let pau = kernel.encode_plane(&au);
+        let pbu = kernel.encode_plane(&bu);
+        let mut qu_pool = vec![0.0f32; mu * nu];
+        kernel.gemm(mu, ku, nu, &pau, &pbu, &mut qu_pool);
+        let mut qu_serial = vec![0.0f32; mu * nu];
+        serial_scope(|| kernel.gemm(mu, ku, nu, &pau, &pbu, &mut qu_serial));
+        assert_eq!(qu_pool, qu_serial, "uneven posit gemm {mu}x{ku}x{nu}");
+    }
+
+    // Shard-protocol gradient buffers on the pooled backend: a 37-sample
+    // batch (not divisible by the lane count) split unevenly, and the
+    // 1-shard degenerate case, must merge to the serial buffer's rounded
+    // grads bit-for-bit.
+    let bwd = Backend::PositQuire {
+        fmt: PositFormat::of(16, 1),
+        rounding: Rounding::NearestEven,
+    };
+    let (batch, o, kin) = (37, 5, 7);
+    let dy: Vec<f32> = (0..batch * o)
+        .map(|i| ((i * 3 % 17) as f32 - 8.0) * 0.5)
+        .collect();
+    let xs: Vec<f32> = (0..batch * kin)
+        .map(|i| ((i * 11 % 13) as f32 - 6.0) * 0.25)
+        .collect();
+    let dyp = bwd.quire_operand_plane(Operand::F32(&dy)).unwrap();
+    let xp = bwd.quire_operand_plane(Operand::F32(&xs)).unwrap();
+    let margin = dyp.quire_margin() + xp.quire_margin();
+    let mut serial_buf = bwd.grad_quire_buf(o * kin, margin, batch).unwrap();
+    serial_buf.accumulate_at_b(o, batch, kin, &dyp, &xp);
+    let mut want = vec![0.0f32; o * kin];
+    serial_buf.round_into(&mut want);
+    for splits in [vec![batch], vec![19, 18], vec![9, 9, 9, 10], vec![36, 1]] {
+        let mut shards = Vec::new();
+        let mut start = 0usize;
+        for &rows in &splits {
+            let end = start + rows;
+            let dys = bwd
+                .quire_operand_plane(Operand::F32(&dy[start * o..end * o]))
+                .unwrap();
+            let xss = bwd
+                .quire_operand_plane(Operand::F32(&xs[start * kin..end * kin]))
+                .unwrap();
+            let mut buf = bwd.grad_quire_buf(o * kin, margin, batch).unwrap();
+            buf.accumulate_at_b(o, rows, kin, &dys, &xss);
+            shards.push(buf);
+            start = end;
+        }
+        let mut total = shards.remove(0);
+        for s in &shards {
+            total.merge_from(s);
+        }
+        let mut got = vec![0.0f32; o * kin];
+        total.round_into(&mut got);
+        let bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+        let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, want_bits, "shard split {splits:?}");
+    }
 
     // par_map_indexed across the pool preserves order and runs every item
     // exactly once.
