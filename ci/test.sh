@@ -38,6 +38,11 @@ if [ "$quick" -eq 0 ]; then
     # child, so the outer value just widens the parent's own pool).
     echo "==> POSIT_TENSOR_THREADS=4 cargo test -q --release -p posit-train --test data_parallel_determinism"
     POSIT_TENSOR_THREADS=4 cargo test -q --release -p posit-train --test data_parallel_determinism
+    # Same reasoning for the serving batcher: the debug run covers the
+    # semantics, the release run pins batched-vs-single bit-equality on
+    # the release quire kernels (children pin their own thread counts).
+    echo "==> POSIT_TENSOR_THREADS=4 cargo test -q --release -p posit-serve --test batcher_determinism"
+    POSIT_TENSOR_THREADS=4 cargo test -q --release -p posit-serve --test batcher_determinism
 else
     echo "==> (--quick: skipping release-mode exhaustive suites)"
 fi

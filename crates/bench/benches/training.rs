@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use posit_data::SyntheticCifar;
 use posit_nn::{Layer, Sgd, SoftmaxCrossEntropy};
 use posit_tensor::rng::Prng;
-use posit_train::{Phase, QuantBuilder, QuantSpec, TrainConfig, Trainer};
+use posit_train::{Phase, QuantBuilder, QuantSpec, RunOptions, TrainConfig, Trainer};
 use std::hint::black_box;
 
 fn bench_training_step(c: &mut Criterion) {
@@ -67,7 +67,9 @@ fn bench_inference(c: &mut Criterion) {
     let test = gen.test(64, 2);
     let config = TrainConfig::cifar_scaled(8, 1).with_seed(1);
     let mut trainer = Trainer::resnet(&config);
-    let _ = trainer.run(&train, &test, &config);
+    let _ = trainer
+        .run(RunOptions::new(&train, &test, &config))
+        .unwrap();
     g.throughput(Throughput::Elements(64));
     g.bench_function("fp32_eval_64", |bch| {
         bch.iter(|| trainer.evaluate(black_box(&test), &config))

@@ -14,7 +14,7 @@
 use posit::{PositFormat, Rounding};
 use posit_bench::{run_logged, CifarExperiment, Scale};
 use posit_train::es_select::{select_es, LogRange};
-use posit_train::{MasterWeights, QuantSpec, Trainer};
+use posit_train::{MasterWeights, QuantSpec, RunOptions, Trainer};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -106,7 +106,9 @@ fn ablate_es(scale: Scale) {
     let exp = CifarExperiment::new(scale);
     let cfg = trimmed(&exp);
     let mut trainer = Trainer::resnet(&cfg);
-    let _ = trainer.run(&exp.train, &exp.test, &cfg);
+    let _ = trainer
+        .run(RunOptions::new(&exp.train, &exp.test, &cfg))
+        .unwrap();
     println!("log-domain spans of trained parameters (criterion inputs):");
     use posit_nn::Layer;
     for p in trainer.net().params().iter().take(8) {

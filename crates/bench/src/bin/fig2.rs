@@ -12,7 +12,7 @@
 
 use posit_bench::{CifarExperiment, Scale};
 use posit_train::stats::HistogramRecorder;
-use posit_train::Trainer;
+use posit_train::{RunOptions, Trainer};
 
 const PARAMS: [&str; 2] = ["conv1.weight", "layer4.0.bn1.weight"];
 
@@ -33,7 +33,9 @@ fn main() {
     let mut init_rec = HistogramRecorder::new(PARAMS.iter().map(|s| s.to_string()).collect(), 32);
     init_rec.capture(trainer.net(), 0);
 
-    let report = trainer.run(&exp.train, &exp.test, &config);
+    let report = trainer
+        .run(RunOptions::new(&exp.train, &exp.test, &config))
+        .unwrap();
 
     for param in PARAMS {
         println!("==========================================================");

@@ -1,0 +1,203 @@
+//! Synthetic load driver for the `posit-serve` inference server.
+//!
+//! Builds a calibrated quantized LeNet, checkpoints it, restores it into
+//! an [`InferenceServer`] (the store path is the server's only loading
+//! path), then replays synthetic single-sample traffic — uniform and
+//! bursty arrival patterns from the in-tree xoshiro PRNG — against a
+//! sweep of batcher configurations, printing a latency/throughput table
+//! (recorded in EXPERIMENTS.md).
+//!
+//! Usage: `cargo run --release -p posit-bench --bin load_driver [--quick]`
+//!
+//! Queue latency is in deterministic virtual-time ticks (one tick per
+//! driver loop iteration); compute latency and throughput are wall-clock.
+
+use posit_bench::Scale;
+use posit_nn::{checkpoint, Layer};
+use posit_serve::{InferenceServer, ServeConfig, ServeStats, ServedModel};
+use posit_store::MemoryStore;
+use posit_tensor::rng::Prng;
+use posit_tensor::Tensor;
+use posit_train::{ComputeBackend, MasterWeights, Phase, QuantBuilder, QuantSpec};
+
+const SIDE: usize = 16;
+const CLASSES: usize = 10;
+
+fn spec() -> QuantSpec {
+    QuantSpec::cifar_paper()
+        .with_backend(ComputeBackend::PositQuire)
+        .with_master(MasterWeights::Posit)
+}
+
+/// Calibrate a random LeNet, round-trip it through a v2 checkpoint, and
+/// serve it from the store.
+fn server(cfg: ServeConfig, store: &MemoryStore) -> InferenceServer {
+    let mut rng = Prng::seed(1234);
+    let mut qb = QuantBuilder::new(spec());
+    let control = qb.control();
+    let net = posit_models::lenet(&mut qb, 3, SIDE, CLASSES, &mut rng);
+    InferenceServer::from_store(
+        ServedModel::quantized(net, control, spec()),
+        store,
+        "load-driver-model",
+        &[3, SIDE, SIDE],
+        cfg,
+    )
+    .expect("serve from checkpoint")
+}
+
+/// Build the checkpoint the sweep serves from: calibrated scales + posit
+/// weights, written through the checkpoint façade.
+fn checkpoint_model(store: &MemoryStore) {
+    let mut rng = Prng::seed(1234);
+    let mut qb = QuantBuilder::new(spec());
+    let control = qb.control();
+    let mut net = posit_models::lenet(&mut qb, 3, SIDE, CLASSES, &mut rng);
+    let mut cal_rng = Prng::seed(4321);
+    let cal = Tensor::rand_normal(&[8, 3, SIDE, SIDE], 0.0, 1.0, &mut cal_rng);
+    control.set_phase(Phase::Calibrate);
+    let _ = net.forward(&cal, false);
+    control.set_phase(Phase::Posit);
+    checkpoint::write(
+        &net,
+        checkpoint::Sink::Store {
+            store,
+            prefix: "load-driver-model",
+        },
+        checkpoint::Version::V2,
+    )
+    .expect("checkpoint the served model");
+}
+
+fn sample(i: u64) -> Tensor {
+    let mut rng = Prng::seed(0xD21 ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    Tensor::rand_normal(&[3, SIDE, SIDE], 0.0, 1.0, &mut rng)
+}
+
+/// How many requests arrive at each driver tick.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Pattern {
+    /// One request per tick, like a paced client.
+    Uniform,
+    /// Poisson-ish bursts: most ticks idle, occasional clumps of 1–8.
+    Bursty,
+}
+
+impl Pattern {
+    fn label(self) -> &'static str {
+        match self {
+            Pattern::Uniform => "uniform",
+            Pattern::Bursty => "bursty",
+        }
+    }
+
+    fn arrivals(self, rng: &mut Prng) -> usize {
+        match self {
+            Pattern::Uniform => 1,
+            Pattern::Bursty => {
+                if rng.uniform(0.0, 1.0) < 0.25 {
+                    1 + (rng.uniform(0.0, 8.0) as usize)
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+/// Drive `n` requests through a fresh server: per tick, submit the
+/// pattern's arrivals, advance the virtual clock, drain replies.
+fn drive(pattern: Pattern, cfg: ServeConfig, n: u64, store: &MemoryStore) -> ServeStats {
+    let mut srv = server(cfg, store);
+    let mut rng = Prng::seed(77);
+    let mut submitted = 0u64;
+    let mut ids = Vec::new();
+    while submitted < n {
+        for _ in 0..pattern.arrivals(&mut rng) {
+            if submitted == n {
+                break;
+            }
+            ids.push(srv.submit(&sample(submitted)).expect("f32 sample"));
+            submitted += 1;
+        }
+        srv.tick().expect("tick");
+    }
+    srv.flush_all().expect("flush");
+    for id in ids {
+        srv.poll(id).expect("every request completed");
+    }
+    srv.stats()
+}
+
+fn print_row(pattern: &str, cfg: ServeConfig, s: &ServeStats) {
+    println!(
+        "{pattern:<8} {:>9} {:>5} {:>8} {:>7.2} {:>10} {:>10} {:>13.1} {:>13.1} {:>11.0}",
+        cfg.max_batch,
+        cfg.max_wait_ticks,
+        s.batches,
+        s.mean_batch,
+        s.queue_p50_ticks,
+        s.queue_p99_ticks,
+        s.compute_p50_ns as f64 / 1e3,
+        s.compute_p99_ns as f64 / 1e3,
+        s.throughput_sps,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: u64 = match Scale::from_args(&args) {
+        Scale::Quick => 64,
+        Scale::Full => 400,
+    };
+    let store = MemoryStore::new();
+    checkpoint_model(&store);
+
+    println!("== serve load driver: LeNet 3x{SIDE}x{SIDE}, posit-quire, {n} requests ==");
+    println!(
+        "{:<8} {:>9} {:>5} {:>8} {:>7} {:>10} {:>10} {:>13} {:>13} {:>11}",
+        "pattern",
+        "max_batch",
+        "wait",
+        "batches",
+        "mean_b",
+        "queue_p50",
+        "queue_p99",
+        "comp_p50(us)",
+        "comp_p99(us)",
+        "thrpt(sps)"
+    );
+    let sweep = [
+        ServeConfig {
+            max_batch: 1,
+            max_wait_ticks: 0,
+        },
+        ServeConfig {
+            max_batch: 4,
+            max_wait_ticks: 2,
+        },
+        ServeConfig {
+            max_batch: 16,
+            max_wait_ticks: 8,
+        },
+    ];
+    let mut unbatched_sps = 0.0f64;
+    let mut best_sps = 0.0f64;
+    for pattern in [Pattern::Uniform, Pattern::Bursty] {
+        for cfg in sweep {
+            let s = drive(pattern, cfg, n, &store);
+            assert_eq!(s.completed, n, "driver lost requests");
+            print_row(pattern.label(), cfg, &s);
+            if pattern == Pattern::Bursty && cfg.max_batch == 1 {
+                unbatched_sps = s.throughput_sps;
+            }
+            best_sps = best_sps.max(s.throughput_sps);
+        }
+    }
+    if unbatched_sps > 0.0 {
+        println!(
+            "batching speedup (bursty, best vs max_batch=1): {:.2}x",
+            best_sps / unbatched_sps
+        );
+    }
+}

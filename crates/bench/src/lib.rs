@@ -16,7 +16,7 @@
 
 use posit_data::{Dataset, SyntheticCifar, SyntheticImageNet};
 use posit_nn::StepLr;
-use posit_train::{ComputeBackend, QuantSpec, TrainConfig, TrainReport, Trainer};
+use posit_train::{ComputeBackend, QuantSpec, RunOptions, TrainConfig, TrainReport, Trainer};
 
 /// Size preset for the training experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -246,17 +246,19 @@ pub fn run_logged_trainer(
     config: &TrainConfig,
 ) -> TrainReport {
     eprintln!("== {label} ==");
-    trainer.run_with(train, test, config, |e| {
-        eprintln!(
-            "  epoch {:>3} [{:>9}] lr {:<7.4} loss {:<7.4} train {:>5.1}% test {:>5.1}%",
-            e.epoch,
-            e.phase,
-            e.lr,
-            e.train_loss,
-            100.0 * e.train_acc,
-            100.0 * e.test_acc
-        );
-    })
+    trainer
+        .run(RunOptions::new(train, test, config).on_epoch(|e| {
+            eprintln!(
+                "  epoch {:>3} [{:>9}] lr {:<7.4} loss {:<7.4} train {:>5.1}% test {:>5.1}%",
+                e.epoch,
+                e.phase,
+                e.lr,
+                e.train_loss,
+                100.0 * e.train_acc,
+                100.0 * e.test_acc
+            );
+        }))
+        .expect("no store, no store errors")
 }
 
 /// Print one dataset column in the paper's Table III layout.

@@ -21,14 +21,16 @@
 //!   configurations, plus the Fig. 2 histogram capture ([`stats`]).
 //!
 //! ```no_run
-//! use posit_train::{QuantSpec, TrainConfig, Trainer};
+//! use posit_train::{QuantSpec, RunOptions, TrainConfig, Trainer};
 //! use posit_data::SyntheticCifar;
 //!
 //! let gen = SyntheticCifar::new(16, 42);
 //! let train = gen.train(2000, 1);
 //! let test = gen.test(500, 1);
 //! let config = TrainConfig::cifar_scaled(8, 10).with_quant(QuantSpec::cifar_paper());
-//! let report = Trainer::resnet(&config).run(&train, &test, &config);
+//! let report = Trainer::resnet(&config)
+//!     .run(RunOptions::new(&train, &test, &config))
+//!     .unwrap();
 //! println!("posit accuracy: {:.2}%", 100.0 * report.final_test_acc);
 //! ```
 
@@ -46,4 +48,4 @@ pub use config::{
     ClassFormats, ComputeBackend, ConfigError, MasterWeights, QuantSpec, TensorClass, TrainConfig,
 };
 pub use quantized::{Phase, QuantBuilder, QuantControl, Quantized};
-pub use trainer::{EpochStats, TrainReport, Trainer};
+pub use trainer::{EpochStats, InputQuantizer, RunOptions, TrainReport, Trainer};

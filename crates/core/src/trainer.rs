@@ -1,7 +1,7 @@
 //! The training harness: warm-up → calibration → posit phases, per
 //! §III-B/III-C of the paper.
 
-use crate::config::{ComputeBackend, TrainConfig};
+use crate::config::{ComputeBackend, QuantSpec, TrainConfig};
 use crate::quantized::{Phase, QuantBuilder, QuantControl};
 use crate::scale;
 use crate::stats::HistogramRecorder;
@@ -43,11 +43,114 @@ pub struct TrainReport {
     pub histograms: HistogramRecorder,
 }
 
+/// The `A^0` input-edge quantizer of Fig. 3, shared by the trainer's
+/// train/eval loops and the inference server (`posit-serve`): in the posit
+/// phase, shift by the Eq. 2 scale exponent — calibrated once from the
+/// first tensor seen, then frozen — and quantize every element to the CONV
+/// activation format in place.
+///
+/// The frozen exponent is what makes batched and single-sample inference
+/// bit-identical: after calibration, quantization is a fixed per-element
+/// map, independent of how many rows share the tensor.
+#[derive(Debug, Clone, Default)]
+pub struct InputQuantizer {
+    exp: Option<i32>,
+}
+
+impl InputQuantizer {
+    /// An uncalibrated quantizer: the first posit-phase tensor it sees
+    /// fixes the scale exponent.
+    pub fn new() -> InputQuantizer {
+        InputQuantizer { exp: None }
+    }
+
+    /// Resume from a known exponent (`None` = still uncalibrated).
+    pub fn with_exp(exp: Option<i32>) -> InputQuantizer {
+        InputQuantizer { exp }
+    }
+
+    /// The frozen exponent, if calibrated.
+    pub fn exp(&self) -> Option<i32> {
+        self.exp
+    }
+
+    /// Quantize `x` in place when `phase` is posit; other phases pass
+    /// through untouched.
+    pub fn apply(&mut self, x: &mut Tensor, spec: &QuantSpec, phase: Phase) {
+        if phase != Phase::Posit {
+            return;
+        }
+        let exp = match self.exp {
+            Some(e) => e,
+            None => {
+                let e = if spec.scaling {
+                    scale::scale_exp(x.data(), spec.sigma).unwrap_or(0)
+                } else {
+                    0
+                };
+                self.exp = Some(e);
+                e
+            }
+        };
+        let mut state = spec.sr_seed ^ 0xA0;
+        scale::shifted_quantize_slice(
+            x.data_mut(),
+            &spec.conv.activation,
+            exp,
+            spec.rounding,
+            &mut state,
+        );
+    }
+}
+
+/// A per-epoch observer attached via [`RunOptions::observed`].
+type EpochObserver<'a> = Box<dyn FnMut(&EpochStats) + 'a>;
+
+/// Options for [`Trainer::run`]: the datasets and config every run needs,
+/// plus the two attachments the old entry points hard-coded into separate
+/// methods — an optional checkpoint store (per-epoch checkpointing +
+/// bit-exact resume) and an optional per-epoch observer (live progress).
+pub struct RunOptions<'a> {
+    train: &'a Dataset,
+    test: &'a Dataset,
+    config: &'a TrainConfig,
+    store: Option<&'a dyn Store>,
+    on_epoch: Option<EpochObserver<'a>>,
+}
+
+impl<'a> RunOptions<'a> {
+    /// A plain run over `train`/`test` under `config`: no checkpoint
+    /// store, no observer.
+    pub fn new(train: &'a Dataset, test: &'a Dataset, config: &'a TrainConfig) -> RunOptions<'a> {
+        RunOptions {
+            train,
+            test,
+            config,
+            store: None,
+            on_epoch: None,
+        }
+    }
+
+    /// Checkpoint the full training state into `store` after every epoch
+    /// and resume from the newest checkpoint found there (see
+    /// [`Trainer::run`] for the exact-resume contract).
+    pub fn resumable(mut self, store: &'a dyn Store) -> RunOptions<'a> {
+        self.store = Some(store);
+        self
+    }
+
+    /// Invoke `f` after every completed epoch.
+    pub fn on_epoch(mut self, f: impl FnMut(&EpochStats) + 'a) -> RunOptions<'a> {
+        self.on_epoch = Some(Box::new(f));
+        self
+    }
+}
+
 /// Orchestrates one training run of a (possibly quantized) network.
 pub struct Trainer {
     net: Sequential,
     control: Option<QuantControl>,
-    input_scale_exp: Option<i32>,
+    input_q: InputQuantizer,
 }
 
 impl Trainer {
@@ -61,7 +164,7 @@ impl Trainer {
                 Trainer {
                     net: resnet_scaled(&mut b, config.base_width, config.num_classes, &mut rng),
                     control: None,
-                    input_scale_exp: None,
+                    input_q: InputQuantizer::new(),
                 }
             }
             Some(spec) => {
@@ -70,7 +173,7 @@ impl Trainer {
                 Trainer {
                     net: resnet_scaled(&mut qb, config.base_width, config.num_classes, &mut rng),
                     control: Some(control),
-                    input_scale_exp: None,
+                    input_q: InputQuantizer::new(),
                 }
             }
         }
@@ -89,7 +192,7 @@ impl Trainer {
                 Trainer {
                     net: lenet(&mut b, in_channels, side, config.num_classes, &mut rng),
                     control: None,
-                    input_scale_exp: None,
+                    input_q: InputQuantizer::new(),
                 }
             }
             Some(spec) => {
@@ -98,7 +201,7 @@ impl Trainer {
                 Trainer {
                     net: lenet(&mut qb, in_channels, side, config.num_classes, &mut rng),
                     control: Some(control),
-                    input_scale_exp: None,
+                    input_q: InputQuantizer::new(),
                 }
             }
         }
@@ -110,7 +213,7 @@ impl Trainer {
         Trainer {
             net,
             control,
-            input_scale_exp: None,
+            input_q: InputQuantizer::new(),
         }
     }
 
@@ -154,29 +257,7 @@ impl Trainer {
     fn quantize_input(&mut self, x: &mut Tensor, config: &TrainConfig) {
         let Some(spec) = &config.quant else { return };
         let Some(control) = &self.control else { return };
-        if control.phase() != Phase::Posit {
-            return;
-        }
-        let exp = match self.input_scale_exp {
-            Some(e) => e,
-            None => {
-                let e = if spec.scaling {
-                    scale::scale_exp(x.data(), spec.sigma).unwrap_or(0)
-                } else {
-                    0
-                };
-                self.input_scale_exp = Some(e);
-                e
-            }
-        };
-        let mut state = spec.sr_seed ^ 0xA0;
-        scale::shifted_quantize_slice(
-            x.data_mut(),
-            &spec.conv.activation,
-            exp,
-            spec.rounding,
-            &mut state,
-        );
+        self.input_q.apply(x, spec, control.phase());
     }
 
     /// One optimizer step through the exact data-parallel shard protocol
@@ -250,28 +331,52 @@ impl Trainer {
         (loss_sum / n as f64, correct as f64 / n as f64)
     }
 
+    /// Eval-mode inference on one batch: quantize the `A^0` input edge
+    /// (posit phase) and run the forward pass, returning dense f32 logits.
+    /// The shared plumbing behind [`Trainer::evaluate`] and the
+    /// `posit-serve` batch executor; packed posit logits (quire backend)
+    /// decode once here, at the top of the dataflow.
+    pub fn infer(&mut self, x: &Tensor, config: &TrainConfig) -> Tensor {
+        let mut x = x.clone();
+        self.quantize_input(&mut x, config);
+        self.net.forward(&x, false).into_f32()
+    }
+
     /// Evaluate top-1 accuracy on a dataset (eval mode; in the posit phase
     /// this is posit inference).
     pub fn evaluate(&mut self, data: &Dataset, config: &TrainConfig) -> f64 {
         let mut loader = DataLoader::new(data, config.batch_size, false, 0);
         let mut meter = metrics::Meter::new();
-        for (mut x, t) in loader.epoch() {
-            self.quantize_input(&mut x, config);
-            // Packed posit logits (quire backend) decode once here, at the
-            // top of the dataflow.
-            let y = self.net.forward(&x, false).into_f32();
+        for (x, t) in loader.epoch() {
+            let y = self.infer(&x, config);
             meter.update(metrics::top1_accuracy(&y, &t), t.len() as f64);
         }
         meter.mean()
     }
 
-    /// Run the full schedule and return the report.
-    pub fn run(&mut self, train: &Dataset, test: &Dataset, config: &TrainConfig) -> TrainReport {
-        self.run_with(train, test, config, |_| {})
-    }
-
-    /// Like [`Trainer::run`], invoking `on_epoch` after each epoch (live
-    /// progress reporting for the experiment binaries).
+    /// Run the full schedule described by `opts` and return the report —
+    /// the single training entry point.
+    ///
+    /// The optional attachments of [`RunOptions`] recover the old entry
+    /// points: [`RunOptions::on_epoch`] for live progress, and
+    /// [`RunOptions::resumable`] to checkpoint the *full* training state
+    /// into a store after every epoch and resume from the newest
+    /// checkpoint found there. The per-epoch checkpoint is a v2 store
+    /// checkpoint of the network (packed posit masters land natively,
+    /// bit-identical) plus the trainer state the next epoch depends on:
+    /// optimizer velocity, the data-loader shuffle stream, the calibrated
+    /// Eq. 2 scales and stochastic-rounding streams of every `Quantized`
+    /// wrapper, BN running statistics, the cached input scale and the
+    /// per-epoch report so far. A run killed between epochs and
+    /// relaunched with the same arguments therefore continues
+    /// **bit-exactly**: the final parameters and metrics equal the
+    /// uninterrupted run's. (Histogram capture is the one exception: a
+    /// resumed run only records snapshots for the epochs it executes.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures (I/O, corrupt checkpoint); a run without
+    /// a store cannot fail.
     ///
     /// # Panics
     ///
@@ -279,50 +384,53 @@ impl Trainer {
     /// config fails [`TrainConfig::validate`] — a zero batch size or an
     /// empty training/posit phase is a configuration bug, caught here
     /// before it can panic deep inside the loader.
+    pub fn run(&mut self, opts: RunOptions<'_>) -> Result<TrainReport, StoreError> {
+        let RunOptions {
+            train,
+            test,
+            config,
+            store,
+            on_epoch,
+        } = opts;
+        let mut cb = on_epoch;
+        let mut noop = |_: &EpochStats| {};
+        let observer: &mut dyn FnMut(&EpochStats) = match &mut cb {
+            Some(f) => &mut **f,
+            None => &mut noop,
+        };
+        self.run_impl(train, test, config, store, observer)
+    }
+
+    /// Old observer entry point.
+    #[deprecated(note = "use Trainer::run(RunOptions::new(train, test, config).on_epoch(f))")]
     pub fn run_with(
         &mut self,
         train: &Dataset,
         test: &Dataset,
         config: &TrainConfig,
-        mut on_epoch: impl FnMut(&EpochStats),
+        on_epoch: impl FnMut(&EpochStats),
     ) -> TrainReport {
-        self.run_impl(train, test, config, None, &mut on_epoch)
+        self.run(RunOptions::new(train, test, config).on_epoch(on_epoch))
             .expect("no store, no store errors")
     }
 
-    /// Like [`Trainer::run_with`], checkpointing the *full* training state
-    /// into `store` after every epoch and resuming from the newest
-    /// checkpoint found there.
-    ///
-    /// The per-epoch checkpoint is a v2 store checkpoint of the network
-    /// (packed posit masters land natively, bit-identical) plus the
-    /// trainer state the next epoch depends on: optimizer velocity, the
-    /// data-loader shuffle stream, the calibrated Eq. 2 scales and
-    /// stochastic-rounding streams of every `Quantized` wrapper, BN
-    /// running statistics, the cached input scale and the per-epoch
-    /// report so far. A run killed between epochs and relaunched with the
-    /// same arguments therefore continues **bit-exactly**: the final
-    /// parameters and metrics equal the uninterrupted run's.
-    ///
-    /// Histogram capture is the one exception: a resumed run only records
-    /// snapshots for the epochs it actually executes.
-    ///
-    /// # Errors
-    ///
-    /// Propagates store failures (I/O, corrupt checkpoint).
-    ///
-    /// # Panics
-    ///
-    /// Panics on an invalid [`TrainConfig`], like [`Trainer::run_with`].
+    /// Old checkpointing entry point.
+    #[deprecated(
+        note = "use Trainer::run(RunOptions::new(train, test, config).resumable(store).on_epoch(f))"
+    )]
     pub fn run_resumable(
         &mut self,
         train: &Dataset,
         test: &Dataset,
         config: &TrainConfig,
         store: &dyn Store,
-        mut on_epoch: impl FnMut(&EpochStats),
+        on_epoch: impl FnMut(&EpochStats),
     ) -> Result<TrainReport, StoreError> {
-        self.run_impl(train, test, config, Some(store), &mut on_epoch)
+        self.run(
+            RunOptions::new(train, test, config)
+                .resumable(store)
+                .on_epoch(on_epoch),
+        )
     }
 
     fn run_impl(
@@ -358,10 +466,12 @@ impl Trainer {
         let mut start_epoch = 0;
         if let Some(store) = store {
             if let Some(state) = resume::load(store)? {
-                checkpoint::load_from_store(
+                checkpoint::read(
                     &mut self.net,
-                    store,
-                    &resume::net_prefix(state.next_epoch),
+                    checkpoint::Source::Store {
+                        store,
+                        prefix: &resume::net_prefix(state.next_epoch),
+                    },
                 )
                 .map_err(|e| StoreError::Corrupt(format!("resume: {e}")))?;
                 let mut velocity = Vec::with_capacity(state.velocity_count);
@@ -373,7 +483,7 @@ impl Trainer {
                 }
                 opt.set_velocity(velocity);
                 loader.set_rng_state(state.loader_rng);
-                self.input_scale_exp = state.input_scale_exp;
+                self.input_q = InputQuantizer::with_exp(state.input_scale_exp);
                 for s in &state.epochs {
                     report.best_test_acc = report.best_test_acc.max(s.test_acc);
                     report.final_test_acc = s.test_acc;
@@ -459,13 +569,20 @@ impl Trainer {
         loader: &DataLoader<'_>,
         report: &TrainReport,
     ) -> Result<(), StoreError> {
-        checkpoint::save_to_store(&self.net, store, &resume::net_prefix(next_epoch))?;
+        checkpoint::write(
+            &self.net,
+            checkpoint::Sink::Store {
+                store,
+                prefix: &resume::net_prefix(next_epoch),
+            },
+            checkpoint::Version::V2,
+        )?;
         for (i, v) in opt.velocity().iter().enumerate() {
             write_tensor(store, &resume::velocity_prefix(next_epoch, i), v)?;
         }
         let state = resume::TrainerState {
             next_epoch,
-            input_scale_exp: self.input_scale_exp,
+            input_scale_exp: self.input_q.exp(),
             loader_rng: loader.rng_state(),
             velocity_count: opt.velocity().len(),
             epochs: report.epochs.clone(),
@@ -672,6 +789,24 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_still_match_the_unified_run() {
+        let (train, test) = tiny_data();
+        let cfg = TrainConfig::cifar_scaled(4, 1).with_seed(2);
+        let a = Trainer::resnet(&cfg).run_with(&train, &test, &cfg, |_| {});
+        let b = Trainer::resnet(&cfg)
+            .run(RunOptions::new(&train, &test, &cfg))
+            .unwrap();
+        assert_eq!(a.final_test_acc.to_bits(), b.final_test_acc.to_bits());
+        use posit_store::MemoryStore;
+        let store = MemoryStore::new();
+        let c = Trainer::resnet(&cfg)
+            .run_resumable(&train, &test, &cfg, &store, |_| {})
+            .unwrap();
+        assert_eq!(a.final_test_acc.to_bits(), c.final_test_acc.to_bits());
+    }
+
+    #[test]
     fn phase_schedule() {
         let cfg = TrainConfig::cifar_scaled(4, 10).with_quant(QuantSpec::cifar_paper());
         assert_eq!(Trainer::phase_for_epoch(&cfg, 0), Phase::Calibrate); // warmup=1
@@ -692,7 +827,7 @@ mod tests {
         let (train, test) = tiny_data();
         let config = TrainConfig::cifar_scaled(4, 8).with_seed(3);
         let mut t = Trainer::resnet(&config);
-        let report = t.run(&train, &test, &config);
+        let report = t.run(RunOptions::new(&train, &test, &config)).unwrap();
         assert_eq!(report.epochs.len(), 8);
         assert!(
             report.final_test_acc > 0.4,
@@ -708,11 +843,13 @@ mod tests {
         let (train, test) = tiny_data();
         let base_cfg = TrainConfig::cifar_scaled(4, 6).with_seed(3);
         let mut fp32 = Trainer::resnet(&base_cfg);
-        let fp32_report = fp32.run(&train, &test, &base_cfg);
+        let fp32_report = fp32.run(RunOptions::new(&train, &test, &base_cfg)).unwrap();
 
         let posit_cfg = base_cfg.clone().with_quant(QuantSpec::cifar_paper());
         let mut posit = Trainer::resnet(&posit_cfg);
-        let posit_report = posit.run(&train, &test, &posit_cfg);
+        let posit_report = posit
+            .run(RunOptions::new(&train, &test, &posit_cfg))
+            .unwrap();
 
         // The paper's headline: no (material) accuracy loss.
         assert!(
@@ -732,7 +869,9 @@ mod tests {
         let (train, test) = tiny_data();
         let mut cfg = TrainConfig::cifar_scaled(4, 2);
         cfg.batch_size = 0;
-        Trainer::resnet(&cfg).run(&train, &test, &cfg);
+        Trainer::resnet(&cfg)
+            .run(RunOptions::new(&train, &test, &cfg))
+            .unwrap();
     }
 
     #[test]
@@ -742,7 +881,9 @@ mod tests {
         let cfg = TrainConfig::cifar_scaled(4, 2)
             .with_quant(QuantSpec::cifar_paper())
             .with_warmup(2);
-        Trainer::resnet(&cfg).run(&train, &test, &cfg);
+        Trainer::resnet(&cfg)
+            .run(RunOptions::new(&train, &test, &cfg))
+            .unwrap();
     }
 
     #[test]
@@ -755,11 +896,15 @@ mod tests {
         // Fig. 3 loop without breaking accuracy).
         let (train, test) = tiny_data();
         let base_cfg = TrainConfig::cifar_scaled(4, 4).with_seed(3);
-        let fp32_report = Trainer::resnet(&base_cfg).run(&train, &test, &base_cfg);
+        let fp32_report = Trainer::resnet(&base_cfg)
+            .run(RunOptions::new(&train, &test, &base_cfg))
+            .unwrap();
         let posit_cfg = base_cfg
             .clone()
             .with_quant(QuantSpec::cifar_paper().with_backend(ComputeBackend::PositQuire));
-        let posit_report = Trainer::resnet(&posit_cfg).run(&train, &test, &posit_cfg);
+        let posit_report = Trainer::resnet(&posit_cfg)
+            .run(RunOptions::new(&train, &test, &posit_cfg))
+            .unwrap();
         assert!(
             posit_report.final_test_acc >= fp32_report.final_test_acc - 0.15,
             "resident posit {:.3} vs fp32 {:.3}",
@@ -786,7 +931,9 @@ mod tests {
         );
 
         let mut uninterrupted = Trainer::resnet(&cfg);
-        let full = uninterrupted.run(&train, &test, &cfg);
+        let full = uninterrupted
+            .run(RunOptions::new(&train, &test, &cfg))
+            .unwrap();
 
         // "Kill after epoch 2": run the same schedule truncated to two
         // epochs, checkpointing into the store (the LR schedule, phases and
@@ -795,7 +942,7 @@ mod tests {
         let mut cfg_prefix = cfg.clone();
         cfg_prefix.epochs = 2;
         let partial = Trainer::resnet(&cfg_prefix)
-            .run_resumable(&train, &test, &cfg_prefix, &store, |_| {})
+            .run(RunOptions::new(&train, &test, &cfg_prefix).resumable(&store))
             .unwrap();
         assert_eq!(partial.epochs.len(), 2);
 
@@ -803,7 +950,7 @@ mod tests {
         // same store.
         let mut resumed_trainer = Trainer::resnet(&cfg);
         let resumed = resumed_trainer
-            .run_resumable(&train, &test, &cfg, &store, |_| {})
+            .run(RunOptions::new(&train, &test, &cfg).resumable(&store))
             .unwrap();
 
         assert_eq!(resumed.epochs.len(), full.epochs.len());
@@ -877,20 +1024,20 @@ mod tests {
         );
 
         let mut serial = lenet_trainer(&cfg);
-        let want = serial.run(&train, &test, &cfg);
+        let want = serial.run(RunOptions::new(&train, &test, &cfg)).unwrap();
 
         let store = MemoryStore::new();
         let mut prefix_cfg = cfg.clone().with_data_parallel(4);
         prefix_cfg.epochs = 2;
         let partial = lenet_trainer(&prefix_cfg)
-            .run_resumable(&train, &test, &prefix_cfg, &store, |_| {})
+            .run(RunOptions::new(&train, &test, &prefix_cfg).resumable(&store))
             .unwrap();
         assert_eq!(partial.epochs.len(), 2);
 
         let resume_cfg = cfg.clone().with_data_parallel(2).with_grad_accum(2);
         let mut resumed_trainer = lenet_trainer(&resume_cfg);
         let resumed = resumed_trainer
-            .run_resumable(&train, &test, &resume_cfg, &store, |_| {})
+            .run(RunOptions::new(&train, &test, &resume_cfg).resumable(&store))
             .unwrap();
 
         assert_eq!(resumed.epochs.len(), want.epochs.len());
@@ -936,7 +1083,9 @@ mod tests {
         // The scaled ResNet has batch norm: shard statistics would diverge
         // from the serial run, so the trainer must refuse up front.
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            Trainer::resnet(&cfg).run(&train, &test, &cfg)
+            Trainer::resnet(&cfg)
+                .run(RunOptions::new(&train, &test, &cfg))
+                .unwrap()
         }))
         .unwrap_err();
         let msg = err
@@ -956,10 +1105,12 @@ mod tests {
         let cfg = TrainConfig::cifar_scaled(4, 2)
             .with_seed(5)
             .with_quant(QuantSpec::cifar_paper());
-        let plain = Trainer::resnet(&cfg).run(&train, &test, &cfg);
+        let plain = Trainer::resnet(&cfg)
+            .run(RunOptions::new(&train, &test, &cfg))
+            .unwrap();
         let store = MemoryStore::new();
         let resumable = Trainer::resnet(&cfg)
-            .run_resumable(&train, &test, &cfg, &store, |_| {})
+            .run(RunOptions::new(&train, &test, &cfg).resumable(&store))
             .unwrap();
         for (a, b) in plain.epochs.iter().zip(&resumable.epochs) {
             assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
@@ -968,9 +1119,11 @@ mod tests {
         // And a no-op resume (checkpoint already at config.epochs) leaves
         // the report intact without training further.
         let resumed = Trainer::resnet(&cfg)
-            .run_resumable(&train, &test, &cfg, &store, |_| {
-                panic!("no epochs left to run")
-            })
+            .run(
+                RunOptions::new(&train, &test, &cfg)
+                    .resumable(&store)
+                    .on_epoch(|_| panic!("no epochs left to run")),
+            )
             .unwrap();
         assert_eq!(resumed.epochs.len(), cfg.epochs);
         assert_eq!(
@@ -983,7 +1136,7 @@ mod tests {
         bytes[8] ^= 0x40; // inside the payload, not the trailer
         store.set("trainer/state.bin", &bytes).unwrap();
         let err = Trainer::resnet(&cfg)
-            .run_resumable(&train, &test, &cfg, &store, |_| {})
+            .run(RunOptions::new(&train, &test, &cfg).resumable(&store))
             .unwrap_err();
         assert!(err.to_string().contains("checksum"), "{err}");
     }
@@ -996,8 +1149,12 @@ mod tests {
         let (train, test) = tiny_data();
         let base = TrainConfig::cifar_scaled(4, 3).with_seed(9);
         let scaled = base.clone().with_loss_scale(1024.0);
-        let r1 = Trainer::resnet(&base).run(&train, &test, &base);
-        let r2 = Trainer::resnet(&scaled).run(&train, &test, &scaled);
+        let r1 = Trainer::resnet(&base)
+            .run(RunOptions::new(&train, &test, &base))
+            .unwrap();
+        let r2 = Trainer::resnet(&scaled)
+            .run(RunOptions::new(&train, &test, &scaled))
+            .unwrap();
         assert!(
             (r1.final_test_acc - r2.final_test_acc).abs() < 0.08,
             "{} vs {}",
@@ -1013,7 +1170,7 @@ mod tests {
             .with_seed(5)
             .with_histograms(vec![0, 1]);
         let mut t = Trainer::resnet(&config);
-        let report = t.run(&train, &test, &config);
+        let report = t.run(RunOptions::new(&train, &test, &config)).unwrap();
         // two params tracked × two epochs
         assert_eq!(report.histograms.snapshots().len(), 4);
         assert_eq!(report.histograms.for_param("conv1.weight").len(), 2);

@@ -21,7 +21,8 @@ use posit_data::{toy, Dataset, SyntheticCifar};
 use posit_store::{FsStore, MemoryStore, Store};
 use posit_tensor::rng::Prng;
 use posit_train::{
-    ComputeBackend, MasterWeights, QuantBuilder, QuantSpec, TrainConfig, TrainReport, Trainer,
+    ComputeBackend, MasterWeights, QuantBuilder, QuantSpec, RunOptions, TrainConfig, TrainReport,
+    Trainer,
 };
 use std::fmt::Write as _;
 use std::process::Command;
@@ -146,14 +147,14 @@ fn run_child() {
             // Resume scenario: checkpoints shared across processes.
             let store = FsStore::open(dir).unwrap();
             let report = trainer
-                .run_resumable(&train, &test, &cfg, &store, |_| {})
+                .run(RunOptions::new(&train, &test, &cfg).resumable(&store))
                 .unwrap();
             fingerprint(&report, &store)
         }
         Err(_) => {
             let store = MemoryStore::new();
             let report = trainer
-                .run_resumable(&train, &test, &cfg, &store, |_| {})
+                .run(RunOptions::new(&train, &test, &cfg).resumable(&store))
                 .unwrap();
             fingerprint(&report, &store)
         }

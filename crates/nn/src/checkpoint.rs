@@ -15,10 +15,16 @@
 //!   words + scale exponent, no f32 round trip, 4×+ smaller for posit8)
 //!   and restore bit-identically. Non-parameter layer state
 //!   ([`Layer::state_entries`]: BN running stats, calibration scales)
-//!   rides along under `{prefix}/state/…`. [`save_to_store`] /
-//!   [`load_from_store`] work against any [`Store`]; [`save_v2`] flattens
-//!   a v2 checkpoint into a single `PDNN`-v2 byte blob that [`load`]
-//!   recognizes next to v1.
+//!   rides along under `{prefix}/state/…`.
+//!
+//! The public surface is one façade pair: [`write()`]`(net, sink, Version)`
+//! chooses the format explicitly and [`read`]`(net, source)` sniffs it,
+//! where [`Sink`]/[`Source`] abstract the medium (a byte buffer or a
+//! [`Store`] prefix). Every (format × medium) cell works: a v1 blob can
+//! land in a store (under one `{prefix}/v1.pdnn` key) and a v2 checkpoint
+//! can flatten into a single `PDNN`-v2 byte blob. The original five entry
+//! points — `save`, `save_v2`, `save_to_store`, `load`,
+//! `load_from_store` — remain as thin deprecated wrappers.
 
 use crate::layer::Layer;
 use posit_store::{read_tensor, write_tensor, MemoryStore, Store, StoreError};
@@ -38,6 +44,9 @@ const MAX_ENTRIES: usize = 1 << 20;
 
 /// The manifest key of a v2 store checkpoint.
 const MANIFEST: &str = "manifest.txt";
+
+/// The key a v1 flat blob occupies when [`write()`] targets a store.
+const V1_BLOB: &str = "v1.pdnn";
 
 /// Error restoring a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,7 +127,12 @@ pub fn save_to<W: Write>(net: &dyn Layer, w: &mut W) -> io::Result<()> {
 }
 
 /// Serialize every named parameter of a network (v1 byte blob).
+#[deprecated(note = "use checkpoint::write(net, Sink::Bytes(&mut buf), Version::V1)")]
 pub fn save(net: &dyn Layer) -> Vec<u8> {
+    v1_blob(net)
+}
+
+fn v1_blob(net: &dyn Layer) -> Vec<u8> {
     let mut out = Vec::new();
     save_to(net, &mut out).expect("Vec writer cannot fail");
     out
@@ -253,11 +267,16 @@ fn state_key(prefix: &str, key: &str) -> String {
 /// Propagates store failures. Parameter names must fit the store's key
 /// grammar (`[A-Za-z0-9._-]` segments — the PyTorch-style dotted names all
 /// do).
+#[deprecated(note = "use checkpoint::write(net, Sink::Store { store, prefix }, Version::V2)")]
 pub fn save_to_store(
     net: &dyn Layer,
     store: &dyn Store,
     prefix: &str,
 ) -> Result<SaveStats, StoreError> {
+    store_write(net, store, prefix)
+}
+
+fn store_write(net: &dyn Layer, store: &dyn Store, prefix: &str) -> Result<SaveStats, StoreError> {
     let mut stats = SaveStats {
         params: 0,
         chunks: 0,
@@ -332,11 +351,16 @@ fn read_manifest(store: &dyn Store, prefix: &str) -> Result<(Vec<String>, Vec<St
 ///
 /// [`LoadError`] on missing manifest/parameters, shape mismatches, or
 /// store/codec failures.
+#[deprecated(note = "use checkpoint::read(net, Source::Store { store, prefix })")]
 pub fn load_from_store(
     net: &mut dyn Layer,
     store: &dyn Store,
     prefix: &str,
 ) -> Result<(), LoadError> {
+    store_read(net, store, prefix)
+}
+
+fn store_read(net: &mut dyn Layer, store: &dyn Store, prefix: &str) -> Result<(), LoadError> {
     let (param_names, state_keys) = read_manifest(store, prefix)?;
     let available: std::collections::HashSet<&String> = param_names.iter().collect();
 
@@ -390,9 +414,14 @@ pub fn load_from_store(
 /// u64 val_len | val`). The drop-in packed sibling of [`save`] — same
 /// call shape, ~4× smaller for posit-resident masters — and [`load`]
 /// accepts both.
+#[deprecated(note = "use checkpoint::write(net, Sink::Bytes(&mut buf), Version::V2)")]
 pub fn save_v2(net: &dyn Layer) -> Vec<u8> {
+    v2_blob(net).0
+}
+
+fn v2_blob(net: &dyn Layer) -> (Vec<u8>, SaveStats) {
     let store = MemoryStore::new();
-    save_to_store(net, &store, "ckpt").expect("in-memory store cannot fail");
+    let stats = store_write(net, &store, "ckpt").expect("in-memory store cannot fail");
     let keys = store.list().expect("in-memory store cannot fail");
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
@@ -408,7 +437,7 @@ pub fn save_v2(net: &dyn Layer) -> Vec<u8> {
         out.extend_from_slice(&(val.len() as u64).to_le_bytes());
         out.extend_from_slice(&val);
     }
-    out
+    (out, stats)
 }
 
 fn load_v2(net: &mut dyn Layer, mut cur: Cursor<'_>) -> Result<(), LoadError> {
@@ -434,7 +463,7 @@ fn load_v2(net: &mut dyn Layer, mut cur: Cursor<'_>) -> Result<(), LoadError> {
             cur.0.len()
         )));
     }
-    load_from_store(net, &store, "ckpt")
+    store_read(net, &store, "ckpt")
 }
 
 /// Restore parameters by name into a network, from a v1 or v2 blob.
@@ -447,7 +476,12 @@ fn load_v2(net: &mut dyn Layer, mut cur: Cursor<'_>) -> Result<(), LoadError> {
 ///
 /// Returns [`LoadError`] on malformed input, missing parameters or shape
 /// mismatches; the network is unmodified on error.
+#[deprecated(note = "use checkpoint::read(net, Source::Bytes(bytes))")]
 pub fn load(net: &mut dyn Layer, bytes: &[u8]) -> Result<(), LoadError> {
+    blob_read(net, bytes)
+}
+
+fn blob_read(net: &mut dyn Layer, bytes: &[u8]) -> Result<(), LoadError> {
     let mut cur = Cursor(bytes);
     if cur.take(4).ok() != Some(MAGIC.as_slice()) {
         return Err(LoadError::Malformed("bad magic".into()));
@@ -461,8 +495,131 @@ pub fn load(net: &mut dyn Layer, bytes: &[u8]) -> Result<(), LoadError> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The façade: one write/read pair over both formats and both media
+// ---------------------------------------------------------------------------
+
+/// Checkpoint format selector for [`write()`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// The flat f32 blob: dependency-free, always dense (posit masters
+    /// serialize through their exact f32 view and restore into f32).
+    V1,
+    /// The chunked, posit-native format: packed masters survive
+    /// bit-identically and layer state rides along, 4×+ smaller for
+    /// posit8-resident nets.
+    V2,
+}
+
+/// Where [`write()`] puts a checkpoint: an in-memory byte buffer (appended
+/// to) or a [`Store`] prefix.
+pub enum Sink<'a> {
+    /// Append the checkpoint as a self-describing `PDNN` blob.
+    Bytes(&'a mut Vec<u8>),
+    /// Write into a store under a key prefix. [`Version::V2`] lays out the
+    /// native chunked format; [`Version::V1`] lands the flat blob under a
+    /// single `{prefix}/v1.pdnn` key.
+    Store {
+        /// The destination store.
+        store: &'a dyn Store,
+        /// Key prefix the checkpoint lives under.
+        prefix: &'a str,
+    },
+}
+
+/// Where [`read`] finds a checkpoint — the mirror of [`Sink`].
+pub enum Source<'a> {
+    /// A `PDNN` byte blob (v1 or v2; the header is sniffed).
+    Bytes(&'a [u8]),
+    /// A store prefix: a v2 manifest is preferred, otherwise a v1 blob at
+    /// `{prefix}/v1.pdnn` is accepted.
+    Store {
+        /// The source store.
+        store: &'a dyn Store,
+        /// Key prefix the checkpoint lives under.
+        prefix: &'a str,
+    },
+}
+
+fn v1_key(prefix: &str) -> String {
+    format!("{prefix}/{V1_BLOB}")
+}
+
+/// Write a checkpoint of `net` to `sink` in the chosen format.
+///
+/// This is the single save entry point: format (v1 flat f32 vs v2
+/// posit-native) and medium (bytes vs store) vary independently, and every
+/// combination round-trips through [`read`].
+///
+/// # Errors
+///
+/// Propagates store failures; byte sinks cannot fail.
+pub fn write(net: &dyn Layer, sink: Sink<'_>, version: Version) -> Result<SaveStats, StoreError> {
+    match (sink, version) {
+        (Sink::Bytes(buf), Version::V1) => {
+            let blob = v1_blob(net);
+            let stats = SaveStats {
+                params: net.params().len(),
+                chunks: 0,
+                param_bytes: blob.len(),
+                state_bytes: 0,
+            };
+            buf.extend_from_slice(&blob);
+            Ok(stats)
+        }
+        (Sink::Bytes(buf), Version::V2) => {
+            let (blob, stats) = v2_blob(net);
+            buf.extend_from_slice(&blob);
+            Ok(stats)
+        }
+        (Sink::Store { store, prefix }, Version::V1) => {
+            let blob = v1_blob(net);
+            let stats = SaveStats {
+                params: net.params().len(),
+                chunks: 0,
+                param_bytes: blob.len(),
+                state_bytes: 0,
+            };
+            store.set(&v1_key(prefix), &blob)?;
+            Ok(stats)
+        }
+        (Sink::Store { store, prefix }, Version::V2) => store_write(net, store, prefix),
+    }
+}
+
+/// Restore a checkpoint into `net` from `source`, sniffing the format.
+///
+/// Byte sources dispatch on the `PDNN` header version; store sources
+/// prefer a v2 manifest under the prefix and fall back to a v1 blob at
+/// `{prefix}/v1.pdnn`. Restore semantics follow the format: v2 lands
+/// parameters in their saved storage domain bit-identically and replays
+/// layer state, v1 always lands dense f32. Every parameter of `net` must
+/// be present with a matching shape; nothing is mutated on error.
+///
+/// # Errors
+///
+/// [`LoadError`] on malformed input, missing parameters, shape mismatches
+/// or store failures.
+pub fn read(net: &mut dyn Layer, source: Source<'_>) -> Result<(), LoadError> {
+    match source {
+        Source::Bytes(bytes) => blob_read(net, bytes),
+        Source::Store { store, prefix } => {
+            if store.get(&manifest_key(prefix))?.is_some() {
+                return store_read(net, store, prefix);
+            }
+            match store.get(&v1_key(prefix))? {
+                Some(blob) => blob_read(net, &blob),
+                None => Err(LoadError::Malformed(format!(
+                    "no checkpoint under {prefix:?}: neither a v2 manifest nor a v1 blob"
+                ))),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the old names are exercised on purpose
     use super::*;
     use crate::bn::BatchNorm2d;
     use crate::layer::Sequential;
@@ -653,6 +810,131 @@ mod tests {
             assert_eq!(pa.value.posit_bits(), pb.value.posit_bits());
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn facade_round_trips_a_v1_blob_and_a_v2_store() {
+        use posit::{PositFormat, Rounding};
+        // The satellite contract: `read` sniffs and restores both a v1
+        // byte blob and a v2 store checkpoint through the same call.
+        let fmt = PositFormat::of(8, 1);
+        let mut a = net(1);
+        for p in a.params_mut() {
+            p.value = p.value.to_posit(fmt, 0, Rounding::NearestEven);
+        }
+        let dense: Vec<Vec<f32>> = a
+            .params()
+            .iter()
+            .map(|p| p.value.dense().data().to_vec())
+            .collect();
+
+        // v1 blob: restores dense f32 with the exact decoded values.
+        let mut blob = Vec::new();
+        let stats = write(&a, Sink::Bytes(&mut blob), Version::V1).unwrap();
+        assert_eq!(stats.params, 3);
+        assert_eq!(stats.param_bytes, blob.len());
+        let mut b = net(2);
+        read(&mut b, Source::Bytes(&blob)).unwrap();
+        for (p, want) in b.params().iter().zip(&dense) {
+            assert!(!p.value.is_posit());
+            assert_eq!(p.value.data(), &want[..]);
+        }
+
+        // v2 store: packed masters restore bit-identically.
+        let store = MemoryStore::new();
+        let stats = write(
+            &a,
+            Sink::Store {
+                store: &store,
+                prefix: "run",
+            },
+            Version::V2,
+        )
+        .unwrap();
+        assert_eq!(stats.params, 3);
+        assert!(stats.chunks > 0);
+        let mut c = net(3);
+        read(
+            &mut c,
+            Source::Store {
+                store: &store,
+                prefix: "run",
+            },
+        )
+        .unwrap();
+        for (pa, pc) in a.params().iter().zip(c.params()) {
+            assert_eq!(pa.value.posit_bits(), pc.value.posit_bits());
+        }
+    }
+
+    #[test]
+    fn facade_covers_the_off_diagonal_combinations() {
+        // v2 → bytes and v1 → store also round-trip (and the store path
+        // sniffs the v1 blob when no manifest exists).
+        let a = net(1);
+        let mut v2_bytes = Vec::new();
+        write(&a, Sink::Bytes(&mut v2_bytes), Version::V2).unwrap();
+        let mut b = net(2);
+        read(&mut b, Source::Bytes(&v2_bytes)).unwrap();
+        for (pa, pb) in a.params().iter().zip(b.params()) {
+            assert_eq!(pa.value.data(), pb.value.data());
+        }
+
+        let store = MemoryStore::new();
+        write(
+            &a,
+            Sink::Store {
+                store: &store,
+                prefix: "old",
+            },
+            Version::V1,
+        )
+        .unwrap();
+        assert!(store.get(&v1_key("old")).unwrap().is_some());
+        let mut c = net(3);
+        read(
+            &mut c,
+            Source::Store {
+                store: &store,
+                prefix: "old",
+            },
+        )
+        .unwrap();
+        for (pa, pc) in a.params().iter().zip(c.params()) {
+            assert_eq!(pa.value.data(), pc.value.data());
+        }
+
+        // An empty prefix is a clean error, not a panic.
+        let mut d = net(4);
+        assert!(matches!(
+            read(
+                &mut d,
+                Source::Store {
+                    store: &store,
+                    prefix: "nothing-here",
+                },
+            ),
+            Err(LoadError::Malformed(m)) if m.contains("no checkpoint")
+        ));
+    }
+
+    #[test]
+    fn deprecated_wrappers_still_match_the_facade() {
+        // The five old names must keep producing byte-identical artifacts.
+        let a = net(1);
+        let mut v1 = Vec::new();
+        write(&a, Sink::Bytes(&mut v1), Version::V1).unwrap();
+        assert_eq!(save(&a), v1);
+        let mut v2 = Vec::new();
+        write(&a, Sink::Bytes(&mut v2), Version::V2).unwrap();
+        assert_eq!(save_v2(&a), v2);
+        let mut b = net(2);
+        load(&mut b, &v1).unwrap();
+        let mut c = net(3);
+        read(&mut c, Source::Bytes(&v1)).unwrap();
+        for (pb, pc) in b.params().iter().zip(c.params()) {
+            assert_eq!(pb.value.data(), pc.value.data());
+        }
     }
 
     #[test]

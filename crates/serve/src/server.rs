@@ -1,0 +1,372 @@
+//! The inference server: submit/poll front end, dynamic batcher, posit
+//! backend execution.
+
+use crate::histogram::LatencyHistogram;
+use crate::ServeError;
+use posit::Rounding;
+use posit_nn::{checkpoint, Layer, Sequential};
+use posit_store::Store;
+use posit_tensor::Tensor;
+use posit_train::{InputQuantizer, Phase, QuantControl, QuantSpec};
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+/// Batcher knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Flush a batch as soon as this many requests are queued (≥ 1).
+    pub max_batch: usize,
+    /// Flush a partial batch once its oldest request has waited this many
+    /// virtual-time ticks (0 = flush on the next tick).
+    pub max_wait_ticks: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_batch: 8,
+            max_wait_ticks: 4,
+        }
+    }
+}
+
+/// The model a server executes: a network plus the quantization harness it
+/// was trained under (or none, for an FP32 model).
+pub struct ServedModel {
+    net: Sequential,
+    control: Option<QuantControl>,
+    spec: Option<QuantSpec>,
+}
+
+impl ServedModel {
+    /// Serve a plain FP32 network.
+    pub fn fp32(net: Sequential) -> ServedModel {
+        ServedModel {
+            net,
+            control: None,
+            spec: None,
+        }
+    }
+
+    /// Serve a quantized network: `control` is the phase switch shared by
+    /// its `Quantized` wrappers (the server flips it to the posit phase),
+    /// `spec` the quant spec the net was built with (the server reuses its
+    /// input-edge format and scale policy).
+    pub fn quantized(net: Sequential, control: QuantControl, spec: QuantSpec) -> ServedModel {
+        ServedModel {
+            net,
+            control: Some(control),
+            spec: Some(spec),
+        }
+    }
+
+    /// Restore parameters and quantization state from a checkpoint under
+    /// `prefix` — the only model-loading path the server has, and it goes
+    /// through the `checkpoint::read` façade (v1 blob or v2 store, sniffed
+    /// there). A v2 checkpoint of a quantized net carries the frozen Eq. 2
+    /// scales, so a restored server quantizes exactly like the trainer did.
+    pub fn restore(mut self, store: &dyn Store, prefix: &str) -> Result<ServedModel, ServeError> {
+        checkpoint::read(&mut self.net, checkpoint::Source::Store { store, prefix })?;
+        Ok(self)
+    }
+}
+
+/// Opaque handle returned by [`InferenceServer::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestId(u64);
+
+/// A completed request.
+#[derive(Debug, Clone)]
+pub struct InferenceReply {
+    /// The model's output row for this sample (decoded to f32).
+    pub logits: Vec<f32>,
+    /// Virtual-time ticks spent queued before the batch ran.
+    pub queue_ticks: u64,
+    /// Size of the batch this request rode in.
+    pub batch_size: usize,
+    /// This request's per-sample share of the batch's wall-clock compute.
+    pub compute_ns: u64,
+}
+
+struct Pending {
+    id: u64,
+    row: Vec<f32>,
+    arrival: u64,
+}
+
+/// Aggregate counters and latency quantiles, snapshot by
+/// [`InferenceServer::stats`].
+///
+/// Queue latency is measured in virtual-time ticks (deterministic);
+/// compute latency and throughput come from wall-clock timing of the
+/// batch forwards, so they vary run to run while every logit stays
+/// bit-identical.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Requests accepted by `submit`.
+    pub submitted: u64,
+    /// Requests whose batch has executed.
+    pub completed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Mean rows per executed batch.
+    pub mean_batch: f64,
+    /// Median queueing delay in ticks.
+    pub queue_p50_ticks: u64,
+    /// 99th-percentile queueing delay in ticks.
+    pub queue_p99_ticks: u64,
+    /// Median per-sample compute time.
+    pub compute_p50_ns: u64,
+    /// 99th-percentile per-sample compute time.
+    pub compute_p99_ns: u64,
+    /// Total wall-clock nanoseconds spent in batch forwards.
+    pub total_compute_ns: u64,
+    /// Completed samples per second of compute time.
+    pub throughput_sps: f64,
+}
+
+/// An in-process inference server with a deterministic dynamic batcher.
+///
+/// Requests enter one sample at a time through [`submit`] and are
+/// coalesced FIFO into batches of up to `max_batch` rows; a partial batch
+/// flushes when its oldest request has waited `max_wait_ticks` ticks of
+/// the virtual clock ([`tick`]). Batches execute as one `[n, …]` forward
+/// on the served network — under the posit-quire backend that is one GEMM
+/// per layer with the packed weight planes reused across batches (serve
+/// with `MasterWeights::Posit` so the planes stay resident), threaded by
+/// `posit_tensor::workers`.
+///
+/// **Determinism contract:** for a model with frozen quantization state
+/// (calibrated or checkpoint-restored) and a deterministic rounding mode,
+/// every reply's logits are a function of the sample alone — bit-identical
+/// whatever batch the sample rode in, whatever the submit/tick
+/// interleaving, and whatever `POSIT_TENSOR_THREADS` is. The batcher
+/// quantizes the input edge per sample at submit time (frozen
+/// [`InputQuantizer`] exponent), the quire GEMM is exact per output
+/// element, and every remaining eval-mode layer is row-separable.
+/// Stochastic rounding would break the contract (one rounding stream
+/// threaded across the rows of a batch), so [`InferenceServer::new`]
+/// rejects it.
+///
+/// [`submit`]: InferenceServer::submit
+/// [`tick`]: InferenceServer::tick
+pub struct InferenceServer {
+    net: Sequential,
+    control: Option<QuantControl>,
+    spec: Option<QuantSpec>,
+    input_q: InputQuantizer,
+    input_shape: Vec<usize>,
+    cfg: ServeConfig,
+    now: u64,
+    next_id: u64,
+    pending: VecDeque<Pending>,
+    done: HashMap<u64, InferenceReply>,
+    queue_hist: LatencyHistogram,
+    compute_hist: LatencyHistogram,
+    submitted: u64,
+    completed: u64,
+    batches: u64,
+    total_compute_ns: u64,
+}
+
+impl InferenceServer {
+    /// Build a server for `model` on samples of shape `input_shape` (one
+    /// sample, no batch dimension — e.g. `[3, 16, 16]` for RGB 16×16).
+    ///
+    /// Errors: `max_batch` of 0, or a quantized model with stochastic
+    /// rounding (not row-separable; see the type-level docs).
+    pub fn new(
+        model: ServedModel,
+        input_shape: &[usize],
+        cfg: ServeConfig,
+    ) -> Result<InferenceServer, ServeError> {
+        if cfg.max_batch == 0 {
+            return Err(ServeError::Config("max_batch must be at least 1".into()));
+        }
+        if let Some(spec) = &model.spec {
+            if spec.rounding == Rounding::Stochastic {
+                return Err(ServeError::Config(
+                    "stochastic rounding is not row-separable: batched logits would \
+                     depend on batch composition"
+                        .into(),
+                ));
+            }
+        }
+        if let Some(control) = &model.control {
+            control.set_phase(Phase::Posit);
+        }
+        Ok(InferenceServer {
+            net: model.net,
+            control: model.control,
+            spec: model.spec,
+            input_q: InputQuantizer::new(),
+            input_shape: input_shape.to_vec(),
+            cfg,
+            now: 0,
+            next_id: 0,
+            pending: VecDeque::new(),
+            done: HashMap::new(),
+            queue_hist: LatencyHistogram::new(),
+            compute_hist: LatencyHistogram::new(),
+            submitted: 0,
+            completed: 0,
+            batches: 0,
+            total_compute_ns: 0,
+        })
+    }
+
+    /// [`InferenceServer::new`] with the model restored from a checkpoint
+    /// first (see [`ServedModel::restore`]).
+    pub fn from_store(
+        model: ServedModel,
+        store: &dyn Store,
+        prefix: &str,
+        input_shape: &[usize],
+        cfg: ServeConfig,
+    ) -> Result<InferenceServer, ServeError> {
+        InferenceServer::new(model.restore(store, prefix)?, input_shape, cfg)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Requests queued but not yet executed.
+    pub fn queued(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Accept one sample. The sample must be an f32 tensor of the server's
+    /// input shape ([`ServeError::Storage`] reports a packed posit tensor
+    /// without panicking — the `Tensor::try_data` boundary). The input
+    /// quantization edge runs here, per sample, so a row's bits never
+    /// depend on its batch. A full batch flushes immediately.
+    pub fn submit(&mut self, sample: &Tensor) -> Result<RequestId, ServeError> {
+        if sample.shape() != &self.input_shape[..] {
+            return Err(ServeError::Shape {
+                expected: self.input_shape.clone(),
+                got: sample.shape().to_vec(),
+            });
+        }
+        let data = sample.try_data()?;
+        let mut row_shape = Vec::with_capacity(self.input_shape.len() + 1);
+        row_shape.push(1);
+        row_shape.extend_from_slice(&self.input_shape);
+        let mut row = Tensor::from_vec(data.to_vec(), &row_shape);
+        if let (Some(spec), Some(control)) = (&self.spec, &self.control) {
+            self.input_q.apply(&mut row, spec, control.phase());
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.submitted += 1;
+        self.pending.push_back(Pending {
+            id,
+            row: row.into_vec(),
+            arrival: self.now,
+        });
+        while self.pending.len() >= self.cfg.max_batch {
+            self.run_batch(self.cfg.max_batch)?;
+        }
+        Ok(RequestId(id))
+    }
+
+    /// Advance virtual time one tick and flush any batch whose oldest
+    /// request has now waited `max_wait_ticks`. Returns the number of
+    /// requests completed by this tick.
+    pub fn tick(&mut self) -> Result<usize, ServeError> {
+        self.now += 1;
+        let before = self.completed;
+        while self
+            .pending
+            .front()
+            .is_some_and(|p| self.now - p.arrival >= self.cfg.max_wait_ticks)
+        {
+            let n = self.pending.len().min(self.cfg.max_batch);
+            self.run_batch(n)?;
+        }
+        Ok((self.completed - before) as usize)
+    }
+
+    /// Execute everything still queued (shutdown path). Returns the number
+    /// of requests completed.
+    pub fn flush_all(&mut self) -> Result<usize, ServeError> {
+        let before = self.completed;
+        while !self.pending.is_empty() {
+            let n = self.pending.len().min(self.cfg.max_batch);
+            self.run_batch(n)?;
+        }
+        Ok((self.completed - before) as usize)
+    }
+
+    /// Take the reply for `id`, if its batch has executed. Each reply is
+    /// handed out once.
+    pub fn poll(&mut self, id: RequestId) -> Option<InferenceReply> {
+        self.done.remove(&id.0)
+    }
+
+    /// Aggregate stats snapshot.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            submitted: self.submitted,
+            completed: self.completed,
+            batches: self.batches,
+            mean_batch: if self.batches == 0 {
+                0.0
+            } else {
+                self.completed as f64 / self.batches as f64
+            },
+            queue_p50_ticks: self.queue_hist.quantile(0.5),
+            queue_p99_ticks: self.queue_hist.quantile(0.99),
+            compute_p50_ns: self.compute_hist.quantile(0.5),
+            compute_p99_ns: self.compute_hist.quantile(0.99),
+            total_compute_ns: self.total_compute_ns,
+            throughput_sps: if self.total_compute_ns == 0 {
+                0.0
+            } else {
+                self.completed as f64 / (self.total_compute_ns as f64 * 1e-9)
+            },
+        }
+    }
+
+    /// Stack the first `n` queued rows into one `[n, …]` tensor, run the
+    /// eval forward, and slice the output back into per-request replies.
+    fn run_batch(&mut self, n: usize) -> Result<(), ServeError> {
+        debug_assert!(n >= 1 && n <= self.pending.len());
+        let batch: Vec<Pending> = self.pending.drain(..n).collect();
+        let row_len: usize = self.input_shape.iter().product();
+        let mut data = Vec::with_capacity(n * row_len);
+        for p in &batch {
+            data.extend_from_slice(&p.row);
+        }
+        let mut shape = Vec::with_capacity(self.input_shape.len() + 1);
+        shape.push(n);
+        shape.extend_from_slice(&self.input_shape);
+        let x = Tensor::from_vec(data, &shape);
+        let t0 = Instant::now();
+        let y = self.net.forward(&x, false).into_f32();
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        let out = y.try_data()?;
+        debug_assert_eq!(out.len() % n, 0, "output rows must divide evenly");
+        let classes = out.len() / n;
+        let per_sample_ns = (elapsed / n as u64).max(1);
+        for (i, p) in batch.into_iter().enumerate() {
+            let queue_ticks = self.now - p.arrival;
+            self.queue_hist.record(queue_ticks);
+            self.compute_hist.record(per_sample_ns);
+            self.done.insert(
+                p.id,
+                InferenceReply {
+                    logits: out[i * classes..(i + 1) * classes].to_vec(),
+                    queue_ticks,
+                    batch_size: n,
+                    compute_ns: per_sample_ns,
+                },
+            );
+            self.completed += 1;
+        }
+        self.batches += 1;
+        self.total_compute_ns += elapsed;
+        Ok(())
+    }
+}

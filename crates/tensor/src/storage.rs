@@ -181,6 +181,38 @@ impl PackedBits {
     }
 }
 
+/// A storage-domain access error: the caller asked for a view the current
+/// domain cannot provide (today: an f32 slice of a packed posit plane).
+///
+/// [`crate::Tensor::data`] keeps its panic — inside the trainer a packed
+/// tensor at an f32-only boundary is a bug in the quantization edges, and
+/// failing loudly is right. [`crate::Tensor::try_data`] returns this error
+/// instead, for boundaries where the tensor came from *outside* (e.g. a
+/// request handed to the inference server) and the right response is a
+/// recoverable error, not a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageError {
+    /// An f32 view was requested of a posit-domain tensor; carries the
+    /// plane's format. Decode with `to_f32()`/`dense()` first.
+    NotF32 {
+        /// The posit format of the packed plane that was accessed.
+        format: PositFormat,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::NotF32 { format } => write!(
+                f,
+                "f32 view of a posit-domain tensor ({format}): call to_f32()/dense() first"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
 /// Which domain a [`Storage`] lives in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StorageDomain {

@@ -1,7 +1,7 @@
 //! The contiguous row-major tensor with dual-domain storage.
 
 use crate::rng::Prng;
-use crate::storage::{PackedBits, Storage, StorageDomain};
+use crate::storage::{PackedBits, Storage, StorageDomain, StorageError};
 use posit::{PositFormat, Rounding};
 use std::borrow::Cow;
 use std::fmt;
@@ -233,11 +233,22 @@ impl Tensor {
     /// [`Tensor::to_f32`] (or [`Tensor::dense`]) to cross the domain
     /// boundary explicitly, or [`Tensor::posit_bits`] for the code words.
     pub fn data(&self) -> &[f32] {
+        match self.try_data() {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking variant of [`Tensor::data`]: `Ok` with the f32 slice
+    /// in the f32 domain, `Err(StorageError::NotF32)` for a packed posit
+    /// plane. Use this at boundaries where the tensor's domain is caller
+    /// input rather than an internal invariant — e.g. a sample submitted
+    /// to the inference server — so the mismatch surfaces as a recoverable
+    /// error instead of a panic.
+    pub fn try_data(&self) -> Result<&[f32], StorageError> {
         match &self.storage {
-            Storage::F32(v) => v,
-            Storage::Posit { format, .. } => {
-                panic!("f32 view of a posit-domain tensor ({format}): call to_f32()/dense() first")
-            }
+            Storage::F32(v) => Ok(v),
+            Storage::Posit { format, .. } => Err(StorageError::NotF32 { format: *format }),
         }
     }
 
@@ -635,6 +646,19 @@ impl fmt::Debug for Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_data_reports_the_domain_instead_of_panicking() {
+        let t = Tensor::from_vec(vec![0.5, -0.25], &[2]);
+        assert_eq!(t.try_data().unwrap(), &[0.5, -0.25]);
+        let fmt = PositFormat::of(8, 1);
+        let p = t.to_posit(fmt, 0, Rounding::NearestEven);
+        let err = p.try_data().unwrap_err();
+        assert_eq!(err, StorageError::NotF32 { format: fmt });
+        // The error text matches data()'s panic message, format included.
+        assert!(err.to_string().contains("posit-domain"));
+        assert!(err.to_string().contains(&fmt.to_string()));
+    }
 
     #[test]
     fn construction_and_shape() {

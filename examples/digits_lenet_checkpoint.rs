@@ -60,14 +60,20 @@ fn main() {
     println!("posit-trained LeNet test accuracy: {:.1}%", 100.0 * acc);
 
     // Checkpoint → fresh net → restore → identical behaviour.
-    let bytes = checkpoint::save(&net);
+    let mut bytes = Vec::new();
+    checkpoint::write(
+        &net,
+        checkpoint::Sink::Bytes(&mut bytes),
+        checkpoint::Version::V1,
+    )
+    .expect("byte sinks cannot fail");
     println!("checkpoint size: {} bytes", bytes.len());
     let mut qb2 = QuantBuilder::new(QuantSpec::cifar_paper());
     let control2 = qb2.control();
     let mut rng2 = Prng::seed(999); // different init, will be overwritten
     let mut restored = lenet(&mut qb2, 1, 16, 10, &mut rng2);
     control2.set_phase(Phase::Posit);
-    checkpoint::load(&mut restored, &bytes).expect("restore");
+    checkpoint::read(&mut restored, checkpoint::Source::Bytes(&bytes)).expect("restore");
     let acc2 = eval(&mut restored);
     println!("restored network test accuracy:    {:.1}%", 100.0 * acc2);
     assert!((acc - acc2).abs() < 0.02, "restore must preserve behaviour");

@@ -16,7 +16,7 @@ use posit_dnn::nn::{checkpoint, Layer, StepLr};
 use posit_dnn::posit::{PositFormat, Rounding};
 use posit_dnn::store::{FsStore, Store};
 use posit_dnn::tensor::rng::Prng;
-use posit_dnn::train::{ComputeBackend, QuantBuilder, QuantSpec, TrainConfig, Trainer};
+use posit_dnn::train::{ComputeBackend, QuantBuilder, QuantSpec, RunOptions, TrainConfig, Trainer};
 
 const EPOCHS: usize = 12;
 const KILL_AFTER: usize = 6;
@@ -64,7 +64,9 @@ fn main() {
     // Reference: the uninterrupted run.
     println!("=== uninterrupted run ({EPOCHS} epochs) ===");
     let mut uninterrupted = trainer(&config);
-    let full = uninterrupted.run_with(&train, &test, &config, print_epoch);
+    let full = uninterrupted
+        .run(RunOptions::new(&train, &test, &config).on_epoch(print_epoch))
+        .unwrap();
 
     // The same schedule, checkpointed per epoch and killed after
     // KILL_AFTER epochs. Truncating only the `epochs` field keeps the LR
@@ -79,7 +81,11 @@ fn main() {
         dir.display()
     );
     trainer(&truncated)
-        .run_resumable(&train, &test, &truncated, &store, print_epoch)
+        .run(
+            RunOptions::new(&train, &test, &truncated)
+                .resumable(&store)
+                .on_epoch(print_epoch),
+        )
         .expect("checkpointed run");
     println!("(process \"killed\" here — trainer dropped, only the store survives)");
     println!(
@@ -92,7 +98,11 @@ fn main() {
     println!("\n=== resumed run (epochs {KILL_AFTER}..{EPOCHS}) ===");
     let mut resumed_trainer = trainer(&config);
     let resumed = resumed_trainer
-        .run_resumable(&train, &test, &config, &store, print_epoch)
+        .run(
+            RunOptions::new(&train, &test, &config)
+                .resumable(&store)
+                .on_epoch(print_epoch),
+        )
         .expect("resumed run");
 
     assert_eq!(resumed.epochs.len(), full.epochs.len());
@@ -121,8 +131,21 @@ fn main() {
     for p in net.params_mut() {
         p.value = p.value.to_posit(fmt, 0, Rounding::NearestEven);
     }
-    let v1 = checkpoint::save(net).len();
-    let v2_bytes = checkpoint::save_v2(net);
+    let mut v1_bytes = Vec::new();
+    checkpoint::write(
+        net,
+        checkpoint::Sink::Bytes(&mut v1_bytes),
+        checkpoint::Version::V1,
+    )
+    .expect("byte sinks cannot fail");
+    let v1 = v1_bytes.len();
+    let mut v2_bytes = Vec::new();
+    checkpoint::write(
+        net,
+        checkpoint::Sink::Bytes(&mut v2_bytes),
+        checkpoint::Version::V2,
+    )
+    .expect("byte sinks cannot fail");
     let v2 = v2_bytes.len();
     println!("deploy checkpoint, v1 (flat f32):     {v1} bytes");
     println!(
@@ -138,7 +161,7 @@ fn main() {
     let mut qb = QuantBuilder::new(spec());
     let mut rng = Prng::seed(999);
     let mut restored = lenet(&mut qb, 1, 28, 10, &mut rng);
-    checkpoint::load(&mut restored, &v2_bytes).expect("restore v2");
+    checkpoint::read(&mut restored, checkpoint::Source::Bytes(&v2_bytes)).expect("restore v2");
     for (pa, pb) in net.params().iter().zip(restored.params()) {
         assert_eq!(
             pa.value.posit_bits(),

@@ -6,7 +6,7 @@
 //! ```
 
 use posit_dnn::data::SyntheticCifar;
-use posit_dnn::train::{QuantSpec, TrainConfig, Trainer};
+use posit_dnn::train::{QuantSpec, RunOptions, TrainConfig, Trainer};
 
 fn main() {
     let gen = SyntheticCifar::new(16, 42);
@@ -17,12 +17,14 @@ fn main() {
     let fp32_cfg = TrainConfig::cifar_scaled(8, epochs).with_seed(7);
     println!("training FP32 baseline ({epochs} epochs)…");
     let mut fp32 = Trainer::resnet(&fp32_cfg);
-    let fp32_report = fp32.run(&train, &test, &fp32_cfg);
+    let fp32_report = fp32.run(RunOptions::new(&train, &test, &fp32_cfg)).unwrap();
 
     let posit_cfg = fp32_cfg.clone().with_quant(QuantSpec::cifar_paper());
     println!("training posit (8,1)/(8,2) CONV + (16,1)/(16,2) BN, warm-up 1 epoch…");
     let mut posit = Trainer::resnet(&posit_cfg);
-    let posit_report = posit.run(&train, &test, &posit_cfg);
+    let posit_report = posit
+        .run(RunOptions::new(&train, &test, &posit_cfg))
+        .unwrap();
 
     println!("\nepoch  fp32-test%  posit-test%  (phase)");
     for (a, b) in fp32_report.epochs.iter().zip(&posit_report.epochs) {

@@ -18,7 +18,10 @@
 //! * [`train`] — the paper's training methodology
 //!   (warm-up, Eq. 2–3 scaling, es selection, Table III configs);
 //! * [`store`] — chunked, codec-pipelined on-disk storage for packed
-//!   posit tensors (checkpoint v2, bit-exact kill/resume training).
+//!   posit tensors (checkpoint v2, bit-exact kill/resume training);
+//! * [`serve`] — in-process inference serving: a submit/poll server with
+//!   a deterministic dynamic batcher whose batched logits are
+//!   bit-identical to single-sample inference.
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the
 //! paper-vs-measured record.
@@ -47,12 +50,14 @@
 //!
 //! ```no_run
 //! use posit_dnn::data::SyntheticCifar;
-//! use posit_dnn::train::{QuantSpec, TrainConfig, Trainer};
+//! use posit_dnn::train::{QuantSpec, RunOptions, TrainConfig, Trainer};
 //!
 //! let gen = SyntheticCifar::new(16, 42);
 //! let (train, test) = (gen.train(2000, 1), gen.test(500, 1));
 //! let config = TrainConfig::cifar_scaled(8, 10).with_quant(QuantSpec::cifar_paper());
-//! let report = Trainer::resnet(&config).run(&train, &test, &config);
+//! let report = Trainer::resnet(&config)
+//!     .run(RunOptions::new(&train, &test, &config))
+//!     .unwrap();
 //! println!("posit accuracy: {:.2}%", 100.0 * report.final_test_acc);
 //! ```
 
@@ -61,6 +66,7 @@ pub use posit_data as data;
 pub use posit_hw as hw;
 pub use posit_models as models;
 pub use posit_nn as nn;
+pub use posit_serve as serve;
 pub use posit_store as store;
 pub use posit_tensor as tensor;
 pub use posit_train as train;

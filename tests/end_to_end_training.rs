@@ -3,7 +3,7 @@
 
 use posit_dnn::data::{SyntheticCifar, SyntheticImageNet};
 use posit_dnn::posit::PositFormat;
-use posit_dnn::train::{QuantSpec, TrainConfig, Trainer};
+use posit_dnn::train::{QuantSpec, RunOptions, TrainConfig, Trainer};
 
 #[test]
 fn cifar_recipe_tracks_fp32() {
@@ -12,9 +12,13 @@ fn cifar_recipe_tracks_fp32() {
     let test = gen.test(80, 1);
     let base = TrainConfig::cifar_scaled(4, 6).with_seed(5);
 
-    let fp32 = Trainer::resnet(&base).run(&train, &test, &base);
+    let fp32 = Trainer::resnet(&base)
+        .run(RunOptions::new(&train, &test, &base))
+        .unwrap();
     let pcfg = base.clone().with_quant(QuantSpec::cifar_paper());
-    let posit = Trainer::resnet(&pcfg).run(&train, &test, &pcfg);
+    let posit = Trainer::resnet(&pcfg)
+        .run(RunOptions::new(&train, &test, &pcfg))
+        .unwrap();
 
     assert!(fp32.final_test_acc > 0.3, "fp32 {:.3}", fp32.final_test_acc);
     assert!(
@@ -37,7 +41,9 @@ fn imagenet_recipe_runs_with_five_epoch_warmup() {
         .with_seed(5)
         .with_quant(QuantSpec::imagenet_paper());
     assert_eq!(cfg.warmup_epochs, 3); // clamped: min(5, epochs/3)
-    let report = Trainer::resnet(&cfg).run(&train, &test, &cfg);
+    let report = Trainer::resnet(&cfg)
+        .run(RunOptions::new(&train, &test, &cfg))
+        .unwrap();
     assert_eq!(report.epochs.len(), 9);
     assert_eq!(report.epochs[0].phase, "fp32");
     assert_eq!(report.epochs[2].phase, "calibrate");
@@ -63,7 +69,9 @@ fn aggressive_low_precision_degrades_gracefully() {
     let cfg = TrainConfig::cifar_scaled(4, 4)
         .with_seed(5)
         .with_quant(QuantSpec::uniform(PositFormat::of(6, 1)));
-    let report = Trainer::resnet(&cfg).run(&train, &test, &cfg);
+    let report = Trainer::resnet(&cfg)
+        .run(RunOptions::new(&train, &test, &cfg))
+        .unwrap();
     for e in &report.epochs {
         assert!(e.train_loss.is_finite(), "loss diverged: {e:?}");
     }

@@ -190,6 +190,37 @@ fn store_reexports_construct() {
     // Checkpoint v2 flows through the same store machinery.
     let mut rng = Prng::seed(6);
     let mut net = lenet(&mut PlainBuilder, 1, 16, 10, &mut rng);
-    let blob = posit_dnn::nn::checkpoint::save_v2(&net);
-    posit_dnn::nn::checkpoint::load(&mut net, &blob).expect("v2 self-load");
+    use posit_dnn::nn::checkpoint::{self, Sink, Source, Version};
+    let mut blob = Vec::new();
+    checkpoint::write(&net, Sink::Bytes(&mut blob), Version::V2).expect("byte sinks cannot fail");
+    checkpoint::read(&mut net, Source::Bytes(&blob)).expect("v2 self-load");
+}
+
+#[test]
+fn serve_reexports_construct() {
+    use posit_dnn::serve::{InferenceServer, ServeConfig, ServedModel};
+
+    // An FP32 MLP served end to end: submit, deadline flush, poll.
+    let mut rng = Prng::seed(8);
+    let net = mlp(&mut PlainBuilder, &[4, 8, 3], &mut rng);
+    let mut srv = InferenceServer::new(
+        ServedModel::fp32(net),
+        &[4],
+        ServeConfig {
+            max_batch: 4,
+            max_wait_ticks: 1,
+        },
+    )
+    .expect("valid config");
+    let id = srv
+        .submit(&Tensor::from_vec(vec![0.5, -1.0, 0.25, 2.0], &[4]))
+        .expect("f32 sample");
+    assert!(
+        srv.poll(id).is_none(),
+        "partial batch waits for its deadline"
+    );
+    srv.tick().expect("tick");
+    let reply = srv.poll(id).expect("deadline flush completed the request");
+    assert_eq!(reply.logits.len(), 3);
+    assert_eq!(srv.stats().completed, 1);
 }
