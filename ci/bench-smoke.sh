@@ -54,9 +54,9 @@ else
     exit 1
 fi
 
-# Regression gate: the posit-quire GEMM rows and the serve rows built on
-# them (the kernels this repo's perf story stands on) must not regress
-# more than 1.5x against the previous
+# Regression gate: the posit-quire GEMM rows, the serve rows built on
+# them, and the plane_decode rows (the decode LUT fast paths feeding every
+# kernel) must not regress more than 1.5x against the previous
 # run's JSON. The baseline is always same-machine: BENCH_*.json is
 # gitignored, so the file at the repo root is whatever the *last run on
 # this box* wrote (a fresh clone has no baseline and skips the gate) —
@@ -68,7 +68,7 @@ if [ -s "$old_json" ]; then
     echo "==> quire-GEMM regression gate (limit 1.5x vs committed JSON)"
     awk '
         # "  "lenet.fc1/posit-quire": 1234," -> key | value
-        match($0, /"(lenet|mlp|serve)\.[^"]*\/posit-quire"/) {
+        match($0, /"((lenet|mlp|serve)\.[^"]*\/posit-quire|plane_decode\/[^"]*)"/) {
             key = substr($0, RSTART + 1, RLENGTH - 2)
             val = $0
             sub(/^[^:]*: */, "", val)

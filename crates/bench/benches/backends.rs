@@ -23,7 +23,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use posit::{PositFormat, Rounding};
 use posit_models::{lenet_gemm_shapes, mlp_gemm_shapes, GemmShape};
 use posit_tensor::rng::Prng;
-use posit_tensor::{serial_scope, Backend, PositGemm, PositPlane};
+use posit_tensor::{serial_scope, Backend, KStripMode, PositGemm, PositPlane};
 use std::hint::black_box;
 
 fn bench_shapes() -> Vec<GemmShape> {
@@ -63,6 +63,18 @@ fn bench_backends(c: &mut Criterion) {
             bch.iter(|| {
                 let mut out = vec![0.0f32; m * n];
                 kernel.gemm(m, k, n, black_box(&pa), black_box(&pb), &mut out);
+                out
+            })
+        });
+        // K-strip batched micro-kernel pinned on: preplaned with
+        // `KStripMode::Force`, so the row tracks the batched kernel even
+        // at depths where the Auto heuristic would stay scalar
+        // (bit-identical results either way).
+        let swar = kernel.kstrip(KStripMode::Force);
+        g.bench_function("posit-quire-swar", |bch| {
+            bch.iter(|| {
+                let mut out = vec![0.0f32; m * n];
+                swar.gemm(m, k, n, black_box(&pa), black_box(&pb), &mut out);
                 out
             })
         });
@@ -147,31 +159,43 @@ fn bench_dp_step(c: &mut Criterion) {
     }
 }
 
-/// Operand-plane unpack throughput: the 8-bit row decodes through the
-/// 256-entry LUT, the 16-bit row through the direct bit-twiddled decoder —
-/// the closest feasible LUT on/off comparison (per element, at identical
-/// counts).
+/// Operand-plane unpack throughput, one row per decode route:
+///
+/// * `lut/posit(8,1)` — the SWAR lane-group gather through the 256-entry
+///   table (the `from_bits` fast path for `n ≤ 8`);
+/// * `lut2/posit(16,1)` — the two-level LUT route (the `from_bits` fast
+///   path for `8 < n ≤ 16`);
+/// * `twiddle/posit(16,1)` — the bit-twiddled scalar oracle
+///   (`from_bits_scalar`) on the same data, the before/after baseline the
+///   two-level route is measured against.
 fn bench_plane_decode(c: &mut Criterion) {
     let elems = 1 << 14;
     let mut g = c.benchmark_group("plane_decode");
     g.throughput(Throughput::Elements(elems as u64));
-    for (label, fmt) in [
-        ("lut/posit(8,1)", PositFormat::of(8, 1)),
-        ("twiddle/posit(16,1)", PositFormat::of(16, 1)),
-    ] {
+    let random_bits = |fmt: PositFormat| -> Vec<u64> {
         let mut state = 0x5EED_BA5E_u64;
-        let bits: Vec<u64> = (0..elems)
+        (0..elems)
             .map(|_| {
                 state = state
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407);
                 (state >> 11) & fmt.mask()
             })
-            .collect();
-        g.bench_function(label, |bch| {
-            bch.iter(|| PositPlane::from_bits(fmt, black_box(&bits)))
-        });
-    }
+            .collect()
+    };
+    let p8 = PositFormat::of(8, 1);
+    let bits8 = random_bits(p8);
+    g.bench_function("lut/posit(8,1)", |bch| {
+        bch.iter(|| PositPlane::from_bits(p8, black_box(&bits8)))
+    });
+    let p16 = PositFormat::of(16, 1);
+    let bits16 = random_bits(p16);
+    g.bench_function("lut2/posit(16,1)", |bch| {
+        bch.iter(|| PositPlane::from_bits(p16, black_box(&bits16)))
+    });
+    g.bench_function("twiddle/posit(16,1)", |bch| {
+        bch.iter(|| PositPlane::from_bits_scalar(p16, black_box(&bits16)))
+    });
     g.finish();
 }
 

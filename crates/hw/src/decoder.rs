@@ -177,17 +177,24 @@ impl PositDecoder for DecoderOptimized {
         let raw = body >> (64 - w);
         let first = raw >> (w - 1) == 1;
         // The fixed "<<1" is a wire shift on the shifter input; each path
-        // shifts only by its detector's raw count — no adder anywhere.
+        // shifts only by its detector's raw count — no adder anywhere. In
+        // hardware both detector→shifter chains race and a w-bit mux picks
+        // the winner (that duplication is what `block_cost` prices). The
+        // software model exploits that the mux commutes with the shifter —
+        // mux(shl(pre, lod), shl(pre, lzd)) = shl(pre, mux(lod, lzd)) — so
+        // it runs one branchless shift on the selected count instead of
+        // simulating both shifters and throwing one away.
         let pre = comp::shl(raw, w, 1);
         let run_lod = comp::lod(raw, w);
         let run_lzd = comp::lzd(raw, w);
-        let path_neg = comp::shl(pre, w, run_lod.min(w)); // Left Shifter1
-        let path_pos = comp::shl(pre, w, run_lzd.min(w)); // Left Shifter2 (+wire <<1)
-        let (k, shifted_raw) = if first {
-            (run_lzd as i32 - 1, path_pos)
+        let (k, run) = if first {
+            (run_lzd as i32 - 1, run_lzd)
         } else {
-            (-(run_lod as i32), path_neg)
+            (-(run_lod as i32), run_lod)
         };
+        // run ≤ w by construction (the detectors saturate), and `shl`
+        // already maps `amount ≥ width` to 0, so no extra clamp.
+        let shifted_raw = comp::shl(pre, w, run);
         let shifted = shifted_raw << (64 - w);
         let (scale, frac) = back_end(&self.fmt, k, shifted);
         DecodedFields {

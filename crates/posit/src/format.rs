@@ -278,16 +278,20 @@ impl PositFormat {
         PositValue::Finite(Decoded { sign, scale, frac })
     }
 
-    /// [`PositFormat::decode`] through the per-format lookup table for
-    /// narrow (`n ≤ 8`) formats — identical results (the table is built by
-    /// `decode` itself; see [`crate::lut`]), one memory load instead of the
-    /// bit-twiddled field extraction. Wider formats fall through to the
-    /// direct decode.
+    /// [`PositFormat::decode`] through the per-format lookup tables —
+    /// identical results (the tables are built by `decode` itself; see
+    /// [`crate::lut`]). Narrow formats (`n ≤ 8`) are one memory load from
+    /// the flat 256-entry table; medium formats (`8 < n ≤ 16`) go through
+    /// the two-level top-byte/refinement tables; wider formats fall through
+    /// to the bit-twiddled field extraction.
     pub fn decode_fast(&self, bits: u64) -> PositValue {
-        match crate::lut::decode_lut(*self) {
-            Some(lut) => lut[(bits & self.mask()) as usize],
-            None => self.decode(bits),
+        if let Some(lut) = crate::lut::decode_lut(*self) {
+            return lut[(bits & self.mask()) as usize];
         }
+        if let Some(lut2) = crate::lut::decode_lut2(*self) {
+            return lut2.decode(bits);
+        }
+        self.decode(bits)
     }
 
     /// Decode directly to `f64` (exact for all supported formats);

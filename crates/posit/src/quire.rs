@@ -509,6 +509,55 @@ impl NarrowQuire {
         self.acc += if negative { -v } else { v };
     }
 
+    /// Accumulate a batched group of products that share one `scale_sum` —
+    /// the K-strip fast path: the caller sums the narrow fraction products
+    /// first and this does **one** `i128` shift-add for the whole group
+    /// instead of one per element.
+    ///
+    /// `sum` is `Σ ±(sig_a >> (64-width)) · (sig_b >> (64-width))` over the
+    /// group, where `width` is the format's small-significand width
+    /// `n - 2 - es` (so each right shift drops only guaranteed-zero bits
+    /// and the full 128-bit product of a term is its narrow product shifted
+    /// left by `128 - 2·width`). The group contribution is therefore
+    /// `sum · 2^(scale_sum + 2 - 2·width - 126)`, applied here as a single
+    /// shift — exact in both directions because every term (hence the sum)
+    /// carries the trailing-zero guarantee of
+    /// [`NarrowQuire::add_product_parts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scale_sum` falls outside the accumulable range — the
+    /// same hardening as the per-element path.
+    #[inline(always)]
+    pub fn add_group(&mut self, scale_sum: i32, width: u32, sum: i64) {
+        let shr = 126 + self.emin - scale_sum;
+        if !(1..=127).contains(&shr) {
+            panic!(
+                "NarrowQuire::add_group: scale_sum {scale_sum} outside the \
+                 accumulable range [{}, {}] of this {} accumulator (operands from a \
+                 wider format, or a scale shift beyond the construction margin?)",
+                self.emin - 1,
+                self.emin + 125,
+                self.fmt
+            );
+        }
+        let sh = 128 - 2 * width as i32 - shr;
+        let v = sum as i128;
+        self.acc += if sh >= 0 {
+            debug_assert!(
+                128 - v.unsigned_abs().leading_zeros() as i32 + sh <= 127,
+                "group sum overflows the accumulator (K budget exceeded?)"
+            );
+            v << sh
+        } else {
+            debug_assert!(
+                v.trailing_zeros() as i32 >= -sh,
+                "group bits below the accumulator LSB (width too large?)"
+            );
+            v >> -sh
+        };
+    }
+
     /// Accumulate the exact product `a * b` of two code words (decoding
     /// twin of [`Quire::add_product`], mainly for tests and small dots).
     pub fn add_product(&mut self, a: u64, b: u64) {
@@ -602,6 +651,52 @@ mod tests {
 
     fn p(fmt: &PositFormat, x: f64) -> u64 {
         fmt.from_f64(x, Rounding::NearestEven)
+    }
+
+    #[test]
+    fn narrow_add_group_is_exactly_the_per_element_sum() {
+        use std::collections::BTreeMap;
+        for (n, es) in [(8u32, 0u32), (8, 1), (8, 2), (16, 1)] {
+            let fmt = PositFormat::of(n, es);
+            let width = n - 2 - es;
+            let mut state = 0x1234_5678_9ABC_DEF1u64;
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 17
+            };
+            for _ in 0..300 {
+                let mut q = NarrowQuire::try_new(fmt, 0, 64).unwrap();
+                // One strip of products, bucketed by scale_sum.
+                let mut sums: BTreeMap<i32, i64> = BTreeMap::new();
+                let mut elems = Vec::new();
+                for _ in 0..16 {
+                    let (a, b) = (next() & fmt.mask(), next() & fmt.mask());
+                    let (da, db) = match (fmt.decode(a), fmt.decode(b)) {
+                        (PositValue::Finite(da), PositValue::Finite(db)) => (da, db),
+                        _ => continue,
+                    };
+                    let sa = (da.significand() >> (64 - width)) as i64;
+                    let sb = (db.significand() >> (64 - width)) as i64;
+                    let p = sa * sb;
+                    let signed = if da.sign != db.sign { -p } else { p };
+                    *sums.entry(da.scale + db.scale).or_insert(0) += signed;
+                    elems.push((da, db));
+                }
+                for (ss, sum) in sums {
+                    q.add_group(ss, width, sum);
+                }
+                // Subtracting every product per element must return the
+                // accumulator exactly to zero — integer equality, not a
+                // rounded comparison.
+                for (da, db) in elems {
+                    let prod = (da.significand() as u128) * (db.significand() as u128);
+                    q.add_product_parts(da.sign == db.sign, da.scale + db.scale, prod);
+                }
+                assert!(q.is_zero(), "({n},{es})");
+            }
+        }
     }
 
     #[test]

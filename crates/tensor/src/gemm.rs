@@ -19,6 +19,35 @@ const PAR_MIN_ROWS: usize = 32;
 /// Minimum multiply-accumulate count before threading pays for itself.
 const PAR_MIN_WORK: usize = 1 << 20;
 
+/// Minimum multiply-accumulate count per dispatched lane when the row
+/// split is thin. A problem can clear both gates above yet shatter into
+/// row blocks so small that each lane finishes faster than its dispatch
+/// costs: an fc1-shaped GEMM (`m = 32`, `k = 256`, `n = 128`) passes the
+/// total-work gate exactly, but on a 4-thread budget it splits into two
+/// 16-row lanes of `2^19` MACs each — slower than running serially. When
+/// the blocks are thinner than [`PAR_MIN_ROWS`], each lane must still
+/// carry this much work or the problem stays on the caller's thread.
+const PAR_MIN_LANE_WORK: usize = 1 << 20;
+
+/// The number of row-block lanes `par_rows` will dispatch for an
+/// `[m, _]` output whose kernel performs `work` total multiply-accumulates
+/// under the current thread budget; `1` means the serial fast path.
+///
+/// Public so tests can pin the dispatch decision for a given shape without
+/// timing anything (see `tests/worker_pool.rs`).
+pub fn planned_lanes(m: usize, work: usize) -> usize {
+    let threads = workers::effective_parallelism();
+    if m < PAR_MIN_ROWS || work < PAR_MIN_WORK || threads <= 1 {
+        return 1;
+    }
+    let rows_per = m.div_ceil(threads).max(PAR_MIN_ROWS / 2);
+    let blocks = m.div_ceil(rows_per);
+    if rows_per < PAR_MIN_ROWS && work / blocks < PAR_MIN_LANE_WORK {
+        return 1;
+    }
+    blocks
+}
+
 /// Split the `[m, n]` output buffer `c` into contiguous row blocks and run
 /// `body(first_row, block)` on each, dispatching the blocks to the
 /// persistent worker pool ([`crate::workers`]) when the problem is big
@@ -35,7 +64,7 @@ where
 {
     debug_assert_eq!(c.len(), m * n);
     let threads = workers::effective_parallelism();
-    if m < PAR_MIN_ROWS || work < PAR_MIN_WORK || threads <= 1 || n == 0 {
+    if n == 0 || planned_lanes(m, work) <= 1 {
         body(0, c);
         return;
     }

@@ -51,6 +51,7 @@ const NAR_SCALE: i32 = i32::MIN;
 ///
 /// Zero is `sig == 0`; NaR is `sig == 0` with `scale == i32::MIN`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
 pub struct Unpacked {
     /// 64-bit significand (bit 63 set for finite non-zero values).
     pub sig: u64,
@@ -58,12 +59,24 @@ pub struct Unpacked {
     pub scale: i32,
     /// True for negative values.
     pub neg: bool,
+    /// Explicit (always-zero) tail padding, pinned after `neg` by the C
+    /// layout: with every byte defined and the zero bytes contiguous, the
+    /// compiler stores a plane element as two plain words instead of
+    /// field-by-field writes plus an undef-padding copy. Three scalar
+    /// fields, not `[u8; 3]` — the array form defeats scalar replacement
+    /// and reintroduces a stack round-trip in the decode loops.
+    _pad0: u8,
+    _pad1: u8,
+    _pad2: u8,
 }
 
 const ZERO_ELEM: Unpacked = Unpacked {
     sig: 0,
     scale: 0,
     neg: false,
+    _pad0: 0,
+    _pad1: 0,
+    _pad2: 0,
 };
 
 impl Unpacked {
@@ -74,6 +87,9 @@ impl Unpacked {
         sig: 1 << 63,
         scale: 0,
         neg: false,
+        _pad0: 0,
+        _pad1: 0,
+        _pad2: 0,
     };
 
     /// True iff this element is the NaR sentinel.
@@ -85,6 +101,7 @@ impl Unpacked {
 /// The decoded value in the kernels' element form, with an optional Eq. 2
 /// scale shift folded in — the single definition both the direct decode
 /// path and the LUT build go through.
+#[inline(always)]
 fn unpack(v: PositValue, scale_exp: i32) -> Unpacked {
     match v {
         PositValue::Zero => ZERO_ELEM,
@@ -92,17 +109,51 @@ fn unpack(v: PositValue, scale_exp: i32) -> Unpacked {
             sig: 0,
             scale: NAR_SCALE,
             neg: false,
+            _pad0: 0,
+            _pad1: 0,
+            _pad2: 0,
         },
         PositValue::Finite(d) => Unpacked {
             sig: d.significand(),
             scale: d.scale + scale_exp,
             neg: d.sign.is_negative(),
+            _pad0: 0,
+            _pad1: 0,
+            _pad2: 0,
         },
     }
 }
 
 fn decode_one(fmt: PositFormat, b: u64, scale_exp: i32) -> Unpacked {
     unpack(fmt.decode(b), scale_exp)
+}
+
+/// Fold a plane's Eq. 2 scale shift into one table-gathered element.
+/// Finite non-zero values shift; zero keeps its canonical form and NaR
+/// keeps its sentinel (compiles to a conditional move, no branch in the
+/// lane loop).
+#[inline]
+fn shift_scale(mut u: Unpacked, scale_exp: i32) -> Unpacked {
+    if u.sig != 0 {
+        u.scale += scale_exp;
+    }
+    u
+}
+
+/// SWAR lane-group decode of `n ≤ 8` code words: split each u64 group into
+/// eight 8-bit lanes, gather every lane through the 256-entry table and
+/// fold the scale shift per lane. The table is indexed by the raw byte —
+/// it is built by `decode`, which masks to `n` bits, so out-of-range lane
+/// values alias their masked code word exactly like a direct decode.
+#[inline]
+fn decode_lanes8(lut: &[Unpacked; 256], word: u64, scale_exp: i32, out: &mut Vec<Unpacked>) {
+    // One whole-group append, not eight pushes: `extend_from_slice` pays a
+    // single capacity check per lane group, which keeps the gather loop at
+    // load/shift/store throughput.
+    let group: [Unpacked; 8] = std::array::from_fn(|lane| {
+        shift_scale(lut[(word >> (8 * lane)) as u8 as usize], scale_exp)
+    });
+    out.extend_from_slice(&group);
 }
 
 /// The 256-entry [`Unpacked`] decode table of a narrow (`n ≤ 8`) format:
@@ -141,18 +192,44 @@ pub struct PositPlane {
 
 impl PositPlane {
     /// Decode a slice of code words (low `n` bits of each `u64`).
+    ///
+    /// Narrow (`n ≤ 8`) formats gather through the same 256-entry
+    /// byte-indexed table the SWAR lane groups of [`PositPlane::from_packed`]
+    /// use; medium (`8 < n ≤ 16`) formats decode through the two-level
+    /// [`posit::lut::decode_lut2`] tables. Both routes are pinned
+    /// bit-identical to [`PositPlane::from_bits_scalar`].
     pub fn from_bits(fmt: PositFormat, bits: &[u64]) -> PositPlane {
-        let elems = match unpacked_lut(fmt) {
-            Some(lut) => {
-                let mask = fmt.mask();
-                bits.iter().map(|&b| lut[(b & mask) as usize]).collect()
-            }
-            None => bits.iter().map(|&b| decode_one(fmt, b, 0)).collect(),
+        let elems = if let Some(lut) = unpacked_lut(fmt) {
+            let lut: &[Unpacked; 256] = lut.try_into().expect("decode LUTs have 256 entries");
+            // Exact-size `map`/`collect`: no per-element capacity checks,
+            // and the low-byte index aliases out-of-range words to their
+            // masked code exactly like the lane gather in `from_packed`.
+            bits.iter().map(|&b| lut[b as u8 as usize]).collect()
+        } else if let Some(lut2) = posit::lut::decode_lut2(fmt) {
+            // The view copies the table's scalar fields out of `&Lut2`, and
+            // the `map`/`collect` fold (exact-size, no per-element capacity
+            // checks) runs `decode` over it.
+            let lut2 = lut2.view();
+            bits.iter().map(|&b| unpack(lut2.decode(b), 0)).collect()
+        } else {
+            bits.iter().map(|&b| decode_one(fmt, b, 0)).collect()
         };
         PositPlane {
             fmt,
             scale_exp: 0,
             elems,
+        }
+    }
+
+    /// [`PositPlane::from_bits`] through the bit-twiddled reference decoder
+    /// only — no table gathers, no lane groups. This is the scalar oracle
+    /// the SWAR and two-level-LUT decode paths are tested against (and the
+    /// `plane_decode/twiddle` bench rows).
+    pub fn from_bits_scalar(fmt: PositFormat, bits: &[u64]) -> PositPlane {
+        PositPlane {
+            fmt,
+            scale_exp: 0,
+            elems: bits.iter().map(|&b| decode_one(fmt, b, 0)).collect(),
         }
     }
 
@@ -165,25 +242,47 @@ impl PositPlane {
         bits: &crate::storage::PackedBits,
         scale_exp: i32,
     ) -> PositPlane {
-        let elems = match unpacked_lut(fmt) {
-            Some(lut) => {
-                let mask = fmt.mask();
-                bits.iter()
-                    .map(|b| {
-                        let mut u = lut[(b & mask) as usize];
-                        if u.sig != 0 {
-                            u.scale += scale_exp;
-                        }
-                        u
-                    })
-                    .collect()
+        let elems = if let (Some(lut), Some(bytes)) = (unpacked_lut(fmt), bits.as_u8()) {
+            // SWAR fast path: read the packed plane eight code words at a
+            // time as little-endian u64 lane groups.
+            let lut: &[Unpacked; 256] = lut.try_into().expect("decode LUTs have 256 entries");
+            let mut elems = Vec::with_capacity(bytes.len());
+            let mut groups = bytes.chunks_exact(8);
+            for group in groups.by_ref() {
+                let word = u64::from_le_bytes(group.try_into().expect("chunk of 8"));
+                decode_lanes8(lut, word, scale_exp, &mut elems);
             }
-            None => bits.iter().map(|b| decode_one(fmt, b, scale_exp)).collect(),
+            for &b in groups.remainder() {
+                elems.push(shift_scale(lut[b as usize], scale_exp));
+            }
+            elems
+        } else if let (Some(lut2), Some(words)) = (posit::lut::decode_lut2(fmt), bits.as_u16()) {
+            let lut2 = lut2.view();
+            words
+                .iter()
+                .map(|&w| unpack(lut2.decode(w as u64), scale_exp))
+                .collect()
+        } else {
+            bits.iter().map(|b| decode_one(fmt, b, scale_exp)).collect()
         };
         PositPlane {
             fmt,
             scale_exp,
             elems,
+        }
+    }
+
+    /// [`PositPlane::from_packed`] through the bit-twiddled reference
+    /// decoder only — the scalar oracle for the packed-lane paths.
+    pub fn from_packed_scalar(
+        fmt: PositFormat,
+        bits: &crate::storage::PackedBits,
+        scale_exp: i32,
+    ) -> PositPlane {
+        PositPlane {
+            fmt,
+            scale_exp,
+            elems: bits.iter().map(|b| decode_one(fmt, b, scale_exp)).collect(),
         }
     }
 
@@ -299,6 +398,145 @@ fn dot_narrow(proto: NarrowQuire, a: &[Unpacked], b: &[Unpacked]) -> NarrowQuire
     q
 }
 
+/// K-strip length of the batched micro-kernel: products are bucketed by
+/// `scale_sum` for this many `k` steps, then flushed into the accumulators
+/// with one `i128` shift-add per touched bucket
+/// ([`NarrowQuire::add_group`]). The bucket sums stay exact for any strip
+/// the narrow accumulator's own K budget admits (an `i64` bucket holds at
+/// least `2^32` worst-case `i32` fraction products, far above every
+/// eligible budget), so the strip is sized to amortize the flush scan to
+/// noise — most kernel-sized reductions run as a single strip and flush
+/// once per output.
+const KSTRIP: usize = 8192;
+
+/// An operand panel narrowed for the K-strip batched micro-kernel: the
+/// bit-63-aligned significands drop their guaranteed-zero low bits into
+/// signed `i32` fraction words, scales become bucket indices, and the NaR
+/// sentinels lift out into per-row flags (NaR absorbs the whole reduction
+/// regardless of its partner, so a flag per panel row replaces the per-MAC
+/// check).
+struct BatchPanel {
+    /// Per element: the signed fraction word `±(sig >> (64-width))` (0 for
+    /// zero and NaR elements). Kept separate from the scale byte so the
+    /// micro-kernel's lane reads are plain sign-extending loads.
+    sig: Vec<i32>,
+    /// Per element: the bucket-ready scale byte. The A panel carries the
+    /// `-emin` bias, so `a.sc ⊞ b.sc` (wrapping byte add) equals the
+    /// bucket index for every finite pair — the index is provably in
+    /// `[0, 126)`, so the mod-256 wrap of B's negative scales cancels
+    /// exactly. Zero/NaR elements store an always-in-range dummy scale —
+    /// their product is 0.
+    sc: Vec<u8>,
+    /// Per panel row: true iff any element is NaR.
+    nar: Vec<bool>,
+    /// Per row × strip: min stored scale over finite non-zero elements
+    /// (`> smax` sentinel when the strip row is all zero/NaR) — bounds the
+    /// flush scan to the buckets a strip actually touched.
+    smin: Vec<i32>,
+    /// Per row × strip: max stored scale over finite non-zero elements.
+    smax: Vec<i32>,
+    /// Strip count (`⌈k / KSTRIP⌉`).
+    strips: usize,
+}
+
+const SMIN_EMPTY: i32 = i32::MAX / 2;
+const SMAX_EMPTY: i32 = i32::MIN / 2;
+
+/// Bucket-array slots per accumulator in the batched kernel. Narrow
+/// eligibility bounds the bucket count by `4·max_scale + 2·margin + 1 ≤
+/// 126`, so a power-of-two 128 always fits and lets the hot loop index
+/// with a mask instead of a bounds check.
+const BUCKET_SLOTS: usize = 128;
+
+/// Rows per register tile of the *batched* micro-kernel (wider than the
+/// scalar tile: its per-`k` state is a handful of `i32`s, not `i128`
+/// accumulators, so more rows amortize the B-panel loads further).
+const MRB: usize = 4;
+/// Columns per register tile of the batched micro-kernel.
+const NRB: usize = 4;
+
+/// One batched MAC: multiply the fraction words, index the bucket by the
+/// wrapping byte sum of the scale bytes. The mask is a proven no-op for
+/// in-range panels (`idx < BUCKET_SLOTS`, asserted in debug builds at
+/// flush time); it exists to eliminate the bounds check in the hot loop.
+#[inline(always)]
+fn batch_mac(bucket: &mut [i64; BUCKET_SLOTS], xs: i32, xe: u8, ys: i32, ye: u8) {
+    let idx = xe.wrapping_add(ye) as usize & (BUCKET_SLOTS - 1);
+    bucket[idx] += xs.wrapping_mul(ys) as i64;
+}
+
+impl BatchPanel {
+    /// Narrow a `[rows, k]` element panel. `bias` is subtracted from every
+    /// stored scale (`emin` for the A panel, 0 for B); `zero_scale` is the
+    /// raw scale recorded for zero/NaR elements — any value a finite
+    /// element could legally carry keeps their (zero) products in range.
+    fn build(
+        src: &[Unpacked],
+        rows: usize,
+        k: usize,
+        width: u32,
+        bias: i32,
+        zero_scale: i32,
+    ) -> BatchPanel {
+        debug_assert_eq!(src.len(), rows * k);
+        let strips = k.div_ceil(KSTRIP).max(1);
+        let mut sig = Vec::with_capacity(rows * k);
+        let mut sc = Vec::with_capacity(rows * k);
+        let mut nar = vec![false; rows];
+        let mut smin = vec![SMIN_EMPTY; rows * strips];
+        let mut smax = vec![SMAX_EMPTY; rows * strips];
+        for r in 0..rows {
+            for (t, e) in src[r * k..(r + 1) * k].iter().enumerate() {
+                if e.sig == 0 {
+                    nar[r] |= e.scale == NAR_SCALE;
+                    sig.push(0);
+                    sc.push((zero_scale - bias) as u8);
+                } else {
+                    let s = (e.sig >> (64 - width)) as i32;
+                    let b = e.scale - bias;
+                    sig.push(if e.neg { -s } else { s });
+                    sc.push(b as u8);
+                    let slot = r * strips + t / KSTRIP;
+                    smin[slot] = smin[slot].min(b);
+                    smax[slot] = smax[slot].max(b);
+                }
+            }
+        }
+        BatchPanel {
+            sig,
+            sc,
+            nar,
+            smin,
+            smax,
+            strips,
+        }
+    }
+}
+
+/// Runtime selection of the K-strip batched micro-kernel (see
+/// [`PositGemm::kstrip`]). Every mode computes bit-identical results — the
+/// batched path groups *exact* integer terms, so only the order of the
+/// exact sum changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KStripMode {
+    /// Use the batched kernel whenever the narrow accumulator is active
+    /// and the reduction is deep enough to amortize panel narrowing.
+    #[default]
+    Auto,
+    /// Use the batched kernel whenever the narrow accumulator is active
+    /// (tests and benches pinning the path, regardless of depth).
+    Force,
+    /// Never batch — the per-element scalar micro-kernel, kept as the
+    /// bit-exact oracle.
+    Off,
+}
+
+/// Minimum reduction depth at which [`KStripMode::Auto`] batches: shallow
+/// reductions (small convolutions — `conv1` has `k = 25`) flush buckets so
+/// often that the per-MAC savings drown in flush scans, and the scalar
+/// tile wins. `conv2` (`k = 150`) already gains ~1.6× from batching.
+const KSTRIP_AUTO_MIN_K: usize = 48;
+
 /// The posit GEMM kernel family: exact accumulation over [`PositPlane`]
 /// operands, one rounding per output element.
 ///
@@ -310,6 +548,7 @@ pub struct PositGemm {
     fmt: PositFormat,
     rounding: Rounding,
     force_wide: bool,
+    kstrip: KStripMode,
 }
 
 impl PositGemm {
@@ -327,6 +566,7 @@ impl PositGemm {
             fmt,
             rounding,
             force_wide: false,
+            kstrip: KStripMode::Auto,
         }
     }
 
@@ -338,11 +578,30 @@ impl PositGemm {
         self
     }
 
+    /// Select how the K-strip batched micro-kernel is chosen (builder
+    /// style). Results are bit-identical in every mode.
+    pub fn kstrip(mut self, mode: KStripMode) -> PositGemm {
+        self.kstrip = mode;
+        self
+    }
+
     /// True iff a GEMM with reduction depth `k` over planes carrying
     /// `margin` total scale-shift bits would take the narrow-accumulator
     /// fast path (see [`posit::NarrowQuire::try_new`] for the accounting).
     pub fn uses_narrow_path(&self, margin: u32, k: usize) -> bool {
         !self.force_wide && NarrowQuire::try_new(self.fmt, margin, k).is_some()
+    }
+
+    /// True iff a GEMM with reduction depth `k` over planes carrying
+    /// `margin` total scale-shift bits would run the K-strip batched
+    /// micro-kernel (requires the narrow path; [`KStripMode`] then decides).
+    pub fn uses_kstrip_path(&self, margin: u32, k: usize) -> bool {
+        self.uses_narrow_path(margin, k)
+            && match self.kstrip {
+                KStripMode::Auto => k >= KSTRIP_AUTO_MIN_K,
+                KStripMode::Force => true,
+                KStripMode::Off => false,
+            }
     }
 
     /// The kernel's format.
@@ -387,16 +646,187 @@ impl PositGemm {
             NarrowQuire::try_new(self.fmt, margin, k)
         };
         let f32_lut = posit::lut::to_f32_lut(self.fmt);
+        // Narrow both panels once per call when the K-strip batched kernel
+        // is selected (the panels are shared read-only across row blocks).
+        let batch = if narrow.is_some() && self.uses_kstrip_path(margin, k) {
+            self.fmt
+                .n()
+                .checked_sub(2 + self.fmt.es())
+                // The fraction words must multiply inside an i32 (2·width
+                // ≤ 30); every format the paper trains with passes.
+                .filter(|&w| (1..=15).contains(&w))
+                .and_then(|width| {
+                    let emin = 2 * self.fmt.min_scale() - margin as i32;
+                    let buckets = (4 * self.fmt.max_scale() + 2 * margin as i32 + 1) as usize;
+                    if buckets > BUCKET_SLOTS {
+                        return None; // unreachable under narrow eligibility
+                    }
+                    let ap = BatchPanel::build(a_rows, m, k, width, emin, self.fmt.min_scale());
+                    let bp = BatchPanel::build(b_cols, n, k, width, 0, 0);
+                    Some((ap, bp, width, emin, buckets))
+                })
+        } else {
+            None
+        };
         par_rows(m, n, m * k * n, c, |row0, c_chunk| {
             let rows = c_chunk.len().checked_div(n).unwrap_or(0);
             let a_block = &a_rows[row0 * k..(row0 + rows) * k];
-            match narrow {
-                Some(proto) => {
+            match (narrow, &batch) {
+                (Some(proto), Some((ap, bp, width, emin, bc))) => kernel.block_batched(
+                    proto, f32_lut, row0, rows, k, n, a_block, b_cols, ap, bp, *width, *emin, *bc,
+                    c_chunk,
+                ),
+                (Some(proto), None) => {
                     kernel.block_narrow(proto, f32_lut, rows, k, n, a_block, b_cols, c_chunk)
                 }
-                None => kernel.block_wide(f32_lut, margin, rows, k, n, a_block, b_cols, c_chunk),
+                (None, _) => {
+                    kernel.block_wide(f32_lut, margin, rows, k, n, a_block, b_cols, c_chunk)
+                }
             }
         });
+    }
+
+    /// K-strip batched fast path over one row block: the MR×NR register
+    /// tile keeps `i64` *bucket* sums per `scale_sum` instead of an `i128`
+    /// accumulator per MAC. Within a strip every product is a narrow `i32`
+    /// multiply plus an indexed add; at the strip boundary each touched
+    /// bucket flushes with **one** `i128` shift-add
+    /// ([`NarrowQuire::add_group`]). Grouping exact integer terms never
+    /// changes the sum, so the result is bit-identical to the scalar
+    /// kernels; zero elements carry a zero fraction word (their adds are
+    /// no-ops) and NaR lifts out into panel-row flags applied on store.
+    #[allow(clippy::too_many_arguments)]
+    fn block_batched(
+        &self,
+        proto: NarrowQuire,
+        f32_lut: Option<&[f32]>,
+        row0: usize,
+        rows: usize,
+        k: usize,
+        n: usize,
+        a: &[Unpacked],
+        b_cols: &[Unpacked],
+        ap: &BatchPanel,
+        bp: &BatchPanel,
+        width: u32,
+        emin: i32,
+        bc: usize,
+        c: &mut [f32],
+    ) {
+        let strips = ap.strips;
+        debug_assert_eq!(strips, bp.strips);
+        debug_assert!(bc <= BUCKET_SLOTS);
+        let mut buckets = [[0i64; BUCKET_SLOTS]; MRB * NRB];
+        let mut i = 0;
+        while i + MRB <= rows {
+            let r0 = row0 + i;
+            let a0s = &ap.sig[r0 * k..(r0 + 1) * k];
+            let a1s = &ap.sig[(r0 + 1) * k..(r0 + 2) * k];
+            let a2s = &ap.sig[(r0 + 2) * k..(r0 + 3) * k];
+            let a3s = &ap.sig[(r0 + 3) * k..(r0 + 4) * k];
+            let a0e = &ap.sc[r0 * k..(r0 + 1) * k];
+            let a1e = &ap.sc[(r0 + 1) * k..(r0 + 2) * k];
+            let a2e = &ap.sc[(r0 + 2) * k..(r0 + 3) * k];
+            let a3e = &ap.sc[(r0 + 3) * k..(r0 + 4) * k];
+            let a_nar = [ap.nar[r0], ap.nar[r0 + 1], ap.nar[r0 + 2], ap.nar[r0 + 3]];
+            let mut j = 0;
+            while j + NRB <= n {
+                let b0s = &bp.sig[j * k..(j + 1) * k];
+                let b1s = &bp.sig[(j + 1) * k..(j + 2) * k];
+                let b2s = &bp.sig[(j + 2) * k..(j + 3) * k];
+                let b3s = &bp.sig[(j + 3) * k..(j + 4) * k];
+                let b0e = &bp.sc[j * k..(j + 1) * k];
+                let b1e = &bp.sc[(j + 1) * k..(j + 2) * k];
+                let b2e = &bp.sc[(j + 2) * k..(j + 3) * k];
+                let b3e = &bp.sc[(j + 3) * k..(j + 4) * k];
+                let mut acc = [[proto; NRB]; MRB];
+                let mut t0 = 0;
+                let mut strip = 0;
+                while t0 < k {
+                    let t1 = (t0 + KSTRIP).min(k);
+                    let [bk00, bk01, bk02, bk03, bk10, bk11, bk12, bk13, bk20, bk21, bk22, bk23, bk30, bk31, bk32, bk33] =
+                        &mut buckets;
+                    for t in t0..t1 {
+                        // Each lane read is one sign-extending (fraction)
+                        // or zero-extending (scale byte) load; every lane
+                        // then feeds NRB (or MRB) MACs.
+                        let (x0s, x0e) = (a0s[t], a0e[t]);
+                        let (x1s, x1e) = (a1s[t], a1e[t]);
+                        let (x2s, x2e) = (a2s[t], a2e[t]);
+                        let (x3s, x3e) = (a3s[t], a3e[t]);
+                        let (y0s, y0e) = (b0s[t], b0e[t]);
+                        let (y1s, y1e) = (b1s[t], b1e[t]);
+                        let (y2s, y2e) = (b2s[t], b2e[t]);
+                        let (y3s, y3e) = (b3s[t], b3e[t]);
+                        batch_mac(bk00, x0s, x0e, y0s, y0e);
+                        batch_mac(bk01, x0s, x0e, y1s, y1e);
+                        batch_mac(bk02, x0s, x0e, y2s, y2e);
+                        batch_mac(bk03, x0s, x0e, y3s, y3e);
+                        batch_mac(bk10, x1s, x1e, y0s, y0e);
+                        batch_mac(bk11, x1s, x1e, y1s, y1e);
+                        batch_mac(bk12, x1s, x1e, y2s, y2e);
+                        batch_mac(bk13, x1s, x1e, y3s, y3e);
+                        batch_mac(bk20, x2s, x2e, y0s, y0e);
+                        batch_mac(bk21, x2s, x2e, y1s, y1e);
+                        batch_mac(bk22, x2s, x2e, y2s, y2e);
+                        batch_mac(bk23, x2s, x2e, y3s, y3e);
+                        batch_mac(bk30, x3s, x3e, y0s, y0e);
+                        batch_mac(bk31, x3s, x3e, y1s, y1e);
+                        batch_mac(bk32, x3s, x3e, y2s, y2e);
+                        batch_mac(bk33, x3s, x3e, y3s, y3e);
+                    }
+                    for (r, acc_row) in acc.iter_mut().enumerate() {
+                        let alo = ap.smin[(row0 + i + r) * strips + strip];
+                        let ahi = ap.smax[(row0 + i + r) * strips + strip];
+                        for (s, q) in acc_row.iter_mut().enumerate() {
+                            let lo = alo + bp.smin[(j + s) * strips + strip];
+                            let hi = ahi + bp.smax[(j + s) * strips + strip];
+                            if lo > hi {
+                                continue; // strip touched no bucket for this output
+                            }
+                            debug_assert!(lo >= 0 && (hi as usize) < bc);
+                            let bk = &mut buckets[r * NRB + s];
+                            for idx in lo as usize..=hi as usize {
+                                let v = bk[idx & (BUCKET_SLOTS - 1)];
+                                if v != 0 {
+                                    q.add_group(idx as i32 + emin, width, v);
+                                    bk[idx & (BUCKET_SLOTS - 1)] = 0;
+                                }
+                            }
+                        }
+                    }
+                    t0 = t1;
+                    strip += 1;
+                }
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    for (s, q) in acc_row.iter_mut().enumerate() {
+                        if a_nar[r] || bp.nar[j + s] {
+                            q.set_nar();
+                        }
+                        c[(i + r) * n + j + s] += self.store_narrow(q, f32_lut);
+                    }
+                }
+                j += NRB;
+            }
+            while j < n {
+                let b_run = &b_cols[j * k..(j + 1) * k];
+                for r in 0..MRB {
+                    let a_run = &a[(i + r) * k..(i + r + 1) * k];
+                    c[(i + r) * n + j] +=
+                        self.store_narrow(&dot_narrow(proto, a_run, b_run), f32_lut);
+                }
+                j += 1;
+            }
+            i += MRB;
+        }
+        while i < rows {
+            let a_run = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_run = &b_cols[j * k..(j + 1) * k];
+                c[i * n + j] += self.store_narrow(&dot_narrow(proto, a_run, b_run), f32_lut);
+            }
+            i += 1;
+        }
     }
 
     /// Narrow fast path over one row block: MR×NR register tiles with

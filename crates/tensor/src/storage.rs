@@ -113,6 +113,33 @@ impl PackedBits {
         (0..self.len()).map(move |i| self.get(i))
     }
 
+    /// The raw byte-per-element buffer, when this is a `U8` plane.
+    ///
+    /// The batch decoders use this to stream code words without the
+    /// per-element width dispatch of [`PackedBits::get`].
+    pub fn as_u8(&self) -> Option<&[u8]> {
+        match self {
+            PackedBits::U8(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw two-byte-per-element buffer, when this is a `U16` plane.
+    pub fn as_u16(&self) -> Option<&[u16]> {
+        match self {
+            PackedBits::U16(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw four-byte-per-element buffer, when this is a `U32` plane.
+    pub fn as_u32(&self) -> Option<&[u32]> {
+        match self {
+            PackedBits::U32(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// A contiguous sub-range `[start, end)` of code words as a fresh
     /// buffer of the same width. The words are copied verbatim — no
     /// decode/re-encode — so a slice of an encoded plane holds exactly

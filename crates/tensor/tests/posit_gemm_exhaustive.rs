@@ -8,7 +8,7 @@
 
 use posit::exact::{decode_ref, Rational, RefRounder};
 use posit::{PositFormat, Rounding};
-use posit_tensor::{PositGemm, PositPlane};
+use posit_tensor::{KStripMode, PackedBits, PositGemm, PositPlane};
 
 /// The 8-bit formats the paper trains with (es 0..=2).
 const NARROW_FMTS: [PositFormat; 3] = [
@@ -269,5 +269,199 @@ fn transposed_kernels_bitwise_agree_on_exhaustive_data() {
         let mut c = vec![0.0f32; m * n];
         kernel.gemm_a_bt(m, k, n, &a, &b_t, &mut c);
         assert_eq!(c, want, "{fmt} gemm_a_bt");
+    }
+}
+
+/// A deterministic 64-bit LCG stream for the sweeps below.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state
+}
+
+/// The SWAR lane-group decode (`n ≤ 8`) and the two-level-LUT decode
+/// (`8 < n ≤ 16`) must match the bit-twiddled scalar oracle element for
+/// element: every code word of every 8-bit training format (with
+/// out-of-range high bits mixed in to pin the masking alias), the full
+/// posit(16,1) code space, and a sampled wide-format fallback.
+#[test]
+fn plane_decode_paths_match_scalar_oracle() {
+    // n ≤ 8: full code space + garbage high bits + a non-multiple-of-8
+    // length so the lane-group remainder loop runs.
+    for fmt in NARROW_FMTS {
+        let mut bits: Vec<u64> = (0..fmt.code_count()).collect();
+        bits.extend((0..fmt.code_count()).map(|c| c | 0xABCD_EF00));
+        bits.extend([0, 1, fmt.nar_bits()]); // remainder lanes
+        let fast = PositPlane::from_bits(fmt, &bits);
+        let oracle = PositPlane::from_bits_scalar(fmt, &bits);
+        assert_eq!(fast.elems(), oracle.elems(), "{fmt} from_bits");
+    }
+    // 8 < n ≤ 16: the two-level LUT route over the full (16,1) space.
+    let fmt = PositFormat::of(16, 1);
+    let bits: Vec<u64> = (0..fmt.code_count()).collect();
+    let fast = PositPlane::from_bits(fmt, &bits);
+    let oracle = PositPlane::from_bits_scalar(fmt, &bits);
+    assert_eq!(fast.elems(), oracle.elems(), "{fmt} from_bits");
+    // n > 16: the direct decode route, sampled.
+    let fmt = PositFormat::of(32, 3);
+    let mut state = 0x5EED_CAFE_F00D_BEEFu64;
+    let bits: Vec<u64> = (0..4096).map(|_| lcg(&mut state) & fmt.mask()).collect();
+    let fast = PositPlane::from_bits(fmt, &bits);
+    let oracle = PositPlane::from_bits_scalar(fmt, &bits);
+    assert_eq!(fast.elems(), oracle.elems(), "{fmt} from_bits");
+}
+
+/// The packed-plane decode (u64 lane groups over byte storage, two-level
+/// LUT over u16 storage, direct decode otherwise) must match its scalar
+/// oracle for every storage width, with nonzero Eq. 2 scale shifts and
+/// zero/NaR elements in the stream.
+#[test]
+fn packed_plane_decode_matches_scalar_oracle() {
+    let mut state = 0x0123_4567_89AB_CDEFu64;
+    for (n, es, len) in [
+        (8u32, 1u32, 1003usize), // byte storage, lane-group remainder of 3
+        (8, 2, 64),              // byte storage, exact lane groups
+        (16, 1, 517),            // u16 storage, two-level LUT route
+        (32, 3, 129),            // u32 storage, direct decode route
+    ] {
+        let fmt = PositFormat::of(n, es);
+        let mut packed = PackedBits::for_format(fmt, len);
+        for i in 0..len {
+            let code = match i % 13 {
+                0 => 0,              // zeros keep their canonical element
+                7 => fmt.nar_bits(), // NaR keeps its sentinel under shifts
+                _ => lcg(&mut state) & fmt.mask(),
+            };
+            packed.push(code);
+        }
+        for scale_exp in [-9i32, 0, 6] {
+            let fast = PositPlane::from_packed(fmt, &packed, scale_exp);
+            let oracle = PositPlane::from_packed_scalar(fmt, &packed, scale_exp);
+            assert_eq!(fast.scale_exp(), oracle.scale_exp());
+            assert_eq!(
+                fast.elems(),
+                oracle.elems(),
+                "{fmt} from_packed scale_exp={scale_exp}"
+            );
+        }
+    }
+}
+
+/// The K-strip batched micro-kernel groups exact integer terms before the
+/// quire sees them, so forcing it on must be bit-identical to the scalar
+/// narrow kernel on the same inputs — pinned on every pairwise product of
+/// every 8-bit training format (k = 1, the degenerate strip).
+#[test]
+fn kstrip_pairwise_products_bitwise_agree() {
+    for fmt in NARROW_FMTS {
+        let codes = finite_codes(fmt);
+        let m = codes.len();
+        let a = PositPlane::from_bits(fmt, &codes);
+        let b = PositPlane::from_bits(fmt, &codes);
+        for rounding in [Rounding::NearestEven, Rounding::ToZero] {
+            let off = PositGemm::new(fmt, rounding).kstrip(KStripMode::Off);
+            let force = PositGemm::new(fmt, rounding).kstrip(KStripMode::Force);
+            assert!(!off.uses_kstrip_path(0, 1));
+            assert!(force.uses_kstrip_path(0, 1), "{fmt} must batch");
+            let mut c_off = vec![0.0f32; m * m];
+            let mut c_force = vec![0.0f32; m * m];
+            off.gemm(m, 1, m, &a, &b, &mut c_off);
+            force.gemm(m, 1, m, &a, &b, &mut c_force);
+            assert_eq!(c_off, c_force, "{fmt} {rounding:?}");
+        }
+    }
+}
+
+/// Sampled posit(16,1) K-strip agreement at GEMM scale: register-tile
+/// interiors, row/column tails, zero and NaR lanes, reduction depths
+/// around the Auto threshold and around the strip boundary (8192) — the
+/// batched kernel must match the scalar kernel bit for bit everywhere.
+#[test]
+fn kstrip_sampled_p16_sweeps_agree() {
+    let fmt = PositFormat::of(16, 1);
+    let mut state = 0xFACE_0FF5_1234_5678u64;
+    // (m, k, n): tails (m % 4, n % 4 ≠ 0), depths straddling the Auto
+    // threshold (48) and the K-strip length (8192).
+    for (m, k, n) in [
+        (5usize, 1usize, 6usize),
+        (6, 2, 7),
+        (4, 47, 4),
+        (5, 48, 9),
+        (7, 49, 3),
+        (9, 333, 5),
+        // The (16,1) narrow K budget is exactly 8192 (13 guard bits), so
+        // the deepest batched reductions run as one full-length strip;
+        // deeper-than-one-strip shapes are pinned on (8,1) below.
+        (3, 8191, 5),
+        (2, 8192, 6),
+    ] {
+        let mut gen_codes = |len: usize, poison: bool| -> Vec<u64> {
+            (0..len)
+                .map(|i| {
+                    if i % 11 == 0 {
+                        0
+                    } else if poison && i % 97 == 3 {
+                        fmt.nar_bits()
+                    } else {
+                        (lcg(&mut state) >> 17) & fmt.mask()
+                    }
+                })
+                .collect()
+        };
+        let a = PositPlane::from_bits(fmt, &gen_codes(m * k, true));
+        let b = PositPlane::from_bits(fmt, &gen_codes(k * n, true));
+        let off = PositGemm::new(fmt, Rounding::NearestEven).kstrip(KStripMode::Off);
+        let force = PositGemm::new(fmt, Rounding::NearestEven).kstrip(KStripMode::Force);
+        assert!(force.uses_kstrip_path(0, k), "k={k} must batch");
+        let mut c_off = vec![0.0f32; m * n];
+        let mut c_force = vec![0.0f32; m * n];
+        off.gemm(m, k, n, &a, &b, &mut c_off);
+        force.gemm(m, k, n, &a, &b, &mut c_force);
+        for (i, (x, y)) in c_off.iter().zip(&c_force).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()),
+                "{m}x{k}x{n} element {i}: {x} vs {y}"
+            );
+        }
+    }
+}
+
+/// K-strip boundary crossing: posit(8,1)'s huge narrow budget admits
+/// reductions deeper than one 8192-element strip, so these shapes force
+/// the multi-strip flush/reset cycle (remainder strips included) and must
+/// still match the scalar kernel bit for bit.
+#[test]
+fn kstrip_multi_strip_shapes_agree() {
+    let fmt = PositFormat::of(8, 1);
+    let mut state = 0xBEE5_0000_DEAD_10CCu64;
+    for (m, k, n) in [(3usize, 8193usize, 4usize), (2, 16385, 3), (5, 12000, 2)] {
+        // NaR-free streams (NaR poisoning is pinned by the (16,1) sweep
+        // above): with NaR anywhere in a multi-strip column every output
+        // is NaN and the strip arithmetic goes untested.
+        let mut gen_codes = |len: usize| -> Vec<u64> {
+            (0..len)
+                .map(|i| {
+                    if i % 23 == 0 {
+                        0
+                    } else {
+                        match (lcg(&mut state) >> 11) & fmt.mask() {
+                            c if c == fmt.nar_bits() => 1,
+                            c => c,
+                        }
+                    }
+                })
+                .collect()
+        };
+        let a = PositPlane::from_bits(fmt, &gen_codes(m * k));
+        let b = PositPlane::from_bits(fmt, &gen_codes(k * n));
+        let off = PositGemm::new(fmt, Rounding::NearestEven).kstrip(KStripMode::Off);
+        let force = PositGemm::new(fmt, Rounding::NearestEven).kstrip(KStripMode::Force);
+        assert!(force.uses_kstrip_path(0, k), "k={k} must batch");
+        let mut c_off = vec![0.0f32; m * n];
+        let mut c_force = vec![0.0f32; m * n];
+        off.gemm(m, k, n, &a, &b, &mut c_off);
+        force.gemm(m, k, n, &a, &b, &mut c_force);
+        assert_eq!(c_off, c_force, "{m}x{k}x{n}");
     }
 }

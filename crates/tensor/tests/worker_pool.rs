@@ -46,6 +46,39 @@ fn pooled_kernels_match_serial_bit_for_bit() {
     kernel.gemm(m, k, n, &pa, &pb, &mut q_again);
     assert_eq!(q_pool, q_again, "pooled run determinism");
 
+    // Thin-lane fallback: an fc1-shaped GEMM (m = 32, k = 256, n = 128)
+    // clears the total-work gate exactly, but on this 4-thread budget it
+    // would split into two 16-row lanes of 2^19 MACs each — too little
+    // work per lane to amortize dispatch. `planned_lanes` must keep it
+    // serial, while a 128-row problem with the same per-row work still
+    // fans out to all four lanes.
+    assert_eq!(
+        gemm::planned_lanes(32, 32 * 256 * 128),
+        1,
+        "fc1 shape serial"
+    );
+    assert_eq!(
+        gemm::planned_lanes(128, 128 * 256 * 128),
+        4,
+        "wide shape parallel"
+    );
+    // The serial fallback is still bit-identical to a forced-serial run.
+    let (mf, kf, nf) = (32, 256, 128);
+    let af: Vec<f32> = (0..mf * kf)
+        .map(|i| ((i * 29 % 41) as f32 - 20.0) * 0.0625)
+        .collect();
+    let bf: Vec<f32> = (0..kf * nf)
+        .map(|i| ((i * 23 % 37) as f32 - 18.0) * 0.125)
+        .collect();
+    let kern16 = PositGemm::new(PositFormat::of(16, 1), Rounding::NearestEven);
+    let paf = kern16.encode_plane(&af);
+    let pbf = kern16.encode_plane(&bf);
+    let mut qf_pool = vec![0.0f32; mf * nf];
+    kern16.gemm(mf, kf, nf, &paf, &pbf, &mut qf_pool);
+    let mut qf_serial = vec![0.0f32; mf * nf];
+    serial_scope(|| kern16.gemm(mf, kf, nf, &paf, &pbf, &mut qf_serial));
+    assert_eq!(qf_pool, qf_serial, "fc1 shape pool vs serial");
+
     // Uneven lane split: row counts that do not divide by the 4-lane
     // budget (37 = 9·4+1) and a 1-row degenerate batch (fewer rows than
     // lanes, so some lanes receive no work). Pool ≡ serial either way.
