@@ -57,7 +57,10 @@ fi
 # Regression gate: the posit-quire GEMM rows, the serve rows built on
 # them, and the plane_decode rows (the decode LUT fast paths feeding every
 # kernel) must not regress more than 1.5x against the previous
-# run's JSON. The baseline is always same-machine: BENCH_*.json is
+# run's JSON. The telemetry-overhead rows (mlp.obs-off/posit-quire and
+# mlp.obs-on/posit-quire from benches/backends.rs) match the same
+# pattern, so both the disabled cost of posit-obs (one relaxed atomic
+# load per kernel call) and its enabled cost are held inside the gate. The baseline is always same-machine: BENCH_*.json is
 # gitignored, so the file at the repo root is whatever the *last run on
 # this box* wrote (a fresh clone has no baseline and skips the gate) —
 # absolute wall times are never compared across machines. Other rows are

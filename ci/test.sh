@@ -43,6 +43,15 @@ if [ "$quick" -eq 0 ]; then
     # the release quire kernels (children pin their own thread counts).
     echo "==> POSIT_TENSOR_THREADS=4 cargo test -q --release -p posit-serve --test batcher_determinism"
     POSIT_TENSOR_THREADS=4 cargo test -q --release -p posit-serve --test batcher_determinism
+    # Determinism under instrumentation: the obs suites force recording
+    # off for their own baselines, so POSIT_OBS=1 here exercises the
+    # env-enabled path end to end (training + serving re-run with every
+    # release-mode kernel counter live) and the fingerprints must still
+    # match the uninstrumented bits.
+    echo "==> POSIT_OBS=1 POSIT_TENSOR_THREADS=4 cargo test -q --release -p posit-train --test obs_determinism"
+    POSIT_OBS=1 POSIT_TENSOR_THREADS=4 cargo test -q --release -p posit-train --test obs_determinism
+    echo "==> POSIT_OBS=1 POSIT_TENSOR_THREADS=4 cargo test -q --release -p posit-serve --test obs_determinism"
+    POSIT_OBS=1 POSIT_TENSOR_THREADS=4 cargo test -q --release -p posit-serve --test obs_determinism
 else
     echo "==> (--quick: skipping release-mode exhaustive suites)"
 fi

@@ -199,12 +199,45 @@ fn bench_plane_decode(c: &mut Criterion) {
     g.finish();
 }
 
+/// Telemetry-overhead A/B: the same preplaned quire GEMM at an MLP layer
+/// shape with `posit_obs` recording off (`mlp.obs-off/posit-quire`) and
+/// on (`mlp.obs-on/posit-quire`). Both rows match the bench-smoke
+/// regression gate's `mlp.*/posit-quire` pattern, so the disabled cost
+/// (one relaxed atomic load per kernel call) and the enabled cost (a few
+/// sharded counter adds per call) are both held inside the 1.5x envelope.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let fmt = PositFormat::of(8, 1);
+    let rounding = Rounding::NearestEven;
+    let mut rng = Prng::seed(9);
+    let (m, k, n) = (32usize, 256, 128);
+    let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let kernel = PositGemm::new(fmt, rounding);
+    let pa = kernel.encode_plane(&a);
+    let pb = kernel.encode_plane(&b);
+    let was = posit_obs::enabled();
+    for (label, on) in [("mlp.obs-off", false), ("mlp.obs-on", true)] {
+        let mut g = c.benchmark_group(label);
+        g.throughput(Throughput::Elements((m * k * n) as u64));
+        posit_obs::set_enabled(on);
+        g.bench_function("posit-quire", |bch| {
+            bch.iter(|| {
+                let mut out = vec![0.0f32; m * n];
+                kernel.gemm(m, k, n, black_box(&pa), black_box(&pb), &mut out);
+                out
+            })
+        });
+        posit_obs::set_enabled(was);
+        g.finish();
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(1))
         .sample_size(10);
-    targets = bench_backends, bench_dp_step, bench_plane_decode
+    targets = bench_backends, bench_dp_step, bench_plane_decode, bench_obs_overhead
 }
 criterion_main!(benches);

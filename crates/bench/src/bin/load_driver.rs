@@ -131,11 +131,15 @@ fn drive(pattern: Pattern, cfg: ServeConfig, n: u64, store: &MemoryStore) -> Ser
 
 fn print_row(pattern: &str, cfg: ServeConfig, s: &ServeStats) {
     println!(
-        "{pattern:<8} {:>9} {:>5} {:>8} {:>7.2} {:>10} {:>10} {:>13.1} {:>13.1} {:>11.0}",
+        "{pattern:<8} {:>9} {:>5} {:>8} {:>7.2} {:>6} {:>6} {:>7} {:>8} {:>10} {:>10} {:>13.1} {:>13.1} {:>11.0}",
         cfg.max_batch,
         cfg.max_wait_ticks,
         s.batches,
         s.mean_batch,
+        s.batch_p50,
+        s.batch_p99,
+        s.full_batches,
+        s.queue_depth_peak,
         s.queue_p50_ticks,
         s.queue_p99_ticks,
         s.compute_p50_ns as f64 / 1e3,
@@ -155,12 +159,16 @@ fn main() {
 
     println!("== serve load driver: LeNet 3x{SIDE}x{SIDE}, posit-quire, {n} requests ==");
     println!(
-        "{:<8} {:>9} {:>5} {:>8} {:>7} {:>10} {:>10} {:>13} {:>13} {:>11}",
+        "{:<8} {:>9} {:>5} {:>8} {:>7} {:>6} {:>6} {:>7} {:>8} {:>10} {:>10} {:>13} {:>13} {:>11}",
         "pattern",
         "max_batch",
         "wait",
         "batches",
         "mean_b",
+        "b_p50",
+        "b_p99",
+        "full_b",
+        "depth_pk",
         "queue_p50",
         "queue_p99",
         "comp_p50(us)",
@@ -199,5 +207,17 @@ fn main() {
             "batching speedup (bursty, best vs max_batch=1): {:.2}x",
             best_sps / unbatched_sps
         );
+    }
+    // With POSIT_OBS=1 the whole run has been feeding the global metric
+    // registry: kernel-path counters from every GEMM, quantization-edge
+    // health, codec bytes from the checkpoint round trip, and the serve
+    // queue/batch metrics. Dump it — and export NDJSON when asked.
+    if posit_obs::enabled() {
+        let snap = posit_obs::Registry::global().snapshot();
+        println!("\n== posit-obs registry ==");
+        print!("{}", snap.to_table());
+        if let Some(path) = std::env::var_os("POSIT_OBS_NDJSON") {
+            std::fs::write(&path, snap.to_ndjson()).expect("write obs NDJSON export");
+        }
     }
 }

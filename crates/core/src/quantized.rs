@@ -274,6 +274,8 @@ impl Quantized {
         let sr = &mut self.sr_state;
         let keep_master = self.master_mode == MasterWeights::Fp32;
         let packed = self.packed;
+        let _edge = posit_obs::enabled()
+            .then(|| posit_obs::push_edge_label(&format!("{}.w", self.inner.name())));
         let mut stash = Vec::new();
         for p in self.inner.params_mut() {
             if keep_master {
@@ -357,6 +359,8 @@ impl Layer for Quantized {
                 // layer as packed posit bits and the next GEMM consumes
                 // them directly.
                 let e = self.a_scale.exp_or_lazy(y.data(), self.sigma, self.scaling);
+                let _edge = posit_obs::enabled()
+                    .then(|| posit_obs::push_edge_label(&format!("{}.a", self.inner.name())));
                 if self.packed {
                     y.to_posit_with(self.a_fmt, e, self.rounding, &mut self.sr_state)
                 } else {
@@ -404,6 +408,8 @@ impl Layer for Quantized {
                     let fmt = self.g_fmt;
                     let gscale = &mut self.g_scale;
                     let sr = &mut self.sr_state;
+                    let _edge = posit_obs::enabled()
+                        .then(|| posit_obs::push_edge_label(&format!("{}.dw", self.inner.name())));
                     for p in self.inner.params_mut() {
                         let e = gscale.exp_or_lazy(p.grad.data(), sigma, scaling);
                         scale::shifted_quantize_slice(p.grad.data_mut(), &fmt, e, rounding, sr);
@@ -413,6 +419,8 @@ impl Layer for Quantized {
                 // transition under the quire backend, like the forward
                 // activation edge.
                 let e = self.e_scale.exp_or_lazy(g.data(), sigma, scaling);
+                let _edge = posit_obs::enabled()
+                    .then(|| posit_obs::push_edge_label(&format!("{}.e", self.inner.name())));
                 if self.packed {
                     g.to_posit_with(self.e_fmt, e, rounding, &mut self.sr_state)
                 } else {
@@ -466,6 +474,8 @@ impl Layer for Quantized {
             let fmt = self.g_fmt;
             let gscale = &mut self.g_scale;
             let sr = &mut self.sr_state;
+            let _edge = posit_obs::enabled()
+                .then(|| posit_obs::push_edge_label(&format!("{}.dw", self.inner.name())));
             for p in self.inner.params_mut() {
                 let e = gscale.exp_or_lazy(p.grad.data(), sigma, scaling);
                 scale::shifted_quantize_slice(p.grad.data_mut(), &fmt, e, rounding, sr);

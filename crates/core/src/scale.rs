@@ -39,6 +39,11 @@ pub fn scale_exp(xs: &[f32], sigma: i32) -> Option<i32> {
 ///
 /// `rand_state` drives stochastic rounding (ignored by deterministic
 /// modes); it is advanced once per element so streams are reproducible.
+/// When `posit_obs` recording is on, edge-health tallies (clamped /
+/// flushed / NaR counts and a log2-magnitude histogram of the scaled
+/// inputs) are published under the thread's current
+/// [`posit_obs::edge_label`] — observation only: the quantized values and
+/// the random stream are byte-identical either way.
 pub fn shifted_quantize_slice(
     xs: &mut [f32],
     fmt: &PositFormat,
@@ -48,20 +53,60 @@ pub fn shifted_quantize_slice(
 ) {
     let sf = (scale_exp as f32).exp2();
     let inv = (-scale_exp as f32).exp2();
+    let obs_on = posit_obs::enabled();
+    let mut tally = posit_obs::EdgeTally::default();
+    let log2 = if obs_on {
+        Some(posit_obs::edge_log2_histogram(None))
+    } else {
+        None
+    };
     match rounding {
         Rounding::Stochastic => {
             for x in xs.iter_mut() {
                 let z = posit::quant::sr_next(rand_state);
-                let bits = fmt.from_f64_stochastic((*x * inv) as f64, z);
+                let scaled = (*x * inv) as f64;
+                let bits = fmt.from_f64_stochastic(scaled, z);
+                if obs_on {
+                    note_edge(&mut tally, log2.as_ref(), fmt, scaled, bits);
+                }
                 *x = fmt.to_f32(bits) * sf;
             }
         }
         mode => {
             for x in xs.iter_mut() {
-                let bits = fmt.from_f64((*x * inv) as f64, mode);
+                let scaled = (*x * inv) as f64;
+                let bits = fmt.from_f64(scaled, mode);
+                if obs_on {
+                    note_edge(&mut tally, log2.as_ref(), fmt, scaled, bits);
+                }
                 *x = fmt.to_f32(bits) * sf;
             }
         }
+    }
+    if obs_on {
+        posit_obs::record_edge(None, &tally);
+    }
+}
+
+/// One element's contribution to the quantization-edge tally: classifies
+/// the (scaled value, code word) pair without touching either.
+fn note_edge(
+    tally: &mut posit_obs::EdgeTally,
+    log2: Option<&posit_obs::HistogramHandle>,
+    fmt: &PositFormat,
+    scaled: f64,
+    bits: u64,
+) {
+    tally.total += 1;
+    if bits == fmt.nar_bits() {
+        tally.nar += 1;
+    } else if scaled.is_finite() && scaled.abs() > fmt.maxpos() {
+        tally.clamped += 1;
+    } else if scaled != 0.0 && bits == 0 {
+        tally.flushed += 1;
+    }
+    if let (Some(h), Some(v)) = (log2, posit_obs::log2_offset_of(scaled)) {
+        h.record(v);
     }
 }
 

@@ -157,6 +157,54 @@ impl HistogramRecorder {
     pub fn for_param(&self, name: &str) -> Vec<&Snapshot> {
         self.snapshots.iter().filter(|s| s.param == name).collect()
     }
+
+    /// Export every captured snapshot as NDJSON (one object per snapshot
+    /// per line), the machine-readable sibling of [`Histogram::render`]:
+    /// the same hand-written flat-JSON style as the obs registry exporter,
+    /// with both the value and log2-magnitude histograms inline.
+    pub fn to_ndjson(&self) -> String {
+        fn hist_json(h: &Histogram) -> String {
+            let counts = h
+                .counts
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{{\"lo\": {}, \"hi\": {}, \"mean\": {}, \"std\": {}, \"n\": {}, \
+                 \"counts\": [{counts}]}}",
+                f32_json(h.lo),
+                f32_json(h.hi),
+                f64_json(h.mean),
+                f64_json(h.std),
+                h.n,
+            )
+        }
+        fn f32_json(x: f32) -> String {
+            f64_json(x as f64)
+        }
+        fn f64_json(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::new();
+        for s in &self.snapshots {
+            // Param names are plain dotted identifiers; escape the two JSON
+            // specials anyway so the writer stays total.
+            let param = s.param.replace('\\', "\\\\").replace('"', "\\\"");
+            out.push_str(&format!(
+                "{{\"param\": \"{param}\", \"epoch\": {}, \"values\": {}, \
+                 \"log_magnitudes\": {}}}\n",
+                s.epoch,
+                hist_json(&s.values),
+                hist_json(&s.log_magnitudes),
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -209,5 +257,27 @@ mod tests {
         assert_eq!(rec.snapshots().len(), 4);
         assert_eq!(rec.for_param("conv1.weight").len(), 2);
         assert_eq!(rec.for_param("nonexistent").len(), 0);
+    }
+
+    #[test]
+    fn recorder_ndjson_is_one_flat_object_per_snapshot() {
+        use posit_models::{resnet_scaled, PlainBuilder};
+        use posit_tensor::rng::Prng;
+        let mut rng = Prng::seed(1);
+        let mut b = PlainBuilder;
+        let net = resnet_scaled(&mut b, 4, 10, &mut rng);
+        let mut rec = HistogramRecorder::new(vec!["conv1.weight".into()], 8);
+        rec.capture(&net, 0);
+        rec.capture(&net, 3);
+        let nd = rec.to_ndjson();
+        assert_eq!(nd.lines().count(), 2);
+        for line in nd.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"param\": \"conv1.weight\""), "{line}");
+            assert!(line.contains("\"values\": {"), "{line}");
+            assert!(line.contains("\"log_magnitudes\": {"), "{line}");
+        }
+        assert!(nd.contains("\"epoch\": 3"));
+        assert!(HistogramRecorder::default().to_ndjson().is_empty());
     }
 }

@@ -93,6 +93,7 @@ impl InputQuantizer {
             }
         };
         let mut state = spec.sr_seed ^ 0xA0;
+        let _edge = posit_obs::enabled().then(|| posit_obs::push_edge_label("input.a0"));
         scale::shifted_quantize_slice(
             x.data_mut(),
             &spec.conv.activation,
@@ -492,6 +493,8 @@ impl Trainer {
                 report.epochs = state.epochs;
             }
         }
+        let step_hist =
+            posit_obs::enabled().then(|| posit_obs::Registry::global().histogram("train.step_ns"));
         for epoch in start_epoch..config.epochs {
             let phase = Self::phase_for_epoch(config, epoch);
             if let Some(c) = &self.control {
@@ -507,6 +510,7 @@ impl Trainer {
                     .as_ref()
                     .is_some_and(|q| q.backend == ComputeBackend::PositQuire);
             for (mut x, t) in loader.epoch() {
+                let _step = step_hist.as_ref().map(posit_obs::Span::start);
                 self.quantize_input(&mut x, config);
                 let (l, acc) = if exact_shards {
                     self.sharded_step(&x, &t, config, &loss_fn, &mut opt)
@@ -543,6 +547,9 @@ impl Trainer {
                 test_acc,
             };
             on_epoch(&stats);
+            if posit_obs::enabled() {
+                obs_epoch_export(&stats);
+            }
             report.epochs.push(stats);
             report.best_test_acc = report.best_test_acc.max(test_acc);
             report.final_test_acc = test_acc;
@@ -595,6 +602,58 @@ impl Trainer {
         }
         Ok(())
     }
+}
+
+/// A JSON number for a possibly non-finite float (a diverged run has NaN
+/// loss; `null` keeps the line parseable).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Append observability lines to the sink selected by
+/// `POSIT_OBS_TRAIN_LOG`: the named file (append mode) when set, stderr
+/// otherwise. Write errors are swallowed — telemetry must never fail a
+/// training run.
+fn obs_write_lines(text: &str) {
+    use std::io::Write;
+    match std::env::var_os("POSIT_OBS_TRAIN_LOG") {
+        Some(path) => {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = f.write_all(text.as_bytes());
+            }
+        }
+        None => {
+            let _ = std::io::stderr().write_all(text.as_bytes());
+        }
+    }
+}
+
+/// Export one epoch's observability record as NDJSON: an `"event":
+/// "epoch"` summary line (loss, accuracy, learning rate) followed by a
+/// full dump of the global metric registry — kernel-path counters,
+/// per-layer quantization-edge health, and the `train.step_ns` span
+/// histogram, cumulative as of this epoch boundary.
+fn obs_epoch_export(stats: &EpochStats) {
+    let mut out = format!(
+        "{{\"event\": \"epoch\", \"epoch\": {}, \"phase\": \"{}\", \"lr\": {}, \
+         \"train_loss\": {}, \"train_acc\": {}, \"test_acc\": {}}}\n",
+        stats.epoch,
+        stats.phase,
+        json_f64(stats.lr as f64),
+        json_f64(stats.train_loss),
+        json_f64(stats.train_acc),
+        json_f64(stats.test_acc),
+    );
+    out.push_str(&posit_obs::Registry::global().snapshot().to_ndjson());
+    obs_write_lines(&out);
 }
 
 /// Serialization of the trainer-side resume state (everything outside the

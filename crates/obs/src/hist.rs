@@ -1,0 +1,233 @@
+//! A fixed-size log-linear histogram over `u64` observations.
+//!
+//! Promoted from `posit_serve::histogram` (where it was the serving
+//! latency histogram) so kernels, the trainer and the store can share it.
+//! No external HDR-histogram crate (the container is offline), so this is
+//! the classic "4 linear sub-buckets per power-of-two octave" layout:
+//! values 0..4 get exact buckets, every larger value lands in one of four
+//! sub-buckets of its octave `[2^m, 2^{m+1})`. Relative quantile error is
+//! bounded by the sub-bucket width (≤ 25%), which is plenty for p50/p99
+//! tables, and recording is two shifts and an increment — cheap enough to
+//! sit on the per-request path.
+//!
+//! On top of the original serve API this adds [`Histogram::merge`] and
+//! [`Histogram::reset`], which the sharded [`Registry`](crate::Registry)
+//! needs: per-lane shards are merged at snapshot time, and merging is a
+//! plain element-wise bucket sum — associative and commutative, so the
+//! merge order cannot change a snapshot.
+
+/// Counts per bucket; covers the full `u64` range in 256 buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+}
+
+/// Buckets 0..4 are exact; octave `m >= 2` contributes 4 sub-buckets
+/// starting at index `4 + (m - 2) * 4`. The top octave (m = 63) ends at
+/// index 251, so 256 slots cover everything.
+pub(crate) const BUCKETS: usize = 256;
+
+pub(crate) fn bucket(v: u64) -> usize {
+    if v < 4 {
+        return v as usize;
+    }
+    let m = 63 - v.leading_zeros() as usize; // floor(log2 v), >= 2
+    let sub = ((v >> (m - 2)) & 3) as usize;
+    4 + (m - 2) * 4 + sub
+}
+
+/// Lower bound of a bucket — the conservative representative returned by
+/// [`Histogram::quantile`].
+pub(crate) fn bucket_floor(idx: usize) -> u64 {
+    if idx < 4 {
+        return idx as u64;
+    }
+    let m = (idx - 4) / 4 + 2;
+    let sub = ((idx - 4) % 4) as u64;
+    (4 + sub) << (m - 2)
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            max: 0,
+        }
+    }
+
+    pub(crate) fn from_parts(counts: Vec<u64>, total: u64, max: u64) -> Histogram {
+        debug_assert_eq!(counts.len(), BUCKETS);
+        Histogram { counts, total, max }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket(v)] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded observation (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Absorb another histogram: element-wise bucket sum, max of maxima.
+    /// Associative and commutative, so merging shards in any order yields
+    /// the same histogram as recording every observation into one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Forget every observation.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+        self.max = 0;
+    }
+
+    /// The non-empty buckets as `(bucket floor, count)` pairs, in
+    /// ascending value order — the exporters' view.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_floor(i), c))
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the floor of the bucket holding
+    /// the rank-`ceil(q·total)` observation; 0 when empty. Deterministic:
+    /// a plain cumulative walk over the fixed bucket array. When the rank
+    /// lands in the bucket holding the maximum, the exact maximum is
+    /// returned instead of the floor (so a p99 over a handful of
+    /// observations reads as the real tail value, not a bucket edge).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let top = bucket(self.max);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                if idx == top {
+                    return self.max;
+                }
+                return bucket_floor(idx);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 3, 3, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 2);
+        assert_eq!(h.quantile(1.0), 3);
+    }
+
+    #[test]
+    fn buckets_partition_the_line() {
+        // Every value maps into a bucket whose floor does not exceed it,
+        // and bucket indexes are monotone in the value.
+        let mut prev = 0usize;
+        for v in [0u64, 1, 3, 4, 5, 7, 8, 100, 1023, 1024, 1 << 40, u64::MAX] {
+            let b = bucket(v);
+            assert!(b < BUCKETS, "bucket {b} out of range for {v}");
+            assert!(bucket_floor(b) <= v, "floor above value for {v}");
+            assert!(b >= prev, "bucket order broke at {v}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 5_000u64), (0.99, 9_900u64)] {
+            let est = h.quantile(q);
+            assert!(
+                (est as f64 - exact as f64).abs() <= 0.25 * exact as f64,
+                "p{} error too large: {est} vs {exact}",
+                (q * 100.0) as u32
+            );
+        }
+        assert_eq!(h.quantile(1.0), 10_000, "p100 is the exact max");
+    }
+
+    #[test]
+    fn p99_never_exceeds_the_observed_max() {
+        let mut h = Histogram::new();
+        h.record(1_000_003);
+        assert_eq!(h.quantile(0.99), 1_000_003);
+        assert_eq!(h.max(), 1_000_003);
+    }
+
+    #[test]
+    fn merge_of_shards_equals_a_single_recorder() {
+        let values: Vec<u64> = (0..500u64)
+            .map(|i| i.wrapping_mul(2654435761) >> 32)
+            .collect();
+        let mut single = Histogram::new();
+        let mut shards = vec![Histogram::new(); 4];
+        for (i, &v) in values.iter().enumerate() {
+            single.record(v);
+            shards[i % 4].record(v);
+        }
+        let mut merged = Histogram::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged, single);
+        // Merge order is free.
+        let mut reversed = Histogram::new();
+        for s in shards.iter().rev() {
+            reversed.merge(s);
+        }
+        assert_eq!(reversed, single);
+    }
+
+    #[test]
+    fn reset_forgets_everything() {
+        let mut h = Histogram::new();
+        h.record(7);
+        h.record(1 << 20);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h, Histogram::new());
+    }
+}

@@ -1,0 +1,576 @@
+//! The metric registry: named counters, gauges and histograms with
+//! deterministic snapshots.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`HistogramHandle`]) are cheap `Arc`
+//! clones; recording through them is lock-free. Counters are sharded into
+//! [`MAX_LANES`] cache-line-padded slots indexed by the
+//! recording thread's worker lane (see [`crate::set_lane`]), so the GEMM
+//! worker pool never contends on a shared line; gauges and histogram
+//! buckets are relaxed atomics. A [`Registry::snapshot`] merges the lane
+//! shards with plain integer sums and emits rows in sorted-name order —
+//! both operations are associative and commutative, so the snapshot is a
+//! pure function of *what* was recorded, never of thread interleaving or
+//! merge order (pinned by the proptests in this module).
+//!
+//! Registration (`counter`/`gauge`/`histogram` by name) takes a mutex, but
+//! that is the cold path: instrumented call sites look their handles up
+//! once (or once per batch) and record through the handle afterwards.
+
+use crate::hist::{bucket, Histogram, BUCKETS};
+use crate::MAX_LANES;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One counter slot, padded to its own cache line so per-lane increments
+/// from different worker threads never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct Slot(AtomicU64);
+
+struct CounterInner {
+    slots: Vec<Slot>,
+}
+
+/// A monotonically increasing sum, sharded per worker lane.
+///
+/// `add` is one relaxed `fetch_add` on the calling thread's lane slot;
+/// the total is the sum over slots, computed at snapshot time. Handles
+/// clone cheaply and may be cached in `OnceLock`s at call sites.
+#[derive(Clone)]
+pub struct Counter(Arc<CounterInner>);
+
+impl Counter {
+    fn new() -> Counter {
+        Counter(Arc::new(CounterInner {
+            slots: (0..MAX_LANES).map(|_| Slot::default()).collect(),
+        }))
+    }
+
+    /// Add `n` to the calling thread's lane shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.slots[crate::lane()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current total: the sum over all lane shards. Exact once the
+    /// recording threads have quiesced (integer addition commutes).
+    pub fn value(&self) -> u64 {
+        self.0
+            .slots
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn reset(&self) {
+        for s in &self.0.slots {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+struct GaugeInner {
+    value: AtomicI64,
+    peak: AtomicI64,
+}
+
+/// A point-in-time level (e.g. queue depth) with a high-water mark.
+#[derive(Clone)]
+pub struct Gauge(Arc<GaugeInner>);
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge(Arc::new(GaugeInner {
+            value: AtomicI64::new(0),
+            peak: AtomicI64::new(0),
+        }))
+    }
+
+    /// Set the level, raising the peak if exceeded.
+    pub fn set(&self, v: i64) {
+        self.0.value.store(v, Ordering::Relaxed);
+        self.0.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the level by `delta` (negative to decrease).
+    pub fn add(&self, delta: i64) {
+        let new = self.0.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.0.peak.fetch_max(new, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn value(&self) -> i64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+
+    /// The highest level ever set.
+    pub fn peak(&self) -> i64 {
+        self.0.peak.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.value.store(0, Ordering::Relaxed);
+        self.0.peak.store(0, Ordering::Relaxed);
+    }
+}
+
+struct HistInner {
+    buckets: Vec<AtomicU64>,
+    total: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A registry-resident [`Histogram`]: atomic buckets so any thread can
+/// record, snapshotting to the plain owned form on demand. Bucket
+/// increments are relaxed `fetch_add`s — commutative, so concurrent
+/// recording cannot change the final counts.
+#[derive(Clone)]
+pub struct HistogramHandle(Arc<HistInner>);
+
+impl HistogramHandle {
+    fn new() -> HistogramHandle {
+        HistogramHandle(Arc::new(HistInner {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` identical observations with one bucket add.
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.0.buckets[bucket(v)].fetch_add(n, Ordering::Relaxed);
+        self.0.total.fetch_add(n, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// An owned copy of the current state.
+    pub fn snapshot(&self) -> Histogram {
+        let counts: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total = self.0.total.load(Ordering::Relaxed);
+        let max = self.0.max.load(Ordering::Relaxed);
+        Histogram::from_parts(counts, total, max)
+    }
+
+    fn reset(&self) {
+        for b in &self.0.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.0.total.store(0, Ordering::Relaxed);
+        self.0.max.store(0, Ordering::Relaxed);
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(HistogramHandle),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metrics. [`Registry::global`] is the process-wide
+/// instance every instrumented crate records into; independent registries
+/// can be created for tests.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Turn recording on or off process-wide (same switch as the
+    /// `POSIT_OBS` environment variable; see [`crate::enabled`]).
+    pub fn enable(on: bool) {
+        crate::set_enabled(on);
+    }
+
+    fn get_or_insert<T: Clone>(
+        &self,
+        name: &str,
+        make: impl FnOnce() -> Metric,
+        pick: impl Fn(&Metric) -> Option<T>,
+    ) -> T {
+        let mut map = self.metrics.lock().expect("obs registry poisoned");
+        let m = map.entry(name.to_string()).or_insert_with(make);
+        pick(m)
+            .unwrap_or_else(|| panic!("obs metric {name:?} already registered as a {}", m.kind()))
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.get_or_insert(
+            name,
+            || Metric::Counter(Counter::new()),
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.get_or_insert(
+            name,
+            || Metric::Gauge(Gauge::new()),
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        self.get_or_insert(
+            name,
+            || Metric::Histogram(HistogramHandle::new()),
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Zero every registered metric (names stay registered).
+    pub fn reset(&self) {
+        let map = self.metrics.lock().expect("obs registry poisoned");
+        for m in map.values() {
+            match m {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// A deterministic point-in-time view: rows in sorted-name order,
+    /// counter lanes merged by summation. Two runs that recorded the same
+    /// totals produce byte-identical snapshots regardless of which thread
+    /// recorded what.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.metrics.lock().expect("obs registry poisoned");
+        let rows = map
+            .iter()
+            .map(|(name, m)| MetricRow {
+                name: name.clone(),
+                value: match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.value()),
+                    Metric::Gauge(g) => MetricValue::Gauge {
+                        value: g.value(),
+                        peak: g.peak(),
+                    },
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        Snapshot { rows }
+    }
+}
+
+/// One snapshot row: a metric name and its merged value.
+#[derive(Debug, Clone)]
+pub struct MetricRow {
+    /// The registered metric name.
+    pub name: String,
+    /// The merged value.
+    pub value: MetricValue,
+}
+
+/// A merged metric value inside a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Total over all lane shards.
+    Counter(u64),
+    /// Current level and high-water mark.
+    Gauge {
+        /// The level at snapshot time.
+        value: i64,
+        /// The highest level observed.
+        peak: i64,
+    },
+    /// An owned copy of the histogram.
+    Histogram(Histogram),
+}
+
+/// A deterministic point-in-time view of a [`Registry`].
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Rows in sorted-name order.
+    pub rows: Vec<MetricRow>,
+}
+
+impl Snapshot {
+    /// Look a row up by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.rows
+            .binary_search_by(|r| r.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.rows[i].value)
+    }
+
+    /// The value of a counter, or 0 if absent / not a counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// True when no metric recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.rows.iter().all(|r| match &r.value {
+            MetricValue::Counter(v) => *v == 0,
+            MetricValue::Gauge { value, peak } => *value == 0 && *peak == 0,
+            MetricValue::Histogram(h) => h.count() == 0,
+        })
+    }
+
+    /// Render as an aligned text table (for `load_driver` and friends).
+    pub fn to_table(&self) -> String {
+        let width = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        let mut out = format!("{:<width$}  value\n", "metric");
+        for r in &self.rows {
+            let v = match &r.value {
+                MetricValue::Counter(v) => v.to_string(),
+                MetricValue::Gauge { value, peak } => format!("{value} (peak {peak})"),
+                MetricValue::Histogram(h) => format!(
+                    "n={} p50={} p99={} max={}",
+                    h.count(),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                    h.max()
+                ),
+            };
+            out.push_str(&format!("{:<width$}  {v}\n", r.name));
+        }
+        out
+    }
+
+    /// Render as NDJSON: one flat JSON object per metric per line, written
+    /// by hand in the same in-tree style as the store's `meta.json`
+    /// (the container has no serde). Histogram buckets are emitted as
+    /// `[floor, count]` pairs for the non-empty buckets only.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rows {
+            let name = json_escape(&r.name);
+            match &r.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!(
+                        "{{\"metric\": \"{name}\", \"type\": \"counter\", \"value\": {v}}}\n"
+                    ));
+                }
+                MetricValue::Gauge { value, peak } => {
+                    out.push_str(&format!(
+                        "{{\"metric\": \"{name}\", \"type\": \"gauge\", \
+                         \"value\": {value}, \"peak\": {peak}}}\n"
+                    ));
+                }
+                MetricValue::Histogram(h) => {
+                    let buckets = h
+                        .nonzero_buckets()
+                        .map(|(floor, count)| format!("[{floor}, {count}]"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    out.push_str(&format!(
+                        "{{\"metric\": \"{name}\", \"type\": \"histogram\", \
+                         \"count\": {}, \"max\": {}, \"p50\": {}, \"p99\": {}, \
+                         \"buckets\": [{buckets}]}}\n",
+                        h.count(),
+                        h.max(),
+                        h.quantile(0.5),
+                        h.quantile(0.99),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Escape a metric name for a JSON string literal. Names are plain
+/// dotted identifiers in practice; this keeps the writer total anyway.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge_lane_shards() {
+        let r = Registry::new();
+        let c = r.counter("x");
+        // Record from several simulated lanes; the total must not care.
+        for lane in [0usize, 3, 7, 3, 0] {
+            crate::set_lane(lane);
+            c.add(2);
+        }
+        crate::set_lane(0);
+        assert_eq!(c.value(), 10);
+        assert_eq!(r.snapshot().counter("x"), 10);
+    }
+
+    #[test]
+    fn snapshot_rows_are_sorted_and_typed() {
+        let r = Registry::new();
+        r.counter("z.last").incr();
+        r.gauge("a.first").set(5);
+        r.histogram("m.mid").record(7);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.rows.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, ["a.first", "m.mid", "z.last"]);
+        assert!(matches!(
+            snap.get("a.first"),
+            Some(MetricValue::Gauge { value: 5, peak: 5 })
+        ));
+        assert!(snap.get("missing").is_none());
+    }
+
+    #[test]
+    fn kind_collision_panics() {
+        let r = Registry::new();
+        r.counter("dup");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r.gauge("dup")));
+        assert!(
+            err.is_err(),
+            "re-registering a counter as a gauge must panic"
+        );
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let r = Registry::new();
+        let g = r.gauge("depth");
+        g.set(3);
+        g.add(4);
+        g.add(-6);
+        assert_eq!(g.value(), 1);
+        assert_eq!(g.peak(), 7);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_names() {
+        let r = Registry::new();
+        r.counter("c").add(9);
+        r.gauge("g").set(9);
+        r.histogram("h").record(9);
+        r.reset();
+        let snap = r.snapshot();
+        assert_eq!(snap.rows.len(), 3);
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn ndjson_lines_are_flat_objects() {
+        let r = Registry::new();
+        r.counter("k.calls").add(3);
+        r.histogram("k.ns").record(100);
+        r.gauge("k.depth").set(2);
+        let nd = r.snapshot().to_ndjson();
+        assert_eq!(nd.lines().count(), 3);
+        for line in nd.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"metric\": \""), "{line}");
+            assert!(line.contains("\"type\": \""), "{line}");
+        }
+        assert!(nd.contains("\"value\": 3"));
+        assert!(nd.contains("\"buckets\": [[96, 1]]"), "{nd}");
+    }
+
+    #[test]
+    fn table_mentions_every_metric() {
+        let r = Registry::new();
+        r.counter("one").incr();
+        r.gauge("two").set(2);
+        r.histogram("three").record(3);
+        let t = r.snapshot().to_table();
+        for name in ["one", "two", "three"] {
+            assert!(t.contains(name), "table missing {name}:\n{t}");
+        }
+    }
+
+    #[test]
+    fn histogram_handle_record_n_matches_repeated_record() {
+        let r = Registry::new();
+        let a = r.histogram("a");
+        let b = r.histogram("b");
+        for _ in 0..5 {
+            a.record(37);
+        }
+        b.record_n(37, 5);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+}

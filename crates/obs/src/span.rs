@@ -1,0 +1,64 @@
+//! Scoped wall-clock timers recording into registry histograms.
+
+use crate::registry::HistogramHandle;
+use std::time::Instant;
+
+/// A lightweight scoped timer: started against a histogram handle, it
+/// records the elapsed nanoseconds into the histogram when dropped.
+///
+/// When recording is disabled ([`crate::enabled`] is false) the span is
+/// inert — no clock is read and nothing is recorded — so wrapping a hot
+/// region in a span costs one atomic load.
+///
+/// Timings are wall-clock and therefore not reproducible run to run, but
+/// they are *observations only*: a span never feeds back into the
+/// computation it times, so instrumented runs stay bit-identical.
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    start: Option<(HistogramHandle, Instant)>,
+}
+
+impl Span {
+    /// Start timing into `hist` (inert when recording is disabled).
+    pub fn start(hist: &HistogramHandle) -> Span {
+        Span {
+            start: crate::enabled().then(|| (hist.clone(), Instant::now())),
+        }
+    }
+
+    /// An always-inert span (for call sites that time conditionally).
+    pub fn disabled() -> Span {
+        Span { start: None }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.start.take() {
+            hist.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn span_records_into_the_histogram_when_enabled() {
+        let r = Registry::new();
+        let h = r.histogram("span.ns");
+        let was = crate::enabled();
+        crate::set_enabled(true);
+        {
+            let _s = Span::start(&h);
+        }
+        crate::set_enabled(false);
+        {
+            let _s = Span::start(&h);
+        }
+        crate::set_enabled(was);
+        assert_eq!(h.snapshot().count(), 1, "only the enabled span records");
+    }
+}

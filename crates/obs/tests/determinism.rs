@@ -1,0 +1,84 @@
+//! Property tests for the registry's determinism contract: a snapshot is
+//! a pure function of the recorded totals — lane assignment, recording
+//! order and shard-merge order must all be invisible.
+
+use posit_obs::{Histogram, Registry};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    /// Recording the same (lane, amount) multiset in any permutation and
+    /// any lane assignment produces the identical snapshot as serial
+    /// recording on lane 0.
+    #[test]
+    fn permuted_lane_merge_equals_serial(
+        ops in vec((0usize..posit_obs::MAX_LANES, 1u64..1000), 1..64),
+        rot in 0usize..64,
+    ) {
+        let serial = Registry::new();
+        let sc = serial.counter("c");
+        posit_obs::set_lane(0);
+        for (_, n) in &ops {
+            sc.add(*n);
+        }
+
+        // Same amounts, rotated order, recorded from scattered lanes.
+        let sharded = Registry::new();
+        let hc = sharded.counter("c");
+        let k = rot % ops.len();
+        for (lane, n) in ops[k..].iter().chain(&ops[..k]) {
+            posit_obs::set_lane(*lane);
+            hc.add(*n);
+        }
+        posit_obs::set_lane(0);
+
+        let a = serial.snapshot();
+        let b = sharded.snapshot();
+        prop_assert_eq!(a.counter("c"), b.counter("c"));
+        prop_assert_eq!(a.to_ndjson(), b.to_ndjson());
+    }
+
+    /// Splitting a value stream across shard histograms and merging (in
+    /// either direction) equals one recorder seeing the whole stream.
+    #[test]
+    fn histogram_merge_of_shards_equals_single(
+        values in vec(any::<u64>(), 0..256),
+        shards in 1usize..8,
+    ) {
+        let mut single = Histogram::new();
+        let mut parts = vec![Histogram::new(); shards];
+        for (i, &v) in values.iter().enumerate() {
+            single.record(v);
+            parts[i % shards].record(v);
+        }
+        let mut fwd = Histogram::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = Histogram::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        prop_assert_eq!(&fwd, &single);
+        prop_assert_eq!(&rev, &single);
+        prop_assert_eq!(fwd.count(), values.len() as u64);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            prop_assert_eq!(fwd.quantile(q), single.quantile(q));
+        }
+    }
+
+    /// Quantiles never exceed the exact maximum and p100 is exact.
+    #[test]
+    fn quantiles_are_bounded_by_the_max(values in vec(any::<u64>(), 1..128)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(h.max(), max);
+        prop_assert_eq!(h.quantile(1.0), max);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert!(h.quantile(q) <= max);
+        }
+    }
+}

@@ -1,157 +1,10 @@
-//! A fixed-size log-bucket latency histogram for the serving stats.
+//! Deprecated home of the serving latency histogram.
 //!
-//! No external HDR-histogram crate (the container is offline), so this is
-//! the classic "4 linear sub-buckets per power-of-two octave" layout:
-//! values 0..4 get exact buckets, every larger value lands in one of four
-//! sub-buckets of its octave `[2^m, 2^{m+1})`. Relative quantile error is
-//! bounded by the sub-bucket width (≤ 25%), which is plenty for p50/p99
-//! tables, and recording is two shifts and an increment — cheap enough to
-//! sit on the per-request path.
+//! The log-linear histogram that lived here was promoted to
+//! [`posit_obs::Histogram`] (gaining `merge`/`reset` and registry
+//! residency) so the kernels, the trainer and the store can share it.
+//! This module remains as a re-export for existing callers.
 
-/// Counts per bucket; covers the full `u64` range in 256 buckets.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    total: u64,
-    max: u64,
-}
-
-/// Buckets 0..4 are exact; octave `m >= 2` contributes 4 sub-buckets
-/// starting at index `4 + (m - 2) * 4`. The top octave (m = 63) ends at
-/// index 251, so 256 slots cover everything.
-const BUCKETS: usize = 256;
-
-fn bucket(v: u64) -> usize {
-    if v < 4 {
-        return v as usize;
-    }
-    let m = 63 - v.leading_zeros() as usize; // floor(log2 v), >= 2
-    let sub = ((v >> (m - 2)) & 3) as usize;
-    4 + (m - 2) * 4 + sub
-}
-
-/// Lower bound of a bucket — the conservative representative returned by
-/// [`LatencyHistogram::quantile`].
-fn bucket_floor(idx: usize) -> u64 {
-    if idx < 4 {
-        return idx as u64;
-    }
-    let m = (idx - 4) / 4 + 2;
-    let sub = ((idx - 4) % 4) as u64;
-    (4 + sub) << (m - 2)
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> LatencyHistogram {
-        LatencyHistogram::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> LatencyHistogram {
-        LatencyHistogram {
-            counts: vec![0; BUCKETS],
-            total: 0,
-            max: 0,
-        }
-    }
-
-    /// Record one observation.
-    pub fn record(&mut self, v: u64) {
-        self.counts[bucket(v)] += 1;
-        self.total += 1;
-        self.max = self.max.max(v);
-    }
-
-    /// Number of recorded observations.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Largest recorded observation (exact, not bucketed).
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// The `q`-quantile (`0.0 ..= 1.0`) as the floor of the bucket holding
-    /// the rank-`ceil(q·total)` observation; 0 when empty. Deterministic:
-    /// a plain cumulative walk over the fixed bucket array. When the rank
-    /// lands in the bucket holding the maximum, the exact maximum is
-    /// returned instead of the floor (so a p99 over a handful of
-    /// observations reads as the real tail value, not a bucket edge).
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
-        let top = bucket(self.max);
-        let mut seen = 0u64;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                if idx == top {
-                    return self.max;
-                }
-                return bucket_floor(idx);
-            }
-        }
-        self.max
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn small_values_are_exact() {
-        let mut h = LatencyHistogram::new();
-        for v in [0u64, 1, 1, 2, 3, 3, 3] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 7);
-        assert_eq!(h.quantile(0.0), 0);
-        assert_eq!(h.quantile(0.5), 2);
-        assert_eq!(h.quantile(1.0), 3);
-    }
-
-    #[test]
-    fn buckets_partition_the_line() {
-        // Every value maps into a bucket whose floor does not exceed it,
-        // and bucket indexes are monotone in the value.
-        let mut prev = 0usize;
-        for v in [0u64, 1, 3, 4, 5, 7, 8, 100, 1023, 1024, 1 << 40, u64::MAX] {
-            let b = bucket(v);
-            assert!(b < BUCKETS, "bucket {b} out of range for {v}");
-            assert!(bucket_floor(b) <= v, "floor above value for {v}");
-            assert!(b >= prev, "bucket order broke at {v}");
-            prev = b;
-        }
-    }
-
-    #[test]
-    fn quantile_error_is_bounded() {
-        let mut h = LatencyHistogram::new();
-        for v in 1..=10_000u64 {
-            h.record(v);
-        }
-        for (q, exact) in [(0.5, 5_000u64), (0.99, 9_900u64)] {
-            let est = h.quantile(q);
-            assert!(
-                (est as f64 - exact as f64).abs() <= 0.25 * exact as f64,
-                "p{} error too large: {est} vs {exact}",
-                (q * 100.0) as u32
-            );
-        }
-        assert_eq!(h.quantile(1.0), 10_000, "p100 is the exact max");
-    }
-
-    #[test]
-    fn p99_never_exceeds_the_observed_max() {
-        let mut h = LatencyHistogram::new();
-        h.record(1_000_003);
-        assert_eq!(h.quantile(0.99), 1_000_003);
-        assert_eq!(h.max(), 1_000_003);
-    }
-}
+/// The old name for [`posit_obs::Histogram`].
+#[deprecated(note = "promoted to posit_obs::Histogram (posit_dnn::obs)")]
+pub type LatencyHistogram = posit_obs::Histogram;

@@ -1,10 +1,10 @@
 //! The inference server: submit/poll front end, dynamic batcher, posit
 //! backend execution.
 
-use crate::histogram::LatencyHistogram;
 use crate::ServeError;
 use posit::Rounding;
 use posit_nn::{checkpoint, Layer, Sequential};
+use posit_obs::Histogram;
 use posit_store::Store;
 use posit_tensor::Tensor;
 use posit_train::{InputQuantizer, Phase, QuantControl, QuantSpec};
@@ -123,6 +123,16 @@ pub struct ServeStats {
     pub total_compute_ns: u64,
     /// Completed samples per second of compute time.
     pub throughput_sps: f64,
+    /// Requests queued right now (not yet executed).
+    pub queue_depth: usize,
+    /// Highest queue depth ever reached.
+    pub queue_depth_peak: usize,
+    /// Median rows per executed batch.
+    pub batch_p50: u64,
+    /// 99th-percentile rows per executed batch.
+    pub batch_p99: u64,
+    /// Batches that ran completely full (`max_batch` rows).
+    pub full_batches: u64,
 }
 
 /// An in-process inference server with a deterministic dynamic batcher.
@@ -161,12 +171,38 @@ pub struct InferenceServer {
     next_id: u64,
     pending: VecDeque<Pending>,
     done: HashMap<u64, InferenceReply>,
-    queue_hist: LatencyHistogram,
-    compute_hist: LatencyHistogram,
+    queue_hist: Histogram,
+    compute_hist: Histogram,
+    batch_hist: Histogram,
+    queue_depth_peak: usize,
+    full_batches: u64,
     submitted: u64,
     completed: u64,
     batches: u64,
     total_compute_ns: u64,
+}
+
+/// Cached handles for the server's global-registry metrics (published only
+/// when `posit_obs` recording is on; the [`ServeStats`] fields are tracked
+/// unconditionally — they are deterministic local state).
+struct ServeObs {
+    queue_depth: posit_obs::Gauge,
+    batch_rows: posit_obs::HistogramHandle,
+    requests: posit_obs::Counter,
+    batches: posit_obs::Counter,
+}
+
+fn serve_obs() -> &'static ServeObs {
+    static OBS: std::sync::OnceLock<ServeObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = posit_obs::Registry::global();
+        ServeObs {
+            queue_depth: reg.gauge("serve.queue_depth"),
+            batch_rows: reg.histogram("serve.batch_rows"),
+            requests: reg.counter("serve.requests"),
+            batches: reg.counter("serve.batches"),
+        }
+    })
 }
 
 impl InferenceServer {
@@ -206,8 +242,11 @@ impl InferenceServer {
             next_id: 0,
             pending: VecDeque::new(),
             done: HashMap::new(),
-            queue_hist: LatencyHistogram::new(),
-            compute_hist: LatencyHistogram::new(),
+            queue_hist: Histogram::new(),
+            compute_hist: Histogram::new(),
+            batch_hist: Histogram::new(),
+            queue_depth_peak: 0,
+            full_batches: 0,
             submitted: 0,
             completed: 0,
             batches: 0,
@@ -265,6 +304,12 @@ impl InferenceServer {
             row: row.into_vec(),
             arrival: self.now,
         });
+        self.queue_depth_peak = self.queue_depth_peak.max(self.pending.len());
+        if posit_obs::enabled() {
+            let o = serve_obs();
+            o.requests.incr();
+            o.queue_depth.set(self.pending.len() as i64);
+        }
         while self.pending.len() >= self.cfg.max_batch {
             self.run_batch(self.cfg.max_batch)?;
         }
@@ -326,6 +371,11 @@ impl InferenceServer {
             } else {
                 self.completed as f64 / (self.total_compute_ns as f64 * 1e-9)
             },
+            queue_depth: self.pending.len(),
+            queue_depth_peak: self.queue_depth_peak,
+            batch_p50: self.batch_hist.quantile(0.5),
+            batch_p99: self.batch_hist.quantile(0.99),
+            full_batches: self.full_batches,
         }
     }
 
@@ -367,6 +417,16 @@ impl InferenceServer {
         }
         self.batches += 1;
         self.total_compute_ns += elapsed;
+        self.batch_hist.record(n as u64);
+        if n == self.cfg.max_batch {
+            self.full_batches += 1;
+        }
+        if posit_obs::enabled() {
+            let o = serve_obs();
+            o.batches.incr();
+            o.batch_rows.record(n as u64);
+            o.queue_depth.set(self.pending.len() as i64);
+        }
         Ok(())
     }
 }

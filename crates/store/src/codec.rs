@@ -41,14 +41,46 @@ pub trait Codec: Send + Sync {
     fn decode(&self, data: Vec<u8>, ctx: &CodecContext) -> Result<Vec<u8>, StoreError>;
 }
 
+/// Cached handles for the codec-pipeline byte counters: raw vs encoded
+/// chunk bytes in each direction (the on-disk compression ratio falls out
+/// of `encode.bytes_out / encode.bytes_in`) plus CRC trailer failures.
+struct CodecObs {
+    encode_in: posit_obs::Counter,
+    encode_out: posit_obs::Counter,
+    decode_in: posit_obs::Counter,
+    decode_out: posit_obs::Counter,
+    crc_failures: posit_obs::Counter,
+}
+
+fn codec_obs() -> &'static CodecObs {
+    static OBS: std::sync::OnceLock<CodecObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = posit_obs::Registry::global();
+        CodecObs {
+            encode_in: reg.counter("store.codec.encode.bytes_in"),
+            encode_out: reg.counter("store.codec.encode.bytes_out"),
+            decode_in: reg.counter("store.codec.decode.bytes_in"),
+            decode_out: reg.counter("store.codec.decode.bytes_out"),
+            crc_failures: reg.counter("store.codec.crc_failures"),
+        }
+    })
+}
+
 /// Run a chain forward (encode order).
 pub fn encode_chain(
     codecs: &[Box<dyn Codec>],
     mut data: Vec<u8>,
     ctx: &CodecContext,
 ) -> Result<Vec<u8>, StoreError> {
+    let obs_on = posit_obs::enabled();
+    if obs_on {
+        codec_obs().encode_in.add(data.len() as u64);
+    }
     for c in codecs {
         data = c.encode(data, ctx)?;
+    }
+    if obs_on {
+        codec_obs().encode_out.add(data.len() as u64);
     }
     Ok(data)
 }
@@ -59,8 +91,15 @@ pub fn decode_chain(
     mut data: Vec<u8>,
     ctx: &CodecContext,
 ) -> Result<Vec<u8>, StoreError> {
+    let obs_on = posit_obs::enabled();
+    if obs_on {
+        codec_obs().decode_in.add(data.len() as u64);
+    }
     for c in codecs.iter().rev() {
         data = c.decode(data, ctx)?;
+    }
+    if obs_on {
+        codec_obs().decode_out.add(data.len() as u64);
     }
     Ok(data)
 }
@@ -362,6 +401,9 @@ impl Codec for Crc32 {
         let stored = u32::from_le_bytes(data[body..].try_into().expect("len 4"));
         let actual = crc32(&data[..body]);
         if stored != actual {
+            if posit_obs::enabled() {
+                codec_obs().crc_failures.incr();
+            }
             return Err(StoreError::Corrupt(format!(
                 "crc32 mismatch: stored {stored:08x}, computed {actual:08x}"
             )));

@@ -233,6 +233,10 @@ impl Backend {
             .slot
             .as_ref()
             .is_some_and(|s| s.backend == *self && s.version == version);
+        if posit_obs::enabled() {
+            let o = cache_obs();
+            if valid { &o.hits } else { &o.misses }.incr();
+        }
         if !valid {
             cache.slot = Some(CacheSlot {
                 backend: *self,
@@ -370,6 +374,25 @@ impl Backend {
     ) {
         self.prepare_operand(a).gemm_a_bt_op(m, k, n, b_t, c);
     }
+}
+
+/// Cached handles for the operand-cache hit/miss counters, so the
+/// obs-enabled path costs two atomic ops per lookup instead of a
+/// registry lock.
+struct CacheObs {
+    hits: posit_obs::Counter,
+    misses: posit_obs::Counter,
+}
+
+fn cache_obs() -> &'static CacheObs {
+    static OBS: std::sync::OnceLock<CacheObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = posit_obs::Registry::global();
+        CacheObs {
+            hits: reg.counter("tensor.cache.hits"),
+            misses: reg.counter("tensor.cache.misses"),
+        }
+    })
 }
 
 /// A memo slot for [`Backend::prepare_tensor_cached`]: one prepared

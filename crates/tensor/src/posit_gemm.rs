@@ -42,6 +42,73 @@ use crate::gemm::par_rows;
 use posit::{NarrowQuire, PositFormat, PositValue, Quire, Rounding};
 use std::sync::OnceLock;
 
+/// Cached handles for the kernel-path counters (`tensor.*` namespace in
+/// the global [`posit_obs::Registry`]). Which fast path fired — narrow vs
+/// wide accumulator, SWAR vs LUT vs bit-twiddle decode, K-strip batching —
+/// is invisible in the results (all paths are bit-identical by
+/// construction), so these counters are the only way to see what actually
+/// ran. Recording is per *call* (or one aggregated add per row block),
+/// never per MAC, and every site checks [`posit_obs::enabled`] first, so
+/// the disabled cost on the hot path is a relaxed atomic load.
+struct GemmObs {
+    narrow_calls: posit_obs::Counter,
+    wide_calls: posit_obs::Counter,
+    kstrip_calls: posit_obs::Counter,
+    decode_lut8: posit_obs::Counter,
+    decode_lut2: posit_obs::Counter,
+    decode_swar: posit_obs::Counter,
+    decode_twiddle: posit_obs::Counter,
+    kstrips_flushed: posit_obs::Counter,
+    bucket_touches: posit_obs::Counter,
+    quire_nar: posit_obs::Counter,
+}
+
+fn gemm_obs() -> &'static GemmObs {
+    static OBS: OnceLock<GemmObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = posit_obs::Registry::global();
+        GemmObs {
+            narrow_calls: r.counter("tensor.gemm.narrow_calls"),
+            wide_calls: r.counter("tensor.gemm.wide_calls"),
+            kstrip_calls: r.counter("tensor.gemm.kstrip_calls"),
+            decode_lut8: r.counter("tensor.plane.decode.lut8_elems"),
+            decode_lut2: r.counter("tensor.plane.decode.lut2_elems"),
+            decode_swar: r.counter("tensor.plane.decode.swar_elems"),
+            decode_twiddle: r.counter("tensor.plane.decode.twiddle_elems"),
+            kstrips_flushed: r.counter("tensor.gemm.kstrips_flushed"),
+            bucket_touches: r.counter("tensor.gemm.bucket_touches"),
+            quire_nar: r.counter("tensor.gemm.quire_nar_outputs"),
+        }
+    })
+}
+
+/// Which decode route produced a plane's elements.
+#[derive(Clone, Copy)]
+enum DecodeRoute {
+    /// 256-entry byte LUT (`n ≤ 8` formats).
+    Lut8,
+    /// Two-level `decode_lut2` tables (`8 < n ≤ 16`).
+    Lut2,
+    /// SWAR 8-lane packed-byte gather.
+    Swar,
+    /// Bit-twiddled scalar reference decoder.
+    Twiddle,
+}
+
+/// Count `n` elements decoded through `route` (no-op while disabled).
+fn note_decode(route: DecodeRoute, n: usize) {
+    if posit_obs::enabled() {
+        let o = gemm_obs();
+        let c = match route {
+            DecodeRoute::Lut8 => &o.decode_lut8,
+            DecodeRoute::Lut2 => &o.decode_lut2,
+            DecodeRoute::Swar => &o.decode_swar,
+            DecodeRoute::Twiddle => &o.decode_twiddle,
+        };
+        c.add(n as u64);
+    }
+}
+
 /// Sentinel scale marking a NaR element in a plane (no finite posit scale
 /// gets anywhere near `i32::MIN`).
 const NAR_SCALE: i32 = i32::MIN;
@@ -201,6 +268,7 @@ impl PositPlane {
     pub fn from_bits(fmt: PositFormat, bits: &[u64]) -> PositPlane {
         let elems = if let Some(lut) = unpacked_lut(fmt) {
             let lut: &[Unpacked; 256] = lut.try_into().expect("decode LUTs have 256 entries");
+            note_decode(DecodeRoute::Lut8, bits.len());
             // Exact-size `map`/`collect`: no per-element capacity checks,
             // and the low-byte index aliases out-of-range words to their
             // masked code exactly like the lane gather in `from_packed`.
@@ -210,8 +278,10 @@ impl PositPlane {
             // the `map`/`collect` fold (exact-size, no per-element capacity
             // checks) runs `decode` over it.
             let lut2 = lut2.view();
+            note_decode(DecodeRoute::Lut2, bits.len());
             bits.iter().map(|&b| unpack(lut2.decode(b), 0)).collect()
         } else {
+            note_decode(DecodeRoute::Twiddle, bits.len());
             bits.iter().map(|&b| decode_one(fmt, b, 0)).collect()
         };
         PositPlane {
@@ -226,6 +296,7 @@ impl PositPlane {
     /// the SWAR and two-level-LUT decode paths are tested against (and the
     /// `plane_decode/twiddle` bench rows).
     pub fn from_bits_scalar(fmt: PositFormat, bits: &[u64]) -> PositPlane {
+        note_decode(DecodeRoute::Twiddle, bits.len());
         PositPlane {
             fmt,
             scale_exp: 0,
@@ -246,6 +317,7 @@ impl PositPlane {
             // SWAR fast path: read the packed plane eight code words at a
             // time as little-endian u64 lane groups.
             let lut: &[Unpacked; 256] = lut.try_into().expect("decode LUTs have 256 entries");
+            note_decode(DecodeRoute::Swar, bytes.len());
             let mut elems = Vec::with_capacity(bytes.len());
             let mut groups = bytes.chunks_exact(8);
             for group in groups.by_ref() {
@@ -258,11 +330,13 @@ impl PositPlane {
             elems
         } else if let (Some(lut2), Some(words)) = (posit::lut::decode_lut2(fmt), bits.as_u16()) {
             let lut2 = lut2.view();
+            note_decode(DecodeRoute::Lut2, words.len());
             words
                 .iter()
                 .map(|&w| unpack(lut2.decode(w as u64), scale_exp))
                 .collect()
         } else {
+            note_decode(DecodeRoute::Twiddle, bits.len());
             bits.iter().map(|b| decode_one(fmt, b, scale_exp)).collect()
         };
         PositPlane {
@@ -279,6 +353,7 @@ impl PositPlane {
         bits: &crate::storage::PackedBits,
         scale_exp: i32,
     ) -> PositPlane {
+        note_decode(DecodeRoute::Twiddle, bits.len());
         PositPlane {
             fmt,
             scale_exp,
@@ -618,6 +693,9 @@ impl PositGemm {
     /// the format has one.
     #[inline]
     fn store_narrow(&self, q: &NarrowQuire, lut: Option<&[f32]>) -> f32 {
+        if posit_obs::enabled() && q.is_nar() {
+            gemm_obs().quire_nar.incr();
+        }
         let code = q.to_posit(self.rounding, 0);
         match lut {
             Some(l) => l[code as usize],
@@ -668,6 +746,17 @@ impl PositGemm {
         } else {
             None
         };
+        if posit_obs::enabled() {
+            let o = gemm_obs();
+            if narrow.is_some() {
+                o.narrow_calls.incr();
+            } else {
+                o.wide_calls.incr();
+            }
+            if batch.is_some() {
+                o.kstrip_calls.incr();
+            }
+        }
         par_rows(m, n, m * k * n, c, |row0, c_chunk| {
             let rows = c_chunk.len().checked_div(n).unwrap_or(0);
             let a_block = &a_rows[row0 * k..(row0 + rows) * k];
@@ -716,6 +805,12 @@ impl PositGemm {
         let strips = ap.strips;
         debug_assert_eq!(strips, bp.strips);
         debug_assert!(bc <= BUCKET_SLOTS);
+        // Flush accounting stays in locals and posts one counter add per
+        // row block; the `obs_on` tests sit in the flush scan, never in
+        // the per-MAC strip loop.
+        let obs_on = posit_obs::enabled();
+        let mut strips_flushed = 0u64;
+        let mut bucket_touches = 0u64;
         let mut buckets = [[0i64; BUCKET_SLOTS]; MRB * NRB];
         let mut i = 0;
         while i + MRB <= rows {
@@ -785,10 +880,16 @@ impl PositGemm {
                                 continue; // strip touched no bucket for this output
                             }
                             debug_assert!(lo >= 0 && (hi as usize) < bc);
+                            if obs_on {
+                                strips_flushed += 1;
+                            }
                             let bk = &mut buckets[r * NRB + s];
                             for idx in lo as usize..=hi as usize {
                                 let v = bk[idx & (BUCKET_SLOTS - 1)];
                                 if v != 0 {
+                                    if obs_on {
+                                        bucket_touches += 1;
+                                    }
                                     q.add_group(idx as i32 + emin, width, v);
                                     bk[idx & (BUCKET_SLOTS - 1)] = 0;
                                 }
@@ -826,6 +927,11 @@ impl PositGemm {
                 c[i * n + j] += self.store_narrow(&dot_narrow(proto, a_run, b_run), f32_lut);
             }
             i += 1;
+        }
+        if obs_on {
+            let o = gemm_obs();
+            o.kstrips_flushed.add(strips_flushed);
+            o.bucket_touches.add(bucket_touches);
         }
     }
 
@@ -922,6 +1028,9 @@ impl PositGemm {
                         x.scale + y.scale,
                         (x.sig as u128) * (y.sig as u128),
                     );
+                }
+                if posit_obs::enabled() && q.is_nar() {
+                    gemm_obs().quire_nar.incr();
                 }
                 let code = q.to_posit(self.rounding, 0);
                 c[i * n + j] += match f32_lut {

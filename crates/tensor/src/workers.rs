@@ -134,6 +134,27 @@ struct Pool {
     senders: Vec<mpsc::Sender<Job>>,
 }
 
+/// Cached pool-dispatch telemetry handles (`tensor.workers.*`).
+struct PoolObs {
+    dispatches: posit_obs::Counter,
+    serial_runs: posit_obs::Counter,
+    items: posit_obs::Counter,
+    lane_items: posit_obs::HistogramHandle,
+}
+
+fn pool_obs() -> &'static PoolObs {
+    static OBS: OnceLock<PoolObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = posit_obs::Registry::global();
+        PoolObs {
+            dispatches: r.counter("tensor.workers.dispatches"),
+            serial_runs: r.counter("tensor.workers.serial_runs"),
+            items: r.counter("tensor.workers.items"),
+            lane_items: r.histogram("tensor.workers.lane_items"),
+        }
+    })
+}
+
 fn pool() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
     POOL.get_or_init(|| {
@@ -145,6 +166,10 @@ fn pool() -> &'static Pool {
                     .name(format!("posit-tensor-{i}"))
                     .spawn(move || {
                         IN_WORKER.set(true);
+                        // Worker i records telemetry on counter lane i + 1
+                        // (lane 0 is every caller thread), so hot-path
+                        // counter increments never share a cache line.
+                        posit_obs::set_lane(i + 1);
                         while let Ok(job) = rx.recv() {
                             let outcome = catch_unwind(AssertUnwindSafe(|| {
                                 let mut t = job.first;
@@ -179,6 +204,11 @@ pub(crate) fn run_indexed(count: usize, task: &(dyn Fn(usize) + Sync)) {
         return;
     }
     if count == 1 || effective_parallelism() <= 1 {
+        if posit_obs::enabled() {
+            let o = pool_obs();
+            o.serial_runs.incr();
+            o.items.add(count as u64);
+        }
         for t in 0..count {
             task(t);
         }
@@ -186,6 +216,18 @@ pub(crate) fn run_indexed(count: usize, task: &(dyn Fn(usize) + Sync)) {
     }
     let pool = pool();
     let lanes = (pool.senders.len() + 1).min(count);
+    if posit_obs::enabled() {
+        let o = pool_obs();
+        o.dispatches.incr();
+        o.items.add(count as u64);
+        // Static round-robin split: lane `l` runs ceil((count - l) / lanes)
+        // tasks. Recording the per-lane shares shows how evenly regions
+        // split across the pool.
+        for lane in 0..lanes {
+            o.lane_items
+                .record(((count - lane) as u64).div_ceil(lanes as u64));
+        }
+    }
     let latch = Arc::new(Latch::new(lanes - 1));
     // SAFETY: the latch wait below keeps this stack frame alive until every
     // worker has finished running `task`, so erasing the borrow's lifetime

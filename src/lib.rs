@@ -21,7 +21,11 @@
 //!   posit tensors (checkpoint v2, bit-exact kill/resume training);
 //! * [`serve`] — in-process inference serving: a submit/poll server with
 //!   a deterministic dynamic batcher whose batched logits are
-//!   bit-identical to single-sample inference.
+//!   bit-identical to single-sample inference;
+//! * [`obs`] — determinism-safe telemetry: a metrics registry (counters,
+//!   gauges, log-linear histograms, span timers) instrumenting the
+//!   kernels, quantization edges, trainer, store and server, off by
+//!   default (`POSIT_OBS=1`) and provably invisible in the numerics.
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the
 //! paper-vs-measured record.
@@ -66,6 +70,7 @@ pub use posit_data as data;
 pub use posit_hw as hw;
 pub use posit_models as models;
 pub use posit_nn as nn;
+pub use posit_obs as obs;
 pub use posit_serve as serve;
 pub use posit_store as store;
 pub use posit_tensor as tensor;
