@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# CI stage: chaos smoke. Runs the fault-injection suites on their pinned
+# seed sets — the `posit-fault` plan/store/traffic unit tests, the store
+# chaos drills, the serve overload/deadline shedding suite, and the
+# training chaos matrix (`crates/core/tests/fault_matrix.rs`, every
+# `FaultKind` × pinned seeds). The invariant under test everywhere:
+# injected faults are retried away or surface as typed errors, recovery
+# is bit-exact, and nothing ever panics or corrupts silently.
+#
+# Debug-mode on purpose: debug_asserts stay live and the suites are sized
+# for it. `ci/test.sh` re-runs the matrix in release under a forced
+# 4-thread pool so the release kernels see the same faults.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo test -q -p posit-fault"
+cargo test -q -p posit-fault
+
+echo "==> cargo test -q -p posit-serve --test overload_shedding"
+cargo test -q -p posit-serve --test overload_shedding
+
+echo "==> cargo test -q -p posit-train --test fault_matrix"
+cargo test -q -p posit-train --test fault_matrix

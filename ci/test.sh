@@ -52,6 +52,12 @@ if [ "$quick" -eq 0 ]; then
     POSIT_OBS=1 POSIT_TENSOR_THREADS=4 cargo test -q --release -p posit-train --test obs_determinism
     echo "==> POSIT_OBS=1 POSIT_TENSOR_THREADS=4 cargo test -q --release -p posit-serve --test obs_determinism"
     POSIT_OBS=1 POSIT_TENSOR_THREADS=4 cargo test -q --release -p posit-serve --test obs_determinism
+    # The chaos matrix (ci/chaos-smoke.sh runs it in debug) re-runs in
+    # release on the widened pool: fault-recovery bit-exactness must hold
+    # on the release kernels and under threaded execution, since that is
+    # what production resume actually runs.
+    echo "==> POSIT_TENSOR_THREADS=4 cargo test -q --release -p posit-train --test fault_matrix"
+    POSIT_TENSOR_THREADS=4 cargo test -q --release -p posit-train --test fault_matrix
 else
     echo "==> (--quick: skipping release-mode exhaustive suites)"
 fi

@@ -38,6 +38,7 @@ fn server(max_batch: usize) -> InferenceServer {
         ServeConfig {
             max_batch,
             max_wait_ticks: 0,
+            ..ServeConfig::default()
         },
     )
     .expect("valid config")
@@ -66,7 +67,7 @@ fn serve_round(srv: &mut InferenceServer, samples: &[Tensor]) -> f32 {
             .collect();
         srv.flush_all().expect("flush");
         for id in ids {
-            acc += srv.poll(id).expect("completed").logits[0];
+            acc += srv.poll(id).expect("completed").expect("served").logits[0];
         }
     }
     acc

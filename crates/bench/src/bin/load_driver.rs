@@ -7,21 +7,35 @@
 //! sweep of batcher configurations, printing a latency/throughput table
 //! (recorded in EXPERIMENTS.md).
 //!
+//! Overload behavior is part of the table: every row reports shed-rate
+//! (admission rejections / offered) and deadline-miss-rate (queue
+//! expiries / admitted) next to the latency columns, and a final storm
+//! section drives a seeded adversarial [`TrafficPlan`] against a
+//! rate-capped, deadline-bounded config so the shedding columns are
+//! nonzero somewhere. The model store sits behind a seeded transient
+//! fault plan and the retry layer, so the run also reports how much
+//! retry traffic the checkpoint loads absorbed.
+//!
 //! Usage: `cargo run --release -p posit-bench --bin load_driver [--quick]`
 //!
 //! Queue latency is in deterministic virtual-time ticks (one tick per
 //! driver loop iteration); compute latency and throughput are wall-clock.
 
 use posit_bench::Scale;
+use posit_fault::{FaultConfig, FaultPlan, FaultStore, TrafficConfig, TrafficPlan};
 use posit_nn::{checkpoint, Layer};
-use posit_serve::{InferenceServer, ServeConfig, ServeStats, ServedModel};
-use posit_store::MemoryStore;
+use posit_serve::{InferenceServer, Rejected, ServeConfig, ServeError, ServeStats, ServedModel};
+use posit_store::{MemoryStore, RetryPolicy, RetryStore, Store};
 use posit_tensor::rng::Prng;
 use posit_tensor::Tensor;
 use posit_train::{ComputeBackend, MasterWeights, Phase, QuantBuilder, QuantSpec};
 
 const SIDE: usize = 16;
 const CLASSES: usize = 10;
+
+/// The model store: transient faults at a pinned seed, absorbed by the
+/// retry layer — checkpoint loads exercise the full failure path.
+type ModelStore = RetryStore<FaultStore<MemoryStore>>;
 
 fn spec() -> QuantSpec {
     QuantSpec::cifar_paper()
@@ -31,7 +45,7 @@ fn spec() -> QuantSpec {
 
 /// Calibrate a random LeNet, round-trip it through a v2 checkpoint, and
 /// serve it from the store.
-fn server(cfg: ServeConfig, store: &MemoryStore) -> InferenceServer {
+fn server(cfg: ServeConfig, store: &dyn Store) -> InferenceServer {
     let mut rng = Prng::seed(1234);
     let mut qb = QuantBuilder::new(spec());
     let control = qb.control();
@@ -48,7 +62,7 @@ fn server(cfg: ServeConfig, store: &MemoryStore) -> InferenceServer {
 
 /// Build the checkpoint the sweep serves from: calibrated scales + posit
 /// weights, written through the checkpoint façade.
-fn checkpoint_model(store: &MemoryStore) {
+fn checkpoint_model(store: &dyn Store) {
     let mut rng = Prng::seed(1234);
     let mut qb = QuantBuilder::new(spec());
     let control = qb.control();
@@ -105,33 +119,75 @@ impl Pattern {
     }
 }
 
-/// Drive `n` requests through a fresh server: per tick, submit the
-/// pattern's arrivals, advance the virtual clock, drain replies.
-fn drive(pattern: Pattern, cfg: ServeConfig, n: u64, store: &MemoryStore) -> ServeStats {
+/// Offer `arrivals` to the server, tolerating admission rejections.
+fn offer(srv: &mut InferenceServer, next: &mut u64, n: u64, arrivals: usize) {
+    for _ in 0..arrivals {
+        if *next == n {
+            return;
+        }
+        match srv.submit(&sample(*next)) {
+            Ok(_) | Err(ServeError::Rejected(Rejected::Overloaded)) => {}
+            Err(other) => panic!("request {next}: {other}"),
+        }
+        *next += 1;
+    }
+}
+
+/// Drive `n` offered requests through a fresh server: per tick, submit
+/// the pattern's arrivals, advance the virtual clock. Every admitted
+/// request must resolve — served or shed on deadline — by flush time.
+fn drive(pattern: Pattern, cfg: ServeConfig, n: u64, store: &dyn Store) -> ServeStats {
     let mut srv = server(cfg, store);
     let mut rng = Prng::seed(77);
-    let mut submitted = 0u64;
-    let mut ids = Vec::new();
-    while submitted < n {
-        for _ in 0..pattern.arrivals(&mut rng) {
-            if submitted == n {
-                break;
-            }
-            ids.push(srv.submit(&sample(submitted)).expect("f32 sample"));
-            submitted += 1;
-        }
+    let mut next = 0u64;
+    while next < n {
+        offer(&mut srv, &mut next, n, pattern.arrivals(&mut rng));
         srv.tick().expect("tick");
     }
     srv.flush_all().expect("flush");
-    for id in ids {
-        srv.poll(id).expect("every request completed");
-    }
-    srv.stats()
+    let s = srv.stats();
+    assert_eq!(s.submitted, s.completed + s.shed_deadline, "lost requests");
+    assert_eq!(n, s.submitted + s.shed_overload, "lost submissions");
+    s
 }
 
-fn print_row(pattern: &str, cfg: ServeConfig, s: &ServeStats) {
+/// Replay an adversarial seeded storm against a rate-capped server:
+/// bursts above the service rate with stalls, bounded queue, deadlines.
+fn storm(seed: u64, cfg: ServeConfig, n: u64, store: &dyn Store) -> ServeStats {
+    let mut srv = server(cfg, store);
+    let mut plan = TrafficPlan::seeded(
+        seed,
+        TrafficConfig {
+            max_burst: 6,
+            stall: 0.3,
+            idle: 0.2,
+            idle_ticks: 3,
+        },
+    );
+    let mut next = 0u64;
+    while next < n {
+        let e = plan.next_event();
+        offer(&mut srv, &mut next, n, e.arrivals);
+        for _ in 0..e.ticks {
+            srv.tick().expect("tick");
+        }
+    }
+    srv.flush_all().expect("flush");
+    let s = srv.stats();
+    assert_eq!(s.submitted, s.completed + s.shed_deadline, "lost requests");
+    assert_eq!(n, s.submitted + s.shed_overload, "lost submissions");
+    s
+}
+
+fn print_row(pattern: &str, cfg: ServeConfig, n: u64, s: &ServeStats) {
+    let shed_rate = 100.0 * s.shed_overload as f64 / n as f64;
+    let miss_rate = if s.submitted > 0 {
+        100.0 * s.shed_deadline as f64 / s.submitted as f64
+    } else {
+        0.0
+    };
     println!(
-        "{pattern:<8} {:>9} {:>5} {:>8} {:>7.2} {:>6} {:>6} {:>7} {:>8} {:>10} {:>10} {:>13.1} {:>13.1} {:>11.0}",
+        "{pattern:<8} {:>9} {:>5} {:>8} {:>7.2} {:>6} {:>6} {:>7} {:>8} {:>10} {:>10} {:>13.1} {:>13.1} {:>11.0} {:>6.1} {:>7.1}",
         cfg.max_batch,
         cfg.max_wait_ticks,
         s.batches,
@@ -145,6 +201,8 @@ fn print_row(pattern: &str, cfg: ServeConfig, s: &ServeStats) {
         s.compute_p50_ns as f64 / 1e3,
         s.compute_p99_ns as f64 / 1e3,
         s.throughput_sps,
+        shed_rate,
+        miss_rate,
     );
 }
 
@@ -154,12 +212,20 @@ fn main() {
         Scale::Quick => 64,
         Scale::Full => 400,
     };
-    let store = MemoryStore::new();
+    // Every checkpoint load below runs against a store that fails 5% of
+    // operations transiently (pinned seed), behind the retry layer.
+    let store: ModelStore = RetryStore::new(
+        FaultStore::new(
+            MemoryStore::new(),
+            FaultPlan::seeded(9, FaultConfig::transient_only(0.05, 2)),
+        ),
+        RetryPolicy::immediate(6),
+    );
     checkpoint_model(&store);
 
     println!("== serve load driver: LeNet 3x{SIDE}x{SIDE}, posit-quire, {n} requests ==");
     println!(
-        "{:<8} {:>9} {:>5} {:>8} {:>7} {:>6} {:>6} {:>7} {:>8} {:>10} {:>10} {:>13} {:>13} {:>11}",
+        "{:<8} {:>9} {:>5} {:>8} {:>7} {:>6} {:>6} {:>7} {:>8} {:>10} {:>10} {:>13} {:>13} {:>11} {:>6} {:>7}",
         "pattern",
         "max_batch",
         "wait",
@@ -173,20 +239,25 @@ fn main() {
         "queue_p99",
         "comp_p50(us)",
         "comp_p99(us)",
-        "thrpt(sps)"
+        "thrpt(sps)",
+        "shed%",
+        "dlmiss%"
     );
     let sweep = [
         ServeConfig {
             max_batch: 1,
             max_wait_ticks: 0,
+            ..ServeConfig::default()
         },
         ServeConfig {
             max_batch: 4,
             max_wait_ticks: 2,
+            ..ServeConfig::default()
         },
         ServeConfig {
             max_batch: 16,
             max_wait_ticks: 8,
+            ..ServeConfig::default()
         },
     ];
     let mut unbatched_sps = 0.0f64;
@@ -194,20 +265,42 @@ fn main() {
     for pattern in [Pattern::Uniform, Pattern::Bursty] {
         for cfg in sweep {
             let s = drive(pattern, cfg, n, &store);
-            assert_eq!(s.completed, n, "driver lost requests");
-            print_row(pattern.label(), cfg, &s);
+            assert_eq!(s.completed, n, "unbounded rows must serve everything");
+            print_row(pattern.label(), cfg, n, &s);
             if pattern == Pattern::Bursty && cfg.max_batch == 1 {
                 unbatched_sps = s.throughput_sps;
             }
             best_sps = best_sps.max(s.throughput_sps);
         }
     }
+    // The storm row: arrivals beyond the capped service rate, so the
+    // shedding columns are exercised (typed rejections, never panics).
+    let storm_cfg = ServeConfig {
+        max_batch: 2,
+        max_wait_ticks: 1,
+        max_queue: 8,
+        deadline_ticks: Some(3),
+        batches_per_tick: Some(1),
+    };
+    let s = storm(42, storm_cfg, n, &store);
+    print_row("storm", storm_cfg, n, &s);
     if unbatched_sps > 0.0 {
         println!(
             "batching speedup (bursty, best vs max_batch=1): {:.2}x",
             best_sps / unbatched_sps
         );
     }
+    let rs = store.stats();
+    let fs = store.inner().stats();
+    println!(
+        "model-store retries (seeded 5% transient faults): store_ops={} injected={} faulted_ops={} retries={} exhausted={}",
+        fs.ops,
+        fs.total(),
+        rs.faulted_ops,
+        rs.retries,
+        rs.exhausted
+    );
+    assert_eq!(rs.exhausted, 0, "retry budget must absorb the fault plan");
     // With POSIT_OBS=1 the whole run has been feeding the global metric
     // registry: kernel-path counters from every GEMM, quantization-edge
     // health, codec bytes from the checkpoint round trip, and the serve

@@ -466,31 +466,8 @@ impl Trainer {
         };
         let mut start_epoch = 0;
         if let Some(store) = store {
-            if let Some(state) = resume::load(store)? {
-                checkpoint::read(
-                    &mut self.net,
-                    checkpoint::Source::Store {
-                        store,
-                        prefix: &resume::net_prefix(state.next_epoch),
-                    },
-                )
-                .map_err(|e| StoreError::Corrupt(format!("resume: {e}")))?;
-                let mut velocity = Vec::with_capacity(state.velocity_count);
-                for i in 0..state.velocity_count {
-                    velocity.push(read_tensor(
-                        store,
-                        &resume::velocity_prefix(state.next_epoch, i),
-                    )?);
-                }
-                opt.set_velocity(velocity);
-                loader.set_rng_state(state.loader_rng);
-                self.input_q = InputQuantizer::with_exp(state.input_scale_exp);
-                for s in &state.epochs {
-                    report.best_test_acc = report.best_test_acc.max(s.test_acc);
-                    report.final_test_acc = s.test_acc;
-                }
-                start_epoch = state.next_epoch;
-                report.epochs = state.epochs;
+            if let Some(epoch) = self.resume_from(store, &mut opt, &mut loader, &mut report)? {
+                start_epoch = epoch;
             }
         }
         let step_hist =
@@ -561,15 +538,106 @@ impl Trainer {
         Ok(report)
     }
 
+    /// Crash recovery: scan committed checkpoint epochs newest-first,
+    /// deeply validating each candidate (state CRC, network arrays,
+    /// velocity arrays) and falling back past torn or corrupt epochs to
+    /// the newest fully-committed one. Returns the epoch to resume from,
+    /// `None` for a fresh store. On success, checkpoint keys of every
+    /// *other* epoch — a crash's partial newer epoch, a half-reclaimed
+    /// older one, a corrupt candidate that was skipped — are swept.
+    ///
+    /// When every committed candidate fails validation, the newest
+    /// failure surfaces as a typed error: silently restarting from
+    /// scratch would discard a run the caller believes is resumable.
+    fn resume_from(
+        &mut self,
+        store: &dyn Store,
+        opt: &mut Sgd,
+        loader: &mut DataLoader<'_>,
+        report: &mut TrainReport,
+    ) -> Result<Option<usize>, StoreError> {
+        let candidates = resume::committed_epochs(store)?;
+        let mut first_err = None;
+        for (tried, &epoch) in candidates.iter().enumerate() {
+            match self.load_epoch(store, epoch, opt, loader, report) {
+                Ok(()) => {
+                    let swept = resume::sweep_except(store, epoch)?;
+                    if posit_obs::enabled() {
+                        let reg = posit_obs::Registry::global();
+                        reg.counter("train.resume.fallbacks").add(tried as u64);
+                        reg.counter("train.resume.swept_keys").add(swept);
+                    }
+                    return Ok(Some(epoch));
+                }
+                // Only a torn or corrupt epoch justifies falling back to
+                // older data. A transient/IO failure might clear on retry —
+                // resuming from an older epoch instead would silently lose
+                // committed progress, so it surfaces immediately.
+                Err(e @ (StoreError::Corrupt(_) | StoreError::MissingKey(_))) => {
+                    first_err = first_err.or(Some(e));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(None),
+        }
+    }
+
+    /// Load one checkpoint epoch into the trainer: network parameters,
+    /// optimizer velocity, loader RNG, input quantizer and epoch history.
+    /// Trainer-visible state (loader, quantizer, report) is only touched
+    /// after every read has succeeded, so a failed candidate leaves the
+    /// next (older) candidate free to load cleanly.
+    fn load_epoch(
+        &mut self,
+        store: &dyn Store,
+        epoch: usize,
+        opt: &mut Sgd,
+        loader: &mut DataLoader<'_>,
+        report: &mut TrainReport,
+    ) -> Result<(), StoreError> {
+        let state = resume::load_epoch(store, epoch)?;
+        checkpoint::read(
+            &mut self.net,
+            checkpoint::Source::Store {
+                store,
+                prefix: &resume::net_prefix(epoch),
+            },
+        )
+        .map_err(|e| checkpoint_error(&format!("resume epoch {epoch}"), e))?;
+        let mut velocity = Vec::with_capacity(state.velocity_count);
+        for i in 0..state.velocity_count {
+            velocity.push(read_tensor(store, &resume::velocity_prefix(epoch, i))?);
+        }
+        opt.set_velocity(velocity);
+        loader.set_rng_state(state.loader_rng);
+        self.input_q = InputQuantizer::with_exp(state.input_scale_exp);
+        report.best_test_acc = 0.0;
+        report.final_test_acc = 0.0;
+        for s in &state.epochs {
+            report.best_test_acc = report.best_test_acc.max(s.test_acc);
+            report.final_test_acc = s.test_acc;
+        }
+        report.epochs = state.epochs;
+        Ok(())
+    }
+
     /// Write the epoch-boundary checkpoint: network (v2 store checkpoint,
-    /// posit masters native) + trainer state, all under an epoch-stamped
-    /// prefix. The state blob is committed last and is the *only* pointer
-    /// to the new epoch's arrays, so a process killed anywhere inside this
-    /// function leaves the previous epoch's checkpoint fully intact and
-    /// referenced — never a mixed-epoch net. The superseded epoch's keys
-    /// are deleted only after the new state commits.
+    /// posit masters native) + trainer state, all under epoch-stamped
+    /// prefixes. The state record is committed last and is the *only*
+    /// pointer to the new epoch's arrays, so a process killed anywhere
+    /// inside this function leaves the previous epoch's checkpoint fully
+    /// intact and referenced — never a mixed-epoch net.
+    ///
+    /// Verify-before-reclaim: the superseded epoch is deleted only after
+    /// the freshly-written epoch has been read back end to end (state
+    /// CRC, network arrays, velocity arrays). A write the store silently
+    /// corrupted therefore surfaces *now*, while the previous epoch still
+    /// exists as a recovery point — never after it has been reclaimed.
     fn save_checkpoint(
-        &self,
+        &mut self,
         store: &dyn Store,
         next_epoch: usize,
         opt: &Sgd,
@@ -594,11 +662,45 @@ impl Trainer {
             velocity_count: opt.velocity().len(),
             epochs: report.epochs.clone(),
         };
-        store.set(resume::STATE_KEY, &resume::serialize(&state))?;
-        // Commit point passed: the old epoch is unreferenced, reclaim it.
-        // (A kill during cleanup leaves unreferenced keys — harmless.)
+        store.set(&resume::state_key(next_epoch), &resume::serialize(&state))?;
+        self.verify_epoch(store, next_epoch, &state)?;
+        // Commit point passed and verified: the old epoch is
+        // unreferenced, reclaim it. (A kill during cleanup leaves
+        // unreferenced keys — the next resume sweeps them.)
         if next_epoch >= 2 {
             resume::delete_epoch(store, next_epoch - 1)?;
+        }
+        Ok(())
+    }
+
+    /// Read the just-written checkpoint epoch back end to end. Every
+    /// plane is CRC-protected, so a successful read is bit-identical to
+    /// what was written — re-reading into the live net is a no-op on
+    /// success and a typed error on any corruption.
+    fn verify_epoch(
+        &mut self,
+        store: &dyn Store,
+        epoch: usize,
+        expect: &resume::TrainerState,
+    ) -> Result<(), StoreError> {
+        let state = resume::load_epoch(store, epoch)?;
+        if state.velocity_count != expect.velocity_count
+            || state.epochs.len() != expect.epochs.len()
+        {
+            return Err(StoreError::Corrupt(format!(
+                "checkpoint epoch {epoch} read back a different state record"
+            )));
+        }
+        checkpoint::read(
+            &mut self.net,
+            checkpoint::Source::Store {
+                store,
+                prefix: &resume::net_prefix(epoch),
+            },
+        )
+        .map_err(|e| checkpoint_error(&format!("checkpoint epoch {epoch} verify"), e))?;
+        for i in 0..state.velocity_count {
+            read_tensor(store, &resume::velocity_prefix(epoch, i))?;
         }
         Ok(())
     }
@@ -606,6 +708,22 @@ impl Trainer {
 
 /// A JSON number for a possibly non-finite float (a diverged run has NaN
 /// loss; `null` keeps the line parseable).
+/// Classify a failed checkpoint read for the recovery scanner. Only
+/// corruption-class causes (bad framing, checksum mismatches, missing
+/// records) become [`StoreError::Corrupt`] — the signal that falling
+/// back to an older epoch is justified. Infrastructure faults (I/O,
+/// transient, out-of-space) pass through unchanged: they say nothing
+/// about the epoch's integrity, and mislabeling them would make recovery
+/// silently discard committed progress.
+fn checkpoint_error(ctx: &str, e: checkpoint::LoadError) -> StoreError {
+    match e {
+        checkpoint::LoadError::Store(
+            s @ (StoreError::Io(_) | StoreError::Transient(_) | StoreError::Full(_)),
+        ) => s,
+        other => StoreError::Corrupt(format!("{ctx}: {other}")),
+    }
+}
+
 fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
@@ -661,7 +779,6 @@ fn obs_epoch_export(stats: &EpochStats) {
 mod resume {
     use super::{EpochStats, PrngState, Store, StoreError};
 
-    pub(super) const STATE_KEY: &str = "trainer/state.bin";
     const STATE_MAGIC: &[u8; 4] = b"PTS1";
     /// Epoch-record cap a parser will believe (far above any real run).
     const MAX_EPOCHS: usize = 1 << 20;
@@ -675,6 +792,34 @@ mod resume {
         format!("trainer/velocity/e{epoch}/{i}")
     }
 
+    /// The epoch-stamped trainer-state key — the commit record of one
+    /// checkpoint epoch. Recovery scans these newest-first.
+    pub(super) fn state_key(epoch: usize) -> String {
+        format!("trainer/state/e{epoch}")
+    }
+
+    /// The epoch a checkpoint key belongs to, or `None` for keys that are
+    /// not ours (the sweep must never delete what it cannot attribute).
+    fn epoch_of(key: &str, prefix: &str) -> Option<usize> {
+        key.strip_prefix(prefix)?.split('/').next()?.parse().ok()
+    }
+
+    /// Checkpoint-key prefixes, each stripping to `{epoch}[/…]`.
+    const EPOCH_PREFIXES: [&str; 3] = ["net/e", "trainer/velocity/e", "trainer/state/e"];
+
+    /// Every epoch with a committed state record, newest first.
+    pub(super) fn committed_epochs(store: &dyn Store) -> Result<Vec<usize>, StoreError> {
+        let mut epochs: Vec<usize> = store
+            .list_prefix("trainer/state/e")?
+            .iter()
+            .filter_map(|k| epoch_of(k, "trainer/state/e"))
+            .collect();
+        epochs.sort_unstable();
+        epochs.dedup();
+        epochs.reverse();
+        Ok(epochs)
+    }
+
     /// Drop every key of a superseded epoch's checkpoint.
     pub(super) fn delete_epoch(store: &dyn Store, epoch: usize) -> Result<(), StoreError> {
         for prefix in [
@@ -685,7 +830,23 @@ mod resume {
                 store.delete(&key)?;
             }
         }
-        Ok(())
+        store.delete(&state_key(epoch))
+    }
+
+    /// Sweep every checkpoint key that does not belong to the epoch the
+    /// run resumed from: partial newer epochs a crash left behind, and
+    /// half-reclaimed older ones. Returns the number of keys deleted.
+    pub(super) fn sweep_except(store: &dyn Store, keep: usize) -> Result<u64, StoreError> {
+        let mut swept = 0;
+        for prefix in EPOCH_PREFIXES {
+            for key in store.list_prefix(prefix)? {
+                if epoch_of(&key, prefix).is_some_and(|e| e != keep) {
+                    store.delete(&key)?;
+                    swept += 1;
+                }
+            }
+        }
+        Ok(swept)
     }
 
     pub(super) struct TrainerState {
@@ -767,10 +928,11 @@ mod resume {
         }
     }
 
-    /// Load the resume state, `None` when the store has no checkpoint yet.
-    pub(super) fn load(store: &dyn Store) -> Result<Option<TrainerState>, StoreError> {
-        let Some(mut bytes) = store.get(STATE_KEY)? else {
-            return Ok(None);
+    /// Load and validate the state record committed for `epoch`.
+    pub(super) fn load_epoch(store: &dyn Store, epoch: usize) -> Result<TrainerState, StoreError> {
+        let key = state_key(epoch);
+        let Some(mut bytes) = store.get(&key)? else {
+            return Err(StoreError::MissingKey(key));
         };
         if bytes.len() < 4 {
             return Err(StoreError::Corrupt(
@@ -823,7 +985,12 @@ mod resume {
         if !r.0.is_empty() {
             return Err(StoreError::Corrupt("trailing trainer-state bytes".into()));
         }
-        Ok(Some(TrainerState {
+        if next_epoch != epoch {
+            return Err(StoreError::Corrupt(format!(
+                "trainer state under {key} claims epoch {next_epoch}"
+            )));
+        }
+        Ok(TrainerState {
             next_epoch,
             input_scale_exp: has_scale.then_some(scale),
             loader_rng: PrngState {
@@ -832,7 +999,7 @@ mod resume {
             },
             velocity_count,
             epochs,
-        }))
+        })
     }
 }
 
@@ -1189,11 +1356,13 @@ mod tests {
             resumed.final_test_acc.to_bits(),
             resumable.final_test_acc.to_bits()
         );
-        // Bit rot in the trainer-state blob is a loud checksum error, not
-        // a silently different resume.
-        let mut bytes = store.get("trainer/state.bin").unwrap().unwrap();
+        // Bit rot in the trainer-state record is a loud checksum error —
+        // with no older epoch left to fall back to, resume must refuse
+        // rather than silently restart from scratch.
+        let state_key = format!("trainer/state/e{}", cfg.epochs);
+        let mut bytes = store.get(&state_key).unwrap().unwrap();
         bytes[8] ^= 0x40; // inside the payload, not the trailer
-        store.set("trainer/state.bin", &bytes).unwrap();
+        store.set(&state_key, &bytes).unwrap();
         let err = Trainer::resnet(&cfg)
             .run(RunOptions::new(&train, &test, &cfg).resumable(&store))
             .unwrap_err();

@@ -1,0 +1,50 @@
+//! # posit-fault
+//!
+//! Deterministic, seed-driven fault injection for the posit-dnn storage
+//! and serving layers — the harness behind the "loud error, never silent
+//! corruption" claims. Everything a production deployment fears from its
+//! storage is reproducible here from a single seed:
+//!
+//! * [`FaultPlan`] — the schedule: torn/partial writes, silent tears,
+//!   read-side bit flips, transient bursts, permanent key poisoning,
+//!   ENOSPC and delayed visibility, either probabilistically (xoshiro,
+//!   seeded) or scripted to exact write indices;
+//! * [`FaultStore`] — a [`Store`](posit_store::Store) wrapper that turns
+//!   those decisions into real injected faults while keeping the wrapped
+//!   store's bytes observable (`inner()` is the post-crash "clean view");
+//! * [`TrafficPlan`] — adversarial arrival/stall/idle schedules for the
+//!   serve layer's virtual clock, driving bounded-queue shedding and
+//!   per-request deadlines deterministically.
+//!
+//! The chaos matrix in `crates/core/tests/fault_matrix.rs` sweeps plan
+//! seeds × fault classes and asserts the system-wide contract: training
+//! under injected faults either completes **bit-identically** to the
+//! fault-free run (transient faults retried away, crashes resumed from
+//! the newest fully-committed checkpoint) or surfaces a **typed** error —
+//! zero panics, zero silent corruption.
+//!
+//! ```
+//! use posit_fault::{FaultPlan, FaultStore, ScriptedFault};
+//! use posit_store::{MemoryStore, Store};
+//!
+//! // Tear the 3rd write in half and report it as a crash.
+//! let store = FaultStore::new(
+//!     MemoryStore::new(),
+//!     FaultPlan::scripted(vec![ScriptedFault::torn(2, 0.5)]),
+//! );
+//! store.set("a", b"intact").unwrap();
+//! store.set("b", b"intact").unwrap();
+//! assert!(store.set("c", b"12345678").is_err()); // the injected crash
+//! assert_eq!(store.inner().get("c").unwrap().unwrap(), b"1234"); // torn
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod plan;
+mod store;
+mod traffic;
+
+pub use plan::{Decision, FaultConfig, FaultKind, FaultPlan, Op, ScriptedFault};
+pub use store::{FaultStats, FaultStore};
+pub use traffic::{TrafficConfig, TrafficEvent, TrafficPlan};

@@ -1,0 +1,410 @@
+//! The fault plan: a deterministic, seed-driven schedule of injected
+//! faults.
+//!
+//! A [`FaultPlan`] is consulted once per store operation and answers with
+//! a [`Decision`]. Two modes compose:
+//!
+//! * **random** — each fault class fires with a configured probability,
+//!   drawn from the in-tree xoshiro [`Prng`] keyed by the plan seed. The
+//!   same seed over the same operation sequence injects the same faults.
+//! * **scripted** — faults pinned to exact write indices (`set` calls are
+//!   counted from 0), the precision a crash-recovery proof needs: "tear
+//!   the k-th write of the checkpoint sequence" for every k.
+//!
+//! The plan itself is pure bookkeeping — it never touches bytes. The
+//! [`FaultStore`](crate::FaultStore) wrapper turns decisions into actual
+//! torn writes, flipped bits and typed errors.
+
+use posit_tensor::rng::Prng;
+
+/// The injectable fault classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The operation fails with `StoreError::Transient`; a bounded number
+    /// of consecutive attempts fail before the incident clears.
+    Transient,
+    /// The key becomes permanently unusable: this and every later
+    /// operation touching it fails with `StoreError::Io`.
+    Permanent,
+    /// The write fails with `StoreError::Full` (ENOSPC).
+    Enospc,
+    /// A write persists only a prefix of its bytes and reports failure —
+    /// the caller-visible half of a crash between write and rename.
+    TornWrite,
+    /// A write persists only a prefix of its bytes but reports success —
+    /// lying hardware; only checksums can catch it downstream.
+    SilentTornWrite,
+    /// A read returns the stored bytes with one bit flipped — bit rot in
+    /// flight; the store content stays intact.
+    BitFlip,
+    /// A write is acknowledged but not visible to reads/lists until a
+    /// number of further operations pass (or the store settles).
+    DelayedVisibility,
+}
+
+impl FaultKind {
+    /// Every class, in a fixed order (chaos sweeps iterate this).
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::Transient,
+        FaultKind::Permanent,
+        FaultKind::Enospc,
+        FaultKind::TornWrite,
+        FaultKind::SilentTornWrite,
+        FaultKind::BitFlip,
+        FaultKind::DelayedVisibility,
+    ];
+
+    /// Short stable label (test matrices, EXPERIMENTS tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Transient => "transient",
+            FaultKind::Permanent => "permanent",
+            FaultKind::Enospc => "enospc",
+            FaultKind::TornWrite => "torn-write",
+            FaultKind::SilentTornWrite => "silent-torn-write",
+            FaultKind::BitFlip => "bit-flip",
+            FaultKind::DelayedVisibility => "delayed-visibility",
+        }
+    }
+}
+
+/// Per-class injection probabilities for random mode. Classes at 0.0
+/// never fire; everything is deterministic in the plan seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// P(transient incident) per operation.
+    pub transient: f32,
+    /// Consecutive failing attempts per transient incident (≥ 1).
+    pub transient_burst: u32,
+    /// P(permanently poisoning the key) per operation.
+    pub permanent: f32,
+    /// P(ENOSPC) per write.
+    pub enospc: f32,
+    /// P(torn write reported as an error) per write.
+    pub torn_write: f32,
+    /// P(torn write reported as success) per write.
+    pub silent_torn_write: f32,
+    /// P(single-bit flip) per read.
+    pub bit_flip: f32,
+    /// P(delayed visibility) per write.
+    pub delayed_visibility: f32,
+    /// Operations a delayed write stays invisible for.
+    pub delay_ops: u64,
+}
+
+impl FaultConfig {
+    /// No random faults at all (scripted-only plans).
+    pub const fn none() -> FaultConfig {
+        FaultConfig {
+            transient: 0.0,
+            transient_burst: 1,
+            permanent: 0.0,
+            enospc: 0.0,
+            torn_write: 0.0,
+            silent_torn_write: 0.0,
+            bit_flip: 0.0,
+            delayed_visibility: 0.0,
+            delay_ops: 4,
+        }
+    }
+
+    /// Only transient faults, at probability `p` with bursts of `burst`
+    /// consecutive failures — the retry-layer drill.
+    pub const fn transient_only(p: f32, burst: u32) -> FaultConfig {
+        let mut c = FaultConfig::none();
+        c.transient = p;
+        c.transient_burst = burst;
+        c
+    }
+
+    /// Only read-side bit flips, at probability `p` — the bit-rot drill.
+    pub const fn bit_flip_only(p: f32) -> FaultConfig {
+        let mut c = FaultConfig::none();
+        c.bit_flip = p;
+        c
+    }
+}
+
+/// The operation classes a plan distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `Store::get`.
+    Get,
+    /// `Store::set` (write index advances on each).
+    Set,
+    /// `Store::delete`.
+    Delete,
+    /// `Store::list` / `Store::list_prefix`.
+    List,
+}
+
+/// What the wrapper should do to the current operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Pass through untouched.
+    Ok,
+    /// Fail with the class's typed error (no side effects).
+    Fail(FaultKind),
+    /// Write only the first `keep` bytes, then report the kind's outcome
+    /// (`TornWrite` errors, `SilentTornWrite` succeeds).
+    Tear {
+        /// Bytes that reach the store.
+        keep: usize,
+        /// `TornWrite` or `SilentTornWrite`.
+        kind: FaultKind,
+    },
+    /// Flip bit `bit` of byte `byte % len` in the bytes returned to the
+    /// reader.
+    FlipBit {
+        /// Byte offset (reduced modulo the value length).
+        byte: usize,
+        /// Bit index 0–7.
+        bit: u8,
+    },
+    /// Buffer the write; it becomes visible after `ops` further
+    /// operations.
+    Delay {
+        /// Operations until the write lands.
+        ops: u64,
+    },
+}
+
+/// A scripted fault pinned to one write: the `index`-th `set` call
+/// (0-based, counted across the store's lifetime) suffers `kind`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScriptedFault {
+    /// Which `set` call (0-based).
+    pub index: u64,
+    /// What happens to it.
+    pub kind: FaultKind,
+    /// For torn writes: fraction of the value that persists (0.0–1.0).
+    pub keep_fraction: f32,
+}
+
+impl ScriptedFault {
+    /// Tear the `index`-th write, keeping `keep_fraction` of its bytes,
+    /// and report it as an error (the crash stand-in).
+    pub fn torn(index: u64, keep_fraction: f32) -> ScriptedFault {
+        ScriptedFault {
+            index,
+            kind: FaultKind::TornWrite,
+            keep_fraction,
+        }
+    }
+
+    /// Tear the `index`-th write but report success (lying hardware).
+    pub fn silent_torn(index: u64, keep_fraction: f32) -> ScriptedFault {
+        ScriptedFault {
+            index,
+            kind: FaultKind::SilentTornWrite,
+            keep_fraction,
+        }
+    }
+
+    /// Corrupt one bit of the `index`-th write's payload, reported as
+    /// success (`keep_fraction` reinterpreted as position within the
+    /// value).
+    pub fn silent_bit_flip(index: u64, position: f32) -> ScriptedFault {
+        ScriptedFault {
+            index,
+            kind: FaultKind::BitFlip,
+            keep_fraction: position,
+        }
+    }
+
+    /// Fail the `index`-th write with the given error class (no bytes
+    /// reach the store).
+    pub fn fail(index: u64, kind: FaultKind) -> ScriptedFault {
+        ScriptedFault {
+            index,
+            kind,
+            keep_fraction: 0.0,
+        }
+    }
+}
+
+/// A deterministic schedule of injected faults. See the module docs.
+#[derive(Debug)]
+pub struct FaultPlan {
+    rng: Prng,
+    cfg: FaultConfig,
+    script: Vec<ScriptedFault>,
+    armed: bool,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (wrap-through baseline).
+    pub fn quiet() -> FaultPlan {
+        FaultPlan::seeded(0, FaultConfig::none())
+    }
+
+    /// Random mode: faults fire per `cfg`, deterministically in `seed`.
+    pub fn seeded(seed: u64, cfg: FaultConfig) -> FaultPlan {
+        FaultPlan {
+            rng: Prng::seed(seed ^ 0xFA17_FA17_FA17_FA17),
+            cfg,
+            script: Vec::new(),
+            armed: true,
+        }
+    }
+
+    /// Scripted mode: exactly these faults, nothing random.
+    pub fn scripted(faults: impl Into<Vec<ScriptedFault>>) -> FaultPlan {
+        FaultPlan {
+            rng: Prng::seed(0xFA17),
+            cfg: FaultConfig::none(),
+            script: faults.into(),
+            armed: true,
+        }
+    }
+
+    /// The configured probabilities.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Stop injecting (existing delayed writes/poisoned keys in the
+    /// wrapper are unaffected; only *new* decisions become `Ok`).
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+
+    /// Whether the plan is still injecting.
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    fn hit(&mut self, p: f32) -> bool {
+        // A disabled class (p = 0) consumes no randomness, so enabling
+        // one class never reshuffles another's fault placement.
+        p > 0.0 && self.rng.uniform(0.0, 1.0) < p
+    }
+
+    /// Decide the fate of one operation. `write_index` counts `set` calls
+    /// (0-based); `value_len` is the write's payload length (0 for reads).
+    pub fn decide(&mut self, op: Op, write_index: u64, value_len: usize) -> Decision {
+        if !self.armed {
+            return Decision::Ok;
+        }
+        if op == Op::Set {
+            if let Some(f) = self.script.iter().find(|f| f.index == write_index) {
+                let f = *f;
+                return match f.kind {
+                    FaultKind::TornWrite | FaultKind::SilentTornWrite => Decision::Tear {
+                        keep: ((value_len as f32) * f.keep_fraction.clamp(0.0, 1.0)) as usize,
+                        kind: f.kind,
+                    },
+                    FaultKind::BitFlip => Decision::FlipBit {
+                        byte: ((value_len.saturating_sub(1) as f32)
+                            * f.keep_fraction.clamp(0.0, 1.0))
+                            as usize,
+                        bit: (f.index % 8) as u8,
+                    },
+                    kind => Decision::Fail(kind),
+                };
+            }
+        }
+        match op {
+            Op::Set => {
+                if self.hit(self.cfg.enospc) {
+                    return Decision::Fail(FaultKind::Enospc);
+                }
+                if self.hit(self.cfg.torn_write) {
+                    let keep = (self.rng.uniform(0.0, 1.0) * value_len as f32) as usize;
+                    return Decision::Tear {
+                        keep,
+                        kind: FaultKind::TornWrite,
+                    };
+                }
+                if self.hit(self.cfg.silent_torn_write) {
+                    let keep = (self.rng.uniform(0.0, 1.0) * value_len as f32) as usize;
+                    return Decision::Tear {
+                        keep,
+                        kind: FaultKind::SilentTornWrite,
+                    };
+                }
+                if self.hit(self.cfg.delayed_visibility) {
+                    return Decision::Delay {
+                        ops: self.cfg.delay_ops,
+                    };
+                }
+            }
+            Op::Get => {
+                if self.hit(self.cfg.bit_flip) {
+                    return Decision::FlipBit {
+                        byte: self.rng.word() as usize,
+                        bit: (self.rng.word() % 8) as u8,
+                    };
+                }
+            }
+            Op::Delete | Op::List => {}
+        }
+        if self.hit(self.cfg.permanent) {
+            return Decision::Fail(FaultKind::Permanent);
+        }
+        if self.hit(self.cfg.transient) {
+            return Decision::Fail(FaultKind::Transient);
+        }
+        Decision::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let cfg = FaultConfig {
+            transient: 0.3,
+            bit_flip: 0.2,
+            torn_write: 0.1,
+            ..FaultConfig::none()
+        };
+        let ops = [
+            (Op::Set, 0, 100),
+            (Op::Get, 0, 0),
+            (Op::Set, 1, 50),
+            (Op::List, 0, 0),
+            (Op::Get, 0, 0),
+            (Op::Delete, 0, 0),
+        ];
+        let mut a = FaultPlan::seeded(9, cfg);
+        let mut b = FaultPlan::seeded(9, cfg);
+        for (op, wi, len) in ops {
+            assert_eq!(a.decide(op, wi, len), b.decide(op, wi, len));
+        }
+    }
+
+    #[test]
+    fn scripted_faults_fire_exactly_once_at_their_index() {
+        let mut p = FaultPlan::scripted(vec![ScriptedFault::torn(2, 0.5)]);
+        assert_eq!(p.decide(Op::Set, 0, 10), Decision::Ok);
+        assert_eq!(p.decide(Op::Set, 1, 10), Decision::Ok);
+        assert_eq!(
+            p.decide(Op::Set, 2, 10),
+            Decision::Tear {
+                keep: 5,
+                kind: FaultKind::TornWrite
+            }
+        );
+        assert_eq!(p.decide(Op::Set, 3, 10), Decision::Ok);
+        // Reads are untouched in scripted mode.
+        assert_eq!(p.decide(Op::Get, 3, 0), Decision::Ok);
+    }
+
+    #[test]
+    fn quiet_and_disarmed_plans_never_inject() {
+        let mut q = FaultPlan::quiet();
+        for i in 0..100 {
+            assert_eq!(q.decide(Op::Set, i, 64), Decision::Ok);
+            assert_eq!(q.decide(Op::Get, i, 0), Decision::Ok);
+        }
+        let mut p = FaultPlan::seeded(1, FaultConfig::transient_only(1.0, 1));
+        assert_ne!(p.decide(Op::Get, 0, 0), Decision::Ok);
+        p.disarm();
+        for i in 0..50 {
+            assert_eq!(p.decide(Op::Get, i, 0), Decision::Ok);
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! [`FaultStore`]: the `Store` wrapper that turns a [`FaultPlan`]'s
+//! decisions into real injected faults.
+
+use crate::plan::{Decision, FaultKind, FaultPlan, Op};
+use posit_store::{Store, StoreError};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Mutex;
+
+/// How many faults of each class a [`FaultStore`] has injected.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Total operations that passed through the wrapper.
+    pub ops: u64,
+    /// Injected fault count per class label (see [`FaultKind::label`]).
+    pub injected: BTreeMap<&'static str, u64>,
+}
+
+impl FaultStats {
+    /// Total injected faults across every class.
+    pub fn total(&self) -> u64 {
+        self.injected.values().sum()
+    }
+
+    /// Injected count for one class.
+    pub fn count(&self, kind: FaultKind) -> u64 {
+        self.injected.get(kind.label()).copied().unwrap_or(0)
+    }
+}
+
+struct Inner {
+    plan: FaultPlan,
+    /// Global operation counter (delayed-visibility deadlines).
+    op_count: u64,
+    /// `set` calls seen (scripted faults are pinned to these).
+    write_index: u64,
+    /// Writes acknowledged but not yet visible: key → (bytes, visible_at).
+    delayed: HashMap<String, (Vec<u8>, u64)>,
+    /// Keys a permanent fault has poisoned.
+    poisoned: HashSet<String>,
+    /// Remaining consecutive transient failures per (op, key) incident.
+    transient_left: HashMap<(Op, String), u32>,
+    stats: FaultStats,
+}
+
+impl Inner {
+    fn record(&mut self, kind: FaultKind) {
+        *self.stats.injected.entry(kind.label()).or_insert(0) += 1;
+    }
+}
+
+/// A [`Store`] wrapper injecting the faults its [`FaultPlan`] schedules.
+///
+/// All bookkeeping sits behind one mutex, so the wrapper is as shareable
+/// as the store it wraps (parallel chunk pipelines included). The wrapped
+/// store only ever sees ordinary operations — a torn write arrives as a
+/// shorter value, a bit flip never reaches it at all (reads are corrupted
+/// in the returned copy).
+pub struct FaultStore<S> {
+    inner: S,
+    state: Mutex<Inner>,
+}
+
+impl<S: Store> FaultStore<S> {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> FaultStore<S> {
+        FaultStore {
+            inner,
+            state: Mutex::new(Inner {
+                plan,
+                op_count: 0,
+                write_index: 0,
+                delayed: HashMap::new(),
+                poisoned: HashSet::new(),
+                transient_left: HashMap::new(),
+                stats: FaultStats::default(),
+            }),
+        }
+    }
+
+    /// The wrapped store (bypasses injection — the "clean view" a
+    /// recovery test reads after a simulated crash).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwrap. Delayed writes that never became visible are dropped,
+    /// exactly like a crash before fsync.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Stop injecting new faults. Poisoned keys heal and pending delayed
+    /// writes flush — the store behaves like its clean inner from now on.
+    pub fn disarm(&self) -> Result<(), StoreError> {
+        let mut st = self.lock();
+        st.plan.disarm();
+        st.poisoned.clear();
+        st.transient_left.clear();
+        let due: Vec<(String, Vec<u8>)> = st.delayed.drain().map(|(k, (v, _))| (k, v)).collect();
+        drop(st);
+        for (k, v) in due {
+            self.inner.set(&k, &v)?;
+        }
+        Ok(())
+    }
+
+    /// Flush every delayed write to the wrapped store ("the medium caught
+    /// up"), leaving the plan armed.
+    pub fn settle(&self) -> Result<(), StoreError> {
+        let due: Vec<(String, Vec<u8>)> = {
+            let mut st = self.lock();
+            st.delayed.drain().map(|(k, (v, _))| (k, v)).collect()
+        };
+        for (k, v) in due {
+            self.inner.set(&k, &v)?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot the injection counters.
+    pub fn stats(&self) -> FaultStats {
+        self.lock().stats.clone()
+    }
+
+    /// How many `set` calls the store has seen — the write-index clock
+    /// that scripted faults key on. Probe a quiet run with this, then
+    /// aim [`ScriptedFault`](crate::ScriptedFault)s at indices inside it.
+    pub fn writes(&self) -> u64 {
+        self.lock().write_index
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Advance the op clock, flush delayed writes that became visible.
+    fn step(&self, st: &mut Inner) -> Result<(), StoreError> {
+        st.op_count += 1;
+        st.stats.ops += 1;
+        let now = st.op_count;
+        let due: Vec<String> = st
+            .delayed
+            .iter()
+            .filter(|(_, (_, at))| *at <= now)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in due {
+            if let Some((v, _)) = st.delayed.remove(&k) {
+                self.inner.set(&k, &v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Shared fault gate for every operation: poisoned keys, in-progress
+    /// transient bursts, then a fresh plan decision.
+    fn gate(&self, st: &mut Inner, op: Op, key: &str, value_len: usize) -> GateOutcome {
+        if st.poisoned.contains(key) {
+            st.record(FaultKind::Permanent);
+            return GateOutcome::Err(StoreError::Io(format!(
+                "injected permanent fault: key {key:?} is poisoned"
+            )));
+        }
+        let incident = (op, key.to_string());
+        if let Some(left) = st.transient_left.get_mut(&incident) {
+            if *left > 0 {
+                *left -= 1;
+                st.record(FaultKind::Transient);
+                return GateOutcome::Err(StoreError::Transient(format!(
+                    "injected transient fault on {key:?} (burst)"
+                )));
+            }
+            // The incident just cleared: this attempt succeeds without
+            // consulting the plan, so a retry budget longer than the burst
+            // is guaranteed to win even at injection probability 1.
+            st.transient_left.remove(&incident);
+            if op == Op::Set {
+                st.write_index += 1;
+            }
+            return GateOutcome::Proceed;
+        }
+        let write_index = st.write_index;
+        if op == Op::Set {
+            st.write_index += 1;
+        }
+        match st.plan.decide(op, write_index, value_len) {
+            Decision::Ok => GateOutcome::Proceed,
+            Decision::Fail(FaultKind::Transient) => {
+                let burst = st.plan.config().transient_burst.max(1);
+                st.transient_left.insert(incident, burst - 1);
+                st.record(FaultKind::Transient);
+                GateOutcome::Err(StoreError::Transient(format!(
+                    "injected transient fault on {key:?}"
+                )))
+            }
+            Decision::Fail(FaultKind::Permanent) => {
+                st.poisoned.insert(key.to_string());
+                st.record(FaultKind::Permanent);
+                GateOutcome::Err(StoreError::Io(format!(
+                    "injected permanent fault: key {key:?} is now poisoned"
+                )))
+            }
+            Decision::Fail(FaultKind::Enospc) => {
+                st.record(FaultKind::Enospc);
+                GateOutcome::Err(StoreError::Full(format!("injected ENOSPC writing {key:?}")))
+            }
+            Decision::Fail(kind) => {
+                st.record(kind);
+                GateOutcome::Err(StoreError::Io(format!(
+                    "injected {} fault on {key:?}",
+                    kind.label()
+                )))
+            }
+            Decision::Tear { keep, kind } => {
+                st.record(kind);
+                GateOutcome::Tear { keep, kind }
+            }
+            Decision::FlipBit { byte, bit } => {
+                st.record(FaultKind::BitFlip);
+                GateOutcome::FlipBit { byte, bit }
+            }
+            Decision::Delay { ops } => {
+                st.record(FaultKind::DelayedVisibility);
+                GateOutcome::Delay { ops }
+            }
+        }
+    }
+}
+
+enum GateOutcome {
+    Proceed,
+    Err(StoreError),
+    Tear { keep: usize, kind: FaultKind },
+    FlipBit { byte: usize, bit: u8 },
+    Delay { ops: u64 },
+}
+
+impl<S: Store> Store for FaultStore<S> {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        let mut st = self.lock();
+        self.step(&mut st)?;
+        let outcome = self.gate(&mut st, Op::Get, key, 0);
+        // A delayed write is invisible: the read sees the old bytes the
+        // inner store still holds (delayed entries are not yet flushed).
+        drop(st);
+        match outcome {
+            GateOutcome::Proceed => self.inner.get(key),
+            GateOutcome::Err(e) => Err(e),
+            GateOutcome::FlipBit { byte, bit } => {
+                let mut bytes = self.inner.get(key)?;
+                if let Some(b) = &mut bytes {
+                    if !b.is_empty() {
+                        let i = byte % b.len();
+                        b[i] ^= 1 << (bit & 7);
+                    }
+                }
+                Ok(bytes)
+            }
+            // Tear/Delay are write-side decisions; plans never emit them
+            // for reads.
+            GateOutcome::Tear { .. } | GateOutcome::Delay { .. } => self.inner.get(key),
+        }
+    }
+
+    fn set(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        let mut st = self.lock();
+        self.step(&mut st)?;
+        let outcome = self.gate(&mut st, Op::Set, key, value.len());
+        match outcome {
+            GateOutcome::Proceed => {
+                // A successful write supersedes any still-buffered one.
+                st.delayed.remove(key);
+                drop(st);
+                self.inner.set(key, value)
+            }
+            GateOutcome::Err(e) => Err(e),
+            GateOutcome::Tear { keep, kind } => {
+                st.delayed.remove(key);
+                drop(st);
+                let keep = keep.min(value.len());
+                self.inner.set(key, &value[..keep])?;
+                match kind {
+                    FaultKind::SilentTornWrite => Ok(()),
+                    _ => Err(StoreError::Io(format!(
+                        "injected torn write on {key:?}: {keep} of {} bytes persisted",
+                        value.len()
+                    ))),
+                }
+            }
+            GateOutcome::FlipBit { byte, bit } => {
+                st.delayed.remove(key);
+                drop(st);
+                let mut v = value.to_vec();
+                if !v.is_empty() {
+                    let i = byte % v.len();
+                    v[i] ^= 1 << (bit & 7);
+                }
+                self.inner.set(key, &v)
+            }
+            GateOutcome::Delay { ops } => {
+                let at = st.op_count + ops;
+                st.delayed.insert(key.to_string(), (value.to_vec(), at));
+                Ok(())
+            }
+        }
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StoreError> {
+        let mut st = self.lock();
+        self.step(&mut st)?;
+        let outcome = self.gate(&mut st, Op::Delete, key, 0);
+        match outcome {
+            GateOutcome::Proceed => {
+                st.delayed.remove(key);
+                drop(st);
+                self.inner.delete(key)
+            }
+            GateOutcome::Err(e) => Err(e),
+            _ => {
+                drop(st);
+                self.inner.delete(key)
+            }
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        let mut st = self.lock();
+        self.step(&mut st)?;
+        let outcome = self.gate(&mut st, Op::List, "", 0);
+        drop(st);
+        match outcome {
+            GateOutcome::Err(e) => Err(e),
+            _ => self.inner.list(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultConfig, ScriptedFault};
+    use posit_store::MemoryStore;
+
+    #[test]
+    fn quiet_plan_is_transparent() {
+        let fs = FaultStore::new(MemoryStore::new(), FaultPlan::quiet());
+        fs.set("a/b", b"payload").unwrap();
+        assert_eq!(fs.get("a/b").unwrap().unwrap(), b"payload");
+        assert_eq!(fs.list().unwrap(), vec!["a/b"]);
+        fs.delete("a/b").unwrap();
+        assert_eq!(fs.get("a/b").unwrap(), None);
+        assert_eq!(fs.stats().total(), 0);
+        assert_eq!(fs.stats().ops, 5);
+    }
+
+    #[test]
+    fn scripted_torn_write_persists_a_prefix_and_errors() {
+        let fs = FaultStore::new(
+            MemoryStore::new(),
+            FaultPlan::scripted(vec![ScriptedFault::torn(1, 0.5)]),
+        );
+        fs.set("k0", b"aaaaaaaa").unwrap();
+        let err = fs.set("k1", b"bbbbbbbb").unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err:?}");
+        // Crash view: the prefix landed under the final name.
+        assert_eq!(fs.inner().get("k1").unwrap().unwrap(), b"bbbb");
+        assert_eq!(fs.stats().count(FaultKind::TornWrite), 1);
+        // Later writes are untouched.
+        fs.set("k2", b"cccc").unwrap();
+        assert_eq!(fs.get("k2").unwrap().unwrap(), b"cccc");
+    }
+
+    #[test]
+    fn transient_bursts_clear_after_the_configured_attempts() {
+        let fs = FaultStore::new(
+            MemoryStore::new(),
+            FaultPlan::seeded(3, FaultConfig::transient_only(1.0, 3)),
+        );
+        fs.inner().set("k", b"v").unwrap();
+        let mut failures = 0;
+        let got = loop {
+            match fs.get("k") {
+                Ok(v) => break v,
+                Err(e) => {
+                    assert!(e.is_transient(), "{e:?}");
+                    failures += 1;
+                    assert!(failures < 100, "incident never cleared");
+                }
+            }
+        };
+        assert_eq!(got.unwrap(), b"v");
+        assert_eq!(failures, 3, "burst length should be exactly the config");
+    }
+
+    #[test]
+    fn retry_store_absorbs_injected_transients() {
+        use posit_store::{RetryPolicy, RetryStore};
+        let fs = FaultStore::new(
+            MemoryStore::new(),
+            FaultPlan::seeded(5, FaultConfig::transient_only(0.5, 2)),
+        );
+        let store = RetryStore::new(fs, RetryPolicy::immediate(8));
+        for i in 0..50 {
+            let key = format!("k{i}");
+            store.set(&key, &[i as u8; 16]).unwrap();
+            assert_eq!(store.get(&key).unwrap().unwrap(), vec![i as u8; 16]);
+        }
+        let rs = store.stats();
+        assert!(rs.faulted_ops > 0, "plan at p=0.5 never fired");
+        assert_eq!(rs.exhausted, 0);
+        assert!(store.inner().stats().count(FaultKind::Transient) >= rs.faulted_ops);
+    }
+
+    #[test]
+    fn permanent_fault_poisons_the_key_until_disarm() {
+        let fs = FaultStore::new(
+            MemoryStore::new(),
+            FaultPlan::scripted(vec![ScriptedFault::fail(0, FaultKind::Permanent)]),
+        );
+        let err = fs.set("k", b"v").unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err:?}");
+        for _ in 0..3 {
+            assert!(fs.get("k").is_err());
+            assert!(fs.set("k", b"v").is_err());
+        }
+        // Other keys unaffected.
+        fs.set("other", b"x").unwrap();
+        fs.disarm().unwrap();
+        fs.set("k", b"v").unwrap();
+        assert_eq!(fs.get("k").unwrap().unwrap(), b"v");
+    }
+
+    #[test]
+    fn enospc_surfaces_as_full_and_is_not_transient() {
+        let fs = FaultStore::new(
+            MemoryStore::new(),
+            FaultPlan::scripted(vec![ScriptedFault::fail(0, FaultKind::Enospc)]),
+        );
+        let err = fs.set("k", b"v").unwrap_err();
+        assert!(matches!(err, StoreError::Full(_)), "{err:?}");
+        assert!(!err.is_transient());
+        assert_eq!(fs.inner().get("k").unwrap(), None, "no bytes may land");
+    }
+
+    #[test]
+    fn bit_flips_corrupt_the_read_not_the_store() {
+        let fs = FaultStore::new(
+            MemoryStore::new(),
+            FaultPlan::seeded(7, FaultConfig::bit_flip_only(1.0)),
+        );
+        fs.inner().set("k", &[0u8; 8]).unwrap();
+        let corrupted = fs.get("k").unwrap().unwrap();
+        assert_ne!(corrupted, vec![0u8; 8], "flip must be visible to reads");
+        assert_eq!(
+            corrupted.iter().map(|b| b.count_ones()).sum::<u32>(),
+            1,
+            "exactly one bit flips"
+        );
+        // The stored bytes are intact: rot in flight, not at rest.
+        assert_eq!(fs.inner().get("k").unwrap().unwrap(), vec![0u8; 8]);
+    }
+
+    #[test]
+    fn delayed_writes_become_visible_after_the_op_budget() {
+        let mut cfg = FaultConfig::none();
+        cfg.delayed_visibility = 1.0;
+        cfg.delay_ops = 3;
+        let fs = FaultStore::new(MemoryStore::new(), FaultPlan::seeded(1, cfg));
+        fs.set("k", b"new").unwrap(); // acknowledged, buffered
+        assert_eq!(fs.inner().get("k").unwrap(), None, "not yet durable");
+        // Reads see the old state until enough ops pass. (Each get is
+        // itself an op; the disarmed-read path keeps injecting delays only
+        // for writes, so gets pass through.)
+        assert_eq!(fs.get("k").unwrap(), None);
+        assert_eq!(fs.get("k").unwrap(), None);
+        assert_eq!(fs.get("k").unwrap().unwrap(), b"new");
+    }
+
+    #[test]
+    fn settle_flushes_delayed_writes_immediately() {
+        let mut cfg = FaultConfig::none();
+        cfg.delayed_visibility = 1.0;
+        cfg.delay_ops = 1_000;
+        let fs = FaultStore::new(MemoryStore::new(), FaultPlan::seeded(1, cfg));
+        fs.set("k", b"new").unwrap();
+        assert_eq!(fs.inner().get("k").unwrap(), None);
+        fs.settle().unwrap();
+        assert_eq!(fs.inner().get("k").unwrap().unwrap(), b"new");
+    }
+
+    #[test]
+    fn silent_tear_is_invisible_until_read_back() {
+        let fs = FaultStore::new(
+            MemoryStore::new(),
+            FaultPlan::scripted(vec![ScriptedFault::silent_torn(0, 0.25)]),
+        );
+        fs.set("k", &[7u8; 16]).unwrap(); // lies: reports success
+        assert_eq!(fs.get("k").unwrap().unwrap(), vec![7u8; 4]);
+        assert_eq!(fs.stats().count(FaultKind::SilentTornWrite), 1);
+    }
+}

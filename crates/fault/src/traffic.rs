@@ -1,0 +1,115 @@
+//! Deterministic adversarial traffic for the serve layer's virtual clock.
+//!
+//! The inference server's time is fully virtual (`InferenceServer::tick`),
+//! so overload is a *schedule*, not a race: a [`TrafficPlan`] turns a seed
+//! into a reproducible sequence of [`TrafficEvent`]s — bursts of arrivals,
+//! stalled stretches where requests pile up with no ticks (a blocked event
+//! loop), and idle catch-up ticks. Chaos tests and the `load_driver`
+//! overload scenario replay these against a bounded-queue server and
+//! assert the shed/deadline behavior instead of hoping a thread race
+//! produces pressure.
+
+use posit_tensor::rng::Prng;
+
+/// Shape of the generated traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// Largest burst of arrivals in one event.
+    pub max_burst: usize,
+    /// P(an event is a stall: a burst arrives but the clock does not
+    /// advance — the driver thread is wedged).
+    pub stall: f32,
+    /// P(an event is idle: no arrivals, several ticks pass).
+    pub idle: f32,
+    /// Ticks an idle event advances (the catch-up after a stall).
+    pub idle_ticks: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> TrafficConfig {
+        TrafficConfig {
+            max_burst: 8,
+            stall: 0.2,
+            idle: 0.2,
+            idle_ticks: 4,
+        }
+    }
+}
+
+/// One step of synthetic traffic: submit `arrivals` requests, then
+/// advance the virtual clock `ticks` times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficEvent {
+    /// Requests arriving in this step.
+    pub arrivals: usize,
+    /// Virtual-clock ticks after the arrivals.
+    pub ticks: u64,
+}
+
+/// A seed-driven generator of [`TrafficEvent`]s.
+#[derive(Debug)]
+pub struct TrafficPlan {
+    rng: Prng,
+    cfg: TrafficConfig,
+}
+
+impl TrafficPlan {
+    /// Deterministic traffic from `seed` under `cfg`.
+    pub fn seeded(seed: u64, cfg: TrafficConfig) -> TrafficPlan {
+        TrafficPlan {
+            rng: Prng::seed(seed ^ 0x7EAF_F1C0),
+            cfg,
+        }
+    }
+
+    /// The next event.
+    pub fn next_event(&mut self) -> TrafficEvent {
+        let roll = self.rng.uniform(0.0, 1.0);
+        if roll < self.cfg.stall {
+            TrafficEvent {
+                arrivals: 1 + self.rng.below(self.cfg.max_burst.max(1)),
+                ticks: 0,
+            }
+        } else if roll < self.cfg.stall + self.cfg.idle {
+            TrafficEvent {
+                arrivals: 0,
+                ticks: self.cfg.idle_ticks,
+            }
+        } else {
+            TrafficEvent {
+                arrivals: 1 + self.rng.below(self.cfg.max_burst.max(1)),
+                ticks: 1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_traffic() {
+        let cfg = TrafficConfig::default();
+        let mut a = TrafficPlan::seeded(11, cfg);
+        let mut b = TrafficPlan::seeded(11, cfg);
+        for _ in 0..256 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    fn traffic_mixes_stalls_bursts_and_idles() {
+        let mut plan = TrafficPlan::seeded(3, TrafficConfig::default());
+        let (mut stalls, mut idles, mut paced) = (0, 0, 0);
+        for _ in 0..512 {
+            let e = plan.next_event();
+            match (e.arrivals, e.ticks) {
+                (0, _) => idles += 1,
+                (_, 0) => stalls += 1,
+                _ => paced += 1,
+            }
+        }
+        assert!(stalls > 0 && idles > 0 && paced > 0);
+    }
+}

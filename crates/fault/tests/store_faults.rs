@@ -1,0 +1,186 @@
+//! Store-layer chaos: injected faults against the real chunked-array
+//! pipeline (codec chains, CRC trailers, meta.json). The contract under
+//! test: every injected fault is either absorbed by the retry layer with
+//! **bit-identical** results, or surfaces as a **typed** `StoreError` —
+//! never a panic, never silently different bytes.
+
+use posit::{PositFormat, Rounding};
+use posit_fault::{FaultConfig, FaultKind, FaultPlan, FaultStore, ScriptedFault};
+use posit_store::{
+    read_tensor, write_tensor, MemoryStore, RetryPolicy, RetryStore, Store, StoreError,
+};
+use posit_tensor::rng::Prng;
+use posit_tensor::Tensor;
+
+fn packed_tensor(seed: u64) -> Tensor {
+    let mut rng = Prng::seed(seed);
+    Tensor::rand_normal(&[8, 12], 0.0, 1.0, &mut rng).to_posit(
+        PositFormat::of(8, 1),
+        0,
+        Rounding::NearestEven,
+    )
+}
+
+/// Transient faults under a sufficient retry budget are invisible: the
+/// round trip restores bit-identical packed planes for every seed.
+#[test]
+fn retried_transients_round_trip_bit_identically() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let t = packed_tensor(seed);
+        let store = RetryStore::new(
+            FaultStore::new(
+                MemoryStore::new(),
+                FaultPlan::seeded(seed, FaultConfig::transient_only(0.3, 2)),
+            ),
+            RetryPolicy::immediate(8),
+        );
+        write_tensor(&store, "arr", &t).unwrap();
+        let back = read_tensor(&store, "arr").unwrap();
+        assert_eq!(back.posit_bits(), t.posit_bits(), "seed {seed}");
+        let stats = store.stats();
+        assert_eq!(stats.exhausted, 0, "seed {seed}: retry budget too small");
+    }
+}
+
+/// An undersized retry budget surfaces the transient error typed — the
+/// caller can distinguish "retry later" from corruption.
+#[test]
+fn exhausted_retries_surface_typed_transient_errors() {
+    let store = RetryStore::new(
+        FaultStore::new(
+            MemoryStore::new(),
+            FaultPlan::seeded(1, FaultConfig::transient_only(1.0, 10)),
+        ),
+        RetryPolicy::immediate(2),
+    );
+    let err = write_tensor(&store, "arr", &packed_tensor(1)).unwrap_err();
+    assert!(err.is_transient(), "{err:?}");
+    assert!(store.stats().exhausted > 0);
+}
+
+/// A silent torn write (reported as success) cannot slip through a read:
+/// the CRC trailer or the meta parser turns it into a typed Corrupt.
+#[test]
+fn silent_tears_are_caught_at_read_time() {
+    let t = packed_tensor(7);
+    // Count the writes of one clean round trip, then tear each in turn.
+    let probe = FaultStore::new(MemoryStore::new(), FaultPlan::quiet());
+    write_tensor(&probe, "arr", &t).unwrap();
+    let writes = probe.stats().ops; // every op was a set here
+    assert!(writes >= 2, "expected chunks + meta, got {writes} writes");
+    for torn in 0..writes {
+        for frac in [0.0f32, 0.33, 0.85] {
+            let store = FaultStore::new(
+                MemoryStore::new(),
+                FaultPlan::scripted(vec![ScriptedFault::silent_torn(torn, frac)]),
+            );
+            write_tensor(&store, "arr", &t).unwrap(); // the lie: no error
+            match read_tensor(store.inner(), "arr") {
+                Ok(back) => panic!(
+                    "write {torn} frac {frac}: torn data read back {:?}",
+                    back.shape()
+                ),
+                Err(StoreError::Corrupt(_)) | Err(StoreError::MissingKey(_)) => {}
+                Err(other) => panic!("write {torn}: untyped failure {other:?}"),
+            }
+        }
+    }
+}
+
+/// A silent single-bit flip in any write of the sequence is equally loud.
+#[test]
+fn silent_bit_flips_are_caught_at_read_time() {
+    let t = packed_tensor(9);
+    let probe = FaultStore::new(MemoryStore::new(), FaultPlan::quiet());
+    write_tensor(&probe, "arr", &t).unwrap();
+    let writes = probe.stats().ops;
+    for flipped in 0..writes {
+        for pos in [0.0f32, 0.5, 0.99] {
+            let store = FaultStore::new(
+                MemoryStore::new(),
+                FaultPlan::scripted(vec![ScriptedFault::silent_bit_flip(flipped, pos)]),
+            );
+            write_tensor(&store, "arr", &t).unwrap();
+            match read_tensor(store.inner(), "arr") {
+                Ok(_) => panic!("write {flipped} pos {pos}: flipped bit read back clean"),
+                Err(StoreError::Corrupt(_)) => {}
+                Err(other) => panic!("write {flipped}: untyped failure {other:?}"),
+            }
+        }
+    }
+}
+
+/// Read-side bit rot (store bytes intact) is a typed Corrupt on every
+/// read, and a clean re-read — the "replica repair" — still round-trips.
+#[test]
+fn read_side_bit_rot_is_loud_and_recoverable() {
+    let t = packed_tensor(11);
+    let store = FaultStore::new(MemoryStore::new(), FaultPlan::quiet());
+    write_tensor(&store, "arr", &t).unwrap();
+    let mut corrupt_seen = 0;
+    for seed in 0..20u64 {
+        let rotten = FaultStore::new(
+            MemoryStoreView(store.inner()),
+            FaultPlan::seeded(seed, FaultConfig::bit_flip_only(0.5)),
+        );
+        match read_tensor(&rotten, "arr") {
+            Ok(back) => assert_eq!(back.posit_bits(), t.posit_bits(), "seed {seed}"),
+            Err(StoreError::Corrupt(_)) => corrupt_seen += 1,
+            Err(other) => panic!("seed {seed}: untyped failure {other:?}"),
+        }
+    }
+    assert!(
+        corrupt_seen > 0,
+        "flip probability 0.5 never corrupted a read"
+    );
+}
+
+/// ENOSPC mid-sequence is typed, leaves no half-readable array behind
+/// under the commit discipline (meta last), and the array is absent —
+/// not corrupt — from the reader's perspective.
+#[test]
+fn enospc_mid_write_leaves_no_readable_partial_array() {
+    let t = packed_tensor(13);
+    let probe = FaultStore::new(MemoryStore::new(), FaultPlan::quiet());
+    write_tensor(&probe, "arr", &t).unwrap();
+    let writes = probe.stats().ops;
+    for failed in 0..writes {
+        let store = FaultStore::new(
+            MemoryStore::new(),
+            FaultPlan::scripted(vec![ScriptedFault::fail(failed, FaultKind::Enospc)]),
+        );
+        let err = write_tensor(&store, "arr", &t).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Full(_)),
+            "write {failed}: {err:?}"
+        );
+        match read_tensor(store.inner(), "arr") {
+            Err(StoreError::MissingKey(_)) => {} // meta never committed
+            Ok(_) if failed + 1 == writes => {
+                // Only the final write (meta) may have failed after all
+                // chunks landed — then the array is simply absent too.
+                panic!("meta write failed but array still readable");
+            }
+            other => panic!("write {failed}: expected missing array, got {other:?}"),
+        }
+    }
+}
+
+/// A borrowed view of a `FaultStore`'s inner `MemoryStore`, so the rot
+/// test can stack a second fault layer without moving the original.
+struct MemoryStoreView<'a>(&'a MemoryStore);
+
+impl Store for MemoryStoreView<'_> {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        self.0.get(key)
+    }
+    fn set(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        self.0.set(key, value)
+    }
+    fn delete(&self, key: &str) -> Result<(), StoreError> {
+        self.0.delete(key)
+    }
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        self.0.list()
+    }
+}

@@ -57,8 +57,11 @@ pub enum LoadError {
     MissingParam(String),
     /// Shapes disagree for a parameter.
     ShapeMismatch(String),
-    /// The backing store failed (I/O, checksum, missing chunk).
-    Store(String),
+    /// The backing store failed (I/O, checksum, missing chunk). The
+    /// original [`StoreError`] rides along intact so callers can keep
+    /// its classification — a transient read blip during recovery must
+    /// not be mistaken for a corrupt checkpoint.
+    Store(StoreError),
 }
 
 impl fmt::Display for LoadError {
@@ -78,7 +81,7 @@ impl From<StoreError> for LoadError {
     fn from(e: StoreError) -> LoadError {
         match e {
             StoreError::MissingKey(k) => LoadError::MissingParam(k),
-            other => LoadError::Store(other.to_string()),
+            other => LoadError::Store(other),
         }
     }
 }

@@ -44,7 +44,7 @@ mod server;
 #[allow(deprecated)]
 pub use histogram::LatencyHistogram;
 pub use server::{
-    InferenceReply, InferenceServer, RequestId, ServeConfig, ServeStats, ServedModel,
+    InferenceReply, InferenceServer, Rejected, RequestId, ServeConfig, ServeStats, ServedModel,
 };
 
 use posit_nn::checkpoint::LoadError;
@@ -67,6 +67,8 @@ pub enum ServeError {
     Load(LoadError),
     /// Invalid server configuration.
     Config(String),
+    /// The request was shed at admission time (see [`Rejected`]).
+    Rejected(Rejected),
 }
 
 impl std::fmt::Display for ServeError {
@@ -81,6 +83,7 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Load(e) => write!(f, "checkpoint restore failed: {e}"),
             ServeError::Config(msg) => write!(f, "invalid serve config: {msg}"),
+            ServeError::Rejected(r) => write!(f, "request rejected: {r}"),
         }
     }
 }
@@ -104,5 +107,11 @@ impl From<StorageError> for ServeError {
 impl From<LoadError> for ServeError {
     fn from(e: LoadError) -> ServeError {
         ServeError::Load(e)
+    }
+}
+
+impl From<Rejected> for ServeError {
+    fn from(r: Rejected) -> ServeError {
+        ServeError::Rejected(r)
     }
 }

@@ -19,6 +19,21 @@ pub struct ServeConfig {
     /// Flush a partial batch once its oldest request has waited this many
     /// virtual-time ticks (0 = flush on the next tick).
     pub max_wait_ticks: u64,
+    /// Admission bound (≥ 1): [`InferenceServer::submit`] sheds the
+    /// request with [`Rejected::Overloaded`] when this many are already
+    /// queued, instead of letting the backlog grow without limit.
+    pub max_queue: usize,
+    /// Per-request deadline: a request still queued after waiting *more*
+    /// than this many ticks is shed with [`Rejected::DeadlineExceeded`]
+    /// (swept at the top of each tick, before batch formation). `None`
+    /// disables deadlines.
+    pub deadline_ticks: Option<u64>,
+    /// Service-rate cap: at most this many batches execute per tick, and
+    /// full batches no longer execute eagerly inside `submit` — pressure
+    /// builds in the queue, making overload and deadline behavior
+    /// reachable deterministically. `None` (the default) keeps the
+    /// unlimited eager batcher.
+    pub batches_per_tick: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -26,6 +41,30 @@ impl Default for ServeConfig {
         ServeConfig {
             max_batch: 8,
             max_wait_ticks: 4,
+            max_queue: 1024,
+            deadline_ticks: None,
+            batches_per_tick: None,
+        }
+    }
+}
+
+/// Why the server refused or abandoned a request — deterministic load
+/// shedding, never a panic and never an unbounded queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rejected {
+    /// The admission queue already held `max_queue` requests at submit
+    /// time; the request was never accepted.
+    Overloaded,
+    /// The request waited longer than `deadline_ticks` in the queue
+    /// before a batch could take it.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::Overloaded => write!(f, "overloaded (admission queue full)"),
+            Rejected::DeadlineExceeded => write!(f, "deadline exceeded in queue"),
         }
     }
 }
@@ -133,6 +172,10 @@ pub struct ServeStats {
     pub batch_p99: u64,
     /// Batches that ran completely full (`max_batch` rows).
     pub full_batches: u64,
+    /// Requests shed at submit time because the admission queue was full.
+    pub shed_overload: u64,
+    /// Requests shed in the queue because their deadline passed.
+    pub shed_deadline: u64,
 }
 
 /// An in-process inference server with a deterministic dynamic batcher.
@@ -170,7 +213,7 @@ pub struct InferenceServer {
     now: u64,
     next_id: u64,
     pending: VecDeque<Pending>,
-    done: HashMap<u64, InferenceReply>,
+    done: HashMap<u64, Result<InferenceReply, Rejected>>,
     queue_hist: Histogram,
     compute_hist: Histogram,
     batch_hist: Histogram,
@@ -180,6 +223,8 @@ pub struct InferenceServer {
     completed: u64,
     batches: u64,
     total_compute_ns: u64,
+    shed_overload: u64,
+    shed_deadline: u64,
 }
 
 /// Cached handles for the server's global-registry metrics (published only
@@ -190,6 +235,8 @@ struct ServeObs {
     batch_rows: posit_obs::HistogramHandle,
     requests: posit_obs::Counter,
     batches: posit_obs::Counter,
+    shed_overload: posit_obs::Counter,
+    shed_deadline: posit_obs::Counter,
 }
 
 fn serve_obs() -> &'static ServeObs {
@@ -201,6 +248,8 @@ fn serve_obs() -> &'static ServeObs {
             batch_rows: reg.histogram("serve.batch_rows"),
             requests: reg.counter("serve.requests"),
             batches: reg.counter("serve.batches"),
+            shed_overload: reg.counter("serve.shed.overload"),
+            shed_deadline: reg.counter("serve.shed.deadline"),
         }
     })
 }
@@ -218,6 +267,14 @@ impl InferenceServer {
     ) -> Result<InferenceServer, ServeError> {
         if cfg.max_batch == 0 {
             return Err(ServeError::Config("max_batch must be at least 1".into()));
+        }
+        if cfg.max_queue == 0 {
+            return Err(ServeError::Config("max_queue must be at least 1".into()));
+        }
+        if cfg.batches_per_tick == Some(0) {
+            return Err(ServeError::Config(
+                "batches_per_tick of 0 would never serve anything".into(),
+            ));
         }
         if let Some(spec) = &model.spec {
             if spec.rounding == Rounding::Stochastic {
@@ -251,6 +308,8 @@ impl InferenceServer {
             completed: 0,
             batches: 0,
             total_compute_ns: 0,
+            shed_overload: 0,
+            shed_deadline: 0,
         })
     }
 
@@ -280,8 +339,21 @@ impl InferenceServer {
     /// input shape ([`ServeError::Storage`] reports a packed posit tensor
     /// without panicking — the `Tensor::try_data` boundary). The input
     /// quantization edge runs here, per sample, so a row's bits never
-    /// depend on its batch. A full batch flushes immediately.
+    /// depend on its batch. A full batch flushes immediately unless
+    /// `batches_per_tick` rate-limits service to the clock.
+    ///
+    /// When the admission queue already holds `max_queue` requests, the
+    /// sample is shed deterministically:
+    /// `Err(ServeError::Rejected(Rejected::Overloaded))`, no id assigned,
+    /// no work done.
     pub fn submit(&mut self, sample: &Tensor) -> Result<RequestId, ServeError> {
+        if self.pending.len() >= self.cfg.max_queue {
+            self.shed_overload += 1;
+            if posit_obs::enabled() {
+                serve_obs().shed_overload.incr();
+            }
+            return Err(ServeError::Rejected(Rejected::Overloaded));
+        }
         if sample.shape() != &self.input_shape[..] {
             return Err(ServeError::Shape {
                 expected: self.input_shape.clone(),
@@ -310,33 +382,73 @@ impl InferenceServer {
             o.requests.incr();
             o.queue_depth.set(self.pending.len() as i64);
         }
-        while self.pending.len() >= self.cfg.max_batch {
-            self.run_batch(self.cfg.max_batch)?;
+        if self.cfg.batches_per_tick.is_none() {
+            while self.pending.len() >= self.cfg.max_batch {
+                self.run_batch(self.cfg.max_batch)?;
+            }
         }
         Ok(RequestId(id))
     }
 
-    /// Advance virtual time one tick and flush any batch whose oldest
-    /// request has now waited `max_wait_ticks`. Returns the number of
+    /// Shed every queued request whose wait exceeds `deadline_ticks`.
+    /// The queue is FIFO, so the front always holds the longest wait.
+    fn expire_deadlines(&mut self) {
+        let Some(deadline) = self.cfg.deadline_ticks else {
+            return;
+        };
+        let mut expired = 0u64;
+        while self
+            .pending
+            .front()
+            .is_some_and(|p| self.now - p.arrival > deadline)
+        {
+            let p = self.pending.pop_front().expect("front checked");
+            self.done.insert(p.id, Err(Rejected::DeadlineExceeded));
+            expired += 1;
+        }
+        if expired > 0 {
+            self.shed_deadline += expired;
+            if posit_obs::enabled() {
+                let o = serve_obs();
+                o.shed_deadline.add(expired);
+                o.queue_depth.set(self.pending.len() as i64);
+            }
+        }
+    }
+
+    /// One batch's worth of work is waiting: either a full batch, or a
+    /// partial one whose oldest request has hit `max_wait_ticks`.
+    fn batch_ready(&self) -> bool {
+        self.pending.len() >= self.cfg.max_batch
+            || self
+                .pending
+                .front()
+                .is_some_and(|p| self.now - p.arrival >= self.cfg.max_wait_ticks)
+    }
+
+    /// Advance virtual time one tick: sweep deadline-missed requests out
+    /// of the queue, then flush ready batches — all of them, or at most
+    /// `batches_per_tick` under a service-rate cap. Returns the number of
     /// requests completed by this tick.
     pub fn tick(&mut self) -> Result<usize, ServeError> {
         self.now += 1;
         let before = self.completed;
-        while self
-            .pending
-            .front()
-            .is_some_and(|p| self.now - p.arrival >= self.cfg.max_wait_ticks)
-        {
+        self.expire_deadlines();
+        let mut budget = self.cfg.batches_per_tick.unwrap_or(u64::MAX);
+        while budget > 0 && self.batch_ready() {
             let n = self.pending.len().min(self.cfg.max_batch);
             self.run_batch(n)?;
+            budget -= 1;
         }
         Ok((self.completed - before) as usize)
     }
 
-    /// Execute everything still queued (shutdown path). Returns the number
-    /// of requests completed.
+    /// Execute everything still queued (shutdown path), after shedding
+    /// requests already past their deadline — shutdown does not grant
+    /// extra time. Returns the number of requests completed.
     pub fn flush_all(&mut self) -> Result<usize, ServeError> {
         let before = self.completed;
+        self.expire_deadlines();
         while !self.pending.is_empty() {
             let n = self.pending.len().min(self.cfg.max_batch);
             self.run_batch(n)?;
@@ -344,9 +456,10 @@ impl InferenceServer {
         Ok((self.completed - before) as usize)
     }
 
-    /// Take the reply for `id`, if its batch has executed. Each reply is
-    /// handed out once.
-    pub fn poll(&mut self, id: RequestId) -> Option<InferenceReply> {
+    /// Take the outcome for `id`, if decided: the reply once its batch
+    /// has executed, or the typed [`Rejected`] if the request was shed in
+    /// the queue. Each outcome is handed out once.
+    pub fn poll(&mut self, id: RequestId) -> Option<Result<InferenceReply, Rejected>> {
         self.done.remove(&id.0)
     }
 
@@ -376,6 +489,8 @@ impl InferenceServer {
             batch_p50: self.batch_hist.quantile(0.5),
             batch_p99: self.batch_hist.quantile(0.99),
             full_batches: self.full_batches,
+            shed_overload: self.shed_overload,
+            shed_deadline: self.shed_deadline,
         }
     }
 
@@ -406,12 +521,12 @@ impl InferenceServer {
             self.compute_hist.record(per_sample_ns);
             self.done.insert(
                 p.id,
-                InferenceReply {
+                Ok(InferenceReply {
                     logits: out[i * classes..(i + 1) * classes].to_vec(),
                     queue_ticks,
                     batch_size: n,
                     compute_ns: per_sample_ns,
-                },
+                }),
             );
             self.completed += 1;
         }

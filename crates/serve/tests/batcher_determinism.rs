@@ -72,7 +72,7 @@ fn serve_fingerprint(srv: &mut InferenceServer, n: u64, ticks_between: usize) ->
     srv.flush_all().expect("flush");
     let mut s = String::new();
     for (i, id) in ids.into_iter().enumerate() {
-        let r = srv.poll(id).expect("completed");
+        let r = srv.poll(id).expect("completed").expect("served");
         write!(s, "req {i}:").unwrap();
         for v in &r.logits {
             write!(s, " {:08x}", v.to_bits()).unwrap();
@@ -89,6 +89,7 @@ fn batch_shape_does_not_change_the_logits() {
         &mut server(ServeConfig {
             max_batch: 1,
             max_wait_ticks: 0,
+            ..ServeConfig::default()
         }),
         12,
         0,
@@ -98,6 +99,7 @@ fn batch_shape_does_not_change_the_logits() {
             &mut server(ServeConfig {
                 max_batch,
                 max_wait_ticks: 4,
+                ..ServeConfig::default()
             }),
             12,
             0,
@@ -111,6 +113,7 @@ fn submit_tick_interleaving_does_not_change_the_logits() {
     let cfg = ServeConfig {
         max_batch: 4,
         max_wait_ticks: 3,
+        ..ServeConfig::default()
     };
     // Back-to-back submits (full batches) vs a tick between every submit
     // (partial batches flushed by expiry): different batch partitions,
@@ -125,6 +128,7 @@ fn partial_batch_flushes_exactly_at_the_deadline() {
     let mut srv = server(ServeConfig {
         max_batch: 4,
         max_wait_ticks: 3,
+        ..ServeConfig::default()
     });
     let a = srv.submit(&sample(0)).unwrap();
     let b = srv.submit(&sample(1)).unwrap();
@@ -135,8 +139,8 @@ fn partial_batch_flushes_exactly_at_the_deadline() {
     }
     // Tick 3 = max_wait_ticks since arrival: the partial batch goes out.
     assert_eq!(srv.tick().unwrap(), 2, "deadline flush missing");
-    let ra = srv.poll(a).expect("a completed");
-    let rb = srv.poll(b).expect("b completed");
+    let ra = srv.poll(a).expect("a completed").expect("served");
+    let rb = srv.poll(b).expect("b completed").expect("served");
     assert_eq!(ra.batch_size, 2, "partial batch should hold both requests");
     assert_eq!(rb.batch_size, 2);
     assert_eq!(ra.queue_ticks, 3);
@@ -150,6 +154,7 @@ fn a_full_batch_flushes_without_waiting_for_a_tick() {
     let mut srv = server(ServeConfig {
         max_batch: 2,
         max_wait_ticks: 100,
+        ..ServeConfig::default()
     });
     let a = srv.submit(&sample(0)).unwrap();
     assert!(srv.poll(a).is_none(), "half-full batch must wait");
@@ -255,6 +260,7 @@ fn run_child() {
         &mut server(ServeConfig {
             max_batch,
             max_wait_ticks: 3,
+            ..ServeConfig::default()
         }),
         24,
         ticks,

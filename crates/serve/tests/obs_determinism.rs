@@ -63,7 +63,7 @@ fn serve_fingerprint(srv: &mut InferenceServer, n: u64, ticks_between: usize) ->
     srv.flush_all().expect("flush");
     let mut s = String::new();
     for (i, id) in ids.into_iter().enumerate() {
-        let r = srv.poll(id).expect("completed");
+        let r = srv.poll(id).expect("completed").expect("served");
         write!(s, "req {i}:").unwrap();
         for v in &r.logits {
             write!(s, " {:08x}", v.to_bits()).unwrap();
@@ -78,6 +78,7 @@ fn instrumented_serving_is_bit_identical_and_exports_metrics() {
     let cfg = ServeConfig {
         max_batch: 4,
         max_wait_ticks: 2,
+        ..ServeConfig::default()
     };
     // Baseline with recording forced off (overrides any POSIT_OBS in the
     // environment — the CI re-runs this suite with POSIT_OBS=1).

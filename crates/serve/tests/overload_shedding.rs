@@ -1,0 +1,245 @@
+//! Bounded admission, per-request deadlines, and deterministic load
+//! shedding. The contract: under any overload schedule the server never
+//! panics, never grows its queue past `max_queue`, and every request
+//! resolves to exactly one typed outcome — a reply, `Overloaded` at
+//! submit, or `DeadlineExceeded` in the queue. Replaying the same
+//! adversarial [`TrafficPlan`] seed must reproduce every shed decision.
+
+use posit_fault::{TrafficConfig, TrafficPlan};
+use posit_nn::Layer;
+use posit_serve::{InferenceServer, Rejected, RequestId, ServeConfig, ServeError, ServedModel};
+use posit_tensor::rng::Prng;
+use posit_tensor::Tensor;
+use posit_train::{ComputeBackend, MasterWeights, Phase, QuantBuilder, QuantSpec};
+
+const IN_DIM: usize = 16;
+const CLASSES: usize = 4;
+
+fn quant() -> QuantSpec {
+    QuantSpec::cifar_paper()
+        .with_backend(ComputeBackend::PositQuire)
+        .with_master(MasterWeights::Posit)
+}
+
+/// A calibrated quantized MLP, deterministic across calls.
+fn server(cfg: ServeConfig) -> InferenceServer {
+    let spec = quant();
+    let mut rng = Prng::seed(41);
+    let mut qb = QuantBuilder::new(spec.clone());
+    let control = qb.control();
+    let mut net = posit_models::mlp(&mut qb, &[IN_DIM, 32, CLASSES], &mut rng);
+    let mut cal_rng = Prng::seed(42);
+    let cal = Tensor::rand_normal(&[8, IN_DIM], 0.0, 1.0, &mut cal_rng);
+    control.set_phase(Phase::Calibrate);
+    let _ = net.forward(&cal, false);
+    control.set_phase(Phase::Posit);
+    InferenceServer::new(ServedModel::quantized(net, control, spec), &[IN_DIM], cfg)
+        .expect("valid config")
+}
+
+fn sample(i: u64) -> Tensor {
+    let mut rng = Prng::seed(0x5A17 + i);
+    Tensor::rand_normal(&[IN_DIM], 0.0, 1.0, &mut rng)
+}
+
+#[test]
+fn overload_sheds_at_the_admission_bound_with_a_typed_error() {
+    // Rate-limited service, so pressure builds: 4 slots, then shedding.
+    let mut srv = server(ServeConfig {
+        max_batch: 4,
+        max_wait_ticks: 0,
+        max_queue: 4,
+        batches_per_tick: Some(1),
+        ..ServeConfig::default()
+    });
+    let mut accepted = Vec::new();
+    let mut shed = 0;
+    for i in 0..10 {
+        match srv.submit(&sample(i)) {
+            Ok(id) => accepted.push(id),
+            Err(ServeError::Rejected(Rejected::Overloaded)) => shed += 1,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert_eq!(accepted.len(), 4, "admission bound must be exact");
+    assert_eq!(shed, 6);
+    assert_eq!(srv.stats().shed_overload, 6);
+    assert_eq!(srv.queued(), 4, "queue never exceeds max_queue");
+    // The accepted requests still complete, in order, once time advances.
+    srv.tick().expect("tick");
+    for id in accepted {
+        let r = srv.poll(id).expect("decided").expect("served");
+        assert_eq!(r.logits.len(), CLASSES);
+    }
+}
+
+#[test]
+fn deadline_expiry_is_exact_in_virtual_time() {
+    // A lone request in a partial batch: not enough rows to flush, and
+    // max_wait is beyond the deadline — the deadline must win, at the
+    // first tick where waited > deadline_ticks.
+    let mut srv = server(ServeConfig {
+        max_batch: 8,
+        max_wait_ticks: 5,
+        deadline_ticks: Some(2),
+        ..ServeConfig::default()
+    });
+    let id = srv.submit(&sample(0)).expect("accepted");
+    for _ in 0..2 {
+        assert_eq!(srv.tick().expect("tick"), 0);
+        assert!(srv.poll(id).is_none(), "still within its deadline");
+    }
+    srv.tick().expect("tick"); // waited 3 > 2: swept before batching
+    match srv.poll(id) {
+        Some(Err(Rejected::DeadlineExceeded)) => {}
+        other => panic!("expected a deadline shed, got {other:?}"),
+    }
+    assert_eq!(srv.stats().shed_deadline, 1);
+    assert_eq!(srv.stats().completed, 0);
+}
+
+#[test]
+fn deadline_equal_to_max_wait_still_serves() {
+    // waited == deadline is not a miss: the flush at max_wait_ticks and
+    // the deadline sweep land on the same tick, and the sweep only sheds
+    // strictly-older requests.
+    let mut srv = server(ServeConfig {
+        max_batch: 8,
+        max_wait_ticks: 2,
+        deadline_ticks: Some(2),
+        ..ServeConfig::default()
+    });
+    let id = srv.submit(&sample(0)).expect("accepted");
+    srv.tick().expect("tick");
+    srv.tick().expect("tick");
+    match srv.poll(id) {
+        Some(Ok(r)) => assert_eq!(r.queue_ticks, 2),
+        other => panic!("expected service at the boundary, got {other:?}"),
+    }
+    assert_eq!(srv.stats().shed_deadline, 0);
+}
+
+/// One request's final outcome, compressed for fingerprinting.
+fn outcome(srv: &mut InferenceServer, id: RequestId) -> char {
+    match srv.poll(id) {
+        Some(Ok(_)) => 'S',
+        Some(Err(Rejected::DeadlineExceeded)) => 'D',
+        Some(Err(Rejected::Overloaded)) => unreachable!("overload is a submit error"),
+        None => '?',
+    }
+}
+
+/// Replay one adversarial traffic schedule; fingerprint every decision.
+fn storm_fingerprint(seed: u64) -> String {
+    let cfg = ServeConfig {
+        max_batch: 4,
+        max_wait_ticks: 1,
+        max_queue: 6,
+        deadline_ticks: Some(3),
+        batches_per_tick: Some(1),
+    };
+    let mut srv = server(cfg);
+    let mut plan = TrafficPlan::seeded(
+        seed,
+        TrafficConfig {
+            max_burst: 6,
+            stall: 0.3,
+            idle: 0.2,
+            idle_ticks: 3,
+        },
+    );
+    let mut ids = Vec::new();
+    let mut trace = String::new();
+    let mut submitted = 0u64;
+    while submitted < 64 {
+        let e = plan.next_event();
+        for _ in 0..e.arrivals {
+            if submitted == 64 {
+                break;
+            }
+            match srv.submit(&sample(submitted)) {
+                Ok(id) => ids.push(Some(id)),
+                Err(ServeError::Rejected(Rejected::Overloaded)) => {
+                    ids.push(None);
+                    trace.push('O');
+                }
+                Err(other) => panic!("request {submitted}: {other}"),
+            }
+            submitted += 1;
+            assert!(srv.queued() <= 6, "queue bound violated");
+        }
+        for _ in 0..e.ticks {
+            srv.tick().expect("tick");
+        }
+    }
+    srv.flush_all().expect("flush");
+    for id in ids.into_iter().flatten() {
+        trace.push(outcome(&mut srv, id));
+    }
+    let s = srv.stats();
+    // Conservation: every accepted request either completed or was shed
+    // on deadline; every submission was accepted or shed on overload.
+    assert_eq!(s.submitted, s.completed + s.shed_deadline);
+    assert_eq!(64, s.submitted + s.shed_overload);
+    trace.push_str(&format!(
+        " | served={} deadline={} overload={}",
+        s.completed, s.shed_deadline, s.shed_overload
+    ));
+    trace
+}
+
+#[test]
+fn shed_decisions_replay_bit_identically_per_seed() {
+    let mut storms_with_shedding = 0;
+    for seed in [3u64, 5, 8, 13, 21] {
+        let a = storm_fingerprint(seed);
+        let b = storm_fingerprint(seed);
+        assert_eq!(a, b, "seed {seed}: shed decisions are not deterministic");
+        assert!(!a.contains('?'), "seed {seed}: a request never resolved");
+        if a.contains('O') || a.contains('D') {
+            storms_with_shedding += 1;
+        }
+    }
+    assert!(
+        storms_with_shedding > 0,
+        "the storm schedule never produced overload — the test is toothless"
+    );
+}
+
+#[test]
+fn zero_max_queue_and_zero_rate_are_config_errors() {
+    let bad_queue = ServeConfig {
+        max_queue: 0,
+        ..ServeConfig::default()
+    };
+    let spec = quant();
+    let mut rng = Prng::seed(41);
+    let mut qb = QuantBuilder::new(spec.clone());
+    let control = qb.control();
+    let net = posit_models::mlp(&mut qb, &[IN_DIM, 32, CLASSES], &mut rng);
+    match InferenceServer::new(
+        ServedModel::quantized(net, control, spec),
+        &[IN_DIM],
+        bad_queue,
+    ) {
+        Err(ServeError::Config(msg)) => assert!(msg.contains("max_queue"), "{msg}"),
+        _ => panic!("max_queue = 0 must be rejected"),
+    }
+    let bad_rate = ServeConfig {
+        batches_per_tick: Some(0),
+        ..ServeConfig::default()
+    };
+    match server_result(bad_rate) {
+        Err(ServeError::Config(msg)) => assert!(msg.contains("batches_per_tick"), "{msg}"),
+        _ => panic!("batches_per_tick = 0 must be rejected"),
+    }
+}
+
+fn server_result(cfg: ServeConfig) -> Result<InferenceServer, ServeError> {
+    let spec = quant();
+    let mut rng = Prng::seed(41);
+    let mut qb = QuantBuilder::new(spec.clone());
+    let control = qb.control();
+    let net = posit_models::mlp(&mut qb, &[IN_DIM, 32, CLASSES], &mut rng);
+    InferenceServer::new(ServedModel::quantized(net, control, spec), &[IN_DIM], cfg)
+}

@@ -16,7 +16,7 @@
 //! is stored as shuffled little-endian bytes with the same CRC tail.
 
 use crate::chunk::ChunkGrid;
-use crate::codec::{chain_from_specs, decode_chain, encode_chain, CodecContext};
+use crate::codec::{chain_from_specs, crc32, decode_chain, encode_chain, CodecContext};
 use crate::error::StoreError;
 use crate::meta::{ArrayMeta, Dtype};
 use crate::store::Store;
@@ -75,6 +75,42 @@ pub fn chunk_key(prefix: &str, chunk_index: &[usize]) -> String {
 /// The metadata key under a prefix.
 pub fn meta_key(prefix: &str) -> String {
     format!("{prefix}/meta.json")
+}
+
+/// Marker opening the integrity footer appended after the meta JSON.
+const META_CRC_MARKER: &str = "\n#crc32=";
+
+/// Serialize `meta` with a `#crc32=xxxxxxxx` comment footer covering the
+/// JSON text, so bit rot in the header itself (not just the chunks) is
+/// detected at read time instead of silently reshaping the array.
+fn meta_with_footer(meta: &ArrayMeta) -> Vec<u8> {
+    let json = meta.to_json();
+    let sum = crc32(json.as_bytes());
+    let mut bytes = json.into_bytes();
+    bytes.extend_from_slice(format!("{META_CRC_MARKER}{sum:08x}\n").as_bytes());
+    bytes
+}
+
+/// Verify and strip the meta footer, returning the bare JSON text.
+///
+/// A footerless header (hand-written, or produced before the footer
+/// existed) passes through untouched — the JSON parser's own trailing-
+/// bytes check still rejects any half-damaged footer remnant.
+fn verify_meta_footer(text: &str) -> Result<&str, StoreError> {
+    let Some(pos) = text.rfind(META_CRC_MARKER) else {
+        return Ok(text);
+    };
+    let tail = &text[pos + META_CRC_MARKER.len()..];
+    let digits = tail.strip_suffix('\n').unwrap_or(tail);
+    let actual = crc32(&text.as_bytes()[..pos]);
+    // Textual comparison against the canonical lowercase rendering, so
+    // even a value-preserving case flip (`a` → `A`) in the footer is loud.
+    if digits != format!("{actual:08x}") {
+        return Err(StoreError::Corrupt(format!(
+            "metadata checksum mismatch: stored {digits:?}, computed {actual:08x}"
+        )));
+    }
+    Ok(&text[..pos])
 }
 
 fn raw_slab(t: &Tensor) -> (Vec<u8>, Dtype, i32) {
@@ -147,7 +183,7 @@ pub fn write_tensor_with(
         stats.chunk_bytes += enc.len();
         store.set(&chunk_key(prefix, idx), &enc)?;
     }
-    store.set(&meta_key(prefix), meta.to_json().as_bytes())?;
+    store.set(&meta_key(prefix), &meta_with_footer(&meta))?;
     Ok(stats)
 }
 
@@ -167,7 +203,7 @@ pub fn read_tensor(store: &dyn Store, prefix: &str) -> Result<Tensor, StoreError
         .ok_or_else(|| StoreError::MissingKey(meta_key(prefix)))?;
     let text = String::from_utf8(meta_bytes)
         .map_err(|_| StoreError::Corrupt("metadata is not UTF-8".into()))?;
-    let meta = ArrayMeta::from_json(&text)?;
+    let meta = ArrayMeta::from_json(verify_meta_footer(&text)?)?;
     let grid = ChunkGrid::new(&meta.shape, &meta.chunk_shape)?;
     let chain = chain_from_specs(&meta.codecs)?;
     let word = meta.dtype.word_bytes();
@@ -198,7 +234,7 @@ pub fn read_tensor(store: &dyn Store, prefix: &str) -> Result<Tensor, StoreError
         Dtype::F32 => {
             let data: Vec<f32> = slab
                 .chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().expect("len 4")))
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                 .collect();
             Ok(Tensor::from_vec(data, &meta.shape))
         }
@@ -299,6 +335,66 @@ mod tests {
         let back = read_tensor(&store, "empty").unwrap();
         assert_eq!(back.shape(), &[0, 4]);
         assert_eq!(back.len(), 0);
+    }
+
+    #[test]
+    fn corrupt_meta_is_a_recoverable_error_not_a_panic() {
+        let store = MemoryStore::new();
+        let t = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[4, 6]);
+        write_tensor_with(&store, "arr", &t, &[2, 3], None).unwrap();
+        let key = meta_key("arr");
+        let good = store.get(&key).unwrap().unwrap();
+        // Truncation, garbage, and field-level mangling all surface as
+        // Corrupt — the caller can fall back to another replica/epoch.
+        for bad in [
+            good[..good.len() / 2].to_vec(),
+            b"not json at all".to_vec(),
+            String::from_utf8_lossy(&good)
+                .replace("\"shape\"", "\"shapes\"")
+                .into_bytes(),
+        ] {
+            store.set(&key, &bad).unwrap();
+            match read_tensor(&store, "arr") {
+                Err(StoreError::Corrupt(_)) => {}
+                other => panic!("expected Corrupt for mangled meta, got {other:?}"),
+            }
+        }
+        // Restoring the original metadata fully recovers the array.
+        store.set(&key, &good).unwrap();
+        assert_eq!(read_tensor(&store, "arr").unwrap(), t);
+    }
+
+    #[test]
+    fn any_single_bit_flip_in_meta_is_caught() {
+        let store = MemoryStore::new();
+        let t = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[4, 6]);
+        write_tensor_with(&store, "arr", &t, &[2, 3], None).unwrap();
+        let key = meta_key("arr");
+        let good = store.get(&key).unwrap().unwrap();
+        for byte in 0..good.len() {
+            for bit in 0..8 {
+                let mut bad = good.clone();
+                bad[byte] ^= 1 << bit;
+                store.set(&key, &bad).unwrap();
+                match read_tensor(&store, "arr") {
+                    Err(StoreError::Corrupt(_)) => {}
+                    other => panic!("flip {byte}:{bit} not caught, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn footerless_meta_still_loads() {
+        // A hand-written header without the checksum footer is accepted.
+        let store = MemoryStore::new();
+        let t = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[4, 6]);
+        write_tensor_with(&store, "arr", &t, &[2, 3], None).unwrap();
+        let key = meta_key("arr");
+        let text = String::from_utf8(store.get(&key).unwrap().unwrap()).unwrap();
+        let bare = &text[..text.rfind("\n#crc32=").unwrap()];
+        store.set(&key, bare.as_bytes()).unwrap();
+        assert_eq!(read_tensor(&store, "arr").unwrap(), t);
     }
 
     #[test]

@@ -398,7 +398,8 @@ impl Codec for Crc32 {
             ));
         }
         let body = data.len() - 4;
-        let stored = u32::from_le_bytes(data[body..].try_into().expect("len 4"));
+        let t = &data[body..];
+        let stored = u32::from_le_bytes([t[0], t[1], t[2], t[3]]);
         let actual = crc32(&data[..body]);
         if stored != actual {
             if posit_obs::enabled() {

@@ -6,8 +6,18 @@ use std::fmt;
 /// Anything that can go wrong while reading or writing a chunked array.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
-    /// The underlying byte store failed (filesystem I/O, …).
+    /// The underlying byte store failed permanently (filesystem I/O, …).
     Io(String),
+    /// The underlying byte store failed in a way worth retrying
+    /// (interrupted syscall, timeout, injected transient fault). The
+    /// [`retry`](crate::RetryStore) layer absorbs these; anything that
+    /// reaches a caller exhausted its retry budget.
+    Transient(String),
+    /// The backing medium is out of space (ENOSPC). Retrying without
+    /// freeing space cannot help, so this is not [`Transient`].
+    ///
+    /// [`Transient`]: StoreError::Transient
+    Full(String),
     /// Stored bytes do not decode (bad framing, checksum mismatch, short
     /// chunk, malformed metadata).
     Corrupt(String),
@@ -18,10 +28,21 @@ pub enum StoreError {
     Invalid(String),
 }
 
+impl StoreError {
+    /// Whether retrying the same operation may succeed. Only
+    /// [`StoreError::Transient`] qualifies: permanent I/O failures, a full
+    /// disk, corruption and structural errors reproduce on every attempt.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::Transient(_))
+    }
+}
+
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::Io(m) => write!(f, "store I/O error: {m}"),
+            StoreError::Transient(m) => write!(f, "transient store I/O error: {m}"),
+            StoreError::Full(m) => write!(f, "store out of space: {m}"),
             StoreError::Corrupt(m) => write!(f, "corrupt stored data: {m}"),
             StoreError::MissingKey(k) => write!(f, "missing store key: {k}"),
             StoreError::Invalid(m) => write!(f, "invalid request: {m}"),
@@ -31,8 +52,54 @@ impl fmt::Display for StoreError {
 
 impl Error for StoreError {}
 
+/// ENOSPC on every unix; `io::ErrorKind::StorageFull` is still unstable in
+/// places, so classify by raw errno as well.
+const ENOSPC: i32 = 28;
+
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> StoreError {
-        StoreError::Io(e.to_string())
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::Interrupted | ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+                StoreError::Transient(e.to_string())
+            }
+            ErrorKind::StorageFull => StoreError::Full(e.to_string()),
+            _ if e.raw_os_error() == Some(ENOSPC) => StoreError::Full(e.to_string()),
+            _ => StoreError::Io(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io;
+
+    #[test]
+    fn io_error_classification() {
+        let t: StoreError = io::Error::new(io::ErrorKind::Interrupted, "EINTR").into();
+        assert!(t.is_transient(), "{t:?}");
+        let t: StoreError = io::Error::new(io::ErrorKind::TimedOut, "ETIMEDOUT").into();
+        assert!(t.is_transient(), "{t:?}");
+        let full: StoreError = io::Error::from_raw_os_error(ENOSPC).into();
+        assert!(matches!(full, StoreError::Full(_)), "{full:?}");
+        assert!(!full.is_transient());
+        let perm: StoreError = io::Error::new(io::ErrorKind::PermissionDenied, "EACCES").into();
+        assert!(matches!(perm, StoreError::Io(_)), "{perm:?}");
+        assert!(!perm.is_transient());
+    }
+
+    #[test]
+    fn only_transient_is_retryable() {
+        for e in [
+            StoreError::Io("x".into()),
+            StoreError::Full("x".into()),
+            StoreError::Corrupt("x".into()),
+            StoreError::MissingKey("x".into()),
+            StoreError::Invalid("x".into()),
+        ] {
+            assert!(!e.is_transient(), "{e:?}");
+        }
+        assert!(StoreError::Transient("x".into()).is_transient());
     }
 }

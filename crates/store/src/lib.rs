@@ -40,6 +40,7 @@ mod chunk;
 mod codec;
 mod error;
 mod meta;
+mod retry;
 mod store;
 
 pub use array::{
@@ -52,4 +53,5 @@ pub use codec::{
 };
 pub use error::StoreError;
 pub use meta::{ArrayMeta, Dtype, FORMAT_VERSION};
+pub use retry::{RetryPolicy, RetryStats, RetryStore};
 pub use store::{validate_key, FsStore, MemoryStore, Store};

@@ -1,0 +1,314 @@
+//! Bounded retry-with-backoff for transient store faults.
+//!
+//! [`RetryStore`] wraps any [`Store`] and re-issues an operation that
+//! failed with [`StoreError::Transient`] up to a bounded number of
+//! attempts, sleeping a **deterministic** backoff schedule between them
+//! (pure exponential doubling from `base_delay_us`, capped at
+//! `max_delay_us` — no jitter, so two runs of the same fault plan retry
+//! identically). Every other error class is surfaced immediately:
+//! permanent I/O, a full disk and corruption reproduce on each attempt,
+//! so retrying them only hides the failure.
+//!
+//! Retry traffic is counted in local [`RetryStats`] (always, they are
+//! deterministic) and mirrored to the global `posit_obs` registry when
+//! recording is on (`store.retry.attempts`, `store.retry.exhausted`).
+
+use crate::error::StoreError;
+use crate::store::Store;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A deterministic bounded-retry schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in microseconds.
+    pub base_delay_us: u64,
+    /// Backoff cap, in microseconds.
+    pub max_delay_us: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, 100 µs doubling to a 10 ms cap — enough to absorb
+    /// short transient bursts without stalling a training step visibly.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_us: 100,
+            max_delay_us: 10_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A zero-sleep policy with `max_attempts` attempts — what tests and
+    /// fault drills use so retries cost no wall clock.
+    pub const fn immediate(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_delay_us: 0,
+            max_delay_us: 0,
+        }
+    }
+
+    /// The backoff before retry number `retry` (1-based), in
+    /// microseconds: `base_delay_us << (retry - 1)`, saturating, capped at
+    /// `max_delay_us`. Pure in its arguments — the schedule is the same on
+    /// every run.
+    pub fn delay_us(&self, retry: u32) -> u64 {
+        if self.base_delay_us == 0 || retry == 0 {
+            return 0;
+        }
+        let factor = 1u64 << (retry - 1).min(63);
+        self.base_delay_us
+            .saturating_mul(factor)
+            .min(self.max_delay_us)
+    }
+}
+
+/// Deterministic counters of retry traffic through one [`RetryStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Operations that hit at least one transient fault.
+    pub faulted_ops: u64,
+    /// Individual retry attempts issued (re-executions, not first tries).
+    pub retries: u64,
+    /// Operations that exhausted the budget and surfaced
+    /// [`StoreError::Transient`] to the caller.
+    pub exhausted: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicRetryStats {
+    faulted_ops: AtomicU64,
+    retries: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+/// Cached handles for the retry layer's global-registry counters.
+struct RetryObs {
+    attempts: posit_obs::Counter,
+    exhausted: posit_obs::Counter,
+}
+
+fn retry_obs() -> &'static RetryObs {
+    static OBS: std::sync::OnceLock<RetryObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = posit_obs::Registry::global();
+        RetryObs {
+            attempts: reg.counter("store.retry.attempts"),
+            exhausted: reg.counter("store.retry.exhausted"),
+        }
+    })
+}
+
+/// A [`Store`] wrapper that absorbs transient faults with bounded,
+/// deterministic retries. Non-transient errors pass straight through.
+#[derive(Debug)]
+pub struct RetryStore<S> {
+    inner: S,
+    policy: RetryPolicy,
+    stats: AtomicRetryStats,
+}
+
+impl<S: Store> RetryStore<S> {
+    /// Wrap `inner` under `policy`.
+    pub fn new(inner: S, policy: RetryPolicy) -> RetryStore<S> {
+        RetryStore {
+            inner,
+            policy,
+            stats: AtomicRetryStats::default(),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwrap, dropping the retry layer.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Snapshot the retry counters.
+    pub fn stats(&self) -> RetryStats {
+        RetryStats {
+            faulted_ops: self.stats.faulted_ops.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            exhausted: self.stats.exhausted.load(Ordering::Relaxed),
+        }
+    }
+
+    fn with_retries<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        let mut attempt = 1u32;
+        loop {
+            match op() {
+                Err(e) if e.is_transient() => {
+                    if attempt == 1 {
+                        self.stats.faulted_ops.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if attempt >= self.policy.max_attempts.max(1) {
+                        self.stats.exhausted.fetch_add(1, Ordering::Relaxed);
+                        if posit_obs::enabled() {
+                            retry_obs().exhausted.incr();
+                        }
+                        return Err(e);
+                    }
+                    let delay = self.policy.delay_us(attempt);
+                    if delay > 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(delay));
+                    }
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    if posit_obs::enabled() {
+                        retry_obs().attempts.incr();
+                    }
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+impl<S: Store> Store for RetryStore<S> {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        self.with_retries(|| self.inner.get(key))
+    }
+
+    fn set(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        self.with_retries(|| self.inner.set(key, value))
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StoreError> {
+        self.with_retries(|| self.inner.delete(key))
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        self.with_retries(|| self.inner.list())
+    }
+
+    fn list_prefix(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        self.with_retries(|| self.inner.list_prefix(prefix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemoryStore;
+    use std::sync::Mutex;
+
+    /// A store whose `get` fails transiently `fail_next` times.
+    struct Flaky {
+        inner: MemoryStore,
+        fail_next: Mutex<u32>,
+        permanent: bool,
+    }
+
+    impl Flaky {
+        fn failing(n: u32, permanent: bool) -> Flaky {
+            Flaky {
+                inner: MemoryStore::new(),
+                fail_next: Mutex::new(n),
+                permanent,
+            }
+        }
+
+        fn maybe_fail(&self) -> Result<(), StoreError> {
+            let mut n = self.fail_next.lock().unwrap_or_else(|p| p.into_inner());
+            if *n > 0 {
+                *n -= 1;
+                return Err(if self.permanent {
+                    StoreError::Io("injected permanent fault".into())
+                } else {
+                    StoreError::Transient("injected transient fault".into())
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Store for Flaky {
+        fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+            self.maybe_fail()?;
+            self.inner.get(key)
+        }
+        fn set(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+            self.maybe_fail()?;
+            self.inner.set(key, value)
+        }
+        fn delete(&self, key: &str) -> Result<(), StoreError> {
+            self.maybe_fail()?;
+            self.inner.delete(key)
+        }
+        fn list(&self) -> Result<Vec<String>, StoreError> {
+            self.maybe_fail()?;
+            self.inner.list()
+        }
+    }
+
+    #[test]
+    fn transient_bursts_shorter_than_the_budget_are_invisible() {
+        let store = RetryStore::new(Flaky::failing(2, false), RetryPolicy::immediate(4));
+        store.set("k", b"v").unwrap();
+        assert_eq!(store.get("k").unwrap().unwrap(), b"v");
+        let s = store.stats();
+        assert_eq!((s.faulted_ops, s.retries, s.exhausted), (1, 2, 0));
+    }
+
+    #[test]
+    fn exhausted_budget_surfaces_the_transient_error() {
+        let store = RetryStore::new(Flaky::failing(10, false), RetryPolicy::immediate(3));
+        let err = store.get("k").unwrap_err();
+        assert!(err.is_transient(), "{err:?}");
+        let s = store.stats();
+        assert_eq!((s.faulted_ops, s.retries, s.exhausted), (1, 2, 1));
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let store = RetryStore::new(Flaky::failing(1, true), RetryPolicy::immediate(5));
+        let err = store.get("k").unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err:?}");
+        let s = store.stats();
+        assert_eq!((s.faulted_ops, s.retries, s.exhausted), (0, 0, 0));
+        // The fault was one-shot, so the store works now.
+        assert_eq!(store.get("k").unwrap(), None);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay_us: 100,
+            max_delay_us: 1_000,
+        };
+        assert_eq!(p.delay_us(1), 100);
+        assert_eq!(p.delay_us(2), 200);
+        assert_eq!(p.delay_us(3), 400);
+        assert_eq!(p.delay_us(4), 800);
+        assert_eq!(p.delay_us(5), 1_000); // capped
+        assert_eq!(p.delay_us(63), 1_000); // saturating shift, still capped
+        assert_eq!(p.delay_us(200), 1_000);
+        assert_eq!(RetryPolicy::immediate(3).delay_us(2), 0);
+    }
+
+    #[test]
+    fn invalid_keys_still_fail_fast() {
+        let store = RetryStore::new(MemoryStore::new(), RetryPolicy::default());
+        assert!(matches!(
+            store.set("../escape", b"x"),
+            Err(StoreError::Invalid(_))
+        ));
+        assert_eq!(store.stats(), RetryStats::default());
+    }
+}

@@ -9,7 +9,16 @@
 use crate::error::StoreError;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock a store-internal mutex, recovering from poisoning: a panic on
+/// another thread mid-operation must degrade that thread's request, not
+/// turn every later store call into a second panic. Store state is a plain
+/// map/counter with no multi-step invariants, so the inner value is always
+/// safe to keep using.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// A keyed byte store.
 pub trait Store: Send + Sync {
@@ -92,44 +101,30 @@ impl MemoryStore {
     /// Total payload bytes currently held (metadata + chunks) — the
     /// "checkpoint size" a size comparison wants.
     pub fn total_bytes(&self) -> usize {
-        self.map
-            .lock()
-            .expect("store poisoned")
-            .values()
-            .map(Vec::len)
-            .sum()
+        lock_unpoisoned(&self.map).values().map(Vec::len).sum()
     }
 }
 
 impl Store for MemoryStore {
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
         validate_key(key)?;
-        Ok(self.map.lock().expect("store poisoned").get(key).cloned())
+        Ok(lock_unpoisoned(&self.map).get(key).cloned())
     }
 
     fn set(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
         validate_key(key)?;
-        self.map
-            .lock()
-            .expect("store poisoned")
-            .insert(key.to_string(), value.to_vec());
+        lock_unpoisoned(&self.map).insert(key.to_string(), value.to_vec());
         Ok(())
     }
 
     fn delete(&self, key: &str) -> Result<(), StoreError> {
         validate_key(key)?;
-        self.map.lock().expect("store poisoned").remove(key);
+        lock_unpoisoned(&self.map).remove(key);
         Ok(())
     }
 
     fn list(&self) -> Result<Vec<String>, StoreError> {
-        Ok(self
-            .map
-            .lock()
-            .expect("store poisoned")
-            .keys()
-            .cloned()
-            .collect())
+        Ok(lock_unpoisoned(&self.map).keys().cloned().collect())
     }
 }
 
@@ -143,22 +138,67 @@ pub struct FsStore {
     /// Serializes temp-name generation (same-key races are the caller's
     /// concern; this only keeps temp names unique within the process).
     counter: Mutex<u64>,
+    /// Orphaned `.tmp` staging files reclaimed by [`FsStore::open`].
+    swept_tmp: u64,
 }
 
 impl FsStore {
     /// Open (creating if needed) a store rooted at `root`.
+    ///
+    /// A process killed between writing a staging file and renaming it
+    /// over its key leaves an orphaned `*.tmp` behind — invisible to
+    /// `list`/`get`, but accumulating disk forever. Opening sweeps them:
+    /// any `.tmp` file under the root belongs to a commit that will never
+    /// finish (opening a store asserts ownership of its directory, same as
+    /// the existing same-key-race contract). The count is kept in
+    /// [`FsStore::swept_tmp`] and published to the `store.fs.tmp_swept`
+    /// `posit_obs` gauge.
     pub fn open(root: impl Into<PathBuf>) -> Result<FsStore, StoreError> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
+        let swept_tmp = Self::sweep_tmp(&root)?;
+        if posit_obs::enabled() {
+            posit_obs::Registry::global()
+                .gauge("store.fs.tmp_swept")
+                .add(swept_tmp as i64);
+        }
         Ok(FsStore {
             root,
             counter: Mutex::new(0),
+            swept_tmp,
         })
     }
 
     /// The root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// How many orphaned `.tmp` staging files [`FsStore::open`] reclaimed.
+    pub fn swept_tmp(&self) -> u64 {
+        self.swept_tmp
+    }
+
+    /// Delete every `*.tmp` file under `dir`, recursively; returns the
+    /// number removed.
+    fn sweep_tmp(dir: &Path) -> Result<u64, StoreError> {
+        let mut swept = 0;
+        for e in std::fs::read_dir(dir)? {
+            let e = e.map_err(StoreError::from)?;
+            let name = e.file_name().to_string_lossy().into_owned();
+            let ty = e.file_type()?;
+            if ty.is_dir() {
+                swept += Self::sweep_tmp(&e.path())?;
+            } else if name.ends_with(".tmp") {
+                match std::fs::remove_file(e.path()) {
+                    Ok(()) => swept += 1,
+                    // Lost a race with another sweeper: already gone.
+                    Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(err) => return Err(err.into()),
+                }
+            }
+        }
+        Ok(swept)
     }
 
     fn path_of(&self, key: &str) -> Result<PathBuf, StoreError> {
@@ -219,7 +259,7 @@ impl Store for FsStore {
             std::fs::create_dir_all(dir)?;
         }
         let tmp = {
-            let mut c = self.counter.lock().expect("counter poisoned");
+            let mut c = lock_unpoisoned(&self.counter);
             *c += 1;
             p.with_extension(format!("{}.{}.tmp", std::process::id(), *c))
         };
@@ -299,5 +339,48 @@ mod tests {
         s.set("k1", &[0; 10]).unwrap();
         s.set("k2", &[0; 5]).unwrap();
         assert_eq!(s.total_bytes(), 15);
+    }
+
+    #[test]
+    fn fs_store_open_sweeps_orphaned_tmp_files() {
+        let dir = std::env::temp_dir().join(format!("posit-store-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FsStore::open(&dir).unwrap();
+        assert_eq!(store.swept_tmp(), 0);
+        store.set("a/b", b"committed").unwrap();
+        // A crash between write and rename strands staging files, at the
+        // root and inside key directories alike.
+        std::fs::write(dir.join("a").join("b.12345.1.tmp"), b"torn").unwrap();
+        std::fs::write(dir.join("orphan.9.9.tmp"), b"torn").unwrap();
+        let reopened = FsStore::open(&dir).unwrap();
+        assert_eq!(reopened.swept_tmp(), 2);
+        assert!(!dir.join("orphan.9.9.tmp").exists());
+        assert_eq!(reopened.get("a/b").unwrap().unwrap(), b"committed");
+        assert_eq!(reopened.list().unwrap(), vec!["a/b"]);
+        // Idempotent: nothing left on the next open.
+        assert_eq!(FsStore::open(&dir).unwrap().swept_tmp(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_store_survives_a_poisoned_mutex() {
+        use std::sync::Arc;
+        let store = Arc::new(MemoryStore::new());
+        store.set("k", b"before").unwrap();
+        // Poison the map mutex: panic on another thread while holding it.
+        let s2 = Arc::clone(&store);
+        let _ = std::thread::spawn(move || {
+            let _guard = s2.map.lock().unwrap();
+            panic!("poison the store mutex");
+        })
+        .join();
+        // Every operation keeps working instead of repanicking.
+        assert_eq!(store.get("k").unwrap().unwrap(), b"before");
+        store.set("k", b"after").unwrap();
+        assert_eq!(store.get("k").unwrap().unwrap(), b"after");
+        assert_eq!(store.list().unwrap(), vec!["k"]);
+        assert_eq!(store.total_bytes(), 5);
+        store.delete("k").unwrap();
+        assert_eq!(store.get("k").unwrap(), None);
     }
 }

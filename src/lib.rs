@@ -67,6 +67,7 @@
 
 pub use posit;
 pub use posit_data as data;
+pub use posit_fault as fault;
 pub use posit_hw as hw;
 pub use posit_models as models;
 pub use posit_nn as nn;

@@ -209,6 +209,7 @@ fn serve_reexports_construct() {
         ServeConfig {
             max_batch: 4,
             max_wait_ticks: 1,
+            ..ServeConfig::default()
         },
     )
     .expect("valid config");
@@ -220,7 +221,10 @@ fn serve_reexports_construct() {
         "partial batch waits for its deadline"
     );
     srv.tick().expect("tick");
-    let reply = srv.poll(id).expect("deadline flush completed the request");
+    let reply = srv
+        .poll(id)
+        .expect("deadline flush completed the request")
+        .expect("served");
     assert_eq!(reply.logits.len(), 3);
     assert_eq!(srv.stats().completed, 1);
 }
